@@ -1,0 +1,51 @@
+//! Benchmarks of the GPU simulator itself: functional-execution throughput
+//! of a launch (how fast the simulator runs, not the modeled GPU time) and
+//! the cost of the occupancy/timing analytics, so simulator regressions
+//! are caught like any other performance regression.
+
+use bench::Workload;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpusim::{DeviceSpec, GpuVariant, KernelResources, Occupancy};
+use sshopm::IterationPolicy;
+use std::hint::black_box;
+
+fn bench_launch(c: &mut Criterion) {
+    let workload = Workload::random(32, 32, 4, 3, 6);
+    let device = DeviceSpec::tesla_c2050();
+    let policy = IterationPolicy::Fixed(10);
+
+    let mut group = c.benchmark_group("gpusim_launch_32x32");
+    group.sample_size(10);
+    for variant in [GpuVariant::General, GpuVariant::Unrolled] {
+        group.bench_function(variant.name(), |b| {
+            b.iter(|| {
+                black_box(gpusim::launch_sshopm(
+                    &device,
+                    &workload.tensors,
+                    &workload.starts,
+                    policy,
+                    0.0,
+                    variant,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_occupancy(c: &mut Criterion) {
+    let device = DeviceSpec::tesla_c2050();
+    c.bench_function("occupancy_calculator", |b| {
+        b.iter(|| {
+            for m in 2..8usize {
+                for n in 2..8usize {
+                    let res = KernelResources::sshopm(m, n, 128, true);
+                    black_box(Occupancy::compute(&device, &res));
+                }
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_launch, bench_occupancy);
+criterion_main!(benches);

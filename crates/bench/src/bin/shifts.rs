@@ -1,0 +1,75 @@
+//! The shift trade-off study: Section V-A of the paper notes that
+//! "choosing an appropriate shift for real data will balance a tradeoff
+//! between guarantees of convergence and time-to-completion". This binary
+//! quantifies that trade on the phantom workload: for each shift policy,
+//! the fraction of solves that converge and the iteration count
+//! distribution.
+//!
+//! Run with: `cargo run --release -p bench --bin shifts`
+
+use bench::Workload;
+use sshopm::{IterationPolicy, Shift, SsHopm};
+
+fn main() {
+    let workload = Workload::paper_workload(2026);
+    // A manageable subset: 128 tensors x 16 starts.
+    let tensors = &workload.tensors[..128];
+    let starts = &workload.starts[..16];
+
+    println!(
+        "Shift trade-off on {} tensors x {} starts (m=4, n=3, f32, tol 1e-6, cap 1000):\n",
+        tensors.len(),
+        starts.len()
+    );
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "shift policy", "converged", "mean iter", "p95 iter", "max iter"
+    );
+
+    let policies: Vec<(String, Shift)> = vec![
+        ("alpha = 0 (paper)".into(), Shift::Fixed(0.0)),
+        ("alpha = 0.5".into(), Shift::Fixed(0.5)),
+        ("alpha = 2".into(), Shift::Fixed(2.0)),
+        ("alpha = 8".into(), Shift::Fixed(8.0)),
+        ("convex bound".into(), Shift::Convex),
+        ("adaptive".into(), Shift::Adaptive),
+    ];
+
+    for (label, shift) in policies {
+        let solver = SsHopm::new(shift).with_policy(IterationPolicy::Converge {
+            tol: 1e-6,
+            max_iters: 1000,
+        });
+        let mut iters: Vec<usize> = Vec::new();
+        let mut converged = 0usize;
+        let mut total = 0usize;
+        for a in tensors {
+            for x0 in starts {
+                let pair = solver.solve(a, x0);
+                total += 1;
+                if pair.converged {
+                    converged += 1;
+                    iters.push(pair.iterations);
+                }
+            }
+        }
+        iters.sort_unstable();
+        let mean = iters.iter().sum::<usize>() as f64 / iters.len().max(1) as f64;
+        let p95 = iters.get(iters.len() * 95 / 100).copied().unwrap_or(0);
+        let max = iters.last().copied().unwrap_or(0);
+        println!(
+            "{:<22} {:>9.1}% {:>10.1} {:>10} {:>10}",
+            label,
+            100.0 * converged as f64 / total as f64,
+            mean,
+            p95,
+            max
+        );
+    }
+
+    println!(
+        "\nreading: small fixed shifts converge fastest when they converge at all;\n\
+         the guaranteed convex bound pays iterations for its guarantee; the\n\
+         adaptive shift gets (most of) the guarantee at near-minimal cost."
+    );
+}

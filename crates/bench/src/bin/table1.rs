@@ -1,0 +1,33 @@
+//! Reproduce **Table I** of the paper: the 20 index classes of a symmetric
+//! tensor in `R^[3,4]` in lexicographic order, shown in both the index
+//! representation and the monomial representation (1-based, as printed in
+//! the paper).
+
+use symtensor::IndexClassIter;
+
+fn main() {
+    println!("Table I: index classes of R^[3,4] in lexicographic order");
+    println!("{:>3} | {:^11} | {:^14}", "#", "index", "monomial");
+    println!("{:->3}-+-{:-^11}-+-{:-^14}", "", "", "");
+    for (row, class) in IndexClassIter::new(3, 4).enumerate() {
+        let idx: Vec<String> = class
+            .indices()
+            .iter()
+            .map(|i| (i + 1).to_string()) // 1-based like the paper
+            .collect();
+        let mono: Vec<String> = class
+            .monomial()
+            .counts()
+            .iter()
+            .map(|k| k.to_string())
+            .collect();
+        println!(
+            "{:>3} | {:^11} | {:^14}",
+            row + 1,
+            idx.join("  "),
+            mono.join("  ")
+        );
+    }
+    println!("\n20 classes == C(3+4-1, 3) = C(6, 3); matches the paper exactly");
+    println!("(verified bit-for-bit in symtensor::index::tests::table_1_exact_contents).");
+}

@@ -1,0 +1,247 @@
+//! Benchmark harness: workload builders, flop accounting, wall-clock
+//! measurement and table formatting shared by the `table*`/`figure5`
+//! reproduction binaries and the Criterion benches.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sshopm::{BatchSolver, IterationPolicy, Shift, SsHopm};
+use std::time::Instant;
+
+use symtensor::{flops, SymTensor, TensorKernels};
+
+
+/// The paper's workload constants (Section V-A/V-C): T = 1024 tensors,
+/// U = 15 unique entries (m = 4, n = 3), V = 128 starting vectors.
+pub mod paper {
+    /// Number of tensors in the test set.
+    pub const T: usize = 1024;
+    /// Tensor order.
+    pub const M: usize = 4;
+    /// Tensor dimension.
+    pub const N: usize = 3;
+    /// Starting vectors per tensor.
+    pub const V: usize = 128;
+    /// Shift used in the paper's experiments.
+    pub const ALPHA: f64 = 0.0;
+}
+
+/// The benchmark workload: tensors + shared starting vectors, in `f32`
+/// (the precision of the paper's benchmarks).
+pub struct Workload {
+    /// The tensors (all the same shape).
+    pub tensors: Vec<SymTensor<f32>>,
+    /// Starting vectors shared by every tensor.
+    pub starts: Vec<Vec<f32>>,
+    /// Tensor order.
+    pub m: usize,
+    /// Tensor dimension.
+    pub n: usize,
+}
+
+impl Workload {
+    /// The paper's workload: 1024 voxel-like tensors from the DW-MRI
+    /// phantom (mix of one- and two-fiber voxels, like the Utah set),
+    /// 128 random starting vectors.
+    pub fn paper_workload(seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phantom = dwmri::Phantom::generate(
+            dwmri::PhantomConfig {
+                width: 32,
+                height: 32,
+                noise: dwmri::NoiseModel::Multiplicative { amplitude: 0.02 },
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let tensors = phantom.tensors_f32();
+        let starts = sshopm::starts::random_uniform_starts::<f32, _>(paper::N, paper::V, &mut rng);
+        Workload {
+            tensors,
+            starts,
+            m: paper::M,
+            n: paper::N,
+        }
+    }
+
+    /// Random tensors of an arbitrary shape (for sweeps beyond (4,3)).
+    pub fn random(t: usize, v: usize, m: usize, n: usize, seed: u64) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tensors = (0..t).map(|_| SymTensor::random(m, n, &mut rng)).collect();
+        let starts = sshopm::starts::random_uniform_starts::<f32, _>(n, v, &mut rng);
+        Workload { tensors, starts, m, n }
+    }
+
+    /// A subset of the first `t` tensors (Figure 5 sweeps subsets).
+    pub fn subset(&self, t: usize) -> Workload {
+        Workload {
+            tensors: self.tensors[..t.min(self.tensors.len())].to_vec(),
+            starts: self.starts.clone(),
+            m: self.m,
+            n: self.n,
+        }
+    }
+}
+
+/// Useful flops for a batch run that performed `total_iterations` SS-HOPM
+/// iterations on shape `(m, n)`.
+pub fn batch_flops(m: usize, n: usize, total_iterations: u64) -> u64 {
+    total_iterations * flops::sshopm_iter_flops(m, n)
+}
+
+/// One measured implementation row.
+#[derive(Debug, Clone)]
+pub struct MeasuredRow {
+    /// Row label ("CPU - 1 core", "GPU (model)", ...).
+    pub label: String,
+    /// Measured or modeled wall time, seconds.
+    pub seconds: f64,
+    /// Useful flops executed.
+    pub useful_flops: u64,
+}
+
+impl MeasuredRow {
+    /// Achieved GFLOP/s.
+    pub fn gflops(&self) -> f64 {
+        self.useful_flops as f64 / self.seconds / 1e9
+    }
+}
+
+/// Run the CPU batch solver with a given kernel implementation and thread
+/// count; returns the wall time and total iterations.
+pub fn run_cpu<K: TensorKernels<f32> + Sync>(
+    workload: &Workload,
+    kernels: &K,
+    threads: usize,
+    policy: IterationPolicy,
+    alpha: f64,
+) -> (f64, u64) {
+    let solver = BatchSolver::new(SsHopm::new(Shift::Fixed(alpha)).with_policy(policy))
+        .with_threads(threads);
+    let start = Instant::now();
+    let result = if threads == 1 {
+        solver.solve_sequential(kernels, &workload.tensors, &workload.starts)
+    } else {
+        solver.solve_parallel(kernels, &workload.tensors, &workload.starts)
+    };
+    (start.elapsed().as_secs_f64(), result.total_iterations)
+}
+
+/// The iteration policy used by all Table III / Figure 5 runs: a fixed
+/// budget so every implementation does identical arithmetic (the paper
+/// likewise benchmarks a fixed workload; convergence behaviour is studied
+/// separately in the ablation benches).
+pub const BENCH_ITERS: usize = 20;
+
+/// Default iteration policy for benchmarks.
+pub fn bench_policy() -> IterationPolicy {
+    IterationPolicy::Fixed(BENCH_ITERS)
+}
+
+/// Measure all CPU rows (1/4/8 "cores" i.e. threads) for one kernel
+/// implementation. On hosts with fewer physical cores than threads the
+/// measured times won't scale — the binaries print both measured values
+/// and the physical core count so the reader can judge.
+pub fn cpu_rows<K: TensorKernels<f32> + Sync>(
+    workload: &Workload,
+    kernels: &K,
+    label: &str,
+) -> Vec<MeasuredRow> {
+    let mut rows = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let (secs, iters) = run_cpu(workload, kernels, threads, bench_policy(), paper::ALPHA);
+        rows.push(MeasuredRow {
+            label: format!("CPU - {threads} core{} ({label})", if threads > 1 { "s" } else { "" }),
+            seconds: secs,
+            useful_flops: batch_flops(workload.m, workload.n, iters),
+        });
+    }
+    rows
+}
+
+/// The modeled GPU row for one variant on the paper's Tesla C2050.
+pub fn gpu_row(workload: &Workload, variant: gpusim::GpuVariant) -> (MeasuredRow, gpusim::LaunchReport) {
+    gpu_row_on(workload, variant, &gpusim::DeviceSpec::tesla_c2050())
+}
+
+/// The modeled GPU row for one variant on an arbitrary device.
+pub fn gpu_row_on(
+    workload: &Workload,
+    variant: gpusim::GpuVariant,
+    device: &gpusim::DeviceSpec,
+) -> (MeasuredRow, gpusim::LaunchReport) {
+    let (_, report) = gpusim::launch_sshopm(
+        device,
+        &workload.tensors,
+        &workload.starts,
+        bench_policy(),
+        paper::ALPHA,
+        variant,
+    );
+    (
+        MeasuredRow {
+            label: format!("GPU model ({}, {})", variant.name(), device.name),
+            seconds: report.timing.seconds,
+            useful_flops: report.useful_flops,
+        },
+        report,
+    )
+}
+
+/// Fixed-width table printing.
+pub fn print_rows(title: &str, rows: &[MeasuredRow]) {
+    println!("{title}");
+    println!("{:<28} {:>12} {:>12}", "implementation", "time (ms)", "GFLOP/s");
+    for r in rows {
+        println!("{:<28} {:>12.2} {:>12.2}", r.label, r.seconds * 1e3, r.gflops());
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symtensor::kernels::GeneralKernels;
+    use unrolled::UnrolledKernels;
+
+    #[test]
+    fn workload_shapes() {
+        let w = Workload::random(16, 8, 4, 3, 1);
+        assert_eq!(w.tensors.len(), 16);
+        assert_eq!(w.starts.len(), 8);
+        let s = w.subset(4);
+        assert_eq!(s.tensors.len(), 4);
+        assert_eq!(s.starts.len(), 8);
+    }
+
+    #[test]
+    fn paper_workload_matches_constants() {
+        let w = Workload::paper_workload(7);
+        assert_eq!(w.tensors.len(), paper::T);
+        assert_eq!(w.starts.len(), paper::V);
+        assert_eq!(w.tensors[0].order(), paper::M);
+        assert_eq!(w.tensors[0].dim(), paper::N);
+    }
+
+    #[test]
+    fn cpu_run_counts_iterations() {
+        let w = Workload::random(4, 4, 4, 3, 2);
+        let (secs, iters) = run_cpu(&w, &GeneralKernels, 1, bench_policy(), 0.0);
+        assert!(secs > 0.0);
+        assert_eq!(iters, 4 * 4 * BENCH_ITERS as u64);
+        assert_eq!(batch_flops(4, 3, iters), iters * flops::sshopm_iter_flops(4, 3));
+    }
+
+    #[test]
+    fn gpu_row_reports() {
+        let w = Workload::random(8, 32, 4, 3, 3);
+        let (row, report) = gpu_row(&w, gpusim::GpuVariant::Unrolled);
+        assert!(row.seconds > 0.0);
+        assert!(row.gflops() > 0.0);
+        assert_eq!(report.grid.num_blocks, 8);
+    }
+
+    #[test]
+    fn unrolled_kernels_available_for_paper_shape() {
+        assert!(UnrolledKernels::for_shape(paper::M, paper::N).is_some());
+    }
+}

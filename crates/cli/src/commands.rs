@@ -1,0 +1,598 @@
+//! The CLI subcommand implementations. Each command takes raw argument
+//! tokens plus a writer, so everything is unit-testable without a process
+//! boundary.
+
+use crate::args::Args;
+use crate::CmdError;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sshopm::{multistart, DedupConfig, IterationPolicy, Shift, SsHopm};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use symtensor::io::{read_tensors, write_tensors};
+use symtensor::SymTensor;
+
+type CmdResult = Result<(), CmdError>;
+
+fn load_tensors(path: &str) -> Result<Vec<SymTensor<f64>>, CmdError> {
+    let file = File::open(path).map_err(|e| CmdError(format!("cannot open {path}: {e}")))?;
+    read_tensors(file).map_err(|e| CmdError(format!("cannot parse {path}: {e}")))
+}
+
+fn save_tensors(path: &str, tensors: &[SymTensor<f64>]) -> CmdResult {
+    let file = File::create(path).map_err(|e| CmdError(format!("cannot create {path}: {e}")))?;
+    let mut w = BufWriter::new(file);
+    write_tensors(&mut w, tensors).map_err(|e| CmdError(format!("cannot write {path}: {e}")))?;
+    w.flush().map_err(|e| CmdError(e.to_string()))
+}
+
+fn parse_shift(s: Option<&str>) -> Result<Shift, CmdError> {
+    match s {
+        None | Some("convex") => Ok(Shift::Convex),
+        Some("concave") => Ok(Shift::Concave),
+        Some("adaptive") => Ok(Shift::Adaptive),
+        Some(v) => v
+            .parse::<f64>()
+            .map(Shift::Fixed)
+            .map_err(|_| CmdError(format!("invalid --shift {v:?}"))),
+    }
+}
+
+/// `random <m> <n> <count> --out FILE [--seed S]`
+pub fn random(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
+    inner_random(argv, out).map_err(|e| e.0)
+}
+
+fn inner_random(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
+    let args = Args::parse(argv, &["out", "seed"], &[])?;
+    let m: usize = args
+        .positional(0, "m")?
+        .parse()
+        .map_err(|_| CmdError("invalid <m>".into()))?;
+    let n: usize = args
+        .positional(1, "n")?
+        .parse()
+        .map_err(|_| CmdError("invalid <n>".into()))?;
+    let count: usize = args
+        .positional(2, "count")?
+        .parse()
+        .map_err(|_| CmdError("invalid <count>".into()))?;
+    let path = args
+        .get("out")
+        .ok_or_else(|| CmdError("--out FILE is required".into()))?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tensors: Vec<SymTensor<f64>> = (0..count)
+        .map(|_| SymTensor::random(m, n, &mut rng))
+        .collect();
+    save_tensors(path, &tensors)?;
+    writeln!(out, "wrote {count} random [{m},{n}] tensors to {path}")?;
+    Ok(())
+}
+
+/// `info <file>`
+pub fn info(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
+    inner_info(argv, out).map_err(|e| e.0)
+}
+
+fn inner_info(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
+    let args = Args::parse(argv, &[], &[])?;
+    let path = args.positional(0, "file")?;
+    let tensors = load_tensors(path)?;
+    if tensors.is_empty() {
+        writeln!(out, "{path}: empty tensor file")?;
+        return Ok(());
+    }
+    let (m, n) = (tensors[0].order(), tensors[0].dim());
+    writeln!(
+        out,
+        "{path}: {} tensors, order {m}, dimension {n}, {} unique entries each ({} total per tensor)",
+        tensors.len(),
+        tensors[0].num_unique(),
+        tensors[0].num_total(),
+    )?;
+    let norms: Vec<f64> = tensors.iter().map(|t| t.frobenius_norm()).collect();
+    let min = norms.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = norms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mean = norms.iter().sum::<f64>() / norms.len() as f64;
+    writeln!(out, "Frobenius norms: min {min:.4}  mean {mean:.4}  max {max:.4}")?;
+    Ok(())
+}
+
+/// `solve <file> [--starts N] [--shift ...] [--tol T] [--refine] [--all]`
+pub fn solve(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
+    inner_solve(argv, out).map_err(|e| e.0)
+}
+
+fn inner_solve(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
+    let args = Args::parse(argv, &["starts", "shift", "tol", "seed"], &["refine", "all"])?;
+    let path = args.positional(0, "file")?;
+    let starts_count: usize = args.get_parsed("starts", 32)?;
+    let tol: f64 = args.get_parsed("tol", 1e-12)?;
+    let shift = parse_shift(args.get("shift"))?;
+    let refine = args.flag("refine");
+    let show_all = args.flag("all");
+
+    let tensors = load_tensors(path)?;
+    let solver = SsHopm::new(shift).with_tolerance(tol);
+    for (i, a) in tensors.iter().enumerate() {
+        let starts = if a.dim() == 3 {
+            sshopm::starts::fibonacci_sphere::<f64>(starts_count)
+        } else {
+            let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0)?);
+            sshopm::starts::random_gaussian_starts::<f64, _>(a.dim(), starts_count, &mut rng)
+        };
+        let spectrum = multistart(&solver, a, &starts, &DedupConfig::default(), 1e-5);
+        writeln!(
+            out,
+            "tensor {i}: {} distinct eigenpairs from {} starts ({} failures)",
+            spectrum.entries.len(),
+            spectrum.total_starts,
+            spectrum.failures
+        )?;
+        for entry in &spectrum.entries {
+            let mut pair = entry.pair.clone();
+            let mut note = String::new();
+            if refine {
+                let refined = sshopm::refine(a, &pair, 4, 1e-14);
+                note = format!(
+                    " (refined {:.1e} -> {:.1e})",
+                    refined.residual_before, refined.residual_after
+                );
+                pair = refined.pair;
+            }
+            writeln!(
+                out,
+                "  lambda {:>13.8}  x {:?}  {:?}  basin {}/{}{}",
+                pair.lambda,
+                pair.x.iter().map(|v| (v * 1e6).round() / 1e6).collect::<Vec<_>>(),
+                entry.stability,
+                entry.basin_count,
+                spectrum.total_starts,
+                note
+            )?;
+            if !show_all && entry.stability == sshopm::Stability::PositiveStable {
+                // With a convex shift, minima only appear via lucky saddle
+                // hits; keep output focused unless --all.
+                continue;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `phantom --out FILE [--width W] [--height H] [--noise X] [--seed S]`
+pub fn phantom(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
+    inner_phantom(argv, out).map_err(|e| e.0)
+}
+
+fn inner_phantom(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
+    let args = Args::parse(argv, &["out", "width", "height", "noise", "seed"], &[])?;
+    let path = args
+        .get("out")
+        .ok_or_else(|| CmdError("--out FILE is required".into()))?;
+    let amplitude: f64 = args.get_parsed("noise", 0.0)?;
+    let config = dwmri::PhantomConfig {
+        width: args.get_parsed("width", 32)?,
+        height: args.get_parsed("height", 32)?,
+        noise: if amplitude == 0.0 {
+            dwmri::NoiseModel::None
+        } else {
+            dwmri::NoiseModel::Multiplicative { amplitude }
+        },
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0)?);
+    let phantom = dwmri::Phantom::generate(config, &mut rng);
+    let tensors = phantom.tensors();
+    save_tensors(path, &tensors)?;
+    writeln!(
+        out,
+        "wrote {} phantom voxels ({} single-fiber, {} crossing) to {path}",
+        phantom.len(),
+        phantom.count_with_fibers(1),
+        phantom.count_with_fibers(2)
+    )?;
+    Ok(())
+}
+
+/// `fibers <file> [--starts N] [--max-fibers K]`
+pub fn fibers(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
+    inner_fibers(argv, out).map_err(|e| e.0)
+}
+
+fn inner_fibers(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
+    let args = Args::parse(argv, &["starts", "max-fibers"], &[])?;
+    let path = args.positional(0, "file")?;
+    let tensors = load_tensors(path)?;
+    let cfg = dwmri::ExtractConfig {
+        num_starts: args.get_parsed("starts", 64)?,
+        max_fibers: args.get_parsed("max-fibers", 3)?,
+        ..Default::default()
+    };
+    let mut counts = [0usize; 4];
+    for (i, a) in tensors.iter().enumerate() {
+        if a.dim() != 3 {
+            return Err(CmdError(format!(
+                "fiber extraction needs dimension-3 tensors, file has n={}",
+                a.dim()
+            )));
+        }
+        let fibers = dwmri::extract_fibers(a, &cfg);
+        counts[fibers.len().min(3)] += 1;
+        write!(out, "voxel {i}: {} fiber(s)", fibers.len())?;
+        for f in &fibers {
+            write!(
+                out,
+                "  [{:.4} {:.4} {:.4}] (lambda {:.4})",
+                f.direction[0], f.direction[1], f.direction[2], f.lambda
+            )?;
+        }
+        writeln!(out)?;
+    }
+    writeln!(
+        out,
+        "summary: {} voxels -> 0 fibers: {}, 1: {}, 2: {}, 3+: {}",
+        tensors.len(),
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3]
+    )?;
+    Ok(())
+}
+
+/// `decompose <file> [--terms K] [--starts N] [--tol T]`
+pub fn decompose(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
+    inner_decompose(argv, out).map_err(|e| e.0)
+}
+
+fn inner_decompose(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
+    let args = Args::parse(argv, &["terms", "starts", "tol"], &[])?;
+    let path = args.positional(0, "file")?;
+    let terms: usize = args.get_parsed("terms", 3)?;
+    let starts: usize = args.get_parsed("starts", 48)?;
+    let tol: f64 = args.get_parsed("tol", 1e-8)?;
+    let tensors = load_tensors(path)?;
+    for (i, a) in tensors.iter().enumerate() {
+        let cp = sshopm::decompose(a, terms, starts, tol);
+        writeln!(
+            out,
+            "tensor {i}: {} rank-one term(s), relative residual {:.3e}",
+            cp.terms.len(),
+            cp.relative_residual()
+        )?;
+        for (r, t) in cp.terms.iter().enumerate() {
+            writeln!(
+                out,
+                "  term {r}: weight {:>12.6}, v = {:?}, residual {:.3e}",
+                t.weight,
+                t.vector
+                    .iter()
+                    .map(|v| (v * 1e4).round() / 1e4)
+                    .collect::<Vec<_>>(),
+                t.residual_norm
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// `tract <file> --width W [--height H] [--starts N] [--seeds K]`
+pub fn tract(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
+    inner_tract(argv, out).map_err(|e| e.0)
+}
+
+fn inner_tract(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
+    let args = Args::parse(argv, &["width", "height", "starts", "seeds"], &[])?;
+    let path = args.positional(0, "file")?;
+    let tensors = load_tensors(path)?;
+    let width: usize = args
+        .get_parsed("width", 0)?
+        .max(0);
+    if width == 0 {
+        return Err(CmdError("--width W is required (grid layout of the file)".into()));
+    }
+    if tensors.len() % width != 0 {
+        return Err(CmdError(format!(
+            "{} tensors do not tile a grid of width {width}",
+            tensors.len()
+        )));
+    }
+    let height: usize = args.get_parsed("height", tensors.len() / width)?;
+    if width * height != tensors.len() {
+        return Err(CmdError(format!(
+            "grid {width}x{height} != {} tensors",
+            tensors.len()
+        )));
+    }
+    let starts: usize = args.get_parsed("starts", 64)?;
+    let num_seeds: usize = args.get_parsed("seeds", 5)?;
+
+    let cfg = dwmri::ExtractConfig {
+        num_starts: starts,
+        ..Default::default()
+    };
+    let fibers: Vec<Vec<dwmri::FiberEstimate>> = tensors
+        .iter()
+        .map(|a| dwmri::extract_fibers(a, &cfg))
+        .collect();
+    let field = dwmri::FiberField::new(width, height, fibers);
+
+    // Evenly spaced seeds along the left edge.
+    let tcfg = dwmri::TractConfig::default();
+    writeln!(out, "tracking {num_seeds} seeds over a {width}x{height} field:")?;
+    for s in 0..num_seeds {
+        let y = (s as f64 + 0.5) * height as f64 / num_seeds as f64;
+        match dwmri::trace(&field, (0.5, y), &tcfg) {
+            Some(stream) => writeln!(
+                out,
+                "  seed (0.5, {y:.1}): length {:.1} voxels, {} points, stops {:?}/{:?}",
+                stream.length(),
+                stream.points.len(),
+                stream.stop_backward,
+                stream.stop_forward
+            )?,
+            None => writeln!(out, "  seed (0.5, {y:.1}): no fibers at seed")?,
+        }
+    }
+    Ok(())
+}
+
+/// `gpu <file> [--starts N] [--variant V] [--devices K] [--iters I]`
+pub fn gpu(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
+    inner_gpu(argv, out).map_err(|e| e.0)
+}
+
+fn inner_gpu(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
+    let args = Args::parse(argv, &["starts", "variant", "devices", "iters", "seed"], &[])?;
+    let path = args.positional(0, "file")?;
+    let starts_count: usize = args.get_parsed("starts", 128)?;
+    let devices: usize = args.get_parsed("devices", 1)?;
+    let iters: usize = args.get_parsed("iters", 20)?;
+    let variant = match args.get("variant") {
+        None | Some("unrolled") => gpusim::GpuVariant::Unrolled,
+        Some("general") => gpusim::GpuVariant::General,
+        Some(v) => return Err(CmdError(format!("invalid --variant {v:?}"))),
+    };
+
+    let tensors64 = load_tensors(path)?;
+    if tensors64.is_empty() {
+        return Err(CmdError("tensor file is empty".into()));
+    }
+    let tensors: Vec<SymTensor<f32>> = tensors64.iter().map(|t| t.to_f32()).collect();
+    let (m, n) = (tensors[0].order(), tensors[0].dim());
+    if variant == gpusim::GpuVariant::Unrolled
+        && unrolled::UnrolledKernels::for_shape(m, n).is_none()
+    {
+        return Err(CmdError(format!(
+            "no unrolled kernel generated for shape ({m},{n}); use --variant general"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0)?);
+    let starts = sshopm::starts::random_uniform_starts::<f32, _>(n, starts_count, &mut rng);
+
+    let mg = gpusim::MultiGpu::homogeneous(
+        gpusim::DeviceSpec::tesla_c2050(),
+        devices,
+        gpusim::TransferModel::pcie2(),
+    );
+    let (_, report) = mg.launch(
+        &tensors,
+        &starts,
+        IterationPolicy::Fixed(iters),
+        0.0,
+        variant,
+    );
+    writeln!(
+        out,
+        "{} tensors x {} starts x {} iterations ({} kernel) on {}x Tesla C2050 (model)",
+        tensors.len(),
+        starts_count,
+        iters,
+        variant.name(),
+        devices
+    )?;
+    for slice in &report.slices {
+        writeln!(
+            out,
+            "  device {}: {} tensors, occupancy {} blocks/SM ({}), kernel {:.3} ms + transfer {:.3} ms",
+            slice.device_index,
+            slice.num_tensors,
+            slice.report.occupancy.blocks_per_sm,
+            slice.report.occupancy.limiter,
+            slice.report.timing.seconds * 1e3,
+            slice.transfer_seconds * 1e3,
+        )?;
+    }
+    writeln!(
+        out,
+        "estimated wall-clock {:.3} ms, {:.1} GFLOP/s aggregate",
+        report.seconds * 1e3,
+        report.gflops
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("tensor-eig-cli-test-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn random_then_info_round_trip() {
+        let path = tmp("rt.txt");
+        let mut out = Vec::new();
+        random(sv(&["4", "3", "5", "--out", &path, "--seed", "9"]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("5 random [4,3] tensors"));
+
+        let mut out = Vec::new();
+        info(sv(&[&path]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("5 tensors, order 4, dimension 3, 15 unique"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_prints_eigenpairs_with_small_residuals() {
+        let path = tmp("solve.txt");
+        let mut out = Vec::new();
+        random(sv(&["4", "3", "2", "--out", &path, "--seed", "1"]), &mut out).unwrap();
+        let mut out = Vec::new();
+        solve(
+            sv(&[&path, "--starts", "16", "--refine"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("tensor 0:"));
+        assert!(text.contains("tensor 1:"));
+        assert!(text.contains("lambda"));
+        assert!(text.contains("refined"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn phantom_then_fibers() {
+        let path = tmp("ph.txt");
+        let mut out = Vec::new();
+        phantom(
+            sv(&["--out", &path, "--width", "3", "--height", "3"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("9 phantom voxels"));
+
+        let mut out = Vec::new();
+        fibers(sv(&[&path, "--starts", "32"]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("voxel 0:"));
+        assert!(text.contains("summary: 9 voxels"));
+        // A 3x3 default phantom has single- and two-fiber voxels.
+        assert!(!text.contains("0 fibers: 9"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gpu_command_reports_model() {
+        let path = tmp("gpu.txt");
+        let mut out = Vec::new();
+        random(sv(&["4", "3", "8", "--out", &path]), &mut out).unwrap();
+        let mut out = Vec::new();
+        gpu(
+            sv(&[&path, "--starts", "32", "--devices", "2", "--iters", "5"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("2x Tesla C2050"));
+        assert!(text.contains("GFLOP/s aggregate"));
+        assert!(text.contains("device 0:"));
+        assert!(text.contains("device 1:"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gpu_rejects_ungenerated_unrolled_shape() {
+        let path = tmp("gpu59.txt");
+        let mut out = Vec::new();
+        random(sv(&["5", "9", "2", "--out", &path]), &mut out).unwrap();
+        let mut out = Vec::new();
+        let err = gpu(sv(&[&path]), &mut out).unwrap_err();
+        assert!(err.contains("no unrolled kernel"), "{err}");
+        // The general variant works.
+        let mut out = Vec::new();
+        gpu(sv(&[&path, "--variant", "general", "--iters", "2", "--starts", "8"]), &mut out)
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tract_traces_over_a_phantom_grid() {
+        let path = tmp("tract.txt");
+        let mut out = Vec::new();
+        phantom(
+            sv(&["--out", &path, "--width", "6", "--height", "4"]),
+            &mut out,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        tract(
+            sv(&[&path, "--width", "6", "--starts", "32", "--seeds", "2"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("tracking 2 seeds over a 6x4 field"), "{text}");
+        assert!(text.contains("length"), "{text}");
+        // Missing width is a clean error.
+        let mut out = Vec::new();
+        let err = tract(sv(&[&path]), &mut out).unwrap_err();
+        assert!(err.contains("--width"));
+        // Non-tiling width is rejected.
+        let mut out = Vec::new();
+        let err = tract(sv(&[&path, "--width", "5"]), &mut out).unwrap_err();
+        assert!(err.contains("do not tile"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decompose_reports_rank_one_structure() {
+        // Write a pure rank-one tensor and decompose it: one term, tiny
+        // residual.
+        let path = tmp("dec.txt");
+        let v = [0.6f64, 0.0, 0.8];
+        let t = symtensor::SymTensor::rank_one(4, &v);
+        let mut f = std::fs::File::create(&path).unwrap();
+        symtensor::io::write_tensor(&mut f, &t).unwrap();
+        drop(f);
+        let mut out = Vec::new();
+        decompose(sv(&[&path, "--terms", "2", "--starts", "32"]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("1 rank-one term(s)"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let mut out = Vec::new();
+        let err = info(sv(&["/definitely/not/here.txt"]), &mut out).unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+
+    #[test]
+    fn bad_shift_rejected() {
+        let path = tmp("shift.txt");
+        let mut out = Vec::new();
+        random(sv(&["3", "3", "1", "--out", &path]), &mut out).unwrap();
+        let mut out = Vec::new();
+        let err = solve(sv(&[&path, "--shift", "sideways"]), &mut out).unwrap_err();
+        assert!(err.contains("invalid --shift"));
+        // Numeric shifts are accepted.
+        let mut out = Vec::new();
+        solve(sv(&[&path, "--shift", "2.5", "--starts", "4"]), &mut out).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_dispatches_and_reports_unknown() {
+        let mut out = Vec::new();
+        assert!(crate::run(sv(&["help"]), &mut out).is_ok());
+        let err = crate::run(sv(&["frobnicate"]), &mut out).unwrap_err();
+        assert!(err.contains("unknown command"));
+        let err = crate::run(vec![], &mut out).unwrap_err();
+        assert!(err.contains("commands:"));
+    }
+}

@@ -1,0 +1,80 @@
+//! # tensor-eig-cli — command-line front end
+//!
+//! Subcommands (see [`run`]):
+//!
+//! * `random <m> <n> <count> --out FILE [--seed S]` — generate tensors;
+//! * `info <file>` — shape/count summary of a tensor file;
+//! * `solve <file> [--starts N] [--shift convex|concave|adaptive|FLOAT]
+//!   [--tol T] [--refine]` — eigenpairs per tensor;
+//! * `phantom --out FILE [--width W --height H --noise X --seed S]` —
+//!   DW-MRI phantom tensors;
+//! * `fibers <file> [--starts N] [--max-fibers K]` — fiber directions;
+//! * `gpu <file> [--starts N] [--variant general|unrolled] [--devices K]
+//!   [--iters I]` — batched solve on the simulated GPU.
+//!
+//! File format: the plain-text format of [`symtensor::io`].
+
+#![deny(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::io::Write;
+
+/// Top-level dispatch. `argv` excludes the program name. Output goes to
+/// `out` so tests can capture it.
+pub fn run(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(usage());
+    };
+    let rest = rest.to_vec();
+    let result: Result<(), String> = match cmd.as_str() {
+        "random" => commands::random(rest, out),
+        "info" => commands::info(rest, out),
+        "solve" => commands::solve(rest, out),
+        "phantom" => commands::phantom(rest, out),
+        "fibers" => commands::fibers(rest, out),
+        "decompose" => commands::decompose(rest, out),
+        "tract" => commands::tract(rest, out),
+        "gpu" => commands::gpu(rest, out),
+        "help" | "--help" | "-h" => {
+            let _ = writeln!(out, "{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    result
+}
+
+/// The usage banner.
+pub fn usage() -> String {
+    "tensor-eig <command> [options]\n\
+     commands:\n\
+     \x20 random <m> <n> <count> --out FILE [--seed S]\n\
+     \x20 info <file>\n\
+     \x20 solve <file> [--starts N] [--shift convex|concave|adaptive|FLOAT] [--tol T] [--refine] [--all]\n\
+     \x20 phantom --out FILE [--width W] [--height H] [--noise X] [--seed S]\n\
+     \x20 fibers <file> [--starts N] [--max-fibers K]\n\
+     \x20 decompose <file> [--terms K] [--starts N] [--tol T]\n\
+     \x20 tract <file> --width W [--height H] [--starts N] [--seeds K]\n\
+     \x20 gpu <file> [--starts N] [--variant general|unrolled] [--devices K] [--iters I]\n\
+     \x20 help"
+        .to_string()
+}
+
+/// Internal command error, stringly typed at the CLI boundary.
+#[derive(Debug)]
+pub struct CmdError(pub String);
+
+impl<E: std::error::Error> From<E> for CmdError {
+    fn from(e: E) -> Self {
+        CmdError(e.to_string())
+    }
+}
+
+impl From<CmdError> for String {
+    fn from(e: CmdError) -> String {
+        e.0
+    }
+}
+

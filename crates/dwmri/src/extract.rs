@@ -1,0 +1,229 @@
+//! Fiber-direction extraction: SS-HOPM multistart → local maxima → axes.
+//!
+//! The eigenpairs of the fitted tensor that are local maxima of `A·gᵐ` on
+//! the sphere (negative-stable, found by convexly-shifted SS-HOPM) are the
+//! fiber directions (Section IV–V of the paper). Because the ADC is
+//! antipodally symmetric and `m` is even, `g` and `−g` describe the same
+//! axis; estimates are canonicalized to a positive leading component.
+
+use crate::fiber::Dir3;
+use sshopm::{multistart, DedupConfig, Shift, SsHopm, Stability};
+use symtensor::SymTensor;
+
+/// Tuning for fiber extraction.
+#[derive(Debug, Clone)]
+pub struct ExtractConfig {
+    /// Starting vectors per tensor (the paper uses 128).
+    pub num_starts: usize,
+    /// SS-HOPM shift policy. The paper uses `α = 0` for its clean synthetic
+    /// set; `Shift::Convex` is the safe default for noisy data.
+    pub shift: Shift,
+    /// Convergence tolerance on the eigenvalue.
+    pub tol: f64,
+    /// Iteration cap per solve.
+    pub max_iters: usize,
+    /// Keep at most this many fibers (strongest eigenvalues first).
+    pub max_fibers: usize,
+    /// Discard maxima whose eigenvalue is below this fraction of the
+    /// largest one (rejects spurious shallow maxima from noise).
+    pub relative_threshold: f64,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        Self {
+            num_starts: 128,
+            shift: Shift::Convex,
+            tol: 1e-10,
+            max_iters: 1000,
+            max_fibers: 3,
+            relative_threshold: 0.5,
+        }
+    }
+}
+
+/// One extracted fiber axis.
+#[derive(Debug, Clone)]
+pub struct FiberEstimate {
+    /// Unit axis, canonicalized so the first nonzero component is positive.
+    pub direction: Dir3,
+    /// The eigenvalue (peak ADC value of the fitted form along the axis).
+    pub lambda: f64,
+    /// Fraction of starting vectors that converged into this basin.
+    pub basin_fraction: f64,
+}
+
+/// Canonicalize an axis: flip sign so the first component with magnitude
+/// above 1e-12 is positive.
+pub fn canonicalize_axis(mut d: Dir3) -> Dir3 {
+    for i in 0..3 {
+        if d[i].abs() > 1e-12 {
+            if d[i] < 0.0 {
+                d = [-d[0], -d[1], -d[2]];
+            }
+            break;
+        }
+    }
+    d
+}
+
+/// Extract fiber directions from a fitted order-`m` (even) tensor.
+///
+/// Runs SS-HOPM from `cfg.num_starts` deterministic Fibonacci-sphere
+/// starts, keeps negative-stable (local-max) eigenpairs, applies the
+/// relative eigenvalue threshold and returns at most `cfg.max_fibers`
+/// estimates, strongest first.
+pub fn extract_fibers(tensor: &SymTensor<f64>, cfg: &ExtractConfig) -> Vec<FiberEstimate> {
+    assert_eq!(tensor.dim(), 3, "fiber extraction is for 3D tensors");
+    let starts = sshopm::starts::fibonacci_sphere::<f64>(cfg.num_starts);
+    let solver = SsHopm::new(cfg.shift)
+        .with_tolerance(cfg.tol)
+        .with_max_iters(cfg.max_iters);
+    let spectrum = multistart(&solver, tensor, &starts, &DedupConfig::default(), 1e-5);
+
+    let mut maxima: Vec<FiberEstimate> = spectrum
+        .entries
+        .iter()
+        .filter(|e| {
+            e.stability == Stability::NegativeStable || e.stability == Stability::Degenerate
+        })
+        .map(|e| FiberEstimate {
+            direction: canonicalize_axis([e.pair.x[0], e.pair.x[1], e.pair.x[2]]),
+            lambda: e.pair.lambda,
+            basin_fraction: e.basin_count as f64 / cfg.num_starts as f64,
+        })
+        .collect();
+
+    // Strongest first; threshold relative to the strongest.
+    maxima.sort_by(|a, b| b.lambda.partial_cmp(&a.lambda).unwrap());
+    if let Some(strongest) = maxima.first().map(|f| f.lambda) {
+        maxima.retain(|f| f.lambda >= cfg.relative_threshold * strongest);
+    }
+    maxima.truncate(cfg.max_fibers);
+    maxima
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adc::{adc, Diffusivities};
+    use crate::fiber::FiberConfig;
+    use crate::fit::fit_tensor;
+    use crate::metrics::angular_error_deg;
+    use crate::sampling::gradient_directions;
+
+    fn fit_config(f: &FiberConfig) -> SymTensor<f64> {
+        let d = Diffusivities::default();
+        let dirs = gradient_directions(30);
+        let vals: Vec<f64> = dirs.iter().map(|g| adc(f, &d, g)).collect();
+        fit_tensor(4, &dirs, &vals).unwrap()
+    }
+
+    #[test]
+    fn single_fiber_is_recovered() {
+        let truth = FiberConfig::single([0.0, 0.6, 0.8]);
+        let tensor = fit_config(&truth);
+        let fibers = extract_fibers(&tensor, &ExtractConfig::default());
+        assert!(!fibers.is_empty());
+        let err = angular_error_deg(&fibers[0].direction, &truth.directions[0]);
+        assert!(err < 1.0, "angular error {err} deg");
+    }
+
+    #[test]
+    fn orthogonal_crossing_yields_two_fibers() {
+        let truth = FiberConfig::crossing([1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let tensor = fit_config(&truth);
+        let fibers = extract_fibers(&tensor, &ExtractConfig::default());
+        assert_eq!(fibers.len(), 2, "{fibers:?}");
+        // Each truth direction matched by some estimate within 2 degrees.
+        for t in &truth.directions {
+            let best = fibers
+                .iter()
+                .map(|f| angular_error_deg(&f.direction, t))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best < 2.0, "direction {t:?} err {best}");
+        }
+    }
+
+    #[test]
+    fn sixty_degree_crossing_resolved_by_order4() {
+        let truth = FiberConfig::crossing_at_angle(60.0f64.to_radians());
+        let tensor = fit_config(&truth);
+        let cfg = ExtractConfig {
+            relative_threshold: 0.7,
+            ..Default::default()
+        };
+        let fibers = extract_fibers(&tensor, &cfg);
+        assert!(
+            fibers.len() >= 2,
+            "60-degree crossing should give two maxima: {fibers:?}"
+        );
+    }
+
+    #[test]
+    fn shallow_crossing_merges_into_one_peak() {
+        // Below the order-4 resolution limit, the two lobes merge: a single
+        // maximum along the bisector.
+        let truth = FiberConfig::crossing_at_angle(20.0f64.to_radians());
+        let tensor = fit_config(&truth);
+        let fibers = extract_fibers(&tensor, &ExtractConfig::default());
+        assert_eq!(fibers.len(), 1, "{fibers:?}");
+        // The merged peak is along the bisector (+x).
+        let err = angular_error_deg(&fibers[0].direction, &[1.0, 0.0, 0.0]);
+        assert!(err < 2.0, "bisector error {err}");
+    }
+
+    #[test]
+    fn estimates_are_sorted_and_canonicalized() {
+        let truth = FiberConfig::new(
+            vec![[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]],
+            vec![0.7, 0.3],
+        );
+        let tensor = fit_config(&truth);
+        let cfg = ExtractConfig {
+            relative_threshold: 0.1,
+            ..Default::default()
+        };
+        let fibers = extract_fibers(&tensor, &cfg);
+        for w in fibers.windows(2) {
+            assert!(w[0].lambda >= w[1].lambda);
+        }
+        for f in &fibers {
+            let first_nonzero = f.direction.iter().find(|v| v.abs() > 1e-12).unwrap();
+            assert!(*first_nonzero > 0.0, "{:?}", f.direction);
+        }
+        // The dominant fiber (weight 0.7) comes first.
+        let err = angular_error_deg(&fibers[0].direction, &[1.0, 0.0, 0.0]);
+        assert!(err < 2.0);
+    }
+
+    #[test]
+    fn basin_fractions_are_sane() {
+        let truth = FiberConfig::single([1.0, 0.0, 0.0]);
+        let tensor = fit_config(&truth);
+        let fibers = extract_fibers(&tensor, &ExtractConfig::default());
+        let total: f64 = fibers.iter().map(|f| f.basin_fraction).sum();
+        assert!(total <= 1.0 + 1e-12);
+        assert!(fibers[0].basin_fraction > 0.3);
+    }
+
+    #[test]
+    fn canonicalize_flips_negative_leading() {
+        assert_eq!(canonicalize_axis([-1.0, 0.0, 0.0]), [1.0, 0.0, 0.0]);
+        assert_eq!(canonicalize_axis([0.0, -0.5, 0.5]), [0.0, 0.5, -0.5]);
+        let z = canonicalize_axis([0.0, 0.0, 1.0]);
+        assert_eq!(z, [0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn max_fibers_cap_is_respected() {
+        let truth = FiberConfig::crossing([1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let tensor = fit_config(&truth);
+        let cfg = ExtractConfig {
+            max_fibers: 1,
+            ..Default::default()
+        };
+        let fibers = extract_fibers(&tensor, &cfg);
+        assert_eq!(fibers.len(), 1);
+    }
+}

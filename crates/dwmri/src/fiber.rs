@@ -1,0 +1,178 @@
+//! Ground-truth fiber configurations for synthetic voxels.
+
+use std::f64::consts::PI;
+
+/// A unit direction in R³.
+pub type Dir3 = [f64; 3];
+
+/// Normalize a direction in place; panics on the zero vector.
+pub fn normalize3(v: &mut Dir3) {
+    let n = (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt();
+    assert!(n > 0.0, "zero direction");
+    v[0] /= n;
+    v[1] /= n;
+    v[2] /= n;
+}
+
+/// The fiber content of one voxel: up to a few fiber bundles, each with a
+/// direction and a volume fraction (weights sum to 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiberConfig {
+    /// Unit fiber directions.
+    pub directions: Vec<Dir3>,
+    /// Volume fractions, same length as `directions`, summing to 1.
+    pub weights: Vec<f64>,
+}
+
+impl FiberConfig {
+    /// A single fiber along `dir` (normalized internally).
+    pub fn single(mut dir: Dir3) -> Self {
+        normalize3(&mut dir);
+        Self {
+            directions: vec![dir],
+            weights: vec![1.0],
+        }
+    }
+
+    /// Two fibers with equal volume fractions.
+    pub fn crossing(mut d1: Dir3, mut d2: Dir3) -> Self {
+        normalize3(&mut d1);
+        normalize3(&mut d2);
+        Self {
+            directions: vec![d1, d2],
+            weights: vec![0.5, 0.5],
+        }
+    }
+
+    /// Arbitrary configuration; weights are normalized to sum to 1.
+    ///
+    /// # Panics
+    /// Panics if lengths differ, the list is empty, or all weights are 0.
+    pub fn new(directions: Vec<Dir3>, mut weights: Vec<f64>) -> Self {
+        assert_eq!(directions.len(), weights.len());
+        assert!(!directions.is_empty());
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        for w in &mut weights {
+            *w /= total;
+        }
+        let mut directions = directions;
+        for d in &mut directions {
+            normalize3(d);
+        }
+        Self {
+            directions,
+            weights,
+        }
+    }
+
+    /// Number of fiber bundles in the voxel.
+    pub fn num_fibers(&self) -> usize {
+        self.directions.len()
+    }
+
+    /// A single fiber in the xy-plane at angle `theta` (radians) from +x.
+    pub fn single_in_plane(theta: f64) -> Self {
+        Self::single([theta.cos(), theta.sin(), 0.0])
+    }
+
+    /// Two fibers in the xy-plane crossing at `angle` (radians), placed
+    /// symmetrically about the x-axis.
+    pub fn crossing_at_angle(angle: f64) -> Self {
+        let half = angle / 2.0;
+        Self::crossing(
+            [half.cos(), half.sin(), 0.0],
+            [half.cos(), -half.sin(), 0.0],
+        )
+    }
+
+    /// Smallest pairwise crossing angle in radians (`None` for single-fiber
+    /// voxels). Antipodal-invariant: directions are axes, not arrows.
+    pub fn min_crossing_angle(&self) -> Option<f64> {
+        let k = self.directions.len();
+        if k < 2 {
+            return None;
+        }
+        let mut min = PI;
+        for i in 0..k {
+            for j in i + 1..k {
+                let d: f64 = self.directions[i]
+                    .iter()
+                    .zip(&self.directions[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                min = min.min(d.abs().clamp(0.0, 1.0).acos());
+            }
+        }
+        Some(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_is_normalized() {
+        let f = FiberConfig::single([3.0, 0.0, 4.0]);
+        assert!((f.directions[0][0] - 0.6).abs() < 1e-12);
+        assert!((f.directions[0][2] - 0.8).abs() < 1e-12);
+        assert_eq!(f.weights, vec![1.0]);
+        assert_eq!(f.num_fibers(), 1);
+        assert!(f.min_crossing_angle().is_none());
+    }
+
+    #[test]
+    fn crossing_has_equal_weights() {
+        let f = FiberConfig::crossing([1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        assert_eq!(f.weights, vec![0.5, 0.5]);
+        assert!((f.min_crossing_angle().unwrap() - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_normalizes_weights() {
+        let f = FiberConfig::new(
+            vec![[1.0, 0.0, 0.0], [0.0, 0.0, 2.0]],
+            vec![2.0, 6.0],
+        );
+        assert!((f.weights[0] - 0.25).abs() < 1e-12);
+        assert!((f.weights[1] - 0.75).abs() < 1e-12);
+        assert!((f.directions[1][2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_at_angle_measures_back() {
+        for deg in [30.0f64, 45.0, 60.0, 90.0] {
+            let f = FiberConfig::crossing_at_angle(deg.to_radians());
+            let got = f.min_crossing_angle().unwrap().to_degrees();
+            assert!((got - deg).abs() < 1e-9, "{deg}: {got}");
+        }
+    }
+
+    #[test]
+    fn min_crossing_angle_is_antipodal_invariant() {
+        let f1 = FiberConfig::crossing([1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let f2 = FiberConfig::crossing([-1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        assert!(
+            (f1.min_crossing_angle().unwrap() - f2.min_crossing_angle().unwrap()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn single_in_plane_at_zero_is_x_axis() {
+        let f = FiberConfig::single_in_plane(0.0);
+        assert!((f.directions[0][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_direction_panics() {
+        FiberConfig::single([0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_config_panics() {
+        FiberConfig::new(vec![], vec![]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # dwmri — synthetic diffusion-weighted MRI fiber detection
+//!
+//! The paper's motivating application (Section IV): detect nerve-fiber
+//! directions in the brain from diffusion-weighted MRI. Each voxel's
+//! apparent diffusion coefficient (ADC) profile `D(g)` on the unit sphere
+//! is approximated by an even-order homogeneous form `D(g) ≈ A·gᵐ` for a
+//! symmetric tensor `A ∈ R^[m,3]`; the local maxima of `D` — i.e. the
+//! negative-stable eigenpairs of `A` — are the fiber directions.
+//!
+//! The original evaluation used a 1024-tensor synthetic set from the
+//! University of Utah SCI Institute which is not distributed; this crate
+//! builds the equivalent phantom from first principles:
+//!
+//! * [`fiber`] — ground-truth fiber configurations per voxel;
+//! * [`adc`] — the multi-compartment ADC model `D(g) = Σ wᵢ·gᵀDᵢg` with
+//!   cigar-shaped per-fiber diffusion matrices;
+//! * [`sampling`] — gradient directions (≥ 15 measurements for `m = 4`);
+//! * [`fit`] — least-squares fit of the packed tensor coefficients;
+//! * [`phantom`] — the 32×32 voxel grid (1024 voxels) mixing single-fiber
+//!   and two-fiber-crossing regions;
+//! * [`extract`] — SS-HOPM multistart + local-maximum filtering to recover
+//!   fiber directions;
+//! * [`metrics`] — angular error and detection-rate scoring.
+
+#![deny(missing_docs)]
+
+pub mod adc;
+pub mod extract;
+pub mod fiber;
+pub mod fit;
+pub mod metrics;
+pub mod noise;
+pub mod phantom;
+pub mod sampling;
+pub mod tract;
+
+pub use extract::{extract_fibers, ExtractConfig, FiberEstimate};
+pub use fiber::FiberConfig;
+pub use fit::fit_tensor;
+pub use metrics::{angular_error_deg, score_voxel, VoxelScore};
+pub use noise::NoiseModel;
+pub use phantom::{Phantom, PhantomConfig, Voxel};
+pub use tract::{trace, FiberField, Streamline, TractConfig};

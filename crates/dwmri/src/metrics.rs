@@ -1,0 +1,225 @@
+//! Scoring: angular errors and per-voxel detection outcomes.
+
+use crate::extract::FiberEstimate;
+use crate::fiber::{Dir3, FiberConfig};
+
+/// Angular error between two axes in degrees, antipodally invariant
+/// (an axis and its negation are the same fiber).
+pub fn angular_error_deg(a: &Dir3, b: &Dir3) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(p, q)| p * q).sum();
+    let na: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let c = (dot / (na * nb)).abs().clamp(0.0, 1.0);
+    c.acos().to_degrees()
+}
+
+/// Per-voxel comparison of estimated fibers against ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VoxelScore {
+    /// Ground-truth fiber count.
+    pub true_count: usize,
+    /// Estimated fiber count.
+    pub found_count: usize,
+    /// Greedy matching: angular error (deg) for each matched truth fiber.
+    pub matched_errors_deg: Vec<f64>,
+    /// Truth fibers with no estimate within the match threshold.
+    pub missed: usize,
+    /// Estimates not matched to any truth fiber.
+    pub spurious: usize,
+}
+
+impl VoxelScore {
+    /// A voxel counts as correctly resolved if every truth fiber is matched
+    /// and there are no spurious detections.
+    pub fn is_correct(&self) -> bool {
+        self.missed == 0 && self.spurious == 0
+    }
+
+    /// Mean matched angular error (`None` if nothing matched).
+    pub fn mean_error_deg(&self) -> Option<f64> {
+        if self.matched_errors_deg.is_empty() {
+            None
+        } else {
+            Some(self.matched_errors_deg.iter().sum::<f64>() / self.matched_errors_deg.len() as f64)
+        }
+    }
+}
+
+/// Score one voxel's estimates against its ground truth with a greedy
+/// nearest-axis matching under `match_threshold_deg`.
+pub fn score_voxel(
+    truth: &FiberConfig,
+    estimates: &[FiberEstimate],
+    match_threshold_deg: f64,
+) -> VoxelScore {
+    let mut available: Vec<bool> = vec![true; estimates.len()];
+    let mut matched_errors = Vec::new();
+    let mut missed = 0usize;
+
+    for t in &truth.directions {
+        // Best available estimate for this truth fiber.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in estimates.iter().enumerate() {
+            if !available[i] {
+                continue;
+            }
+            let err = angular_error_deg(&e.direction, t);
+            if best.is_none_or(|(_, b)| err < b) {
+                best = Some((i, err));
+            }
+        }
+        match best {
+            Some((i, err)) if err <= match_threshold_deg => {
+                available[i] = false;
+                matched_errors.push(err);
+            }
+            _ => missed += 1,
+        }
+    }
+    let spurious = available.iter().filter(|&&a| a).count();
+    VoxelScore {
+        true_count: truth.num_fibers(),
+        found_count: estimates.len(),
+        matched_errors_deg: matched_errors,
+        missed,
+        spurious,
+    }
+}
+
+/// Aggregate statistics over many voxel scores.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetScore {
+    /// Number of voxels scored.
+    pub voxels: usize,
+    /// Voxels fully correct (all fibers matched, none spurious).
+    pub correct: usize,
+    /// Mean angular error over all matches, degrees.
+    pub mean_error_deg: f64,
+    /// Total missed fibers.
+    pub missed: usize,
+    /// Total spurious detections.
+    pub spurious: usize,
+}
+
+impl DatasetScore {
+    /// Aggregate a collection of per-voxel scores.
+    pub fn aggregate(scores: &[VoxelScore]) -> Self {
+        let mut out = DatasetScore {
+            voxels: scores.len(),
+            ..Default::default()
+        };
+        let mut err_sum = 0.0;
+        let mut err_count = 0usize;
+        for s in scores {
+            if s.is_correct() {
+                out.correct += 1;
+            }
+            out.missed += s.missed;
+            out.spurious += s.spurious;
+            err_sum += s.matched_errors_deg.iter().sum::<f64>();
+            err_count += s.matched_errors_deg.len();
+        }
+        out.mean_error_deg = if err_count > 0 {
+            err_sum / err_count as f64
+        } else {
+            0.0
+        };
+        out
+    }
+
+    /// Fraction of voxels fully correct.
+    pub fn accuracy(&self) -> f64 {
+        if self.voxels == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.voxels as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(d: Dir3) -> FiberEstimate {
+        FiberEstimate {
+            direction: d,
+            lambda: 1.0,
+            basin_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn angular_error_basics() {
+        assert!(angular_error_deg(&[1.0, 0.0, 0.0], &[1.0, 0.0, 0.0]) < 1e-9);
+        assert!((angular_error_deg(&[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]) - 90.0).abs() < 1e-9);
+        // Antipodal invariance.
+        assert!(angular_error_deg(&[1.0, 0.0, 0.0], &[-1.0, 0.0, 0.0]) < 1e-9);
+        // Non-unit inputs are normalized.
+        assert!((angular_error_deg(&[2.0, 0.0, 0.0], &[1.0, 1.0, 0.0]) - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_single_fiber_score() {
+        let truth = FiberConfig::single([1.0, 0.0, 0.0]);
+        let score = score_voxel(&truth, &[est([1.0, 0.0, 0.0])], 5.0);
+        assert!(score.is_correct());
+        assert_eq!(score.missed, 0);
+        assert_eq!(score.spurious, 0);
+        assert!(score.mean_error_deg().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn missed_fiber_detected() {
+        let truth = FiberConfig::crossing([1.0, 0.0, 0.0], [0.0, 1.0, 0.0]);
+        let score = score_voxel(&truth, &[est([1.0, 0.0, 0.0])], 5.0);
+        assert_eq!(score.missed, 1);
+        assert_eq!(score.spurious, 0);
+        assert!(!score.is_correct());
+    }
+
+    #[test]
+    fn spurious_estimate_detected() {
+        let truth = FiberConfig::single([1.0, 0.0, 0.0]);
+        let score = score_voxel(&truth, &[est([1.0, 0.0, 0.0]), est([0.0, 0.0, 1.0])], 5.0);
+        assert_eq!(score.spurious, 1);
+        assert!(!score.is_correct());
+    }
+
+    #[test]
+    fn greedy_matching_does_not_double_assign() {
+        // One estimate cannot satisfy two truth fibers.
+        let truth = FiberConfig::crossing([1.0, 0.0, 0.0], [0.96, 0.28, 0.0]);
+        let score = score_voxel(&truth, &[est([1.0, 0.0, 0.0])], 45.0);
+        assert_eq!(score.matched_errors_deg.len(), 1);
+        assert_eq!(score.missed, 1);
+    }
+
+    #[test]
+    fn outside_threshold_is_a_miss_and_spurious() {
+        let truth = FiberConfig::single([1.0, 0.0, 0.0]);
+        let score = score_voxel(&truth, &[est([0.0, 0.0, 1.0])], 5.0);
+        assert_eq!(score.missed, 1);
+        assert_eq!(score.spurious, 1);
+        assert!(score.mean_error_deg().is_none());
+    }
+
+    #[test]
+    fn aggregate_accuracy() {
+        let truth = FiberConfig::single([1.0, 0.0, 0.0]);
+        let good = score_voxel(&truth, &[est([1.0, 0.0, 0.0])], 5.0);
+        let bad = score_voxel(&truth, &[], 5.0);
+        let agg = DatasetScore::aggregate(&[good.clone(), good, bad]);
+        assert_eq!(agg.voxels, 3);
+        assert_eq!(agg.correct, 2);
+        assert!((agg.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(agg.missed, 1);
+    }
+
+    #[test]
+    fn empty_aggregate() {
+        let agg = DatasetScore::aggregate(&[]);
+        assert_eq!(agg.accuracy(), 0.0);
+        assert_eq!(agg.voxels, 0);
+    }
+}

@@ -1,0 +1,298 @@
+//! The synthetic voxel grid: our stand-in for the Utah SCI test set.
+//!
+//! The paper's set: 1024 order-4, dimension-3 tensors on a 2D voxel grid,
+//! some voxels with one fiber direction and some with two. This phantom
+//! reproduces that structure on a 32×32 grid split into regions:
+//!
+//! * a **single-fiber field** whose orientation rotates smoothly across
+//!   the region (like a bending tract);
+//! * a **crossing region** where a second tract passes through at
+//!   60–90°;
+//! * measurement noise at a configurable level.
+//!
+//! Each voxel's tensor comes from the full acquisition pipeline:
+//! ADC model → gradient sampling → least-squares fit.
+
+use crate::adc::{adc, Diffusivities};
+use crate::fiber::FiberConfig;
+use crate::noise::NoiseModel;
+use crate::fit::fit_tensor;
+use crate::sampling::gradient_directions;
+use rand::Rng;
+use rayon::prelude::*;
+use symtensor::SymTensor;
+
+/// Phantom generation parameters.
+#[derive(Debug, Clone)]
+pub struct PhantomConfig {
+    /// Grid width (voxels).
+    pub width: usize,
+    /// Grid height (voxels).
+    pub height: usize,
+    /// Tensor order (even; the paper uses 4).
+    pub order: usize,
+    /// Number of gradient directions in the acquisition.
+    pub num_gradients: usize,
+    /// Measurement-noise model applied to each ADC sample.
+    pub noise: NoiseModel,
+    /// Per-fiber diffusivities.
+    pub diffusivities: Diffusivities,
+    /// Crossing angle in the two-fiber region, radians.
+    pub crossing_angle: f64,
+}
+
+impl Default for PhantomConfig {
+    fn default() -> Self {
+        Self {
+            width: 32,
+            height: 32,
+            order: 4,
+            num_gradients: 30,
+            noise: NoiseModel::None,
+            diffusivities: Diffusivities::default(),
+            crossing_angle: 75.0f64.to_radians(),
+        }
+    }
+}
+
+/// One voxel: ground truth plus the fitted tensor.
+#[derive(Debug, Clone)]
+pub struct Voxel {
+    /// Grid coordinates.
+    pub x: usize,
+    /// Grid coordinates.
+    pub y: usize,
+    /// Ground-truth fiber content.
+    pub truth: FiberConfig,
+    /// The tensor fitted from the (noisy) synthetic measurements.
+    pub tensor: SymTensor<f64>,
+}
+
+/// The generated phantom.
+#[derive(Debug, Clone)]
+pub struct Phantom {
+    /// Generation parameters.
+    pub config: PhantomConfig,
+    /// Voxels in row-major order (`y * width + x`).
+    pub voxels: Vec<Voxel>,
+}
+
+impl Phantom {
+    /// Generate the phantom. Voxel fits run in parallel.
+    ///
+    /// The lower-left/"background" region carries a single tract whose
+    /// in-plane angle varies smoothly with position; voxels inside the
+    /// central band additionally carry a second tract at
+    /// `config.crossing_angle`, making them two-fiber voxels.
+    pub fn generate<R: Rng>(config: PhantomConfig, rng: &mut R) -> Phantom {
+        assert!(config.order.is_multiple_of(2), "tensor order must be even");
+        let dirs = gradient_directions(config.num_gradients);
+        // Pre-draw per-voxel noise seeds so generation parallelizes
+        // deterministically given the caller's RNG.
+        let noise_seeds: Vec<u64> = (0..config.width * config.height)
+            .map(|_| rng.gen())
+            .collect();
+
+        let voxels: Vec<Voxel> = (0..config.width * config.height)
+            .into_par_iter()
+            .map(|idx| {
+                let x = idx % config.width;
+                let y = idx / config.width;
+                let truth = Self::truth_for(&config, x, y);
+                let mut local = rand_pcg(noise_seeds[idx]);
+                let vals: Vec<f64> = dirs
+                    .iter()
+                    .map(|g| {
+                        let clean = adc(&truth, &config.diffusivities, g);
+                        config.noise.apply(clean, local(), local())
+                    })
+                    .collect();
+                let tensor = fit_tensor(config.order, &dirs, &vals)
+                    .expect("phantom design matrix is well conditioned");
+                Voxel { x, y, truth, tensor }
+            })
+            .collect();
+        Phantom { config, voxels }
+    }
+
+    /// Ground-truth fiber content of voxel `(x, y)`.
+    fn truth_for(config: &PhantomConfig, x: usize, y: usize) -> FiberConfig {
+        let fx = x as f64 / config.width.max(1) as f64;
+        let fy = y as f64 / config.height.max(1) as f64;
+        // Primary tract: gently bending in-plane orientation.
+        let theta = 0.4 * (fx - 0.5) + 0.25 * (fy - 0.5);
+        // Central horizontal band hosts the crossing tract.
+        let in_crossing_band = (0.375..0.625).contains(&fy);
+        if in_crossing_band {
+            let phi = theta + config.crossing_angle;
+            FiberConfig::new(
+                vec![
+                    [theta.cos(), theta.sin(), 0.0],
+                    [phi.cos(), phi.sin(), 0.0],
+                ],
+                vec![0.5, 0.5],
+            )
+        } else {
+            FiberConfig::single([theta.cos(), theta.sin(), 0.0])
+        }
+    }
+
+    /// Number of voxels.
+    pub fn len(&self) -> usize {
+        self.voxels.len()
+    }
+
+    /// True if the phantom has no voxels.
+    pub fn is_empty(&self) -> bool {
+        self.voxels.is_empty()
+    }
+
+    /// The tensors alone, in row-major voxel order (the batch-solver
+    /// input shape).
+    pub fn tensors(&self) -> Vec<SymTensor<f64>> {
+        self.voxels.iter().map(|v| v.tensor.clone()).collect()
+    }
+
+    /// The tensors converted to `f32` (the precision the paper's GPU
+    /// benchmarks use).
+    pub fn tensors_f32(&self) -> Vec<SymTensor<f32>> {
+        self.voxels.iter().map(|v| v.tensor.to_f32()).collect()
+    }
+
+    /// Count of voxels with the given number of true fibers.
+    pub fn count_with_fibers(&self, k: usize) -> usize {
+        self.voxels.iter().filter(|v| v.truth.num_fibers() == k).count()
+    }
+}
+
+/// A tiny deterministic PCG32 so each voxel gets reproducible noise from a
+/// single seed without threading `rand` state through rayon.
+fn rand_pcg(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+        let rot = (state >> 59) as u32;
+        let out = xorshifted.rotate_right(rot);
+        out as f64 / u32::MAX as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> PhantomConfig {
+        PhantomConfig {
+            width: 8,
+            height: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn paper_sized_phantom_has_1024_voxels() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Phantom::generate(PhantomConfig::default(), &mut rng);
+        assert_eq!(p.len(), 1024);
+        assert!(!p.is_empty());
+        // Mix of one- and two-fiber voxels, as in the Utah set.
+        assert!(p.count_with_fibers(1) > 0);
+        assert!(p.count_with_fibers(2) > 0);
+        assert_eq!(p.count_with_fibers(1) + p.count_with_fibers(2), 1024);
+    }
+
+    #[test]
+    fn tensors_have_paper_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = Phantom::generate(small_config(), &mut rng);
+        for v in &p.voxels {
+            assert_eq!(v.tensor.order(), 4);
+            assert_eq!(v.tensor.dim(), 3);
+            assert_eq!(v.tensor.num_unique(), 15);
+        }
+        let t32 = p.tensors_f32();
+        assert_eq!(t32.len(), 64);
+    }
+
+    #[test]
+    fn crossing_band_voxels_have_two_fibers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = Phantom::generate(small_config(), &mut rng);
+        // y in [3, 4] of 8 → fy in [0.375, 0.625).
+        for v in &p.voxels {
+            let fy = v.y as f64 / 8.0;
+            let expected = if (0.375..0.625).contains(&fy) { 2 } else { 1 };
+            assert_eq!(v.truth.num_fibers(), expected, "voxel ({}, {})", v.x, v.y);
+        }
+    }
+
+    #[test]
+    fn noiseless_fit_reproduces_adc() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = Phantom::generate(small_config(), &mut rng);
+        let dirs = gradient_directions(11);
+        for v in p.voxels.iter().step_by(13) {
+            for g in &dirs {
+                let want = adc(&v.truth, &p.config.diffusivities, g);
+                let got = crate::fit::evaluate(&v.tensor, g);
+                assert!((got - want).abs() < 1e-7, "voxel ({}, {})", v.x, v.y);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut rng1 = StdRng::seed_from_u64(5);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let cfg = PhantomConfig {
+            noise: NoiseModel::Multiplicative { amplitude: 0.05 },
+            ..small_config()
+        };
+        let p1 = Phantom::generate(cfg.clone(), &mut rng1);
+        let p2 = Phantom::generate(cfg, &mut rng2);
+        for (a, b) in p1.voxels.iter().zip(&p2.voxels) {
+            assert_eq!(a.tensor.values(), b.tensor.values());
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_but_does_not_destroy() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let clean = Phantom::generate(small_config(), &mut rng);
+        let mut rng = StdRng::seed_from_u64(6);
+        let noisy = Phantom::generate(
+            PhantomConfig {
+                noise: NoiseModel::Multiplicative { amplitude: 0.05 },
+                ..small_config()
+            },
+            &mut rng,
+        );
+        let mut any_diff = false;
+        for (a, b) in clean.voxels.iter().zip(&noisy.voxels) {
+            let d = a.tensor.max_abs_diff(&b.tensor).unwrap();
+            if d > 1e-12 {
+                any_diff = true;
+            }
+            assert!(d < 0.5, "noise should be a perturbation, got {d}");
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_order_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        Phantom::generate(
+            PhantomConfig {
+                order: 3,
+                ..small_config()
+            },
+            &mut rng,
+        );
+    }
+}

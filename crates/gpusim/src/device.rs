@@ -1,0 +1,158 @@
+//! Device specifications for the analytic model.
+//!
+//! The constants for the Tesla C2050 are the published Fermi numbers; the
+//! paper quotes its single-precision peak as 1030 GFLOPS, which the spec
+//! reproduces as `2 flops/FMA × 448 cores × 1.15 GHz`.
+
+/// Static hardware parameters of a simulated GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, for reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Scalar cores ("CUDA cores") per SM.
+    pub cores_per_sm: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Threads per warp (32 on every NVIDIA architecture).
+    pub warp_size: usize,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: usize,
+    /// Hardware cap on registers per thread.
+    pub max_registers_per_thread: usize,
+    /// Shared memory per SM, bytes.
+    pub shared_mem_per_sm: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: usize,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: usize,
+    /// Maximum threads per block.
+    pub max_threads_per_block: usize,
+    /// Global memory bandwidth, GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Global memory latency in core cycles (used to derive how much
+    /// occupancy is needed to hide it).
+    pub mem_latency_cycles: f64,
+    /// Warp instructions issued per SM per cycle (Fermi: two schedulers,
+    /// but one 32-wide FP pipe — effectively 1 FP warp instruction/cycle).
+    pub issue_rate: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA Tesla C2050 (Fermi GF100), the paper's platform.
+    pub fn tesla_c2050() -> Self {
+        Self {
+            name: "Tesla C2050 (Fermi)",
+            num_sms: 14,
+            cores_per_sm: 32,
+            clock_ghz: 1.15,
+            warp_size: 32,
+            registers_per_sm: 32768,
+            max_registers_per_thread: 63,
+            shared_mem_per_sm: 48 * 1024,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 1024,
+            mem_bandwidth_gbs: 144.0,
+            mem_latency_cycles: 600.0,
+            issue_rate: 1.0,
+        }
+    }
+
+    /// A GT200-class part (Tesla C1060 era): one of the paper's "two other
+    /// NVIDIA GPUs" with similar relative behaviour at smaller scale.
+    pub fn tesla_c1060() -> Self {
+        Self {
+            name: "Tesla C1060 (GT200)",
+            num_sms: 30,
+            cores_per_sm: 8,
+            clock_ghz: 1.296,
+            warp_size: 32,
+            registers_per_sm: 16384,
+            max_registers_per_thread: 124,
+            shared_mem_per_sm: 16 * 1024,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 512,
+            mem_bandwidth_gbs: 102.0,
+            mem_latency_cycles: 550.0,
+            issue_rate: 0.25, // 8 cores serve a 32-wide warp in 4 cycles
+        }
+    }
+
+    /// A GF110-class consumer part (GTX 580 era), the faster sibling.
+    pub fn gtx_580() -> Self {
+        Self {
+            name: "GeForce GTX 580 (GF110)",
+            num_sms: 16,
+            cores_per_sm: 32,
+            clock_ghz: 1.544,
+            warp_size: 32,
+            registers_per_sm: 32768,
+            max_registers_per_thread: 63,
+            shared_mem_per_sm: 48 * 1024,
+            max_threads_per_sm: 1536,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 1024,
+            mem_bandwidth_gbs: 192.4,
+            mem_latency_cycles: 600.0,
+            issue_rate: 1.0,
+        }
+    }
+
+    /// Peak single-precision throughput in GFLOP/s, counting FMA as two
+    /// flops: `2 × cores × clock`.
+    pub fn peak_sp_gflops(&self) -> f64 {
+        2.0 * (self.num_sms * self.cores_per_sm) as f64 * self.clock_ghz
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> usize {
+        self.max_threads_per_sm / self.warp_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2050_peak_matches_paper_quote() {
+        // The paper: "single precision peak performance of 1030 GFLOPS".
+        let d = DeviceSpec::tesla_c2050();
+        assert!((d.peak_sp_gflops() - 1030.4).abs() < 0.5, "{}", d.peak_sp_gflops());
+    }
+
+    #[test]
+    fn c2050_warp_capacity() {
+        let d = DeviceSpec::tesla_c2050();
+        assert_eq!(d.max_warps_per_sm(), 48);
+        assert_eq!(d.num_sms * d.cores_per_sm, 448);
+    }
+
+    #[test]
+    fn c1060_is_slower_than_c2050() {
+        assert!(DeviceSpec::tesla_c1060().peak_sp_gflops() < DeviceSpec::tesla_c2050().peak_sp_gflops());
+    }
+
+    #[test]
+    fn gtx580_is_faster_than_c2050() {
+        assert!(DeviceSpec::gtx_580().peak_sp_gflops() > DeviceSpec::tesla_c2050().peak_sp_gflops());
+    }
+
+    #[test]
+    fn presets_have_sane_limits() {
+        for d in [
+            DeviceSpec::tesla_c2050(),
+            DeviceSpec::tesla_c1060(),
+            DeviceSpec::gtx_580(),
+        ] {
+            assert_eq!(d.warp_size, 32);
+            assert!(d.max_threads_per_sm % d.warp_size == 0);
+            assert!(d.max_threads_per_block <= d.max_threads_per_sm);
+            assert!(d.mem_bandwidth_gbs > 0.0);
+            assert!(d.issue_rate > 0.0);
+        }
+    }
+}

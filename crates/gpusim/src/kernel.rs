@@ -1,0 +1,449 @@
+//! The batched SS-HOPM kernels mapped onto the simulated GPU exactly as in
+//! Section V of the paper: one thread block per tensor, one thread per
+//! starting vector, the packed tensor staged into block-shared memory, the
+//! iteration vectors in per-thread registers.
+//!
+//! Two kernel variants mirror the paper's:
+//!
+//! * **Unrolled** — straight-line kernels (from the `unrolled` crate);
+//!   `x`/`y` live in registers, coefficients are compile-time constants.
+//! * **General** — the Figure 2/3 loops with shared index/coefficient
+//!   tables. Crucially, the dynamically-indexed iteration vectors cannot
+//!   live in the register file (on a real GPU a dynamically indexed local
+//!   array spills to *local memory*, which is device memory); the model
+//!   charges those accesses as global traffic with an issue-slot penalty.
+//!   This is the indirection the paper's Section V-D unrolling removes and
+//!   is the main source of its 18.7× GPU unrolled speedup.
+//!
+//! The numerics are computed by the *real* library kernels, so the
+//! functional results agree bit-for-bit with the CPU implementations built
+//! on the same scalar type.
+
+use crate::counters::OpCounters;
+use crate::device::DeviceSpec;
+use crate::exec::{run_grid, GridConfig, LaunchStats, ThreadRecord};
+use crate::occupancy::{KernelResources, Occupancy};
+use crate::timing::{estimate, weights, TimingEstimate};
+use sshopm::{Eigenpair, IterationPolicy, SsHopm};
+use symtensor::flops;
+use symtensor::kernels::GeneralKernels;
+use symtensor::multinomial::num_unique_entries;
+use symtensor::{Scalar, SymTensor};
+use unrolled::UnrolledKernels;
+
+/// Which kernel variant to launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuVariant {
+    /// Figure 2/3 loop kernels with shared tables (works for any shape).
+    General,
+    /// Straight-line generated kernels (only for generated shapes).
+    Unrolled,
+}
+
+impl GpuVariant {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GpuVariant::General => "general",
+            GpuVariant::Unrolled => "unrolled",
+        }
+    }
+}
+
+/// Per-thread, per-iteration operation counts for a given shape and
+/// variant. These are analytic counts of exactly what the corresponding
+/// kernel executes per SS-HOPM iteration; the functional run multiplies
+/// them by each thread's actual iteration count.
+fn per_iteration_counters(m: usize, n: usize, variant: GpuVariant) -> OpCounters {
+    let u = num_unique_entries(m, n);
+    let inc = flops::distinct_incidences(m, n);
+    let (m64, n64) = (m as u64, n as u64);
+
+    let mut c = OpCounters::default();
+    // A·x^{m-1}: per (class, distinct index) incidence — monomial product
+    // (m-2 muls), coefficient and value multiplies, one accumulate.
+    c.fmul += inc * m64;
+    c.fadd += inc;
+    // shift-add alpha*x and the lambda = A·x^m evaluation.
+    c.ffma += n64; // y += alpha * x
+    c.fmul += u * (m64 + 1); // monomial + coeff + value per class
+    c.fadd += u;
+    // normalization: sum of squares (ffma), sqrt, divide by the norm.
+    c.ffma += n64;
+    c.fsqrt += 1;
+    c.fdiv += n64;
+    // Tensor reads from shared memory: one per class for A·x^m, one per
+    // incidence for A·x^{m-1}.
+    c.shared_loads += u + inc;
+
+    match variant {
+        GpuVariant::Unrolled => {
+            // Index information folded into the instruction stream: no
+            // integer bookkeeping, vectors in registers.
+        }
+        GpuVariant::General => {
+            // UPDATEINDEX + MULTINOMIAL passes: O(m) integer work per class
+            // for A·x^m and per incidence for A·x^{m-1}.
+            c.int_ops += u * 2 * m64 + inc * 2 * m64;
+            // Index representations read from the shared tables.
+            c.shared_loads += u * m64 + inc * m64;
+            // Dynamically-indexed x/y cannot stay in registers: local
+            // (= device) memory traffic. Per class, A·x^m reads x m times;
+            // per incidence, A·x^{m-1} reads x (m-1) times and
+            // reads+writes y once each.
+            c.global_loads += u * m64 + inc * (m64 - 1) + inc;
+            c.global_stores += inc;
+        }
+    }
+    c
+}
+
+/// Issue-slot weight of one iteration's instructions (divergence-aware
+/// warp accounting multiplies this by the slowest lane's iteration count).
+fn per_iteration_weight(c: &OpCounters) -> u64 {
+    c.fadd + c.fmul + c.ffma + c.int_ops
+        + weights::FDIV * c.fdiv
+        + weights::FSQRT * c.fsqrt
+        + weights::SHARED * c.shared_accesses()
+        // Local-memory (spilled vector) accesses cost several issue slots
+        // even when the latency itself is hidden.
+        + 4 * c.global_words()
+}
+
+/// Functional results of a GPU launch: `results[t][v]` is the eigenpair for
+/// tensor `t` from start `v` (identical layout to `sshopm::BatchResult`).
+#[derive(Debug, Clone)]
+pub struct GpuBatchResult<S> {
+    /// Per-tensor, per-start eigenpairs.
+    pub results: Vec<Vec<Eigenpair<S>>>,
+}
+
+/// Everything the launch reports besides the numerics.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Kernel variant launched.
+    pub variant: GpuVariant,
+    /// Grid geometry.
+    pub grid: GridConfig,
+    /// Static resource footprint used for occupancy.
+    pub resources: KernelResources,
+    /// Occupancy on the target device.
+    pub occupancy: Occupancy,
+    /// Aggregated functional statistics.
+    pub stats: LaunchStats,
+    /// Useful floating-point operations executed.
+    pub useful_flops: u64,
+    /// The timing estimate.
+    pub timing: TimingEstimate,
+    /// Estimated achieved GFLOP/s.
+    pub gflops: f64,
+}
+
+/// Launch the batched SS-HOPM problem on the simulated device.
+///
+/// Every tensor must have the same shape. Starting vectors are shared by
+/// all blocks (Section V-C). Returns the functional results plus the
+/// performance report.
+///
+/// # Panics
+/// Panics if `tensors` is empty, shapes are inconsistent, or the unrolled
+/// variant is requested for a shape with no generated kernel.
+pub fn launch_sshopm<S: Scalar>(
+    device: &DeviceSpec,
+    tensors: &[SymTensor<S>],
+    starts: &[Vec<S>],
+    policy: IterationPolicy,
+    alpha: f64,
+    variant: GpuVariant,
+) -> (GpuBatchResult<S>, LaunchReport) {
+    assert!(!tensors.is_empty(), "need at least one tensor");
+    assert!(!starts.is_empty(), "need at least one starting vector");
+    let m = tensors[0].order();
+    let n = tensors[0].dim();
+    assert!(
+        tensors.iter().all(|t| t.order() == m && t.dim() == n),
+        "all tensors must share one shape"
+    );
+
+    let grid = GridConfig {
+        num_blocks: tensors.len(),
+        threads_per_block: starts.len(),
+        warp_size: device.warp_size,
+    };
+    let resources = KernelResources::sshopm(m, n, starts.len(), variant == GpuVariant::Unrolled);
+    let occupancy = Occupancy::compute(device, &resources);
+
+    let solver = SsHopm::new(sshopm::Shift::Fixed(alpha)).with_policy(policy);
+    let unrolled_kernels = UnrolledKernels::for_shape(m, n);
+    if variant == GpuVariant::Unrolled {
+        assert!(
+            unrolled_kernels.is_some(),
+            "no unrolled kernel generated for shape ({m},{n})"
+        );
+    }
+
+    let iter_counters = per_iteration_counters(m, n, variant);
+    let iter_weight = per_iteration_weight(&iter_counters);
+    let u = num_unique_entries(m, n);
+
+    let (results, stats) = run_grid(grid, |block| {
+        let tensor = &tensors[block];
+        // Cooperative staging of the tensor (and, for the general variant,
+        // the index/coefficient tables) from global into shared memory.
+        let table_words = match variant {
+            GpuVariant::General => u * m as u64 + u, // index reps + coeffs
+            GpuVariant::Unrolled => 0,
+        };
+        // Consecutive threads load consecutive words: fully coalesced, so
+        // the word count is the traffic (transactions only round up).
+        let staging = OpCounters {
+            global_loads: u + table_words,
+            shared_stores: u + table_words,
+            ..Default::default()
+        };
+
+        let records: Vec<ThreadRecord<Eigenpair<S>>> = starts
+            .iter()
+            .map(|x0| {
+                let pair = match (variant, unrolled_kernels.as_ref()) {
+                    (GpuVariant::Unrolled, Some(k)) => solver.solve_with(k, tensor, x0),
+                    _ => solver.solve_with(&GeneralKernels, tensor, x0),
+                };
+                // Scale the per-iteration counts by this thread's actual
+                // iteration count.
+                let iters = pair.iterations as u64;
+                let mut counters = OpCounters {
+                    fadd: iter_counters.fadd * iters,
+                    fmul: iter_counters.fmul * iters,
+                    ffma: iter_counters.ffma * iters,
+                    fdiv: iter_counters.fdiv * iters,
+                    fsqrt: iter_counters.fsqrt * iters,
+                    int_ops: iter_counters.int_ops * iters,
+                    shared_loads: iter_counters.shared_loads * iters,
+                    shared_stores: iter_counters.shared_stores * iters,
+                    global_loads: iter_counters.global_loads * iters,
+                    global_stores: iter_counters.global_stores * iters,
+                };
+                // Final eigenvector/eigenvalue write-back to global memory.
+                counters.global_stores += n as u64 + 1;
+                ThreadRecord {
+                    weighted_instructions: iter_weight * iters,
+                    counters,
+                    output: pair,
+                }
+            })
+            .collect();
+        (records, staging)
+    });
+
+    let useful_flops = stats.counters.useful_flops();
+    let timing = estimate(device, grid.num_blocks, &stats, &occupancy);
+    let gflops = timing.gflops(useful_flops);
+
+    (
+        GpuBatchResult { results },
+        LaunchReport {
+            variant,
+            grid,
+            resources,
+            occupancy,
+            stats,
+            useful_flops,
+            timing,
+            gflops,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sshopm::starts::random_uniform_starts;
+    use sshopm::BatchSolver;
+
+    fn workload(t: usize, v: usize, seed: u64) -> (Vec<SymTensor<f32>>, Vec<Vec<f32>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tensors = (0..t).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
+        let starts = random_uniform_starts(3, v, &mut rng);
+        (tensors, starts)
+    }
+
+    #[test]
+    fn gpu_results_match_cpu_batch_exactly() {
+        let (tensors, starts) = workload(8, 32, 1);
+        let policy = IterationPolicy::Fixed(20);
+        let device = DeviceSpec::tesla_c2050();
+        let (gpu, _) = launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::General);
+        let cpu = BatchSolver::new(SsHopm::new(sshopm::Shift::Fixed(0.0)).with_policy(policy))
+            .solve_sequential(&GeneralKernels, &tensors, &starts);
+        for t in 0..8 {
+            for v in 0..32 {
+                assert_eq!(gpu.results[t][v].lambda, cpu.results[t][v].lambda);
+                assert_eq!(gpu.results[t][v].x, cpu.results[t][v].x);
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_variant_matches_unrolled_cpu() {
+        let (tensors, starts) = workload(4, 32, 2);
+        let policy = IterationPolicy::Fixed(15);
+        let device = DeviceSpec::tesla_c2050();
+        let (gpu, _) =
+            launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+        let k = UnrolledKernels::for_shape(4, 3).unwrap();
+        let cpu = BatchSolver::new(SsHopm::new(sshopm::Shift::Fixed(0.0)).with_policy(policy))
+            .solve_sequential(&k, &tensors, &starts);
+        for t in 0..4 {
+            for v in 0..32 {
+                assert_eq!(gpu.results[t][v].lambda, cpu.results[t][v].lambda);
+            }
+        }
+    }
+
+    #[test]
+    fn unrolled_is_faster_than_general() {
+        let (tensors, starts) = workload(64, 128, 3);
+        let policy = IterationPolicy::Fixed(20);
+        let device = DeviceSpec::tesla_c2050();
+        let (_, general) =
+            launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::General);
+        let (_, unrolled) =
+            launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+        // Paper Table III(a): 18.7x on the GPU. The model should show a
+        // large multiple (>4x) without hand-tuning to the exact figure.
+        let speedup = general.timing.seconds / unrolled.timing.seconds;
+        assert!(speedup > 4.0, "unrolled speedup only {speedup:.2}x");
+        assert!(unrolled.gflops > general.gflops);
+    }
+
+    #[test]
+    fn achieved_gflops_is_a_plausible_fraction_of_peak() {
+        let (tensors, starts) = workload(1024, 128, 4);
+        let policy = IterationPolicy::Fixed(20);
+        let device = DeviceSpec::tesla_c2050();
+        let (_, report) =
+            launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+        let frac = report.gflops / device.peak_sp_gflops();
+        // Paper: 31% of peak. Accept a generous band around it.
+        assert!(
+            (0.1..=0.6).contains(&frac),
+            "achieved fraction {frac:.3} ({:.1} GFLOPS)",
+            report.gflops
+        );
+    }
+
+    #[test]
+    fn throughput_ramps_with_problem_size_then_saturates() {
+        // Figure 5's GPU curve: small T underutilizes the device.
+        let policy = IterationPolicy::Fixed(20);
+        let device = DeviceSpec::tesla_c2050();
+        let mut last = 0.0;
+        let mut series = Vec::new();
+        for t in [1usize, 4, 16, 64, 256, 1024] {
+            let (tensors, starts) = workload(t, 128, 5);
+            let (_, report) =
+                launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+            series.push((t, report.gflops));
+            assert!(
+                report.gflops >= last * 0.95,
+                "throughput should not collapse as T grows: {series:?}"
+            );
+            last = report.gflops;
+        }
+        // Saturation: the last doubling gains little.
+        let g256 = series[4].1;
+        let g1024 = series[5].1;
+        assert!(g1024 < g256 * 1.5, "{series:?}");
+        // Ramp: 1024 tensors much faster than 1.
+        assert!(g1024 > series[0].1 * 5.0, "{series:?}");
+    }
+
+    #[test]
+    fn divergence_costs_show_up_with_convergence_policy() {
+        let (tensors, starts) = workload(16, 64, 6);
+        let device = DeviceSpec::tesla_c2050();
+        let policy = IterationPolicy::Converge {
+            tol: 1e-6,
+            max_iters: 500,
+        };
+        let (_, report) =
+            launch_sshopm(&device, &tensors, &starts, policy, 0.2, GpuVariant::Unrolled);
+        // Different threads converge at different iterations: SIMD
+        // efficiency strictly below 1.
+        let eff = report.stats.simd_efficiency(32);
+        assert!(eff < 1.0, "expected divergence, got efficiency {eff}");
+        assert!(eff > 0.1, "efficiency implausibly low: {eff}");
+    }
+
+    #[test]
+    fn report_carries_consistent_metadata() {
+        let (tensors, starts) = workload(10, 32, 7);
+        let device = DeviceSpec::tesla_c2050();
+        let (res, report) = launch_sshopm(
+            &device,
+            &tensors,
+            &starts,
+            IterationPolicy::Fixed(5),
+            0.0,
+            GpuVariant::General,
+        );
+        assert_eq!(res.results.len(), 10);
+        assert_eq!(res.results[0].len(), 32);
+        assert_eq!(report.grid.num_blocks, 10);
+        assert_eq!(report.grid.threads_per_block, 32);
+        assert_eq!(report.variant.name(), "general");
+        assert!(report.useful_flops > 0);
+        assert!(report.gflops > 0.0);
+        assert!(report.occupancy.blocks_per_sm > 0);
+    }
+
+    #[test]
+    fn general_variant_moves_local_memory_traffic() {
+        let (tensors, starts) = workload(8, 32, 8);
+        let device = DeviceSpec::tesla_c2050();
+        let policy = IterationPolicy::Fixed(10);
+        let (_, g) = launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::General);
+        let (_, u) = launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+        assert!(g.stats.counters.global_words() > 10 * u.stats.counters.global_words());
+    }
+
+    #[test]
+    #[should_panic]
+    fn unrolled_panics_for_ungenerated_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let tensors = vec![SymTensor::<f32>::random(5, 5, &mut rng)];
+        let starts = random_uniform_starts(5, 32, &mut rng);
+        let device = DeviceSpec::tesla_c2050();
+        let _ = launch_sshopm(
+            &device,
+            &tensors,
+            &starts,
+            IterationPolicy::Fixed(5),
+            0.0,
+            GpuVariant::Unrolled,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixed_shapes_panic() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let tensors = vec![
+            SymTensor::<f32>::random(4, 3, &mut rng),
+            SymTensor::<f32>::random(3, 3, &mut rng),
+        ];
+        let starts = random_uniform_starts(3, 32, &mut rng);
+        let device = DeviceSpec::tesla_c2050();
+        let _ = launch_sshopm(
+            &device,
+            &tensors,
+            &starts,
+            IterationPolicy::Fixed(5),
+            0.0,
+            GpuVariant::General,
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! # gpusim — a functional + analytic SIMT GPU simulator
+//!
+//! The paper's evaluation platform is an NVIDIA Tesla C2050 (Fermi) driven
+//! by CUDA. Rust cannot target that stack here, so this crate substitutes a
+//! simulator with two halves that together preserve the *behaviour* the
+//! paper's numbers depend on:
+//!
+//! 1. **Functional execution** ([`exec`], [`kernel`]): the exact thread
+//!    organization of Section V-B — one thread block per tensor, one thread
+//!    per starting vector, the tensor staged into block-shared memory, the
+//!    iteration vectors in per-thread "registers" — executed faithfully
+//!    (blocks in parallel via rayon, warps in lockstep with divergence
+//!    tracking) and instrumented with operation counters.
+//! 2. **Analytic timing** ([`timing`], [`occupancy`], [`device`]): a
+//!    Fermi-class performance model that converts counted warp instructions
+//!    and memory transactions into estimated cycles, limited by occupancy
+//!    (register file and shared-memory pressure — the effect behind the
+//!    paper's Section V-E observation that performance drops past order 4 /
+//!    dimension 5).
+//!
+//! The model is deliberately simple and fully documented; it is calibrated
+//! so the *shape* of the paper's results (GPU ≫ CPU, unrolled ≫ general,
+//! saturation once the device fills) is reproduced, not the absolute 2011
+//! milliseconds.
+
+#![deny(missing_docs)]
+
+pub mod counters;
+pub mod device;
+pub mod exec;
+pub mod kernel;
+pub mod memory;
+pub mod multi;
+pub mod occupancy;
+pub mod timing;
+
+pub use counters::OpCounters;
+pub use device::DeviceSpec;
+pub use exec::{GridConfig, LaunchStats};
+pub use kernel::{launch_sshopm, GpuBatchResult, GpuVariant, LaunchReport};
+pub use multi::{MultiGpu, MultiReport, TransferModel};
+pub use occupancy::{KernelResources, Occupancy};
+pub use timing::TimingEstimate;

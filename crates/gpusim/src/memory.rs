@@ -1,0 +1,111 @@
+//! Memory-system models: global-memory coalescing and shared-memory bank
+//! conflicts.
+//!
+//! These are first-order models of the two effects that matter for the
+//! batched SS-HOPM kernel: (1) the cooperative staging of each tensor from
+//! global into shared memory coalesces into 128-byte transactions; (2) all
+//! threads of a warp read the *same* shared-memory word of the staged
+//! tensor each step, which is a broadcast and costs no conflict on Fermi.
+
+/// Global-memory transaction size in bytes (Fermi L1 cache line).
+pub const TRANSACTION_BYTES: usize = 128;
+
+/// Number of shared-memory banks (Fermi).
+pub const SHARED_BANKS: usize = 32;
+
+/// Number of 128-byte transactions needed to move `words` consecutive
+/// 32-bit words with perfectly coalesced accesses.
+pub fn coalesced_transactions(words: usize) -> usize {
+    (words * 4).div_ceil(TRANSACTION_BYTES)
+}
+
+/// Number of transactions for a fully *uncoalesced* (stride-N or random)
+/// access pattern: one transaction per word.
+pub fn uncoalesced_transactions(words: usize) -> usize {
+    words
+}
+
+/// Shared-memory access cost in "conflict-free access" units for one warp
+/// where lane `i` reads word index `addrs[i]`.
+///
+/// Fermi resolves a warp's shared accesses in one pass per distinct bank
+/// *degree*: if the maximum number of distinct words mapping to the same
+/// bank is `d`, the access is replayed `d` times. Lanes reading the *same*
+/// word are broadcast and count once.
+pub fn bank_conflict_factor(addrs: &[usize]) -> usize {
+    let mut per_bank_words: Vec<Vec<usize>> = vec![Vec::new(); SHARED_BANKS];
+    for &a in addrs {
+        let bank = a % SHARED_BANKS;
+        if !per_bank_words[bank].contains(&a) {
+            per_bank_words[bank].push(a);
+        }
+    }
+    per_bank_words
+        .iter()
+        .map(|w| w.len())
+        .max()
+        .unwrap_or(0)
+        .max(1)
+}
+
+/// Time in seconds to move `bytes` at `bandwidth_gbs` GB/s.
+pub fn transfer_seconds(bytes: u64, bandwidth_gbs: f64) -> f64 {
+    bytes as f64 / (bandwidth_gbs * 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesced_transaction_counts() {
+        assert_eq!(coalesced_transactions(0), 0);
+        assert_eq!(coalesced_transactions(1), 1);
+        assert_eq!(coalesced_transactions(32), 1); // 128 bytes exactly
+        assert_eq!(coalesced_transactions(33), 2);
+        assert_eq!(coalesced_transactions(64), 2);
+    }
+
+    #[test]
+    fn uncoalesced_is_one_per_word() {
+        assert_eq!(uncoalesced_transactions(17), 17);
+    }
+
+    #[test]
+    fn broadcast_is_conflict_free() {
+        // Whole warp reads the same word: factor 1.
+        let addrs = vec![5usize; 32];
+        assert_eq!(bank_conflict_factor(&addrs), 1);
+    }
+
+    #[test]
+    fn unit_stride_is_conflict_free() {
+        let addrs: Vec<usize> = (0..32).collect();
+        assert_eq!(bank_conflict_factor(&addrs), 1);
+    }
+
+    #[test]
+    fn stride_two_gives_two_way_conflict() {
+        let addrs: Vec<usize> = (0..32).map(|i| 2 * i).collect();
+        assert_eq!(bank_conflict_factor(&addrs), 2);
+    }
+
+    #[test]
+    fn stride_32_gives_full_serialization() {
+        let addrs: Vec<usize> = (0..32).map(|i| 32 * i).collect();
+        assert_eq!(bank_conflict_factor(&addrs), 32);
+    }
+
+    #[test]
+    fn empty_warp_costs_one() {
+        assert_eq!(bank_conflict_factor(&[]), 1);
+    }
+
+    #[test]
+    fn transfer_time_scales_linearly() {
+        let t1 = transfer_seconds(1_000_000, 100.0);
+        let t2 = transfer_seconds(2_000_000, 100.0);
+        assert!((t2 - 2.0 * t1).abs() < 1e-15);
+        assert!((transfer_seconds(100_000_000_000, 100.0) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,229 @@
+//! The occupancy calculator: how many blocks and warps fit on one SM given
+//! a kernel's register and shared-memory footprint.
+//!
+//! This is the mechanism behind two observations in the paper:
+//! Section V-B (a block of 128 threads and ~50 tensors fills the machine
+//! with 3–4 blocks per SM) and Section V-E (growing the tensor size grows
+//! per-thread registers and per-block shared memory, so occupancy — and
+//! with it performance — drops past roughly order 4, dimension 5).
+
+use crate::device::DeviceSpec;
+
+/// Static resource footprint of a kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelResources {
+    /// 32-bit registers used by each thread.
+    pub registers_per_thread: usize,
+    /// Shared memory per block, bytes.
+    pub shared_mem_per_block: usize,
+    /// Threads per block.
+    pub threads_per_block: usize,
+}
+
+impl KernelResources {
+    /// Resource footprint of the batched SS-HOPM kernel for shape `(m, n)`
+    /// in `f32`.
+    ///
+    /// * Registers: the iterate `x` and accumulator `y` (`2n`), scalars
+    ///   (λ, α, norm, temporaries ≈ 8), plus — in the *unrolled* variant —
+    ///   the compiler keeps monomial products alive (≈ `n` more). The
+    ///   *general* variant instead carries the index array (`m` ints).
+    /// * Shared memory: the tensor's packed unique entries (`U` floats),
+    ///   plus the shared index/coefficient tables in the general variant.
+    pub fn sshopm(m: usize, n: usize, threads_per_block: usize, unrolled: bool) -> Self {
+        let u = symtensor::multinomial::num_unique_entries(m, n) as usize;
+        let registers_per_thread = if unrolled {
+            2 * n + 8 + n
+        } else {
+            2 * n + 8 + m
+        };
+        let shared_mem_per_block = if unrolled {
+            4 * u
+        } else {
+            // values + index reps (m u32 per entry) + coefficients (u32).
+            4 * u + 4 * m * u + 4 * u
+        };
+        Self {
+            registers_per_thread,
+            shared_mem_per_block,
+            threads_per_block,
+        }
+    }
+}
+
+/// The result of an occupancy computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub blocks_per_sm: usize,
+    /// Resident warps per SM.
+    pub warps_per_sm: usize,
+    /// `warps_per_sm / device.max_warps_per_sm` in `[0, 1]`.
+    pub fraction: f64,
+    /// Which resource bound the occupancy ("registers", "shared memory",
+    /// "thread count", "block slots", or "block too large").
+    pub limiter: &'static str,
+}
+
+impl Occupancy {
+    /// Compute occupancy for a kernel on a device.
+    ///
+    /// Returns `blocks_per_sm == 0` (limiter "block too large") if a single
+    /// block exceeds the SM's resources.
+    pub fn compute(device: &DeviceSpec, res: &KernelResources) -> Occupancy {
+        let regs_per_block = res.registers_per_thread * res.threads_per_block;
+        if res.threads_per_block > device.max_threads_per_block
+            || res.registers_per_thread > device.max_registers_per_thread
+            || regs_per_block > device.registers_per_sm
+            || res.shared_mem_per_block > device.shared_mem_per_sm
+        {
+            return Occupancy {
+                blocks_per_sm: 0,
+                warps_per_sm: 0,
+                fraction: 0.0,
+                limiter: "block too large",
+            };
+        }
+        let by_regs = device.registers_per_sm / regs_per_block.max(1);
+        let by_smem = device
+            .shared_mem_per_sm
+            .checked_div(res.shared_mem_per_block)
+            .unwrap_or(usize::MAX);
+        let by_threads = device.max_threads_per_sm / res.threads_per_block.max(1);
+        let by_slots = device.max_blocks_per_sm;
+
+        let blocks = by_regs.min(by_smem).min(by_threads).min(by_slots);
+        let limiter = if blocks == by_regs && by_regs <= by_smem && by_regs <= by_threads && by_regs <= by_slots {
+            "registers"
+        } else if blocks == by_smem && by_smem <= by_threads && by_smem <= by_slots {
+            "shared memory"
+        } else if blocks == by_threads && by_threads <= by_slots {
+            "thread count"
+        } else {
+            "block slots"
+        };
+
+        let warps_per_block = res.threads_per_block.div_ceil(device.warp_size);
+        let warps = blocks * warps_per_block;
+        Occupancy {
+            blocks_per_sm: blocks,
+            warps_per_sm: warps,
+            fraction: warps as f64 / device.max_warps_per_sm() as f64,
+            limiter,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c2050() -> DeviceSpec {
+        DeviceSpec::tesla_c2050()
+    }
+
+    #[test]
+    fn paper_configuration_fills_sms_with_multiple_blocks() {
+        // Section V-B: 128 threads/block, small (4,3) tensors -> "three or
+        // four thread blocks each" SM at minimum; our model allows more
+        // since registers are small, capped by the 8-block slot limit.
+        let res = KernelResources::sshopm(4, 3, 128, true);
+        let occ = Occupancy::compute(&c2050(), &res);
+        assert!(occ.blocks_per_sm >= 3, "{occ:?}");
+        assert!(occ.fraction > 0.5, "{occ:?}");
+    }
+
+    #[test]
+    fn unrolled_uses_less_shared_memory_than_general() {
+        let unrolled = KernelResources::sshopm(4, 3, 128, true);
+        let general = KernelResources::sshopm(4, 3, 128, false);
+        assert!(unrolled.shared_mem_per_block < general.shared_mem_per_block);
+    }
+
+    #[test]
+    fn occupancy_drops_as_tensor_grows() {
+        // Section V-E: "decreased performance for tensor sizes past a
+        // threshold of around order 4 and dimension 5".
+        let d = c2050();
+        let small = Occupancy::compute(&d, &KernelResources::sshopm(4, 3, 128, true));
+        let mid = Occupancy::compute(&d, &KernelResources::sshopm(4, 5, 128, true));
+        let large = Occupancy::compute(&d, &KernelResources::sshopm(6, 8, 128, true));
+        assert!(small.fraction >= mid.fraction);
+        assert!(mid.fraction >= large.fraction);
+    }
+
+    #[test]
+    fn register_limited_kernel() {
+        let d = c2050();
+        let res = KernelResources {
+            registers_per_thread: 63,
+            shared_mem_per_block: 0,
+            threads_per_block: 512,
+        };
+        // 63*512 = 32256 regs per block; 32768/32256 = 1 block.
+        let occ = Occupancy::compute(&d, &res);
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.limiter, "registers");
+    }
+
+    #[test]
+    fn shared_memory_limited_kernel() {
+        let d = c2050();
+        let res = KernelResources {
+            registers_per_thread: 16,
+            shared_mem_per_block: 24 * 1024,
+            threads_per_block: 64,
+        };
+        let occ = Occupancy::compute(&d, &res);
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limiter, "shared memory");
+    }
+
+    #[test]
+    fn slot_limited_kernel() {
+        let d = c2050();
+        let res = KernelResources {
+            registers_per_thread: 8,
+            shared_mem_per_block: 64,
+            threads_per_block: 32,
+        };
+        let occ = Occupancy::compute(&d, &res);
+        assert_eq!(occ.blocks_per_sm, 8);
+        assert_eq!(occ.limiter, "block slots");
+    }
+
+    #[test]
+    fn thread_limited_kernel() {
+        let d = c2050();
+        let res = KernelResources {
+            registers_per_thread: 8,
+            shared_mem_per_block: 0,
+            threads_per_block: 768,
+        };
+        // 1536/768 = 2 blocks.
+        let occ = Occupancy::compute(&d, &res);
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.limiter, "thread count");
+        assert_eq!(occ.warps_per_sm, 48);
+        assert!((occ.fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_block_reports_zero_occupancy() {
+        let d = c2050();
+        let res = KernelResources {
+            registers_per_thread: 8,
+            shared_mem_per_block: 49 * 1024,
+            threads_per_block: 128,
+        };
+        let occ = Occupancy::compute(&d, &res);
+        assert_eq!(occ.blocks_per_sm, 0);
+        assert_eq!(occ.limiter, "block too large");
+        let res2 = KernelResources {
+            registers_per_thread: 100,
+            shared_mem_per_block: 0,
+            threads_per_block: 128,
+        };
+        assert_eq!(Occupancy::compute(&d, &res2).blocks_per_sm, 0);
+    }
+}

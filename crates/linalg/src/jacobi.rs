@@ -1,0 +1,256 @@
+//! Cyclic Jacobi eigensolver for real symmetric matrices.
+//!
+//! Jacobi is the right tool here: the matrices are tiny (`n×n` with `n` the
+//! tensor dimension, typically 3), it is unconditionally stable, and it
+//! delivers full eigenvector matrices. Used to classify SS-HOPM fixed points
+//! via the spectrum of the projected Hessian (Kolda & Mayo, Theorem 3.6:
+//! attracting ⇔ the projected Hessian is negative/positive definite on the
+//! tangent space).
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Eigendecomposition `A = V·diag(λ)·Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Orthonormal eigenvectors as matrix columns, ordered like
+    /// `eigenvalues`.
+    pub eigenvectors: Matrix,
+}
+
+/// Maximum number of full Jacobi sweeps before giving up.
+const MAX_SWEEPS: usize = 64;
+
+impl SymmetricEigen {
+    /// Compute the eigendecomposition of a symmetric matrix.
+    ///
+    /// The input is symmetrized as `(A + Aᵀ)/2` to absorb round-off; if the
+    /// asymmetry exceeds `1e-8 * ‖A‖_F` an error is returned instead.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::DimensionMismatch {
+                context: "eigen: matrix not square",
+            });
+        }
+        let n = a.rows();
+        let scale = a.frobenius_norm().max(1e-300);
+        let mut worst_asym: f64 = 0.0;
+        for i in 0..n {
+            for j in 0..i {
+                worst_asym = worst_asym.max((a[(i, j)] - a[(j, i)]).abs());
+            }
+        }
+        if worst_asym > 1e-8 * scale {
+            return Err(LinalgError::DimensionMismatch {
+                context: "eigen: matrix not symmetric",
+            });
+        }
+        let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+        let mut v = Matrix::identity(n);
+
+        for sweep in 0..MAX_SWEEPS {
+            // Off-diagonal Frobenius norm.
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in i + 1..n {
+                    off += 2.0 * m[(i, j)] * m[(i, j)];
+                }
+            }
+            if off.sqrt() <= 1e-14 * scale {
+                return Ok(Self::sorted(m, v, n));
+            }
+            let _ = sweep;
+            for p in 0..n {
+                for q in p + 1..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() <= 1e-300 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    // Stable rotation computation (Golub & Van Loan §8.5).
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        1.0 / (theta - (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Apply the rotation to rows/cols p and q of m.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        Err(LinalgError::NoConvergence { sweeps: MAX_SWEEPS })
+    }
+
+    fn sorted(m: Matrix, v: Matrix, n: usize) -> Self {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| m[(a, a)].partial_cmp(&m[(b, b)]).unwrap());
+        let eigenvalues: Vec<f64> = idx.iter().map(|&i| m[(i, i)]).collect();
+        let eigenvectors = Matrix::from_fn(n, n, |r, c| v[(r, idx[c])]);
+        Self {
+            eigenvalues,
+            eigenvectors,
+        }
+    }
+
+    /// Smallest eigenvalue.
+    pub fn min(&self) -> f64 {
+        self.eigenvalues[0]
+    }
+
+    /// Largest eigenvalue.
+    pub fn max(&self) -> f64 {
+        *self.eigenvalues.last().expect("non-empty spectrum")
+    }
+
+    /// Spectral radius `max |λ|`.
+    pub fn spectral_radius(&self) -> f64 {
+        self.eigenvalues
+            .iter()
+            .map(|l| l.abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_decomposition(a: &Matrix, eig: &SymmetricEigen, tol: f64) {
+        let n = a.rows();
+        // A v_i == lambda_i v_i for every column i.
+        for i in 0..n {
+            let vi: Vec<f64> = (0..n).map(|r| eig.eigenvectors[(r, i)]).collect();
+            let av = a.matvec(&vi).unwrap();
+            for r in 0..n {
+                assert!(
+                    (av[r] - eig.eigenvalues[i] * vi[r]).abs() < tol,
+                    "column {i}, row {r}"
+                );
+            }
+        }
+        // Orthonormality.
+        let vtv = eig.eigenvectors.gram();
+        assert!(vtv.max_abs_diff(&Matrix::identity(n)).unwrap() < tol);
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_diagonal() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = -1.0;
+        a[(2, 2)] = 2.0;
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.eigenvalues, vec![-1.0, 2.0, 3.0]);
+        check_decomposition(&a, &eig, 1e-12);
+    }
+
+    #[test]
+    fn known_2x2_case() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues[0] - 1.0).abs() < 1e-12);
+        assert!((eig.eigenvalues[1] - 3.0).abs() < 1e-12);
+        check_decomposition(&a, &eig, 1e-12);
+    }
+
+    #[test]
+    fn random_symmetric_matrices_decompose() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..10u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 2 + (seed as usize % 6);
+            let b = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+            let a = Matrix::from_fn(n, n, |i, j| 0.5 * (b[(i, j)] + b[(j, i)]));
+            let eig = SymmetricEigen::new(&a).unwrap();
+            check_decomposition(&a, &eig, 1e-10);
+            // Trace equals sum of eigenvalues.
+            let tr: f64 = (0..n).map(|i| a[(i, i)]).sum();
+            let sum: f64 = eig.eigenvalues.iter().sum();
+            assert!((tr - sum).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_ascending() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let b = Matrix::from_fn(5, 5, |_, _| rng.gen_range(-1.0..1.0));
+        let a = Matrix::from_fn(5, 5, |i, j| 0.5 * (b[(i, j)] + b[(j, i)]));
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for w in eig.eigenvalues.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(eig.min(), eig.eigenvalues[0]);
+        assert_eq!(eig.max(), eig.eigenvalues[4]);
+        assert!(eig.spectral_radius() >= eig.max().abs());
+    }
+
+    #[test]
+    fn rejects_asymmetric_input() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 5.0, -5.0, 1.0]);
+        assert!(SymmetricEigen::new(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square_input() {
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let a = Matrix::from_vec(1, 1, vec![7.5]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.eigenvalues, vec![7.5]);
+        assert_eq!(eig.eigenvectors[(0, 0)].abs(), 1.0);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(3, 3);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.eigenvalues, vec![0.0; 3]);
+        assert_eq!(eig.spectral_radius(), 0.0);
+    }
+
+    #[test]
+    fn repeated_eigenvalues() {
+        // 2*I has a double eigenvalue; any orthonormal basis works.
+        let mut a = Matrix::identity(3);
+        a[(0, 0)] = 2.0;
+        a[(1, 1)] = 2.0;
+        a[(2, 2)] = 5.0;
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!((eig.eigenvalues[0] - 2.0).abs() < 1e-14);
+        assert!((eig.eigenvalues[1] - 2.0).abs() < 1e-14);
+        assert!((eig.eigenvalues[2] - 5.0).abs() < 1e-14);
+        check_decomposition(&a, &eig, 1e-12);
+    }
+}

@@ -1,0 +1,75 @@
+//! # linalg — small dense linear algebra substrate
+//!
+//! Self-contained dense linear algebra for the small problems that arise in
+//! this workspace (dimensions are a handful, not thousands):
+//!
+//! * [`Matrix`] — a row-major dense matrix with the usual products and norms;
+//! * [`cholesky`] — SPD factorization and solves, used by the least-squares
+//!   fit of DW-MRI tensors;
+//! * [`jacobi`] — the cyclic Jacobi eigensolver for symmetric matrices, used
+//!   to classify tensor eigenpairs via the projected Hessian;
+//! * [`mod@lstsq`] — linear least squares via the normal equations;
+//! * [`lu`] — LU with partial pivoting for general square systems;
+//! * [`qr`] — Householder QR, the backup path for ill-conditioned systems.
+//!
+//! Everything works in `f64`; these routines are off the hot path (fitting
+//! and classification, not the SS-HOPM inner loop).
+
+#![deny(missing_docs)]
+
+pub mod cholesky;
+pub mod jacobi;
+pub mod lstsq;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+
+pub use cholesky::Cholesky;
+pub use jacobi::SymmetricEigen;
+pub use lstsq::lstsq;
+pub use lu::Lu;
+pub use matrix::Matrix;
+
+/// Errors from the linear algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix dimensions incompatible with the requested operation.
+    DimensionMismatch {
+        /// Short description of what was expected.
+        context: &'static str,
+    },
+    /// The matrix was not positive definite (Cholesky pivot failed).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+    /// An iterative method failed to converge within its sweep limit.
+    NoConvergence {
+        /// Number of sweeps performed.
+        sweeps: usize,
+    },
+    /// The matrix was (numerically) singular.
+    Singular,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { context } => {
+                write!(f, "dimension mismatch: {context}")
+            }
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix not positive definite (pivot {pivot})")
+            }
+            LinalgError::NoConvergence { sweeps } => {
+                write!(f, "no convergence after {sweeps} sweeps")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,121 @@
+//! Linear least squares `min ‖A·x − b‖₂` via the normal equations with a QR
+//! fallback. The normal equations are fast and fine for the well-conditioned
+//! design matrices produced by spread-out gradient direction sets; if the
+//! Gram matrix fails to factor, the Householder QR path is used instead.
+
+use crate::cholesky::Cholesky;
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+use crate::{LinalgError, Result};
+
+/// Solve the least-squares problem `min ‖A·x − b‖₂` for `A` with
+/// `rows >= cols`.
+///
+/// Tries `AᵀA·x = Aᵀb` via Cholesky first; falls back to Householder QR if
+/// the Gram matrix is not numerically positive definite.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            context: "lstsq: rhs length != rows",
+        });
+    }
+    if a.rows() < a.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            context: "lstsq: underdetermined (rows < cols)",
+        });
+    }
+    let gram = a.gram();
+    let atb = a.t_matvec(b)?;
+    match Cholesky::new(&gram) {
+        Ok(ch) => ch.solve(&atb),
+        Err(LinalgError::NotPositiveDefinite { .. }) => Qr::new(a)?.solve(b),
+        Err(e) => Err(e),
+    }
+}
+
+/// Residual norm `‖A·x − b‖₂` of a candidate solution.
+pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> Result<f64> {
+    let ax = a.matvec(x)?;
+    if b.len() != ax.len() {
+        return Err(LinalgError::DimensionMismatch {
+            context: "residual_norm: rhs length",
+        });
+    }
+    Ok(ax
+        .iter()
+        .zip(b)
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn exact_system_is_solved_exactly() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 0.0, 0.0, 4.0]);
+        let x = lstsq(&a, &[6.0, 8.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_noisy_fit_minimizes_residual() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Matrix::from_fn(20, 3, |_, _| rng.gen_range(-1.0..1.0));
+        let x_true = vec![1.0, -1.0, 0.5];
+        let mut b = a.matvec(&x_true).unwrap();
+        for e in &mut b {
+            *e += rng.gen_range(-0.01..0.01);
+        }
+        let x = lstsq(&a, &b).unwrap();
+        // Perturbing the solution must not decrease the residual.
+        let base = residual_norm(&a, &x, &b).unwrap();
+        for d in 0..3 {
+            let mut xp = x.clone();
+            xp[d] += 1e-3;
+            assert!(residual_norm(&a, &xp, &b).unwrap() >= base);
+            xp[d] -= 2e-3;
+            assert!(residual_norm(&a, &xp, &b).unwrap() >= base);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_falls_back_or_errors_cleanly() {
+        // Two identical columns: Gram is singular. Cholesky fails, QR then
+        // reports Singular — either way we must not panic or return garbage.
+        let a = Matrix::from_vec(4, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]);
+        let res = lstsq(&a, &[1.0, 2.0, 3.0, 4.0]);
+        assert!(matches!(
+            res,
+            Err(LinalgError::Singular) | Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(lstsq(&a, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn rhs_length_rejected() {
+        let a = Matrix::identity(3);
+        assert!(lstsq(&a, &[0.0, 0.0]).is_err());
+        assert!(residual_norm(&a, &[0.0; 3], &[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Matrix::from_fn(5, 5, |i, j| if i == j { 2.0 } else { rng.gen_range(-0.1..0.1) });
+        let x_true: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = lstsq(&a, &b).unwrap();
+        assert!(residual_norm(&a, &x, &b).unwrap() < 1e-10);
+    }
+}

@@ -1,0 +1,248 @@
+//! Householder QR factorization and least-squares solve. The numerically
+//! robust alternative to the normal equations when the design matrix is
+//! ill-conditioned (e.g. nearly-coplanar gradient direction sets in the
+//! DW-MRI fit).
+
+// Triangular factorizations update matrices in place through index
+// arithmetic; iterator rewrites of these loops obscure the linear algebra.
+#![allow(clippy::needless_range_loop)]
+
+use crate::matrix::Matrix;
+use crate::{LinalgError, Result};
+
+/// Compact Householder QR of an `m × n` matrix with `m >= n`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors below the diagonal, `R` on and above it.
+    qr: Matrix,
+    /// Scalar `beta` of each reflector.
+    betas: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Qr {
+    /// Factor `A = Q·R`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = (a.rows(), a.cols());
+        if m < n {
+            return Err(LinalgError::DimensionMismatch {
+                context: "qr: requires rows >= cols",
+            });
+        }
+        let mut qr = a.clone();
+        let mut betas = vec![0.0; n];
+        for k in 0..n {
+            // Build the Householder reflector annihilating qr[k+1.., k].
+            let mut norm2 = 0.0;
+            for i in k..m {
+                norm2 += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm2.sqrt();
+            if norm == 0.0 {
+                betas[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = [v0, qr[k+1.., k]]; beta = 2 / (v'v)
+            let mut vtv = v0 * v0;
+            for i in k + 1..m {
+                vtv += qr[(i, k)] * qr[(i, k)];
+            }
+            let beta = if vtv == 0.0 { 0.0 } else { 2.0 / vtv };
+            // Apply (I - beta v v') to the trailing columns only; column k
+            // itself becomes [alpha, 0, …, 0] and its below-diagonal slots
+            // keep the reflector tail, so it must not be overwritten here.
+            for j in k + 1..n {
+                let mut dot = v0 * qr[(k, j)];
+                for i in k + 1..m {
+                    dot += qr[(i, k)] * qr[(i, j)];
+                }
+                let w = beta * dot;
+                qr[(k, j)] -= w * v0;
+                for i in k + 1..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= w * vik;
+                }
+            }
+            // Store the reflector: diag gets alpha (R), below-diag keeps v.
+            qr[(k, k)] = alpha;
+            // v0 is stored implicitly via betas: we renormalize v so v0 = 1.
+            if v0 != 0.0 {
+                for i in k + 1..m {
+                    qr[(i, k)] /= v0;
+                }
+                betas[k] = beta * v0 * v0;
+            } else {
+                betas[k] = 0.0;
+            }
+        }
+        Ok(Self {
+            qr,
+            betas,
+            rows: m,
+            cols: n,
+        })
+    }
+
+    /// Apply `Qᵀ` to a vector of length `rows`.
+    fn apply_qt(&self, b: &mut [f64]) {
+        for k in 0..self.cols {
+            if self.betas[k] == 0.0 {
+                continue;
+            }
+            // v = [1, qr[k+1.., k]]
+            let mut dot = b[k];
+            for i in k + 1..self.rows {
+                dot += self.qr[(i, k)] * b[i];
+            }
+            let w = self.betas[k] * dot;
+            b[k] -= w;
+            for i in k + 1..self.rows {
+                b[i] -= w * self.qr[(i, k)];
+            }
+        }
+    }
+
+    /// Solve the least-squares problem `min ‖A·x - b‖₂`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                context: "qr solve: rhs length",
+            });
+        }
+        let mut y = b.to_vec();
+        self.apply_qt(&mut y);
+        // Back substitution with R. A diagonal entry at round-off level
+        // relative to the largest one signals rank deficiency.
+        let n = self.cols;
+        let max_diag = (0..n)
+            .map(|i| self.qr[(i, i)].abs())
+            .fold(0.0f64, f64::max);
+        let tol = max_diag * 1e-12;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for j in i + 1..n {
+                sum -= self.qr[(i, j)] * x[j];
+            }
+            let rii = self.qr[(i, i)];
+            if rii.abs() <= tol {
+                return Err(LinalgError::Singular);
+            }
+            x[i] = sum / rii;
+        }
+        Ok(x)
+    }
+
+    /// The upper-triangular factor `R` (`cols × cols`).
+    pub fn r(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.cols, |i, j| {
+            if j >= i {
+                self.qr[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_solve_recovers_solution() {
+        let a = Matrix::from_vec(3, 3, vec![4.0, 1.0, 0.0, 1.0, 3.0, 1.0, 0.0, 1.0, 2.0]);
+        let x_true = vec![1.0, -2.0, 3.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Qr::new(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overdetermined_consistent_system() {
+        // 5 equations, 2 unknowns, consistent.
+        let a = Matrix::from_fn(5, 2, |i, j| ((i + 1) as f64).powi(j as i32 + 1));
+        let x_true = vec![2.0, -0.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Qr::new(&a).unwrap().solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn least_squares_residual_is_orthogonal_to_columns() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = Matrix::from_fn(8, 3, |_, _| rng.gen_range(-1.0..1.0));
+        let b: Vec<f64> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let x = Qr::new(&a).unwrap().solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        let atr = a.t_matvec(&r).unwrap();
+        for v in atr {
+            assert!(v.abs() < 1e-10, "normal-equations residual {v}");
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular_and_reconstructs_gram() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = Matrix::from_fn(6, 4, |_, _| rng.gen_range(-1.0..1.0));
+        let qr = Qr::new(&a).unwrap();
+        let r = qr.r();
+        for i in 0..4 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+        // R'R == A'A.
+        let rtr = r.transpose().matmul(&r).unwrap();
+        let ata = a.gram();
+        assert!(rtr.max_abs_diff(&ata).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn singular_matrix_detected_on_solve() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0]); // rank 1
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(qr.solve(&[1.0, 1.0, 1.0]), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let qr = Qr::new(&Matrix::identity(3)).unwrap();
+        assert!(qr.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn agrees_with_cholesky_on_well_conditioned_problem() {
+        use crate::cholesky::Cholesky;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Matrix::from_fn(10, 4, |_, _| rng.gen_range(-1.0..1.0));
+        let b: Vec<f64> = (0..10).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let x_qr = Qr::new(&a).unwrap().solve(&b).unwrap();
+        // Normal equations path.
+        let g = a.gram();
+        let atb = a.t_matvec(&b).unwrap();
+        let x_ne = Cholesky::new(&g).unwrap().solve(&atb).unwrap();
+        for (q, n) in x_qr.iter().zip(&x_ne) {
+            assert!((q - n).abs() < 1e-8);
+        }
+    }
+}

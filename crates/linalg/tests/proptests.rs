@@ -1,0 +1,106 @@
+//! Property-based tests for the small dense linear algebra substrate.
+
+use linalg::{lstsq, Cholesky, Matrix, SymmetricEigen};
+use proptest::prelude::*;
+
+/// Strategy: a random matrix of the given shape with entries in [-1, 1].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Strategy: a random SPD matrix built as BᵀB + n·I.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n, n).prop_map(move |b| {
+        let mut g = b.gram();
+        for i in 0..n {
+            g[(i, i)] += n as f64;
+        }
+        g
+    })
+}
+
+/// Strategy: a random symmetric matrix (B + Bᵀ)/2.
+fn symmetric(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n, n).prop_map(move |b| Matrix::from_fn(n, n, |i, j| 0.5 * (b[(i, j)] + b[(j, i)])))
+}
+
+proptest! {
+    #[test]
+    fn cholesky_solve_inverts_matvec(a in spd(4), x in proptest::collection::vec(-5.0f64..5.0, 4)) {
+        let b = a.matvec(&x).unwrap();
+        let got = Cholesky::new(&a).unwrap().solve(&b).unwrap();
+        for (g, t) in got.iter().zip(&x) {
+            prop_assert!((g - t).abs() < 1e-8, "{g} vs {t}");
+        }
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs(a in spd(5)) {
+        let l = Cholesky::new(&a).unwrap().factor().clone();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix(a in symmetric(4)) {
+        let eig = SymmetricEigen::new(&a).unwrap();
+        // V diag(lambda) V^T == A.
+        let n = 4;
+        let mut rec = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += eig.eigenvectors[(i, k)] * eig.eigenvalues[k] * eig.eigenvectors[(j, k)];
+                }
+                rec[(i, j)] = s;
+            }
+        }
+        prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn eigen_trace_and_ordering(a in symmetric(5)) {
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let tr: f64 = (0..5).map(|i| a[(i, i)]).sum();
+        let sum: f64 = eig.eigenvalues.iter().sum();
+        prop_assert!((tr - sum).abs() < 1e-9);
+        for w in eig.eigenvalues.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn lstsq_residual_is_stationary(a in matrix(10, 3), b in proptest::collection::vec(-1.0f64..1.0, 10)) {
+        // Skip the measure-zero rank-deficient cases.
+        let Ok(x) = lstsq(&a, &b) else { return Ok(()); };
+        // Gradient of ||Ax-b||^2 is 2 A'(Ax-b): must vanish.
+        let ax = a.matvec(&x).unwrap();
+        let r: Vec<f64> = ax.iter().zip(&b).map(|(p, q)| p - q).collect();
+        let g = a.t_matvec(&r).unwrap();
+        for v in g {
+            prop_assert!(v.abs() < 1e-8, "gradient component {v}");
+        }
+    }
+
+    #[test]
+    fn gram_is_psd(a in matrix(6, 4)) {
+        let eig = SymmetricEigen::new(&a.gram()).unwrap();
+        prop_assert!(eig.min() > -1e-10);
+    }
+
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.max_abs_diff(&right).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_of_product(a in matrix(3, 4), b in matrix(4, 3)) {
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-12);
+    }
+}

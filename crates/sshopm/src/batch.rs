@@ -1,0 +1,233 @@
+//! Batched solves: the paper's workload shape — many independent small
+//! tensors (DW-MRI voxels), each solved from many starting vectors.
+//!
+//! The CPU parallelization mirrors the paper's OpenMP `omp for` over the
+//! tensor loop: rayon's `par_iter` over tensors, each worker running all
+//! starting vectors for its tensor sequentially. Every tensor shares the
+//! same set of starting vectors (Section V-C: "every thread block can use
+//! the same set of starting vectors").
+
+use crate::solver::{Eigenpair, SsHopm};
+use rayon::prelude::*;
+use symtensor::kernels::{GeneralKernels, TensorKernels};
+use symtensor::{Scalar, SymTensor};
+
+/// Results of a batched solve: `results[t][v]` is the eigenpair computed
+/// for tensor `t` from starting vector `v`.
+#[derive(Debug, Clone)]
+pub struct BatchResult<S> {
+    /// Per-tensor, per-start eigenpairs.
+    pub results: Vec<Vec<Eigenpair<S>>>,
+    /// Total SS-HOPM iterations across all solves (for flop accounting).
+    pub total_iterations: u64,
+}
+
+impl<S: Scalar> BatchResult<S> {
+    /// Flatten to `(tensor index, start index, eigenpair)` triples.
+    pub fn iter_flat(&self) -> impl Iterator<Item = (usize, usize, &Eigenpair<S>)> {
+        self.results
+            .iter()
+            .enumerate()
+            .flat_map(|(t, row)| row.iter().enumerate().map(move |(v, p)| (t, v, p)))
+    }
+
+    /// Number of tensors solved.
+    pub fn num_tensors(&self) -> usize {
+        self.results.len()
+    }
+}
+
+/// Batched SS-HOPM driver over a set of same-shaped tensors.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSolver {
+    solver: SsHopm,
+    /// Number of worker threads: `1` for the sequential baseline, `k` for
+    /// the paper's 4-core / 8-core configurations, `0` for "all cores".
+    pub threads: usize,
+}
+
+impl BatchSolver {
+    /// Create a batch driver around a configured [`SsHopm`].
+    pub fn new(solver: SsHopm) -> Self {
+        Self { solver, threads: 0 }
+    }
+
+    /// Restrict the solve to `threads` worker threads (0 = rayon default).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Solve every tensor from every starting vector, sequentially
+    /// (the paper's "CPU – 1 core" row).
+    pub fn solve_sequential<S: Scalar, K: TensorKernels<S> + ?Sized>(
+        &self,
+        kernels: &K,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+    ) -> BatchResult<S> {
+        let mut results = Vec::with_capacity(tensors.len());
+        let mut total_iterations = 0u64;
+        for a in tensors {
+            let mut row = Vec::with_capacity(starts.len());
+            for x0 in starts {
+                let pair = self.solver.solve_with(kernels, a, x0);
+                total_iterations += pair.iterations as u64;
+                row.push(pair);
+            }
+            results.push(row);
+        }
+        BatchResult {
+            results,
+            total_iterations,
+        }
+    }
+
+    /// Solve in parallel over tensors (the paper's OpenMP scheme).
+    ///
+    /// With `threads == 0` the global rayon pool is used; otherwise a
+    /// dedicated pool of exactly `threads` workers is built for the call,
+    /// which is what the 1/4/8-core benchmark rows need.
+    pub fn solve_parallel<S: Scalar, K: TensorKernels<S> + Sync + ?Sized>(
+        &self,
+        kernels: &K,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+    ) -> BatchResult<S> {
+        let solve_all = || {
+            let rows: Vec<(Vec<Eigenpair<S>>, u64)> = tensors
+                .par_iter()
+                .map(|a| {
+                    let mut row = Vec::with_capacity(starts.len());
+                    let mut iters = 0u64;
+                    for x0 in starts {
+                        let pair = self.solver.solve_with(kernels, a, x0);
+                        iters += pair.iterations as u64;
+                        row.push(pair);
+                    }
+                    (row, iters)
+                })
+                .collect();
+            let mut results = Vec::with_capacity(rows.len());
+            let mut total_iterations = 0u64;
+            for (row, iters) in rows {
+                results.push(row);
+                total_iterations += iters;
+            }
+            BatchResult {
+                results,
+                total_iterations,
+            }
+        };
+
+        if self.threads == 0 {
+            solve_all()
+        } else {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(self.threads)
+                .build()
+                .expect("failed to build rayon pool");
+            pool.install(solve_all)
+        }
+    }
+
+    /// Convenience: solve with the default on-the-fly kernels, parallel.
+    pub fn solve<S: Scalar>(
+        &self,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+    ) -> BatchResult<S> {
+        self.solve_parallel(&GeneralKernels, tensors, starts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shift::Shift;
+    use crate::solver::IterationPolicy;
+    use crate::starts::random_uniform_starts;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symtensor::PrecomputedTables;
+
+    fn workload(t: usize, v: usize, seed: u64) -> (Vec<SymTensor<f64>>, Vec<Vec<f64>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tensors = (0..t).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
+        let starts = random_uniform_starts(3, v, &mut rng);
+        (tensors, starts)
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let (tensors, starts) = workload(8, 6, 1);
+        let solver = BatchSolver::new(SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(25)));
+        let seq = solver.solve_sequential(&GeneralKernels, &tensors, &starts);
+        let par = solver.solve_parallel(&GeneralKernels, &tensors, &starts);
+        assert_eq!(seq.total_iterations, par.total_iterations);
+        for (t, v, p) in seq.iter_flat() {
+            let q = &par.results[t][v];
+            assert_eq!(p.lambda, q.lambda, "tensor {t} start {v}");
+            assert_eq!(p.x, q.x);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (tensors, starts) = workload(6, 4, 2);
+        let base = BatchSolver::new(SsHopm::new(Shift::Convex).with_tolerance(1e-12));
+        let r1 = base.with_threads(1).solve_parallel(&GeneralKernels, &tensors, &starts);
+        let r4 = base.with_threads(4).solve_parallel(&GeneralKernels, &tensors, &starts);
+        for (t, v, p) in r1.iter_flat() {
+            let q = &r4.results[t][v];
+            assert_eq!(p.lambda, q.lambda);
+        }
+    }
+
+    #[test]
+    fn fixed_iteration_budget_is_deterministic() {
+        let (tensors, starts) = workload(4, 8, 3);
+        let solver = BatchSolver::new(
+            SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(30)),
+        );
+        let res = solver.solve(&tensors, &starts);
+        assert_eq!(res.total_iterations, 4 * 8 * 30);
+        assert_eq!(res.num_tensors(), 4);
+        for (_, _, p) in res.iter_flat() {
+            assert_eq!(p.iterations, 30);
+        }
+    }
+
+    #[test]
+    fn precomputed_kernels_agree_with_general_in_batch() {
+        let (tensors, starts) = workload(5, 5, 4);
+        let tables = PrecomputedTables::new(4, 3);
+        let solver = BatchSolver::new(SsHopm::new(Shift::Convex).with_tolerance(1e-13));
+        let g = solver.solve_parallel(&GeneralKernels, &tensors, &starts);
+        let p = solver.solve_parallel(&tables, &tensors, &starts);
+        for (t, v, pair) in g.iter_flat() {
+            let q = &p.results[t][v];
+            assert!((pair.lambda - q.lambda).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn all_converged_pairs_have_small_residuals() {
+        let (tensors, starts) = workload(6, 10, 5);
+        let solver = BatchSolver::new(SsHopm::new(Shift::Convex).with_tolerance(1e-13));
+        let res = solver.solve(&tensors, &starts);
+        for (t, _, p) in res.iter_flat() {
+            if p.converged {
+                assert!(p.residual(&tensors[t]) < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch() {
+        let solver = BatchSolver::new(SsHopm::new(Shift::Convex));
+        let res = solver.solve::<f64>(&[], &[]);
+        assert_eq!(res.num_tensors(), 0);
+        assert_eq!(res.total_iterations, 0);
+    }
+}

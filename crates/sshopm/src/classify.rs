@@ -1,0 +1,215 @@
+//! Eigenpair classification via the projected Hessian (Kolda & Mayo).
+//!
+//! For an eigenpair `(λ, x)` of a symmetric order-`m` tensor define the
+//! projected Hessian on the tangent space of the unit sphere at `x`:
+//!
+//! ```text
+//! C(λ, x) = P_x · ((m−1)·A·x^{m−2} − λ·I) · P_x,    P_x = I − x·xᵀ
+//! ```
+//!
+//! The eigenpair is **negative stable** (all tangent eigenvalues < 0) iff
+//! `x` is a local maximum of `A·xᵐ` on the sphere — these are the
+//! eigenpairs SS-HOPM with `α ≥ β(A)` converges to, and in the DW-MRI
+//! application they are the fiber directions. **Positive stable** pairs are
+//! local minima (found by the concave/negative-shift variant), and
+//! indefinite pairs are saddles, which SS-HOPM almost never returns but a
+//! lucky starting vector can land on.
+
+use linalg::{Matrix, SymmetricEigen};
+use symtensor::kernels::axm2_matrix;
+use symtensor::{Scalar, SymTensor};
+
+/// Stability classification of a tensor eigenpair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stability {
+    /// All tangent-space Hessian eigenvalues negative: local maximum of the
+    /// homogeneous form on the sphere.
+    NegativeStable,
+    /// All tangent-space Hessian eigenvalues positive: local minimum.
+    PositiveStable,
+    /// Mixed signs: saddle point.
+    Saddle,
+    /// At least one tangent eigenvalue is (numerically) zero: degenerate,
+    /// cannot be classified at this tolerance.
+    Degenerate,
+}
+
+impl Stability {
+    /// True for eigenpairs corresponding to local maxima (the ones the
+    /// fiber-detection application keeps).
+    pub fn is_local_max(self) -> bool {
+        self == Stability::NegativeStable
+    }
+}
+
+/// Classify an eigenpair by the sign pattern of the projected Hessian
+/// spectrum. `tol` is the relative threshold below which a tangent
+/// eigenvalue is considered zero (use ~`1e-6` for converged pairs).
+///
+/// For `n = 1` every unit "vector" (±1) is trivially both a maximum and a
+/// minimum; we report [`Stability::Degenerate`].
+pub fn classify<S: Scalar>(a: &SymTensor<S>, lambda: S, x: &[S], tol: f64) -> Stability {
+    let n = a.dim();
+    assert_eq!(x.len(), n, "eigenvector length");
+    if n == 1 {
+        return Stability::Degenerate;
+    }
+    let m = a.order() as f64;
+    let lam = lambda.to_f64();
+
+    // B = (m-1) A x^{m-2} - lambda I  (dense n x n, f64).
+    let axm2 = axm2_matrix(a, x).expect("order >= 2 tensors have a Hessian");
+    let mut b = Matrix::from_fn(n, n, |i, j| (m - 1.0) * axm2[i * n + j].to_f64());
+    for i in 0..n {
+        b[(i, i)] -= lam;
+    }
+
+    // P = I - x x^T; C = P B P.
+    let xf: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
+    let p = Matrix::from_fn(n, n, |i, j| {
+        let delta = if i == j { 1.0 } else { 0.0 };
+        delta - xf[i] * xf[j]
+    });
+    let c = p.matmul(&b).unwrap().matmul(&p).unwrap();
+    let eig = match SymmetricEigen::new(&c) {
+        Ok(e) => e,
+        Err(_) => return Stability::Degenerate,
+    };
+
+    // C always has a zero eigenvalue along x itself; drop the single
+    // eigenvalue whose eigenvector is (numerically) parallel to x and
+    // classify the remaining n-1 tangent eigenvalues.
+    let mut tangent: Vec<f64> = Vec::with_capacity(n - 1);
+    let mut dropped_parallel = false;
+    // Identify the column most parallel to x.
+    let mut best_col = 0;
+    let mut best_dot = -1.0;
+    for col in 0..n {
+        let dot: f64 = (0..n).map(|r| eig.eigenvectors[(r, col)] * xf[r]).sum::<f64>().abs();
+        if dot > best_dot {
+            best_dot = dot;
+            best_col = col;
+        }
+    }
+    for col in 0..n {
+        if col == best_col && !dropped_parallel {
+            dropped_parallel = true;
+            continue;
+        }
+        tangent.push(eig.eigenvalues[col]);
+    }
+
+    let scale = eig.spectral_radius().max(lam.abs()).max(1e-30);
+    let thresh = tol * scale;
+    let pos = tangent.iter().filter(|&&v| v > thresh).count();
+    let neg = tangent.iter().filter(|&&v| v < -thresh).count();
+    let zero = tangent.len() - pos - neg;
+
+    if zero > 0 {
+        Stability::Degenerate
+    } else if neg == tangent.len() {
+        Stability::NegativeStable
+    } else if pos == tangent.len() {
+        Stability::PositiveStable
+    } else {
+        Stability::Saddle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shift::Shift;
+    use crate::solver::SsHopm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matrix_extremes_classify_as_expected() {
+        // A = diag(3, 1): on the sphere, e_0 is the max (lambda=3), e_1 the
+        // min (lambda=1).
+        let mut a = SymTensor::<f64>::zeros(2, 2);
+        a.set(&[0, 0], 3.0).unwrap();
+        a.set(&[1, 1], 1.0).unwrap();
+        assert_eq!(
+            classify(&a, 3.0, &[1.0, 0.0], 1e-8),
+            Stability::NegativeStable
+        );
+        assert_eq!(
+            classify(&a, 1.0, &[0.0, 1.0], 1e-8),
+            Stability::PositiveStable
+        );
+    }
+
+    #[test]
+    fn matrix_saddle_in_3d() {
+        // diag(3, 2, 1): e_1 is a saddle of the quadratic form on the sphere.
+        let mut a = SymTensor::<f64>::zeros(2, 3);
+        a.set(&[0, 0], 3.0).unwrap();
+        a.set(&[1, 1], 2.0).unwrap();
+        a.set(&[2, 2], 1.0).unwrap();
+        assert_eq!(classify(&a, 2.0, &[0.0, 1.0, 0.0], 1e-8), Stability::Saddle);
+    }
+
+    #[test]
+    fn convex_sshopm_lands_on_negative_stable_pairs() {
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = SymTensor::<f64>::random(4, 3, &mut rng);
+            let pair = SsHopm::new(Shift::Convex)
+                .with_tolerance(1e-14)
+                .solve(&a, &[0.48, -0.62, 0.62]);
+            if !pair.converged || pair.residual(&a) > 1e-6 {
+                continue;
+            }
+            let s = classify(&a, pair.lambda, &pair.x, 1e-5);
+            assert!(
+                s == Stability::NegativeStable || s == Stability::Degenerate,
+                "seed {seed}: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn concave_sshopm_lands_on_positive_stable_pairs() {
+        for seed in 10..18u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = SymTensor::<f64>::random(4, 3, &mut rng);
+            let pair = SsHopm::new(Shift::Concave)
+                .with_tolerance(1e-14)
+                .solve(&a, &[0.48, -0.62, 0.62]);
+            if !pair.converged || pair.residual(&a) > 1e-6 {
+                continue;
+            }
+            let s = classify(&a, pair.lambda, &pair.x, 1e-5);
+            assert!(
+                s == Stability::PositiveStable || s == Stability::Degenerate,
+                "seed {seed}: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sphere_of_identity_tensor_is_degenerate() {
+        // For A = I (m=2), every unit vector is an eigenvector with
+        // lambda=1; the projected Hessian is identically zero on the
+        // tangent space.
+        let a = SymTensor::<f64>::diagonal_ones(2, 3);
+        let s = classify(&a, 1.0, &[1.0, 0.0, 0.0], 1e-8);
+        assert_eq!(s, Stability::Degenerate);
+    }
+
+    #[test]
+    fn n1_is_degenerate() {
+        let a = SymTensor::<f64>::from_values(3, 1, vec![2.0]).unwrap();
+        assert_eq!(classify(&a, 2.0, &[1.0], 1e-8), Stability::Degenerate);
+    }
+
+    #[test]
+    fn local_max_flag() {
+        assert!(Stability::NegativeStable.is_local_max());
+        assert!(!Stability::PositiveStable.is_local_max());
+        assert!(!Stability::Saddle.is_local_max());
+        assert!(!Stability::Degenerate.is_local_max());
+    }
+}

@@ -1,0 +1,276 @@
+//! H-eigenpairs of nonnegative symmetric tensors: the NQZ power method.
+//!
+//! The paper (Section II) notes that several definitions of tensor
+//! eigenvalues coexist. SS-HOPM computes **Z-eigenpairs**
+//! (`A·x^{m−1} = λx`, `‖x‖₂ = 1`); the other widely used definition is the
+//! **H-eigenpair** `A·x^{m−1} = λ·x^{[m−1]}` where `x^{[m−1]}` raises each
+//! component to the `m−1` power. For irreducible nonnegative tensors the
+//! Perron–Frobenius theory carries over: there is a unique positive
+//! H-eigenpair with maximal eigenvalue, and the Ng–Qi–Zhou (NQZ) power
+//! iteration converges to it while sandwiching the eigenvalue between
+//! monotone bounds:
+//!
+//! ```text
+//! y   = A·x_k^{m−1}
+//! λ⁻  = min_i  y_i / x_i^{m−1}      λ⁺ = max_i  y_i / x_i^{m−1}
+//! x_{k+1} = y^{[1/(m−1)]} / ‖y^{[1/(m−1)]}‖₁
+//! ```
+
+use symtensor::kernels::axm1;
+use symtensor::{Scalar, SymTensor};
+
+/// A computed H-eigenpair with its final Perron bounds.
+#[derive(Debug, Clone)]
+pub struct HEigenpair<S> {
+    /// The eigenvalue estimate (the geometric midpoint of the bounds).
+    pub lambda: f64,
+    /// The positive eigenvector, normalized to unit 1-norm.
+    pub x: Vec<S>,
+    /// Final lower bound `λ⁻ ≤ λ*`.
+    pub lower: f64,
+    /// Final upper bound `λ* ≤ λ⁺`.
+    pub upper: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// True if `λ⁺ − λ⁻` fell below the tolerance.
+    pub converged: bool,
+}
+
+impl<S: Scalar> HEigenpair<S> {
+    /// H-eigenpair residual `‖A·x^{m−1} − λ·x^{[m−1]}‖∞`.
+    pub fn residual(&self, a: &SymTensor<S>) -> f64 {
+        let n = a.dim();
+        let m = a.order();
+        let mut y = vec![S::ZERO; n];
+        axm1(a, &self.x, &mut y);
+        let mut worst = 0.0f64;
+        for (yi, xi) in y.iter().zip(&self.x) {
+            let xi = xi.to_f64();
+            let d = (yi.to_f64() - self.lambda * xi.powi(m as i32 - 1)).abs();
+            worst = worst.max(d);
+        }
+        worst
+    }
+}
+
+/// Errors from the NQZ iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeigError {
+    /// The tensor has a negative entry; NQZ requires nonnegativity.
+    NegativeEntry,
+    /// The iteration produced a zero vector (the tensor is reducible in a
+    /// way that starves the iterate); no Perron pair is reachable from the
+    /// positive cone.
+    Degenerate,
+}
+
+impl std::fmt::Display for HeigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeigError::NegativeEntry => write!(f, "NQZ requires a nonnegative tensor"),
+            HeigError::Degenerate => write!(f, "iteration starved (reducible tensor)"),
+        }
+    }
+}
+
+impl std::error::Error for HeigError {}
+
+/// Run the NQZ power method on a nonnegative symmetric tensor.
+///
+/// Returns the dominant H-eigenpair. Convergence (bounds gap below `tol`
+/// relative to the eigenvalue) is guaranteed for irreducible nonnegative
+/// tensors; for reducible ones the bounds may stall, reported via
+/// `converged = false`.
+pub fn nqz<S: Scalar>(
+    a: &SymTensor<S>,
+    tol: f64,
+    max_iters: usize,
+) -> Result<HEigenpair<S>, HeigError> {
+    if a.values().iter().any(|v| v.to_f64() < 0.0) {
+        return Err(HeigError::NegativeEntry);
+    }
+    let n = a.dim();
+    let m = a.order();
+    let p = (m - 1) as f64;
+
+    // Strictly positive start (uniform).
+    let mut x: Vec<f64> = vec![1.0 / n as f64; n];
+    let mut y = vec![S::ZERO; n];
+    let mut lower = 0.0f64;
+    let mut upper = f64::INFINITY;
+    let mut iterations = 0;
+    let mut converged = false;
+
+    for _ in 0..max_iters {
+        let xs: Vec<S> = x.iter().map(|&v| S::from_f64(v)).collect();
+        axm1(a, &xs, &mut y);
+        // Perron bounds from ratios y_i / x_i^{m-1} over positive entries.
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for i in 0..n {
+            let denom = x[i].powf(p);
+            if denom > 0.0 {
+                let r = y[i].to_f64() / denom;
+                lo = lo.min(r);
+                hi = hi.max(r);
+            }
+        }
+        if !lo.is_finite() {
+            return Err(HeigError::Degenerate);
+        }
+        lower = lo.max(lower);
+        upper = hi.min(upper);
+        iterations += 1;
+        if upper - lower <= tol * upper.max(1e-300) {
+            converged = true;
+            break;
+        }
+        // Next iterate: componentwise (m-1)-th root, 1-norm normalized.
+        let mut next: Vec<f64> = y.iter().map(|v| v.to_f64().max(0.0).powf(1.0 / p)).collect();
+        let sum: f64 = next.iter().sum();
+        if sum <= 0.0 {
+            return Err(HeigError::Degenerate);
+        }
+        for v in &mut next {
+            *v /= sum;
+        }
+        x = next;
+    }
+
+    let lambda = (lower * upper).sqrt().max(lower);
+    Ok(HEigenpair {
+        lambda,
+        x: x.into_iter().map(S::from_f64).collect(),
+        lower,
+        upper,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ones_tensor_has_lambda_n_to_m_minus_1() {
+        // A = all-ones: A x^{m-1} = (sum x)^{m-1} per entry; the Perron
+        // H-eigenpair is x = uniform, lambda = n^{m-1}.
+        for (m, n) in [(3usize, 2usize), (3, 3), (4, 3)] {
+            let a = SymTensor::<f64>::from_fn(m, n, |_| 1.0);
+            let pair = nqz(&a, 1e-12, 500).unwrap();
+            assert!(pair.converged, "[{m},{n}]");
+            let want = (n as f64).powi(m as i32 - 1);
+            assert!(
+                (pair.lambda - want).abs() < 1e-8 * want,
+                "[{m},{n}]: {} vs {want}",
+                pair.lambda
+            );
+            // Uniform eigenvector.
+            for xi in &pair.x {
+                assert!((xi - 1.0 / n as f64).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_case_matches_perron_eigenvalue() {
+        // m=2: H-eigenpairs are ordinary eigenpairs; NQZ is the classical
+        // power method on a nonnegative matrix. Compare against Jacobi.
+        let mut a = SymTensor::<f64>::zeros(2, 3);
+        let entries = [
+            ([0usize, 0], 2.0),
+            ([0, 1], 1.0),
+            ([0, 2], 0.5),
+            ([1, 1], 3.0),
+            ([1, 2], 0.25),
+            ([2, 2], 1.0),
+        ];
+        for (idx, v) in entries {
+            a.set(&idx, v).unwrap();
+        }
+        let pair = nqz(&a, 1e-12, 1000).unwrap();
+        assert!(pair.converged);
+        // Dense eigensolve for the reference.
+        let mat = linalg::Matrix::from_fn(3, 3, |i, j| a.get(&[i.min(j), i.max(j)]).unwrap());
+        let eig = linalg::SymmetricEigen::new(&mat).unwrap();
+        assert!(
+            (pair.lambda - eig.max()).abs() < 1e-8 * eig.max(),
+            "{} vs {}",
+            pair.lambda,
+            eig.max()
+        );
+    }
+
+    #[test]
+    fn bounds_sandwich_the_eigenvalue() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = SymTensor::<f64>::from_fn(3, 4, |_| rng.gen_range(0.01..1.0));
+        let pair = nqz(&a, 1e-10, 2000).unwrap();
+        assert!(pair.converged);
+        assert!(pair.lower <= pair.lambda + 1e-12);
+        assert!(pair.lambda <= pair.upper + 1e-12);
+        assert!(pair.residual(&a) < 1e-6, "{}", pair.residual(&a));
+    }
+
+    #[test]
+    fn eigenvector_is_positive_with_unit_1_norm() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = SymTensor::<f64>::from_fn(4, 3, |_| rng.gen_range(0.1..1.0));
+        let pair = nqz(&a, 1e-10, 2000).unwrap();
+        assert!(pair.x.iter().all(|&v| v > 0.0));
+        let sum: f64 = pair.x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn negative_entries_rejected() {
+        let mut a = SymTensor::<f64>::zeros(3, 2);
+        a.set(&[0, 0, 1], -0.5).unwrap();
+        assert_eq!(nqz(&a, 1e-8, 100).unwrap_err(), HeigError::NegativeEntry);
+    }
+
+    #[test]
+    fn zero_tensor_has_zero_eigenvalue() {
+        // Every positive x satisfies 0·x^{m-1} = 0·x^{[m-1]}: the bounds
+        // collapse to zero immediately.
+        let a = SymTensor::<f64>::zeros(3, 3);
+        let pair = nqz(&a, 1e-8, 100).unwrap();
+        assert!(pair.converged);
+        assert_eq!(pair.lambda, 0.0);
+        assert_eq!(pair.iterations, 1);
+    }
+
+    #[test]
+    fn reducible_tensor_still_finds_its_perron_pair() {
+        // a_{000} = 1 only (reducible): the iterate collapses onto
+        // coordinate 0 in one step; the 0/0 ratios of the starved
+        // coordinates are skipped by the positivity guard, and the method
+        // lands exactly on the true pair (lambda = 1, x = e_0).
+        let mut a = SymTensor::<f64>::zeros(3, 3);
+        a.set(&[0, 0, 0], 1.0).unwrap();
+        let pair = nqz(&a, 1e-10, 50).unwrap();
+        assert!(pair.converged);
+        assert!((pair.lambda - 1.0).abs() < 1e-12);
+        assert!((pair.x[0] - 1.0).abs() < 1e-12);
+        assert!(pair.residual(&a) < 1e-12);
+    }
+
+    #[test]
+    fn h_and_z_eigenvalues_differ_in_general() {
+        // For the all-ones m=3, n=2 tensor: H-lambda = 4 (above), while the
+        // Z-eigenvalue of the same dominant direction is
+        // A x^m at x = (1,1)/sqrt(2): (sum x)^3 = (2/sqrt2)^3 = 2.828...
+        let a = SymTensor::<f64>::from_fn(3, 2, |_| 1.0);
+        let h = nqz(&a, 1e-12, 500).unwrap();
+        let z = crate::solver::SsHopm::new(crate::shift::Shift::Convex)
+            .with_tolerance(1e-13)
+            .solve(&a, &[0.6, 0.4]);
+        assert!((h.lambda - 4.0).abs() < 1e-8);
+        assert!((z.lambda - 8.0f64.sqrt()).abs() < 1e-6, "{}", z.lambda);
+    }
+}

@@ -1,0 +1,53 @@
+//! # sshopm — the Shifted Symmetric Higher-Order Power Method
+//!
+//! Implementation of the SS-HOPM algorithm of Kolda & Mayo as presented in
+//! Figure 1 of Ballard, Kolda & Plantenga (IPPS 2011), plus everything a
+//! real application needs around the bare iteration:
+//!
+//! * [`solver`] — the core fixed-shift iteration with convergence detection
+//!   and iteration tracing;
+//! * [`shift`] — shift selection: fixed values, the sufficient convexity
+//!   bound `α > (m−1)·‖A‖_F`, and an adaptive per-iteration shift;
+//! * [`mod@classify`] — eigenpair classification (local max / local min /
+//!   saddle) via the spectrum of the projected Hessian;
+//! * [`starts`] — starting-vector generation (the paper's uniform-random
+//!   scheme and a deterministic Fibonacci-sphere alternative);
+//! * [`mod@multistart`] — many starting vectors with eigenpair deduplication,
+//!   for "find all the real eigenpairs you can" workflows;
+//! * [`batch`] — the paper's workload shape: many independent small tensors
+//!   solved in parallel (rayon stands in for the paper's OpenMP loop).
+//!
+//! ```
+//! use symtensor::SymTensor;
+//! use sshopm::{SsHopm, Shift};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let a = SymTensor::<f64>::random(4, 3, &mut rng);
+//! let solver = SsHopm::new(Shift::Convex).with_tolerance(1e-12);
+//! let x0 = [1.0, 0.0, 0.0];
+//! let pair = solver.solve(&a, &x0);
+//! assert!(pair.converged);
+//! assert!(pair.residual(&a) < 1e-5);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod batch;
+pub mod classify;
+pub mod decompose;
+pub mod heig;
+pub mod multistart;
+pub mod refine;
+pub mod shift;
+pub mod solver;
+pub mod starts;
+
+pub use batch::{BatchResult, BatchSolver};
+pub use classify::{classify, Stability};
+pub use decompose::{best_rank_one, decompose, SymCp};
+pub use heig::{nqz, HEigenpair};
+pub use multistart::{multistart, DedupConfig, Spectrum};
+pub use refine::{refine, Refined};
+pub use shift::Shift;
+pub use solver::{Eigenpair, IterationPolicy, SsHopm};

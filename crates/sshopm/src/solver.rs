@@ -1,0 +1,470 @@
+//! The core SS-HOPM iteration (Figure 1 of the paper).
+//!
+//! ```text
+//! repeat
+//!     if α ≥ 0:  x̂_{k+1} ← A·x_kᵐ⁻¹ + α·x_k
+//!     else:      x̂_{k+1} ← −(A·x_kᵐ⁻¹ + α·x_k)
+//!     x_{k+1} ← x̂_{k+1} / ‖x̂_{k+1}‖
+//!     λ_{k+1} ← A·x_{k+1}ᵐ
+//! until λ converges
+//! ```
+
+use crate::shift::Shift;
+use symtensor::kernels::{GeneralKernels, TensorKernels};
+use symtensor::scalar::{norm2, normalize};
+use symtensor::{Scalar, SymTensor};
+
+/// When to stop iterating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IterationPolicy {
+    /// Stop when `|λ_{k+1} − λ_k|` falls below the tolerance, or after the
+    /// maximum number of iterations, whichever comes first.
+    Converge {
+        /// Absolute tolerance on successive eigenvalue estimates.
+        tol: f64,
+        /// Hard iteration cap.
+        max_iters: usize,
+    },
+    /// Run exactly this many iterations (the regime used for the paper's
+    /// GPU throughput benchmarks, where every thread does identical work).
+    Fixed(usize),
+}
+
+impl Default for IterationPolicy {
+    fn default() -> Self {
+        IterationPolicy::Converge {
+            tol: 1e-10,
+            max_iters: 1000,
+        }
+    }
+}
+
+/// A computed (approximate) eigenpair with solve metadata.
+#[derive(Debug, Clone)]
+pub struct Eigenpair<S> {
+    /// Eigenvalue estimate `λ = A·xᵐ`.
+    pub lambda: S,
+    /// Unit eigenvector estimate.
+    pub x: Vec<S>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the convergence criterion was met (always `true` under
+    /// [`IterationPolicy::Fixed`]).
+    pub converged: bool,
+    /// The (final) shift used.
+    pub alpha: f64,
+}
+
+impl<S: Scalar> Eigenpair<S> {
+    /// Eigenpair residual `‖A·xᵐ⁻¹ − λ·x‖₂`, the definitional measure of
+    /// eigenpair quality (Definition 3 of the paper).
+    pub fn residual(&self, a: &SymTensor<S>) -> f64 {
+        let n = a.dim();
+        let mut y = vec![S::ZERO; n];
+        symtensor::kernels::axm1(a, &self.x, &mut y);
+        let mut acc = 0.0f64;
+        for (yi, xi) in y.iter().zip(&self.x) {
+            let d = yi.to_f64() - self.lambda.to_f64() * xi.to_f64();
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+
+    /// The eigenpair with the eigenvector's sign flipped; for even tensor
+    /// order this is an equally valid eigenpair (`λ, −x`), for odd order the
+    /// eigenvalue flips too (`−λ, −x`).
+    pub fn negated(&self, m: usize) -> Self {
+        Self {
+            lambda: if m.is_multiple_of(2) {
+                self.lambda
+            } else {
+                -self.lambda
+            },
+            x: self.x.iter().map(|&v| -v).collect(),
+            iterations: self.iterations,
+            converged: self.converged,
+            alpha: self.alpha,
+        }
+    }
+}
+
+/// The SS-HOPM solver: a shift policy plus an iteration policy.
+#[derive(Debug, Clone, Copy)]
+pub struct SsHopm {
+    shift: Shift,
+    policy: IterationPolicy,
+}
+
+impl SsHopm {
+    /// Create a solver with the given shift policy and default convergence
+    /// policy (`tol = 1e-10`, `max_iters = 1000`).
+    pub fn new(shift: Shift) -> Self {
+        Self {
+            shift,
+            policy: IterationPolicy::default(),
+        }
+    }
+
+    /// Replace the convergence tolerance (keeps the iteration cap).
+    pub fn with_tolerance(mut self, tol: f64) -> Self {
+        if let IterationPolicy::Converge { max_iters, .. } = self.policy {
+            self.policy = IterationPolicy::Converge { tol, max_iters };
+        }
+        self
+    }
+
+    /// Replace the iteration cap (keeps the tolerance).
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        if let IterationPolicy::Converge { tol, .. } = self.policy {
+            self.policy = IterationPolicy::Converge { tol, max_iters };
+        }
+        self
+    }
+
+    /// Replace the whole iteration policy.
+    pub fn with_policy(mut self, policy: IterationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The shift policy.
+    pub fn shift(&self) -> Shift {
+        self.shift
+    }
+
+    /// The iteration policy.
+    pub fn policy(&self) -> IterationPolicy {
+        self.policy
+    }
+
+    /// Run SS-HOPM from `x0` with the default on-the-fly kernels.
+    ///
+    /// # Panics
+    /// Panics if `x0.len() != a.dim()` or `x0` is the zero vector.
+    pub fn solve<S: Scalar>(&self, a: &SymTensor<S>, x0: &[S]) -> Eigenpair<S> {
+        self.solve_with(&GeneralKernels, a, x0)
+    }
+
+    /// Run SS-HOPM from `x0` using a caller-chosen kernel implementation
+    /// (general / precomputed / unrolled).
+    pub fn solve_with<S: Scalar, K: TensorKernels<S> + ?Sized>(
+        &self,
+        kernels: &K,
+        a: &SymTensor<S>,
+        x0: &[S],
+    ) -> Eigenpair<S> {
+        let n = a.dim();
+        assert_eq!(x0.len(), n, "starting vector length");
+        let mut x = x0.to_vec();
+        let nrm = normalize(&mut x);
+        assert!(nrm != S::ZERO, "starting vector must be nonzero");
+
+        let (tol, max_iters) = match self.policy {
+            IterationPolicy::Converge { tol, max_iters } => (tol, max_iters),
+            IterationPolicy::Fixed(k) => (0.0, k),
+        };
+        let converge_mode = matches!(self.policy, IterationPolicy::Converge { .. });
+
+        let mut lambda = kernels.axm(a, &x);
+        let mut alpha = self.shift.value_at(a, &x);
+        let mut y = vec![S::ZERO; n];
+        let mut iterations = 0;
+        let mut converged = false;
+
+        for _ in 0..max_iters {
+            // x̂ ← A x^{m-1} + α x   (negated when α < 0).
+            kernels.axm1(a, &x, &mut y);
+            let alpha_s = S::from_f64(alpha);
+            if alpha >= 0.0 {
+                for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+                    *yi += alpha_s * xi;
+                }
+            } else {
+                for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+                    *yi = -(*yi + alpha_s * xi);
+                }
+            }
+            let nrm = norm2(&y);
+            if nrm == S::ZERO {
+                // Degenerate: A x^{m-1} = -alpha x exactly. x is already an
+                // eigenvector of the shifted map; stop here.
+                iterations += 1;
+                converged = converge_mode;
+                break;
+            }
+            for (xi, &yi) in x.iter_mut().zip(y.iter()) {
+                *xi = yi / nrm;
+            }
+            let new_lambda = kernels.axm(a, &x);
+            iterations += 1;
+            if converge_mode && (new_lambda - lambda).abs().to_f64() <= tol {
+                lambda = new_lambda;
+                converged = true;
+                break;
+            }
+            lambda = new_lambda;
+            // Adaptive policy re-evaluates the shift at the new iterate.
+            if self.shift.fixed_value(a).is_none() {
+                alpha = self.shift.value_at(a, &x);
+            }
+        }
+
+        Eigenpair {
+            lambda,
+            x,
+            iterations,
+            converged: converged || !converge_mode,
+            alpha,
+        }
+    }
+
+    /// Solve and also record the eigenvalue estimate at every iteration
+    /// (for convergence plots and the shift ablation bench).
+    pub fn solve_traced<S: Scalar>(&self, a: &SymTensor<S>, x0: &[S]) -> (Eigenpair<S>, Vec<f64>) {
+        // Re-run the iteration with tracing; tiny problems make the
+        // duplicate work irrelevant and it keeps the hot path clean.
+        let n = a.dim();
+        let mut x = x0.to_vec();
+        normalize(&mut x);
+        let mut trace = Vec::new();
+        let (tol, max_iters) = match self.policy {
+            IterationPolicy::Converge { tol, max_iters } => (tol, max_iters),
+            IterationPolicy::Fixed(k) => (0.0, k),
+        };
+        let converge_mode = matches!(self.policy, IterationPolicy::Converge { .. });
+        let kernels = GeneralKernels;
+        let mut lambda = TensorKernels::<S>::axm(&kernels, a, &x);
+        trace.push(lambda.to_f64());
+        let mut alpha = self.shift.value_at(a, &x);
+        let mut y = vec![S::ZERO; n];
+        let mut iterations = 0;
+        let mut converged = false;
+        for _ in 0..max_iters {
+            TensorKernels::<S>::axm1(&kernels, a, &x, &mut y);
+            let alpha_s = S::from_f64(alpha);
+            if alpha >= 0.0 {
+                for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+                    *yi += alpha_s * xi;
+                }
+            } else {
+                for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+                    *yi = -(*yi + alpha_s * xi);
+                }
+            }
+            let nrm = norm2(&y);
+            if nrm == S::ZERO {
+                iterations += 1;
+                converged = converge_mode;
+                break;
+            }
+            for (xi, &yi) in x.iter_mut().zip(y.iter()) {
+                *xi = yi / nrm;
+            }
+            let new_lambda = TensorKernels::<S>::axm(&kernels, a, &x);
+            trace.push(new_lambda.to_f64());
+            iterations += 1;
+            if converge_mode && (new_lambda - lambda).abs().to_f64() <= tol {
+                lambda = new_lambda;
+                converged = true;
+                break;
+            }
+            lambda = new_lambda;
+            if self.shift.fixed_value(a).is_none() {
+                alpha = self.shift.value_at(a, &x);
+            }
+        }
+        (
+            Eigenpair {
+                lambda,
+                x,
+                iterations,
+                converged: converged || !converge_mode,
+                alpha,
+            },
+            trace,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symtensor::PrecomputedTables;
+
+    fn random_tensor(m: usize, n: usize, seed: u64) -> SymTensor<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SymTensor::random(m, n, &mut rng)
+    }
+
+    #[test]
+    fn matrix_case_recovers_dominant_eigenpair() {
+        // m=2 with alpha=0 is the classical power method. diag(3, 1):
+        // dominant eigenpair (3, e_0).
+        let mut a = SymTensor::<f64>::zeros(2, 2);
+        a.set(&[0, 0], 3.0).unwrap();
+        a.set(&[1, 1], 1.0).unwrap();
+        let solver = SsHopm::new(Shift::Fixed(0.0)).with_tolerance(1e-14);
+        let pair = solver.solve(&a, &[0.5, 0.5]);
+        assert!(pair.converged);
+        assert!((pair.lambda - 3.0).abs() < 1e-6);
+        assert!(pair.x[0].abs() > 0.999);
+    }
+
+    #[test]
+    fn converged_pairs_satisfy_eigen_equation() {
+        for seed in 0..5 {
+            let a = random_tensor(4, 3, seed);
+            let solver = SsHopm::new(Shift::Convex).with_tolerance(1e-13);
+            let pair = solver.solve(&a, &[0.3, -0.5, 0.8]);
+            assert!(pair.converged, "seed {seed}");
+            assert!(pair.residual(&a) < 1e-5, "seed {seed}: {}", pair.residual(&a));
+            // Unit eigenvector.
+            let nrm: f64 = pair.x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((nrm - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convex_shift_converges_monotonically() {
+        let a = random_tensor(4, 3, 10);
+        let solver = SsHopm::new(Shift::Convex).with_tolerance(1e-13);
+        let (_, trace) = solver.solve_traced(&a, &[1.0, 1.0, 1.0]);
+        // Kolda-Mayo: with alpha above the convexity bound, lambda_k is
+        // nondecreasing.
+        for w in trace.windows(2) {
+            assert!(w[1] >= w[0] - 1e-10, "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn concave_shift_converges_to_local_minimum() {
+        let a = random_tensor(4, 3, 11);
+        let up = SsHopm::new(Shift::Convex).solve(&a, &[0.2, 0.3, 0.9]);
+        let down = SsHopm::new(Shift::Concave).solve(&a, &[0.2, 0.3, 0.9]);
+        assert!(down.lambda <= up.lambda);
+        let (_, trace) = SsHopm::new(Shift::Concave).solve_traced(&a, &[0.2, 0.3, 0.9]);
+        for w in trace.windows(2) {
+            assert!(w[1] <= w[0] + 1e-10);
+        }
+    }
+
+    #[test]
+    fn adaptive_shift_converges_at_least_as_fast_as_fixed_bound() {
+        let mut fixed_total = 0usize;
+        let mut adaptive_total = 0usize;
+        for seed in 20..30 {
+            let a = random_tensor(4, 3, seed);
+            let x0 = [0.6, -0.7, 0.4];
+            let fixed = SsHopm::new(Shift::Convex).with_tolerance(1e-12).solve(&a, &x0);
+            let adaptive = SsHopm::new(Shift::Adaptive).with_tolerance(1e-12).solve(&a, &x0);
+            assert!(adaptive.converged && fixed.converged, "seed {seed}");
+            assert!(adaptive.residual(&a) < 1e-4);
+            fixed_total += fixed.iterations;
+            adaptive_total += adaptive.iterations;
+        }
+        assert!(
+            adaptive_total <= fixed_total,
+            "adaptive {adaptive_total} vs fixed {fixed_total}"
+        );
+    }
+
+    #[test]
+    fn fixed_policy_runs_exact_iteration_count() {
+        let a = random_tensor(4, 3, 31);
+        let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(17));
+        let pair = solver.solve(&a, &[1.0, 0.0, 0.0]);
+        assert_eq!(pair.iterations, 17);
+        assert!(pair.converged, "fixed policy always reports success");
+    }
+
+    #[test]
+    fn unconverged_solve_is_reported() {
+        let a = random_tensor(4, 3, 32);
+        let solver = SsHopm::new(Shift::Convex).with_tolerance(0.0).with_max_iters(2);
+        let pair = solver.solve(&a, &[1.0, 1.0, 1.0]);
+        assert!(!pair.converged);
+        assert_eq!(pair.iterations, 2);
+    }
+
+    #[test]
+    fn precomputed_kernels_give_identical_trajectory() {
+        let a = random_tensor(4, 3, 33);
+        let tables = PrecomputedTables::new(4, 3);
+        let solver = SsHopm::new(Shift::Convex).with_tolerance(1e-13);
+        let p1 = solver.solve(&a, &[0.1, 0.2, 0.97]);
+        let p2 = solver.solve_with(&tables, &a, &[0.1, 0.2, 0.97]);
+        assert!((p1.lambda - p2.lambda).abs() < 1e-12);
+        for (a1, b1) in p1.x.iter().zip(&p2.x) {
+            assert!((a1 - b1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_one_tensor_recovers_its_vector() {
+        // A = v^(x)m: lambda_max = 1 with eigenvector v (for unit v).
+        let mut v = vec![0.6, -0.8, 0.0];
+        symtensor::scalar::normalize(&mut v);
+        let a = SymTensor::<f64>::rank_one(4, &v);
+        let pair = SsHopm::new(Shift::Convex).with_tolerance(1e-14).solve(&a, &[1.0, 1.0, 1.0]);
+        assert!((pair.lambda - 1.0).abs() < 1e-6, "{}", pair.lambda);
+        let dot: f64 = pair.x.iter().zip(&v).map(|(a, b)| a * b).sum();
+        assert!(dot.abs() > 0.9999, "{dot}");
+    }
+
+    #[test]
+    fn negated_eigenpair_is_valid_for_even_order() {
+        let a = random_tensor(4, 3, 34);
+        let pair = SsHopm::new(Shift::Convex).with_tolerance(1e-14).solve(&a, &[0.3, 0.3, 0.9]);
+        let neg = pair.negated(4);
+        assert_eq!(neg.lambda, pair.lambda);
+        // For even order the sign-flipped pair has the identical residual.
+        assert!((neg.residual(&a) - pair.residual(&a)).abs() < 1e-12);
+        assert!(neg.residual(&a) < 1e-5, "{}", neg.residual(&a));
+    }
+
+    #[test]
+    fn negated_eigenpair_flips_lambda_for_odd_order() {
+        let a = random_tensor(3, 3, 35);
+        let pair = SsHopm::new(Shift::Convex).with_tolerance(1e-13).solve(&a, &[0.3, 0.3, 0.9]);
+        let neg = pair.negated(3);
+        assert_eq!(neg.lambda, -pair.lambda);
+        assert!(neg.residual(&a) < 1e-5);
+    }
+
+    #[test]
+    fn f32_solve_matches_f64_to_single_precision() {
+        let a64 = random_tensor(4, 3, 36);
+        let a32 = a64.to_f32();
+        let s = SsHopm::new(Shift::Convex).with_tolerance(1e-6);
+        let p64 = s.solve(&a64, &[0.5, 0.5, 0.7]);
+        let p32 = s.solve(&a32, &[0.5f32, 0.5, 0.7]);
+        assert!((p64.lambda - p32.lambda as f64).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_starting_vector_panics() {
+        let a = random_tensor(4, 3, 37);
+        SsHopm::new(Shift::Convex).solve(&a, &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_length_start_panics() {
+        let a = random_tensor(4, 3, 38);
+        SsHopm::new(Shift::Convex).solve(&a, &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn traced_solve_matches_untraced() {
+        let a = random_tensor(4, 3, 39);
+        let solver = SsHopm::new(Shift::Convex).with_tolerance(1e-12);
+        let plain = solver.solve(&a, &[0.9, 0.1, 0.4]);
+        let (traced, trace) = solver.solve_traced(&a, &[0.9, 0.1, 0.4]);
+        assert!((plain.lambda - traced.lambda).abs() < 1e-12);
+        assert_eq!(plain.iterations, traced.iterations);
+        assert_eq!(trace.len(), traced.iterations + 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for SS-HOPM: convergence invariants, shift
+//! monotonicity, eigen-equation residuals, refinement, and dedup sanity on
+//! random tensors.
+
+use proptest::prelude::*;
+use sshopm::{
+    multistart, refine, DedupConfig, IterationPolicy, Shift, SsHopm,
+};
+use symtensor::multinomial::num_unique_entries;
+use symtensor::SymTensor;
+
+fn shape() -> impl Strategy<Value = (usize, usize)> {
+    proptest::sample::select(vec![(3usize, 2usize), (3, 3), (4, 2), (4, 3), (5, 3), (6, 3)])
+}
+
+fn tensor_and_start() -> impl Strategy<Value = (SymTensor<f64>, Vec<f64>)> {
+    shape().prop_flat_map(|(m, n)| {
+        let len = num_unique_entries(m, n) as usize;
+        (
+            proptest::collection::vec(-1.0f64..1.0, len)
+                .prop_map(move |v| SymTensor::from_values(m, n, v).unwrap()),
+            proptest::collection::vec(-1.0f64..1.0, n).prop_filter("nonzero start", |x| {
+                x.iter().map(|v| v * v).sum::<f64>() > 1e-4
+            }),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn convex_shift_converges_and_satisfies_eigen_equation((a, x0) in tensor_and_start()) {
+        // Convergence is guaranteed but the *rate* can be arbitrarily slow
+        // near degenerate pairs, so give the iteration generous headroom.
+        let pair = SsHopm::new(Shift::Convex)
+            .with_tolerance(1e-13)
+            .with_max_iters(50_000)
+            .solve(&a, &x0);
+        prop_assert!(pair.converged, "convex shift guarantees convergence");
+        let scale = 1.0 + a.frobenius_norm();
+        prop_assert!(pair.residual(&a) < 1e-4 * scale, "residual {:e}", pair.residual(&a));
+        // Unit eigenvector.
+        let nrm: f64 = pair.x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!((nrm - 1.0).abs() < 1e-10);
+        // Lambda is the Rayleigh quotient at x.
+        let rq = symtensor::kernels::axm(&a, &pair.x);
+        prop_assert!((rq - pair.lambda).abs() < 1e-10 * scale);
+    }
+
+    #[test]
+    fn convex_trace_is_monotone_nondecreasing((a, x0) in tensor_and_start()) {
+        let (_, trace) = SsHopm::new(Shift::Convex)
+            .with_tolerance(1e-12)
+            .solve_traced(&a, &x0);
+        for w in trace.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9 * (1.0 + w[0].abs()), "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn concave_trace_is_monotone_nonincreasing((a, x0) in tensor_and_start()) {
+        let (_, trace) = SsHopm::new(Shift::Concave)
+            .with_tolerance(1e-12)
+            .solve_traced(&a, &x0);
+        for w in trace.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-9 * (1.0 + w[0].abs()));
+        }
+    }
+
+    #[test]
+    fn concave_result_never_exceeds_convex((a, x0) in tensor_and_start()) {
+        let up = SsHopm::new(Shift::Convex).with_tolerance(1e-12).solve(&a, &x0);
+        let down = SsHopm::new(Shift::Concave).with_tolerance(1e-12).solve(&a, &x0);
+        prop_assert!(down.lambda <= up.lambda + 1e-8);
+    }
+
+    #[test]
+    fn fixed_policy_runs_exactly_k((a, x0) in tensor_and_start(), k in 1usize..40) {
+        let pair = SsHopm::new(Shift::Convex)
+            .with_policy(IterationPolicy::Fixed(k))
+            .solve(&a, &x0);
+        prop_assert_eq!(pair.iterations, k);
+        prop_assert!(pair.converged);
+    }
+
+    #[test]
+    fn refinement_never_worsens_residual((a, x0) in tensor_and_start()) {
+        let pair = SsHopm::new(Shift::Convex).with_tolerance(1e-8).solve(&a, &x0);
+        let refined = refine(&a, &pair, 3, 1e-14);
+        prop_assert!(refined.residual_after <= refined.residual_before + 1e-15);
+        let nrm: f64 = refined.pair.x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!((nrm - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn multistart_bookkeeping_is_consistent(a_x in tensor_and_start(), starts in 2usize..12) {
+        let (a, _) = a_x;
+        let n = a.dim();
+        let start_vecs: Vec<Vec<f64>> = (0..starts)
+            .map(|i| {
+                let mut v = vec![0.1; n];
+                v[i % n] = 1.0;
+                v
+            })
+            .collect();
+        let spectrum = multistart(
+            &SsHopm::new(Shift::Convex).with_tolerance(1e-12),
+            &a,
+            &start_vecs,
+            &DedupConfig::default(),
+            1e-5,
+        );
+        let basins: usize = spectrum.entries.iter().map(|e| e.basin_count).sum();
+        prop_assert_eq!(basins + spectrum.failures, starts);
+        for w in spectrum.entries.windows(2) {
+            prop_assert!(w[0].pair.lambda >= w[1].pair.lambda);
+        }
+    }
+
+    #[test]
+    fn scaling_tensor_scales_eigenvalues((a, x0) in tensor_and_start(), c in 0.1f64..3.0) {
+        // Eigenpairs of c*A are (c*lambda, x).
+        let mut ca = a.clone();
+        ca.scale(c);
+        let p1 = SsHopm::new(Shift::Convex).with_tolerance(1e-13).solve(&a, &x0);
+        let p2 = SsHopm::new(Shift::Convex).with_tolerance(1e-13).solve(&ca, &x0);
+        // Same starting vector + scaled problem converges to the scaled
+        // version of the same pair (the iteration map is identical).
+        prop_assert!((p2.lambda - c * p1.lambda).abs() < 1e-5 * (1.0 + p1.lambda.abs()),
+            "{} vs {}", p2.lambda, c * p1.lambda);
+    }
+}

@@ -1,0 +1,369 @@
+//! Register-blocked kernels for tensors of *general* dimension: the
+//! direction sketched in the paper's conclusions ("we hope to be able to
+//! attain the same performance … for tensors of general size using
+//! register blocking and loop unrolling").
+//!
+//! Full unrolling (the `unrolled` crate) scales the generated code with
+//! `C(m+n-1, m)` and is only practical for small shapes. Blocking splits
+//! the problem differently:
+//!
+//! * the tensor **order `M` is a compile-time constant** (const generic),
+//!   so every per-entry monomial product is a fixed-trip-count loop the
+//!   compiler fully unrolls and keeps in registers;
+//! * the **dimension `n` stays a runtime value**, so one instantiation
+//!   handles arbitrarily large `n`;
+//! * index representations and multinomial coefficients are precomputed
+//!   into flat structure-of-arrays tables (one cache-friendly stream), and
+//!   the `A·xᵐ⁻¹` coefficients use the paper's `σ(j) = c·k_j/m` look-up
+//!   trick so no multinomial is recomputed in the loop.
+//!
+//! Orders 1 through 8 are exposed behind the shape-erased
+//! [`BlockedKernels`], which implements [`TensorKernels`] like every other
+//! strategy in this crate.
+
+// The fixed-trip `0..M` loops are the point of the blocking scheme; keep
+// them as indexed loops.
+#![allow(clippy::needless_range_loop)]
+
+use crate::index::IndexClassIter;
+use crate::kernels::TensorKernels;
+use crate::multinomial::num_unique_entries;
+use crate::scalar::Scalar;
+use crate::storage::SymTensor;
+
+/// Blocked kernel tables for a fixed compile-time order `M` and runtime
+/// dimension `n`.
+#[derive(Debug, Clone)]
+pub struct Blocked<const M: usize> {
+    n: usize,
+    /// Index representation of each class, one fixed-size row per class.
+    reps: Vec<[u32; M]>,
+    /// `C(M; k)` per class, pre-converted to f64 (exact for the supported
+    /// orders: the largest coefficient `8! = 40320` is far below 2^53).
+    coeffs: Vec<f64>,
+    /// Flattened (index, count) pairs of the distinct indices per class.
+    distinct: Vec<(u32, u32)>,
+    /// Per-class ranges into `distinct` (len = classes + 1).
+    starts: Vec<u32>,
+}
+
+impl<const M: usize> Blocked<M> {
+    /// Build the tables for dimension `n`.
+    ///
+    /// # Panics
+    /// Panics if `M == 0` or `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(M >= 1, "order must be at least 1");
+        assert!(n >= 1, "dimension must be at least 1");
+        let count = num_unique_entries(M, n) as usize;
+        let mut reps = Vec::with_capacity(count);
+        let mut coeffs = Vec::with_capacity(count);
+        let mut distinct = Vec::new();
+        let mut starts = Vec::with_capacity(count + 1);
+        starts.push(0u32);
+        for class in IndexClassIter::new(M, n) {
+            let mut row = [0u32; M];
+            for (slot, &i) in row.iter_mut().zip(class.indices()) {
+                *slot = i as u32;
+            }
+            reps.push(row);
+            coeffs.push(class.occurrences() as f64);
+            for (i, &k) in class.monomial().counts().iter().enumerate() {
+                if k > 0 {
+                    distinct.push((i as u32, k as u32));
+                }
+            }
+            starts.push(distinct.len() as u32);
+        }
+        Self {
+            n,
+            reps,
+            coeffs,
+            distinct,
+            starts,
+        }
+    }
+
+    /// The dimension the tables were built for.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of unique entries `C(M+n-1, M)`.
+    pub fn num_unique(&self) -> usize {
+        self.reps.len()
+    }
+
+    /// Blocked `A·xᵐ`: the monomial product is a fixed `M`-trip loop.
+    pub fn axm<S: Scalar>(&self, values: &[S], x: &[S]) -> S {
+        assert_eq!(values.len(), self.reps.len(), "packed value count");
+        assert_eq!(x.len(), self.n, "vector length");
+        let mut acc = S::ZERO;
+        for (u, rep) in self.reps.iter().enumerate() {
+            let mut xhat = S::ONE;
+            for t in 0..M {
+                xhat *= x[rep[t] as usize];
+            }
+            acc += S::from_f64(self.coeffs[u]) * values[u] * xhat;
+        }
+        acc
+    }
+
+    /// Blocked `A·xᵐ⁻¹` into `y` (overwritten). Per-contribution
+    /// coefficients come from the stored `C(M; k)` via `σ(j) = c·k_j/M`.
+    pub fn axm1<S: Scalar>(&self, values: &[S], x: &[S], y: &mut [S]) {
+        assert_eq!(values.len(), self.reps.len(), "packed value count");
+        assert_eq!(x.len(), self.n, "vector length");
+        assert_eq!(y.len(), self.n, "output length");
+        y.iter_mut().for_each(|e| *e = S::ZERO);
+        let inv_m = 1.0 / M as f64;
+        for (u, rep) in self.reps.iter().enumerate() {
+            let av = values[u];
+            let c = self.coeffs[u];
+            let lo = self.starts[u] as usize;
+            let hi = self.starts[u + 1] as usize;
+            for &(j, kj) in &self.distinct[lo..hi] {
+                // Product over the representation with one `j` skipped;
+                // fixed-trip loop over M again.
+                let mut xhat = S::ONE;
+                let mut skipped = false;
+                for t in 0..M {
+                    let i = rep[t];
+                    if !skipped && i == j {
+                        skipped = true;
+                        continue;
+                    }
+                    xhat *= x[i as usize];
+                }
+                let sigma = c * kj as f64 * inv_m;
+                y[j as usize] += S::from_f64(sigma) * av * xhat;
+            }
+        }
+    }
+}
+
+impl<const M: usize, S: Scalar> TensorKernels<S> for Blocked<M> {
+    fn axm(&self, a: &SymTensor<S>, x: &[S]) -> S {
+        assert_eq!(a.order(), M, "tensor order");
+        assert_eq!(a.dim(), self.n, "tensor dimension");
+        Blocked::axm(self, a.values(), x)
+    }
+
+    fn axm1(&self, a: &SymTensor<S>, x: &[S], y: &mut [S]) {
+        assert_eq!(a.order(), M, "tensor order");
+        assert_eq!(a.dim(), self.n, "tensor dimension");
+        Blocked::axm1(self, a.values(), x, y)
+    }
+
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+}
+
+/// Shape-erased blocked kernels covering orders 1–8 (beyond order 8 the
+/// table sizes dwarf any blocking benefit; use the general kernels).
+#[derive(Debug, Clone)]
+pub enum BlockedKernels {
+    /// Order 1.
+    M1(Blocked<1>),
+    /// Order 2.
+    M2(Blocked<2>),
+    /// Order 3.
+    M3(Blocked<3>),
+    /// Order 4.
+    M4(Blocked<4>),
+    /// Order 5.
+    M5(Blocked<5>),
+    /// Order 6.
+    M6(Blocked<6>),
+    /// Order 7.
+    M7(Blocked<7>),
+    /// Order 8.
+    M8(Blocked<8>),
+}
+
+impl BlockedKernels {
+    /// Build blocked kernels for shape `(m, n)`; `None` if `m` is outside
+    /// `1..=8`.
+    pub fn for_shape(m: usize, n: usize) -> Option<Self> {
+        Some(match m {
+            1 => BlockedKernels::M1(Blocked::new(n)),
+            2 => BlockedKernels::M2(Blocked::new(n)),
+            3 => BlockedKernels::M3(Blocked::new(n)),
+            4 => BlockedKernels::M4(Blocked::new(n)),
+            5 => BlockedKernels::M5(Blocked::new(n)),
+            6 => BlockedKernels::M6(Blocked::new(n)),
+            7 => BlockedKernels::M7(Blocked::new(n)),
+            8 => BlockedKernels::M8(Blocked::new(n)),
+            _ => return None,
+        })
+    }
+
+    /// The shape `(m, n)` this instance dispatches to.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            BlockedKernels::M1(b) => (1, b.dim()),
+            BlockedKernels::M2(b) => (2, b.dim()),
+            BlockedKernels::M3(b) => (3, b.dim()),
+            BlockedKernels::M4(b) => (4, b.dim()),
+            BlockedKernels::M5(b) => (5, b.dim()),
+            BlockedKernels::M6(b) => (6, b.dim()),
+            BlockedKernels::M7(b) => (7, b.dim()),
+            BlockedKernels::M8(b) => (8, b.dim()),
+        }
+    }
+}
+
+impl<S: Scalar> TensorKernels<S> for BlockedKernels {
+    fn axm(&self, a: &SymTensor<S>, x: &[S]) -> S {
+        match self {
+            BlockedKernels::M1(b) => TensorKernels::axm(b, a, x),
+            BlockedKernels::M2(b) => TensorKernels::axm(b, a, x),
+            BlockedKernels::M3(b) => TensorKernels::axm(b, a, x),
+            BlockedKernels::M4(b) => TensorKernels::axm(b, a, x),
+            BlockedKernels::M5(b) => TensorKernels::axm(b, a, x),
+            BlockedKernels::M6(b) => TensorKernels::axm(b, a, x),
+            BlockedKernels::M7(b) => TensorKernels::axm(b, a, x),
+            BlockedKernels::M8(b) => TensorKernels::axm(b, a, x),
+        }
+    }
+
+    fn axm1(&self, a: &SymTensor<S>, x: &[S], y: &mut [S]) {
+        match self {
+            BlockedKernels::M1(b) => TensorKernels::axm1(b, a, x, y),
+            BlockedKernels::M2(b) => TensorKernels::axm1(b, a, x, y),
+            BlockedKernels::M3(b) => TensorKernels::axm1(b, a, x, y),
+            BlockedKernels::M4(b) => TensorKernels::axm1(b, a, x, y),
+            BlockedKernels::M5(b) => TensorKernels::axm1(b, a, x, y),
+            BlockedKernels::M6(b) => TensorKernels::axm1(b, a, x, y),
+            BlockedKernels::M7(b) => TensorKernels::axm1(b, a, x, y),
+            BlockedKernels::M8(b) => TensorKernels::axm1(b, a, x, y),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{axm, axm1};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_sym(m: usize, n: usize, seed: u64) -> SymTensor<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SymTensor::random(m, n, &mut rng)
+    }
+
+    fn random_vec(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.5..1.5)).collect()
+    }
+
+    #[test]
+    fn blocked_matches_general_across_shapes() {
+        // Including dimensions far beyond anything fully unrollable.
+        for (m, n, seed) in [
+            (1usize, 5usize, 1u64),
+            (2, 8, 2),
+            (3, 12, 3),
+            (4, 3, 4),
+            (4, 10, 5),
+            (5, 6, 6),
+            (6, 4, 7),
+            (7, 3, 8),
+            (8, 3, 9),
+        ] {
+            let a = random_sym(m, n, seed);
+            let x = random_vec(n, seed + 100);
+            let k = BlockedKernels::for_shape(m, n).unwrap();
+            assert_eq!(k.shape(), (m, n));
+
+            let want = axm(&a, &x);
+            let got = TensorKernels::axm(&k, &a, &x);
+            assert!(
+                (got - want).abs() < 1e-9 * (1.0 + want.abs()),
+                "[{m},{n}] axm: {got} vs {want}"
+            );
+
+            let mut wanty = vec![0.0; n];
+            let mut goty = vec![0.0; n];
+            axm1(&a, &x, &mut wanty);
+            TensorKernels::axm1(&k, &a, &x, &mut goty);
+            for j in 0..n {
+                assert!(
+                    (goty[j] - wanty[j]).abs() < 1e-9 * (1.0 + wanty[j].abs()),
+                    "[{m},{n}] axm1 j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn order_out_of_range_is_none() {
+        assert!(BlockedKernels::for_shape(9, 3).is_none());
+        assert!(BlockedKernels::for_shape(0, 3).is_none());
+    }
+
+    #[test]
+    fn table_sizes_match_unique_counts() {
+        let b = Blocked::<4>::new(5);
+        assert_eq!(b.num_unique() as u64, num_unique_entries(4, 5));
+        assert_eq!(b.dim(), 5);
+    }
+
+    #[test]
+    fn euler_identity_holds() {
+        let a = random_sym(5, 7, 20);
+        let x = random_vec(7, 21);
+        let k = BlockedKernels::for_shape(5, 7).unwrap();
+        let s = TensorKernels::axm(&k, &a, &x);
+        let mut y = vec![0.0; 7];
+        TensorKernels::axm1(&k, &a, &x, &mut y);
+        let dot: f64 = x.iter().zip(&y).map(|(p, q)| p * q).sum();
+        assert!((dot - s).abs() < 1e-9 * (1.0 + s.abs()));
+    }
+
+    #[test]
+    fn zero_components_handled() {
+        let a = random_sym(4, 5, 22);
+        let mut x = random_vec(5, 23);
+        x[2] = 0.0;
+        let k = BlockedKernels::for_shape(4, 5).unwrap();
+        let mut want = vec![0.0; 5];
+        let mut got = vec![0.0; 5];
+        axm1(&a, &x, &mut want);
+        TensorKernels::axm1(&k, &a, &x, &mut got);
+        for j in 0..5 {
+            assert!((got[j] - want[j]).abs() < 1e-10, "j={j}");
+        }
+    }
+
+    #[test]
+    fn works_in_f32() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let a = SymTensor::<f32>::random(4, 6, &mut rng);
+        let x: Vec<f32> = (0..6).map(|i| 0.3 - 0.1 * i as f32).collect();
+        let k = BlockedKernels::for_shape(4, 6).unwrap();
+        let want = axm(&a, &x);
+        let got = TensorKernels::axm(&k, &a, &x);
+        assert!((got - want).abs() < 1e-4 * (1.0 + want.abs()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn shape_mismatch_panics() {
+        let a = random_sym(4, 3, 25);
+        let k = BlockedKernels::for_shape(4, 5).unwrap();
+        let _ = TensorKernels::axm(&k, &a, &[1.0; 5]);
+    }
+
+    #[test]
+    fn name_is_blocked() {
+        let k = BlockedKernels::for_shape(4, 3).unwrap();
+        assert_eq!(TensorKernels::<f64>::name(&k), "blocked");
+    }
+}

@@ -1,0 +1,415 @@
+//! Dense (full, possibly nonsymmetric) tensors: the "general" baseline of
+//! the paper's Table II.
+//!
+//! A [`DenseTensor`] stores all `n^m` entries in row-major order. The
+//! tensor-times-same-vector products are computed by repeated contraction of
+//! the last mode — a sequence of matricized matrix-vector products — which
+//! costs `2·n^m + O(n^{m-1})` flops and is what a general tensor library
+//! would do without knowledge of symmetry.
+
+use crate::error::{Error, Result};
+use crate::scalar::Scalar;
+use crate::storage::SymTensor;
+
+/// A dense order-`m`, dimension-`n` tensor stored as `n^m` row-major values
+/// (the last index varies fastest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseTensor<S> {
+    m: usize,
+    n: usize,
+    values: Vec<S>,
+}
+
+impl<S: Scalar> DenseTensor<S> {
+    /// The zero tensor.
+    ///
+    /// # Panics
+    /// Panics if `n^m` overflows `usize` or `m == 0` or `n == 0`.
+    pub fn zeros(m: usize, n: usize) -> Self {
+        assert!(m >= 1 && n >= 1, "tensor must have m >= 1, n >= 1");
+        let len = n
+            .checked_pow(m as u32)
+            .expect("dense tensor size overflows usize");
+        Self {
+            m,
+            n,
+            values: vec![S::ZERO; len],
+        }
+    }
+
+    /// Build from a row-major value buffer of length `n^m`.
+    pub fn from_values(m: usize, n: usize, values: Vec<S>) -> Result<Self> {
+        let expected = n.pow(m as u32);
+        if values.len() != expected {
+            return Err(Error::ValueLengthMismatch {
+                expected,
+                actual: values.len(),
+            });
+        }
+        Ok(Self { m, n, values })
+    }
+
+    /// Expand a packed symmetric tensor into its full `n^m` representation.
+    pub fn from_sym(sym: &SymTensor<S>) -> Self {
+        let m = sym.order();
+        let n = sym.dim();
+        let mut out = Self::zeros(m, n);
+        let mut idx = vec![0usize; m];
+        for pos in 0..out.values.len() {
+            out.decode_linear(pos, &mut idx);
+            out.values[pos] = sym.get(&idx).expect("index in range");
+        }
+        out
+    }
+
+    /// Tensor order `m`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.m
+    }
+
+    /// Tensor dimension `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// All `n^m` entries, row-major.
+    #[inline]
+    pub fn values(&self) -> &[S] {
+        &self.values
+    }
+
+    /// Row-major linear offset of a full tensor index.
+    #[inline]
+    pub fn linear_index(&self, tensor_index: &[usize]) -> usize {
+        debug_assert_eq!(tensor_index.len(), self.m);
+        let mut lin = 0usize;
+        for &i in tensor_index {
+            debug_assert!(i < self.n);
+            lin = lin * self.n + i;
+        }
+        lin
+    }
+
+    /// Decode a row-major linear offset into `out` (length `m`).
+    pub fn decode_linear(&self, mut lin: usize, out: &mut [usize]) {
+        debug_assert_eq!(out.len(), self.m);
+        for slot in out.iter_mut().rev() {
+            *slot = lin % self.n;
+            lin /= self.n;
+        }
+    }
+
+    /// Entry at a full tensor index.
+    pub fn get(&self, tensor_index: &[usize]) -> S {
+        self.values[self.linear_index(tensor_index)]
+    }
+
+    /// Set the entry at a full tensor index (this one entry only — no
+    /// symmetry is enforced).
+    pub fn set(&mut self, tensor_index: &[usize], value: S) {
+        let lin = self.linear_index(tensor_index);
+        self.values[lin] = value;
+    }
+
+    /// True if the tensor is invariant under all index permutations, to
+    /// within absolute tolerance `tol`.
+    ///
+    /// Checks every entry against its sorted-index representative, which is
+    /// equivalent to checking all permutations.
+    pub fn is_symmetric(&self, tol: S) -> bool {
+        let mut idx = vec![0usize; self.m];
+        let mut sorted = vec![0usize; self.m];
+        for pos in 0..self.values.len() {
+            self.decode_linear(pos, &mut idx);
+            sorted.copy_from_slice(&idx);
+            sorted.sort_unstable();
+            let rep = self.values[self.linear_index(&sorted)];
+            if (self.values[pos] - rep).abs() > tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Symmetrize: replace each entry with the average over its index
+    /// class (the symmetric part of the tensor).
+    pub fn symmetrize(&self) -> Self {
+        Self::from_sym(&self.to_sym_averaged())
+    }
+
+    /// Average each index class into a packed symmetric tensor.
+    pub fn to_sym_averaged(&self) -> SymTensor<S> {
+        let m = self.m;
+        let n = self.n;
+        let mut sums = vec![S::ZERO; crate::multinomial::num_unique_entries(m, n) as usize];
+        let mut counts = vec![0u64; sums.len()];
+        let mut idx = vec![0usize; m];
+        for pos in 0..self.values.len() {
+            self.decode_linear(pos, &mut idx);
+            let class = crate::index::IndexClass::from_tensor_index(idx.clone(), n);
+            let r = class.rank() as usize;
+            sums[r] += self.values[pos];
+            counts[r] += 1;
+        }
+        for (s, &c) in sums.iter_mut().zip(counts.iter()) {
+            *s /= S::from_u64(c);
+        }
+        SymTensor::from_values(m, n, sums).expect("shape consistent")
+    }
+
+    /// Convert an exactly-symmetric dense tensor to packed storage,
+    /// verifying symmetry to within `tol`.
+    pub fn to_sym_checked(&self, tol: S) -> Result<SymTensor<S>> {
+        if !self.is_symmetric(tol) {
+            return Err(Error::NotSymmetric);
+        }
+        Ok(self.to_sym_averaged())
+    }
+
+    /// Contract the last mode with `x`: returns the order-`m-1` tensor
+    /// `B_{i_1…i_{m-1}} = Σ_j A_{i_1…i_{m-1} j} x_j`.
+    ///
+    /// This is one matricized matrix-vector product (`n^{m-1} × n` times
+    /// `n`), the building block of the general-tensor baseline.
+    pub fn contract_last(&self, x: &[S]) -> Result<DenseTensor<S>> {
+        if x.len() != self.n {
+            return Err(Error::VectorLengthMismatch {
+                expected: self.n,
+                actual: x.len(),
+            });
+        }
+        if self.m == 1 {
+            return Err(Error::InvalidContraction { p: 0, m: 1 });
+        }
+        let rows = self.values.len() / self.n;
+        let mut out = Vec::with_capacity(rows);
+        for chunk in self.values.chunks_exact(self.n) {
+            let mut acc = S::ZERO;
+            for (&a, &xi) in chunk.iter().zip(x.iter()) {
+                acc += a * xi;
+            }
+            out.push(acc);
+        }
+        DenseTensor::from_values(self.m - 1, self.n, out)
+    }
+
+    /// General-baseline `A·x^m` (scalar): contract the last mode `m` times.
+    /// Cost `2 n^m + O(n^{m-1})` flops — the paper's Table II "general" row.
+    pub fn axm_dense(&self, x: &[S]) -> Result<S> {
+        if x.len() != self.n {
+            return Err(Error::VectorLengthMismatch {
+                expected: self.n,
+                actual: x.len(),
+            });
+        }
+        let mut curr = self.contract_all_but_one(x)?;
+        // curr now holds A x^{m-1}; final dot with x.
+        let mut acc = S::ZERO;
+        for (&c, &xi) in curr.iter().zip(x.iter()) {
+            acc += c * xi;
+        }
+        curr.clear();
+        Ok(acc)
+    }
+
+    /// General-baseline `A·x^{m-1}` (vector): contract the last mode `m-1`
+    /// times.
+    pub fn axm1_dense(&self, x: &[S]) -> Result<Vec<S>> {
+        self.contract_all_but_one(x)
+    }
+
+    fn contract_all_but_one(&self, x: &[S]) -> Result<Vec<S>> {
+        if x.len() != self.n {
+            return Err(Error::VectorLengthMismatch {
+                expected: self.n,
+                actual: x.len(),
+            });
+        }
+        if self.m == 1 {
+            return Ok(self.values.clone());
+        }
+        let mut t = self.contract_last(x)?;
+        while t.order() > 1 {
+            t = t.contract_last(x)?;
+        }
+        Ok(t.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dense(m: usize, n: usize, seed: u64) -> DenseTensor<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values = (0..n.pow(m as u32))
+            .map(|_| rng.gen_range(-1.0..=1.0))
+            .collect();
+        DenseTensor::from_values(m, n, values).unwrap()
+    }
+
+    #[test]
+    fn linear_index_round_trip() {
+        let t = DenseTensor::<f64>::zeros(3, 4);
+        let mut idx = vec![0usize; 3];
+        for pos in 0..64 {
+            t.decode_linear(pos, &mut idx);
+            assert_eq!(t.linear_index(&idx), pos);
+        }
+    }
+
+    #[test]
+    fn from_sym_expands_all_permutations() {
+        let mut sym = SymTensor::<f64>::zeros(3, 2);
+        sym.set(&[0, 0, 1], 7.0).unwrap();
+        let dense = DenseTensor::from_sym(&sym);
+        assert_eq!(dense.get(&[0, 0, 1]), 7.0);
+        assert_eq!(dense.get(&[0, 1, 0]), 7.0);
+        assert_eq!(dense.get(&[1, 0, 0]), 7.0);
+        assert_eq!(dense.get(&[1, 1, 0]), 0.0);
+    }
+
+    #[test]
+    fn from_sym_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sym = SymTensor::<f64>::random(4, 3, &mut rng);
+        let dense = DenseTensor::from_sym(&sym);
+        assert!(dense.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn random_dense_is_not_symmetric() {
+        let t = random_dense(3, 3, 99);
+        assert!(!t.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn sym_round_trip_through_dense() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let sym = SymTensor::<f64>::random(4, 3, &mut rng);
+        let back = DenseTensor::from_sym(&sym).to_sym_checked(0.0).unwrap();
+        // Averaging k identical values sums then divides, which can round in
+        // the last ulp; the result must still be bit-close.
+        assert!(back.max_abs_diff(&sym).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn to_sym_checked_rejects_asymmetric() {
+        let t = random_dense(3, 2, 1);
+        assert!(matches!(t.to_sym_checked(1e-12), Err(Error::NotSymmetric)));
+    }
+
+    #[test]
+    fn symmetrize_produces_symmetric_tensor() {
+        let t = random_dense(3, 3, 2);
+        let s = t.symmetrize();
+        assert!(s.is_symmetric(1e-12));
+        // Symmetrizing twice is idempotent.
+        let s2 = s.symmetrize();
+        for (&a, &b) in s.values().iter().zip(s2.values().iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn symmetrize_preserves_quadratic_form() {
+        // x^T A x == x^T sym(A) x for matrices (m=2).
+        let t = random_dense(2, 4, 3);
+        let s = t.symmetrize();
+        let mut rng = StdRng::seed_from_u64(4);
+        let x: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let a = t.axm_dense(&x).unwrap();
+        let b = s.axm_dense(&x).unwrap();
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn matrix_case_matches_hand_matvec() {
+        // m=2: axm1_dense is just A·x.
+        let a = DenseTensor::from_values(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = a.axm1_dense(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0]);
+        let s = a.axm_dense(&[1.0, 1.0]).unwrap();
+        assert_eq!(s, 10.0);
+    }
+
+    #[test]
+    fn axm_matches_brute_force_summation() {
+        let t = random_dense(3, 3, 17);
+        let mut rng = StdRng::seed_from_u64(18);
+        let x: Vec<f64> = (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // Brute force: sum over all multi-indices.
+        let mut expect = 0.0;
+        let mut idx = vec![0usize; 3];
+        for pos in 0..27 {
+            t.decode_linear(pos, &mut idx);
+            expect += t.values()[pos] * idx.iter().map(|&i| x[i]).product::<f64>();
+        }
+        let got = t.axm_dense(&x).unwrap();
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axm1_matches_brute_force_summation() {
+        let t = random_dense(4, 2, 21);
+        let x = [0.3, -0.8];
+        let y = t.axm1_dense(&x).unwrap();
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..2 {
+            let mut expect = 0.0;
+            let mut idx = vec![0usize; 4];
+            for pos in 0..16 {
+                t.decode_linear(pos, &mut idx);
+                if idx[0] == j {
+                    expect += t.values()[pos] * idx[1..].iter().map(|&i| x[i]).product::<f64>();
+                }
+            }
+            assert!((y[j] - expect).abs() < 1e-12, "j={j}");
+        }
+    }
+
+    #[test]
+    fn vector_length_checked() {
+        let t = random_dense(3, 3, 8);
+        assert!(matches!(
+            t.axm_dense(&[1.0, 2.0]),
+            Err(Error::VectorLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            t.contract_last(&[1.0; 4]),
+            Err(Error::VectorLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn contract_last_reduces_order() {
+        let t = random_dense(4, 2, 30);
+        let b = t.contract_last(&[1.0, 0.0]).unwrap();
+        assert_eq!(b.order(), 3);
+        // Contracting with e_0 selects the slice with last index 0.
+        let mut idx3 = vec![0usize; 3];
+        for pos in 0..8 {
+            b.decode_linear(pos, &mut idx3);
+            let mut idx4 = idx3.clone();
+            idx4.push(0);
+            assert_eq!(b.values()[pos], t.get(&idx4));
+        }
+    }
+
+    #[test]
+    fn order_one_tensor_contractions() {
+        let t = DenseTensor::from_values(1, 3, vec![1.0, 2.0, 3.0]).unwrap();
+        assert!(t.contract_last(&[1.0; 3]).is_err());
+        assert_eq!(t.axm1_dense(&[9.0, 9.0, 9.0]).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.axm_dense(&[1.0, 1.0, 1.0]).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn from_values_length_checked() {
+        assert!(DenseTensor::<f64>::from_values(3, 2, vec![0.0; 7]).is_err());
+    }
+}

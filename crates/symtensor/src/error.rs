@@ -1,0 +1,134 @@
+//! Error type shared by the `symtensor` crate.
+
+use std::fmt;
+
+/// Errors produced by tensor constructors and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The tensor order `m` is outside the supported range (`1..=20`).
+    ///
+    /// The bound exists because multinomial coefficients are computed with
+    /// exact `u64` arithmetic and `21!` overflows `u64`.
+    OrderOutOfRange(usize),
+    /// The tensor dimension `n` must be at least 1.
+    DimensionOutOfRange(usize),
+    /// A value buffer had the wrong length for the given `(m, n)`.
+    ValueLengthMismatch {
+        /// Expected number of unique entries, `C(m+n-1, m)`.
+        expected: usize,
+        /// Length actually supplied.
+        actual: usize,
+    },
+    /// A vector argument had the wrong length (must equal the dimension `n`).
+    VectorLengthMismatch {
+        /// Expected length (`n`).
+        expected: usize,
+        /// Length actually supplied.
+        actual: usize,
+    },
+    /// A tensor index contained an index `>= n`.
+    IndexOutOfBounds {
+        /// The offending index value.
+        index: usize,
+        /// The tensor dimension.
+        n: usize,
+    },
+    /// A tensor index had the wrong number of entries (must equal `m`).
+    IndexLengthMismatch {
+        /// Expected length (`m`).
+        expected: usize,
+        /// Length actually supplied.
+        actual: usize,
+    },
+    /// A dense tensor was not symmetric when symmetry was required.
+    NotSymmetric,
+    /// The requested number of contracted modes `p` was larger than `m - 1`
+    /// (for `axm1`-family kernels) or `m` (for full contraction).
+    InvalidContraction {
+        /// Requested result order `p`.
+        p: usize,
+        /// Tensor order `m`.
+        m: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OrderOutOfRange(m) => {
+                write!(f, "tensor order m={m} out of supported range 1..=20")
+            }
+            Error::DimensionOutOfRange(n) => {
+                write!(f, "tensor dimension n={n} must be >= 1")
+            }
+            Error::ValueLengthMismatch { expected, actual } => {
+                write!(f, "value buffer length {actual}, expected {expected} unique entries")
+            }
+            Error::VectorLengthMismatch { expected, actual } => {
+                write!(f, "vector length {actual}, expected dimension {expected}")
+            }
+            Error::IndexOutOfBounds { index, n } => {
+                write!(f, "index {index} out of bounds for dimension {n}")
+            }
+            Error::IndexLengthMismatch { expected, actual } => {
+                write!(f, "tensor index length {actual}, expected order {expected}")
+            }
+            Error::NotSymmetric => write!(f, "dense tensor is not symmetric"),
+            Error::InvalidContraction { p, m } => {
+                write!(f, "invalid contraction: result order p={p} for tensor order m={m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offending_values() {
+        let cases: Vec<(Error, &str)> = vec![
+            (Error::OrderOutOfRange(25), "25"),
+            (Error::DimensionOutOfRange(0), "0"),
+            (
+                Error::ValueLengthMismatch {
+                    expected: 15,
+                    actual: 3,
+                },
+                "15",
+            ),
+            (
+                Error::VectorLengthMismatch {
+                    expected: 3,
+                    actual: 4,
+                },
+                "4",
+            ),
+            (Error::IndexOutOfBounds { index: 7, n: 3 }, "7"),
+            (
+                Error::IndexLengthMismatch {
+                    expected: 4,
+                    actual: 2,
+                },
+                "2",
+            ),
+            (Error::NotSymmetric, "symmetric"),
+            (Error::InvalidContraction { p: 5, m: 4 }, "p=5"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>() {}
+        assert_error::<Error>();
+    }
+}

@@ -1,0 +1,161 @@
+//! Flop accounting for the kernels, used to report GFLOPS figures the way
+//! the paper does (Table II formulas, Table III(a) rates).
+//!
+//! The counts below are *useful floating-point operations* — multiplies and
+//! adds on tensor/vector values — for the unrolled-style kernels where index
+//! arithmetic and multinomial coefficients are resolved outside the floating
+//! point stream. They intentionally exclude integer index bookkeeping, which
+//! is how GPU flop rates are conventionally reported.
+
+use crate::multinomial::num_unique_entries;
+
+/// Flops to evaluate `A·xᵐ` with the symmetric kernel:
+/// per unique entry, `m-1` multiplies for the monomial `x` product, one
+/// multiply by the (precomputed) coefficient, one multiply by the tensor
+/// value and one add into the accumulator — `(m + 2)` flops per entry.
+pub fn axm_sym_flops(m: usize, n: usize) -> u64 {
+    num_unique_entries(m, n) * (m as u64 + 2)
+}
+
+/// Flops to evaluate `A·xᵐ⁻¹` with the symmetric kernel: each (class,
+/// distinct index) pair costs `m-2` multiplies for the reduced monomial, one
+/// multiply by the coefficient, one by the value and one add — `(m + 1)`
+/// flops per contribution. The number of contributions is the total number
+/// of (class, distinct-index) incidences.
+pub fn axm1_sym_flops(m: usize, n: usize) -> u64 {
+    distinct_incidences(m, n) * (m as u64 + 1)
+}
+
+/// Number of (index class, distinct index) pairs of `R^[m,n]`: the total
+/// inner-loop trip count of Figure 3. Equals `n · C(m-1+n-1, m-1)` — each
+/// of the `n` output entries receives one contribution per class of the
+/// remaining `m-1` modes.
+pub fn distinct_incidences(m: usize, n: usize) -> u64 {
+    n as u64 * num_unique_entries(m - 1, n)
+}
+
+/// Flops for the general (dense, nonsymmetric) baseline of `A·xᵐ`:
+/// `m` successive mode contractions; contraction `k` multiplies an
+/// `n^{m-k+1}`-entry tensor by `x` (`2` flops per entry). Total
+/// `2(n^m + n^{m-1} + … + n) = 2n(n^m - 1)/(n - 1)` for `n > 1`.
+pub fn axm_dense_flops(m: usize, n: usize) -> u64 {
+    let n64 = n as u64;
+    if n == 1 {
+        return 2 * m as u64;
+    }
+    let mut total = 0u64;
+    let mut size = n64.pow(m as u32);
+    for _ in 0..m {
+        total += 2 * size;
+        size /= n64;
+    }
+    total
+}
+
+/// Flops for the general baseline of `A·xᵐ⁻¹`: `m-1` mode contractions.
+pub fn axm1_dense_flops(m: usize, n: usize) -> u64 {
+    let n64 = n as u64;
+    if n == 1 {
+        return 2 * (m as u64 - 1);
+    }
+    let mut total = 0u64;
+    let mut size = n64.pow(m as u32);
+    for _ in 0..m - 1 {
+        total += 2 * size;
+        size /= n64;
+    }
+    total
+}
+
+/// Useful flops per SS-HOPM iteration (one `A·xᵐ⁻¹`, one shift-add `αx`,
+/// one normalization, one `A·xᵐ`), symmetric kernels. This is the
+/// per-iteration count used for Table III GFLOPS accounting.
+pub fn sshopm_iter_flops(m: usize, n: usize) -> u64 {
+    let n64 = n as u64;
+    axm1_sym_flops(m, n)            // A x^{m-1}
+        + 2 * n64                   // + alpha * x (mul + add per entry)
+        + (2 * n64 + 1 + n64)       // norm: n mul + n add (fused as 2n) + sqrt + n div
+        + axm_sym_flops(m, n)       // lambda = A x^m
+}
+
+/// Storage (number of scalars) for a symmetric tensor: `C(m+n-1, m)`.
+pub fn sym_storage(m: usize, n: usize) -> u64 {
+    num_unique_entries(m, n)
+}
+
+/// Storage (number of scalars) for a general tensor: `n^m`.
+pub fn dense_storage(m: usize, n: usize) -> u64 {
+    (n as u64).pow(m as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_case_m4_n3() {
+        // 15 unique entries; Section V-D: Axm has 15 terms, each Axm1 output
+        // entry has 10 terms (= C(3+3-1, 3) classes of the remaining modes).
+        assert_eq!(sym_storage(4, 3), 15);
+        assert_eq!(dense_storage(4, 3), 81);
+        assert_eq!(distinct_incidences(4, 3), 30); // 3 outputs x 10 terms
+        assert_eq!(axm_sym_flops(4, 3), 15 * 6);
+        assert_eq!(axm1_sym_flops(4, 3), 30 * 5);
+    }
+
+    #[test]
+    fn dense_flops_dominated_by_first_contraction() {
+        // 2 n^m leading term (Table II).
+        let f = axm_dense_flops(4, 10);
+        assert!(f >= 2 * 10u64.pow(4));
+        assert!(f < 2 * 10u64.pow(4) + 3 * 10u64.pow(3));
+    }
+
+    #[test]
+    fn symmetric_flops_beat_dense_by_roughly_m_factorial() {
+        for (m, n) in [(4, 30), (5, 25), (6, 20)] {
+            let ratio = axm_dense_flops(m, n) as f64 / axm_sym_flops(m, n) as f64;
+            // The asymptotic gain is 2·m!/(m+2); the O(n^{m-1}) terms still
+            // matter at these n, so allow slack but require the gain to be
+            // a large fraction of it and to exceed (m-1)!.
+            let asymptotic = 2.0 * crate::multinomial::factorial(m) as f64 / (m as f64 + 2.0);
+            assert!(
+                ratio > asymptotic * 0.3 && ratio > crate::multinomial::factorial(m - 1) as f64 * 0.5,
+                "[{m},{n}] ratio {ratio} vs asymptotic {asymptotic}"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_incidences_counts_inner_loop_trips() {
+        // Direct count by enumeration.
+        use crate::index::IndexClassIter;
+        for (m, n) in [(3, 3), (4, 3), (4, 4), (5, 2)] {
+            let mut count = 0u64;
+            for class in IndexClassIter::new(m, n) {
+                let mut prev = usize::MAX;
+                for &i in class.indices() {
+                    if i != prev {
+                        count += 1;
+                        prev = i;
+                    }
+                }
+            }
+            assert_eq!(count, distinct_incidences(m, n), "[{m},{n}]");
+        }
+    }
+
+    #[test]
+    fn n_equals_one_degenerate_cases() {
+        assert_eq!(axm_dense_flops(4, 1), 8);
+        assert_eq!(axm1_dense_flops(4, 1), 6);
+        assert_eq!(sym_storage(4, 1), 1);
+    }
+
+    #[test]
+    fn sshopm_iter_flops_is_sum_of_parts() {
+        let f = sshopm_iter_flops(4, 3);
+        assert!(f > axm_sym_flops(4, 3) + axm1_sym_flops(4, 3));
+        assert!(f < axm_sym_flops(4, 3) + axm1_sym_flops(4, 3) + 100);
+    }
+}

@@ -1,0 +1,475 @@
+//! Index classes of symmetric tensors (Section III-A of the paper).
+//!
+//! An *index class* is the set of tensor indices that share a value due to
+//! symmetry. Its canonical *index representation* is the nondecreasing
+//! tensor index (an array of `m` indices in `0..n`); its *monomial
+//! representation* is the array of `n` occurrence counts. Unique tensor
+//! entries are stored in lexicographic order of index representations (which
+//! is the reverse lexicographic order of monomial representations), so no
+//! index metadata needs to be stored alongside the values.
+//!
+//! Beyond the paper's sequential successor function (`UPDATEINDEX`,
+//! Figure 4) this module provides *ranking* and *unranking* — O(m·n)
+//! random access between an index class and its position in the packed
+//! value array — built on the combinatorial number system.
+
+use crate::multinomial::{binomial, multinomial0, num_unique_entries, BinomialTable};
+use std::fmt;
+
+/// The monomial representation of an index class: `counts[i]` is the number
+/// of occurrences of index `i`, with `counts.len() == n` and
+/// `sum(counts) == m`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MonomialRep {
+    counts: Vec<usize>,
+}
+
+impl MonomialRep {
+    /// Wrap a counts array. No validation beyond non-emptiness.
+    pub fn new(counts: Vec<usize>) -> Self {
+        assert!(!counts.is_empty(), "monomial representation must have n >= 1");
+        Self { counts }
+    }
+
+    /// Occurrence counts per index.
+    #[inline]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Tensor order `m` (sum of the counts).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Tensor dimension `n` (length of the counts array).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Convert to the index representation (nondecreasing index array).
+    pub fn to_index_class(&self) -> IndexClass {
+        let mut indices = Vec::with_capacity(self.order());
+        for (i, &k) in self.counts.iter().enumerate() {
+            indices.extend(std::iter::repeat_n(i, k));
+        }
+        IndexClass::new(indices, self.dim())
+    }
+}
+
+impl fmt::Display for MonomialRep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, k) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// An index class, held by its canonical (nondecreasing) index
+/// representation together with the tensor dimension `n`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexClass {
+    indices: Vec<usize>,
+    n: usize,
+}
+
+impl IndexClass {
+    /// Create an index class from a nondecreasing index array.
+    ///
+    /// # Panics
+    /// Panics if the array is empty, not nondecreasing, or contains an index
+    /// `>= n`.
+    pub fn new(indices: Vec<usize>, n: usize) -> Self {
+        assert!(!indices.is_empty(), "index representation must have m >= 1");
+        assert!(
+            indices.windows(2).all(|w| w[0] <= w[1]),
+            "index representation must be nondecreasing: {indices:?}"
+        );
+        assert!(
+            indices.iter().all(|&i| i < n),
+            "index {indices:?} out of bounds for dimension {n}"
+        );
+        Self { indices, n }
+    }
+
+    /// Canonicalize an arbitrary tensor index (any order of indices) into its
+    /// index class by sorting.
+    pub fn from_tensor_index(mut indices: Vec<usize>, n: usize) -> Self {
+        indices.sort_unstable();
+        Self::new(indices, n)
+    }
+
+    /// The first index class in lexicographic order: `[0, 0, …, 0]`.
+    pub fn first(m: usize, n: usize) -> Self {
+        assert!(m >= 1 && n >= 1);
+        Self {
+            indices: vec![0; m],
+            n,
+        }
+    }
+
+    /// The last index class in lexicographic order: `[n-1, …, n-1]`.
+    pub fn last(m: usize, n: usize) -> Self {
+        assert!(m >= 1 && n >= 1);
+        Self {
+            indices: vec![n - 1; m],
+            n,
+        }
+    }
+
+    /// The nondecreasing index representation.
+    #[inline]
+    pub fn indices(&self) -> &[usize] {
+        &self.indices
+    }
+
+    /// Tensor order `m`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Tensor dimension `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Monomial representation (occurrence counts of each index).
+    pub fn monomial(&self) -> MonomialRep {
+        let mut counts = vec![0usize; self.n];
+        for &i in &self.indices {
+            counts[i] += 1;
+        }
+        MonomialRep::new(counts)
+    }
+
+    /// Number of tensor indices in this class: the multinomial coefficient
+    /// `C(m; k_1, …, k_n)` (Property 2), computed by the paper's one-pass
+    /// `MULTINOMIAL0`.
+    #[inline]
+    pub fn occurrences(&self) -> u64 {
+        multinomial0(&self.indices)
+    }
+
+    /// Advance to the successor in lexicographic order: the paper's
+    /// `UPDATEINDEX` (Figure 4). Returns `false` (leaving the class at the
+    /// last representation) when no successor exists.
+    pub fn advance(&mut self) -> bool {
+        let m = self.indices.len();
+        let last = self.n - 1;
+        // Find the least significant index != n-1.
+        let Some(j) = self.indices.iter().rposition(|&i| i != last) else {
+            return false;
+        };
+        let v = self.indices[j] + 1;
+        for k in j..m {
+            self.indices[k] = v;
+        }
+        true
+    }
+
+    /// The successor in lexicographic order, or `None` at the last class.
+    pub fn successor(&self) -> Option<Self> {
+        let mut next = self.clone();
+        next.advance().then_some(next)
+    }
+
+    /// Lexicographic rank of this class among all `C(m+n-1, m)` classes
+    /// (0-based). Inverse of [`IndexClass::unrank`].
+    ///
+    /// Counts, for each position `t`, the classes sharing the prefix
+    /// `indices[..t]` whose `t`-th index is smaller: a class with `t`-th
+    /// index `v` constrains the remaining `m-t-1` nondecreasing indices to
+    /// `v..n`, of which there are `C((m-t-1) + (n-v-1), m-t-1)`.
+    pub fn rank(&self) -> u64 {
+        let m = self.indices.len();
+        let n = self.n;
+        let mut rank: u64 = 0;
+        let mut lo = 0usize;
+        for (t, &it) in self.indices.iter().enumerate() {
+            let rem = m - t - 1;
+            for v in lo..it {
+                rank += binomial(rem + n - v - 1, rem);
+            }
+            lo = it;
+        }
+        rank
+    }
+
+    /// Like [`IndexClass::rank`] but reads binomials from a precomputed
+    /// table, for use in inner loops.
+    pub fn rank_with(&self, table: &BinomialTable) -> u64 {
+        let m = self.indices.len();
+        let n = self.n;
+        let mut rank: u64 = 0;
+        let mut lo = 0usize;
+        for (t, &it) in self.indices.iter().enumerate() {
+            let rem = m - t - 1;
+            for v in lo..it {
+                rank += table.get(rem + n - v - 1, rem);
+            }
+            lo = it;
+        }
+        rank
+    }
+
+    /// Construct the index class of the given lexicographic rank (0-based).
+    ///
+    /// # Panics
+    /// Panics if `rank >= C(m+n-1, m)`.
+    pub fn unrank(mut rank: u64, m: usize, n: usize) -> Self {
+        assert!(
+            rank < num_unique_entries(m, n),
+            "rank {rank} out of range for [{m},{n}]"
+        );
+        let mut indices = Vec::with_capacity(m);
+        let mut lo = 0usize;
+        for t in 0..m {
+            let rem = m - t - 1;
+            let mut v = lo;
+            loop {
+                let block = binomial(rem + n - v - 1, rem);
+                if rank < block {
+                    break;
+                }
+                rank -= block;
+                v += 1;
+            }
+            indices.push(v);
+            lo = v;
+        }
+        Self { indices, n }
+    }
+}
+
+impl fmt::Display for IndexClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.indices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Iterator over all index classes of a symmetric tensor in `R^[m,n]` in
+/// lexicographic order, yielding exactly `C(m+n-1, m)` classes.
+#[derive(Debug, Clone)]
+pub struct IndexClassIter {
+    next: Option<IndexClass>,
+    remaining: u64,
+}
+
+impl IndexClassIter {
+    /// Iterate over the index classes of `R^[m,n]`.
+    pub fn new(m: usize, n: usize) -> Self {
+        Self {
+            next: Some(IndexClass::first(m, n)),
+            remaining: num_unique_entries(m, n),
+        }
+    }
+}
+
+impl Iterator for IndexClassIter {
+    type Item = IndexClass;
+
+    fn next(&mut self) -> Option<IndexClass> {
+        let curr = self.next.take()?;
+        self.next = curr.successor();
+        self.remaining -= 1;
+        Some(curr)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = self.remaining as usize;
+        (r, Some(r))
+    }
+}
+
+impl ExactSizeIterator for IndexClassIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multinomial::num_unique_entries;
+
+    /// The paper's Table I: index classes of R^[3,4] in lexicographic order,
+    /// converted to 0-based indices. Both representations asserted exactly.
+    #[test]
+    fn table_1_exact_contents() {
+        #[rustfmt::skip]
+        let expected: [([usize; 3], [usize; 4]); 20] = [
+            ([0,0,0], [3,0,0,0]),
+            ([0,0,1], [2,1,0,0]),
+            ([0,0,2], [2,0,1,0]),
+            ([0,0,3], [2,0,0,1]),
+            ([0,1,1], [1,2,0,0]),
+            ([0,1,2], [1,1,1,0]),
+            ([0,1,3], [1,1,0,1]),
+            ([0,2,2], [1,0,2,0]),
+            ([0,2,3], [1,0,1,1]),
+            ([0,3,3], [1,0,0,2]),
+            ([1,1,1], [0,3,0,0]),
+            ([1,1,2], [0,2,1,0]),
+            ([1,1,3], [0,2,0,1]),
+            ([1,2,2], [0,1,2,0]),
+            ([1,2,3], [0,1,1,1]),
+            ([1,3,3], [0,1,0,2]),
+            ([2,2,2], [0,0,3,0]),
+            ([2,2,3], [0,0,2,1]),
+            ([2,3,3], [0,0,1,2]),
+            ([3,3,3], [0,0,0,3]),
+        ];
+        let classes: Vec<IndexClass> = IndexClassIter::new(3, 4).collect();
+        assert_eq!(classes.len(), 20);
+        for (i, (cls, (idx, mono))) in classes.iter().zip(expected.iter()).enumerate() {
+            assert_eq!(cls.indices(), idx, "row {i} index rep");
+            assert_eq!(cls.monomial().counts(), mono, "row {i} monomial rep");
+        }
+    }
+
+    #[test]
+    fn successor_paper_examples() {
+        // Paper: successor of [1,1,1] is [1,1,2]; of [2,4,4] is [3,3,3]
+        // (1-based). 0-based: [0,0,0] -> [0,0,1]; [1,3,3] -> [2,2,2].
+        let c = IndexClass::new(vec![0, 0, 0], 4);
+        assert_eq!(c.successor().unwrap().indices(), &[0, 0, 1]);
+        let c = IndexClass::new(vec![1, 3, 3], 4);
+        assert_eq!(c.successor().unwrap().indices(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn last_class_has_no_successor() {
+        let c = IndexClass::last(3, 4);
+        assert_eq!(c.indices(), &[3, 3, 3]);
+        assert!(c.successor().is_none());
+        let mut c2 = IndexClass::last(5, 2);
+        assert!(!c2.advance());
+        assert_eq!(c2.indices(), &[1; 5]);
+    }
+
+    #[test]
+    fn iterator_counts_match_property_1() {
+        for m in 1..=6 {
+            for n in 1..=6 {
+                let count = IndexClassIter::new(m, n).count();
+                assert_eq!(count as u64, num_unique_entries(m, n), "[{m},{n}]");
+            }
+        }
+    }
+
+    #[test]
+    fn iterator_is_strictly_increasing_lexicographically() {
+        let classes: Vec<IndexClass> = IndexClassIter::new(4, 3).collect();
+        for w in classes.windows(2) {
+            assert!(w[0].indices() < w[1].indices());
+        }
+    }
+
+    #[test]
+    fn monomial_order_is_reverse_lexicographic() {
+        // Paper: index-rep order increasing == monomial-rep order decreasing.
+        let classes: Vec<IndexClass> = IndexClassIter::new(3, 4).collect();
+        for w in classes.windows(2) {
+            let m0 = w[0].monomial();
+            let m1 = w[1].monomial();
+            assert!(m0.counts() > m1.counts(), "{m0} !> {m1}");
+        }
+    }
+
+    #[test]
+    fn rank_matches_iteration_order() {
+        for (m, n) in [(3, 4), (4, 3), (2, 5), (6, 2), (1, 7)] {
+            for (pos, cls) in IndexClassIter::new(m, n).enumerate() {
+                assert_eq!(cls.rank(), pos as u64, "[{m},{n}] at {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrank_is_inverse_of_rank() {
+        for (m, n) in [(3, 4), (4, 3), (5, 5)] {
+            let total = num_unique_entries(m, n);
+            for r in 0..total {
+                let cls = IndexClass::unrank(r, m, n);
+                assert_eq!(cls.rank(), r);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_with_table_matches_rank() {
+        let table = BinomialTable::new(32);
+        for cls in IndexClassIter::new(5, 4) {
+            assert_eq!(cls.rank_with(&table), cls.rank());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn unrank_out_of_range_panics() {
+        IndexClass::unrank(20, 3, 4);
+    }
+
+    #[test]
+    fn from_tensor_index_sorts() {
+        let c = IndexClass::from_tensor_index(vec![2, 0, 1, 0], 3);
+        assert_eq!(c.indices(), &[0, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_decreasing_indices() {
+        IndexClass::new(vec![1, 0], 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn new_rejects_out_of_bounds() {
+        IndexClass::new(vec![0, 3], 3);
+    }
+
+    #[test]
+    fn monomial_round_trip() {
+        for cls in IndexClassIter::new(4, 3) {
+            let back = cls.monomial().to_index_class();
+            assert_eq!(back, cls);
+        }
+    }
+
+    #[test]
+    fn occurrences_sum_to_total_entry_count() {
+        // Sum of multinomials over all classes = n^m (every tensor index is
+        // in exactly one class).
+        for (m, n) in [(3, 4), (4, 3), (2, 6), (5, 2)] {
+            let sum: u64 = IndexClassIter::new(m, n).map(|c| c.occurrences()).sum();
+            assert_eq!(sum, (n as u64).pow(m as u32), "[{m},{n}]");
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = IndexClass::new(vec![0, 1, 1], 3);
+        assert_eq!(c.to_string(), "[0, 1, 1]");
+        assert_eq!(c.monomial().to_string(), "[1, 2, 0]");
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut it = IndexClassIter::new(3, 3);
+        assert_eq!(it.len(), 10);
+        it.next();
+        assert_eq!(it.len(), 9);
+    }
+}

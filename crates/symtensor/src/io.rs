@@ -1,0 +1,361 @@
+//! Plain-text persistence for packed symmetric tensors.
+//!
+//! A deliberately simple, line-oriented, versioned format (no external
+//! format crates required):
+//!
+//! ```text
+//! symtensor 1              <- magic + format version
+//! order 4 dim 3 count 2    <- shape and number of tensors in the file
+//! # comment lines and blank lines are ignored
+//! 0.5 -0.25 ... (15 values, whitespace-separated, one tensor per line)
+//! 1.0 0.0 ...
+//! ```
+//!
+//! Values are written with enough digits to round-trip `f64` exactly
+//! (`{:?}` formatting); any whitespace separates values, and a tensor's
+//! values may wrap across lines as long as tensors are concatenated in
+//! order. Readers of `f32` data parse through `f64`.
+
+use crate::error::Error;
+use crate::multinomial::num_unique_entries;
+use crate::scalar::Scalar;
+use crate::storage::SymTensor;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors specific to parsing the text format, converted into
+/// [`crate::Error`] via a value-length mismatch or surfaced as
+/// `std::io::Error` by the caller-facing functions.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic/version line.
+    BadHeader(String),
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// The offending token.
+        token: String,
+    },
+    /// The file ended before all declared values were read.
+    UnexpectedEof {
+        /// Values still missing.
+        missing: usize,
+    },
+    /// More values were present than the header declared.
+    TrailingValues,
+    /// Shape failed tensor validation.
+    Shape(Error),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::BadHeader(line) => write!(f, "bad header line: {line:?}"),
+            IoError::BadNumber { token } => write!(f, "bad number: {token:?}"),
+            IoError::UnexpectedEof { missing } => {
+                write!(f, "unexpected end of file ({missing} values missing)")
+            }
+            IoError::TrailingValues => write!(f, "trailing values after last tensor"),
+            IoError::Shape(e) => write!(f, "invalid shape: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Write a batch of same-shaped tensors.
+///
+/// # Panics
+/// Panics if the tensors do not all share one shape.
+pub fn write_tensors<S: Scalar, W: Write>(w: &mut W, tensors: &[SymTensor<S>]) -> std::io::Result<()> {
+    let (m, n) = match tensors.first() {
+        Some(t) => (t.order(), t.dim()),
+        None => (1, 1), // an empty file still needs a well-formed header
+    };
+    assert!(
+        tensors.iter().all(|t| t.order() == m && t.dim() == n),
+        "all tensors in a file must share one shape"
+    );
+    writeln!(w, "symtensor 1")?;
+    writeln!(w, "order {m} dim {n} count {}", tensors.len())?;
+    for t in tensors {
+        let mut first = true;
+        for v in t.values() {
+            if !first {
+                write!(w, " ")?;
+            }
+            write!(w, "{:?}", v.to_f64())?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Write a single tensor (a one-element batch).
+pub fn write_tensor<S: Scalar, W: Write>(w: &mut W, tensor: &SymTensor<S>) -> std::io::Result<()> {
+    write_tensors(w, std::slice::from_ref(tensor))
+}
+
+/// Read a batch of tensors written by [`write_tensors`].
+pub fn read_tensors<S: Scalar, R: Read>(r: R) -> std::result::Result<Vec<SymTensor<S>>, IoError> {
+    let mut reader = BufReader::new(r);
+    let mut line = String::new();
+
+    // Magic line.
+    read_content_line(&mut reader, &mut line)?;
+    if line.trim() != "symtensor 1" {
+        return Err(IoError::BadHeader(line.trim().to_string()));
+    }
+
+    // Shape line: "order M dim N count K".
+    read_content_line(&mut reader, &mut line)?;
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "order" || fields[2] != "dim" || fields[4] != "count" {
+        return Err(IoError::BadHeader(line.trim().to_string()));
+    }
+    let m: usize = parse(fields[1])?;
+    let n: usize = parse(fields[3])?;
+    let count: usize = parse(fields[5])?;
+    let per_tensor = num_unique_entries_checked(m, n)?;
+
+    // Value stream.
+    let mut values: Vec<S> = Vec::with_capacity(per_tensor * count);
+    let needed = per_tensor * count;
+    loop {
+        line.clear();
+        let read = reader.read_line(&mut line)?;
+        if read == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        for tok in trimmed.split_whitespace() {
+            let v: f64 = tok.parse().map_err(|_| IoError::BadNumber {
+                token: tok.to_string(),
+            })?;
+            values.push(S::from_f64(v));
+            if values.len() > needed {
+                return Err(IoError::TrailingValues);
+            }
+        }
+    }
+    if values.len() < needed {
+        return Err(IoError::UnexpectedEof {
+            missing: needed - values.len(),
+        });
+    }
+
+    let mut out = Vec::with_capacity(count);
+    for chunk in values.chunks_exact(per_tensor) {
+        out.push(SymTensor::from_values(m, n, chunk.to_vec()).map_err(IoError::Shape)?);
+    }
+    Ok(out)
+}
+
+/// Read a single tensor; errors if the file holds zero or several.
+pub fn read_tensor<S: Scalar, R: Read>(r: R) -> std::result::Result<SymTensor<S>, IoError> {
+    let mut tensors = read_tensors(r)?;
+    if tensors.len() != 1 {
+        return Err(IoError::BadHeader(format!(
+            "expected exactly one tensor, file holds {}",
+            tensors.len()
+        )));
+    }
+    Ok(tensors.pop().expect("length checked"))
+}
+
+fn num_unique_entries_checked(m: usize, n: usize) -> std::result::Result<usize, IoError> {
+    if !(1..=crate::multinomial::MAX_ORDER).contains(&m) {
+        return Err(IoError::Shape(Error::OrderOutOfRange(m)));
+    }
+    if n < 1 {
+        return Err(IoError::Shape(Error::DimensionOutOfRange(n)));
+    }
+    Ok(num_unique_entries(m, n) as usize)
+}
+
+fn parse<T: std::str::FromStr>(tok: &str) -> std::result::Result<T, IoError> {
+    tok.parse().map_err(|_| IoError::BadNumber {
+        token: tok.to_string(),
+    })
+}
+
+/// Skip blank/comment lines; error at EOF.
+fn read_content_line<R: BufRead>(r: &mut R, line: &mut String) -> std::result::Result<(), IoError> {
+    loop {
+        line.clear();
+        let read = r.read_line(line)?;
+        if read == 0 {
+            return Err(IoError::UnexpectedEof { missing: 0 });
+        }
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with('#') {
+            return Ok(());
+        }
+    }
+}
+
+/// Result alias for this module.
+pub type IoResult<T> = std::result::Result<T, IoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn round_trip(tensors: &[SymTensor<f64>]) -> Vec<SymTensor<f64>> {
+        let mut buf = Vec::new();
+        write_tensors(&mut buf, tensors).unwrap();
+        read_tensors(&buf[..]).unwrap()
+    }
+
+    #[test]
+    fn single_tensor_round_trips_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = SymTensor::<f64>::random(4, 3, &mut rng);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t).unwrap();
+        let back: SymTensor<f64> = read_tensor(&buf[..]).unwrap();
+        assert_eq!(back.values(), t.values(), "f64 round-trip must be exact");
+    }
+
+    #[test]
+    fn batch_round_trips() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let tensors: Vec<SymTensor<f64>> =
+            (0..5).map(|_| SymTensor::random(3, 4, &mut rng)).collect();
+        let back = round_trip(&tensors);
+        assert_eq!(back.len(), 5);
+        for (a, b) in tensors.iter().zip(&back) {
+            assert_eq!(a.values(), b.values());
+        }
+    }
+
+    #[test]
+    fn empty_batch_round_trips() {
+        let back = round_trip(&[]);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn f32_reads_f64_file() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = SymTensor::<f64>::random(4, 3, &mut rng);
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t).unwrap();
+        let back: SymTensor<f32> = read_tensor(&buf[..]).unwrap();
+        for (a, b) in t.values().iter().zip(back.values()) {
+            assert!((*a as f32 - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# a comment\nsymtensor 1\n# another\norder 2 dim 2 count 1\n\n1.0 2.0\n# trailing comment\n3.0\n";
+        let t: SymTensor<f64> = read_tensor(text.as_bytes()).unwrap();
+        assert_eq!(t.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn values_may_wrap_lines() {
+        let text = "symtensor 1\norder 2 dim 2 count 2\n1 2\n3 4\n5 6\n";
+        let ts: Vec<SymTensor<f64>> = read_tensors(text.as_bytes()).unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].values(), &[1.0, 2.0, 3.0]);
+        assert_eq!(ts[1].values(), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let text = "symtensor 2\norder 2 dim 2 count 0\n";
+        assert!(matches!(
+            read_tensors::<f64, _>(text.as_bytes()),
+            Err(IoError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn bad_shape_line_rejected() {
+        for bad in [
+            "symtensor 1\norder 2 dim 2\n",
+            "symtensor 1\nshape 2 2 1\n",
+            "symtensor 1\norder x dim 2 count 1\n",
+        ] {
+            assert!(read_tensors::<f64, _>(bad.as_bytes()).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let text = "symtensor 1\norder 2 dim 2 count 1\n1.0 oops 3.0\n";
+        assert!(matches!(
+            read_tensors::<f64, _>(text.as_bytes()),
+            Err(IoError::BadNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let text = "symtensor 1\norder 2 dim 2 count 1\n1.0 2.0\n";
+        assert!(matches!(
+            read_tensors::<f64, _>(text.as_bytes()),
+            Err(IoError::UnexpectedEof { missing: 1 })
+        ));
+    }
+
+    #[test]
+    fn trailing_values_rejected() {
+        let text = "symtensor 1\norder 2 dim 2 count 1\n1 2 3 4\n";
+        assert!(matches!(
+            read_tensors::<f64, _>(text.as_bytes()),
+            Err(IoError::TrailingValues)
+        ));
+    }
+
+    #[test]
+    fn invalid_shape_in_header_rejected() {
+        let text = "symtensor 1\norder 0 dim 2 count 1\n";
+        assert!(matches!(
+            read_tensors::<f64, _>(text.as_bytes()),
+            Err(IoError::Shape(Error::OrderOutOfRange(0)))
+        ));
+        let text = "symtensor 1\norder 25 dim 2 count 1\n";
+        assert!(read_tensors::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn read_tensor_requires_exactly_one() {
+        let text = "symtensor 1\norder 2 dim 2 count 2\n1 2 3\n4 5 6\n";
+        assert!(read_tensor::<f64, _>(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = IoError::BadNumber {
+            token: "xyz".into(),
+        };
+        assert!(e.to_string().contains("xyz"));
+        let e = IoError::UnexpectedEof { missing: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixed_shapes_panic_on_write() {
+        let a = SymTensor::<f64>::zeros(2, 2);
+        let b = SymTensor::<f64>::zeros(3, 2);
+        let mut buf = Vec::new();
+        write_tensors(&mut buf, &[a, b]).unwrap();
+    }
+}

@@ -1,0 +1,352 @@
+//! Exact integer combinatorics: factorials, binomial and multinomial
+//! coefficients, and the streaming multinomial computations of the paper's
+//! `MULTINOMIAL0` / `MULTINOMIAL1` helper functions (Figure 2 / Figure 3).
+//!
+//! All arithmetic is exact `u64`/`u128`; the supported tensor orders
+//! (`m <= 20`) keep `m!` within `u64`.
+
+/// Largest tensor order supported by exact `u64` factorials (`20! < 2^64`).
+pub const MAX_ORDER: usize = 20;
+
+/// `k!` for `k <= 20`, exact.
+///
+/// # Panics
+/// Panics if `k > 20` (would overflow `u64`).
+#[inline]
+pub fn factorial(k: usize) -> u64 {
+    const TABLE: [u64; 21] = {
+        let mut t = [1u64; 21];
+        let mut i = 1;
+        while i <= 20 {
+            t[i] = t[i - 1] * i as u64;
+            i += 1;
+        }
+        t
+    };
+    TABLE[k]
+}
+
+/// Binomial coefficient `C(n, k)` with exact intermediate arithmetic.
+///
+/// Returns 0 when `k > n`. Uses the multiplicative formula with `u128`
+/// intermediates so values up to `u64::MAX` are produced without overflow.
+///
+/// # Panics
+/// Panics if the result itself overflows `u64`.
+pub fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        // Multiply before dividing: acc * (n-i) is always divisible by (i+1)
+        // because acc holds C(n, i) after each step.
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+    }
+    u64::try_from(acc).expect("binomial coefficient overflows u64")
+}
+
+/// Number of unique entries of a symmetric tensor in `R^[m,n]`:
+/// `C(m+n-1, m)` (Property 1 of the paper).
+#[inline]
+pub fn num_unique_entries(m: usize, n: usize) -> u64 {
+    binomial(m + n - 1, m)
+}
+
+/// Multinomial coefficient `m! / (k_1! k_2! ... k_n!)` from a monomial
+/// representation (the counts `k_i` must sum to `m`).
+///
+/// This is the number of tensor indices in the index class (Property 2).
+///
+/// # Panics
+/// Panics if `sum(counts) > 20`.
+pub fn multinomial(counts: &[usize]) -> u64 {
+    let m: usize = counts.iter().sum();
+    let mut denom: u64 = 1;
+    for &k in counts {
+        denom *= factorial(k);
+    }
+    factorial(m) / denom
+}
+
+/// The paper's `MULTINOMIAL0` (Figure 2): multinomial coefficient of an index
+/// class computed in one pass over its *index representation* (a
+/// nondecreasing array of `m` indices).
+///
+/// Walks the array accumulating `1·2·…` for each run of equal indices, i.e.
+/// the denominator `k_1!·…·k_n!`, then divides the precomputed `m!`.
+pub fn multinomial0(index_rep: &[usize]) -> u64 {
+    let m = index_rep.len();
+    let mut div: u64 = 1;
+    let mut mult: u64 = 0;
+    let mut curr: Option<usize> = None;
+    for &i in index_rep {
+        if Some(i) != curr {
+            mult = 1;
+            curr = Some(i);
+        } else {
+            mult += 1;
+            div *= mult;
+        }
+    }
+    factorial(m) / div
+}
+
+/// The paper's `MULTINOMIAL1` (Figure 3): number of tensor indices in the
+/// class of `index_rep` that contribute to output entry `j` of `A·x^{m-1}`,
+/// i.e. `C(m-1; k_1, …, k_j - 1, …, k_n)`.
+///
+/// Same one-pass denominator computation as [`multinomial0`] but one
+/// occurrence of `j` is ignored.
+///
+/// Returns 0 if `j` does not occur in `index_rep` (the class does not
+/// contribute to entry `j`).
+pub fn multinomial1(index_rep: &[usize], j: usize) -> u64 {
+    let m = index_rep.len();
+    if !index_rep.contains(&j) {
+        return 0;
+    }
+    let mut div: u64 = 1;
+    let mut mult: u64 = 0;
+    let mut curr: Option<usize> = None;
+    let mut skipped = false;
+    for &i in index_rep {
+        if !skipped && i == j {
+            // Ignore one occurrence of j: do not advance the run counter.
+            skipped = true;
+            // If j starts a new run we must still reset the run state so the
+            // next occurrence of j counts as the "first".
+            if Some(i) != curr {
+                mult = 0;
+                curr = Some(i);
+            }
+            continue;
+        }
+        if Some(i) != curr {
+            mult = 1;
+            curr = Some(i);
+        } else {
+            mult += 1;
+            div *= mult;
+        }
+    }
+    factorial(m - 1) / div
+}
+
+/// Derive `MULTINOMIAL1` from a stored `MULTINOMIAL0` value: the paper's
+/// Section V-C look-up trick, `σ(j) = c · k_j / m` where `c = C(m; k)`.
+///
+/// `k_j` is the number of occurrences of `j` in the index class and `m` the
+/// tensor order. The product `c · k_j` is always divisible by `m`.
+#[inline]
+pub fn multinomial1_from_stored(c: u64, k_j: usize, m: usize) -> u64 {
+    c * k_j as u64 / m as u64
+}
+
+/// Precomputed Pascal's-triangle table of binomial coefficients, used by the
+/// rank/unrank routines in [`crate::index`] to avoid recomputing `C(n, k)`
+/// in inner loops.
+#[derive(Debug, Clone)]
+pub struct BinomialTable {
+    rows: usize,
+    data: Vec<u64>,
+}
+
+impl BinomialTable {
+    /// Build a table holding `C(i, j)` for all `i < rows`, `j <= i`.
+    pub fn new(rows: usize) -> Self {
+        let mut data = vec![0u64; rows * rows];
+        for i in 0..rows {
+            data[i * rows] = 1;
+            for j in 1..=i {
+                let above = data[(i - 1) * rows + j];
+                let above_left = data[(i - 1) * rows + j - 1];
+                data[i * rows + j] = above
+                    .checked_add(above_left)
+                    .expect("binomial table entry overflows u64");
+            }
+        }
+        Self { rows, data }
+    }
+
+    /// `C(n, k)`; returns 0 when `k > n`.
+    ///
+    /// # Panics
+    /// Panics if `n >= rows`.
+    #[inline]
+    pub fn get(&self, n: usize, k: usize) -> u64 {
+        assert!(n < self.rows, "binomial table too small: C({n}, {k})");
+        if k > n {
+            0
+        } else {
+            self.data[n * self.rows + k]
+        }
+    }
+
+    /// Number of rows in the table.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorials_match_known_values() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(5), 120);
+        assert_eq!(factorial(10), 3_628_800);
+        assert_eq!(factorial(20), 2_432_902_008_176_640_000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn factorial_21_panics() {
+        factorial(21);
+    }
+
+    #[test]
+    fn binomial_small_cases() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(6, 3), 20);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..30 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_pascal_recurrence() {
+        for n in 1..25 {
+            for k in 1..n {
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_handles_large_args_without_overflowing_intermediates() {
+        // C(64, 32) = 1832624140942590534 < u64::MAX, but naive factorial
+        // arithmetic would overflow long before.
+        assert_eq!(binomial(64, 32), 1_832_624_140_942_590_534);
+    }
+
+    #[test]
+    fn unique_entry_counts_match_paper_examples() {
+        // Paper Section V-A: m=4, n=3 has 15 unique values (81 total).
+        assert_eq!(num_unique_entries(4, 3), 15);
+        // Table I: m=3, n=4 has 20 index classes.
+        assert_eq!(num_unique_entries(3, 4), 20);
+        // Matrices: symmetric n x n has n(n+1)/2 unique entries.
+        for n in 1..10 {
+            assert_eq!(num_unique_entries(2, n), (n * (n + 1) / 2) as u64);
+        }
+    }
+
+    #[test]
+    fn multinomial_matches_definition() {
+        assert_eq!(multinomial(&[2, 1]), 3); // 3!/2!1!
+        assert_eq!(multinomial(&[3, 0, 0, 0]), 1);
+        assert_eq!(multinomial(&[1, 1, 1]), 6);
+        assert_eq!(multinomial(&[2, 2]), 6);
+        assert_eq!(multinomial(&[4]), 1);
+    }
+
+    #[test]
+    fn multinomial0_agrees_with_multinomial_on_monomials() {
+        // index rep [0,1,1,4,4,4,4] (paper's example [1,2,2,5,5,5,5], 0-based)
+        // has monomial rep [1,2,0,0,4] -> 7!/(1!2!4!) = 105.
+        assert_eq!(multinomial0(&[0, 1, 1, 4, 4, 4, 4]), 105);
+        assert_eq!(multinomial(&[1, 2, 0, 0, 4]), 105);
+    }
+
+    #[test]
+    fn multinomial0_all_equal_indices() {
+        assert_eq!(multinomial0(&[2, 2, 2, 2]), 1);
+    }
+
+    #[test]
+    fn multinomial0_all_distinct_indices() {
+        assert_eq!(multinomial0(&[0, 1, 2, 3]), 24);
+    }
+
+    #[test]
+    fn multinomial1_paper_example() {
+        // Paper Section III-B4: index rep [1,2,2,5,5,5,5] (1-based), computing
+        // element 5: accumulated product 1!·2!·3! = 12, so 6!/12 = 60.
+        assert_eq!(multinomial1(&[0, 1, 1, 4, 4, 4, 4], 4), 60);
+    }
+
+    #[test]
+    fn multinomial1_zero_when_index_absent() {
+        assert_eq!(multinomial1(&[0, 0, 2], 1), 0);
+    }
+
+    #[test]
+    fn multinomial1_matches_direct_formula() {
+        // For class with monomial [k_0, ..], sigma(j) = (m-1)!/(..(k_j-1)!..).
+        let rep = [0usize, 0, 1, 2, 2, 2];
+        // monomial = [2, 1, 3], m = 6.
+        let m1 = factorial(5) / (factorial(1) * factorial(1) * factorial(3));
+        assert_eq!(multinomial1(&rep, 0), m1);
+        let m2 = factorial(5) / (factorial(2) * factorial(0) * factorial(3));
+        assert_eq!(multinomial1(&rep, 1), m2);
+        let m3 = factorial(5) / (factorial(2) * factorial(1) * factorial(2));
+        assert_eq!(multinomial1(&rep, 2), m3);
+    }
+
+    #[test]
+    fn multinomial1_from_stored_matches_direct() {
+        let rep = [0usize, 0, 1, 2, 2, 2];
+        let counts = [2usize, 1, 3];
+        let c = multinomial0(&rep);
+        for (j, &kj) in counts.iter().enumerate() {
+            assert_eq!(
+                multinomial1_from_stored(c, kj, rep.len()),
+                multinomial1(&rep, j),
+                "j={j}"
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial1_sums_to_m_times_total_over_distinct_indices() {
+        // Sum over distinct j of k_j * C(m-1; ... k_j - 1 ...) equals
+        // m * C(m; k) / m * ... actually: sum_j k_j/m * C(m;k) * m = C(m;k)*m.
+        // Simpler identity: sum over distinct j of multinomial1 * 1 weighted
+        // by nothing: sum_j C(m-1; k - e_j) = C(m; k) * (sum_j k_j) / m = C(m;k).
+        let rep = [0usize, 1, 1, 3, 3, 3];
+        let total: u64 = (0..4).map(|j| multinomial1(&rep, j)).sum();
+        assert_eq!(total, multinomial0(&rep));
+    }
+
+    #[test]
+    fn binomial_table_matches_direct_computation() {
+        let t = BinomialTable::new(40);
+        for n in 0..40 {
+            for k in 0..40 {
+                assert_eq!(t.get(n, k), binomial(n, k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn binomial_table_out_of_range_panics() {
+        let t = BinomialTable::new(5);
+        t.get(5, 2);
+    }
+}

@@ -1,0 +1,211 @@
+//! Special symmetric tensors: the identity tensor for even order, and
+//! construction from symmetric rank-one terms (the inverse of what the
+//! power method computes).
+
+use crate::index::IndexClassIter;
+use crate::scalar::Scalar;
+use crate::storage::SymTensor;
+
+/// The symmetric **identity tensor** `E = sym(I^{⊗m/2})` of even order `m`:
+/// the unique symmetric tensor with
+///
+/// ```text
+/// E·x^{m−1} = ‖x‖^{m−2}·x      and      E·x^m = ‖x‖^m ,
+/// ```
+///
+/// so every unit vector is an eigenvector with eigenvalue 1 (the tensor
+/// analogue of the identity matrix; for `m = 2` it *is* the identity).
+///
+/// Entries are computed from the perfect matchings of the `m` index
+/// positions: `E_{i₁…i_m} = #{matchings whose matched pairs carry equal
+/// indices} / (m−1)!!`. For `m = 4` this is the familiar
+/// `(δ_{ij}δ_{kl} + δ_{ik}δ_{jl} + δ_{il}δ_{jk}) / 3`.
+///
+/// # Panics
+/// Panics if `m` is odd or zero, or outside the supported order range.
+pub fn identity_even<S: Scalar>(m: usize, n: usize) -> SymTensor<S> {
+    assert!(m >= 2 && m.is_multiple_of(2), "identity tensor needs even order, got {m}");
+    let matchings = perfect_matchings(m);
+    let total = matchings.len() as f64; // (m-1)!!
+    let mut values = Vec::new();
+    for class in IndexClassIter::new(m, n) {
+        let idx = class.indices();
+        let good = matchings
+            .iter()
+            .filter(|pairs| pairs.iter().all(|&(a, b)| idx[a] == idx[b]))
+            .count();
+        values.push(S::from_f64(good as f64 / total));
+    }
+    SymTensor::from_values(m, n, values).expect("shape consistent")
+}
+
+/// All perfect matchings of `{0, …, m-1}` (for even `m`), each as a list of
+/// index pairs. There are `(m-1)!! = 1·3·5·…·(m-1)` of them.
+pub fn perfect_matchings(m: usize) -> Vec<Vec<(usize, usize)>> {
+    assert!(m.is_multiple_of(2));
+    let mut out = Vec::new();
+    let items: Vec<usize> = (0..m).collect();
+    let mut current = Vec::new();
+    fn rec(
+        items: &[usize],
+        current: &mut Vec<(usize, usize)>,
+        out: &mut Vec<Vec<(usize, usize)>>,
+    ) {
+        if items.is_empty() {
+            out.push(current.clone());
+            return;
+        }
+        let first = items[0];
+        for k in 1..items.len() {
+            let partner = items[k];
+            let rest: Vec<usize> = items
+                .iter()
+                .copied()
+                .filter(|&v| v != first && v != partner)
+                .collect();
+            current.push((first, partner));
+            rec(&rest, current, out);
+            current.pop();
+        }
+    }
+    rec(&items, &mut current, &mut out);
+    out
+}
+
+/// Build `Σᵢ λᵢ·vᵢ^{⊗m}`: a symmetric tensor from weighted symmetric
+/// rank-one terms. This is the synthesis direction of the best-rank-one
+/// problem the (unshifted) power method solves, and the generator used by
+/// the decomposition tests.
+///
+/// # Panics
+/// Panics if the lists have different lengths, are empty, or the vectors
+/// have inconsistent dimensions.
+pub fn from_rank_ones<S: Scalar>(m: usize, weights: &[S], vectors: &[Vec<S>]) -> SymTensor<S> {
+    assert_eq!(weights.len(), vectors.len(), "one weight per vector");
+    assert!(!weights.is_empty(), "need at least one term");
+    let n = vectors[0].len();
+    assert!(
+        vectors.iter().all(|v| v.len() == n),
+        "all vectors must share one dimension"
+    );
+    let mut acc = SymTensor::zeros(m, n);
+    for (&w, v) in weights.iter().zip(vectors) {
+        let mut term = SymTensor::rank_one(m, v);
+        term.scale(w);
+        acc = acc.add(&term).expect("shapes match");
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{axm, axm1};
+    use crate::scalar::norm2;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matching_counts_are_double_factorials() {
+        assert_eq!(perfect_matchings(2).len(), 1);
+        assert_eq!(perfect_matchings(4).len(), 3);
+        assert_eq!(perfect_matchings(6).len(), 15);
+        assert_eq!(perfect_matchings(8).len(), 105);
+    }
+
+    #[test]
+    fn matchings_cover_all_positions_once() {
+        for m in [2usize, 4, 6] {
+            for matching in perfect_matchings(m) {
+                let mut seen = vec![false; m];
+                for (a, b) in matching {
+                    assert!(!seen[a] && !seen[b]);
+                    seen[a] = true;
+                    seen[b] = true;
+                }
+                assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+
+    #[test]
+    fn identity_order_2_is_identity_matrix() {
+        let e = identity_even::<f64>(2, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert_eq!(e.get(&[i.min(j), i.max(j)]).unwrap(), want);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_order_4_matches_closed_form() {
+        // E_{iijj} (i != j) = 1/3; E_{iiii} = 1; E_{ijkl} all distinct = 0.
+        let e = identity_even::<f64>(4, 3);
+        assert_eq!(e.get(&[0, 0, 0, 0]).unwrap(), 1.0);
+        assert!((e.get(&[0, 0, 1, 1]).unwrap() - 1.0 / 3.0).abs() < 1e-15);
+        assert_eq!(e.get(&[0, 0, 0, 1]).unwrap(), 0.0);
+        assert_eq!(e.get(&[0, 1, 1, 2]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn identity_acts_as_identity_on_the_sphere() {
+        for (m, n) in [(2usize, 3usize), (4, 3), (4, 5), (6, 3)] {
+            let e = identity_even::<f64>(m, n);
+            let mut rng = StdRng::seed_from_u64(7 + m as u64);
+            let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let nrm = norm2(&x);
+            // E x^m = ||x||^m.
+            let s = axm(&e, &x);
+            assert!(
+                (s - nrm.powi(m as i32)).abs() < 1e-10 * (1.0 + s.abs()),
+                "[{m},{n}] E x^m: {s} vs {}",
+                nrm.powi(m as i32)
+            );
+            // E x^{m-1} = ||x||^{m-2} x.
+            let mut y = vec![0.0; n];
+            axm1(&e, &x, &mut y);
+            let scale = nrm.powi(m as i32 - 2);
+            for j in 0..n {
+                assert!(
+                    (y[j] - scale * x[j]).abs() < 1e-10 * (1.0 + y[j].abs()),
+                    "[{m},{n}] j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_order_identity_panics() {
+        identity_even::<f64>(3, 3);
+    }
+
+    #[test]
+    fn from_rank_ones_single_term_matches_rank_one() {
+        let v = vec![0.5, -1.0, 0.25];
+        let direct = SymTensor::<f64>::rank_one(3, &v);
+        let built = from_rank_ones(3, &[1.0], &[v]);
+        assert_eq!(built.max_abs_diff(&direct).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn from_rank_ones_evaluates_as_weighted_powers() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let v1: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let v2: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let a = from_rank_ones(4, &[2.0, -0.5], &[v1.clone(), v2.clone()]);
+        let x: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let d1: f64 = v1.iter().zip(&x).map(|(p, q)| p * q).sum();
+        let d2: f64 = v2.iter().zip(&x).map(|(p, q)| p * q).sum();
+        let want = 2.0 * d1.powi(4) - 0.5 * d2.powi(4);
+        assert!((axm(&a, &x) - want).abs() < 1e-10 * (1.0 + want.abs()));
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_rank_ones_length_mismatch_panics() {
+        from_rank_ones::<f64>(3, &[1.0, 2.0], &[vec![1.0, 0.0]]);
+    }
+}

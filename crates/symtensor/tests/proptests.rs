@@ -1,0 +1,234 @@
+//! Property-based tests for the symmetric tensor core: storage round-trips,
+//! index-class combinatorics, and kernel identities on random tensors.
+
+use proptest::prelude::*;
+use symtensor::kernels::{axm, axm1, axmp, PrecomputedTables};
+use symtensor::multinomial::{multinomial0, multinomial1, num_unique_entries};
+use symtensor::{DenseTensor, IndexClass, IndexClassIter, SymTensor};
+
+/// Strategy: a small tensor shape (m, n) that keeps n^m manageable.
+fn shape() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..=5, 1usize..=5).prop_filter("keep dense expansion small", |(m, n)| {
+        n.pow(*m as u32) <= 4096
+    })
+}
+
+/// Strategy: a shape plus a random packed value vector for it.
+fn sym_tensor() -> impl Strategy<Value = SymTensor<f64>> {
+    shape().prop_flat_map(|(m, n)| {
+        let len = num_unique_entries(m, n) as usize;
+        proptest::collection::vec(-1.0f64..1.0, len)
+            .prop_map(move |v| SymTensor::from_values(m, n, v).unwrap())
+    })
+}
+
+/// Strategy: tensor together with a compatible random vector.
+fn tensor_and_vec() -> impl Strategy<Value = (SymTensor<f64>, Vec<f64>)> {
+    sym_tensor().prop_flat_map(|t| {
+        let n = t.dim();
+        (
+            Just(t),
+            proptest::collection::vec(-2.0f64..2.0, n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn rank_unrank_bijection((m, n) in shape(), seed in 0u64..u64::MAX) {
+        let total = num_unique_entries(m, n);
+        let r = seed % total;
+        let cls = IndexClass::unrank(r, m, n);
+        prop_assert_eq!(cls.rank(), r);
+    }
+
+    #[test]
+    fn successor_increments_rank((m, n) in shape()) {
+        let mut prev: Option<IndexClass> = None;
+        for cls in IndexClassIter::new(m, n) {
+            if let Some(p) = prev {
+                prop_assert_eq!(p.rank() + 1, cls.rank());
+            }
+            prev = Some(cls);
+        }
+    }
+
+    #[test]
+    fn multinomials_sum_to_power((m, n) in shape()) {
+        let total: u64 = IndexClassIter::new(m, n).map(|c| c.occurrences()).sum();
+        prop_assert_eq!(total, (n as u64).pow(m as u32));
+    }
+
+    #[test]
+    fn multinomial1_consistency((m, n) in shape(), seed in 0u64..u64::MAX) {
+        // Sum over distinct indices of the class equals multinomial0.
+        let r = seed % num_unique_entries(m, n);
+        let cls = IndexClass::unrank(r, m, n);
+        let rep = cls.indices();
+        let total: u64 = (0..n).map(|j| multinomial1(rep, j)).sum();
+        prop_assert_eq!(total, multinomial0(rep));
+    }
+
+    #[test]
+    fn get_set_round_trip(t in sym_tensor(), seed in 0u64..u64::MAX, v in -10.0f64..10.0) {
+        let mut t = t;
+        let r = (seed % t.num_unique() as u64) as usize;
+        let cls = IndexClass::unrank(r as u64, t.order(), t.dim());
+        t.set(cls.indices(), v).unwrap();
+        prop_assert_eq!(t.get(cls.indices()).unwrap(), v);
+        prop_assert_eq!(t.value_at_rank(r), v);
+    }
+
+    #[test]
+    fn dense_round_trip(t in sym_tensor()) {
+        let dense = DenseTensor::from_sym(&t);
+        prop_assert!(dense.is_symmetric(0.0));
+        let back = dense.to_sym_checked(0.0).unwrap();
+        prop_assert!(back.max_abs_diff(&t).unwrap() < 1e-14);
+    }
+
+    #[test]
+    fn axm_matches_dense((t, x) in tensor_and_vec()) {
+        let dense = DenseTensor::from_sym(&t);
+        let want = dense.axm_dense(&x).unwrap();
+        let got = axm(&t, &x);
+        // Scale tolerance with the magnitude of the computation.
+        let scale = 1.0 + want.abs();
+        prop_assert!((got - want).abs() < 1e-9 * scale, "{got} vs {want}");
+    }
+
+    #[test]
+    fn axm1_matches_dense((t, x) in tensor_and_vec()) {
+        let n = t.dim();
+        let dense = DenseTensor::from_sym(&t);
+        let want = dense.axm1_dense(&x).unwrap();
+        let mut got = vec![0.0; n];
+        axm1(&t, &x, &mut got);
+        for j in 0..n {
+            let scale = 1.0 + want[j].abs();
+            prop_assert!((got[j] - want[j]).abs() < 1e-9 * scale, "j={j}");
+        }
+    }
+
+    #[test]
+    fn euler_identity((t, x) in tensor_and_vec()) {
+        let s = axm(&t, &x);
+        let mut y = vec![0.0; t.dim()];
+        axm1(&t, &x, &mut y);
+        let dot: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let scale = 1.0 + s.abs();
+        prop_assert!((dot - s).abs() < 1e-9 * scale);
+    }
+
+    #[test]
+    fn homogeneity((t, x) in tensor_and_vec(), c in -3.0f64..3.0) {
+        let m = t.order() as i32;
+        let cx: Vec<f64> = x.iter().map(|&e| c * e).collect();
+        let lhs = axm(&t, &cx);
+        let rhs = c.powi(m) * axm(&t, &x);
+        let scale = 1.0 + lhs.abs().max(rhs.abs());
+        prop_assert!((lhs - rhs).abs() < 1e-9 * scale);
+    }
+
+    #[test]
+    fn linearity_in_tensor((a, x) in tensor_and_vec(), scale in -2.0f64..2.0) {
+        // (A + sA) x^m == (1+s) A x^m.
+        let mut b = a.clone();
+        b.scale(scale);
+        let sum = a.add(&b).unwrap();
+        let lhs = axm(&sum, &x);
+        let rhs = (1.0 + scale) * axm(&a, &x);
+        let tol_scale = 1.0 + lhs.abs();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * tol_scale);
+    }
+
+    #[test]
+    fn precomputed_tables_match((t, x) in tensor_and_vec()) {
+        let tables = PrecomputedTables::new(t.order(), t.dim());
+        let s0 = axm(&t, &x);
+        let s1 = tables.axm(&t, &x).unwrap();
+        let scale = 1.0 + s0.abs();
+        prop_assert!((s0 - s1).abs() < 1e-10 * scale);
+
+        let mut y0 = vec![0.0; t.dim()];
+        let mut y1 = vec![0.0; t.dim()];
+        axm1(&t, &x, &mut y0);
+        tables.axm1(&t, &x, &mut y1).unwrap();
+        for j in 0..t.dim() {
+            let scale = 1.0 + y0[j].abs();
+            prop_assert!((y0[j] - y1[j]).abs() < 1e-10 * scale);
+        }
+    }
+
+    #[test]
+    fn axmp_contracts_consistently((t, x) in tensor_and_vec()) {
+        // Contract p modes via axmp, then finish with axm on the result:
+        // must equal axm on the original for every valid p.
+        let m = t.order();
+        prop_assume!(m >= 2);
+        let full = axm(&t, &x);
+        for p in 1..m {
+            let partial = axmp(&t, &x, p).unwrap();
+            let finished = axm(&partial, &x);
+            let scale = 1.0 + full.abs();
+            prop_assert!((finished - full).abs() < 1e-8 * scale, "p={p}");
+        }
+    }
+
+    #[test]
+    fn rank_one_axm_is_dot_power(v in proptest::collection::vec(-1.0f64..1.0, 2..5),
+                                 m in 2usize..5) {
+        let t = SymTensor::rank_one(m, &v);
+        let x: Vec<f64> = v.iter().map(|&e| e + 0.5).collect();
+        let d: f64 = v.iter().zip(&x).map(|(a, b)| a * b).sum();
+        let want = d.powi(m as i32);
+        let got = axm(&t, &x);
+        let scale = 1.0 + want.abs();
+        prop_assert!((got - want).abs() < 1e-9 * scale);
+    }
+
+    #[test]
+    fn io_round_trip_is_exact(t in sym_tensor()) {
+        let mut buf = Vec::new();
+        symtensor::io::write_tensor(&mut buf, &t).unwrap();
+        let back: SymTensor<f64> = symtensor::io::read_tensor(&buf[..]).unwrap();
+        prop_assert_eq!(back.values(), t.values());
+        prop_assert_eq!(back.order(), t.order());
+        prop_assert_eq!(back.dim(), t.dim());
+    }
+
+    #[test]
+    fn blocked_kernels_match_general((t, x) in tensor_and_vec()) {
+        let Some(k) = symtensor::BlockedKernels::for_shape(t.order(), t.dim()) else {
+            return Ok(());
+        };
+        use symtensor::TensorKernels;
+        let want = axm(&t, &x);
+        let got = TensorKernels::axm(&k, &t, &x);
+        prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
+        let mut y0 = vec![0.0; t.dim()];
+        let mut y1 = vec![0.0; t.dim()];
+        axm1(&t, &x, &mut y0);
+        TensorKernels::axm1(&k, &t, &x, &mut y1);
+        for j in 0..t.dim() {
+            prop_assert!((y0[j] - y1[j]).abs() < 1e-9 * (1.0 + y0[j].abs()), "j={j}");
+        }
+    }
+
+    #[test]
+    fn inner_product_is_bilinear(t in sym_tensor(), c in -2.0f64..2.0) {
+        let mut ct = t.clone();
+        ct.scale(c);
+        let base = t.inner_product(&t).unwrap();
+        let scaled = t.inner_product(&ct).unwrap();
+        prop_assert!((scaled - c * base).abs() < 1e-9 * (1.0 + base.abs()));
+    }
+
+    #[test]
+    fn frobenius_norm_matches_dense(t in sym_tensor()) {
+        let dense = DenseTensor::from_sym(&t);
+        let direct: f64 = dense.values().iter().map(|&v| v * v).sum::<f64>().sqrt();
+        let packed = t.frobenius_norm();
+        prop_assert!((direct - packed).abs() < 1e-10 * (1.0 + direct));
+    }
+}

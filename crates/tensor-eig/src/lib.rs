@@ -1,0 +1,63 @@
+//! # tensor-eig — batched symmetric tensor eigensolver toolkit
+//!
+//! The facade crate for this workspace: a single dependency that re-exports
+//! the full stack reproducing Ballard, Kolda & Plantenga, *Efficiently
+//! Computing Tensor Eigenvalues on a GPU* (IPPS 2011).
+//!
+//! | Layer | Crate | What it provides |
+//! |---|---|---|
+//! | storage & kernels | [`symtensor`] | packed symmetric tensors, `A·xᵐ`, `A·xᵐ⁻¹`, dense baseline |
+//! | unrolling | [`unrolled`] | compile-time straight-line kernels per shape |
+//! | algorithm | [`sshopm`] | SS-HOPM, shifts, classification, multistart, batching |
+//! | GPU substrate | [`gpusim`] | functional + analytic Fermi-class simulator |
+//! | application | [`dwmri`] | synthetic DW-MRI phantom and fiber detection |
+//! | small linalg | [`linalg`] | Cholesky / Jacobi / QR / least squares |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tensor_eig::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let a = SymTensor::<f64>::random(4, 3, &mut rng);
+//! let pair = SsHopm::new(Shift::Convex).with_tolerance(1e-13).solve(&a, &[1.0, 0.0, 0.0]);
+//! assert!(pair.converged && pair.residual(&a) < 1e-5);
+//! ```
+
+#![deny(missing_docs)]
+
+pub use dwmri;
+pub use gpusim;
+pub use linalg;
+pub use sshopm;
+pub use symtensor;
+pub use unrolled;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use dwmri::{extract_fibers, ExtractConfig, NoiseModel, Phantom, PhantomConfig};
+    pub use gpusim::{launch_sshopm, DeviceSpec, GpuVariant, MultiGpu, TransferModel};
+    pub use sshopm::{
+        multistart, refine, BatchSolver, DedupConfig, Eigenpair, IterationPolicy, Shift, SsHopm,
+        Stability,
+    };
+    pub use symtensor::{
+        BlockedKernels, DenseTensor, GeneralKernels, IndexClass, IndexClassIter,
+        PrecomputedTables, SymTensor, TensorKernels,
+    };
+    pub use unrolled::UnrolledKernels;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_names_resolve() {
+        use crate::prelude::*;
+        let _ = SymTensor::<f64>::zeros(4, 3);
+        let _ = SsHopm::new(Shift::Convex);
+        let _ = DeviceSpec::tesla_c2050();
+        let _ = UnrolledKernels::for_shape(4, 3);
+        let _ = PhantomConfig::default();
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests: the generated straight-line kernels must agree with the
+//! general loop kernels on arbitrary tensors and vectors, for every
+//! generated shape.
+
+use proptest::prelude::*;
+use symtensor::kernels::{axm, axm1};
+use symtensor::multinomial::num_unique_entries;
+use symtensor::{SymTensor, TensorKernels};
+use unrolled::{UnrolledKernels, GENERATED_SHAPES};
+
+fn shape_index() -> impl Strategy<Value = usize> {
+    0..GENERATED_SHAPES.len()
+}
+
+proptest! {
+    #[test]
+    fn unrolled_axm_equals_general(
+        idx in shape_index(),
+        seed_vals in proptest::collection::vec(-1.0f64..1.0, 128),
+        seed_x in proptest::collection::vec(-2.0f64..2.0, 8),
+    ) {
+        let (m, n) = GENERATED_SHAPES[idx];
+        let u = num_unique_entries(m, n) as usize;
+        prop_assume!(seed_vals.len() >= u && seed_x.len() >= n);
+        let a = SymTensor::from_values(m, n, seed_vals[..u].to_vec()).unwrap();
+        let x = &seed_x[..n];
+        let k = UnrolledKernels::for_shape(m, n).unwrap();
+        let want = axm(&a, x);
+        let got = TensorKernels::axm(&k, &a, x);
+        let scale = 1.0 + want.abs();
+        prop_assert!((got - want).abs() < 1e-9 * scale, "[{m},{n}]");
+    }
+
+    #[test]
+    fn unrolled_axm1_equals_general(
+        idx in shape_index(),
+        seed_vals in proptest::collection::vec(-1.0f64..1.0, 128),
+        seed_x in proptest::collection::vec(-2.0f64..2.0, 8),
+    ) {
+        let (m, n) = GENERATED_SHAPES[idx];
+        let u = num_unique_entries(m, n) as usize;
+        prop_assume!(seed_vals.len() >= u && seed_x.len() >= n);
+        let a = SymTensor::from_values(m, n, seed_vals[..u].to_vec()).unwrap();
+        let x = &seed_x[..n];
+        let k = UnrolledKernels::for_shape(m, n).unwrap();
+        let mut want = vec![0.0; n];
+        let mut got = vec![0.0; n];
+        axm1(&a, x, &mut want);
+        TensorKernels::axm1(&k, &a, x, &mut got);
+        for j in 0..n {
+            let scale = 1.0 + want[j].abs();
+            prop_assert!((got[j] - want[j]).abs() < 1e-9 * scale, "[{m},{n}] j={j}");
+        }
+    }
+
+    #[test]
+    fn unrolled_respects_zero_components(idx in shape_index(), zero_at in 0usize..8) {
+        // Zeros in x exercise the "divide one factor out" structure.
+        let (m, n) = GENERATED_SHAPES[idx];
+        let u = num_unique_entries(m, n) as usize;
+        let a = SymTensor::from_values(m, n, (0..u).map(|i| i as f64 * 0.1 - 0.5).collect()).unwrap();
+        let mut x = vec![0.7f64; n];
+        x[zero_at % n] = 0.0;
+        let k = UnrolledKernels::for_shape(m, n).unwrap();
+        let mut want = vec![0.0; n];
+        let mut got = vec![0.0; n];
+        axm1(&a, &x, &mut want);
+        TensorKernels::axm1(&k, &a, &x, &mut got);
+        for j in 0..n {
+            prop_assert!((got[j] - want[j]).abs() < 1e-10, "[{m},{n}] j={j}");
+        }
+    }
+}

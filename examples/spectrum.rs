@@ -1,0 +1,104 @@
+//! Explore the full real spectrum of random symmetric tensors.
+//!
+//! For order-m, dimension-n symmetric tensors Cartwright & Sturmfels bound
+//! the number of (complex) eigenpairs by ((m-1)^n - 1)/(m-2). This example
+//! sweeps random tensors, hunts real eigenpairs with dense multistart under
+//! both shifts, and reports how many real pairs were found versus the bound
+//! — including the adaptive-shift solver's iteration savings.
+//!
+//! Run with: `cargo run --release --example spectrum`
+
+use rand::SeedableRng;
+use tensor_eig::prelude::*;
+
+/// Cartwright-Sturmfels bound on the number of eigenpairs.
+fn cs_bound(m: usize, n: usize) -> usize {
+    ((m - 1).pow(n as u32) - 1) / (m - 2)
+}
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let starts = sshopm::starts::fibonacci_sphere::<f64>(256);
+    let dedup = DedupConfig::default();
+
+    println!(
+        "{:>4} {:>4} {:>8} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "m", "n", "CS-bound", "real", "maxima", "minima", "iters-fixed", "iters-adapt"
+    );
+
+    for (m, n) in [(3usize, 3usize), (4, 3), (6, 3)] {
+        for _trial in 0..3 {
+            let a = SymTensor::<f64>::random(m, n, &mut rng);
+
+            let mut pairs: Vec<sshopm::multistart::SpectrumEntry<f64>> = Vec::new();
+            let mut fixed_iters = 0usize;
+            for shift in [Shift::Convex, Shift::Concave] {
+                let solver = SsHopm::new(shift).with_tolerance(1e-13);
+                let spectrum = multistart(&solver, &a, &starts, &dedup, 1e-5);
+                fixed_iters += spectrum
+                    .entries
+                    .iter()
+                    .map(|e| e.pair.iterations * e.basin_count)
+                    .sum::<usize>();
+                // Deduplicate across the two shift runs (a pair can be
+                // reachable from both).
+                for e in spectrum.entries {
+                    let duplicate = pairs.iter().any(|p| {
+                        let d_minus: f64 = p.pair.x.iter().zip(&e.pair.x)
+                            .map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+                        let d_plus: f64 = p.pair.x.iter().zip(&e.pair.x)
+                            .map(|(a, b)| (a + b) * (a + b)).sum::<f64>().sqrt();
+                        let same = (p.pair.lambda - e.pair.lambda).abs() < 1e-5
+                            && d_minus.min(d_plus) < 1e-3;
+                        // For odd order, (lambda, x) and (-lambda, -x) are
+                        // the same eigenpair class.
+                        let mirror = m % 2 == 1
+                            && (p.pair.lambda + e.pair.lambda).abs() < 1e-5
+                            && d_plus < 1e-3;
+                        same || mirror
+                    });
+                    if !duplicate {
+                        pairs.push(e);
+                    }
+                }
+            }
+
+            // Adaptive shift on the same starts (maxima only) for the
+            // iteration comparison.
+            let adaptive = SsHopm::new(Shift::Adaptive).with_tolerance(1e-13);
+            let sp_adapt = multistart(&adaptive, &a, &starts, &dedup, 1e-5);
+            let adapt_iters: usize = sp_adapt
+                .entries
+                .iter()
+                .map(|e| e.pair.iterations * e.basin_count)
+                .sum();
+
+            let maxima = pairs
+                .iter()
+                .filter(|e| e.stability == Stability::NegativeStable)
+                .count();
+            let minima = pairs
+                .iter()
+                .filter(|e| e.stability == Stability::PositiveStable)
+                .count();
+
+            println!(
+                "{:>4} {:>4} {:>8} {:>10} {:>10} {:>10} {:>12} {:>12}",
+                m,
+                n,
+                cs_bound(m, n),
+                pairs.len(),
+                maxima,
+                minima,
+                fixed_iters,
+                adapt_iters
+            );
+            assert!(
+                pairs.len() <= cs_bound(m, n),
+                "found more real pairs than the CS bound allows"
+            );
+        }
+    }
+
+    println!("\nAll counts within the Cartwright-Sturmfels bound.");
+}
