@@ -25,18 +25,26 @@ fn ablation_precomputed_tables(c: &mut Criterion) {
         let x: Vec<f32> = (0..n).map(|i| 0.2 + 0.1 * i as f32).collect();
         let mut y = vec![0.0f32; n];
 
-        group.bench_with_input(BenchmarkId::new("on_the_fly", format!("{m}x{n}")), &(), |b, _| {
-            b.iter(|| {
-                axm1(black_box(&a), black_box(&x), &mut y);
-                black_box(y[0])
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("precomputed", format!("{m}x{n}")), &(), |b, _| {
-            b.iter(|| {
-                tables.axm1(black_box(&a), black_box(&x), &mut y).unwrap();
-                black_box(y[0])
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("on_the_fly", format!("{m}x{n}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    axm1(black_box(&a), black_box(&x), &mut y);
+                    black_box(y[0])
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("precomputed", format!("{m}x{n}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    tables.axm1(black_box(&a), black_box(&x), &mut y).unwrap();
+                    black_box(y[0])
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -81,19 +89,23 @@ fn ablation_occupancy_cliff(c: &mut Criterion) {
     group.sample_size(10);
     for (m, n) in [(4usize, 3usize), (4, 5), (6, 3), (4, 4)] {
         let workload = bench::Workload::random(32, 64, m, n, 9);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{m}x{n}")), &(), |b, _| {
-            b.iter(|| {
-                let (_, report) = gpusim::launch_sshopm(
-                    &device,
-                    &workload.tensors,
-                    &workload.starts,
-                    sshopm::IterationPolicy::Fixed(5),
-                    0.0,
-                    gpusim::GpuVariant::General,
-                );
-                black_box(report.gflops)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{m}x{n}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let (_, report) = gpusim::launch_sshopm(
+                        &device,
+                        &workload.tensors,
+                        &workload.starts,
+                        sshopm::IterationPolicy::Fixed(5),
+                        0.0,
+                        gpusim::GpuVariant::General,
+                    );
+                    black_box(report.gflops)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -112,12 +124,16 @@ fn ablation_cse(c: &mut Criterion) {
         let cse = CseUnrolledKernels::for_shape(m, n).unwrap();
         let x: Vec<f32> = (0..n).map(|i| 0.2 + 0.1 * i as f32).collect();
         let mut y = vec![0.0f32; n];
-        group.bench_with_input(BenchmarkId::new("plain", format!("{m}x{n}")), &(), |b, _| {
-            b.iter(|| {
-                TensorKernels::axm1(&plain, black_box(&a), black_box(&x), &mut y);
-                black_box(y[0])
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("plain", format!("{m}x{n}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    TensorKernels::axm1(&plain, black_box(&a), black_box(&x), &mut y);
+                    black_box(y[0])
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("cse", format!("{m}x{n}")), &(), |b, _| {
             b.iter(|| {
                 TensorKernels::axm1(&cse, black_box(&a), black_box(&x), &mut y);

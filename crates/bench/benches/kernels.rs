@@ -22,23 +22,31 @@ fn bench_axm(c: &mut Criterion) {
         let blocked = BlockedKernels::for_shape(m, n).unwrap();
         let x: Vec<f32> = (0..n).map(|i| 0.2 + 0.1 * i as f32).collect();
 
-        group.bench_with_input(BenchmarkId::new("dense", format!("{m}x{n}")), &(), |b, _| {
-            b.iter(|| black_box(dense.axm_dense(black_box(&x)).unwrap()))
-        });
-        group.bench_with_input(BenchmarkId::new("general", format!("{m}x{n}")), &(), |b, _| {
-            b.iter(|| black_box(axm(black_box(&a), black_box(&x))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dense", format!("{m}x{n}")),
+            &(),
+            |b, _| b.iter(|| black_box(dense.axm_dense(black_box(&x)).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("general", format!("{m}x{n}")),
+            &(),
+            |b, _| b.iter(|| black_box(axm(black_box(&a), black_box(&x)))),
+        );
         group.bench_with_input(
             BenchmarkId::new("precomputed", format!("{m}x{n}")),
             &(),
             |b, _| b.iter(|| black_box(tables.axm(black_box(&a), black_box(&x)).unwrap())),
         );
-        group.bench_with_input(BenchmarkId::new("blocked", format!("{m}x{n}")), &(), |b, _| {
-            b.iter(|| black_box(TensorKernels::axm(&blocked, black_box(&a), black_box(&x))))
-        });
-        group.bench_with_input(BenchmarkId::new("unrolled", format!("{m}x{n}")), &(), |b, _| {
-            b.iter(|| black_box(TensorKernels::axm(&unroll, black_box(&a), black_box(&x))))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("blocked", format!("{m}x{n}")),
+            &(),
+            |b, _| b.iter(|| black_box(TensorKernels::axm(&blocked, black_box(&a), black_box(&x)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unrolled", format!("{m}x{n}")),
+            &(),
+            |b, _| b.iter(|| black_box(TensorKernels::axm(&unroll, black_box(&a), black_box(&x)))),
+        );
     }
     group.finish();
 }
@@ -55,15 +63,21 @@ fn bench_axm1(c: &mut Criterion) {
         let x: Vec<f32> = (0..n).map(|i| 0.2 + 0.1 * i as f32).collect();
         let mut y = vec![0.0f32; n];
 
-        group.bench_with_input(BenchmarkId::new("dense", format!("{m}x{n}")), &(), |b, _| {
-            b.iter(|| black_box(dense.axm1_dense(black_box(&x)).unwrap()))
-        });
-        group.bench_with_input(BenchmarkId::new("general", format!("{m}x{n}")), &(), |b, _| {
-            b.iter(|| {
-                axm1(black_box(&a), black_box(&x), &mut y);
-                black_box(y[0])
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dense", format!("{m}x{n}")),
+            &(),
+            |b, _| b.iter(|| black_box(dense.axm1_dense(black_box(&x)).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("general", format!("{m}x{n}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    axm1(black_box(&a), black_box(&x), &mut y);
+                    black_box(y[0])
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("precomputed", format!("{m}x{n}")),
             &(),
@@ -74,18 +88,26 @@ fn bench_axm1(c: &mut Criterion) {
                 })
             },
         );
-        group.bench_with_input(BenchmarkId::new("blocked", format!("{m}x{n}")), &(), |b, _| {
-            b.iter(|| {
-                TensorKernels::axm1(&blocked, black_box(&a), black_box(&x), &mut y);
-                black_box(y[0])
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("unrolled", format!("{m}x{n}")), &(), |b, _| {
-            b.iter(|| {
-                TensorKernels::axm1(&unroll, black_box(&a), black_box(&x), &mut y);
-                black_box(y[0])
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("blocked", format!("{m}x{n}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    TensorKernels::axm1(&blocked, black_box(&a), black_box(&x), &mut y);
+                    black_box(y[0])
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("unrolled", format!("{m}x{n}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    TensorKernels::axm1(&unroll, black_box(&a), black_box(&x), &mut y);
+                    black_box(y[0])
+                })
+            },
+        );
     }
     group.finish();
 }

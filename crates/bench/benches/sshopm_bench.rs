@@ -66,11 +66,18 @@ fn bench_refinement(c: &mut Criterion) {
         b.iter(|| black_box(sshopm::refine(&a, &rough, 4, 1e-14)))
     });
     group.bench_function("tight_sshopm_only", |b| {
-        let s = SsHopm::new(Shift::Convex).with_tolerance(1e-15).with_max_iters(100_000);
+        let s = SsHopm::new(Shift::Convex)
+            .with_tolerance(1e-15)
+            .with_max_iters(100_000);
         b.iter(|| black_box(s.solve(black_box(&a), &[0.48, -0.62, 0.62])))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_single_solve, bench_shift_policies, bench_refinement);
+criterion_group!(
+    benches,
+    bench_single_solve,
+    bench_shift_policies,
+    bench_refinement
+);
 criterion_main!(benches);

@@ -10,7 +10,8 @@
 //!
 //! Run with: `cargo run --release -p bench --bin figure5`
 
-use bench::{batch_flops, gpu_row, run_cpu, Workload};
+use bench::{batch_flops, bench_metadata, gpu_row, run_cpu, write_bench_json, Workload};
+use serde::Value;
 use unrolled::UnrolledKernels;
 
 fn main() {
@@ -29,6 +30,7 @@ fn main() {
 
     let mut gpu_series = Vec::new();
     let mut cpu1_series = Vec::new();
+    let mut json_points = Vec::new();
     for &t in &sizes {
         let sub = workload.subset(t);
         let mut row = Vec::new();
@@ -36,20 +38,52 @@ fn main() {
             let (secs, iters) = run_cpu(&sub, &unrolled, threads, bench::bench_policy(), 0.0);
             row.push(batch_flops(4, 3, iters) as f64 / secs / 1e9);
         }
-        let (gpu, _) = gpu_row(&sub, gpusim::GpuVariant::Unrolled);
+        let (gpu, report) = gpu_row(&sub, gpusim::GpuVariant::Unrolled);
         let g = gpu.gflops();
         println!(
             "{:>6} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
             t, row[0], row[1], row[2], g
         );
+        json_points.push(Value::object(vec![
+            ("num_tensors", Value::UInt(t as u64)),
+            ("cpu_1_gflops", Value::Float(row[0])),
+            ("cpu_4_gflops", Value::Float(row[1])),
+            ("cpu_8_gflops", Value::Float(row[2])),
+            ("gpu_gflops", Value::Float(g)),
+            ("gpu_seconds", Value::Float(report.timing.seconds)),
+            (
+                "gpu_compute_seconds",
+                Value::Float(report.timing.compute_seconds),
+            ),
+            (
+                "gpu_memory_seconds",
+                Value::Float(report.timing.memory_seconds),
+            ),
+            ("gpu_useful_flops", Value::UInt(report.useful_flops)),
+            (
+                "gpu_active_sms",
+                Value::UInt(report.timing.active_sms as u64),
+            ),
+        ]));
         cpu1_series.push(row[0]);
         gpu_series.push(g);
     }
+    write_bench_json(
+        "figure5",
+        &Value::object(vec![
+            ("meta", bench_metadata("figure5")),
+            ("points", Value::Seq(json_points)),
+        ]),
+    );
 
     // Crude log-scale chart of CPU-1 vs GPU.
     println!("\nlog-scale sketch ('c' = CPU-1, 'G' = GPU model):");
     let max = gpu_series.iter().cloned().fold(f64::MIN, f64::max);
-    let min = cpu1_series.iter().cloned().fold(f64::MAX, f64::min).max(1e-3);
+    let min = cpu1_series
+        .iter()
+        .cloned()
+        .fold(f64::MAX, f64::min)
+        .max(1e-3);
     let cols = 60.0;
     for (i, &t) in sizes.iter().enumerate() {
         let pos = |v: f64| -> usize {

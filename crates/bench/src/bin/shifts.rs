@@ -7,7 +7,8 @@
 //!
 //! Run with: `cargo run --release -p bench --bin shifts`
 
-use bench::Workload;
+use bench::{bench_metadata, write_bench_json, Workload};
+use serde::Value;
 use sshopm::{IterationPolicy, Shift, SsHopm};
 
 fn main() {
@@ -35,6 +36,7 @@ fn main() {
         ("adaptive".into(), Shift::Adaptive),
     ];
 
+    let mut json_rows = Vec::new();
     for (label, shift) in policies {
         let solver = SsHopm::new(shift).with_policy(IterationPolicy::Converge {
             tol: 1e-6,
@@ -65,7 +67,26 @@ fn main() {
             p95,
             max
         );
+        json_rows.push(Value::object(vec![
+            ("policy", Value::Str(label)),
+            ("solves", Value::UInt(total as u64)),
+            ("converged", Value::UInt(converged as u64)),
+            (
+                "converged_fraction",
+                Value::Float(converged as f64 / total as f64),
+            ),
+            ("mean_iterations", Value::Float(mean)),
+            ("p95_iterations", Value::UInt(p95 as u64)),
+            ("max_iterations", Value::UInt(max as u64)),
+        ]));
     }
+    write_bench_json(
+        "shifts",
+        &Value::object(vec![
+            ("meta", bench_metadata("shifts")),
+            ("policies", Value::Seq(json_rows)),
+        ]),
+    );
 
     println!(
         "\nreading: small fixed shifts converge fastest when they converge at all;\n\

@@ -3,11 +3,14 @@
 //! as closed-form formulas and as concrete numbers over an (m, n) sweep —
 //! plus a wall-clock verification that the flop advantage is real.
 
+use bench::{bench_metadata, write_bench_json};
+use serde::Value;
 use std::time::Instant;
 use symtensor::kernels::{axm, axm1};
 use symtensor::{flops, DenseTensor, SymTensor};
 
 fn main() {
+    let mut json_rows = Vec::new();
     println!("Table II: general vs symmetric storage and computation\n");
     println!("                     general           symmetric");
     println!("storage              n^m               C(m+n-1, m) = n^m/m! + O(n^(m-1))");
@@ -16,8 +19,17 @@ fn main() {
 
     println!(
         "{:>3} {:>3} | {:>12} {:>12} {:>7} | {:>12} {:>12} {:>7} | {:>12} {:>12} {:>7}",
-        "m", "n", "dense stor", "sym stor", "ratio", "dense Axm", "sym Axm", "ratio",
-        "dense Axm1", "sym Axm1", "ratio"
+        "m",
+        "n",
+        "dense stor",
+        "sym stor",
+        "ratio",
+        "dense Axm",
+        "sym Axm",
+        "ratio",
+        "dense Axm1",
+        "sym Axm1",
+        "ratio"
     );
     for (m, n) in [
         (3usize, 3usize),
@@ -37,10 +49,28 @@ fn main() {
         let s1 = flops::axm1_sym_flops(m, n);
         println!(
             "{:>3} {:>3} | {:>12} {:>12} {:>7.1} | {:>12} {:>12} {:>7.1} | {:>12} {:>12} {:>7.1}",
-            m, n, ds, ss, ds as f64 / ss as f64,
-            da, sa, da as f64 / sa as f64,
-            d1, s1, d1 as f64 / s1 as f64,
+            m,
+            n,
+            ds,
+            ss,
+            ds as f64 / ss as f64,
+            da,
+            sa,
+            da as f64 / sa as f64,
+            d1,
+            s1,
+            d1 as f64 / s1 as f64,
         );
+        json_rows.push(Value::object(vec![
+            ("m", Value::UInt(m as u64)),
+            ("n", Value::UInt(n as u64)),
+            ("dense_storage", Value::UInt(ds)),
+            ("sym_storage", Value::UInt(ss)),
+            ("dense_axm_flops", Value::UInt(da)),
+            ("sym_axm_flops", Value::UInt(sa)),
+            ("dense_axm1_flops", Value::UInt(d1)),
+            ("sym_axm1_flops", Value::UInt(s1)),
+        ]));
     }
 
     // Wall-clock spot check at (6, 6): the packed kernel beats the dense
@@ -94,5 +124,25 @@ fn main() {
         pre_t * 1e3,
         dense_t / pre_t,
         flop_ratio
+    );
+
+    write_bench_json(
+        "table2",
+        &Value::object(vec![
+            ("meta", bench_metadata("table2")),
+            ("rows", Value::Seq(json_rows)),
+            (
+                "wall_clock_spot_check",
+                Value::object(vec![
+                    ("m", Value::UInt(m as u64)),
+                    ("n", Value::UInt(n as u64)),
+                    ("repetitions", Value::UInt(reps as u64)),
+                    ("dense_seconds", Value::Float(dense_t)),
+                    ("sym_seconds", Value::Float(sym_t)),
+                    ("precomputed_seconds", Value::Float(pre_t)),
+                    ("flop_count_ratio", Value::Float(flop_ratio)),
+                ]),
+            ),
+        ]),
     );
 }

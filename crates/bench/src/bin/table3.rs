@@ -10,7 +10,12 @@
 //!
 //! Run with: `cargo run --release -p bench --bin table3`
 
-use bench::{cpu_rows, gpu_row, print_rows, MeasuredRow, Workload};
+use bench::{
+    bench_metadata, cpu_rows, gpu_row, print_rows, rows_to_value, write_bench_json, MeasuredRow,
+    Workload,
+};
+use gpusim::ProfileSnapshot;
+use serde::Value;
 use symtensor::kernels::GeneralKernels;
 use unrolled::UnrolledKernels;
 
@@ -22,9 +27,7 @@ fn main() {
         "Table III reproduction: T=1024 tensors (m=4, n=3), V=128 starts, {} fixed iterations, f32",
         bench::BENCH_ITERS
     );
-    println!(
-        "host has {physical} logical core(s); thread counts beyond that cannot speed up\n"
-    );
+    println!("host has {physical} logical core(s); thread counts beyond that cannot speed up\n");
 
     let workload = Workload::paper_workload(2026);
     let unrolled = UnrolledKernels::for_shape(4, 3).expect("(4,3) generated");
@@ -114,6 +117,43 @@ fn main() {
         );
     }
     println!("  paper: general 17.0 GFLOP/s, unrolled 317.8 GFLOP/s (31% of peak)");
+
+    // Machine-readable export: every row plus the GPU model's full
+    // profile (counter breakdown, occupancy, timing components).
+    let device = gpusim::DeviceSpec::tesla_c2050();
+    let report = Value::object(vec![
+        ("meta", bench_metadata("table3")),
+        ("rows", rows_to_value(&all)),
+        (
+            "gpu_profiles",
+            Value::Seq(vec![
+                serde::Serialize::to_value(&ProfileSnapshot::from_report(&device, &rep_g)),
+                serde::Serialize::to_value(&ProfileSnapshot::from_report(&device, &rep_u)),
+            ]),
+        ),
+        (
+            "unrolled_speedup",
+            Value::object(vec![
+                (
+                    "cpu_1",
+                    Value::Float(general_rows[0].seconds / unrolled_rows[0].seconds),
+                ),
+                (
+                    "cpu_4",
+                    Value::Float(general_rows[1].seconds / unrolled_rows[1].seconds),
+                ),
+                (
+                    "cpu_8",
+                    Value::Float(general_rows[2].seconds / unrolled_rows[2].seconds),
+                ),
+                (
+                    "gpu",
+                    Value::Float(gpu_general.seconds / gpu_unrolled.seconds),
+                ),
+            ]),
+        ),
+    ]);
+    write_bench_json("table3", &report);
 
     // Section V-E: "We obtained similar performance (relative to peak) for
     // tensors of order 4 and dimension 3 on two other NVIDIA GPUs."

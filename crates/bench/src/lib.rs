@@ -9,7 +9,6 @@ use std::time::Instant;
 
 use symtensor::{flops, SymTensor, TensorKernels};
 
-
 /// The paper's workload constants (Section V-A/V-C): T = 1024 tensors,
 /// U = 15 unique entries (m = 4, n = 3), V = 128 starting vectors.
 pub mod paper {
@@ -68,7 +67,12 @@ impl Workload {
         let mut rng = StdRng::seed_from_u64(seed);
         let tensors = (0..t).map(|_| SymTensor::random(m, n, &mut rng)).collect();
         let starts = sshopm::starts::random_uniform_starts::<f32, _>(n, v, &mut rng);
-        Workload { tensors, starts, m, n }
+        Workload {
+            tensors,
+            starts,
+            m,
+            n,
+        }
     }
 
     /// A subset of the first `t` tensors (Figure 5 sweeps subsets).
@@ -150,7 +154,10 @@ pub fn cpu_rows<K: TensorKernels<f32> + Sync>(
     for threads in [1usize, 4, 8] {
         let (secs, iters) = run_cpu(workload, kernels, threads, bench_policy(), paper::ALPHA);
         rows.push(MeasuredRow {
-            label: format!("CPU - {threads} core{} ({label})", if threads > 1 { "s" } else { "" }),
+            label: format!(
+                "CPU - {threads} core{} ({label})",
+                if threads > 1 { "s" } else { "" }
+            ),
             seconds: secs,
             useful_flops: batch_flops(workload.m, workload.n, iters),
         });
@@ -159,7 +166,10 @@ pub fn cpu_rows<K: TensorKernels<f32> + Sync>(
 }
 
 /// The modeled GPU row for one variant on the paper's Tesla C2050.
-pub fn gpu_row(workload: &Workload, variant: gpusim::GpuVariant) -> (MeasuredRow, gpusim::LaunchReport) {
+pub fn gpu_row(
+    workload: &Workload,
+    variant: gpusim::GpuVariant,
+) -> (MeasuredRow, gpusim::LaunchReport) {
     gpu_row_on(workload, variant, &gpusim::DeviceSpec::tesla_c2050())
 }
 
@@ -190,11 +200,58 @@ pub fn gpu_row_on(
 /// Fixed-width table printing.
 pub fn print_rows(title: &str, rows: &[MeasuredRow]) {
     println!("{title}");
-    println!("{:<28} {:>12} {:>12}", "implementation", "time (ms)", "GFLOP/s");
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "implementation", "time (ms)", "GFLOP/s"
+    );
     for r in rows {
-        println!("{:<28} {:>12.2} {:>12.2}", r.label, r.seconds * 1e3, r.gflops());
+        println!(
+            "{:<28} {:>12.2} {:>12.2}",
+            r.label,
+            r.seconds * 1e3,
+            r.gflops()
+        );
     }
     println!();
+}
+
+/// One measured row as a JSON-ready object (label, seconds, flops, GFLOPS).
+pub fn row_to_value(row: &MeasuredRow) -> serde::Value {
+    serde::Value::object(vec![
+        ("label", serde::Value::Str(row.label.clone())),
+        ("seconds", serde::Value::Float(row.seconds)),
+        ("useful_flops", serde::Value::UInt(row.useful_flops)),
+        ("gflops", serde::Value::Float(row.gflops())),
+    ])
+}
+
+/// A whole row set as a JSON array.
+pub fn rows_to_value(rows: &[MeasuredRow]) -> serde::Value {
+    serde::Value::Seq(rows.iter().map(row_to_value).collect())
+}
+
+/// Host/workload metadata included in every `BENCH_*.json` so results are
+/// interpretable offline.
+pub fn bench_metadata(bench_name: &str) -> serde::Value {
+    let physical = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    serde::Value::object(vec![
+        ("bench", serde::Value::Str(bench_name.to_owned())),
+        ("logical_cores", serde::Value::UInt(physical as u64)),
+        ("bench_iters", serde::Value::UInt(BENCH_ITERS as u64)),
+        ("precision", serde::Value::Str("f32".to_owned())),
+    ])
+}
+
+/// Write `value` to `BENCH_<name>.json` in the current directory and
+/// report the path (or the error — benches keep running either way).
+pub fn write_bench_json(name: &str, value: &serde::Value) {
+    let path = format!("BENCH_{name}.json");
+    match std::fs::write(&path, value.to_json_pretty() + "\n") {
+        Ok(()) => println!("wrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
 }
 
 #[cfg(test)]
@@ -228,7 +285,10 @@ mod tests {
         let (secs, iters) = run_cpu(&w, &GeneralKernels, 1, bench_policy(), 0.0);
         assert!(secs > 0.0);
         assert_eq!(iters, 4 * 4 * BENCH_ITERS as u64);
-        assert_eq!(batch_flops(4, 3, iters), iters * flops::sshopm_iter_flops(4, 3));
+        assert_eq!(
+            batch_flops(4, 3, iters),
+            iters * flops::sshopm_iter_flops(4, 3)
+        );
     }
 
     #[test]
@@ -243,5 +303,44 @@ mod tests {
     #[test]
     fn unrolled_kernels_available_for_paper_shape() {
         assert!(UnrolledKernels::for_shape(paper::M, paper::N).is_some());
+    }
+
+    #[test]
+    fn rows_serialize_round_trip() {
+        let rows = vec![
+            MeasuredRow {
+                label: "CPU - 1 core".into(),
+                seconds: 0.5,
+                useful_flops: 1_000_000_000,
+            },
+            MeasuredRow {
+                label: "GPU model".into(),
+                seconds: 0.01,
+                useful_flops: 1_000_000_000,
+            },
+        ];
+        let value = rows_to_value(&rows);
+        let parsed = serde::Value::parse_json(&value.to_json()).unwrap();
+        let seq = parsed.as_seq().unwrap();
+        assert_eq!(seq.len(), 2);
+        assert_eq!(
+            seq[0].get("label").and_then(serde::Value::as_str),
+            Some("CPU - 1 core")
+        );
+        assert_eq!(
+            seq[1].get("gflops").and_then(serde::Value::as_f64),
+            Some(100.0)
+        );
+        let meta = bench_metadata("test");
+        assert_eq!(
+            meta.get("bench").and_then(serde::Value::as_str),
+            Some("test")
+        );
+        assert!(
+            meta.get("logical_cores")
+                .and_then(serde::Value::as_u64)
+                .unwrap()
+                >= 1
+        );
     }
 }

@@ -4,6 +4,7 @@
 
 use crate::args::Args;
 use crate::CmdError;
+use gpusim::ProfileSnapshot;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sshopm::{multistart, DedupConfig, IterationPolicy, Shift, SsHopm};
@@ -11,6 +12,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use symtensor::io::{read_tensors, write_tensors};
 use symtensor::SymTensor;
+use telemetry::Telemetry;
 
 type CmdResult = Result<(), CmdError>;
 
@@ -96,17 +98,34 @@ fn inner_info(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     let min = norms.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = norms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let mean = norms.iter().sum::<f64>() / norms.len() as f64;
-    writeln!(out, "Frobenius norms: min {min:.4}  mean {mean:.4}  max {max:.4}")?;
+    writeln!(
+        out,
+        "Frobenius norms: min {min:.4}  mean {mean:.4}  max {max:.4}"
+    )?;
     Ok(())
 }
 
 /// `solve <file> [--starts N] [--shift ...] [--tol T] [--refine] [--all]`
 pub fn solve(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
-    inner_solve(argv, out).map_err(|e| e.0)
+    solve_instrumented(argv, out, &Telemetry::disabled())
 }
 
-fn inner_solve(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
-    let args = Args::parse(argv, &["starts", "shift", "tol", "seed"], &["refine", "all"])?;
+/// [`solve`] with a live telemetry pipeline: times the multistart sweep
+/// per tensor and counts eigenpairs/failures.
+pub fn solve_instrumented(
+    argv: Vec<String>,
+    out: &mut dyn Write,
+    telemetry: &Telemetry,
+) -> Result<(), String> {
+    inner_solve(argv, out, telemetry).map_err(|e| e.0)
+}
+
+fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -> CmdResult {
+    let args = Args::parse(
+        argv,
+        &["starts", "shift", "tol", "seed"],
+        &["refine", "all"],
+    )?;
     let path = args.positional(0, "file")?;
     let starts_count: usize = args.get_parsed("starts", 32)?;
     let tol: f64 = args.get_parsed("tol", 1e-12)?;
@@ -115,6 +134,7 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     let show_all = args.flag("all");
 
     let tensors = load_tensors(path)?;
+    let _cmd_span = telemetry.span("cli.solve");
     let solver = SsHopm::new(shift).with_tolerance(tol);
     for (i, a) in tensors.iter().enumerate() {
         let starts = if a.dim() == 3 {
@@ -123,7 +143,12 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
             let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0)?);
             sshopm::starts::random_gaussian_starts::<f64, _>(a.dim(), starts_count, &mut rng)
         };
-        let spectrum = multistart(&solver, a, &starts, &DedupConfig::default(), 1e-5);
+        let spectrum = telemetry.time("solve.multistart", || {
+            multistart(&solver, a, &starts, &DedupConfig::default(), 1e-5)
+        });
+        telemetry.counter("solve.tensors", 1);
+        telemetry.counter("solve.eigenpairs", spectrum.entries.len() as u64);
+        telemetry.counter("solve.failures", spectrum.failures as u64);
         writeln!(
             out,
             "tensor {i}: {} distinct eigenpairs from {} starts ({} failures)",
@@ -146,7 +171,10 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
                 out,
                 "  lambda {:>13.8}  x {:?}  {:?}  basin {}/{}{}",
                 pair.lambda,
-                pair.x.iter().map(|v| (v * 1e6).round() / 1e6).collect::<Vec<_>>(),
+                pair.x
+                    .iter()
+                    .map(|v| (v * 1e6).round() / 1e6)
+                    .collect::<Vec<_>>(),
                 entry.stability,
                 entry.basin_count,
                 spectrum.total_starts,
@@ -288,11 +316,11 @@ fn inner_tract(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     let args = Args::parse(argv, &["width", "height", "starts", "seeds"], &[])?;
     let path = args.positional(0, "file")?;
     let tensors = load_tensors(path)?;
-    let width: usize = args
-        .get_parsed("width", 0)?
-        .max(0);
+    let width: usize = args.get_parsed("width", 0)?;
     if width == 0 {
-        return Err(CmdError("--width W is required (grid layout of the file)".into()));
+        return Err(CmdError(
+            "--width W is required (grid layout of the file)".into(),
+        ));
     }
     if tensors.len() % width != 0 {
         return Err(CmdError(format!(
@@ -322,7 +350,10 @@ fn inner_tract(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
 
     // Evenly spaced seeds along the left edge.
     let tcfg = dwmri::TractConfig::default();
-    writeln!(out, "tracking {num_seeds} seeds over a {width}x{height} field:")?;
+    writeln!(
+        out,
+        "tracking {num_seeds} seeds over a {width}x{height} field:"
+    )?;
     for s in 0..num_seeds {
         let y = (s as f64 + 0.5) * height as f64 / num_seeds as f64;
         match dwmri::trace(&field, (0.5, y), &tcfg) {
@@ -342,11 +373,25 @@ fn inner_tract(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
 
 /// `gpu <file> [--starts N] [--variant V] [--devices K] [--iters I]`
 pub fn gpu(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
-    inner_gpu(argv, out).map_err(|e| e.0)
+    gpu_instrumented(argv, out, &Telemetry::disabled())
 }
 
-fn inner_gpu(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
-    let args = Args::parse(argv, &["starts", "variant", "devices", "iters", "seed"], &[])?;
+/// [`gpu`] with a live telemetry pipeline: times the launch and emits a
+/// [`ProfileSnapshot`] event per device slice.
+pub fn gpu_instrumented(
+    argv: Vec<String>,
+    out: &mut dyn Write,
+    telemetry: &Telemetry,
+) -> Result<(), String> {
+    inner_gpu(argv, out, telemetry).map_err(|e| e.0)
+}
+
+fn inner_gpu(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -> CmdResult {
+    let args = Args::parse(
+        argv,
+        &["starts", "variant", "devices", "iters", "seed"],
+        &[],
+    )?;
     let path = args.positional(0, "file")?;
     let starts_count: usize = args.get_parsed("starts", 128)?;
     let devices: usize = args.get_parsed("devices", 1)?;
@@ -373,11 +418,13 @@ fn inner_gpu(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0)?);
     let starts = sshopm::starts::random_uniform_starts::<f32, _>(n, starts_count, &mut rng);
 
+    let spec = gpusim::DeviceSpec::tesla_c2050();
     let mg = gpusim::MultiGpu::homogeneous(
         gpusim::DeviceSpec::tesla_c2050(),
         devices,
         gpusim::TransferModel::pcie2(),
     );
+    let _launch_span = telemetry.span("cli.gpu");
     let (_, report) = mg.launch(
         &tensors,
         &starts,
@@ -385,6 +432,9 @@ fn inner_gpu(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
         0.0,
         variant,
     );
+    for slice in &report.slices {
+        ProfileSnapshot::from_report(&spec, &slice.report).emit(telemetry);
+    }
     writeln!(
         out,
         "{} tensors x {} starts x {} iterations ({} kernel) on {}x Tesla C2050 (model)",
@@ -415,6 +465,86 @@ fn inner_gpu(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     Ok(())
 }
 
+/// `profile [file] [--tensors T] [--m M] [--n N] [--starts N]
+/// [--variant V] [--iters I] [--device D] [--seed S]`
+///
+/// Runs one simulated kernel launch and dumps the full
+/// [`ProfileSnapshot`] — counter breakdown, occupancy, divergence and
+/// coalescing statistics, timing components — as pretty JSON. Without a
+/// tensor file it profiles a synthetic random workload.
+pub fn profile(
+    argv: Vec<String>,
+    out: &mut dyn Write,
+    telemetry: &Telemetry,
+) -> Result<(), String> {
+    inner_profile(argv, out, telemetry).map_err(|e| e.0)
+}
+
+fn inner_profile(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -> CmdResult {
+    let args = Args::parse(
+        argv,
+        &[
+            "tensors", "m", "n", "starts", "variant", "iters", "device", "seed",
+        ],
+        &[],
+    )?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tensors: Vec<SymTensor<f32>> = match args.positional(0, "file").ok() {
+        Some(path) => {
+            let loaded = load_tensors(path)?;
+            if loaded.is_empty() {
+                return Err(CmdError("tensor file is empty".into()));
+            }
+            loaded.iter().map(|t| t.to_f32()).collect()
+        }
+        None => {
+            let m: usize = args.get_parsed("m", 4)?;
+            let n: usize = args.get_parsed("n", 3)?;
+            let count: usize = args.get_parsed("tensors", 256)?;
+            (0..count)
+                .map(|_| SymTensor::<f64>::random(m, n, &mut rng).to_f32())
+                .collect()
+        }
+    };
+    let (m, n) = (tensors[0].order(), tensors[0].dim());
+    let variant = match args.get("variant") {
+        None | Some("unrolled") => gpusim::GpuVariant::Unrolled,
+        Some("general") => gpusim::GpuVariant::General,
+        Some(v) => return Err(CmdError(format!("invalid --variant {v:?}"))),
+    };
+    if variant == gpusim::GpuVariant::Unrolled
+        && unrolled::UnrolledKernels::for_shape(m, n).is_none()
+    {
+        return Err(CmdError(format!(
+            "no unrolled kernel generated for shape ({m},{n}); use --variant general"
+        )));
+    }
+    let device = match args.get("device") {
+        None | Some("c2050") => gpusim::DeviceSpec::tesla_c2050(),
+        Some("c1060") => gpusim::DeviceSpec::tesla_c1060(),
+        Some("gtx580") => gpusim::DeviceSpec::gtx_580(),
+        Some(v) => return Err(CmdError(format!("invalid --device {v:?}"))),
+    };
+    let starts_count: usize = args.get_parsed("starts", 128)?;
+    let iters: usize = args.get_parsed("iters", 20)?;
+    let starts = sshopm::starts::random_uniform_starts::<f32, _>(n, starts_count, &mut rng);
+
+    let _span = telemetry.span("cli.profile");
+    let (_, report) = gpusim::launch_sshopm(
+        &device,
+        &tensors,
+        &starts,
+        IterationPolicy::Fixed(iters),
+        0.0,
+        variant,
+    );
+    let snapshot = ProfileSnapshot::from_report(&device, &report);
+    snapshot.emit(telemetry);
+    writeln!(out, "{}", snapshot.to_json_pretty())?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -433,7 +563,11 @@ mod tests {
     fn random_then_info_round_trip() {
         let path = tmp("rt.txt");
         let mut out = Vec::new();
-        random(sv(&["4", "3", "5", "--out", &path, "--seed", "9"]), &mut out).unwrap();
+        random(
+            sv(&["4", "3", "5", "--out", &path, "--seed", "9"]),
+            &mut out,
+        )
+        .unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("5 random [4,3] tensors"));
 
@@ -448,13 +582,13 @@ mod tests {
     fn solve_prints_eigenpairs_with_small_residuals() {
         let path = tmp("solve.txt");
         let mut out = Vec::new();
-        random(sv(&["4", "3", "2", "--out", &path, "--seed", "1"]), &mut out).unwrap();
-        let mut out = Vec::new();
-        solve(
-            sv(&[&path, "--starts", "16", "--refine"]),
+        random(
+            sv(&["4", "3", "2", "--out", &path, "--seed", "1"]),
             &mut out,
         )
         .unwrap();
+        let mut out = Vec::new();
+        solve(sv(&[&path, "--starts", "16", "--refine"]), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("tensor 0:"));
         assert!(text.contains("tensor 1:"));
@@ -514,8 +648,19 @@ mod tests {
         assert!(err.contains("no unrolled kernel"), "{err}");
         // The general variant works.
         let mut out = Vec::new();
-        gpu(sv(&[&path, "--variant", "general", "--iters", "2", "--starts", "8"]), &mut out)
-            .unwrap();
+        gpu(
+            sv(&[
+                &path,
+                "--variant",
+                "general",
+                "--iters",
+                "2",
+                "--starts",
+                "8",
+            ]),
+            &mut out,
+        )
+        .unwrap();
         std::fs::remove_file(&path).ok();
     }
 
@@ -583,6 +728,117 @@ mod tests {
         // Numeric shifts are accepted.
         let mut out = Vec::new();
         solve(sv(&[&path, "--shift", "2.5", "--starts", "4"]), &mut out).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn profile_dumps_snapshot_json() {
+        let mut out = Vec::new();
+        profile(
+            sv(&["--tensors", "16", "--starts", "8", "--iters", "3"]),
+            &mut out,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let v = serde::Value::parse_json(&text).unwrap();
+        assert_eq!(
+            v.get("variant").and_then(serde::Value::as_str),
+            Some("unrolled")
+        );
+        assert!(v
+            .get("device")
+            .and_then(serde::Value::as_str)
+            .unwrap()
+            .contains("Tesla C2050"));
+        assert!(v.get("occupancy").and_then(serde::Value::as_f64).is_some());
+        assert!(v.get("gflops").and_then(serde::Value::as_f64).is_some());
+        assert!(v.get("counters").and_then(|c| c.get("ffma")).is_some());
+    }
+
+    #[test]
+    fn profile_accepts_file_device_and_general_variant() {
+        let path = tmp("prof.txt");
+        let mut out = Vec::new();
+        random(sv(&["5", "9", "2", "--out", &path]), &mut out).unwrap();
+        let mut out = Vec::new();
+        profile(
+            sv(&[
+                &path,
+                "--variant",
+                "general",
+                "--device",
+                "gtx580",
+                "--starts",
+                "4",
+                "--iters",
+                "2",
+            ]),
+            &mut out,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let v = serde::Value::parse_json(&text).unwrap();
+        assert_eq!(
+            v.get("variant").and_then(serde::Value::as_str),
+            Some("general")
+        );
+        assert!(v
+            .get("device")
+            .and_then(serde::Value::as_str)
+            .unwrap()
+            .contains("GTX 580"));
+        // Unrolled on an ungenerated shape is a clean error.
+        let mut out = Vec::new();
+        let err = profile(sv(&[&path]), &mut out, &Telemetry::disabled()).unwrap_err();
+        assert!(err.contains("no unrolled kernel"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn gpu_instrumented_emits_profile_snapshots() {
+        let path = tmp("gputel.txt");
+        let mut out = Vec::new();
+        random(sv(&["4", "3", "8", "--out", &path]), &mut out).unwrap();
+        let tel = Telemetry::enabled();
+        let mut out = Vec::new();
+        gpu_instrumented(
+            sv(&[&path, "--starts", "16", "--devices", "2", "--iters", "3"]),
+            &mut out,
+            &tel,
+        )
+        .unwrap();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("gpu.launches"), Some(2));
+        assert!(snap.gauge("gpu.gflops").is_some());
+        assert_eq!(snap.span("cli.gpu").map(|s| s.count), Some(1));
+        assert_eq!(
+            snap.events
+                .iter()
+                .filter(|(n, _)| *n == "gpu.launch")
+                .count(),
+            2
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_instrumented_counts_work() {
+        let path = tmp("solvetel.txt");
+        let mut out = Vec::new();
+        random(
+            sv(&["4", "3", "2", "--out", &path, "--seed", "3"]),
+            &mut out,
+        )
+        .unwrap();
+        let tel = Telemetry::enabled();
+        let mut out = Vec::new();
+        solve_instrumented(sv(&[&path, "--starts", "8"]), &mut out, &tel).unwrap();
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("solve.tensors"), Some(2));
+        assert!(snap.counter("solve.eigenpairs").unwrap_or(0) >= 2);
+        assert_eq!(snap.span("solve.multistart").map(|s| s.count), Some(2));
         std::fs::remove_file(&path).ok();
     }
 

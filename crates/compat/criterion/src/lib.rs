@@ -1,0 +1,256 @@
+//! Local API-compatible stand-in for `criterion` (offline build).
+//!
+//! Measures mean wall-clock time per iteration with a short warm-up and a
+//! fixed measurement budget, printing one `name ... time: [mean]` line per
+//! benchmark. No statistical analysis, plots, or baselines — enough to
+//! compare kernels by eye and to keep `cargo bench` compiling and running.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (std's hint).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for a parameterized benchmark: `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id rendered as `name/param`.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Build an id from only a parameter (used inside groups).
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Anything acceptable as a benchmark label.
+pub trait IntoBenchmarkLabel {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing driver passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    /// Total iterations executed during measurement.
+    iters: u64,
+    measurement_budget: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record its mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: at least 5 calls or 10 ms, whichever is longer.
+        let warmup_start = Instant::now();
+        let mut warmup_calls = 0u64;
+        while warmup_calls < 5 || warmup_start.elapsed() < Duration::from_millis(10) {
+            black_box(routine());
+            warmup_calls += 1;
+            if warmup_calls >= 1_000_000 {
+                break;
+            }
+        }
+        let per_call = warmup_start.elapsed().as_secs_f64() / warmup_calls as f64;
+
+        // Measurement: size batches so total stays within the budget.
+        let budget = self.measurement_budget.as_secs_f64();
+        let target_iters = (budget / per_call.max(1e-9)).clamp(5.0, 5_000_000.0) as u64;
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.iters = target_iters;
+        self.mean_ns = elapsed.as_nanos() as f64 / target_iters as f64;
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(label: &str, measurement_budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        mean_ns: 0.0,
+        iters: 0,
+        measurement_budget,
+    };
+    f(&mut bencher);
+    let t = format_time(bencher.mean_ns);
+    println!(
+        "{label:<50} time: [{t} {t} {t}]  ({} iterations)",
+        bencher.iters
+    );
+}
+
+/// A named group of related benchmarks. Holds the criterion borrow for
+/// API parity (one open group at a time), though this stand-in keeps no
+/// state there.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+    measurement_budget: Duration,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the nominal sample count. This stand-in maps it onto the
+    /// measurement budget (more samples, longer measurement).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let ms = (n as u64).clamp(10, 100) * 2;
+        self.measurement_budget = Duration::from_millis(ms);
+        self
+    }
+
+    /// Set the measurement time directly.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_budget = d;
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        let mut f = f;
+        run_one(&label, self.measurement_budget, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        let mut f = f;
+        run_one(&label, self.measurement_budget, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: std::marker::PhantomData,
+            measurement_budget: Duration::from_millis(100),
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        run_one(name, Duration::from_millis(100), |b| f(b));
+        self
+    }
+}
+
+/// Group several `fn(&mut Criterion)` targets into one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        let mut group = c.benchmark_group("compat");
+        group.sample_size(10);
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(format_time(12.3).contains("ns"));
+        assert!(format_time(12_300.0).contains("µs"));
+        assert!(format_time(12_300_000.0).contains("ms"));
+        assert!(format_time(2_000_000_000.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,244 @@
+//! Local API-compatible stand-in for `proptest` (offline build).
+//!
+//! Implements the subset of the proptest API this workspace uses:
+//! the `proptest!` macro (expanding to a deterministic multi-case test
+//! loop), the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_filter`, ranges / tuples / [`Just`] as strategies,
+//! `collection::vec`, `sample::select`, the `prop_assert*` macros, and
+//! `prop_assume!`.
+//!
+//! Differences from the real crate (accepted here): no shrinking — a
+//! failing case panics with the generated values in the assert message —
+//! and the per-test RNG is seeded from the test's module path + name, so
+//! runs are deterministic but case streams differ from upstream.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Retry budget for `prop_filter` / `prop_assume` rejections, per case.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// The proptest prelude.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert inside a property test. Like real proptest, this early-returns
+/// an `Err` from the case body (which the harness turns into a panic
+/// reporting the generated inputs); test bodies may therefore also use
+/// `return Ok(())` and `?`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::core::result::Result::Err(format!($($fmt)*));
+        }
+    }};
+}
+
+/// Skip the current case when `cond` is false (the case still counts
+/// toward the configured total, unlike real proptest's global reject
+/// budget — acceptable for the rejection rates in this workspace).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Property-test entry point: wraps `#[test]` functions whose arguments
+/// are drawn from strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { @config($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { @config($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (@config($config:expr) $( $(#[$attr:meta])* fn $name:ident ( $($arg_pat:pat in $arg_strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            #[allow(clippy::redundant_closure_call)]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::rng_for(concat!(
+                    module_path!(),
+                    "::",
+                    stringify!($name)
+                ));
+                for __case in 0..config.cases {
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        let __generated = $crate::Strategy::generate(&($arg_strat), &mut rng);
+                        __inputs.push_str(&format!(
+                            "\n  {} = {:?}",
+                            stringify!($arg_pat),
+                            &__generated
+                        ));
+                        let $arg_pat = __generated;
+                    )+
+                    let __result: ::core::result::Result<(), ::std::string::String> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    if let ::core::result::Result::Err(__message) = __result {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs:{}",
+                            __case + 1,
+                            config.cases,
+                            __message,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u64..100, 1usize..=4), x in -1.0f64..1.0) {
+            prop_assert!(a < 100);
+            prop_assert!((1..=4).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn map_filter_flat_map(v in (2usize..6).prop_flat_map(|n| {
+            crate::collection::vec((0i32..10).prop_map(|x| x * 2), n)
+        }).prop_filter("nonempty", |v| !v.is_empty())) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|x| x % 2 == 0));
+        }
+
+        #[test]
+        fn assume_skips(n in 0u64..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+
+        #[test]
+        fn select_picks_members(x in crate::sample::select(vec![2usize, 3, 5, 7])) {
+            prop_assert!([2, 3, 5, 7].contains(&x));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::rng_for("some::test");
+        let mut b = crate::test_runner::rng_for("some::test");
+        let sa = crate::Strategy::generate(&(0u64..1_000_000), &mut a);
+        let sb = crate::Strategy::generate(&(0u64..1_000_000), &mut b);
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,27 @@
+//! Sampling strategies: `sample::select`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt;
+
+/// Strategy choosing uniformly among the given values.
+pub fn select<T: Clone + fmt::Debug>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select requires at least one item");
+    Select { items }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone + fmt::Debug> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.items.len());
+        self.items[i].clone()
+    }
+}

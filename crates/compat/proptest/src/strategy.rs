@@ -1,0 +1,252 @@
+//! The [`Strategy`] trait and core combinators.
+
+use crate::test_runner::TestRng;
+use rand::distributions::uniform::SampleRange;
+use rand::Rng;
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// draws one concrete value directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Reject generated values failing `pred`, regenerating (bounded
+    /// retries; panics if the filter rejects essentially everything).
+    fn prop_filter<R, F>(self, whence: R, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            base: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Map-and-filter in one step: regenerate while `f` returns `None`.
+    fn prop_filter_map<R, O, F>(self, whence: R, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            base: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let derived = (self.f)(self.base.generate(rng));
+        derived.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1024 {
+            let candidate = self.base.generate(rng);
+            if (self.pred)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1024 consecutive candidates",
+            self.whence
+        );
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    base: S,
+    whence: String,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        for _ in 0..1024 {
+            if let Some(value) = (self.f)(self.base.generate(rng)) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter_map '{}' rejected 1024 consecutive candidates",
+            self.whence
+        );
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_single(rng)
+            }
+        }
+    )*};
+}
+
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `bool` strategy: fair coin.
+impl Strategy for fn(&mut TestRng) -> bool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        self(rng)
+    }
+}
+
+/// Free-function strategies returning `impl Strategy` compose fine; this
+/// impl additionally lets plain closures over `TestRng` act as strategies.
+pub struct FromFn<F>(pub F);
+
+impl<F, T> Strategy for FromFn<F>
+where
+    F: Fn(&mut TestRng) -> T,
+    T: fmt::Debug,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Sample any value of a type from its natural distribution — a tiny
+/// `any::<T>()` analogue for the few primitive types that need it.
+pub fn any_f64() -> impl Strategy<Value = f64> {
+    FromFn(|rng: &mut TestRng| rng.gen::<f64>() * 2.0 - 1.0)
+}

@@ -1,0 +1,20 @@
+//! Test RNG plumbing: one deterministic generator per test, seeded from
+//! the test's fully qualified name.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hash::{Hash, Hasher};
+
+/// The RNG handed to strategies (the stand-in `StdRng`).
+pub type TestRng = StdRng;
+
+/// Deterministic RNG for the named test: same name, same case stream,
+/// across runs and machines.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    // DefaultHasher::new() is specified to be deterministic (unkeyed);
+    // combining with a fixed salt decorrelates nearby test names.
+    0xBEEF_CAFEu64.hash(&mut hasher);
+    test_name.hash(&mut hasher);
+    StdRng::seed_from_u64(hasher.finish())
+}

@@ -1,0 +1,186 @@
+//! Local API-compatible stand-in for the `rand` crate (0.8 surface).
+//!
+//! The build environment has no route to crates.io, so this crate provides
+//! the exact subset of the `rand` 0.8 API used by this workspace:
+//! `StdRng`, `SeedableRng::{from_seed, seed_from_u64}`, `RngCore`, and
+//! `Rng::{gen, gen_range}` over float and integer ranges.
+//!
+//! `StdRng` here is xoshiro256++ seeded through splitmix64 — deterministic
+//! per seed (which is all the workspace relies on) but *not* stream
+//! compatible with upstream's ChaCha12-based `StdRng`.
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::uniform::SampleRange;
+use distributions::{Distribution, Standard};
+
+/// The core of a random number generator: a source of `u32`/`u64` words.
+pub trait RngCore {
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&word[..len]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// User-facing random value generation, mirroring `rand::Rng`.
+///
+/// Blanket-implemented for every [`RngCore`], including unsized ones, so
+/// user code may take `R: Rng + ?Sized` exactly as with the real crate.
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample a value uniformly from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Sample a bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let v: f64 = self.gen();
+        v < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array for `StdRng`).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct by expanding a `u64` into a full seed via splitmix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut state).to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&word[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// splitmix64 step: advances `state` and returns the next output word.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Convenience seeded-from-entropy constructor used by `rand::thread_rng`
+/// style call sites (deterministic here: seeded from the system clock's
+/// nanosecond counter XOR the thread id hash).
+pub fn random_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0x5EED);
+    nanos ^ 0xA076_1D64_78BD_642F
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_f64_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&v), "{v}");
+            let w: f64 = rng.gen_range(2.0..5.0);
+            assert!((2.0..5.0).contains(&w), "{w}");
+        }
+    }
+
+    #[test]
+    fn gen_range_usize_stays_in_bounds_and_hits_all() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unsized_rng_bound_compiles() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(-1.0..=1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = draw(&mut rng);
+        assert!((-1.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn gen_produces_distinct_types() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _: u64 = rng.gen();
+        let _: f64 = rng.gen();
+        let _: bool = rng.gen();
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

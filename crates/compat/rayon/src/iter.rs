@@ -1,0 +1,362 @@
+//! Parallel iterator pipeline: indexed sources driven by a work-stealing
+//! index loop across scoped threads.
+
+use crate::pool::current_num_threads;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An indexed, thread-safe source of items. Implementors promise that
+/// `item(i)` is safe to call concurrently for *distinct* indices and is
+/// called at most once per index per drive.
+pub trait ParallelSource: Sync {
+    /// The produced item type.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the item at index `i` (`i < len()`).
+    fn item(&self, i: usize) -> Self::Item;
+}
+
+/// Parallel iterator over a slice, yielding `&T`.
+pub struct SlicePar<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelSource for SlicePar<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn item(&self, i: usize) -> Self::Item {
+        &self.slice[i]
+    }
+}
+
+/// Parallel iterator over `Range<usize>`, yielding `usize`.
+pub struct RangePar {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelSource for RangePar {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn item(&self, i: usize) -> Self::Item {
+        self.start + i
+    }
+}
+
+/// Lazily mapped parallel iterator.
+pub struct MapPar<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, R> ParallelSource for MapPar<S, F>
+where
+    S: ParallelSource,
+    F: Fn(S::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn item(&self, i: usize) -> Self::Item {
+        (self.f)(self.base.item(i))
+    }
+}
+
+/// The user-facing parallel iterator API (subset of rayon's).
+pub trait ParallelIterator: ParallelSource + Sized {
+    /// Map each item through `f` in parallel.
+    fn map<F, R>(self, f: F) -> MapPar<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        MapPar { base: self, f }
+    }
+
+    /// Run `f` on every item in parallel, discarding results.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive_discard(&self.map(f));
+    }
+
+    /// Collect all items in source order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum all items.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item>,
+    {
+        drive_collect(&self).into_iter().sum()
+    }
+
+    /// Number of items (sources here are exact-sized).
+    fn count(self) -> usize {
+        self.len()
+    }
+}
+
+impl<T: ParallelSource + Sized> ParallelIterator for T {}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangePar;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangePar {
+        RangePar {
+            start: self.start,
+            len: self.end.saturating_sub(self.start),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecPar<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar {
+            items: self
+                .into_iter()
+                .map(Some)
+                .map(std::sync::Mutex::new)
+                .collect(),
+        }
+    }
+}
+
+/// Owned-`Vec` parallel iterator; items are moved out by index.
+pub struct VecPar<T> {
+    items: Vec<std::sync::Mutex<Option<T>>>,
+}
+
+impl<T: Send> ParallelSource for VecPar<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn item(&self, i: usize) -> Self::Item {
+        self.items[i]
+            .lock()
+            .expect("VecPar slot lock")
+            .take()
+            .expect("VecPar item taken twice")
+    }
+}
+
+/// Conversion producing a parallel iterator of shared references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type (`&'data T`).
+    type Item: Send + 'data;
+
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = SlicePar<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> SlicePar<'data, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = SlicePar<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> SlicePar<'data, T> {
+        SlicePar { slice: self }
+    }
+}
+
+/// Conversion producing a parallel iterator of mutable references.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type (`&'data mut T`).
+    type Item: Send + 'data;
+
+    /// Parallel iterator over `&mut self`'s elements.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Iter = SliceParMut<'data, T>;
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> SliceParMut<'data, T> {
+        SliceParMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Iter = SliceParMut<'data, T>;
+    type Item = &'data mut T;
+
+    fn par_iter_mut(&'data mut self) -> SliceParMut<'data, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// Parallel iterator over a mutable slice. Soundness: the drive loop hands
+/// each index to exactly one worker, so the produced `&mut T`s never alias.
+pub struct SliceParMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: each index is claimed by exactly one worker (see `drive_*`), so
+// distinct `&mut T`s are handed to distinct threads; `T: Send` makes that ok.
+unsafe impl<'a, T: Send> Sync for SliceParMut<'a, T> {}
+
+impl<'a, T: Send + 'a> ParallelSource for SliceParMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn item(&self, i: usize) -> Self::Item {
+        assert!(i < self.len);
+        // SAFETY: i < len, and the drive contract guarantees each index is
+        // produced at most once, so no two `&mut` borrows overlap.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Types constructible from a parallel iterator (only `Vec` is needed).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the collection by draining the iterator.
+    fn from_par_iter<S>(source: S) -> Self
+    where
+        S: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<S>(source: S) -> Self
+    where
+        S: ParallelIterator<Item = T>,
+    {
+        drive_collect(&source)
+    }
+}
+
+/// Send/Sync wrapper for the output-slot pointer used by `drive_collect`.
+struct SlotsPtr<T>(*mut Option<T>);
+
+// SAFETY: workers write disjoint slots (each index claimed once via
+// fetch_add) and the scope joins before the vector is read.
+unsafe impl<T: Send> Send for SlotsPtr<T> {}
+unsafe impl<T: Send> Sync for SlotsPtr<T> {}
+
+fn worker_count(n: usize) -> usize {
+    current_num_threads().max(1).min(n)
+}
+
+/// Evaluate every item in parallel, preserving source order in the output.
+pub(crate) fn drive_collect<S: ParallelSource>(src: &S) -> Vec<S::Item> {
+    let n = src.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return (0..n).map(|i| src.item(i)).collect();
+    }
+    let mut slots: Vec<Option<S::Item>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let out = SlotsPtr(slots.as_mut_ptr());
+    std::thread::scope(|scope| {
+        let out = &out;
+        let next = &next;
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = src.item(i);
+                // SAFETY: slot i is written exactly once (index claimed via
+                // fetch_add) and the Vec outlives the scope.
+                unsafe {
+                    *out.0.add(i) = Some(value);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("parallel drive filled every slot"))
+        .collect()
+}
+
+/// Evaluate every item in parallel, discarding results.
+pub(crate) fn drive_discard<S: ParallelSource>(src: &S) {
+    let n = src.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        for i in 0..n {
+            src.item(i);
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let next = &next;
+        for _ in 0..workers {
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                src.item(i);
+            });
+        }
+    });
+}

@@ -1,0 +1,73 @@
+//! Local API-compatible stand-in for the `rayon` crate.
+//!
+//! Provides genuinely parallel `par_iter()` / `into_par_iter()` pipelines
+//! over slices and `Range<usize>` using `std::thread::scope`, plus a
+//! `ThreadPoolBuilder` / `ThreadPool::install` pair that scopes the worker
+//! count via a thread-local override (mirroring how this workspace uses
+//! rayon pools: only to pin the thread count for a closure).
+//!
+//! Order is preserved: `collect::<Vec<_>>()` yields results in source
+//! order, exactly like rayon's indexed parallel iterators.
+
+pub mod iter;
+mod pool;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
+/// The rayon prelude: import the parallel-iterator traits.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        let expect: Vec<usize> = (0..1000).map(|i| i * 2).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let data = vec![1.0f64, 2.0, 3.0, 4.0];
+        let squared: Vec<f64> = data.par_iter().map(|x| x * x).collect();
+        assert_eq!(squared, vec![1.0, 4.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn sum_and_for_each() {
+        let total: usize = (0..100usize).into_par_iter().map(|i| i).sum();
+        assert_eq!(total, 4950);
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        (0..64usize).into_par_iter().for_each(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn pool_install_pins_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn single_thread_pool_still_completes() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let v: Vec<usize> = pool.install(|| (0..10).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(v, (1..11).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,117 @@
+//! Thread pools: in this stand-in, a "pool" is just a scoped override of
+//! the worker count consulted by the drive loop in `iter.rs`. Worker
+//! threads themselves are spawned per drive via `std::thread::scope`.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// 0 = no override (use available parallelism).
+    static NUM_THREADS_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads parallel drives on this thread will use.
+pub fn current_num_threads() -> usize {
+    let overridden = NUM_THREADS_OVERRIDE.with(|c| c.get());
+    if overridden > 0 {
+        overridden
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Error building a thread pool (never produced by this stand-in, but the
+/// type is part of the API surface).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    _private: (),
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool with the default (auto) thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pin the worker count; 0 means auto.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Finish building. Infallible here, but returns `Result` to match
+    /// the real API.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A handle that scopes the worker count for closures run via `install`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+struct OverrideGuard {
+    prev: usize,
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        NUM_THREADS_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's thread count in effect for parallel
+    /// drives started on the current thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let effective = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        let prev = NUM_THREADS_OVERRIDE.with(|c| {
+            let prev = c.get();
+            c.set(effective);
+            prev
+        });
+        let _guard = OverrideGuard { prev };
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Minimal JSON writer and recursive-descent parser for [`Value`].
+
+use crate::{Error, Value};
+
+pub(crate) fn write(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(v) => out.push_str(&v.to_string()),
+        Value::UInt(v) => out.push_str(&v.to_string()),
+        Value::Float(v) => {
+            if v.is_finite() {
+                // `{:?}` keeps a trailing `.0` for integral floats, so the
+                // token is unambiguously a float, and round-trips exactly.
+                out.push_str(&format!("{v:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write(item, out, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Map(pairs) => {
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write(item, out, indent, depth + 1);
+            }
+            if !pairs.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+pub(crate) fn parse(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.bump() == Some(byte) {
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected '{}' at byte {}",
+                byte as char,
+                self.pos.saturating_sub(1)
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_literal("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_literal("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_literal("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error::custom(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Seq(items)),
+                _ => return Err(Error::custom("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Map(pairs)),
+                _ => return Err(Error::custom("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let code = self.parse_hex4()?;
+                        // Surrogate pairs: decode \uD8xx\uDCxx sequences.
+                        let c = if (0xD800..0xDC00).contains(&code) {
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let low = self.parse_hex4()?;
+                            let combined =
+                                0x10000 + ((code - 0xD800) << 10) + (low.wrapping_sub(0xDC00));
+                            char::from_u32(combined)
+                        } else {
+                            char::from_u32(code)
+                        };
+                        out.push(c.ok_or_else(|| Error::custom("invalid unicode escape"))?);
+                    }
+                    _ => return Err(Error::custom("invalid escape")),
+                },
+                Some(byte) => {
+                    // Re-assemble UTF-8 multibyte sequences byte-wise.
+                    if byte < 0x80 {
+                        out.push(byte as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let len = utf8_len(byte);
+                        let end = start + len;
+                        let slice = self
+                            .bytes
+                            .get(start..end)
+                            .ok_or_else(|| Error::custom("truncated utf-8"))?;
+                        let s = std::str::from_utf8(slice)
+                            .map_err(|_| Error::custom("invalid utf-8"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| Error::custom("truncated \\u"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::custom("invalid hex digit"))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::custom("invalid float"))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| Error::custom("invalid integer"))
+        } else {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| Error::custom("invalid integer"))
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_compact() {
+        let v = Value::object(vec![
+            ("name", Value::Str("sshopm".into())),
+            ("lambda", Value::Float(-0.5)),
+            ("iters", Value::UInt(31)),
+            (
+                "trace",
+                Value::Seq(vec![Value::Float(1.0), Value::Float(2.5)]),
+            ),
+            ("converged", Value::Bool(true)),
+            ("none", Value::Null),
+        ]);
+        let json = v.to_json();
+        let back = parse(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn round_trip_pretty() {
+        let v = Value::Seq(vec![
+            Value::object(vec![("k", Value::Int(-2))]),
+            Value::Seq(vec![]),
+            Value::Map(vec![]),
+        ]);
+        let back = parse(&v.to_json_pretty()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = Value::Str("a\"b\\c\nd\té λ".into());
+        let back = parse(&v.to_json()).unwrap();
+        assert_eq!(back, v);
+        let parsed = parse(r#""é λ 😀""#).unwrap();
+        assert_eq!(parsed, Value::Str("é λ 😀".into()));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Value::Float(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn numbers_parse_by_kind() {
+        assert_eq!(parse("42").unwrap(), Value::UInt(42));
+        assert_eq!(parse("-42").unwrap(), Value::Int(-42));
+        assert_eq!(parse("4.25e2").unwrap(), Value::Float(425.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("1 2").is_err());
+    }
+}

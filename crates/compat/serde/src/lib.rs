@@ -1,0 +1,258 @@
+//! Local API-compatible stand-in for `serde` (offline build).
+//!
+//! Real serde is a zero-copy serialization *framework*; this workspace only
+//! needs (a) `Serialize`/`Deserialize` bounds on storable types and (b) a
+//! way to write/read JSON for telemetry and benchmark artifacts. So this
+//! stand-in collapses the data model to a single JSON-like [`Value`] enum:
+//!
+//! * `Serialize` is "convert to [`Value`]" (one method),
+//! * `Deserialize` is "convert from [`Value`]" (one method),
+//! * [`Value::to_json`] / [`Value::parse_json`] provide the byte format.
+//!
+//! There is no proc-macro derive; types implement the two one-method
+//! traits by hand (see `SymTensor` for the pattern).
+
+mod json;
+mod value;
+
+pub use value::Value;
+
+/// Serialization: convert `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Represent `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization: reconstruct `Self` from the [`Value`] data model.
+///
+/// The lifetime parameter mirrors real serde's `Deserialize<'de>` so that
+/// bounds written against the real API (`for<'de> Deserialize<'de>`,
+/// `de::DeserializeOwned`) keep compiling.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuild `Self` from a [`Value`], or describe why it can't be.
+    fn from_value(value: &'de Value) -> Result<Self, Error>;
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Create an error with the given message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The `serde::de` module: deserialization traits.
+pub mod de {
+    pub use crate::{Deserialize, Error};
+
+    /// Types deserializable without borrowing from the input.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+/// The `serde::ser` module: serialization traits.
+pub mod ser {
+    pub use crate::{Error, Serialize};
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &'de Value) -> Result<Self, Error> {
+                value
+                    .as_u64()
+                    .map(|v| v as $t)
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+serialize_int!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &'de Value) -> Result<Self, Error> {
+                value
+                    .as_i64()
+                    .map(|v| v as $t)
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+serialize_sint!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &'de Value) -> Result<Self, Error> {
+                value
+                    .as_f64()
+                    .map(|v| v as $t)
+                    .ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &'de Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &'de Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &'de Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &'de Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &'de Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let v = 42u64.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), 42);
+        let v = (-3i64).to_value();
+        assert_eq!(i64::from_value(&v).unwrap(), -3);
+        let v = 1.5f64.to_value();
+        assert_eq!(f64::from_value(&v).unwrap(), 1.5);
+        let v = true.to_value();
+        assert!(bool::from_value(&v).unwrap());
+        let v = "hi".to_string().to_value();
+        assert_eq!(String::from_value(&v).unwrap(), "hi");
+    }
+
+    #[test]
+    fn vec_round_trips_through_json() {
+        let data = vec![1.0f64, -2.5, 3.25];
+        let json = data.to_value().to_json();
+        let parsed = Value::parse_json(&json).unwrap();
+        let back = Vec::<f64>::from_value(&parsed).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn deserialize_owned_bound_is_satisfied() {
+        fn takes<T: crate::de::DeserializeOwned>() {}
+        takes::<Vec<f64>>();
+        takes::<String>();
+        takes::<u64>();
+    }
+}

@@ -1,0 +1,140 @@
+//! The [`Value`] data model: a JSON-like tree.
+
+use crate::json;
+
+/// A JSON-like value tree — the universal data model of this serde
+/// stand-in. Maps preserve insertion order (they are association lists),
+/// which keeps emitted JSON stable and diffable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction).
+    Int(i64),
+    /// Unsigned integer (JSON number without fraction).
+    UInt(u64),
+    /// Floating point (JSON number; non-finite values serialize as `null`).
+    Float(f64),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Build an object from `(key, value)` pairs.
+    pub fn object(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Map(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Append a key to an object; panics if `self` is not a map.
+    pub fn insert(&mut self, key: &str, value: Value) {
+        match self {
+            Value::Map(pairs) => pairs.push((key.to_owned(), value)),
+            _ => panic!("Value::insert on non-map"),
+        }
+    }
+
+    /// The value as `f64` if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::UInt(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a nonnegative integer (or an integral
+    /// nonnegative float, as produced by JSON round-trips).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(v) => Some(*v),
+            Value::Int(v) if *v >= 0 => Some(*v as u64),
+            Value::Float(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer (or integral float).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::UInt(v) if *v <= i64::MAX as u64 => Some(*v as i64),
+            Value::Float(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice if it is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialize to compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        json::write(self, &mut out, None, 0);
+        out
+    }
+
+    /// Serialize to pretty-printed JSON (2-space indent).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        json::write(self, &mut out, Some(2), 0);
+        out
+    }
+
+    /// Parse a JSON document into a `Value`.
+    pub fn parse_json(input: &str) -> Result<Value, crate::Error> {
+        json::parse(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_get_insert() {
+        let mut v = Value::object(vec![("a", Value::UInt(1))]);
+        v.insert("b", Value::Str("x".into()));
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x"));
+        assert!(v.get("c").is_none());
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Float(3.0).as_u64(), Some(3));
+        assert_eq!(Value::Float(3.5).as_u64(), None);
+        assert_eq!(Value::Int(-1).as_u64(), None);
+        assert_eq!(Value::UInt(7).as_i64(), Some(7));
+        assert_eq!(Value::Int(-2).as_f64(), Some(-2.0));
+    }
+}

@@ -69,11 +69,15 @@ impl Diffusivities {
 /// Evaluate the ADC `D(g)` of a voxel's fiber configuration at a unit
 /// gradient direction `g`.
 pub fn adc(config: &FiberConfig, diff: &Diffusivities, g: &Dir3) -> f64 {
-    debug_assert!(diff.kernel_power.is_multiple_of(2), "kernel power must be even");
+    debug_assert!(
+        diff.kernel_power.is_multiple_of(2),
+        "kernel power must be even"
+    );
     let mut total = 0.0;
     for (u, &w) in config.directions.iter().zip(&config.weights) {
         let dot = u[0] * g[0] + u[1] * g[1] + u[2] * g[2];
-        total += w * (diff.d_perp + (diff.d_par - diff.d_perp) * dot.powi(diff.kernel_power as i32));
+        total +=
+            w * (diff.d_perp + (diff.d_par - diff.d_perp) * dot.powi(diff.kernel_power as i32));
     }
     total
 }
@@ -174,10 +178,7 @@ mod tests {
 
     #[test]
     fn weights_scale_contributions() {
-        let f = FiberConfig::new(
-            vec![[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]],
-            vec![0.9, 0.1],
-        );
+        let f = FiberConfig::new(vec![[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]], vec![0.9, 0.1]);
         let d = Diffusivities::default();
         assert!(adc(&f, &d, &[1.0, 0.0, 0.0]) > adc(&f, &d, &[0.0, 1.0, 0.0]));
     }

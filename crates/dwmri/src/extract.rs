@@ -175,10 +175,7 @@ mod tests {
 
     #[test]
     fn estimates_are_sorted_and_canonicalized() {
-        let truth = FiberConfig::new(
-            vec![[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]],
-            vec![0.7, 0.3],
-        );
+        let truth = FiberConfig::new(vec![[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]], vec![0.7, 0.3]);
         let tensor = fit_config(&truth);
         let cfg = ExtractConfig {
             relative_threshold: 0.1,

@@ -131,10 +131,7 @@ mod tests {
 
     #[test]
     fn new_normalizes_weights() {
-        let f = FiberConfig::new(
-            vec![[1.0, 0.0, 0.0], [0.0, 0.0, 2.0]],
-            vec![2.0, 6.0],
-        );
+        let f = FiberConfig::new(vec![[1.0, 0.0, 0.0], [0.0, 0.0, 2.0]], vec![2.0, 6.0]);
         assert!((f.weights[0] - 0.25).abs() < 1e-12);
         assert!((f.weights[1] - 0.75).abs() < 1e-12);
         assert!((f.directions[1][2] - 1.0).abs() < 1e-12);

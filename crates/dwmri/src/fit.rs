@@ -114,7 +114,10 @@ mod tests {
         let vals: Vec<f64> = dirs.iter().map(|g| evaluate(&truth, g)).collect();
         let design = design_matrix(4, &dirs);
         let gram_min = linalg::SymmetricEigen::new(&design.gram()).unwrap().min();
-        assert!(gram_min.abs() < 1e-10, "expected singular design, min eig {gram_min:e}");
+        assert!(
+            gram_min.abs() < 1e-10,
+            "expected singular design, min eig {gram_min:e}"
+        );
         if let Ok(fitted) = fit_tensor(4, &dirs, &vals) {
             for (g, v) in dirs.iter().zip(&vals) {
                 assert!((evaluate(&fitted, g) - v).abs() < 1e-7);

@@ -14,8 +14,7 @@
 //!   attenuated signal at b-value `b`, magnitude taken, ADC re-derived.
 
 /// How to corrupt a clean ADC value.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum NoiseModel {
     /// No noise.
     #[default]
@@ -36,7 +35,6 @@ pub enum NoiseModel {
         b: f64,
     },
 }
-
 
 impl NoiseModel {
     /// Apply the model to a clean ADC value. `u1`, `u2` are i.i.d. uniform
@@ -98,7 +96,10 @@ mod tests {
     #[test]
     fn rician_is_unbiased_at_high_snr() {
         // Average over many samples: small sigma recovers the clean ADC.
-        let m = NoiseModel::Rician { sigma: 0.005, b: 1.5 };
+        let m = NoiseModel::Rician {
+            sigma: 0.005,
+            b: 1.5,
+        };
         let clean = 1.0;
         let mut lcg = 12345u64;
         let mut uniform = move || {

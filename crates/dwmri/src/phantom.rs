@@ -15,8 +15,8 @@
 
 use crate::adc::{adc, Diffusivities};
 use crate::fiber::FiberConfig;
-use crate::noise::NoiseModel;
 use crate::fit::fit_tensor;
+use crate::noise::NoiseModel;
 use crate::sampling::gradient_directions;
 use rand::Rng;
 use rayon::prelude::*;
@@ -109,7 +109,12 @@ impl Phantom {
                     .collect();
                 let tensor = fit_tensor(config.order, &dirs, &vals)
                     .expect("phantom design matrix is well conditioned");
-                Voxel { x, y, truth, tensor }
+                Voxel {
+                    x,
+                    y,
+                    truth,
+                    tensor,
+                }
             })
             .collect();
         Phantom { config, voxels }
@@ -126,10 +131,7 @@ impl Phantom {
         if in_crossing_band {
             let phi = theta + config.crossing_angle;
             FiberConfig::new(
-                vec![
-                    [theta.cos(), theta.sin(), 0.0],
-                    [phi.cos(), phi.sin(), 0.0],
-                ],
+                vec![[theta.cos(), theta.sin(), 0.0], [phi.cos(), phi.sin(), 0.0]],
                 vec![0.5, 0.5],
             )
         } else {
@@ -161,14 +163,19 @@ impl Phantom {
 
     /// Count of voxels with the given number of true fibers.
     pub fn count_with_fibers(&self, k: usize) -> usize {
-        self.voxels.iter().filter(|v| v.truth.num_fibers() == k).count()
+        self.voxels
+            .iter()
+            .filter(|v| v.truth.num_fibers() == k)
+            .count()
     }
 }
 
 /// A tiny deterministic PCG32 so each voxel gets reproducible noise from a
 /// single seed without threading `rand` state through rayon.
 fn rand_pcg(seed: u64) -> impl FnMut() -> f64 {
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     move || {
         state = state
             .wrapping_mul(6364136223846793005)

@@ -248,7 +248,11 @@ mod tests {
         let field = FiberField::new(w, 3, fibers);
         let s = trace(&field, (1.2, 1.5), &TractConfig::default()).unwrap();
         assert_eq!(s.stop_forward, StopReason::LeftGrid);
-        assert!(s.length() > 8.0, "must cross the crossing column: {}", s.length());
+        assert!(
+            s.length() > 8.0,
+            "must cross the crossing column: {}",
+            s.length()
+        );
         for &(_, y) in &s.points {
             assert!((y - 1.5).abs() < 1e-9, "streamline must stay horizontal");
         }

@@ -12,15 +12,10 @@ use proptest::prelude::*;
 
 /// Strategy: a random unit direction.
 fn direction() -> impl Strategy<Value = [f64; 3]> {
-    (
-        -1.0f64..1.0,
-        -1.0f64..1.0,
-        -1.0f64..1.0,
-    )
-        .prop_filter_map("nonzero", |(x, y, z)| {
-            let n = (x * x + y * y + z * z).sqrt();
-            (n > 0.2).then(|| [x / n, y / n, z / n])
-        })
+    (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0).prop_filter_map("nonzero", |(x, y, z)| {
+        let n = (x * x + y * y + z * z).sqrt();
+        (n > 0.2).then(|| [x / n, y / n, z / n])
+    })
 }
 
 proptest! {

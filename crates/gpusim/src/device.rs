@@ -121,7 +121,11 @@ mod tests {
     fn c2050_peak_matches_paper_quote() {
         // The paper: "single precision peak performance of 1030 GFLOPS".
         let d = DeviceSpec::tesla_c2050();
-        assert!((d.peak_sp_gflops() - 1030.4).abs() < 0.5, "{}", d.peak_sp_gflops());
+        assert!(
+            (d.peak_sp_gflops() - 1030.4).abs() < 0.5,
+            "{}",
+            d.peak_sp_gflops()
+        );
     }
 
     #[test]
@@ -133,12 +137,16 @@ mod tests {
 
     #[test]
     fn c1060_is_slower_than_c2050() {
-        assert!(DeviceSpec::tesla_c1060().peak_sp_gflops() < DeviceSpec::tesla_c2050().peak_sp_gflops());
+        assert!(
+            DeviceSpec::tesla_c1060().peak_sp_gflops() < DeviceSpec::tesla_c2050().peak_sp_gflops()
+        );
     }
 
     #[test]
     fn gtx580_is_faster_than_c2050() {
-        assert!(DeviceSpec::gtx_580().peak_sp_gflops() > DeviceSpec::tesla_c2050().peak_sp_gflops());
+        assert!(
+            DeviceSpec::gtx_580().peak_sp_gflops() > DeviceSpec::tesla_c2050().peak_sp_gflops()
+        );
     }
 
     #[test]

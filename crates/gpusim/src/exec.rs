@@ -72,8 +72,7 @@ impl LaunchStats {
         if self.warp_serial_instructions == 0 {
             return 1.0;
         }
-        self.thread_instructions as f64
-            / (self.warp_serial_instructions as f64 * warp_size as f64)
+        self.thread_instructions as f64 / (self.warp_serial_instructions as f64 * warp_size as f64)
     }
 }
 
@@ -170,7 +169,10 @@ mod tests {
             warp_size: 32,
         };
         let (outputs, stats) = run_grid(g, |_b| {
-            ((0..64).map(|_| record(100)).collect(), OpCounters::default())
+            (
+                (0..64).map(|_| record(100)).collect(),
+                OpCounters::default(),
+            )
         });
         assert_eq!(outputs.len(), 4);
         // 8 warps total, each warp-serial cost 100.

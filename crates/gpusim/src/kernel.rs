@@ -291,8 +291,14 @@ mod tests {
         let (tensors, starts) = workload(4, 32, 2);
         let policy = IterationPolicy::Fixed(15);
         let device = DeviceSpec::tesla_c2050();
-        let (gpu, _) =
-            launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+        let (gpu, _) = launch_sshopm(
+            &device,
+            &tensors,
+            &starts,
+            policy,
+            0.0,
+            GpuVariant::Unrolled,
+        );
         let k = UnrolledKernels::for_shape(4, 3).unwrap();
         let cpu = BatchSolver::new(SsHopm::new(sshopm::Shift::Fixed(0.0)).with_policy(policy))
             .solve_sequential(&k, &tensors, &starts);
@@ -310,8 +316,14 @@ mod tests {
         let device = DeviceSpec::tesla_c2050();
         let (_, general) =
             launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::General);
-        let (_, unrolled) =
-            launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+        let (_, unrolled) = launch_sshopm(
+            &device,
+            &tensors,
+            &starts,
+            policy,
+            0.0,
+            GpuVariant::Unrolled,
+        );
         // Paper Table III(a): 18.7x on the GPU. The model should show a
         // large multiple (>4x) without hand-tuning to the exact figure.
         let speedup = general.timing.seconds / unrolled.timing.seconds;
@@ -324,8 +336,14 @@ mod tests {
         let (tensors, starts) = workload(1024, 128, 4);
         let policy = IterationPolicy::Fixed(20);
         let device = DeviceSpec::tesla_c2050();
-        let (_, report) =
-            launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+        let (_, report) = launch_sshopm(
+            &device,
+            &tensors,
+            &starts,
+            policy,
+            0.0,
+            GpuVariant::Unrolled,
+        );
         let frac = report.gflops / device.peak_sp_gflops();
         // Paper: 31% of peak. Accept a generous band around it.
         assert!(
@@ -344,8 +362,14 @@ mod tests {
         let mut series = Vec::new();
         for t in [1usize, 4, 16, 64, 256, 1024] {
             let (tensors, starts) = workload(t, 128, 5);
-            let (_, report) =
-                launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+            let (_, report) = launch_sshopm(
+                &device,
+                &tensors,
+                &starts,
+                policy,
+                0.0,
+                GpuVariant::Unrolled,
+            );
             series.push((t, report.gflops));
             assert!(
                 report.gflops >= last * 0.95,
@@ -369,8 +393,14 @@ mod tests {
             tol: 1e-6,
             max_iters: 500,
         };
-        let (_, report) =
-            launch_sshopm(&device, &tensors, &starts, policy, 0.2, GpuVariant::Unrolled);
+        let (_, report) = launch_sshopm(
+            &device,
+            &tensors,
+            &starts,
+            policy,
+            0.2,
+            GpuVariant::Unrolled,
+        );
         // Different threads converge at different iterations: SIMD
         // efficiency strictly below 1.
         let eff = report.stats.simd_efficiency(32);
@@ -406,7 +436,14 @@ mod tests {
         let device = DeviceSpec::tesla_c2050();
         let policy = IterationPolicy::Fixed(10);
         let (_, g) = launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::General);
-        let (_, u) = launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+        let (_, u) = launch_sshopm(
+            &device,
+            &tensors,
+            &starts,
+            policy,
+            0.0,
+            GpuVariant::Unrolled,
+        );
         assert!(g.stats.counters.global_words() > 10 * u.stats.counters.global_words());
     }
 

@@ -32,6 +32,7 @@ pub mod kernel;
 pub mod memory;
 pub mod multi;
 pub mod occupancy;
+pub mod profile;
 pub mod timing;
 
 pub use counters::OpCounters;
@@ -40,4 +41,5 @@ pub use exec::{GridConfig, LaunchStats};
 pub use kernel::{launch_sshopm, GpuBatchResult, GpuVariant, LaunchReport};
 pub use multi::{MultiGpu, MultiReport, TransferModel};
 pub use occupancy::{KernelResources, Occupancy};
+pub use profile::{CounterBreakdown, ProfileSnapshot};
 pub use timing::TimingEstimate;

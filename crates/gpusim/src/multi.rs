@@ -231,8 +231,14 @@ mod tests {
         let (tensors, starts) = workload(16, 32, 1);
         let policy = IterationPolicy::Fixed(10);
         let single = DeviceSpec::tesla_c2050();
-        let (base, _) =
-            launch_sshopm(&single, &tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+        let (base, _) = launch_sshopm(
+            &single,
+            &tensors,
+            &starts,
+            policy,
+            0.0,
+            GpuVariant::Unrolled,
+        );
         let mg = MultiGpu::homogeneous(single, 4, TransferModel::pcie2());
         let (multi, report) = mg.launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
         assert_eq!(multi.results.len(), 16);
@@ -268,7 +274,12 @@ mod tests {
         let (_, r1) = one.launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
         let (_, r4) = four.launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
         // Fixed transfer latency and launch overhead dominate; no big win.
-        assert!(r4.seconds > r1.seconds * 0.4, "{} vs {}", r4.seconds, r1.seconds);
+        assert!(
+            r4.seconds > r1.seconds * 0.4,
+            "{} vs {}",
+            r4.seconds,
+            r1.seconds
+        );
     }
 
     #[test]

@@ -93,7 +93,11 @@ impl Occupancy {
         let by_slots = device.max_blocks_per_sm;
 
         let blocks = by_regs.min(by_smem).min(by_threads).min(by_slots);
-        let limiter = if blocks == by_regs && by_regs <= by_smem && by_regs <= by_threads && by_regs <= by_slots {
+        let limiter = if blocks == by_regs
+            && by_regs <= by_smem
+            && by_regs <= by_threads
+            && by_regs <= by_slots
+        {
             "registers"
         } else if blocks == by_smem && by_smem <= by_threads && by_smem <= by_slots {
             "shared memory"

@@ -9,11 +9,7 @@ use sshopm::{BatchSolver, IterationPolicy, Shift, SsHopm};
 use symtensor::kernels::GeneralKernels;
 use symtensor::SymTensor;
 
-fn workload(
-    t: usize,
-    v: usize,
-    seed: u64,
-) -> (Vec<SymTensor<f32>>, Vec<Vec<f32>>) {
+fn workload(t: usize, v: usize, seed: u64) -> (Vec<SymTensor<f32>>, Vec<Vec<f32>>) {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(seed);

@@ -129,10 +129,7 @@ impl SymmetricEigen {
 
     /// Spectral radius `max |λ|`.
     pub fn spectral_radius(&self) -> f64 {
-        self.eigenvalues
-            .iter()
-            .map(|l| l.abs())
-            .fold(0.0, f64::max)
+        self.eigenvalues.iter().map(|l| l.abs()).fold(0.0, f64::max)
     }
 }
 

@@ -112,7 +112,13 @@ mod tests {
     #[test]
     fn residual_of_exact_solution_is_zero() {
         let mut rng = StdRng::seed_from_u64(6);
-        let a = Matrix::from_fn(5, 5, |i, j| if i == j { 2.0 } else { rng.gen_range(-0.1..0.1) });
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            if i == j {
+                2.0
+            } else {
+                rng.gen_range(-0.1..0.1)
+            }
+        });
         let x_true: Vec<f64> = (0..5).map(|i| i as f64).collect();
         let b = a.matvec(&x_true).unwrap();
         let x = lstsq(&a, &b).unwrap();

@@ -184,11 +184,7 @@ mod tests {
     #[test]
     fn unsymmetric_systems_supported() {
         // The bordered Newton Jacobian is unsymmetric; check a shaped case.
-        let a = Matrix::from_vec(
-            3,
-            3,
-            vec![2.0, 0.5, -1.0, 0.3, 1.5, 0.0, 1.0, 0.0, 0.0],
-        );
+        let a = Matrix::from_vec(3, 3, vec![2.0, 0.5, -1.0, 0.3, 1.5, 0.0, 1.0, 0.0, 0.0]);
         let x_true = vec![1.0, 2.0, 3.0];
         let b = a.matvec(&x_true).unwrap();
         let x = Lu::new(&a).unwrap().solve(&b).unwrap();

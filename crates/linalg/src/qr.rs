@@ -117,9 +117,7 @@ impl Qr {
         // Back substitution with R. A diagonal entry at round-off level
         // relative to the largest one signals rank deficiency.
         let n = self.cols;
-        let max_diag = (0..n)
-            .map(|i| self.qr[(i, i)].abs())
-            .fold(0.0f64, f64::max);
+        let max_diag = (0..n).map(|i| self.qr[(i, i)].abs()).fold(0.0f64, f64::max);
         let tol = max_diag * 1e-12;
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
@@ -219,7 +217,10 @@ mod tests {
     fn singular_matrix_detected_on_solve() {
         let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 2.0, 4.0, 3.0, 6.0]); // rank 1
         let qr = Qr::new(&a).unwrap();
-        assert!(matches!(qr.solve(&[1.0, 1.0, 1.0]), Err(LinalgError::Singular)));
+        assert!(matches!(
+            qr.solve(&[1.0, 1.0, 1.0]),
+            Err(LinalgError::Singular)
+        ));
     }
 
     #[test]

@@ -9,8 +9,10 @@
 
 use crate::solver::{Eigenpair, SsHopm};
 use rayon::prelude::*;
+use std::time::Instant;
 use symtensor::kernels::{GeneralKernels, TensorKernels};
 use symtensor::{Scalar, SymTensor};
+use telemetry::Telemetry;
 
 /// Results of a batched solve: `results[t][v]` is the eigenpair computed
 /// for tensor `t` from starting vector `v`.
@@ -66,15 +68,25 @@ impl BatchSolver {
         tensors: &[SymTensor<S>],
         starts: &[Vec<S>],
     ) -> BatchResult<S> {
+        self.solve_sequential_instrumented(kernels, tensors, starts, &Telemetry::disabled())
+    }
+
+    /// [`solve_sequential`](Self::solve_sequential) with instrumentation:
+    /// records a `batch.solve` span, a `batch.tensor_seconds` histogram,
+    /// and `batch.tensors_done` / `batch.iterations` progress counters.
+    pub fn solve_sequential_instrumented<S: Scalar, K: TensorKernels<S> + ?Sized>(
+        &self,
+        kernels: &K,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+        telemetry: &Telemetry,
+    ) -> BatchResult<S> {
+        let _batch_span = telemetry.span("batch.solve");
         let mut results = Vec::with_capacity(tensors.len());
         let mut total_iterations = 0u64;
         for a in tensors {
-            let mut row = Vec::with_capacity(starts.len());
-            for x0 in starts {
-                let pair = self.solver.solve_with(kernels, a, x0);
-                total_iterations += pair.iterations as u64;
-                row.push(pair);
-            }
+            let (row, iters) = solve_one_tensor(&self.solver, kernels, a, starts, telemetry);
+            total_iterations += iters;
             results.push(row);
         }
         BatchResult {
@@ -94,19 +106,24 @@ impl BatchSolver {
         tensors: &[SymTensor<S>],
         starts: &[Vec<S>],
     ) -> BatchResult<S> {
+        self.solve_parallel_instrumented(kernels, tensors, starts, &Telemetry::disabled())
+    }
+
+    /// [`solve_parallel`](Self::solve_parallel) with instrumentation: the
+    /// same metrics as the sequential path, with per-tensor spans
+    /// attributed to the rayon worker threads that ran them.
+    pub fn solve_parallel_instrumented<S: Scalar, K: TensorKernels<S> + Sync + ?Sized>(
+        &self,
+        kernels: &K,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+        telemetry: &Telemetry,
+    ) -> BatchResult<S> {
+        let _batch_span = telemetry.span("batch.solve");
         let solve_all = || {
             let rows: Vec<(Vec<Eigenpair<S>>, u64)> = tensors
                 .par_iter()
-                .map(|a| {
-                    let mut row = Vec::with_capacity(starts.len());
-                    let mut iters = 0u64;
-                    for x0 in starts {
-                        let pair = self.solver.solve_with(kernels, a, x0);
-                        iters += pair.iterations as u64;
-                        row.push(pair);
-                    }
-                    (row, iters)
-                })
+                .map(|a| solve_one_tensor(&self.solver, kernels, a, starts, telemetry))
                 .collect();
             let mut results = Vec::with_capacity(rows.len());
             let mut total_iterations = 0u64;
@@ -132,13 +149,40 @@ impl BatchSolver {
     }
 
     /// Convenience: solve with the default on-the-fly kernels, parallel.
-    pub fn solve<S: Scalar>(
-        &self,
-        tensors: &[SymTensor<S>],
-        starts: &[Vec<S>],
-    ) -> BatchResult<S> {
+    pub fn solve<S: Scalar>(&self, tensors: &[SymTensor<S>], starts: &[Vec<S>]) -> BatchResult<S> {
         self.solve_parallel(&GeneralKernels, tensors, starts)
     }
+}
+
+/// Solve every start for one tensor, recording per-tensor telemetry.
+///
+/// The timing sits at tensor granularity — the disabled path costs one
+/// `is_enabled` branch per tensor, nothing per iteration or per start.
+fn solve_one_tensor<S: Scalar, K: TensorKernels<S> + ?Sized>(
+    solver: &SsHopm,
+    kernels: &K,
+    a: &SymTensor<S>,
+    starts: &[Vec<S>],
+    telemetry: &Telemetry,
+) -> (Vec<Eigenpair<S>>, u64) {
+    let started = telemetry.is_enabled().then(Instant::now);
+    let mut row = Vec::with_capacity(starts.len());
+    let mut iters = 0u64;
+    let mut converged = 0u64;
+    for x0 in starts {
+        let pair = solver.solve_with(kernels, a, x0);
+        iters += pair.iterations as u64;
+        converged += u64::from(pair.converged);
+        row.push(pair);
+    }
+    if let Some(started) = started {
+        telemetry.observe("batch.tensor_seconds", started.elapsed().as_secs_f64());
+        telemetry.counter("batch.tensors_done", 1);
+        telemetry.counter("batch.solves", starts.len() as u64);
+        telemetry.counter("batch.converged", converged);
+        telemetry.counter("batch.iterations", iters);
+    }
+    (row, iters)
 }
 
 #[cfg(test)]
@@ -161,7 +205,9 @@ mod tests {
     #[test]
     fn sequential_and_parallel_agree() {
         let (tensors, starts) = workload(8, 6, 1);
-        let solver = BatchSolver::new(SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(25)));
+        let solver = BatchSolver::new(
+            SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(25)),
+        );
         let seq = solver.solve_sequential(&GeneralKernels, &tensors, &starts);
         let par = solver.solve_parallel(&GeneralKernels, &tensors, &starts);
         assert_eq!(seq.total_iterations, par.total_iterations);
@@ -176,8 +222,12 @@ mod tests {
     fn thread_count_does_not_change_results() {
         let (tensors, starts) = workload(6, 4, 2);
         let base = BatchSolver::new(SsHopm::new(Shift::Convex).with_tolerance(1e-12));
-        let r1 = base.with_threads(1).solve_parallel(&GeneralKernels, &tensors, &starts);
-        let r4 = base.with_threads(4).solve_parallel(&GeneralKernels, &tensors, &starts);
+        let r1 = base
+            .with_threads(1)
+            .solve_parallel(&GeneralKernels, &tensors, &starts);
+        let r4 = base
+            .with_threads(4)
+            .solve_parallel(&GeneralKernels, &tensors, &starts);
         for (t, v, p) in r1.iter_flat() {
             let q = &r4.results[t][v];
             assert_eq!(p.lambda, q.lambda);
@@ -220,6 +270,30 @@ mod tests {
             if p.converged {
                 assert!(p.residual(&tensors[t]) < 1e-5);
             }
+        }
+    }
+
+    #[test]
+    fn instrumented_batch_records_progress_metrics() {
+        let (tensors, starts) = workload(5, 3, 6);
+        let solver = BatchSolver::new(
+            SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(10)),
+        );
+        let tel = Telemetry::enabled();
+        let res = solver.solve_parallel_instrumented(&GeneralKernels, &tensors, &starts, &tel);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("batch.tensors_done"), Some(5));
+        assert_eq!(snap.counter("batch.solves"), Some(15));
+        assert_eq!(snap.counter("batch.iterations"), Some(res.total_iterations));
+        let hist = snap.histogram("batch.tensor_seconds").unwrap();
+        assert_eq!(hist.count, 5);
+        let span = snap.span("batch.solve").unwrap();
+        assert_eq!(span.count, 1);
+
+        // The uninstrumented entry points agree bit-for-bit.
+        let plain = solver.solve_parallel(&GeneralKernels, &tensors, &starts);
+        for (t, v, p) in res.iter_flat() {
+            assert_eq!(p.lambda, plain.results[t][v].lambda);
         }
     }
 

@@ -85,7 +85,10 @@ pub fn classify<S: Scalar>(a: &SymTensor<S>, lambda: S, x: &[S], tol: f64) -> St
     let mut best_col = 0;
     let mut best_dot = -1.0;
     for col in 0..n {
-        let dot: f64 = (0..n).map(|r| eig.eigenvectors[(r, col)] * xf[r]).sum::<f64>().abs();
+        let dot: f64 = (0..n)
+            .map(|r| eig.eigenvectors[(r, col)] * xf[r])
+            .sum::<f64>()
+            .abs();
         if dot > best_dot {
             best_dot = dot;
             best_col = col;

@@ -70,10 +70,7 @@ impl<S: Scalar> SymCp<S> {
 /// shift signs from `num_starts` deterministic starts.
 ///
 /// Returns `None` if no start converged (pathological inputs).
-pub fn best_rank_one<S: Scalar>(
-    a: &SymTensor<S>,
-    num_starts: usize,
-) -> Option<(S, Vec<S>)> {
+pub fn best_rank_one<S: Scalar>(a: &SymTensor<S>, num_starts: usize) -> Option<(S, Vec<S>)> {
     let n = a.dim();
     let starts: Vec<Vec<S>> = if n == 3 {
         crate::starts::fibonacci_sphere::<S>(num_starts)
@@ -85,14 +82,13 @@ pub fn best_rank_one<S: Scalar>(
     let dedup = DedupConfig::default();
     let mut best: Option<crate::solver::Eigenpair<S>> = None;
     for shift in [Shift::Convex, Shift::Concave] {
-        let solver = SsHopm::new(shift).with_tolerance(1e-13).with_max_iters(5000);
+        let solver = SsHopm::new(shift)
+            .with_tolerance(1e-13)
+            .with_max_iters(5000);
         let spectrum = multistart(&solver, a, &starts, &dedup, 1e-5);
         for entry in &spectrum.entries {
             let lam = entry.pair.lambda;
-            if best
-                .as_ref()
-                .is_none_or(|b| lam.abs() > b.lambda.abs())
-            {
+            if best.as_ref().is_none_or(|b| lam.abs() > b.lambda.abs()) {
                 best = Some(entry.pair.clone());
             }
         }
@@ -164,7 +160,12 @@ mod tests {
         let mut a = SymTensor::<f64>::rank_one(4, &v);
         a.scale(2.5);
         let cp = decompose(&a, 3, 64, 1e-8);
-        assert_eq!(cp.terms.len(), 1, "relative residual {}", cp.relative_residual());
+        assert_eq!(
+            cp.terms.len(),
+            1,
+            "relative residual {}",
+            cp.relative_residual()
+        );
         assert!((cp.terms[0].weight - 2.5).abs() < 1e-5);
         let dot: f64 = cp.terms[0].vector.iter().zip(&v).map(|(a, b)| a * b).sum();
         assert!(dot.abs() > 0.99999);
@@ -204,7 +205,12 @@ mod tests {
         let cp = decompose(&a, 4, 48, 0.0);
         let mut prev = cp.input_norm;
         for t in &cp.terms {
-            assert!(t.residual_norm <= prev + 1e-9, "{} -> {}", prev, t.residual_norm);
+            assert!(
+                t.residual_norm <= prev + 1e-9,
+                "{} -> {}",
+                prev,
+                t.residual_norm
+            );
             prev = t.residual_norm;
         }
     }
@@ -243,11 +249,7 @@ mod tests {
     #[test]
     fn best_rank_one_picks_largest_magnitude_eigenvalue() {
         // diag-ish tensor with a dominant negative weight.
-        let a = from_rank_ones(
-            4,
-            &[-5.0, 2.0],
-            &[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]],
-        );
+        let a = from_rank_ones(4, &[-5.0, 2.0], &[vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]);
         let (lam, v) = best_rank_one(&a, 64).unwrap();
         assert!((lam + 5.0).abs() < 1e-5, "{lam}");
         assert!(v[0].abs() > 0.9999);

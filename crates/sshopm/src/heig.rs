@@ -126,7 +126,10 @@ pub fn nqz<S: Scalar>(
             break;
         }
         // Next iterate: componentwise (m-1)-th root, 1-norm normalized.
-        let mut next: Vec<f64> = y.iter().map(|v| v.to_f64().max(0.0).powf(1.0 / p)).collect();
+        let mut next: Vec<f64> = y
+            .iter()
+            .map(|v| v.to_f64().max(0.0).powf(1.0 / p))
+            .collect();
         let sum: f64 = next.iter().sum();
         if sum <= 0.0 {
             return Err(HeigError::Degenerate);

@@ -50,4 +50,6 @@ pub use heig::{nqz, HEigenpair};
 pub use multistart::{multistart, DedupConfig, Spectrum};
 pub use refine::{refine, Refined};
 pub use shift::Shift;
-pub use solver::{Eigenpair, IterationPolicy, SsHopm};
+pub use solver::{
+    Eigenpair, IterationObserver, IterationPolicy, IterationUpdate, NoopObserver, SsHopm,
+};

@@ -68,26 +68,16 @@ impl<S: Scalar> Spectrum<S> {
 
 /// True if `(l1, x1)` and `(l2, x2)` represent the same eigenpair of an
 /// order-`m` tensor, modulo the sign symmetry.
-fn same_pair<S: Scalar>(
-    m: usize,
-    l1: S,
-    x1: &[S],
-    l2: S,
-    x2: &[S],
-    cfg: &DedupConfig,
-) -> bool {
+fn same_pair<S: Scalar>(m: usize, l1: S, x1: &[S], l2: S, x2: &[S], cfg: &DedupConfig) -> bool {
     let d_direct = vec_dist(x1, x2);
     let d_flipped = vec_dist_neg(x1, x2);
     if m.is_multiple_of(2) {
         // (lambda, x) == (lambda, -x).
-        (l1 - l2).abs().to_f64() <= cfg.lambda_tol
-            && d_direct.min(d_flipped) <= cfg.vector_tol
+        (l1 - l2).abs().to_f64() <= cfg.lambda_tol && d_direct.min(d_flipped) <= cfg.vector_tol
     } else {
         // (lambda, x) == itself, and (-lambda, -x) is its mirror.
-        let direct =
-            (l1 - l2).abs().to_f64() <= cfg.lambda_tol && d_direct <= cfg.vector_tol;
-        let mirrored =
-            (l1 + l2).abs().to_f64() <= cfg.lambda_tol && d_flipped <= cfg.vector_tol;
+        let direct = (l1 - l2).abs().to_f64() <= cfg.lambda_tol && d_direct <= cfg.vector_tol;
+        let mirrored = (l1 + l2).abs().to_f64() <= cfg.lambda_tol && d_flipped <= cfg.vector_tol;
         direct || mirrored
     }
 }
@@ -136,7 +126,14 @@ pub fn multistart<S: Scalar>(
         }
         let mut merged = false;
         for entry in &mut entries {
-            if same_pair(m, entry.pair.lambda, &entry.pair.x, pair.lambda, &pair.x, cfg) {
+            if same_pair(
+                m,
+                entry.pair.lambda,
+                &entry.pair.x,
+                pair.lambda,
+                &pair.x,
+                cfg,
+            ) {
                 entry.basin_count += 1;
                 merged = true;
                 break;

@@ -200,7 +200,9 @@ mod tests {
     #[test]
     fn refined_vector_stays_normalized() {
         let a = random_tensor(6, 3, 11);
-        let pair = SsHopm::new(Shift::Convex).with_tolerance(1e-8).solve(&a, &[1.0, 1.0, 1.0]);
+        let pair = SsHopm::new(Shift::Convex)
+            .with_tolerance(1e-8)
+            .solve(&a, &[1.0, 1.0, 1.0]);
         let refined = refine(&a, &pair, 4, 1e-13);
         let nrm: f64 = refined.pair.x.iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!((nrm - 1.0).abs() < 1e-12);
@@ -234,13 +236,19 @@ mod tests {
         // f32 residual floor is ~1e-6; refinement (computed in f64 on the
         // f32 tensor's values) gets far below it.
         let refined = refine(&a32, &pair32, 4, 1e-12);
-        assert!(refined.residual_after < 1e-10, "{:e}", refined.residual_after);
+        assert!(
+            refined.residual_after < 1e-10,
+            "{:e}",
+            refined.residual_after
+        );
     }
 
     #[test]
     fn odd_order_pairs_refine_too() {
         let a = random_tensor(3, 4, 13);
-        let pair = SsHopm::new(Shift::Convex).with_tolerance(1e-8).solve(&a, &[0.5, 0.5, 0.5, 0.5]);
+        let pair = SsHopm::new(Shift::Convex)
+            .with_tolerance(1e-8)
+            .solve(&a, &[0.5, 0.5, 0.5, 0.5]);
         let refined = refine(&a, &pair, 4, 1e-13);
         assert!(refined.residual_after < 1e-12);
     }
@@ -248,7 +256,9 @@ mod tests {
     #[test]
     fn max_steps_zero_reports_without_touching() {
         let a = random_tensor(4, 3, 14);
-        let pair = SsHopm::new(Shift::Convex).with_tolerance(1e-8).solve(&a, &[1.0, 0.0, 0.0]);
+        let pair = SsHopm::new(Shift::Convex)
+            .with_tolerance(1e-8)
+            .solve(&a, &[1.0, 0.0, 0.0]);
         let refined = refine(&a, &pair, 0, 0.0);
         assert_eq!(refined.steps, 0);
         assert_eq!(refined.residual_before, refined.residual_after);

@@ -13,6 +13,51 @@ use crate::shift::Shift;
 use symtensor::kernels::{GeneralKernels, TensorKernels};
 use symtensor::scalar::{norm2, normalize};
 use symtensor::{Scalar, SymTensor};
+use telemetry::{ConvergenceTrace, IterationRecord};
+
+/// Per-iteration observables handed to an [`IterationObserver`].
+///
+/// `k = 0` reports the initial iterate (λ of the normalized start vector,
+/// before any update); `k ≥ 1` reports the state after the `k`-th update.
+#[derive(Debug)]
+pub struct IterationUpdate<'a, S> {
+    /// Iteration index (0 = initial iterate).
+    pub k: usize,
+    /// Rayleigh quotient `λ_k = A·x_kᵐ`.
+    pub lambda: f64,
+    /// Shift α in effect for the update producing this iterate (for
+    /// `k = 0`, the shift that the first update will use).
+    pub alpha: f64,
+    /// The current unit iterate.
+    pub x: &'a [S],
+}
+
+/// Observes each solver iteration; see [`SsHopm::solve_observed_with`].
+///
+/// Implemented for any `FnMut(&IterationUpdate<S>)` closure. Observation
+/// happens at iteration granularity, outside the `axm`/`axm1` kernels, so
+/// a cheap observer adds negligible cost; the unobserved solve paths
+/// monomorphize the no-op observer away entirely.
+pub trait IterationObserver<S> {
+    /// Handle one iteration's observables.
+    fn observe(&mut self, update: &IterationUpdate<'_, S>);
+}
+
+/// The do-nothing observer used by the plain solve paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl<S> IterationObserver<S> for NoopObserver {
+    #[inline]
+    fn observe(&mut self, _update: &IterationUpdate<'_, S>) {}
+}
+
+impl<S, F: FnMut(&IterationUpdate<'_, S>)> IterationObserver<S> for F {
+    #[inline]
+    fn observe(&mut self, update: &IterationUpdate<'_, S>) {
+        self(update)
+    }
+}
 
 /// When to stop iterating.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -153,6 +198,37 @@ impl SsHopm {
         a: &SymTensor<S>,
         x0: &[S],
     ) -> Eigenpair<S> {
+        self.solve_observed_with(kernels, a, x0, &mut NoopObserver)
+    }
+
+    /// Run SS-HOPM from `x0` with the default kernels, reporting every
+    /// iteration to `observer`.
+    pub fn solve_observed<S: Scalar, O: IterationObserver<S>>(
+        &self,
+        a: &SymTensor<S>,
+        x0: &[S],
+        observer: &mut O,
+    ) -> Eigenpair<S> {
+        self.solve_observed_with(&GeneralKernels, a, x0, observer)
+    }
+
+    /// The fully general entry point: caller-chosen kernels plus an
+    /// iteration observer. The observer sees the initial iterate (`k = 0`)
+    /// and each subsequent iterate; observation sits outside the kernel
+    /// inner loops, and with [`NoopObserver`] this monomorphizes to
+    /// exactly the unobserved iteration.
+    pub fn solve_observed_with<S, K, O>(
+        &self,
+        kernels: &K,
+        a: &SymTensor<S>,
+        x0: &[S],
+        observer: &mut O,
+    ) -> Eigenpair<S>
+    where
+        S: Scalar,
+        K: TensorKernels<S> + ?Sized,
+        O: IterationObserver<S>,
+    {
         let n = a.dim();
         assert_eq!(x0.len(), n, "starting vector length");
         let mut x = x0.to_vec();
@@ -167,6 +243,12 @@ impl SsHopm {
 
         let mut lambda = kernels.axm(a, &x);
         let mut alpha = self.shift.value_at(a, &x);
+        observer.observe(&IterationUpdate {
+            k: 0,
+            lambda: lambda.to_f64(),
+            alpha,
+            x: &x,
+        });
         let mut y = vec![S::ZERO; n];
         let mut iterations = 0;
         let mut converged = false;
@@ -197,6 +279,12 @@ impl SsHopm {
             }
             let new_lambda = kernels.axm(a, &x);
             iterations += 1;
+            observer.observe(&IterationUpdate {
+                k: iterations,
+                lambda: new_lambda.to_f64(),
+                alpha,
+                x: &x,
+            });
             if converge_mode && (new_lambda - lambda).abs().to_f64() <= tol {
                 lambda = new_lambda;
                 converged = true;
@@ -221,68 +309,42 @@ impl SsHopm {
     /// Solve and also record the eigenvalue estimate at every iteration
     /// (for convergence plots and the shift ablation bench).
     pub fn solve_traced<S: Scalar>(&self, a: &SymTensor<S>, x0: &[S]) -> (Eigenpair<S>, Vec<f64>) {
-        // Re-run the iteration with tracing; tiny problems make the
-        // duplicate work irrelevant and it keeps the hot path clean.
-        let n = a.dim();
-        let mut x = x0.to_vec();
-        normalize(&mut x);
         let mut trace = Vec::new();
-        let (tol, max_iters) = match self.policy {
-            IterationPolicy::Converge { tol, max_iters } => (tol, max_iters),
-            IterationPolicy::Fixed(k) => (0.0, k),
-        };
-        let converge_mode = matches!(self.policy, IterationPolicy::Converge { .. });
-        let kernels = GeneralKernels;
-        let mut lambda = TensorKernels::<S>::axm(&kernels, a, &x);
-        trace.push(lambda.to_f64());
-        let mut alpha = self.shift.value_at(a, &x);
-        let mut y = vec![S::ZERO; n];
-        let mut iterations = 0;
-        let mut converged = false;
-        for _ in 0..max_iters {
-            TensorKernels::<S>::axm1(&kernels, a, &x, &mut y);
-            let alpha_s = S::from_f64(alpha);
-            if alpha >= 0.0 {
-                for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-                    *yi += alpha_s * xi;
-                }
-            } else {
-                for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-                    *yi = -(*yi + alpha_s * xi);
-                }
-            }
-            let nrm = norm2(&y);
-            if nrm == S::ZERO {
-                iterations += 1;
-                converged = converge_mode;
-                break;
-            }
-            for (xi, &yi) in x.iter_mut().zip(y.iter()) {
-                *xi = yi / nrm;
-            }
-            let new_lambda = TensorKernels::<S>::axm(&kernels, a, &x);
-            trace.push(new_lambda.to_f64());
-            iterations += 1;
-            if converge_mode && (new_lambda - lambda).abs().to_f64() <= tol {
-                lambda = new_lambda;
-                converged = true;
-                break;
-            }
-            lambda = new_lambda;
-            if self.shift.fixed_value(a).is_none() {
-                alpha = self.shift.value_at(a, &x);
-            }
-        }
-        (
-            Eigenpair {
-                lambda,
-                x,
-                iterations,
-                converged: converged || !converge_mode,
-                alpha,
-            },
-            trace,
-        )
+        let pair = self.solve_observed(a, x0, &mut |u: &IterationUpdate<'_, S>| {
+            trace.push(u.lambda);
+        });
+        (pair, trace)
+    }
+
+    /// Solve and record a full per-iteration [`ConvergenceTrace`]
+    /// (λ, shift, and — when `with_residuals` — the eigenpair residual,
+    /// which costs one extra `axm1` per iteration).
+    pub fn solve_convergence_trace<S: Scalar>(
+        &self,
+        a: &SymTensor<S>,
+        x0: &[S],
+        with_residuals: bool,
+    ) -> (Eigenpair<S>, ConvergenceTrace) {
+        let mut trace = ConvergenceTrace::new();
+        let pair = self.solve_observed(a, x0, &mut |u: &IterationUpdate<'_, S>| {
+            let residual = with_residuals.then(|| {
+                let probe = Eigenpair {
+                    lambda: S::from_f64(u.lambda),
+                    x: u.x.to_vec(),
+                    iterations: u.k,
+                    converged: false,
+                    alpha: u.alpha,
+                };
+                probe.residual(a)
+            });
+            trace.push(IterationRecord {
+                k: u.k,
+                lambda: u.lambda,
+                alpha: u.alpha,
+                residual,
+            });
+        });
+        (pair, trace)
     }
 }
 
@@ -319,7 +381,11 @@ mod tests {
             let solver = SsHopm::new(Shift::Convex).with_tolerance(1e-13);
             let pair = solver.solve(&a, &[0.3, -0.5, 0.8]);
             assert!(pair.converged, "seed {seed}");
-            assert!(pair.residual(&a) < 1e-5, "seed {seed}: {}", pair.residual(&a));
+            assert!(
+                pair.residual(&a) < 1e-5,
+                "seed {seed}: {}",
+                pair.residual(&a)
+            );
             // Unit eigenvector.
             let nrm: f64 = pair.x.iter().map(|v| v * v).sum::<f64>().sqrt();
             assert!((nrm - 1.0).abs() < 1e-12);
@@ -357,8 +423,12 @@ mod tests {
         for seed in 20..30 {
             let a = random_tensor(4, 3, seed);
             let x0 = [0.6, -0.7, 0.4];
-            let fixed = SsHopm::new(Shift::Convex).with_tolerance(1e-12).solve(&a, &x0);
-            let adaptive = SsHopm::new(Shift::Adaptive).with_tolerance(1e-12).solve(&a, &x0);
+            let fixed = SsHopm::new(Shift::Convex)
+                .with_tolerance(1e-12)
+                .solve(&a, &x0);
+            let adaptive = SsHopm::new(Shift::Adaptive)
+                .with_tolerance(1e-12)
+                .solve(&a, &x0);
             assert!(adaptive.converged && fixed.converged, "seed {seed}");
             assert!(adaptive.residual(&a) < 1e-4);
             fixed_total += fixed.iterations;
@@ -382,7 +452,9 @@ mod tests {
     #[test]
     fn unconverged_solve_is_reported() {
         let a = random_tensor(4, 3, 32);
-        let solver = SsHopm::new(Shift::Convex).with_tolerance(0.0).with_max_iters(2);
+        let solver = SsHopm::new(Shift::Convex)
+            .with_tolerance(0.0)
+            .with_max_iters(2);
         let pair = solver.solve(&a, &[1.0, 1.0, 1.0]);
         assert!(!pair.converged);
         assert_eq!(pair.iterations, 2);
@@ -407,7 +479,9 @@ mod tests {
         let mut v = vec![0.6, -0.8, 0.0];
         symtensor::scalar::normalize(&mut v);
         let a = SymTensor::<f64>::rank_one(4, &v);
-        let pair = SsHopm::new(Shift::Convex).with_tolerance(1e-14).solve(&a, &[1.0, 1.0, 1.0]);
+        let pair = SsHopm::new(Shift::Convex)
+            .with_tolerance(1e-14)
+            .solve(&a, &[1.0, 1.0, 1.0]);
         assert!((pair.lambda - 1.0).abs() < 1e-6, "{}", pair.lambda);
         let dot: f64 = pair.x.iter().zip(&v).map(|(a, b)| a * b).sum();
         assert!(dot.abs() > 0.9999, "{dot}");
@@ -416,7 +490,9 @@ mod tests {
     #[test]
     fn negated_eigenpair_is_valid_for_even_order() {
         let a = random_tensor(4, 3, 34);
-        let pair = SsHopm::new(Shift::Convex).with_tolerance(1e-14).solve(&a, &[0.3, 0.3, 0.9]);
+        let pair = SsHopm::new(Shift::Convex)
+            .with_tolerance(1e-14)
+            .solve(&a, &[0.3, 0.3, 0.9]);
         let neg = pair.negated(4);
         assert_eq!(neg.lambda, pair.lambda);
         // For even order the sign-flipped pair has the identical residual.
@@ -427,7 +503,9 @@ mod tests {
     #[test]
     fn negated_eigenpair_flips_lambda_for_odd_order() {
         let a = random_tensor(3, 3, 35);
-        let pair = SsHopm::new(Shift::Convex).with_tolerance(1e-13).solve(&a, &[0.3, 0.3, 0.9]);
+        let pair = SsHopm::new(Shift::Convex)
+            .with_tolerance(1e-13)
+            .solve(&a, &[0.3, 0.3, 0.9]);
         let neg = pair.negated(3);
         assert_eq!(neg.lambda, -pair.lambda);
         assert!(neg.residual(&a) < 1e-5);

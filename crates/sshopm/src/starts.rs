@@ -158,7 +158,12 @@ mod tests {
             }
         }
         let expected = 2.0 / (256.0f64).sqrt();
-        assert!(min_d2.sqrt() > 0.3 * expected, "{} vs {}", min_d2.sqrt(), expected);
+        assert!(
+            min_d2.sqrt() > 0.3 * expected,
+            "{} vs {}",
+            min_d2.sqrt(),
+            expected
+        );
     }
 
     #[test]
@@ -167,7 +172,8 @@ mod tests {
         let starts = random_gaussian_starts::<f64, _>(3, 400, &mut rng);
         let mut seen = [false; 8];
         for s in &starts {
-            let idx = (s[0] > 0.0) as usize | ((s[1] > 0.0) as usize) << 1 | ((s[2] > 0.0) as usize) << 2;
+            let idx =
+                (s[0] > 0.0) as usize | ((s[1] > 0.0) as usize) << 1 | ((s[2] > 0.0) as usize) << 2;
             seen[idx] = true;
         }
         assert!(seen.iter().all(|&b| b), "orthant coverage {seen:?}");

@@ -3,14 +3,19 @@
 //! random tensors.
 
 use proptest::prelude::*;
-use sshopm::{
-    multistart, refine, DedupConfig, IterationPolicy, Shift, SsHopm,
-};
+use sshopm::{multistart, refine, DedupConfig, IterationPolicy, Shift, SsHopm};
 use symtensor::multinomial::num_unique_entries;
 use symtensor::SymTensor;
 
 fn shape() -> impl Strategy<Value = (usize, usize)> {
-    proptest::sample::select(vec![(3usize, 2usize), (3, 3), (4, 2), (4, 3), (5, 3), (6, 3)])
+    proptest::sample::select(vec![
+        (3usize, 2usize),
+        (3, 3),
+        (4, 2),
+        (4, 3),
+        (5, 3),
+        (6, 3),
+    ])
 }
 
 fn tensor_and_start() -> impl Strategy<Value = (SymTensor<f64>, Vec<f64>)> {

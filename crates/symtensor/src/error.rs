@@ -62,7 +62,10 @@ impl fmt::Display for Error {
                 write!(f, "tensor dimension n={n} must be >= 1")
             }
             Error::ValueLengthMismatch { expected, actual } => {
-                write!(f, "value buffer length {actual}, expected {expected} unique entries")
+                write!(
+                    f,
+                    "value buffer length {actual}, expected {expected} unique entries"
+                )
             }
             Error::VectorLengthMismatch { expected, actual } => {
                 write!(f, "vector length {actual}, expected dimension {expected}")
@@ -75,7 +78,10 @@ impl fmt::Display for Error {
             }
             Error::NotSymmetric => write!(f, "dense tensor is not symmetric"),
             Error::InvalidContraction { p, m } => {
-                write!(f, "invalid contraction: result order p={p} for tensor order m={m}")
+                write!(
+                    f,
+                    "invalid contraction: result order p={p} for tensor order m={m}"
+                )
             }
         }
     }

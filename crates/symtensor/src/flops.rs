@@ -75,7 +75,7 @@ pub fn sshopm_iter_flops(m: usize, n: usize) -> u64 {
     axm1_sym_flops(m, n)            // A x^{m-1}
         + 2 * n64                   // + alpha * x (mul + add per entry)
         + (2 * n64 + 1 + n64)       // norm: n mul + n add (fused as 2n) + sqrt + n div
-        + axm_sym_flops(m, n)       // lambda = A x^m
+        + axm_sym_flops(m, n) // lambda = A x^m
 }
 
 /// Storage (number of scalars) for a symmetric tensor: `C(m+n-1, m)`.
@@ -120,7 +120,8 @@ mod tests {
             // a large fraction of it and to exceed (m-1)!.
             let asymptotic = 2.0 * crate::multinomial::factorial(m) as f64 / (m as f64 + 2.0);
             assert!(
-                ratio > asymptotic * 0.3 && ratio > crate::multinomial::factorial(m - 1) as f64 * 0.5,
+                ratio > asymptotic * 0.3
+                    && ratio > crate::multinomial::factorial(m - 1) as f64 * 0.5,
                 "[{m},{n}] ratio {ratio} vs asymptotic {asymptotic}"
             );
         }

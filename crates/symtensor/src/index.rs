@@ -27,7 +27,10 @@ pub struct MonomialRep {
 impl MonomialRep {
     /// Wrap a counts array. No validation beyond non-emptiness.
     pub fn new(counts: Vec<usize>) -> Self {
-        assert!(!counts.is_empty(), "monomial representation must have n >= 1");
+        assert!(
+            !counts.is_empty(),
+            "monomial representation must have n >= 1"
+        );
         Self { counts }
     }
 

@@ -74,7 +74,10 @@ impl From<std::io::Error> for IoError {
 ///
 /// # Panics
 /// Panics if the tensors do not all share one shape.
-pub fn write_tensors<S: Scalar, W: Write>(w: &mut W, tensors: &[SymTensor<S>]) -> std::io::Result<()> {
+pub fn write_tensors<S: Scalar, W: Write>(
+    w: &mut W,
+    tensors: &[SymTensor<S>],
+) -> std::io::Result<()> {
     let (m, n) = match tensors.first() {
         Some(t) => (t.order(), t.dim()),
         None => (1, 1), // an empty file still needs a well-formed header

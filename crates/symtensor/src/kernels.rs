@@ -438,7 +438,14 @@ mod tests {
 
     #[test]
     fn axm_matches_dense_baseline() {
-        for (m, n, seed) in [(3, 2, 1), (3, 3, 2), (4, 3, 3), (4, 5, 4), (6, 3, 5), (2, 4, 6)] {
+        for (m, n, seed) in [
+            (3, 2, 1),
+            (3, 3, 2),
+            (4, 3, 3),
+            (4, 5, 4),
+            (6, 3, 5),
+            (2, 4, 6),
+        ] {
             let a = random_sym(m, n, seed);
             let x = random_unit(n, seed + 100);
             let dense = DenseTensor::from_sym(&a);
@@ -450,7 +457,14 @@ mod tests {
 
     #[test]
     fn axm1_matches_dense_baseline() {
-        for (m, n, seed) in [(3, 2, 11), (3, 3, 12), (4, 3, 13), (4, 5, 14), (6, 3, 15), (2, 4, 16)] {
+        for (m, n, seed) in [
+            (3, 2, 11),
+            (3, 3, 12),
+            (4, 3, 13),
+            (4, 5, 14),
+            (6, 3, 15),
+            (2, 4, 16),
+        ] {
             let a = random_sym(m, n, seed);
             let x = random_unit(n, seed + 200);
             let dense = DenseTensor::from_sym(&a);

@@ -24,7 +24,10 @@ use crate::storage::SymTensor;
 /// # Panics
 /// Panics if `m` is odd or zero, or outside the supported order range.
 pub fn identity_even<S: Scalar>(m: usize, n: usize) -> SymTensor<S> {
-    assert!(m >= 2 && m.is_multiple_of(2), "identity tensor needs even order, got {m}");
+    assert!(
+        m >= 2 && m.is_multiple_of(2),
+        "identity tensor needs even order, got {m}"
+    );
     let matchings = perfect_matchings(m);
     let total = matchings.len() as f64; // (m-1)!!
     let mut values = Vec::new();
@@ -46,11 +49,7 @@ pub fn perfect_matchings(m: usize) -> Vec<Vec<(usize, usize)>> {
     let mut out = Vec::new();
     let items: Vec<usize> = (0..m).collect();
     let mut current = Vec::new();
-    fn rec(
-        items: &[usize],
-        current: &mut Vec<(usize, usize)>,
-        out: &mut Vec<Vec<(usize, usize)>>,
-    ) {
+    fn rec(items: &[usize], current: &mut Vec<(usize, usize)>, out: &mut Vec<Vec<(usize, usize)>>) {
         if items.is_empty() {
             out.push(current.clone());
             return;

@@ -10,14 +10,48 @@ use crate::index::{IndexClass, IndexClassIter};
 use crate::multinomial::{num_unique_entries, MAX_ORDER};
 use crate::scalar::Scalar;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// A dense symmetric tensor in `R^[m,n]` in packed (unique-entry) storage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SymTensor<S> {
     m: usize,
     n: usize,
     values: Vec<S>,
+}
+
+impl<S: Serialize> Serialize for SymTensor<S> {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("m", Value::UInt(self.m as u64)),
+            ("n", Value::UInt(self.n as u64)),
+            ("values", self.values.to_value()),
+        ])
+    }
+}
+
+impl<'de, S> Deserialize<'de> for SymTensor<S>
+where
+    S: for<'a> Deserialize<'a> + Scalar,
+{
+    fn from_value(value: &'de Value) -> std::result::Result<Self, serde::Error> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| serde::Error::custom(format!("SymTensor: missing field '{name}'")))
+        };
+        let m = field("m")?
+            .as_u64()
+            .ok_or_else(|| serde::Error::custom("SymTensor: 'm' must be an integer"))?
+            as usize;
+        let n = field("n")?
+            .as_u64()
+            .ok_or_else(|| serde::Error::custom("SymTensor: 'n' must be an integer"))?
+            as usize;
+        let values = Vec::<S>::from_value(field("values")?)?;
+        SymTensor::from_values(m, n, values)
+            .map_err(|e| serde::Error::custom(format!("SymTensor: {e}")))
+    }
 }
 
 impl<S: Scalar> SymTensor<S> {
@@ -156,7 +190,10 @@ impl<S: Scalar> SymTensor<S> {
             });
         }
         if let Some(&bad) = tensor_index.iter().find(|&&i| i >= self.n) {
-            return Err(Error::IndexOutOfBounds { index: bad, n: self.n });
+            return Err(Error::IndexOutOfBounds {
+                index: bad,
+                n: self.n,
+            });
         }
         let class = IndexClass::from_tensor_index(tensor_index.to_vec(), self.n);
         Ok(class.rank() as usize)
@@ -238,8 +275,8 @@ impl<S: Scalar> SymTensor<S> {
             });
         }
         let mut acc = S::ZERO;
-        for (class, (a, b)) in IndexClassIter::new(self.m, self.n)
-            .zip(self.values.iter().zip(other.values.iter()))
+        for (class, (a, b)) in
+            IndexClassIter::new(self.m, self.n).zip(self.values.iter().zip(other.values.iter()))
         {
             acc += S::from_u64(class.occurrences()) * *a * *b;
         }
@@ -494,6 +531,26 @@ mod tests {
         fn assert_serde<T: serde::Serialize + serde::de::DeserializeOwned>() {}
         assert_serde::<SymTensor<f64>>();
         assert_serde::<SymTensor<f32>>();
+    }
+
+    #[test]
+    fn serde_round_trips_through_json() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let t = SymTensor::<f64>::random(3, 4, &mut rng);
+        let json = serde::Serialize::to_value(&t).to_json();
+        let parsed = serde::Value::parse_json(&json).unwrap();
+        let back = <SymTensor<f64> as serde::Deserialize>::from_value(&parsed).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn serde_rejects_inconsistent_shape() {
+        let v = serde::Value::object(vec![
+            ("m", serde::Value::UInt(3)),
+            ("n", serde::Value::UInt(2)),
+            ("values", vec![0.0f64; 3].to_value()),
+        ]);
+        assert!(<SymTensor<f64> as serde::Deserialize>::from_value(&v).is_err());
     }
 
     #[test]

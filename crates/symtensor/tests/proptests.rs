@@ -26,10 +26,7 @@ fn sym_tensor() -> impl Strategy<Value = SymTensor<f64>> {
 fn tensor_and_vec() -> impl Strategy<Value = (SymTensor<f64>, Vec<f64>)> {
     sym_tensor().prop_flat_map(|t| {
         let n = t.dim();
-        (
-            Just(t),
-            proptest::collection::vec(-2.0f64..2.0, n),
-        )
+        (Just(t), proptest::collection::vec(-2.0f64..2.0, n))
     })
 }
 

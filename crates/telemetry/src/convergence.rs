@@ -1,0 +1,147 @@
+//! Convergence traces: per-iteration (λ, shift, residual) records from
+//! SS-HOPM solves.
+//!
+//! Kolda & Mayo (SS-HOPM) prove that with shift `|α| ≥ (m−1)·‖A‖_F` the
+//! iterate sequence makes `λ_k` monotone (nondecreasing for the convex
+//! variant). A [`ConvergenceTrace`] makes that invariant — and its
+//! *violation* for α = 0 on adversarial tensors — observable.
+
+use serde::Value;
+
+/// One solver iteration's observables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration index (0 = the initial iterate before any update).
+    pub k: usize,
+    /// Current Rayleigh quotient λ = A·xᵐ.
+    pub lambda: f64,
+    /// Shift α in effect for this iteration.
+    pub alpha: f64,
+    /// Eigenpair residual ‖A·xᵐ⁻¹ − λx‖ at this iterate, if computed
+    /// (residuals cost an extra `axm1`; observers may skip them).
+    pub residual: Option<f64>,
+}
+
+/// A per-iteration record of one SS-HOPM solve.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConvergenceTrace {
+    /// Records in iteration order.
+    pub records: Vec<IterationRecord>,
+}
+
+impl ConvergenceTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one iteration record.
+    pub fn push(&mut self, record: IterationRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of recorded iterations.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The λ sequence.
+    pub fn lambdas(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.lambda).collect()
+    }
+
+    /// True if λ never decreases by more than `tol` between consecutive
+    /// iterations (the Kolda–Mayo guarantee for a sufficient convex shift).
+    pub fn is_monotone_nondecreasing(&self, tol: f64) -> bool {
+        self.records
+            .windows(2)
+            .all(|w| w[1].lambda >= w[0].lambda - tol)
+    }
+
+    /// True if λ *decreases* by more than `tol` somewhere — evidence of
+    /// the oscillation possible with an insufficient shift.
+    pub fn has_decrease(&self, tol: f64) -> bool {
+        self.records
+            .windows(2)
+            .any(|w| w[1].lambda < w[0].lambda - tol)
+    }
+
+    /// Largest single-step decrease in λ (0 if monotone).
+    pub fn max_decrease(&self) -> f64 {
+        self.records
+            .windows(2)
+            .map(|w| w[0].lambda - w[1].lambda)
+            .fold(0.0, f64::max)
+    }
+
+    /// The trace as a JSON-ready [`Value`].
+    pub fn to_value(&self) -> Value {
+        Value::Seq(
+            self.records
+                .iter()
+                .map(|r| {
+                    Value::object(vec![
+                        ("k", Value::UInt(r.k as u64)),
+                        ("lambda", Value::Float(r.lambda)),
+                        ("alpha", Value::Float(r.alpha)),
+                        (
+                            "residual",
+                            r.residual.map(Value::Float).unwrap_or(Value::Null),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace_of(lambdas: &[f64]) -> ConvergenceTrace {
+        let mut t = ConvergenceTrace::new();
+        for (k, &lambda) in lambdas.iter().enumerate() {
+            t.push(IterationRecord {
+                k,
+                lambda,
+                alpha: 0.0,
+                residual: None,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn monotone_detection() {
+        assert!(trace_of(&[1.0, 1.0, 1.5, 2.0]).is_monotone_nondecreasing(0.0));
+        assert!(!trace_of(&[1.0, 0.5, 2.0]).is_monotone_nondecreasing(1e-9));
+        assert!(trace_of(&[1.0, 1.0 - 1e-12]).is_monotone_nondecreasing(1e-9));
+    }
+
+    #[test]
+    fn decrease_detection() {
+        assert!(trace_of(&[1.0, 0.2]).has_decrease(1e-9));
+        assert!(!trace_of(&[1.0, 2.0]).has_decrease(1e-9));
+        assert!((trace_of(&[1.0, 0.25, 0.5]).max_decrease() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serializes_with_optional_residual() {
+        let mut t = trace_of(&[1.0]);
+        t.records[0].residual = Some(0.125);
+        let v = t.to_value();
+        let first = &v.as_seq().unwrap()[0];
+        assert_eq!(first.get("residual").and_then(Value::as_f64), Some(0.125));
+        let empty = trace_of(&[1.0]).to_value();
+        assert_eq!(
+            empty.as_seq().unwrap()[0].get("residual"),
+            Some(&Value::Null)
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Exporters: human-readable summary and chrome://tracing JSON.
+
+use crate::metrics::{State, TelemetrySnapshot};
+use serde::Value;
+use std::fmt::Write;
+
+fn format_us(us: f64) -> String {
+    if us < 1_000.0 {
+        format!("{us:.1}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1_000.0)
+    } else {
+        format!("{:.3}s", us / 1_000_000.0)
+    }
+}
+
+/// Render the snapshot as an aligned, human-readable report.
+pub(crate) fn summary(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== telemetry summary (uptime {:.3}s) ==",
+        snap.uptime_seconds
+    );
+    if !snap.spans.is_empty() {
+        let _ = writeln!(out, "spans:");
+        for s in &snap.spans {
+            let _ = writeln!(
+                out,
+                "  {:<32} count {:>8}  total {:>10}  mean {:>10}  min {:>10}  max {:>10}",
+                s.name,
+                s.count,
+                format_us(s.total_us),
+                format_us(s.mean_us()),
+                format_us(s.min_us),
+                format_us(s.max_us),
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for c in &snap.counters {
+            let _ = writeln!(out, "  {:<32} {:>14}", c.name, c.value);
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for g in &snap.gauges {
+            let _ = writeln!(out, "  {:<32} {:>14.6}", g.name, g.value);
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        for h in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<32} count {:>8}  mean {:>12.6}  min {:>12.6}  max {:>12.6}",
+                h.name,
+                h.count,
+                h.mean(),
+                h.min,
+                h.max,
+            );
+        }
+    }
+    if snap.trace_dropped > 0 {
+        let _ = writeln!(
+            out,
+            "trace: {} events retained, {} dropped past cap",
+            snap.trace_events, snap.trace_dropped
+        );
+    }
+    if !snap.events.is_empty() {
+        let _ = writeln!(
+            out,
+            "events: {} structured event(s) recorded",
+            snap.events.len()
+        );
+    }
+    out
+}
+
+/// Render retained span occurrences as a chrome://tracing "trace events"
+/// JSON array (complete events, phase `X`; timestamps in microseconds).
+pub(crate) fn chrome_trace(state: &State) -> String {
+    let events: Vec<Value> = state
+        .trace
+        .iter()
+        .map(|ev| {
+            Value::object(vec![
+                ("name", Value::Str(ev.name.to_owned())),
+                ("cat", Value::Str("tensor-eig".into())),
+                ("ph", Value::Str("X".into())),
+                ("ts", Value::Float(ev.start_us)),
+                ("dur", Value::Float(ev.duration_us)),
+                ("pid", Value::UInt(1)),
+                ("tid", Value::UInt(ev.thread as u64)),
+            ])
+        })
+        .collect();
+    Value::Seq(events).to_json()
+}

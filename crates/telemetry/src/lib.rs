@@ -1,0 +1,344 @@
+//! Structured tracing, metrics, and profiling for the tensor-eigenvalue
+//! stack.
+//!
+//! The paper's evaluation (Tables II–III, Figure 5) is all *measurement*:
+//! flop accounting, per-kernel GFLOPS, occupancy and traffic breakdowns.
+//! This crate is the instrumentation layer those numbers flow through:
+//!
+//! * **Spans** — wall-clock timed regions ([`Telemetry::span`]) aggregated
+//!   (count/total/min/max) per name, thread-safely across rayon workers,
+//!   and recorded as events for chrome://tracing export.
+//! * **Counters and gauges** — named monotonic counters
+//!   ([`Telemetry::counter`]) and last-value gauges ([`Telemetry::gauge`]).
+//! * **Histograms** — value distributions ([`Telemetry::observe`]), e.g.
+//!   per-tensor solve times in a batch.
+//! * **Sinks** — a pluggable [`Sink`] receives every event as it happens:
+//!   [`NullSink`] (aggregation only), [`MemorySink`] (tests), or
+//!   [`JsonLinesSink`] (one JSON object per line, machine-readable).
+//! * **Exporters** — a human-readable summary report
+//!   ([`Telemetry::summary`]) and a chrome://tracing-compatible trace
+//!   ([`Telemetry::chrome_trace_json`]).
+//!
+//! A [`Telemetry`] handle is cheap to clone (an `Arc`) and the *disabled*
+//! handle ([`Telemetry::disabled`]) is a `None` — every instrumentation
+//! call on it is a branch on an `Option` and returns immediately, with no
+//! clock read, no allocation, and no locking. Instrumentation sits at
+//! batch / launch / iteration granularity, never inside `axm`/`axm1`
+//! inner loops.
+//!
+//! ```
+//! use telemetry::Telemetry;
+//!
+//! let tel = Telemetry::enabled();
+//! {
+//!     let _span = tel.span("solve");
+//!     tel.counter("iterations", 31);
+//!     tel.gauge("lambda", 0.8893);
+//! }
+//! println!("{}", tel.summary());
+//! ```
+
+#![deny(missing_docs)]
+
+mod convergence;
+mod export;
+mod metrics;
+mod sink;
+mod span;
+
+pub use convergence::{ConvergenceTrace, IterationRecord};
+pub use metrics::{
+    CounterSnapshot, GaugeSnapshot, HistogramSnapshot, SpanSnapshot, TelemetrySnapshot,
+};
+pub use sink::{Event, JsonLinesSink, MemorySink, NullSink, Sink};
+pub use span::SpanGuard;
+
+use metrics::State;
+use parking_lot::Mutex;
+use serde::Value;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cap on retained trace events (spans + instants) so long runs cannot
+/// grow memory without bound; overflow is counted, not silently dropped.
+const MAX_TRACE_EVENTS: usize = 262_144;
+
+pub(crate) struct Inner {
+    epoch: Instant,
+    state: Mutex<State>,
+    sink: Box<dyn Sink>,
+}
+
+/// A handle to a telemetry pipeline. Clones share the same aggregation
+/// state and sink. The disabled handle is inert and near-zero cost.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// The inert handle: every call is a no-op.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled pipeline aggregating in memory with no event sink.
+    pub fn enabled() -> Telemetry {
+        Telemetry::with_sink(Box::new(NullSink))
+    }
+
+    /// An enabled pipeline forwarding every event to `sink` (in addition
+    /// to in-memory aggregation).
+    pub fn with_sink(sink: Box<dyn Sink>) -> Telemetry {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                state: Mutex::new(State::default()),
+                sink,
+            })),
+        }
+    }
+
+    /// Whether instrumentation is live.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to the named monotonic counter.
+    #[inline]
+    pub fn counter(&self, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.state.lock().add_counter(name, delta);
+            inner.sink.record(&Event::Counter { name, delta });
+        }
+    }
+
+    /// Set the named gauge to `value` (last write wins).
+    #[inline]
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.state.lock().set_gauge(name, value);
+            inner.sink.record(&Event::Gauge { name, value });
+        }
+    }
+
+    /// Record `value` into the named histogram.
+    #[inline]
+    pub fn observe(&self, name: &'static str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.state.lock().observe(name, value);
+            inner.sink.record(&Event::Observation { name, value });
+        }
+    }
+
+    /// Open a wall-clock span; it closes (and is recorded) when the
+    /// returned guard drops. On a disabled handle this reads no clock.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        SpanGuard::open(self.inner.clone(), name)
+    }
+
+    /// Time a closure under a named span.
+    #[inline]
+    pub fn time<R>(&self, name: &'static str, f: impl FnOnce() -> R) -> R {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Emit a structured custom event (e.g. a profile snapshot) to the
+    /// sink and retain it in the snapshot's event list.
+    pub fn event(&self, name: &'static str, payload: Value) {
+        if let Some(inner) = &self.inner {
+            inner.state.lock().push_custom(name, payload.clone());
+            inner.sink.record(&Event::Custom { name, payload });
+        }
+    }
+
+    /// Flush the sink (e.g. the JSON-lines writer).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+
+    /// A serializable snapshot of all aggregated state.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        match &self.inner {
+            Some(inner) => inner.state.lock().snapshot(inner.epoch.elapsed()),
+            None => TelemetrySnapshot::default(),
+        }
+    }
+
+    /// Human-readable summary report of counters, gauges, spans, and
+    /// histograms.
+    pub fn summary(&self) -> String {
+        export::summary(&self.snapshot())
+    }
+
+    /// chrome://tracing-compatible trace JSON (load via `chrome://tracing`
+    /// or <https://ui.perfetto.dev>).
+    pub fn chrome_trace_json(&self) -> String {
+        match &self.inner {
+            Some(inner) => export::chrome_trace(&inner.state.lock()),
+            None => "[]".to_owned(),
+        }
+    }
+
+    pub(crate) fn record_span(inner: &Arc<Inner>, name: &'static str, started: Instant) {
+        let end = Instant::now();
+        let start_us = started.duration_since(inner.epoch).as_secs_f64() * 1e6;
+        let duration_us = end.duration_since(started).as_secs_f64() * 1e6;
+        let thread = thread_index();
+        {
+            let mut state = inner.state.lock();
+            state.add_span(name, duration_us);
+            state.push_trace(name, thread, start_us, duration_us, MAX_TRACE_EVENTS);
+        }
+        inner.sink.record(&Event::SpanClose {
+            name,
+            thread,
+            start_us,
+            duration_us,
+        });
+    }
+}
+
+static NEXT_THREAD_INDEX: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_INDEX: usize = NEXT_THREAD_INDEX.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense per-thread index (0, 1, 2, …) for trace attribution.
+pub fn thread_index() -> usize {
+    THREAD_INDEX.with(|i| *i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let tel = Telemetry::disabled();
+        assert!(!tel.is_enabled());
+        tel.counter("c", 5);
+        tel.gauge("g", 1.0);
+        tel.observe("h", 2.0);
+        let _s = tel.span("s");
+        drop(_s);
+        let snap = tel.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
+        assert_eq!(tel.chrome_trace_json(), "[]");
+    }
+
+    #[test]
+    fn counters_and_gauges_aggregate() {
+        let tel = Telemetry::enabled();
+        tel.counter("iters", 3);
+        tel.counter("iters", 4);
+        tel.gauge("lambda", 1.0);
+        tel.gauge("lambda", 2.5);
+        let snap = tel.snapshot();
+        assert_eq!(snap.counter("iters"), Some(7));
+        assert_eq!(snap.gauge("lambda"), Some(2.5));
+    }
+
+    #[test]
+    fn spans_aggregate_across_threads() {
+        let tel = Telemetry::enabled();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let tel = tel.clone();
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        let _span = tel.span("work");
+                    }
+                });
+            }
+        });
+        let snap = tel.snapshot();
+        let span = snap.spans.iter().find(|s| s.name == "work").unwrap();
+        assert_eq!(span.count, 40);
+        assert!(span.total_us >= 0.0);
+        assert!(span.min_us <= span.max_us);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let tel = Telemetry::enabled();
+        for v in [1.0, 2.0, 3.0, 10.0] {
+            tel.observe("seconds", v);
+        }
+        let snap = tel.snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "seconds")
+            .unwrap();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 10.0);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_everything() {
+        let tel = Telemetry::enabled();
+        tel.counter("batch.tensors", 2);
+        tel.gauge("gpu.occupancy", 0.67);
+        tel.observe("tensor.seconds", 0.25);
+        tel.time("phase", || ());
+        let report = tel.summary();
+        assert!(report.contains("batch.tensors"));
+        assert!(report.contains("gpu.occupancy"));
+        assert!(report.contains("tensor.seconds"));
+        assert!(report.contains("phase"));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_events() {
+        let tel = Telemetry::enabled();
+        tel.time("outer", || tel.time("inner", || ()));
+        let json = tel.chrome_trace_json();
+        let value = Value::parse_json(&json).unwrap();
+        let events = value.as_seq().unwrap();
+        assert_eq!(events.len(), 2);
+        for ev in events {
+            assert_eq!(ev.get("ph").and_then(Value::as_str), Some("X"));
+            assert!(ev.get("ts").and_then(Value::as_f64).is_some());
+            assert!(ev.get("dur").and_then(Value::as_f64).is_some());
+        }
+    }
+
+    #[test]
+    fn custom_events_reach_snapshot() {
+        let tel = Telemetry::enabled();
+        tel.event(
+            "profile",
+            Value::object(vec![("gflops", Value::Float(8.5))]),
+        );
+        let snap = tel.snapshot();
+        assert_eq!(snap.events.len(), 1);
+        assert_eq!(snap.events[0].0, "profile");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let tel = Telemetry::enabled();
+        let clone = tel.clone();
+        clone.counter("shared", 1);
+        assert_eq!(tel.snapshot().counter("shared"), Some(1));
+    }
+}

@@ -1,0 +1,380 @@
+//! Aggregation state and serializable snapshots.
+
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Per-span aggregate: count and total/min/max duration in microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SpanAgg {
+    pub count: u64,
+    pub total_us: f64,
+    pub min_us: f64,
+    pub max_us: f64,
+}
+
+/// Histogram aggregate: count/sum/min/max plus power-of-two microsecond
+/// buckets (bucket `i` counts values in `[2^i, 2^{i+1})` µs when the
+/// observed unit is seconds; for unit-free observations buckets are still
+/// meaningful as relative magnitude bins).
+#[derive(Debug, Clone)]
+pub(crate) struct HistogramAgg {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub buckets: [u64; 32],
+}
+
+impl Default for HistogramAgg {
+    fn default() -> Self {
+        HistogramAgg {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; 32],
+        }
+    }
+}
+
+impl HistogramAgg {
+    fn bucket_index(value: f64) -> usize {
+        // Values are treated as seconds; bucket by log2 of microseconds.
+        let us = (value * 1e6).max(0.0);
+        if us < 1.0 {
+            0
+        } else {
+            (us.log2().floor() as usize + 1).min(31)
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+}
+
+/// One completed span occurrence retained for chrome-trace export.
+#[derive(Debug, Clone)]
+pub(crate) struct TraceEvent {
+    pub name: &'static str,
+    pub thread: usize,
+    pub start_us: f64,
+    pub duration_us: f64,
+}
+
+/// All mutable aggregation state behind the telemetry mutex.
+#[derive(Default)]
+pub(crate) struct State {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    spans: BTreeMap<&'static str, SpanAgg>,
+    histograms: BTreeMap<&'static str, HistogramAgg>,
+    pub(crate) trace: Vec<TraceEvent>,
+    pub(crate) trace_dropped: u64,
+    custom: Vec<(&'static str, Value)>,
+}
+
+impl State {
+    pub fn add_counter(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.histograms.entry(name).or_default().observe(value);
+    }
+
+    pub fn add_span(&mut self, name: &'static str, duration_us: f64) {
+        let agg = self.spans.entry(name).or_insert(SpanAgg {
+            count: 0,
+            total_us: 0.0,
+            min_us: f64::INFINITY,
+            max_us: f64::NEG_INFINITY,
+        });
+        agg.count += 1;
+        agg.total_us += duration_us;
+        agg.min_us = agg.min_us.min(duration_us);
+        agg.max_us = agg.max_us.max(duration_us);
+    }
+
+    pub fn push_trace(
+        &mut self,
+        name: &'static str,
+        thread: usize,
+        start_us: f64,
+        duration_us: f64,
+        cap: usize,
+    ) {
+        if self.trace.len() < cap {
+            self.trace.push(TraceEvent {
+                name,
+                thread,
+                start_us,
+                duration_us,
+            });
+        } else {
+            self.trace_dropped += 1;
+        }
+    }
+
+    pub fn push_custom(&mut self, name: &'static str, payload: Value) {
+        self.custom.push((name, payload));
+    }
+
+    pub fn snapshot(&self, uptime: Duration) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            uptime_seconds: uptime.as_secs_f64(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(&name, &value)| CounterSnapshot {
+                    name: name.to_owned(),
+                    value,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(&name, &value)| GaugeSnapshot {
+                    name: name.to_owned(),
+                    value,
+                })
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|(&name, agg)| SpanSnapshot {
+                    name: name.to_owned(),
+                    count: agg.count,
+                    total_us: agg.total_us,
+                    min_us: agg.min_us,
+                    max_us: agg.max_us,
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&name, agg)| HistogramSnapshot {
+                    name: name.to_owned(),
+                    count: agg.count,
+                    sum: agg.sum,
+                    min: if agg.count == 0 { 0.0 } else { agg.min },
+                    max: if agg.count == 0 { 0.0 } else { agg.max },
+                    buckets: agg.buckets.to_vec(),
+                })
+                .collect(),
+            events: self
+                .custom
+                .clone()
+                .into_iter()
+                .map(|(n, v)| (n.to_owned(), v))
+                .collect(),
+            trace_events: self.trace.len() as u64,
+            trace_dropped: self.trace_dropped,
+        }
+    }
+}
+
+/// A counter's aggregated value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Counter name.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// A gauge's last value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaugeSnapshot {
+    /// Gauge name.
+    pub name: String,
+    /// Last written value.
+    pub value: f64,
+}
+
+/// A span's aggregate timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Span name.
+    pub name: String,
+    /// Number of completed occurrences.
+    pub count: u64,
+    /// Total time across occurrences, microseconds.
+    pub total_us: f64,
+    /// Shortest occurrence, microseconds.
+    pub min_us: f64,
+    /// Longest occurrence, microseconds.
+    pub max_us: f64,
+}
+
+impl SpanSnapshot {
+    /// Mean occurrence duration in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us / self.count as f64
+        }
+    }
+}
+
+/// A histogram's aggregate statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Power-of-two microsecond buckets.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Serializable snapshot of all aggregated telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// Seconds since the pipeline was created.
+    pub uptime_seconds: f64,
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All span aggregates, sorted by name.
+    pub spans: Vec<SpanSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Custom structured events, in emission order.
+    pub events: Vec<(String, Value)>,
+    /// Number of retained trace events.
+    pub trace_events: u64,
+    /// Trace events dropped past the retention cap.
+    pub trace_dropped: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Value of a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Value of a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// A span aggregate by name.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+impl Serialize for TelemetrySnapshot {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("uptime_seconds", Value::Float(self.uptime_seconds)),
+            (
+                "counters",
+                Value::Map(
+                    self.counters
+                        .iter()
+                        .map(|c| (c.name.clone(), Value::UInt(c.value)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges",
+                Value::Map(
+                    self.gauges
+                        .iter()
+                        .map(|g| (g.name.clone(), Value::Float(g.value)))
+                        .collect(),
+                ),
+            ),
+            (
+                "spans",
+                Value::Seq(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            Value::object(vec![
+                                ("name", Value::Str(s.name.clone())),
+                                ("count", Value::UInt(s.count)),
+                                ("total_us", Value::Float(s.total_us)),
+                                ("mean_us", Value::Float(s.mean_us())),
+                                ("min_us", Value::Float(s.min_us)),
+                                ("max_us", Value::Float(s.max_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Value::Seq(
+                    self.histograms
+                        .iter()
+                        .map(|h| {
+                            Value::object(vec![
+                                ("name", Value::Str(h.name.clone())),
+                                ("count", Value::UInt(h.count)),
+                                ("sum", Value::Float(h.sum)),
+                                ("mean", Value::Float(h.mean())),
+                                ("min", Value::Float(h.min)),
+                                ("max", Value::Float(h.max)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "events",
+                Value::Seq(
+                    self.events
+                        .iter()
+                        .map(|(name, payload)| {
+                            Value::object(vec![
+                                ("name", Value::Str(name.clone())),
+                                ("payload", payload.clone()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("trace_events", Value::UInt(self.trace_events)),
+            ("trace_dropped", Value::UInt(self.trace_dropped)),
+        ])
+    }
+}

@@ -1,0 +1,240 @@
+//! Event sinks: where instrumentation events stream as they happen.
+
+use parking_lot::Mutex;
+use serde::Value;
+use std::io::Write;
+
+/// One instrumentation event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span closed.
+    SpanClose {
+        /// Span name.
+        name: &'static str,
+        /// Dense per-thread index (see [`crate::thread_index`]).
+        thread: usize,
+        /// Start offset from pipeline creation, microseconds.
+        start_us: f64,
+        /// Duration, microseconds.
+        duration_us: f64,
+    },
+    /// A counter increment.
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Increment amount.
+        delta: u64,
+    },
+    /// A gauge write.
+    Gauge {
+        /// Gauge name.
+        name: &'static str,
+        /// New value.
+        value: f64,
+    },
+    /// A histogram observation.
+    Observation {
+        /// Histogram name.
+        name: &'static str,
+        /// Observed value.
+        value: f64,
+    },
+    /// A structured custom event (e.g. a profile snapshot).
+    Custom {
+        /// Event name.
+        name: &'static str,
+        /// Structured payload.
+        payload: Value,
+    },
+}
+
+impl Event {
+    /// The event as a JSON-ready [`Value`] (one object, `type` tagged).
+    pub fn to_value(&self) -> Value {
+        match self {
+            Event::SpanClose {
+                name,
+                thread,
+                start_us,
+                duration_us,
+            } => Value::object(vec![
+                ("type", Value::Str("span".into())),
+                ("name", Value::Str((*name).into())),
+                ("thread", Value::UInt(*thread as u64)),
+                ("start_us", Value::Float(*start_us)),
+                ("duration_us", Value::Float(*duration_us)),
+            ]),
+            Event::Counter { name, delta } => Value::object(vec![
+                ("type", Value::Str("counter".into())),
+                ("name", Value::Str((*name).into())),
+                ("delta", Value::UInt(*delta)),
+            ]),
+            Event::Gauge { name, value } => Value::object(vec![
+                ("type", Value::Str("gauge".into())),
+                ("name", Value::Str((*name).into())),
+                ("value", Value::Float(*value)),
+            ]),
+            Event::Observation { name, value } => Value::object(vec![
+                ("type", Value::Str("observation".into())),
+                ("name", Value::Str((*name).into())),
+                ("value", Value::Float(*value)),
+            ]),
+            Event::Custom { name, payload } => Value::object(vec![
+                ("type", Value::Str("event".into())),
+                ("name", Value::Str((*name).into())),
+                ("payload", payload.clone()),
+            ]),
+        }
+    }
+}
+
+/// Receives every event as it happens. Implementations must be cheap:
+/// they run inside instrumented code paths (though never inside kernel
+/// inner loops).
+pub trait Sink: Send + Sync {
+    /// Handle one event.
+    fn record(&self, event: &Event);
+
+    /// Flush buffered output, if any.
+    fn flush(&self) {}
+}
+
+/// Discards every event (aggregation still happens upstream).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Retains every event in memory; for tests and programmatic inspection.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of all recorded events.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Writes each event as one compact JSON object per line.
+pub struct JsonLinesSink {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl JsonLinesSink {
+    /// Wrap any writer (file, stderr, buffer).
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonLinesSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Open (create/truncate) a file at `path` and write lines to it,
+    /// buffered.
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(file))))
+    }
+}
+
+impl Sink for JsonLinesSink {
+    fn record(&self, event: &Event) {
+        let line = event.to_value().to_json();
+        let mut writer = self.writer.lock();
+        // Telemetry must never take down the workload: ignore IO errors.
+        let _ = writeln!(writer, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let sink = MemorySink::new();
+        sink.record(&Event::Counter {
+            name: "a",
+            delta: 1,
+        });
+        sink.record(&Event::Gauge {
+            name: "b",
+            value: 2.0,
+        });
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0],
+            Event::Counter {
+                name: "a",
+                delta: 1
+            }
+        );
+    }
+
+    #[test]
+    fn json_lines_sink_writes_parseable_lines() {
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<parking_lot::Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf::default();
+        let sink = JsonLinesSink::new(Box::new(buf.clone()));
+        sink.record(&Event::SpanClose {
+            name: "solve",
+            thread: 0,
+            start_us: 1.0,
+            duration_us: 2.0,
+        });
+        sink.record(&Event::Custom {
+            name: "snap",
+            payload: Value::object(vec![("x", Value::UInt(1))]),
+        });
+        sink.flush();
+        let text = String::from_utf8(buf.0.lock().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = Value::parse_json(line).unwrap();
+            assert!(v.get("type").is_some());
+        }
+    }
+}

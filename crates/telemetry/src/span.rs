@@ -1,0 +1,33 @@
+//! Span guards: RAII wall-clock timing.
+
+use crate::Inner;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// RAII guard for a timed region; records the span when dropped.
+///
+/// Obtained from [`crate::Telemetry::span`]. On a disabled handle the
+/// guard is empty: no clock is read at open or close.
+#[must_use = "a span measures the region until the guard is dropped"]
+pub struct SpanGuard {
+    live: Option<(Arc<Inner>, &'static str, Instant)>,
+}
+
+impl SpanGuard {
+    pub(crate) fn open(inner: Option<Arc<Inner>>, name: &'static str) -> SpanGuard {
+        SpanGuard {
+            live: inner.map(|inner| (inner, name, Instant::now())),
+        }
+    }
+
+    /// Close the span now instead of at end of scope.
+    pub fn close(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((inner, name, started)) = self.live.take() {
+            crate::Telemetry::record_span(&inner, name, started);
+        }
+    }
+}

@@ -43,8 +43,8 @@ pub mod prelude {
         Stability,
     };
     pub use symtensor::{
-        BlockedKernels, DenseTensor, GeneralKernels, IndexClass, IndexClassIter,
-        PrecomputedTables, SymTensor, TensorKernels,
+        BlockedKernels, DenseTensor, GeneralKernels, IndexClass, IndexClassIter, PrecomputedTables,
+        SymTensor, TensorKernels,
     };
     pub use unrolled::UnrolledKernels;
 }

@@ -45,9 +45,7 @@ impl UnrolledKernels {
     /// Look up the unrolled kernels for shape `(m, n)`. Returns `None` if
     /// that shape was not in the generation list ([`GENERATED_SHAPES`]).
     pub fn for_shape(m: usize, n: usize) -> Option<Self> {
-        GENERATED_SHAPES
-            .contains(&(m, n))
-            .then_some(Self { m, n })
+        GENERATED_SHAPES.contains(&(m, n)).then_some(Self { m, n })
     }
 
     /// The shape this instance dispatches to.
@@ -96,9 +94,7 @@ pub struct CseUnrolledKernels {
 impl CseUnrolledKernels {
     /// Look up the CSE kernels for shape `(m, n)`; `None` if not generated.
     pub fn for_shape(m: usize, n: usize) -> Option<Self> {
-        GENERATED_SHAPES
-            .contains(&(m, n))
-            .then_some(Self { m, n })
+        GENERATED_SHAPES.contains(&(m, n)).then_some(Self { m, n })
     }
 
     /// The shape this instance dispatches to.

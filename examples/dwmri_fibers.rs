@@ -19,7 +19,10 @@ fn main() {
     let config = PhantomConfig {
         // The physically-faithful noise model: Rician magnitude noise at
         // SNR0 = 100 and clinical-scale b-value.
-        noise: dwmri::NoiseModel::Rician { sigma: 0.01, b: 1.5 },
+        noise: dwmri::NoiseModel::Rician {
+            sigma: 0.01,
+            b: 1.5,
+        },
         ..Default::default()
     };
     println!(
@@ -56,7 +59,11 @@ fn main() {
 
     let agg = DatasetScore::aggregate(&scores);
     println!("Results over {} voxels:", agg.voxels);
-    println!("  fully-correct voxels : {} ({:.1}%)", agg.correct, 100.0 * agg.accuracy());
+    println!(
+        "  fully-correct voxels : {} ({:.1}%)",
+        agg.correct,
+        100.0 * agg.accuracy()
+    );
     println!("  mean angular error   : {:.2} deg", agg.mean_error_deg);
     println!("  missed fibers        : {}", agg.missed);
     println!("  spurious detections  : {}", agg.spurious);

@@ -81,7 +81,10 @@ fn main() {
             worst = worst.max(d);
         }
     }
-    println!("GPU-vs-CPU max |lambda| difference over all {} solves: {worst:e}", 1024 * 128);
+    println!(
+        "GPU-vs-CPU max |lambda| difference over all {} solves: {worst:e}",
+        1024 * 128
+    );
     assert_eq!(worst, 0.0, "functional simulation must match CPU exactly");
     println!("OK: functional parity with the CPU reference.");
 }

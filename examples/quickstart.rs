@@ -29,7 +29,11 @@ fn main() {
         a.set(idx, v).expect("index in range");
     }
 
-    println!("Tensor: symmetric, order {}, dimension {}", a.order(), a.dim());
+    println!(
+        "Tensor: symmetric, order {}, dimension {}",
+        a.order(),
+        a.dim()
+    );
     println!(
         "Packed storage: {} unique entries instead of {} ({}x saving)\n",
         a.num_unique(),
@@ -42,7 +46,10 @@ fn main() {
     let starts = sshopm::starts::fibonacci_sphere::<f64>(128);
     let dedup = DedupConfig::default();
 
-    println!("{:<10} {:>12} {:>24} {:>8}  class", "shift", "lambda", "eigenvector", "basin");
+    println!(
+        "{:<10} {:>12} {:>24} {:>8}  class",
+        "shift", "lambda", "eigenvector", "basin"
+    );
     for shift in [Shift::Convex, Shift::Concave] {
         let solver = SsHopm::new(shift).with_tolerance(1e-14);
         let spectrum = multistart(&solver, &a, &starts, &dedup, 1e-6);

@@ -44,10 +44,22 @@ fn main() {
                 // reachable from both).
                 for e in spectrum.entries {
                     let duplicate = pairs.iter().any(|p| {
-                        let d_minus: f64 = p.pair.x.iter().zip(&e.pair.x)
-                            .map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
-                        let d_plus: f64 = p.pair.x.iter().zip(&e.pair.x)
-                            .map(|(a, b)| (a + b) * (a + b)).sum::<f64>().sqrt();
+                        let d_minus: f64 = p
+                            .pair
+                            .x
+                            .iter()
+                            .zip(&e.pair.x)
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum::<f64>()
+                            .sqrt();
+                        let d_plus: f64 = p
+                            .pair
+                            .x
+                            .iter()
+                            .zip(&e.pair.x)
+                            .map(|(a, b)| (a + b) * (a + b))
+                            .sum::<f64>()
+                            .sqrt();
                         let same = (p.pair.lambda - e.pair.lambda).abs() < 1e-5
                             && d_minus.min(d_plus) < 1e-3;
                         // For odd order, (lambda, x) and (-lambda, -x) are

@@ -22,7 +22,9 @@ fn facade_covers_the_paper_workflow() {
     assert!((s1 - s2).abs() < 1e-12 && (s1 - s3).abs() < 1e-12);
 
     // 3. Solve.
-    let pair = SsHopm::new(Shift::Convex).with_tolerance(1e-13).solve(&a, &x);
+    let pair = SsHopm::new(Shift::Convex)
+        .with_tolerance(1e-13)
+        .solve(&a, &x);
     assert!(pair.converged);
 
     // 4. Classify.
@@ -56,12 +58,8 @@ fn error_types_are_exposed_and_printable() {
     let err = SymTensor::<f64>::from_values(4, 3, vec![0.0; 3]).unwrap_err();
     let msg = format!("{err}");
     assert!(msg.contains("15"));
-    let lerr = linalg::Cholesky::new(&linalg::Matrix::from_vec(
-        2,
-        2,
-        vec![0.0, 1.0, 1.0, 0.0],
-    ))
-    .unwrap_err();
+    let lerr = linalg::Cholesky::new(&linalg::Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]))
+        .unwrap_err();
     assert!(!format!("{lerr}").is_empty());
 }
 

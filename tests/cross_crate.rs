@@ -6,11 +6,7 @@
 use rand::SeedableRng;
 use tensor_eig::prelude::*;
 
-fn random_workload(
-    t: usize,
-    v: usize,
-    seed: u64,
-) -> (Vec<SymTensor<f32>>, Vec<Vec<f32>>) {
+fn random_workload(t: usize, v: usize, seed: u64) -> (Vec<SymTensor<f32>>, Vec<Vec<f32>>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let tensors = (0..t).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
     let starts = sshopm::starts::random_uniform_starts(3, v, &mut rng);
@@ -149,8 +145,14 @@ fn relative_to_peak_performance_is_similar_across_devices() {
         DeviceSpec::tesla_c2050(),
         DeviceSpec::gtx_580(),
     ] {
-        let (_, report) =
-            launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+        let (_, report) = launch_sshopm(
+            &device,
+            &tensors,
+            &starts,
+            policy,
+            0.0,
+            GpuVariant::Unrolled,
+        );
         fractions.push(report.gflops / device.peak_sp_gflops());
     }
     let max = fractions.iter().cloned().fold(f64::MIN, f64::max);

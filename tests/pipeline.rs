@@ -167,8 +167,8 @@ fn tractography_runs_straight_through_the_crossing_band() {
     // The primary tract bends gently; it must not leap more than ~2 voxels
     // vertically while crossing 8 horizontally.
     let ys: Vec<f64> = streamline.points.iter().map(|p| p.1).collect();
-    let spread = ys.iter().cloned().fold(f64::MIN, f64::max)
-        - ys.iter().cloned().fold(f64::MAX, f64::min);
+    let spread =
+        ys.iter().cloned().fold(f64::MIN, f64::max) - ys.iter().cloned().fold(f64::MAX, f64::min);
     assert!(spread < 3.0, "vertical spread {spread}");
 }
 
