@@ -1,0 +1,370 @@
+//! The [`SolveBackend`] trait and its four substrate implementations.
+
+use crate::report::{BatchReport, DeviceProfile};
+use crate::strategy::KernelStrategy;
+use gpusim::{DeviceSpec, MultiGpu, ProfileSnapshot, TransferModel};
+use sshopm::batch::BatchSolver;
+use sshopm::{Shift, SsHopm};
+use std::time::Instant;
+use symtensor::{flops, Scalar, SymTensor};
+use telemetry::Telemetry;
+
+/// An execution substrate for the paper's batched SS-HOPM workload: many
+/// same-shaped tensors, each solved from a shared set of starting vectors.
+///
+/// Implementations differ only in *where* the arithmetic runs; the
+/// numerics are the identical library kernels everywhere, so all backends
+/// produce bit-identical eigenpairs for the same kernel strategy (the
+/// backend-parity test in this crate asserts exactly that).
+///
+/// The trait is object-safe: dispatch on `Box<dyn SolveBackend<S>>` built
+/// from a [`crate::BackendSpec`].
+pub trait SolveBackend<S: Scalar>: Sync {
+    /// Human-readable backend label for reports (`cpu:4`, `gpusim:...`).
+    fn label(&self) -> String;
+
+    /// Solve every tensor from every starting vector with `solver`'s
+    /// shift/iteration configuration, recording progress on `telemetry`.
+    ///
+    /// All tensors must share one shape. GPU-simulated backends support
+    /// only [`Shift::Fixed`] (the paper's `α = 0` setting) and panic with
+    /// a descriptive message otherwise — adaptive shifts need per-iterate
+    /// spectral information the kernel model does not stage on-device.
+    fn solve_batch(
+        &self,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+        solver: &SsHopm,
+        telemetry: &Telemetry,
+    ) -> BatchReport<S>;
+}
+
+fn empty_report<S: Scalar>(label: String, kernel: KernelStrategy) -> BatchReport<S> {
+    BatchReport {
+        backend: label,
+        kernel: kernel.name().to_string(),
+        results: Vec::new(),
+        total_iterations: 0,
+        seconds: 0.0,
+        useful_flops: 0,
+        profiles: Vec::new(),
+    }
+}
+
+fn cpu_solve_batch<S: Scalar>(
+    label: String,
+    strategy: KernelStrategy,
+    threads: usize,
+    tensors: &[SymTensor<S>],
+    starts: &[Vec<S>],
+    solver: &SsHopm,
+    telemetry: &Telemetry,
+) -> BatchReport<S> {
+    let Some(first) = tensors.first() else {
+        return empty_report(label, strategy);
+    };
+    let (m, n) = (first.order(), first.dim());
+    let (kernels, effective) = strategy.resolve::<S>(m, n);
+    let started = Instant::now();
+    let result = BatchSolver::new(*solver)
+        .with_threads(threads)
+        .run(&*kernels, tensors, starts, telemetry);
+    let seconds = started.elapsed().as_secs_f64();
+    BatchReport {
+        backend: label,
+        kernel: effective.name().to_string(),
+        useful_flops: result.total_iterations * flops::sshopm_iter_flops(m, n),
+        results: result.results,
+        total_iterations: result.total_iterations,
+        seconds,
+        profiles: Vec::new(),
+    }
+}
+
+/// The paper's "CPU – 1 core" row: strictly sequential on the calling
+/// thread, no thread pool involved.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuSequential {
+    /// Kernel implementation to use.
+    pub strategy: KernelStrategy,
+}
+
+impl CpuSequential {
+    /// A sequential CPU backend with the given kernel strategy.
+    pub fn new(strategy: KernelStrategy) -> Self {
+        Self { strategy }
+    }
+}
+
+impl<S: Scalar> SolveBackend<S> for CpuSequential {
+    fn label(&self) -> String {
+        "cpu".to_string()
+    }
+
+    fn solve_batch(
+        &self,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+        solver: &SsHopm,
+        telemetry: &Telemetry,
+    ) -> BatchReport<S> {
+        cpu_solve_batch(
+            SolveBackend::<S>::label(self),
+            self.strategy,
+            1,
+            tensors,
+            starts,
+            solver,
+            telemetry,
+        )
+    }
+}
+
+/// The paper's OpenMP rows: rayon `par_iter` over tensors.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuParallel {
+    /// Worker threads: `0` = the global rayon pool, `k` = a dedicated
+    /// pool of exactly `k` workers (the 4-core / 8-core benchmark rows).
+    pub threads: usize,
+    /// Kernel implementation to use.
+    pub strategy: KernelStrategy,
+}
+
+impl CpuParallel {
+    /// A parallel CPU backend on `threads` workers (`0` = all cores).
+    pub fn new(threads: usize, strategy: KernelStrategy) -> Self {
+        Self { threads, strategy }
+    }
+}
+
+impl<S: Scalar> SolveBackend<S> for CpuParallel {
+    fn label(&self) -> String {
+        if self.threads == 0 {
+            "cpu:all".to_string()
+        } else {
+            format!("cpu:{}", self.threads)
+        }
+    }
+
+    fn solve_batch(
+        &self,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+        solver: &SsHopm,
+        telemetry: &Telemetry,
+    ) -> BatchReport<S> {
+        cpu_solve_batch(
+            SolveBackend::<S>::label(self),
+            self.strategy,
+            self.threads,
+            tensors,
+            starts,
+            solver,
+            telemetry,
+        )
+    }
+}
+
+/// Extract the fixed shift the GPU kernels support, or panic with a
+/// message pointing at the CPU backends.
+fn fixed_alpha(solver: &SsHopm, what: &str) -> f64 {
+    match solver.shift() {
+        Shift::Fixed(alpha) => alpha,
+        other => panic!(
+            "{what} supports only Shift::Fixed (the paper's GPU setting); got {other:?} — \
+             run adaptive/convex shifts on a cpu backend"
+        ),
+    }
+}
+
+/// Record the same progress counters the CPU paths emit, so traces from
+/// different substrates stay comparable.
+fn record_gpu_batch_counters<S: Scalar>(
+    telemetry: &Telemetry,
+    results: &[Vec<sshopm::Eigenpair<S>>],
+    total_iterations: u64,
+) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    let solves: u64 = results.iter().map(|row| row.len() as u64).sum();
+    let converged: u64 = results
+        .iter()
+        .flat_map(|row| row.iter())
+        .filter(|p| p.converged)
+        .count() as u64;
+    telemetry.counter("batch.tensors_done", results.len() as u64);
+    telemetry.counter("batch.solves", solves);
+    telemetry.counter("batch.converged", converged);
+    telemetry.counter("batch.iterations", total_iterations);
+}
+
+fn total_iterations_of<S: Scalar>(results: &[Vec<sshopm::Eigenpair<S>>]) -> u64 {
+    results
+        .iter()
+        .flat_map(|row| row.iter())
+        .map(|p| p.iterations as u64)
+        .sum()
+}
+
+/// One simulated GPU (Section V of the paper): one thread block per
+/// tensor, one thread per starting vector. Wall time is the analytic
+/// kernel estimate; transfers are excluded, as in the paper's timings.
+#[derive(Debug, Clone)]
+pub struct GpuSimBackend {
+    /// The device model to launch on.
+    pub device: DeviceSpec,
+    /// Kernel implementation to use (mapped onto a GPU variant).
+    pub strategy: KernelStrategy,
+}
+
+impl GpuSimBackend {
+    /// A single simulated device with the given kernel strategy.
+    pub fn new(device: DeviceSpec, strategy: KernelStrategy) -> Self {
+        Self { device, strategy }
+    }
+}
+
+impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
+    fn label(&self) -> String {
+        format!("gpusim:{}", crate::spec::device_slug(self.device.name))
+    }
+
+    fn solve_batch(
+        &self,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+        solver: &SsHopm,
+        telemetry: &Telemetry,
+    ) -> BatchReport<S> {
+        let label = SolveBackend::<S>::label(self);
+        let Some(first) = tensors.first() else {
+            return empty_report(label, self.strategy);
+        };
+        let alpha = fixed_alpha(solver, "GpuSimBackend");
+        let (variant, effective) = self.strategy.gpu_variant(first.order(), first.dim());
+        let _batch_span = telemetry.span("batch.solve");
+        let (result, report) = gpusim::launch_sshopm(
+            &self.device,
+            tensors,
+            starts,
+            solver.policy(),
+            alpha,
+            variant,
+        );
+        let total_iterations = total_iterations_of(&result.results);
+        record_gpu_batch_counters(telemetry, &result.results, total_iterations);
+        let snapshot = ProfileSnapshot::from_report(&self.device, &report);
+        snapshot.emit(telemetry);
+        BatchReport {
+            backend: label,
+            kernel: effective.name().to_string(),
+            results: result.results,
+            total_iterations,
+            seconds: report.timing.seconds,
+            useful_flops: report.useful_flops,
+            profiles: vec![DeviceProfile {
+                device_index: 0,
+                num_tensors: tensors.len(),
+                transfer_seconds: 0.0,
+                snapshot,
+            }],
+        }
+    }
+}
+
+/// Several simulated GPUs sharing one host (Section V-B: the tensors are
+/// independent, so the batch splits across devices with no communication).
+/// Wall time is the slowest device's kernel-plus-transfer time.
+#[derive(Debug, Clone)]
+pub struct MultiGpuBackend {
+    /// The device models (may be heterogeneous).
+    pub devices: Vec<DeviceSpec>,
+    /// Host↔device interconnect model.
+    pub transfer: TransferModel,
+    /// Kernel implementation to use (mapped onto a GPU variant).
+    pub strategy: KernelStrategy,
+}
+
+impl MultiGpuBackend {
+    /// A multi-device backend over `devices` with the given strategy.
+    ///
+    /// # Panics
+    /// Panics if the device list is empty.
+    pub fn new(
+        devices: Vec<DeviceSpec>,
+        transfer: TransferModel,
+        strategy: KernelStrategy,
+    ) -> Self {
+        assert!(!devices.is_empty(), "need at least one device");
+        Self {
+            devices,
+            transfer,
+            strategy,
+        }
+    }
+
+    /// `count` identical devices.
+    pub fn homogeneous(
+        device: DeviceSpec,
+        count: usize,
+        transfer: TransferModel,
+        strategy: KernelStrategy,
+    ) -> Self {
+        Self::new(vec![device; count], transfer, strategy)
+    }
+}
+
+impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
+    fn label(&self) -> String {
+        format!(
+            "gpusim:{}:{}",
+            crate::spec::device_slug(self.devices[0].name),
+            self.devices.len()
+        )
+    }
+
+    fn solve_batch(
+        &self,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+        solver: &SsHopm,
+        telemetry: &Telemetry,
+    ) -> BatchReport<S> {
+        let label = SolveBackend::<S>::label(self);
+        let Some(first) = tensors.first() else {
+            return empty_report(label, self.strategy);
+        };
+        let alpha = fixed_alpha(solver, "MultiGpuBackend");
+        let (variant, effective) = self.strategy.gpu_variant(first.order(), first.dim());
+        let _batch_span = telemetry.span("batch.solve");
+        let mg = MultiGpu::new(self.devices.clone(), self.transfer);
+        let (result, report) = mg.launch(tensors, starts, solver.policy(), alpha, variant);
+        let total_iterations = total_iterations_of(&result.results);
+        record_gpu_batch_counters(telemetry, &result.results, total_iterations);
+        let profiles: Vec<DeviceProfile> = report
+            .slices
+            .iter()
+            .map(|slice| {
+                let snapshot =
+                    ProfileSnapshot::from_report(&self.devices[slice.device_index], &slice.report);
+                snapshot.emit(telemetry);
+                DeviceProfile {
+                    device_index: slice.device_index,
+                    num_tensors: slice.num_tensors,
+                    transfer_seconds: slice.transfer_seconds,
+                    snapshot,
+                }
+            })
+            .collect();
+        BatchReport {
+            backend: label,
+            kernel: effective.name().to_string(),
+            results: result.results,
+            total_iterations,
+            seconds: report.seconds,
+            useful_flops: report.useful_flops,
+            profiles,
+        }
+    }
+}

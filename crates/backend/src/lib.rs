@@ -1,0 +1,54 @@
+//! # backend — one [`SolveBackend`] trait behind every batched solve
+//!
+//! The paper's whole point is running the *same* SS-HOPM batch on
+//! different substrates — sequential CPU, multicore OpenMP, one GPU, many
+//! GPUs (Tables II/III) — and the kernel-implementation choice (general
+//! loops, precomputed tables, blocked const-generic code, fully unrolled
+//! straight-line code) is an axis *orthogonal* to the substrate. This
+//! crate models both axes explicitly:
+//!
+//! * [`SolveBackend`] — the substrate: *where* the batch runs.
+//!   Implementations: [`CpuSequential`], [`CpuParallel`],
+//!   [`GpuSimBackend`], [`MultiGpuBackend`].
+//! * [`KernelStrategy`] — the kernel implementation: *how* `A·xᵐ` /
+//!   `A·xᵐ⁻¹` are computed. Falls back gracefully when a strategy is
+//!   unavailable for a shape (e.g. no generated unrolled kernel).
+//! * [`BackendSpec`] — a declarative string form (`cpu`, `cpu:8`,
+//!   `gpusim`, `gpusim:tesla-c2050:4`) so CLIs and benchmark drivers
+//!   select backends without hand-rolled dispatch.
+//! * [`BatchReport`] — one result type unifying what used to be scattered
+//!   across `BatchResult`, `LaunchReport` and ad-hoc timing tuples:
+//!   eigenpairs, total iterations, wall time, flop accounting and
+//!   per-device profile snapshots.
+//!
+//! ```
+//! use backend::{BackendSpec, KernelStrategy, SolveBackend};
+//! use sshopm::{IterationPolicy, Shift, SsHopm};
+//! use symtensor::SymTensor;
+//! use telemetry::Telemetry;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let tensors: Vec<SymTensor<f32>> =
+//!     (0..4).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
+//! let starts = sshopm::starts::random_uniform_starts::<f32, _>(3, 8, &mut rng);
+//! let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(10));
+//!
+//! let spec: BackendSpec = "gpusim".parse().unwrap();
+//! let backend = spec.build::<f32>(KernelStrategy::Unrolled);
+//! let report = backend.solve_batch(&tensors, &starts, &solver, &Telemetry::disabled());
+//! assert_eq!(report.num_tensors(), 4);
+//! assert_eq!(report.total_iterations, 4 * 8 * 10);
+//! ```
+
+#![deny(missing_docs)]
+
+mod backends;
+mod report;
+mod spec;
+mod strategy;
+
+pub use backends::{CpuParallel, CpuSequential, GpuSimBackend, MultiGpuBackend, SolveBackend};
+pub use report::{BatchReport, DeviceProfile};
+pub use spec::{BackendError, BackendSpec, DeviceKind};
+pub use strategy::KernelStrategy;

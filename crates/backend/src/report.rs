@@ -1,0 +1,149 @@
+//! [`BatchReport`]: one result type for every execution backend.
+
+use gpusim::ProfileSnapshot;
+use sshopm::Eigenpair;
+use symtensor::Scalar;
+
+/// Per-device profile of a GPU-backed solve (empty for CPU backends).
+#[derive(Debug, Clone)]
+pub struct DeviceProfile {
+    /// Index into the backend's device list.
+    pub device_index: usize,
+    /// Tensors assigned to this device.
+    pub num_tensors: usize,
+    /// Host↔device transfer seconds attributed to this slice (0 when the
+    /// backend models kernel time only, as the paper's timings do).
+    pub transfer_seconds: f64,
+    /// The full launch profile.
+    pub snapshot: ProfileSnapshot,
+}
+
+/// Everything a batched solve reports, regardless of substrate:
+/// the eigenpairs, the iteration/flop accounting, the wall time, and (for
+/// GPU backends) the per-device profile snapshots.
+///
+/// This unifies what used to be scattered across `sshopm::BatchResult`,
+/// `gpusim::LaunchReport`/`MultiReport` and ad-hoc `(seconds, iterations)`
+/// tuples in the benchmark drivers.
+#[derive(Debug, Clone)]
+pub struct BatchReport<S> {
+    /// Human-readable backend label (e.g. `cpu:4`, `gpusim:tesla-c2050`).
+    pub backend: String,
+    /// Kernel strategy actually in effect (after shape fallback).
+    pub kernel: String,
+    /// Per-tensor, per-start eigenpairs: `results[t][v]`.
+    pub results: Vec<Vec<Eigenpair<S>>>,
+    /// Total SS-HOPM iterations across all solves.
+    pub total_iterations: u64,
+    /// Wall-clock seconds (measured for CPU backends, modeled for GPU).
+    pub seconds: f64,
+    /// Useful floating-point operations executed (FMA counted as 2).
+    pub useful_flops: u64,
+    /// One profile per device that received work; empty for CPU backends.
+    pub profiles: Vec<DeviceProfile>,
+}
+
+impl<S: Scalar> BatchReport<S> {
+    /// Number of tensors solved.
+    pub fn num_tensors(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Starting vectors per tensor (0 for an empty batch).
+    pub fn num_starts(&self) -> usize {
+        self.results.first().map_or(0, Vec::len)
+    }
+
+    /// Flatten to `(tensor index, start index, eigenpair)` triples.
+    pub fn iter_flat(&self) -> impl Iterator<Item = (usize, usize, &Eigenpair<S>)> {
+        self.results
+            .iter()
+            .enumerate()
+            .flat_map(|(t, row)| row.iter().enumerate().map(move |(v, p)| (t, v, p)))
+    }
+
+    /// Number of solves that converged.
+    pub fn num_converged(&self) -> u64 {
+        self.iter_flat().filter(|(_, _, p)| p.converged).count() as u64
+    }
+
+    /// Achieved GFLOP/s (0 for an empty or instantaneous batch).
+    pub fn gflops(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.useful_flops as f64 / self.seconds / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line summary, directly comparable across backends.
+    pub fn summary(&self) -> String {
+        format!(
+            "backend {} ({} kernel): {} tensors x {} starts, {} iterations, \
+             {:.3} ms, {:.2} GFLOP/s",
+            self.backend,
+            self.kernel,
+            self.num_tensors(),
+            self.num_starts(),
+            self.total_iterations,
+            self.seconds * 1e3,
+            self.gflops()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(lambda: f64, converged: bool) -> Eigenpair<f64> {
+        Eigenpair {
+            lambda,
+            x: vec![1.0, 0.0, 0.0],
+            iterations: 3,
+            converged,
+            alpha: 0.0,
+        }
+    }
+
+    #[test]
+    fn accessors_and_summary() {
+        let report = BatchReport {
+            backend: "cpu:4".to_string(),
+            kernel: "general".to_string(),
+            results: vec![
+                vec![pair(2.0, true), pair(1.0, false)],
+                vec![pair(0.5, true), pair(0.25, true)],
+            ],
+            total_iterations: 12,
+            seconds: 0.5,
+            useful_flops: 1_000_000_000,
+            profiles: Vec::new(),
+        };
+        assert_eq!(report.num_tensors(), 2);
+        assert_eq!(report.num_starts(), 2);
+        assert_eq!(report.num_converged(), 3);
+        assert_eq!(report.iter_flat().count(), 4);
+        assert!((report.gflops() - 2.0).abs() < 1e-12);
+        let s = report.summary();
+        assert!(s.contains("backend cpu:4"), "{s}");
+        assert!(s.contains("2 tensors x 2 starts"), "{s}");
+        assert!(s.contains("GFLOP/s"), "{s}");
+    }
+
+    #[test]
+    fn empty_report_is_well_behaved() {
+        let report: BatchReport<f64> = BatchReport {
+            backend: "cpu".to_string(),
+            kernel: "general".to_string(),
+            results: Vec::new(),
+            total_iterations: 0,
+            seconds: 0.0,
+            useful_flops: 0,
+            profiles: Vec::new(),
+        };
+        assert_eq!(report.num_tensors(), 0);
+        assert_eq!(report.num_starts(), 0);
+        assert_eq!(report.gflops(), 0.0);
+    }
+}

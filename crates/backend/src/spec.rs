@@ -1,0 +1,349 @@
+//! Declarative backend selection: parse `cpu:8` / `gpusim:tesla-c2050:4`
+//! strings into [`BackendSpec`] values and build [`SolveBackend`] objects.
+
+use crate::backends::{CpuParallel, CpuSequential, GpuSimBackend, MultiGpuBackend, SolveBackend};
+use crate::strategy::KernelStrategy;
+use gpusim::{DeviceSpec, TransferModel};
+use symtensor::Scalar;
+
+/// Error from parsing a backend spec or kernel-strategy token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendError(pub String);
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// The GPU models the simulator knows how to profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// Tesla C2050 (Fermi) — the paper's primary device.
+    TeslaC2050,
+    /// Tesla C1060 (GT200) — the paper's previous-generation comparison.
+    TeslaC1060,
+    /// GeForce GTX 580 (GF110) — consumer Fermi, higher clocks.
+    Gtx580,
+}
+
+impl DeviceKind {
+    /// Every known device model.
+    pub const ALL: [DeviceKind; 3] = [
+        DeviceKind::TeslaC2050,
+        DeviceKind::TeslaC1060,
+        DeviceKind::Gtx580,
+    ];
+
+    /// Canonical spec-string slug (`tesla-c2050`, `tesla-c1060`, `gtx-580`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceKind::TeslaC2050 => "tesla-c2050",
+            DeviceKind::TeslaC1060 => "tesla-c1060",
+            DeviceKind::Gtx580 => "gtx-580",
+        }
+    }
+
+    /// The full simulator device model.
+    pub fn spec(&self) -> DeviceSpec {
+        match self {
+            DeviceKind::TeslaC2050 => DeviceSpec::tesla_c2050(),
+            DeviceKind::TeslaC1060 => DeviceSpec::tesla_c1060(),
+            DeviceKind::Gtx580 => DeviceSpec::gtx_580(),
+        }
+    }
+
+    /// Parse a device slug; accepts short aliases (`c2050`, `gtx580`).
+    pub fn parse(s: &str) -> Result<Self, BackendError> {
+        match s {
+            "tesla-c2050" | "c2050" => Ok(DeviceKind::TeslaC2050),
+            "tesla-c1060" | "c1060" => Ok(DeviceKind::TeslaC1060),
+            "gtx-580" | "gtx580" => Ok(DeviceKind::Gtx580),
+            other => Err(BackendError(format!(
+                "unknown device {other:?}: expected one of tesla-c2050, tesla-c1060, gtx-580"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Map a `DeviceSpec` marketing name back to its spec-string slug.
+pub(crate) fn device_slug(name: &str) -> String {
+    for kind in DeviceKind::ALL {
+        if kind.spec().name == name {
+            return kind.name().to_string();
+        }
+    }
+    name.split(" (")
+        .next()
+        .unwrap_or(name)
+        .to_lowercase()
+        .replace(' ', "-")
+}
+
+/// A parsed backend selection, one of:
+///
+/// | spec string            | meaning                                   |
+/// |------------------------|-------------------------------------------|
+/// | `cpu`                  | sequential, one core                      |
+/// | `cpu:8`                | rayon pool with 8 workers                 |
+/// | `cpu:all`, `cpu:0`     | the global rayon pool (all cores)         |
+/// | `gpusim`               | one simulated Tesla C2050                 |
+/// | `gpusim:gtx-580`       | one simulated device of the named model   |
+/// | `gpusim:4`             | four simulated Tesla C2050s               |
+/// | `gpusim:tesla-c2050:4` | four simulated devices of the named model |
+///
+/// `Display` renders the canonical minimal form, so specs round-trip
+/// through parse → `Display` → parse at the value level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// CPU execution: `threads == 1` is strictly sequential, `0` uses the
+    /// global rayon pool, `k > 1` builds a dedicated `k`-worker pool.
+    Cpu {
+        /// Worker threads (1 = sequential, 0 = all cores).
+        threads: usize,
+    },
+    /// Simulated-GPU execution on `devices` copies of `device`.
+    GpuSim {
+        /// The device model.
+        device: DeviceKind,
+        /// How many devices share the batch (≥ 1).
+        devices: usize,
+    },
+}
+
+impl BackendSpec {
+    /// Parse a spec string. See the type-level table for the grammar.
+    pub fn parse(s: &str) -> Result<Self, BackendError> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or("");
+        match head {
+            "cpu" => {
+                let threads = match parts.next() {
+                    None => 1,
+                    Some("all") => 0,
+                    Some(t) => t.parse::<usize>().map_err(|_| {
+                        BackendError(format!(
+                            "invalid thread count {t:?} in backend spec {s:?}: expected a \
+                             non-negative integer or \"all\""
+                        ))
+                    })?,
+                };
+                if let Some(extra) = parts.next() {
+                    return Err(BackendError(format!(
+                        "trailing {extra:?} in backend spec {s:?}: cpu takes at most one \
+                         \":threads\" field"
+                    )));
+                }
+                Ok(BackendSpec::Cpu { threads })
+            }
+            "gpusim" => {
+                let (device, devices) = match (parts.next(), parts.next()) {
+                    (None, _) => (DeviceKind::TeslaC2050, 1),
+                    (Some(field), None) => {
+                        // One field: either a device slug or a count
+                        // shorthand for that many default devices.
+                        if field.chars().next().is_some_and(|c| c.is_ascii_digit())
+                            || field.starts_with('-')
+                        {
+                            (DeviceKind::TeslaC2050, parse_device_count(field, s)?)
+                        } else {
+                            (DeviceKind::parse(field)?, 1)
+                        }
+                    }
+                    (Some(dev), Some(count)) => {
+                        (DeviceKind::parse(dev)?, parse_device_count(count, s)?)
+                    }
+                };
+                if let Some(extra) = parts.next() {
+                    return Err(BackendError(format!(
+                        "trailing {extra:?} in backend spec {s:?}: gpusim takes at most \
+                         \":device:count\""
+                    )));
+                }
+                Ok(BackendSpec::GpuSim { device, devices })
+            }
+            other => Err(BackendError(format!(
+                "unknown backend {other:?}: expected \"cpu[:threads]\" or \
+                 \"gpusim[:device][:count]\""
+            ))),
+        }
+    }
+
+    /// Build the backend this spec describes, with the given kernel
+    /// strategy. Multi-device specs model host↔device transfers over
+    /// PCIe 2.0, as the paper's hardware used.
+    pub fn build<S: Scalar>(&self, strategy: KernelStrategy) -> Box<dyn SolveBackend<S>> {
+        match *self {
+            BackendSpec::Cpu { threads: 1 } => Box::new(CpuSequential::new(strategy)),
+            BackendSpec::Cpu { threads } => Box::new(CpuParallel::new(threads, strategy)),
+            BackendSpec::GpuSim { device, devices: 1 } => {
+                Box::new(GpuSimBackend::new(device.spec(), strategy))
+            }
+            BackendSpec::GpuSim { device, devices } => Box::new(MultiGpuBackend::homogeneous(
+                device.spec(),
+                devices,
+                TransferModel::pcie2(),
+                strategy,
+            )),
+        }
+    }
+
+    /// True for the simulated-GPU variants (which only support fixed
+    /// shifts); lets callers validate the shift choice up front.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, BackendSpec::GpuSim { .. })
+    }
+}
+
+fn parse_device_count(field: &str, whole: &str) -> Result<usize, BackendError> {
+    let count = field.parse::<usize>().map_err(|_| {
+        BackendError(format!(
+            "invalid device count {field:?} in backend spec {whole:?}: expected a positive \
+             integer"
+        ))
+    })?;
+    if count == 0 {
+        return Err(BackendError(format!(
+            "invalid device count 0 in backend spec {whole:?}: need at least one device"
+        )));
+    }
+    Ok(count)
+}
+
+impl std::fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BackendSpec::Cpu { threads: 1 } => f.write_str("cpu"),
+            BackendSpec::Cpu { threads: 0 } => f.write_str("cpu:all"),
+            BackendSpec::Cpu { threads } => write!(f, "cpu:{threads}"),
+            BackendSpec::GpuSim {
+                device: DeviceKind::TeslaC2050,
+                devices: 1,
+            } => f.write_str("gpusim"),
+            BackendSpec::GpuSim { device, devices: 1 } => write!(f, "gpusim:{device}"),
+            BackendSpec::GpuSim { device, devices } => write!(f, "gpusim:{device}:{devices}"),
+        }
+    }
+}
+
+impl std::str::FromStr for BackendSpec {
+    type Err = BackendError;
+
+    fn from_str(s: &str) -> Result<Self, BackendError> {
+        BackendSpec::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_grammar() {
+        assert_eq!(
+            BackendSpec::parse("cpu").unwrap(),
+            BackendSpec::Cpu { threads: 1 }
+        );
+        assert_eq!(
+            BackendSpec::parse("cpu:8").unwrap(),
+            BackendSpec::Cpu { threads: 8 }
+        );
+        assert_eq!(
+            BackendSpec::parse("cpu:all").unwrap(),
+            BackendSpec::Cpu { threads: 0 }
+        );
+        assert_eq!(
+            BackendSpec::parse("gpusim").unwrap(),
+            BackendSpec::GpuSim {
+                device: DeviceKind::TeslaC2050,
+                devices: 1
+            }
+        );
+        assert_eq!(
+            BackendSpec::parse("gpusim:4").unwrap(),
+            BackendSpec::GpuSim {
+                device: DeviceKind::TeslaC2050,
+                devices: 4
+            }
+        );
+        assert_eq!(
+            BackendSpec::parse("gpusim:gtx-580").unwrap(),
+            BackendSpec::GpuSim {
+                device: DeviceKind::Gtx580,
+                devices: 1
+            }
+        );
+        assert_eq!(
+            BackendSpec::parse("gpusim:tesla-c1060:2").unwrap(),
+            BackendSpec::GpuSim {
+                device: DeviceKind::TeslaC1060,
+                devices: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs_with_descriptive_errors() {
+        for (spec, needle) in [
+            ("cpu:", "invalid thread count"),
+            ("cpu:x", "invalid thread count"),
+            ("cpu:4:2", "trailing"),
+            ("gpusim:-1", "invalid device count"),
+            ("gpusim:0", "at least one device"),
+            ("gpusim:tesla-c2050:0", "at least one device"),
+            ("gpusim:quadro", "unknown device"),
+            ("gpusim:tesla-c2050:2:2", "trailing"),
+            ("tpu", "unknown backend"),
+            ("", "unknown backend"),
+        ] {
+            let err = BackendSpec::parse(spec).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{spec:?} -> {err}, wanted {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_is_canonical_and_reparses() {
+        for s in [
+            "cpu",
+            "cpu:8",
+            "cpu:all",
+            "gpusim",
+            "gpusim:gtx-580",
+            "gpusim:tesla-c2050:4",
+        ] {
+            let spec = BackendSpec::parse(s).unwrap();
+            assert_eq!(spec.to_string(), s);
+            assert_eq!(BackendSpec::parse(&spec.to_string()).unwrap(), spec);
+        }
+        // Non-canonical inputs normalize.
+        assert_eq!(BackendSpec::parse("cpu:1").unwrap().to_string(), "cpu");
+        assert_eq!(BackendSpec::parse("cpu:0").unwrap().to_string(), "cpu:all");
+        assert_eq!(
+            BackendSpec::parse("gpusim:c2050:1").unwrap().to_string(),
+            "gpusim"
+        );
+        assert_eq!(
+            BackendSpec::parse("gpusim:gtx580").unwrap().to_string(),
+            "gpusim:gtx-580"
+        );
+    }
+
+    #[test]
+    fn device_slug_maps_marketing_names() {
+        for kind in DeviceKind::ALL {
+            assert_eq!(device_slug(kind.spec().name), kind.name());
+        }
+        assert_eq!(device_slug("Hypothetical X1 (Test)"), "hypothetical-x1");
+    }
+}

@@ -1,0 +1,166 @@
+//! Kernel-strategy selection: *how* the tensor contractions are computed,
+//! independently of *where* the batch runs.
+
+use crate::spec::BackendError;
+use gpusim::GpuVariant;
+use symtensor::{BlockedKernels, GeneralKernels, PrecomputedTables, Scalar, TensorKernels};
+use unrolled::UnrolledKernels;
+
+/// Which `A·xᵐ` / `A·xᵐ⁻¹` implementation a backend should use.
+///
+/// Strategies that are unavailable for a given shape fall back
+/// automatically along the chain `Unrolled → Blocked → General` (on the
+/// CPU) and `Unrolled → General` (on the simulated GPU, which has no
+/// blocked or precomputed variant); [`resolve`](Self::resolve) and
+/// [`gpu_variant`](Self::gpu_variant) report the strategy actually chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelStrategy {
+    /// On-the-fly index/coefficient computation (works for every shape).
+    General,
+    /// Const-generic blocked kernels (orders 1–8, any dimension).
+    Blocked,
+    /// Section V-C precomputed index/coefficient tables.
+    Precomputed,
+    /// Straight-line generated kernels (build.rs `GENERATED_SHAPES` only).
+    Unrolled,
+}
+
+impl KernelStrategy {
+    /// All strategies, for sweeps and tests.
+    pub const ALL: [KernelStrategy; 4] = [
+        KernelStrategy::General,
+        KernelStrategy::Blocked,
+        KernelStrategy::Precomputed,
+        KernelStrategy::Unrolled,
+    ];
+
+    /// Short name for reports and CLI flags.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelStrategy::General => "general",
+            KernelStrategy::Blocked => "blocked",
+            KernelStrategy::Precomputed => "precomputed",
+            KernelStrategy::Unrolled => "unrolled",
+        }
+    }
+
+    /// Parse a CLI token (`general`, `blocked`, `precomputed`, `unrolled`).
+    pub fn parse(s: &str) -> Result<Self, BackendError> {
+        match s {
+            "general" => Ok(KernelStrategy::General),
+            "blocked" => Ok(KernelStrategy::Blocked),
+            "precomputed" => Ok(KernelStrategy::Precomputed),
+            "unrolled" => Ok(KernelStrategy::Unrolled),
+            other => Err(BackendError(format!(
+                "unknown kernel strategy {other:?}: expected one of general, blocked, \
+                 precomputed, unrolled"
+            ))),
+        }
+    }
+
+    /// Materialize the CPU kernels for shape `(m, n)`, falling back when
+    /// the requested strategy has no implementation for that shape.
+    /// Returns the kernels and the strategy actually in effect.
+    pub fn resolve<S: Scalar>(
+        self,
+        m: usize,
+        n: usize,
+    ) -> (Box<dyn TensorKernels<S>>, KernelStrategy) {
+        match self {
+            KernelStrategy::General => (Box::new(GeneralKernels), KernelStrategy::General),
+            KernelStrategy::Precomputed => (
+                Box::new(PrecomputedTables::new(m, n)),
+                KernelStrategy::Precomputed,
+            ),
+            KernelStrategy::Blocked => match BlockedKernels::for_shape(m, n) {
+                Some(k) => (Box::new(k), KernelStrategy::Blocked),
+                None => (Box::new(GeneralKernels), KernelStrategy::General),
+            },
+            KernelStrategy::Unrolled => match UnrolledKernels::for_shape(m, n) {
+                Some(k) => (Box::new(k), KernelStrategy::Unrolled),
+                None => KernelStrategy::Blocked.resolve(m, n),
+            },
+        }
+    }
+
+    /// Map the strategy onto a simulated-GPU kernel variant for shape
+    /// `(m, n)`. The GPU model only implements the general and unrolled
+    /// variants, so `Blocked`/`Precomputed` run as `General`, and
+    /// `Unrolled` falls back to `General` for ungenerated shapes. Returns
+    /// the variant and the strategy actually in effect.
+    pub fn gpu_variant(self, m: usize, n: usize) -> (GpuVariant, KernelStrategy) {
+        match self {
+            KernelStrategy::Unrolled if UnrolledKernels::for_shape(m, n).is_some() => {
+                (GpuVariant::Unrolled, KernelStrategy::Unrolled)
+            }
+            _ => (GpuVariant::General, KernelStrategy::General),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for KernelStrategy {
+    type Err = BackendError;
+
+    fn from_str(s: &str) -> Result<Self, BackendError> {
+        KernelStrategy::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_honors_available_strategies() {
+        for strategy in KernelStrategy::ALL {
+            let (_, effective) = strategy.resolve::<f64>(4, 3);
+            assert_eq!(effective, strategy, "(4,3) supports every strategy");
+        }
+    }
+
+    #[test]
+    fn unrolled_falls_back_for_ungenerated_shape() {
+        // (7, 7) has no generated kernel but is within the blocked range.
+        let (k, effective) = KernelStrategy::Unrolled.resolve::<f64>(7, 7);
+        assert_eq!(effective, KernelStrategy::Blocked);
+        assert_eq!(k.name(), "blocked");
+        // Order 9 is beyond the blocked range too: all the way to general.
+        let (k, effective) = KernelStrategy::Unrolled.resolve::<f64>(9, 3);
+        assert_eq!(effective, KernelStrategy::General);
+        assert_eq!(k.name(), "general");
+    }
+
+    #[test]
+    fn gpu_variant_mapping() {
+        assert_eq!(
+            KernelStrategy::Unrolled.gpu_variant(4, 3),
+            (GpuVariant::Unrolled, KernelStrategy::Unrolled)
+        );
+        assert_eq!(
+            KernelStrategy::Unrolled.gpu_variant(5, 9),
+            (GpuVariant::General, KernelStrategy::General)
+        );
+        for s in [
+            KernelStrategy::General,
+            KernelStrategy::Blocked,
+            KernelStrategy::Precomputed,
+        ] {
+            assert_eq!(s.gpu_variant(4, 3).0, GpuVariant::General);
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for s in KernelStrategy::ALL {
+            assert_eq!(KernelStrategy::parse(s.name()).unwrap(), s);
+            assert_eq!(s.to_string(), s.name());
+        }
+        assert!(KernelStrategy::parse("fused").is_err());
+    }
+}

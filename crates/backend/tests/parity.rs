@@ -1,0 +1,173 @@
+//! Backend-parity: every substrate runs the *same* numerics, so a fixed
+//! workload must produce identical eigenpair sets and iteration counts on
+//! all four backends.
+
+use backend::{
+    BatchReport, CpuParallel, CpuSequential, GpuSimBackend, KernelStrategy, MultiGpuBackend,
+    SolveBackend,
+};
+use gpusim::{DeviceSpec, TransferModel};
+use rand::SeedableRng;
+use sshopm::{starts, IterationPolicy, Shift, SsHopm};
+use symtensor::SymTensor;
+use telemetry::Telemetry;
+
+const NUM_TENSORS: usize = 6;
+const NUM_STARTS: usize = 8;
+
+fn workload(m: usize, n: usize) -> (Vec<SymTensor<f32>>, Vec<Vec<f32>>, SsHopm) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed);
+    let tensors = (0..NUM_TENSORS)
+        .map(|_| SymTensor::random(m, n, &mut rng))
+        .collect();
+    let starts = starts::random_uniform_starts::<f32, _>(n, NUM_STARTS, &mut rng);
+    let solver = SsHopm::new(Shift::Fixed(1.0)).with_policy(IterationPolicy::Converge {
+        tol: 1e-6,
+        max_iters: 200,
+    });
+    (tensors, starts, solver)
+}
+
+fn backends(strategy: KernelStrategy) -> Vec<Box<dyn SolveBackend<f32>>> {
+    vec![
+        Box::new(CpuSequential::new(strategy)),
+        Box::new(CpuParallel::new(4, strategy)),
+        Box::new(GpuSimBackend::new(DeviceSpec::tesla_c2050(), strategy)),
+        Box::new(MultiGpuBackend::homogeneous(
+            DeviceSpec::tesla_c2050(),
+            3,
+            TransferModel::pcie2(),
+            strategy,
+        )),
+    ]
+}
+
+/// Deduplicated eigenvalue set per tensor: sorted λ values with
+/// near-duplicates (within 1e-6, generous for f32 iteration) collapsed.
+fn eigenvalue_sets(report: &BatchReport<f32>) -> Vec<Vec<f64>> {
+    report
+        .results
+        .iter()
+        .map(|row| {
+            let mut lambdas: Vec<f64> = row
+                .iter()
+                .filter(|p| p.converged)
+                .map(|p| f64::from(p.lambda))
+                .collect();
+            lambdas.sort_by(f64::total_cmp);
+            let mut dedup: Vec<f64> = Vec::new();
+            for l in lambdas {
+                if dedup.last().is_none_or(|prev| (l - prev).abs() > 1e-6) {
+                    dedup.push(l);
+                }
+            }
+            dedup
+        })
+        .collect()
+}
+
+#[test]
+fn all_four_backends_agree_on_a_fixed_workload() {
+    let (tensors, starts, solver) = workload(4, 3);
+    let reports: Vec<BatchReport<f32>> = backends(KernelStrategy::General)
+        .iter()
+        .map(|b| b.solve_batch(&tensors, &starts, &solver, &Telemetry::disabled()))
+        .collect();
+
+    let reference = &reports[0];
+    assert_eq!(reference.num_tensors(), NUM_TENSORS);
+    assert_eq!(reference.num_starts(), NUM_STARTS);
+    assert!(reference.num_converged() > 0, "workload should converge");
+    let reference_sets = eigenvalue_sets(reference);
+
+    for report in &reports[1..] {
+        assert_eq!(
+            report.total_iterations, reference.total_iterations,
+            "backend {} took a different iteration count than {}",
+            report.backend, reference.backend
+        );
+        let sets = eigenvalue_sets(report);
+        assert_eq!(sets.len(), reference_sets.len());
+        for (t, (got, want)) in sets.iter().zip(&reference_sets).enumerate() {
+            assert_eq!(
+                got.len(),
+                want.len(),
+                "backend {} found a different eigenvalue set for tensor {t}",
+                report.backend
+            );
+            for (g, w) in got.iter().zip(want) {
+                assert!(
+                    (g - w).abs() < 1e-12,
+                    "backend {}: tensor {t} lambda {g} != {w}",
+                    report.backend
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn backends_agree_bitwise_with_identical_kernels() {
+    // With the same kernel strategy the arithmetic is literally the same
+    // code on every substrate, so results match to the bit, not just to a
+    // tolerance.
+    let (tensors, starts, solver) = workload(4, 3);
+    for strategy in [KernelStrategy::General, KernelStrategy::Unrolled] {
+        let reports: Vec<BatchReport<f32>> = backends(strategy)
+            .iter()
+            .map(|b| b.solve_batch(&tensors, &starts, &solver, &Telemetry::disabled()))
+            .collect();
+        let reference = &reports[0];
+        assert_eq!(reference.kernel, strategy.name());
+        for report in &reports[1..] {
+            assert_eq!(report.kernel, reference.kernel);
+            for ((t, v, got), (_, _, want)) in report.iter_flat().zip(reference.iter_flat()) {
+                assert_eq!(
+                    got.lambda.to_bits(),
+                    want.lambda.to_bits(),
+                    "backend {} vs {}: tensor {t} start {v}",
+                    report.backend,
+                    reference.backend
+                );
+                assert_eq!(got.iterations, want.iterations);
+                assert_eq!(got.converged, want.converged);
+            }
+        }
+    }
+}
+
+#[test]
+fn parity_holds_for_unrolled_fallback_shapes() {
+    // (3, 5) has no generated unrolled kernel: the CPU backends fall back
+    // to blocked kernels, the GPU backends to the general variant. Within
+    // each substrate class the arithmetic is still identical code, so
+    // results match bitwise; across classes the kernels differ only in
+    // summation order, so eigenvalues agree to f32 round-off.
+    let (tensors, mut starts, mut solver) = workload(3, 5);
+    starts.truncate(4);
+    solver = solver.with_policy(IterationPolicy::Fixed(25));
+    let reports: Vec<BatchReport<f32>> = backends(KernelStrategy::Unrolled)
+        .iter()
+        .map(|b| b.solve_batch(&tensors, &starts, &solver, &Telemetry::disabled()))
+        .collect();
+
+    let (cpu_seq, cpu_par, gpu_one, gpu_multi) =
+        (&reports[0], &reports[1], &reports[2], &reports[3]);
+    assert_eq!(cpu_seq.kernel, "blocked");
+    assert_eq!(gpu_one.kernel, "general");
+    for report in &reports {
+        assert_eq!(report.total_iterations, cpu_seq.total_iterations);
+    }
+    for (a, b) in [(cpu_seq, cpu_par), (gpu_one, gpu_multi)] {
+        for ((_, _, got), (_, _, want)) in a.iter_flat().zip(b.iter_flat()) {
+            assert_eq!(got.lambda.to_bits(), want.lambda.to_bits());
+        }
+    }
+    for ((t, v, got), (_, _, want)) in cpu_seq.iter_flat().zip(gpu_one.iter_flat()) {
+        let (g, w) = (f64::from(got.lambda), f64::from(want.lambda));
+        assert!(
+            (g - w).abs() < 1e-4 * (1.0 + w.abs()),
+            "tensor {t} start {v}: {g} vs {w}"
+        );
+    }
+}

@@ -84,7 +84,10 @@ fn ablation_start_schemes(c: &mut Criterion) {
 fn ablation_occupancy_cliff(c: &mut Criterion) {
     // Not a wall-clock ablation: evaluates the modeled GFLOP/s across
     // shapes once per iteration so the cliff shows up in bench reports.
-    let device = gpusim::DeviceSpec::tesla_c2050();
+    let gpu = backend::GpuSimBackend::new(
+        gpusim::DeviceSpec::tesla_c2050(),
+        backend::KernelStrategy::General,
+    );
     let mut group = c.benchmark_group("ablation_occupancy_model");
     group.sample_size(10);
     for (m, n) in [(4usize, 3usize), (4, 5), (6, 3), (4, 4)] {
@@ -94,15 +97,9 @@ fn ablation_occupancy_cliff(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    let (_, report) = gpusim::launch_sshopm(
-                        &device,
-                        &workload.tensors,
-                        &workload.starts,
-                        sshopm::IterationPolicy::Fixed(5),
-                        0.0,
-                        gpusim::GpuVariant::General,
-                    );
-                    black_box(report.gflops)
+                    let report =
+                        bench::run_on(&gpu, &workload, sshopm::IterationPolicy::Fixed(5), 0.0);
+                    black_box(report.gflops())
                 })
             },
         );

@@ -3,31 +3,23 @@
 //! the cost of the occupancy/timing analytics, so simulator regressions
 //! are caught like any other performance regression.
 
-use bench::Workload;
+use backend::{GpuSimBackend, KernelStrategy};
+use bench::{run_on, Workload};
 use criterion::{criterion_group, criterion_main, Criterion};
-use gpusim::{DeviceSpec, GpuVariant, KernelResources, Occupancy};
+use gpusim::{DeviceSpec, KernelResources, Occupancy};
 use sshopm::IterationPolicy;
 use std::hint::black_box;
 
 fn bench_launch(c: &mut Criterion) {
     let workload = Workload::random(32, 32, 4, 3, 6);
-    let device = DeviceSpec::tesla_c2050();
     let policy = IterationPolicy::Fixed(10);
 
     let mut group = c.benchmark_group("gpusim_launch_32x32");
     group.sample_size(10);
-    for variant in [GpuVariant::General, GpuVariant::Unrolled] {
-        group.bench_function(variant.name(), |b| {
-            b.iter(|| {
-                black_box(gpusim::launch_sshopm(
-                    &device,
-                    &workload.tensors,
-                    &workload.starts,
-                    policy,
-                    0.0,
-                    variant,
-                ))
-            })
+    for strategy in [KernelStrategy::General, KernelStrategy::Unrolled] {
+        let gpu = GpuSimBackend::new(DeviceSpec::tesla_c2050(), strategy);
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| black_box(run_on(&gpu, &workload, policy, 0.0)))
         });
     }
     group.finish();

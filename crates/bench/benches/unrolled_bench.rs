@@ -1,35 +1,25 @@
 //! The Table III(a) unrolled-speedup column, measured as a Criterion
 //! benchmark: the 1-thread batch solve over a 64-tensor subset of the
-//! paper workload shape, general vs precomputed vs unrolled kernels.
+//! paper workload shape, swept across every CPU kernel strategy.
 //! (The full 1024-tensor run lives in the `table3` binary; this keeps
 //! Criterion iterations tractable.)
 
-use bench::{bench_policy, Workload};
+use backend::{CpuSequential, KernelStrategy};
+use bench::{bench_policy, run_on, Workload};
 use criterion::{criterion_group, criterion_main, Criterion};
-use sshopm::{BatchSolver, Shift, SsHopm};
 use std::hint::black_box;
-use symtensor::kernels::{GeneralKernels, PrecomputedTables};
-use unrolled::UnrolledKernels;
 
 fn bench_batch(c: &mut Criterion) {
     let workload = Workload::random(64, 32, 4, 3, 5);
-    let solver = BatchSolver::new(SsHopm::new(Shift::Fixed(0.0)).with_policy(bench_policy()));
-    let tables = PrecomputedTables::new(4, 3);
-    let unroll = UnrolledKernels::for_shape(4, 3).unwrap();
 
     let mut group = c.benchmark_group("batch_64tensors_32starts");
     group.sample_size(10);
-    group.bench_function("general", |b| {
-        b.iter(|| {
-            black_box(solver.solve_sequential(&GeneralKernels, &workload.tensors, &workload.starts))
-        })
-    });
-    group.bench_function("precomputed", |b| {
-        b.iter(|| black_box(solver.solve_sequential(&tables, &workload.tensors, &workload.starts)))
-    });
-    group.bench_function("unrolled", |b| {
-        b.iter(|| black_box(solver.solve_sequential(&unroll, &workload.tensors, &workload.starts)))
-    });
+    for strategy in KernelStrategy::ALL {
+        let cpu = CpuSequential::new(strategy);
+        group.bench_function(strategy.name(), |b| {
+            b.iter(|| black_box(run_on(&cpu, &workload, bench_policy(), 0.0)))
+        });
+    }
     group.finish();
 }
 

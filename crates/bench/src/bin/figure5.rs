@@ -10,14 +10,13 @@
 //!
 //! Run with: `cargo run --release -p bench --bin figure5`
 
+use backend::KernelStrategy;
 use bench::{batch_flops, bench_metadata, gpu_row, run_cpu, write_bench_json, Workload};
 use serde::Value;
-use unrolled::UnrolledKernels;
 
 fn main() {
     let sizes = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
     let workload = Workload::paper_workload(2026);
-    let unrolled = UnrolledKernels::for_shape(4, 3).expect("(4,3) generated");
 
     println!(
         "Figure 5 reproduction: GFLOP/s vs number of tensors (unrolled kernels, V=128, {} iters)\n",
@@ -35,10 +34,17 @@ fn main() {
         let sub = workload.subset(t);
         let mut row = Vec::new();
         for threads in [1usize, 4, 8] {
-            let (secs, iters) = run_cpu(&sub, &unrolled, threads, bench::bench_policy(), 0.0);
+            let (secs, iters) = run_cpu(
+                &sub,
+                KernelStrategy::Unrolled,
+                threads,
+                bench::bench_policy(),
+                0.0,
+            );
             row.push(batch_flops(4, 3, iters) as f64 / secs / 1e9);
         }
-        let (gpu, report) = gpu_row(&sub, gpusim::GpuVariant::Unrolled);
+        let (gpu, report) = gpu_row(&sub, KernelStrategy::Unrolled);
+        let snap = &report.profiles[0].snapshot;
         let g = gpu.gflops();
         println!(
             "{:>6} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
@@ -50,20 +56,11 @@ fn main() {
             ("cpu_4_gflops", Value::Float(row[1])),
             ("cpu_8_gflops", Value::Float(row[2])),
             ("gpu_gflops", Value::Float(g)),
-            ("gpu_seconds", Value::Float(report.timing.seconds)),
-            (
-                "gpu_compute_seconds",
-                Value::Float(report.timing.compute_seconds),
-            ),
-            (
-                "gpu_memory_seconds",
-                Value::Float(report.timing.memory_seconds),
-            ),
+            ("gpu_seconds", Value::Float(report.seconds)),
+            ("gpu_compute_seconds", Value::Float(snap.compute_seconds)),
+            ("gpu_memory_seconds", Value::Float(snap.memory_seconds)),
             ("gpu_useful_flops", Value::UInt(report.useful_flops)),
-            (
-                "gpu_active_sms",
-                Value::UInt(report.timing.active_sms as u64),
-            ),
+            ("gpu_active_sms", Value::UInt(snap.active_sms as u64)),
         ]));
         cpu1_series.push(row[0]);
         gpu_series.push(g);

@@ -7,9 +7,11 @@
 //!
 //! Run with: `cargo run --release -p bench --bin shifts`
 
+use backend::{CpuParallel, KernelStrategy, SolveBackend};
 use bench::{bench_metadata, write_bench_json, Workload};
 use serde::Value;
 use sshopm::{IterationPolicy, Shift, SsHopm};
+use telemetry::Telemetry;
 
 fn main() {
     let workload = Workload::paper_workload(2026);
@@ -37,24 +39,22 @@ fn main() {
     ];
 
     let mut json_rows = Vec::new();
+    // The adaptive/convex shifts are CPU-only, so the whole sweep runs on
+    // the parallel CPU backend (all cores, general kernels).
+    let backend = CpuParallel::new(0, KernelStrategy::General);
     for (label, shift) in policies {
         let solver = SsHopm::new(shift).with_policy(IterationPolicy::Converge {
             tol: 1e-6,
             max_iters: 1000,
         });
-        let mut iters: Vec<usize> = Vec::new();
-        let mut converged = 0usize;
-        let mut total = 0usize;
-        for a in tensors {
-            for x0 in starts {
-                let pair = solver.solve(a, x0);
-                total += 1;
-                if pair.converged {
-                    converged += 1;
-                    iters.push(pair.iterations);
-                }
-            }
-        }
+        let report = backend.solve_batch(tensors, starts, &solver, &Telemetry::disabled());
+        let total = report.num_tensors() * report.num_starts();
+        let converged = report.num_converged() as usize;
+        let mut iters: Vec<usize> = report
+            .iter_flat()
+            .filter(|(_, _, p)| p.converged)
+            .map(|(_, _, p)| p.iterations)
+            .collect();
         iters.sort_unstable();
         let mean = iters.iter().sum::<usize>() as f64 / iters.len().max(1) as f64;
         let p95 = iters.get(iters.len() * 95 / 100).copied().unwrap_or(0);

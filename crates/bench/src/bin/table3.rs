@@ -10,14 +10,12 @@
 //!
 //! Run with: `cargo run --release -p bench --bin table3`
 
+use backend::KernelStrategy;
 use bench::{
     bench_metadata, cpu_rows, gpu_row, print_rows, rows_to_value, write_bench_json, MeasuredRow,
     Workload,
 };
-use gpusim::ProfileSnapshot;
 use serde::Value;
-use symtensor::kernels::GeneralKernels;
-use unrolled::UnrolledKernels;
 
 fn main() {
     let physical = std::thread::available_parallelism()
@@ -30,15 +28,14 @@ fn main() {
     println!("host has {physical} logical core(s); thread counts beyond that cannot speed up\n");
 
     let workload = Workload::paper_workload(2026);
-    let unrolled = UnrolledKernels::for_shape(4, 3).expect("(4,3) generated");
 
     // Measured CPU rows.
-    let general_rows = cpu_rows(&workload, &GeneralKernels, "general");
-    let unrolled_rows = cpu_rows(&workload, &unrolled, "unrolled");
+    let general_rows = cpu_rows(&workload, KernelStrategy::General, "general");
+    let unrolled_rows = cpu_rows(&workload, KernelStrategy::Unrolled, "unrolled");
 
     // Modeled GPU rows.
-    let (gpu_general, rep_g) = gpu_row(&workload, gpusim::GpuVariant::General);
-    let (gpu_unrolled, rep_u) = gpu_row(&workload, gpusim::GpuVariant::Unrolled);
+    let (gpu_general, rep_g) = gpu_row(&workload, KernelStrategy::General);
+    let (gpu_unrolled, rep_u) = gpu_row(&workload, KernelStrategy::Unrolled);
 
     let mut all: Vec<MeasuredRow> = Vec::new();
     all.extend(general_rows.iter().cloned());
@@ -105,30 +102,30 @@ fn main() {
     // GPU model detail.
     println!("\nGPU model detail (Tesla C2050):");
     for rep in [&rep_g, &rep_u] {
+        let snap = &rep.profiles[0].snapshot;
         println!(
             "  {:<9} occupancy {:>2} blocks/SM ({:>3.0}%, {}), est {:.2} ms, {:.1} GFLOP/s ({:.0}% of peak)",
-            rep.variant.name(),
-            rep.occupancy.blocks_per_sm,
-            rep.occupancy.fraction * 100.0,
-            rep.occupancy.limiter,
-            rep.timing.seconds * 1e3,
-            rep.gflops,
-            100.0 * rep.gflops / gpusim::DeviceSpec::tesla_c2050().peak_sp_gflops()
+            rep.kernel,
+            snap.blocks_per_sm,
+            snap.occupancy * 100.0,
+            snap.occupancy_limiter,
+            rep.seconds * 1e3,
+            rep.gflops(),
+            100.0 * rep.gflops() / gpusim::DeviceSpec::tesla_c2050().peak_sp_gflops()
         );
     }
     println!("  paper: general 17.0 GFLOP/s, unrolled 317.8 GFLOP/s (31% of peak)");
 
     // Machine-readable export: every row plus the GPU model's full
     // profile (counter breakdown, occupancy, timing components).
-    let device = gpusim::DeviceSpec::tesla_c2050();
     let report = Value::object(vec![
         ("meta", bench_metadata("table3")),
         ("rows", rows_to_value(&all)),
         (
             "gpu_profiles",
             Value::Seq(vec![
-                serde::Serialize::to_value(&ProfileSnapshot::from_report(&device, &rep_g)),
-                serde::Serialize::to_value(&ProfileSnapshot::from_report(&device, &rep_u)),
+                serde::Serialize::to_value(&rep_g.profiles[0].snapshot),
+                serde::Serialize::to_value(&rep_u.profiles[0].snapshot),
             ]),
         ),
         (
@@ -163,12 +160,12 @@ fn main() {
         gpusim::DeviceSpec::tesla_c2050(),
         gpusim::DeviceSpec::gtx_580(),
     ] {
-        let (_, rep) = bench::gpu_row_on(&workload, gpusim::GpuVariant::Unrolled, &device);
+        let (_, rep) = bench::gpu_row_on(&workload, KernelStrategy::Unrolled, device.clone());
         println!(
             "  {:<26} {:>8.1} GFLOP/s = {:>4.1}% of {:>6.0} peak",
             device.name,
-            rep.gflops,
-            100.0 * rep.gflops / device.peak_sp_gflops(),
+            rep.gflops(),
+            100.0 * rep.gflops() / device.peak_sp_gflops(),
             device.peak_sp_gflops()
         );
     }

@@ -2,12 +2,13 @@
 //! measurement and table formatting shared by the `table*`/`figure5`
 //! reproduction binaries and the Criterion benches.
 
+use backend::{BackendSpec, BatchReport, GpuSimBackend, KernelStrategy, SolveBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sshopm::{BatchSolver, IterationPolicy, Shift, SsHopm};
-use std::time::Instant;
+use sshopm::{IterationPolicy, Shift, SsHopm};
+use telemetry::Telemetry;
 
-use symtensor::{flops, SymTensor, TensorKernels};
+use symtensor::{flops, SymTensor};
 
 /// The paper's workload constants (Section V-A/V-C): T = 1024 tensors,
 /// U = 15 unique entries (m = 4, n = 3), V = 128 starting vectors.
@@ -110,24 +111,39 @@ impl MeasuredRow {
     }
 }
 
-/// Run the CPU batch solver with a given kernel implementation and thread
-/// count; returns the wall time and total iterations.
-pub fn run_cpu<K: TensorKernels<f32> + Sync>(
+/// Run the workload on a CPU backend with the given kernel strategy and
+/// thread count; returns the wall time and total iterations.
+pub fn run_cpu(
     workload: &Workload,
-    kernels: &K,
+    strategy: KernelStrategy,
     threads: usize,
     policy: IterationPolicy,
     alpha: f64,
 ) -> (f64, u64) {
-    let solver = BatchSolver::new(SsHopm::new(Shift::Fixed(alpha)).with_policy(policy))
-        .with_threads(threads);
-    let start = Instant::now();
-    let result = if threads == 1 {
-        solver.solve_sequential(kernels, &workload.tensors, &workload.starts)
-    } else {
-        solver.solve_parallel(kernels, &workload.tensors, &workload.starts)
-    };
-    (start.elapsed().as_secs_f64(), result.total_iterations)
+    let report = run_on(
+        &*BackendSpec::Cpu { threads }.build::<f32>(strategy),
+        workload,
+        policy,
+        alpha,
+    );
+    (report.seconds, report.total_iterations)
+}
+
+/// Run the workload through any [`SolveBackend`] and return the full
+/// unified report.
+pub fn run_on(
+    backend: &dyn SolveBackend<f32>,
+    workload: &Workload,
+    policy: IterationPolicy,
+    alpha: f64,
+) -> BatchReport<f32> {
+    let solver = SsHopm::new(Shift::Fixed(alpha)).with_policy(policy);
+    backend.solve_batch(
+        &workload.tensors,
+        &workload.starts,
+        &solver,
+        &Telemetry::disabled(),
+    )
 }
 
 /// The iteration policy used by all Table III / Figure 5 runs: a fixed
@@ -145,14 +161,10 @@ pub fn bench_policy() -> IterationPolicy {
 /// implementation. On hosts with fewer physical cores than threads the
 /// measured times won't scale — the binaries print both measured values
 /// and the physical core count so the reader can judge.
-pub fn cpu_rows<K: TensorKernels<f32> + Sync>(
-    workload: &Workload,
-    kernels: &K,
-    label: &str,
-) -> Vec<MeasuredRow> {
+pub fn cpu_rows(workload: &Workload, strategy: KernelStrategy, label: &str) -> Vec<MeasuredRow> {
     let mut rows = Vec::new();
     for threads in [1usize, 4, 8] {
-        let (secs, iters) = run_cpu(workload, kernels, threads, bench_policy(), paper::ALPHA);
+        let (secs, iters) = run_cpu(workload, strategy, threads, bench_policy(), paper::ALPHA);
         rows.push(MeasuredRow {
             label: format!(
                 "CPU - {threads} core{} ({label})",
@@ -165,32 +177,30 @@ pub fn cpu_rows<K: TensorKernels<f32> + Sync>(
     rows
 }
 
-/// The modeled GPU row for one variant on the paper's Tesla C2050.
-pub fn gpu_row(
-    workload: &Workload,
-    variant: gpusim::GpuVariant,
-) -> (MeasuredRow, gpusim::LaunchReport) {
-    gpu_row_on(workload, variant, &gpusim::DeviceSpec::tesla_c2050())
+/// The modeled GPU row for one kernel strategy on the paper's Tesla C2050.
+pub fn gpu_row(workload: &Workload, strategy: KernelStrategy) -> (MeasuredRow, BatchReport<f32>) {
+    gpu_row_on(workload, strategy, gpusim::DeviceSpec::tesla_c2050())
 }
 
-/// The modeled GPU row for one variant on an arbitrary device.
+/// The modeled GPU row for one kernel strategy on an arbitrary device.
+/// The report's `profiles[0].snapshot` carries the occupancy/timing detail
+/// the table binaries print.
 pub fn gpu_row_on(
     workload: &Workload,
-    variant: gpusim::GpuVariant,
-    device: &gpusim::DeviceSpec,
-) -> (MeasuredRow, gpusim::LaunchReport) {
-    let (_, report) = gpusim::launch_sshopm(
-        device,
-        &workload.tensors,
-        &workload.starts,
+    strategy: KernelStrategy,
+    device: gpusim::DeviceSpec,
+) -> (MeasuredRow, BatchReport<f32>) {
+    let name = device.name;
+    let report = run_on(
+        &GpuSimBackend::new(device, strategy),
+        workload,
         bench_policy(),
         paper::ALPHA,
-        variant,
     );
     (
         MeasuredRow {
-            label: format!("GPU model ({}, {})", variant.name(), device.name),
-            seconds: report.timing.seconds,
+            label: format!("GPU model ({}, {})", report.kernel, name),
+            seconds: report.seconds,
             useful_flops: report.useful_flops,
         },
         report,
@@ -257,7 +267,6 @@ pub fn write_bench_json(name: &str, value: &serde::Value) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use symtensor::kernels::GeneralKernels;
     use unrolled::UnrolledKernels;
 
     #[test]
@@ -282,7 +291,7 @@ mod tests {
     #[test]
     fn cpu_run_counts_iterations() {
         let w = Workload::random(4, 4, 4, 3, 2);
-        let (secs, iters) = run_cpu(&w, &GeneralKernels, 1, bench_policy(), 0.0);
+        let (secs, iters) = run_cpu(&w, KernelStrategy::General, 1, bench_policy(), 0.0);
         assert!(secs > 0.0);
         assert_eq!(iters, 4 * 4 * BENCH_ITERS as u64);
         assert_eq!(
@@ -294,10 +303,32 @@ mod tests {
     #[test]
     fn gpu_row_reports() {
         let w = Workload::random(8, 32, 4, 3, 3);
-        let (row, report) = gpu_row(&w, gpusim::GpuVariant::Unrolled);
+        let (row, report) = gpu_row(&w, KernelStrategy::Unrolled);
         assert!(row.seconds > 0.0);
         assert!(row.gflops() > 0.0);
-        assert_eq!(report.grid.num_blocks, 8);
+        assert_eq!(report.kernel, "unrolled");
+        assert_eq!(report.profiles.len(), 1);
+        assert_eq!(report.profiles[0].snapshot.num_blocks, 8);
+    }
+
+    #[test]
+    fn run_on_accepts_any_backend() {
+        use backend::CpuSequential;
+        let w = Workload::random(3, 5, 4, 3, 4);
+        let cpu = run_on(
+            &CpuSequential::new(KernelStrategy::General),
+            &w,
+            bench_policy(),
+            0.0,
+        );
+        let gpu = run_on(
+            &GpuSimBackend::new(gpusim::DeviceSpec::tesla_c2050(), KernelStrategy::General),
+            &w,
+            bench_policy(),
+            0.0,
+        );
+        assert_eq!(cpu.total_iterations, gpu.total_iterations);
+        assert_eq!(cpu.num_tensors(), gpu.num_tensors());
     }
 
     #[test]

@@ -4,10 +4,13 @@
 
 use crate::args::Args;
 use crate::CmdError;
-use gpusim::ProfileSnapshot;
+use backend::{
+    BackendSpec, CpuParallel, GpuSimBackend, KernelStrategy, MultiGpuBackend, SolveBackend,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sshopm::{multistart, DedupConfig, IterationPolicy, Shift, SsHopm};
+use sshopm::{spectrum_from_pairs, DedupConfig, IterationPolicy, Shift, SsHopm};
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use symtensor::io::{read_tensors, write_tensors};
@@ -38,6 +41,60 @@ fn parse_shift(s: Option<&str>) -> Result<Shift, CmdError> {
             .map(Shift::Fixed)
             .map_err(|_| CmdError(format!("invalid --shift {v:?}"))),
     }
+}
+
+/// Parse `--backend` (default `cpu`) and `--kernel` (default `general`)
+/// into a built [`SolveBackend`] plus its parsed spec.
+fn parse_backend(args: &Args) -> Result<(BackendSpec, Box<dyn SolveBackend<f64>>), CmdError> {
+    let spec: BackendSpec = args.get("backend").unwrap_or("cpu").parse()?;
+    let strategy = match args.get("kernel") {
+        None => KernelStrategy::General,
+        Some(k) => KernelStrategy::parse(k)?,
+    };
+    Ok((spec, spec.build::<f64>(strategy)))
+}
+
+/// Validate/adjust the shift for a GPU-simulated backend, which only
+/// supports fixed shifts: an *explicit* non-numeric `--shift` is a clean
+/// error; with no explicit shift the paper's `α = 0` is used.
+fn gpu_shift(explicit: Option<&str>, shift: Shift) -> Result<Shift, CmdError> {
+    match (explicit, shift) {
+        (_, Shift::Fixed(_)) => Ok(shift),
+        (None, _) => Ok(Shift::Fixed(0.0)),
+        (Some(s), _) => Err(CmdError(format!(
+            "--shift {s} is CPU-only: gpusim backends support only fixed numeric shifts \
+             (e.g. --shift 0); use --backend cpu for adaptive/convex shifts"
+        ))),
+    }
+}
+
+/// Group tensor indices by shape so each [`SolveBackend::solve_batch`]
+/// call sees one homogeneous batch (order preserved within a group).
+fn shape_groups(tensors: &[SymTensor<f64>]) -> BTreeMap<(usize, usize), Vec<usize>> {
+    let mut groups: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    for (i, a) in tensors.iter().enumerate() {
+        groups.entry((a.order(), a.dim())).or_default().push(i);
+    }
+    groups
+}
+
+/// Run fiber extraction for every tensor through `backend`, batching by
+/// shape; results come back in the original tensor order.
+fn extract_fibers_grouped(
+    tensors: &[SymTensor<f64>],
+    cfg: &dwmri::ExtractConfig,
+    backend: &dyn SolveBackend<f64>,
+    telemetry: &Telemetry,
+) -> Vec<Vec<dwmri::FiberEstimate>> {
+    let mut result: Vec<Vec<dwmri::FiberEstimate>> = vec![Vec::new(); tensors.len()];
+    for idxs in shape_groups(tensors).values() {
+        let group: Vec<SymTensor<f64>> = idxs.iter().map(|&i| tensors[i].clone()).collect();
+        let fibers = dwmri::extract_fibers_with(&group, cfg, backend, telemetry);
+        for (f, &i) in fibers.into_iter().zip(idxs) {
+            result[i] = f;
+        }
+    }
+    result
 }
 
 /// `random <m> <n> <count> --out FILE [--seed S]`
@@ -105,13 +162,14 @@ fn inner_info(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     Ok(())
 }
 
-/// `solve <file> [--starts N] [--shift ...] [--tol T] [--refine] [--all]`
+/// `solve <file> [--backend B] [--kernel K] [--starts N] [--shift ...]
+/// [--tol T] [--refine] [--all]`
 pub fn solve(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
     solve_instrumented(argv, out, &Telemetry::disabled())
 }
 
-/// [`solve`] with a live telemetry pipeline: times the multistart sweep
-/// per tensor and counts eigenpairs/failures.
+/// [`solve`] with a live telemetry pipeline: the backend batch records
+/// progress spans/counters, plus per-tensor eigenpair/failure counts.
 pub fn solve_instrumented(
     argv: Vec<String>,
     out: &mut dyn Write,
@@ -123,32 +181,49 @@ pub fn solve_instrumented(
 fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -> CmdResult {
     let args = Args::parse(
         argv,
-        &["starts", "shift", "tol", "seed"],
+        &["starts", "shift", "tol", "seed", "backend", "kernel"],
         &["refine", "all"],
     )?;
     let path = args.positional(0, "file")?;
     let starts_count: usize = args.get_parsed("starts", 32)?;
     let tol: f64 = args.get_parsed("tol", 1e-12)?;
-    let shift = parse_shift(args.get("shift"))?;
+    let mut shift = parse_shift(args.get("shift"))?;
     let refine = args.flag("refine");
     let show_all = args.flag("all");
+    let (spec, backend) = parse_backend(&args)?;
+    if spec.is_gpu() {
+        shift = gpu_shift(args.get("shift"), shift)?;
+    }
 
     let tensors = load_tensors(path)?;
     let _cmd_span = telemetry.span("cli.solve");
     let solver = SsHopm::new(shift).with_tolerance(tol);
-    for (i, a) in tensors.iter().enumerate() {
-        let starts = if a.dim() == 3 {
+
+    // One batched solve per tensor shape, all through the same backend;
+    // the spectra are then reported in the original tensor order.
+    let mut spectra: Vec<Option<sshopm::Spectrum<f64>>> = vec![None; tensors.len()];
+    let mut summaries = Vec::new();
+    for ((_, n), idxs) in shape_groups(&tensors) {
+        let starts = if n == 3 {
             sshopm::starts::fibonacci_sphere::<f64>(starts_count)
         } else {
             let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0)?);
-            sshopm::starts::random_gaussian_starts::<f64, _>(a.dim(), starts_count, &mut rng)
+            sshopm::starts::random_gaussian_starts::<f64, _>(n, starts_count, &mut rng)
         };
-        let spectrum = telemetry.time("solve.multistart", || {
-            multistart(&solver, a, &starts, &DedupConfig::default(), 1e-5)
-        });
-        telemetry.counter("solve.tensors", 1);
-        telemetry.counter("solve.eigenpairs", spectrum.entries.len() as u64);
-        telemetry.counter("solve.failures", spectrum.failures as u64);
+        let group: Vec<SymTensor<f64>> = idxs.iter().map(|&i| tensors[i].clone()).collect();
+        let report = backend.solve_batch(&group, &starts, &solver, telemetry);
+        telemetry.counter("solve.tensors", group.len() as u64);
+        summaries.push(report.summary());
+        for (pairs, &i) in report.results.into_iter().zip(&idxs) {
+            let spectrum = spectrum_from_pairs(&tensors[i], pairs, &DedupConfig::default(), 1e-5);
+            telemetry.counter("solve.eigenpairs", spectrum.entries.len() as u64);
+            telemetry.counter("solve.failures", spectrum.failures as u64);
+            spectra[i] = Some(spectrum);
+        }
+    }
+
+    for (i, a) in tensors.iter().enumerate() {
+        let spectrum = spectra[i].take().expect("every tensor was solved");
         writeln!(
             out,
             "tensor {i}: {} distinct eigenpairs from {} starts ({} failures)",
@@ -186,6 +261,9 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) ->
                 continue;
             }
         }
+    }
+    for summary in &summaries {
+        writeln!(out, "{summary}")?;
     }
     Ok(())
 }
@@ -225,32 +303,48 @@ fn inner_phantom(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     Ok(())
 }
 
-/// `fibers <file> [--starts N] [--max-fibers K]`
+/// `fibers <file> [--backend B] [--kernel K] [--shift ...] [--starts N]
+/// [--max-fibers K]`
 pub fn fibers(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
     inner_fibers(argv, out).map_err(|e| e.0)
 }
 
 fn inner_fibers(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
-    let args = Args::parse(argv, &["starts", "max-fibers"], &[])?;
+    let args = Args::parse(
+        argv,
+        &["starts", "max-fibers", "shift", "backend", "kernel"],
+        &[],
+    )?;
     let path = args.positional(0, "file")?;
     let tensors = load_tensors(path)?;
+    let (spec, backend) = parse_backend(&args)?;
+    let mut shift = match args.get("shift") {
+        None => dwmri::ExtractConfig::default().shift,
+        Some(_) => parse_shift(args.get("shift"))?,
+    };
+    if spec.is_gpu() {
+        shift = gpu_shift(args.get("shift"), shift)?;
+    }
     let cfg = dwmri::ExtractConfig {
         num_starts: args.get_parsed("starts", 64)?,
         max_fibers: args.get_parsed("max-fibers", 3)?,
+        shift,
         ..Default::default()
     };
-    let mut counts = [0usize; 4];
-    for (i, a) in tensors.iter().enumerate() {
+    for a in &tensors {
         if a.dim() != 3 {
             return Err(CmdError(format!(
                 "fiber extraction needs dimension-3 tensors, file has n={}",
                 a.dim()
             )));
         }
-        let fibers = dwmri::extract_fibers(a, &cfg);
+    }
+    let all_fibers = extract_fibers_grouped(&tensors, &cfg, &*backend, &Telemetry::disabled());
+    let mut counts = [0usize; 4];
+    for (i, fibers) in all_fibers.iter().enumerate() {
         counts[fibers.len().min(3)] += 1;
         write!(out, "voxel {i}: {} fiber(s)", fibers.len())?;
-        for f in &fibers {
+        for f in fibers {
             write!(
                 out,
                 "  [{:.4} {:.4} {:.4}] (lambda {:.4})",
@@ -342,10 +436,8 @@ fn inner_tract(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
         num_starts: starts,
         ..Default::default()
     };
-    let fibers: Vec<Vec<dwmri::FiberEstimate>> = tensors
-        .iter()
-        .map(|a| dwmri::extract_fibers(a, &cfg))
-        .collect();
+    let backend = CpuParallel::new(0, KernelStrategy::General);
+    let fibers = extract_fibers_grouped(&tensors, &cfg, &backend, &Telemetry::disabled());
     let field = dwmri::FiberField::new(width, height, fibers);
 
     // Evenly spaced seeds along the left edge.
@@ -371,13 +463,22 @@ fn inner_tract(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     Ok(())
 }
 
+/// Parse `--variant` (the GPU-side kernel choice) into a strategy.
+fn parse_variant(s: Option<&str>) -> Result<KernelStrategy, CmdError> {
+    match s {
+        None | Some("unrolled") => Ok(KernelStrategy::Unrolled),
+        Some("general") => Ok(KernelStrategy::General),
+        Some(v) => Err(CmdError(format!("invalid --variant {v:?}"))),
+    }
+}
+
 /// `gpu <file> [--starts N] [--variant V] [--devices K] [--iters I]`
 pub fn gpu(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
     gpu_instrumented(argv, out, &Telemetry::disabled())
 }
 
-/// [`gpu`] with a live telemetry pipeline: times the launch and emits a
-/// [`ProfileSnapshot`] event per device slice.
+/// [`gpu`] with a live telemetry pipeline: the backend times the launch
+/// and emits a profile-snapshot event per device slice.
 pub fn gpu_instrumented(
     argv: Vec<String>,
     out: &mut dyn Write,
@@ -396,11 +497,7 @@ fn inner_gpu(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -> C
     let starts_count: usize = args.get_parsed("starts", 128)?;
     let devices: usize = args.get_parsed("devices", 1)?;
     let iters: usize = args.get_parsed("iters", 20)?;
-    let variant = match args.get("variant") {
-        None | Some("unrolled") => gpusim::GpuVariant::Unrolled,
-        Some("general") => gpusim::GpuVariant::General,
-        Some(v) => return Err(CmdError(format!("invalid --variant {v:?}"))),
-    };
+    let strategy = parse_variant(args.get("variant"))?;
 
     let tensors64 = load_tensors(path)?;
     if tensors64.is_empty() {
@@ -408,32 +505,25 @@ fn inner_gpu(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -> C
     }
     let tensors: Vec<SymTensor<f32>> = tensors64.iter().map(|t| t.to_f32()).collect();
     let (m, n) = (tensors[0].order(), tensors[0].dim());
-    if variant == gpusim::GpuVariant::Unrolled
-        && unrolled::UnrolledKernels::for_shape(m, n).is_none()
-    {
-        return Err(CmdError(format!(
-            "no unrolled kernel generated for shape ({m},{n}); use --variant general"
-        )));
-    }
     let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0)?);
     let starts = sshopm::starts::random_uniform_starts::<f32, _>(n, starts_count, &mut rng);
 
-    let spec = gpusim::DeviceSpec::tesla_c2050();
-    let mg = gpusim::MultiGpu::homogeneous(
+    let backend = MultiGpuBackend::homogeneous(
         gpusim::DeviceSpec::tesla_c2050(),
         devices,
         gpusim::TransferModel::pcie2(),
+        strategy,
     );
+    let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(iters));
     let _launch_span = telemetry.span("cli.gpu");
-    let (_, report) = mg.launch(
-        &tensors,
-        &starts,
-        IterationPolicy::Fixed(iters),
-        0.0,
-        variant,
-    );
-    for slice in &report.slices {
-        ProfileSnapshot::from_report(&spec, &slice.report).emit(telemetry);
+    let report = backend.solve_batch(&tensors, &starts, &solver, telemetry);
+    if report.kernel != strategy.name() {
+        writeln!(
+            out,
+            "note: no {} kernel for shape ({m},{n}); falling back to {}",
+            strategy.name(),
+            report.kernel
+        )?;
     }
     writeln!(
         out,
@@ -441,26 +531,26 @@ fn inner_gpu(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -> C
         tensors.len(),
         starts_count,
         iters,
-        variant.name(),
+        report.kernel,
         devices
     )?;
-    for slice in &report.slices {
+    for p in &report.profiles {
         writeln!(
             out,
             "  device {}: {} tensors, occupancy {} blocks/SM ({}), kernel {:.3} ms + transfer {:.3} ms",
-            slice.device_index,
-            slice.num_tensors,
-            slice.report.occupancy.blocks_per_sm,
-            slice.report.occupancy.limiter,
-            slice.report.timing.seconds * 1e3,
-            slice.transfer_seconds * 1e3,
+            p.device_index,
+            p.num_tensors,
+            p.snapshot.blocks_per_sm,
+            p.snapshot.occupancy_limiter,
+            p.snapshot.seconds * 1e3,
+            p.transfer_seconds * 1e3,
         )?;
     }
     writeln!(
         out,
         "estimated wall-clock {:.3} ms, {:.1} GFLOP/s aggregate",
         report.seconds * 1e3,
-        report.gflops
+        report.gflops()
     )?;
     Ok(())
 }
@@ -468,10 +558,10 @@ fn inner_gpu(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -> C
 /// `profile [file] [--tensors T] [--m M] [--n N] [--starts N]
 /// [--variant V] [--iters I] [--device D] [--seed S]`
 ///
-/// Runs one simulated kernel launch and dumps the full
-/// [`ProfileSnapshot`] — counter breakdown, occupancy, divergence and
-/// coalescing statistics, timing components — as pretty JSON. Without a
-/// tensor file it profiles a synthetic random workload.
+/// Runs one simulated kernel launch through a [`GpuSimBackend`] and dumps
+/// the full profile snapshot — counter breakdown, occupancy, divergence
+/// and coalescing statistics, timing components — as pretty JSON. Without
+/// a tensor file it profiles a synthetic random workload.
 pub fn profile(
     argv: Vec<String>,
     out: &mut dyn Write,
@@ -507,19 +597,8 @@ fn inner_profile(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) 
                 .collect()
         }
     };
-    let (m, n) = (tensors[0].order(), tensors[0].dim());
-    let variant = match args.get("variant") {
-        None | Some("unrolled") => gpusim::GpuVariant::Unrolled,
-        Some("general") => gpusim::GpuVariant::General,
-        Some(v) => return Err(CmdError(format!("invalid --variant {v:?}"))),
-    };
-    if variant == gpusim::GpuVariant::Unrolled
-        && unrolled::UnrolledKernels::for_shape(m, n).is_none()
-    {
-        return Err(CmdError(format!(
-            "no unrolled kernel generated for shape ({m},{n}); use --variant general"
-        )));
-    }
+    let n = tensors[0].dim();
+    let strategy = parse_variant(args.get("variant"))?;
     let device = match args.get("device") {
         None | Some("c2050") => gpusim::DeviceSpec::tesla_c2050(),
         Some("c1060") => gpusim::DeviceSpec::tesla_c1060(),
@@ -530,18 +609,11 @@ fn inner_profile(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) 
     let iters: usize = args.get_parsed("iters", 20)?;
     let starts = sshopm::starts::random_uniform_starts::<f32, _>(n, starts_count, &mut rng);
 
+    let backend = GpuSimBackend::new(device, strategy);
+    let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(iters));
     let _span = telemetry.span("cli.profile");
-    let (_, report) = gpusim::launch_sshopm(
-        &device,
-        &tensors,
-        &starts,
-        IterationPolicy::Fixed(iters),
-        0.0,
-        variant,
-    );
-    let snapshot = ProfileSnapshot::from_report(&device, &report);
-    snapshot.emit(telemetry);
-    writeln!(out, "{}", snapshot.to_json_pretty())?;
+    let report = backend.solve_batch(&tensors, &starts, &solver, telemetry);
+    writeln!(out, "{}", report.profiles[0].snapshot.to_json_pretty())?;
     Ok(())
 }
 
@@ -639,14 +711,17 @@ mod tests {
     }
 
     #[test]
-    fn gpu_rejects_ungenerated_unrolled_shape() {
+    fn gpu_falls_back_for_ungenerated_unrolled_shape() {
         let path = tmp("gpu59.txt");
         let mut out = Vec::new();
         random(sv(&["5", "9", "2", "--out", &path]), &mut out).unwrap();
+        // Default (unrolled) on an ungenerated shape falls back with a note.
         let mut out = Vec::new();
-        let err = gpu(sv(&[&path]), &mut out).unwrap_err();
-        assert!(err.contains("no unrolled kernel"), "{err}");
-        // The general variant works.
+        gpu(sv(&[&path, "--iters", "2", "--starts", "8"]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("falling back to general"), "{text}");
+        assert!(text.contains("(general kernel)"), "{text}");
+        // Asking for the general variant directly emits no note.
         let mut out = Vec::new();
         gpu(
             sv(&[
@@ -661,6 +736,8 @@ mod tests {
             &mut out,
         )
         .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(!text.contains("falling back"), "{text}");
         std::fs::remove_file(&path).ok();
     }
 
@@ -789,10 +866,20 @@ mod tests {
             .and_then(serde::Value::as_str)
             .unwrap()
             .contains("GTX 580"));
-        // Unrolled on an ungenerated shape is a clean error.
+        // Unrolled on an ungenerated shape silently resolves to general.
         let mut out = Vec::new();
-        let err = profile(sv(&[&path]), &mut out, &Telemetry::disabled()).unwrap_err();
-        assert!(err.contains("no unrolled kernel"), "{err}");
+        profile(
+            sv(&[&path, "--starts", "4", "--iters", "2"]),
+            &mut out,
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let v = serde::Value::parse_json(&text).unwrap();
+        assert_eq!(
+            v.get("variant").and_then(serde::Value::as_str),
+            Some("general")
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -838,7 +925,71 @@ mod tests {
         let snap = tel.snapshot();
         assert_eq!(snap.counter("solve.tensors"), Some(2));
         assert!(snap.counter("solve.eigenpairs").unwrap_or(0) >= 2);
-        assert_eq!(snap.span("solve.multistart").map(|s| s.count), Some(2));
+        // The batch goes through the backend layer: one batched solve of
+        // both tensors, with per-tensor/per-solve progress counters.
+        assert_eq!(snap.span("batch.solve").map(|s| s.count), Some(1));
+        assert_eq!(snap.counter("batch.tensors_done"), Some(2));
+        assert_eq!(snap.counter("batch.solves"), Some(16));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_backend_flag_routes_cpu_and_gpu() {
+        let path = tmp("solvebk.txt");
+        let mut out = Vec::new();
+        random(
+            sv(&["4", "3", "3", "--out", &path, "--seed", "5"]),
+            &mut out,
+        )
+        .unwrap();
+        // Same workload through a CPU pool and the simulated GPU: both
+        // print a comparable one-line backend summary.
+        let mut out = Vec::new();
+        solve(
+            sv(&[&path, "--starts", "8", "--backend", "cpu:4"]),
+            &mut out,
+        )
+        .unwrap();
+        let cpu_text = String::from_utf8(out).unwrap();
+        assert!(
+            cpu_text.contains("backend cpu:4 (general kernel)"),
+            "{cpu_text}"
+        );
+        assert!(cpu_text.contains("3 tensors x 8 starts"), "{cpu_text}");
+
+        let mut out = Vec::new();
+        solve(
+            sv(&[
+                &path,
+                "--starts",
+                "8",
+                "--backend",
+                "gpusim",
+                "--shift",
+                "0",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let gpu_text = String::from_utf8(out).unwrap();
+        assert!(
+            gpu_text.contains("backend gpusim:tesla-c2050 (general kernel)"),
+            "{gpu_text}"
+        );
+        assert!(gpu_text.contains("3 tensors x 8 starts"), "{gpu_text}");
+
+        // A GPU backend with a non-numeric shift is a clean error.
+        let mut out = Vec::new();
+        let err = solve(
+            sv(&[&path, "--backend", "gpusim", "--shift", "adaptive"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.contains("CPU-only"), "{err}");
+        // A malformed backend spec is a clean error too.
+        let mut out = Vec::new();
+        let err = solve(sv(&[&path, "--backend", "cpu:"]), &mut out).unwrap_err();
+        assert!(err.contains("thread count"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -4,15 +4,27 @@
 //!
 //! * `random <m> <n> <count> --out FILE [--seed S]` — generate tensors;
 //! * `info <file>` — shape/count summary of a tensor file;
-//! * `solve <file> [--starts N] [--shift convex|concave|adaptive|FLOAT]
-//!   [--tol T] [--refine]` — eigenpairs per tensor;
+//! * `solve <file> [--backend B] [--kernel K] [--starts N]
+//!   [--shift convex|concave|adaptive|FLOAT] [--tol T] [--refine]` —
+//!   eigenpairs per tensor, batched through any execution backend;
 //! * `phantom --out FILE [--width W --height H --noise X --seed S]` —
 //!   DW-MRI phantom tensors;
-//! * `fibers <file> [--starts N] [--max-fibers K]` — fiber directions;
+//! * `fibers <file> [--backend B] [--kernel K] [--starts N]
+//!   [--max-fibers K]` — fiber directions;
 //! * `gpu <file> [--starts N] [--variant general|unrolled] [--devices K]
 //!   [--iters I]` — batched solve on the simulated GPU;
 //! * `profile [file]` — run one simulated GPU launch and dump the full
 //!   [`gpusim::ProfileSnapshot`] as pretty JSON.
+//!
+//! `--backend` takes a [`backend::BackendSpec`] string — `cpu` (default,
+//! sequential), `cpu:8` / `cpu:all` (rayon pool), `gpusim` (one simulated
+//! Tesla C2050), `gpusim:gtx-580`, or `gpusim:tesla-c2050:4` (multi-GPU) —
+//! and `--kernel` a [`backend::KernelStrategy`]
+//! (`general|blocked|precomputed|unrolled`, with automatic shape
+//! fallback). Every batched solve runs through the same
+//! [`backend::SolveBackend`] trait, so CPU and simulated-GPU runs print
+//! directly comparable summaries. The simulated GPU supports only fixed
+//! numeric shifts.
 //!
 //! Global options, accepted before or after the subcommand:
 //!
@@ -158,9 +170,9 @@ pub fn usage() -> String {
      commands:\n\
      \x20 random <m> <n> <count> --out FILE [--seed S]\n\
      \x20 info <file>\n\
-     \x20 solve <file> [--starts N] [--shift convex|concave|adaptive|FLOAT] [--tol T] [--seed S] [--refine] [--all]\n\
+     \x20 solve <file> [--backend B] [--kernel K] [--starts N] [--shift convex|concave|adaptive|FLOAT] [--tol T] [--seed S] [--refine] [--all]\n\
      \x20 phantom --out FILE [--width W] [--height H] [--noise X] [--seed S]\n\
-     \x20 fibers <file> [--starts N] [--max-fibers K]\n\
+     \x20 fibers <file> [--backend B] [--kernel K] [--shift ...] [--starts N] [--max-fibers K]\n\
      \x20 decompose <file> [--terms K] [--starts N] [--tol T]\n\
      \x20 tract <file> --width W [--height H] [--starts N] [--seeds K]\n\
      \x20 gpu <file> [--starts N] [--variant general|unrolled] [--devices K] [--iters I] [--seed S]\n\
@@ -173,7 +185,12 @@ pub fn usage() -> String {
      \x20 --trace-out PATH     write a chrome://tracing trace JSON to PATH\n\
      notes:\n\
      \x20 --seed S seeds the deterministic RNG (default 0) wherever random\n\
-     \x20 tensors or random starting vectors are drawn."
+     \x20 tensors or random starting vectors are drawn.\n\
+     \x20 --backend B picks where batched solves run: cpu (default), cpu:K,\n\
+     \x20 cpu:all, gpusim, gpusim:<device>[:count] with devices tesla-c2050,\n\
+     \x20 tesla-c1060, gtx-580. gpusim backends need a fixed numeric --shift.\n\
+     \x20 --kernel K picks how contractions are computed: general, blocked,\n\
+     \x20 precomputed, unrolled (auto-fallback for unavailable shapes)."
         .to_string()
 }
 
@@ -323,6 +340,9 @@ mod tests {
             "--metrics-out",
             "--trace-out",
             "--seed S",
+            "--backend B",
+            "--kernel K",
+            "gpusim:<device>[:count]",
             "profile",
         ] {
             assert!(u.contains(needle), "usage missing {needle}");

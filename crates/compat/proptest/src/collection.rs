@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use rand::Rng;
 use std::ops::{Range, RangeInclusive};
 
-/// Length specification accepted by [`vec`]: a fixed `usize` or a range.
+/// Length specification accepted by [`vec()`](fn@vec): a fixed `usize` or a range.
 pub trait SizeRange {
     /// Draw a concrete length.
     fn pick(&self, rng: &mut TestRng) -> usize;
@@ -36,7 +36,7 @@ pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S, impl
     VecStrategy { element, size }
 }
 
-/// See [`vec`].
+/// See [`vec()`](fn@vec).
 pub struct VecStrategy<S, Z> {
     element: S,
     size: Z,

@@ -54,65 +54,29 @@ impl BatchSolver {
         Self { solver, threads: 0 }
     }
 
-    /// Restrict the solve to `threads` worker threads (0 = rayon default).
+    /// Restrict the solve to `threads` worker threads (0 = rayon default,
+    /// 1 = strictly sequential on the calling thread).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
     }
 
-    /// Solve every tensor from every starting vector, sequentially
-    /// (the paper's "CPU – 1 core" row).
-    pub fn solve_sequential<S: Scalar, K: TensorKernels<S> + ?Sized>(
-        &self,
-        kernels: &K,
-        tensors: &[SymTensor<S>],
-        starts: &[Vec<S>],
-    ) -> BatchResult<S> {
-        self.solve_sequential_instrumented(kernels, tensors, starts, &Telemetry::disabled())
-    }
-
-    /// [`solve_sequential`](Self::solve_sequential) with instrumentation:
-    /// records a `batch.solve` span, a `batch.tensor_seconds` histogram,
-    /// and `batch.tensors_done` / `batch.iterations` progress counters.
-    pub fn solve_sequential_instrumented<S: Scalar, K: TensorKernels<S> + ?Sized>(
-        &self,
-        kernels: &K,
-        tensors: &[SymTensor<S>],
-        starts: &[Vec<S>],
-        telemetry: &Telemetry,
-    ) -> BatchResult<S> {
-        let _batch_span = telemetry.span("batch.solve");
-        let mut results = Vec::with_capacity(tensors.len());
-        let mut total_iterations = 0u64;
-        for a in tensors {
-            let (row, iters) = solve_one_tensor(&self.solver, kernels, a, starts, telemetry);
-            total_iterations += iters;
-            results.push(row);
-        }
-        BatchResult {
-            results,
-            total_iterations,
-        }
-    }
-
-    /// Solve in parallel over tensors (the paper's OpenMP scheme).
+    /// The single batched-solve path every substrate-independent caller
+    /// goes through: solve every tensor from every starting vector,
+    /// honoring [`with_threads`](Self::with_threads) —
     ///
-    /// With `threads == 0` the global rayon pool is used; otherwise a
-    /// dedicated pool of exactly `threads` workers is built for the call,
-    /// which is what the 1/4/8-core benchmark rows need.
-    pub fn solve_parallel<S: Scalar, K: TensorKernels<S> + Sync + ?Sized>(
-        &self,
-        kernels: &K,
-        tensors: &[SymTensor<S>],
-        starts: &[Vec<S>],
-    ) -> BatchResult<S> {
-        self.solve_parallel_instrumented(kernels, tensors, starts, &Telemetry::disabled())
-    }
-
-    /// [`solve_parallel`](Self::solve_parallel) with instrumentation: the
-    /// same metrics as the sequential path, with per-tensor spans
-    /// attributed to the rayon worker threads that ran them.
-    pub fn solve_parallel_instrumented<S: Scalar, K: TensorKernels<S> + Sync + ?Sized>(
+    /// * `threads == 1` — strictly sequential on the calling thread (no
+    ///   rayon involvement at all; the paper's "CPU – 1 core" row);
+    /// * `threads == 0` — parallel over tensors on the current/global
+    ///   rayon pool;
+    /// * `threads == k` — parallel on a dedicated pool of exactly `k`
+    ///   workers (the paper's 4-core / 8-core rows).
+    ///
+    /// Every path records the same telemetry names — a `batch.solve` span,
+    /// a `batch.tensor_seconds` histogram and the `batch.tensors_done` /
+    /// `batch.solves` / `batch.converged` / `batch.iterations` counters —
+    /// so traces from different substrates are directly comparable.
+    pub fn run<S: Scalar, K: TensorKernels<S> + ?Sized>(
         &self,
         kernels: &K,
         tensors: &[SymTensor<S>],
@@ -120,6 +84,20 @@ impl BatchSolver {
         telemetry: &Telemetry,
     ) -> BatchResult<S> {
         let _batch_span = telemetry.span("batch.solve");
+        if self.threads == 1 {
+            let mut results = Vec::with_capacity(tensors.len());
+            let mut total_iterations = 0u64;
+            for a in tensors {
+                let (row, iters) = solve_one_tensor(&self.solver, kernels, a, starts, telemetry);
+                total_iterations += iters;
+                results.push(row);
+            }
+            return BatchResult {
+                results,
+                total_iterations,
+            };
+        }
+
         let solve_all = || {
             let rows: Vec<(Vec<Eigenpair<S>>, u64)> = tensors
                 .par_iter()
@@ -148,9 +126,66 @@ impl BatchSolver {
         }
     }
 
+    /// Solve every tensor from every starting vector, sequentially
+    /// (the paper's "CPU – 1 core" row). Thin shim over
+    /// [`run`](Self::run) with `with_threads(1)` semantics.
+    pub fn solve_sequential<S: Scalar, K: TensorKernels<S> + ?Sized>(
+        &self,
+        kernels: &K,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+    ) -> BatchResult<S> {
+        self.with_threads(1)
+            .run(kernels, tensors, starts, &Telemetry::disabled())
+    }
+
+    /// Deprecated shim: use [`run`](Self::run) (or the `backend` crate's
+    /// `SolveBackend` trait) instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use BatchSolver::run with with_threads(1), or backend::CpuSequential"
+    )]
+    pub fn solve_sequential_instrumented<S: Scalar, K: TensorKernels<S> + ?Sized>(
+        &self,
+        kernels: &K,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+        telemetry: &Telemetry,
+    ) -> BatchResult<S> {
+        self.with_threads(1)
+            .run(kernels, tensors, starts, telemetry)
+    }
+
+    /// Solve in parallel over tensors (the paper's OpenMP scheme). Thin
+    /// shim over [`run`](Self::run) honoring the configured thread count.
+    pub fn solve_parallel<S: Scalar, K: TensorKernels<S> + Sync + ?Sized>(
+        &self,
+        kernels: &K,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+    ) -> BatchResult<S> {
+        self.run(kernels, tensors, starts, &Telemetry::disabled())
+    }
+
+    /// Deprecated shim: use [`run`](Self::run) (or the `backend` crate's
+    /// `SolveBackend` trait) instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use BatchSolver::run, or backend::CpuParallel"
+    )]
+    pub fn solve_parallel_instrumented<S: Scalar, K: TensorKernels<S> + Sync + ?Sized>(
+        &self,
+        kernels: &K,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+        telemetry: &Telemetry,
+    ) -> BatchResult<S> {
+        self.run(kernels, tensors, starts, telemetry)
+    }
+
     /// Convenience: solve with the default on-the-fly kernels, parallel.
     pub fn solve<S: Scalar>(&self, tensors: &[SymTensor<S>], starts: &[Vec<S>]) -> BatchResult<S> {
-        self.solve_parallel(&GeneralKernels, tensors, starts)
+        self.run(&GeneralKernels, tensors, starts, &Telemetry::disabled())
     }
 }
 
@@ -280,7 +315,7 @@ mod tests {
             SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(10)),
         );
         let tel = Telemetry::enabled();
-        let res = solver.solve_parallel_instrumented(&GeneralKernels, &tensors, &starts, &tel);
+        let res = solver.run(&GeneralKernels, &tensors, &starts, &tel);
         let snap = tel.snapshot();
         assert_eq!(snap.counter("batch.tensors_done"), Some(5));
         assert_eq!(snap.counter("batch.solves"), Some(15));
@@ -294,6 +329,56 @@ mod tests {
         let plain = solver.solve_parallel(&GeneralKernels, &tensors, &starts);
         for (t, v, p) in res.iter_flat() {
             assert_eq!(p.lambda, plain.results[t][v].lambda);
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_record_the_same_telemetry_names() {
+        // Satellite: traces from different thread configurations must be
+        // comparable — identical span/counter/histogram names either way.
+        let (tensors, starts) = workload(3, 2, 9);
+        let solver =
+            BatchSolver::new(SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(5)));
+        let tel_seq = Telemetry::enabled();
+        let tel_par = Telemetry::enabled();
+        solver
+            .with_threads(1)
+            .run(&GeneralKernels, &tensors, &starts, &tel_seq);
+        solver
+            .with_threads(2)
+            .run(&GeneralKernels, &tensors, &starts, &tel_par);
+        let (seq, par) = (tel_seq.snapshot(), tel_par.snapshot());
+        for name in [
+            "batch.tensors_done",
+            "batch.solves",
+            "batch.converged",
+            "batch.iterations",
+        ] {
+            assert_eq!(seq.counter(name), par.counter(name), "{name}");
+        }
+        assert_eq!(
+            seq.histogram("batch.tensor_seconds").map(|h| h.count),
+            par.histogram("batch.tensor_seconds").map(|h| h.count)
+        );
+        assert_eq!(
+            seq.span("batch.solve").map(|s| s.count),
+            par.span("batch.solve").map(|s| s.count)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_instrumented_shims_agree_with_run() {
+        let (tensors, starts) = workload(3, 4, 7);
+        let solver =
+            BatchSolver::new(SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(8)));
+        let tel = Telemetry::disabled();
+        let base = solver.run(&GeneralKernels, &tensors, &starts, &tel);
+        let seq = solver.solve_sequential_instrumented(&GeneralKernels, &tensors, &starts, &tel);
+        let par = solver.solve_parallel_instrumented(&GeneralKernels, &tensors, &starts, &tel);
+        for (t, v, p) in base.iter_flat() {
+            assert_eq!(p.lambda, seq.results[t][v].lambda);
+            assert_eq!(p.lambda, par.results[t][v].lambda);
         }
     }
 

@@ -47,7 +47,7 @@ pub use batch::{BatchResult, BatchSolver};
 pub use classify::{classify, Stability};
 pub use decompose::{best_rank_one, decompose, SymCp};
 pub use heig::{nqz, HEigenpair};
-pub use multistart::{multistart, DedupConfig, Spectrum};
+pub use multistart::{multistart, spectrum_from_pairs, DedupConfig, Spectrum, SpectrumEntry};
 pub use refine::{refine, Refined};
 pub use shift::Shift;
 pub use solver::{

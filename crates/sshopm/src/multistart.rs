@@ -114,12 +114,37 @@ pub fn multistart<S: Scalar>(
     cfg: &DedupConfig,
     classify_tol: f64,
 ) -> Spectrum<S> {
+    spectrum_from_pairs(
+        a,
+        starts.iter().map(|x0| solver.solve(a, x0)),
+        cfg,
+        classify_tol,
+    )
+}
+
+/// Build a deduplicated [`Spectrum`] from eigenpairs that were already
+/// computed — the dedup/classify half of [`multistart`], decoupled from the
+/// solving half so the pairs can come from any execution backend (the
+/// batched CPU driver, the simulated GPU, a multi-device split, ...).
+///
+/// Unconverged pairs are counted as failures and excluded, exactly as in
+/// [`multistart`]; `total_starts` is the number of pairs consumed.
+pub fn spectrum_from_pairs<S: Scalar, I>(
+    a: &SymTensor<S>,
+    pairs: I,
+    cfg: &DedupConfig,
+    classify_tol: f64,
+) -> Spectrum<S>
+where
+    I: IntoIterator<Item = Eigenpair<S>>,
+{
     let m = a.order();
     let mut entries: Vec<SpectrumEntry<S>> = Vec::new();
     let mut failures = 0usize;
+    let mut total_starts = 0usize;
 
-    for x0 in starts {
-        let pair = solver.solve(a, x0);
+    for pair in pairs {
+        total_starts += 1;
         if !pair.converged {
             failures += 1;
             continue;
@@ -158,7 +183,7 @@ pub fn multistart<S: Scalar>(
     Spectrum {
         entries,
         failures,
-        total_starts: starts.len(),
+        total_starts,
     }
 }
 
@@ -285,6 +310,25 @@ mod tests {
         let maxima: Vec<_> = spectrum.local_maxima().collect();
         assert_eq!(maxima.len(), 1);
         assert!((maxima[0].pair.lambda - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spectrum_from_pairs_matches_multistart() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = SymTensor::<f64>::random(4, 3, &mut rng);
+        let starts = random_uniform_starts::<f64, _>(3, 64, &mut rng);
+        let solver = SsHopm::new(Shift::Convex).with_tolerance(1e-13);
+        let direct = multistart(&solver, &a, &starts, &DedupConfig::default(), 1e-5);
+        let pairs: Vec<_> = starts.iter().map(|x0| solver.solve(&a, x0)).collect();
+        let rebuilt = spectrum_from_pairs(&a, pairs, &DedupConfig::default(), 1e-5);
+        assert_eq!(direct.entries.len(), rebuilt.entries.len());
+        assert_eq!(direct.failures, rebuilt.failures);
+        assert_eq!(direct.total_starts, rebuilt.total_starts);
+        for (d, r) in direct.entries.iter().zip(&rebuilt.entries) {
+            assert_eq!(d.pair.lambda, r.pair.lambda);
+            assert_eq!(d.basin_count, r.basin_count);
+            assert_eq!(d.stability, r.stability);
+        }
     }
 
     #[test]

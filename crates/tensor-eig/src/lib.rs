@@ -10,8 +10,10 @@
 //! | unrolling | [`unrolled`] | compile-time straight-line kernels per shape |
 //! | algorithm | [`sshopm`] | SS-HOPM, shifts, classification, multistart, batching |
 //! | GPU substrate | [`gpusim`] | functional + analytic Fermi-class simulator |
+//! | execution backends | [`backend`] | one `SolveBackend` trait behind every batched solve |
 //! | application | [`dwmri`] | synthetic DW-MRI phantom and fiber detection |
 //! | small linalg | [`linalg`] | Cholesky / Jacobi / QR / least squares |
+//! | instrumentation | [`telemetry`] | spans, counters, histograms, trace export |
 //!
 //! ## Quickstart
 //!
@@ -24,20 +26,50 @@
 //! let pair = SsHopm::new(Shift::Convex).with_tolerance(1e-13).solve(&a, &[1.0, 0.0, 0.0]);
 //! assert!(pair.converged && pair.residual(&a) < 1e-5);
 //! ```
+//!
+//! ## Batched solves through an execution backend
+//!
+//! Every batched solve — CPU pools and simulated GPUs alike — runs behind
+//! the [`backend::SolveBackend`] trait, selected by a spec string:
+//!
+//! ```
+//! use tensor_eig::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let tensors: Vec<SymTensor<f64>> =
+//!     (0..4).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
+//! let starts = sshopm::starts::random_uniform_starts::<f64, _>(3, 8, &mut rng);
+//! let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(10));
+//!
+//! let spec: BackendSpec = "gpusim".parse().unwrap();
+//! let gpu = spec.build::<f64>(KernelStrategy::Unrolled);
+//! let report = gpu.solve_batch(&tensors, &starts, &solver, &Telemetry::disabled());
+//! assert_eq!(report.num_tensors(), 4);
+//! assert_eq!(report.total_iterations, 4 * 8 * 10);
+//! ```
 
 #![deny(missing_docs)]
 
+pub use backend;
 pub use dwmri;
 pub use gpusim;
 pub use linalg;
 pub use sshopm;
 pub use symtensor;
+pub use telemetry;
 pub use unrolled;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
-    pub use dwmri::{extract_fibers, ExtractConfig, NoiseModel, Phantom, PhantomConfig};
-    pub use gpusim::{launch_sshopm, DeviceSpec, GpuVariant, MultiGpu, TransferModel};
+    pub use backend::{
+        BackendSpec, BatchReport, CpuParallel, CpuSequential, GpuSimBackend, KernelStrategy,
+        MultiGpuBackend, SolveBackend,
+    };
+    pub use dwmri::{
+        extract_fibers, extract_fibers_with, ExtractConfig, NoiseModel, Phantom, PhantomConfig,
+    };
+    pub use gpusim::{DeviceSpec, GpuVariant, TransferModel};
     pub use sshopm::{
         multistart, refine, BatchSolver, DedupConfig, Eigenpair, IterationPolicy, Shift, SsHopm,
         Stability,
@@ -46,6 +78,7 @@ pub mod prelude {
         BlockedKernels, DenseTensor, GeneralKernels, IndexClass, IndexClassIter, PrecomputedTables,
         SymTensor, TensorKernels,
     };
+    pub use telemetry::Telemetry;
     pub use unrolled::UnrolledKernels;
 }
 
@@ -59,5 +92,9 @@ mod tests {
         let _ = DeviceSpec::tesla_c2050();
         let _ = UnrolledKernels::for_shape(4, 3);
         let _ = PhantomConfig::default();
+        let _ = CpuSequential::new(KernelStrategy::General);
+        let spec: BackendSpec = "cpu:2".parse().unwrap();
+        let _: Box<dyn SolveBackend<f64>> = spec.build(KernelStrategy::Blocked);
+        let _ = Telemetry::disabled();
     }
 }

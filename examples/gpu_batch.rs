@@ -1,9 +1,10 @@
 //! Batched eigensolve on the simulated GPU: the paper's Section V setup.
 //!
 //! Launches the 1024-tensor / 128-start workload on the simulated Tesla
-//! C2050 in both kernel variants, prints occupancy, estimated run time and
-//! achieved GFLOP/s, and cross-checks the functional results against the
-//! CPU batch solver.
+//! C2050 in both kernel variants through the unified `SolveBackend` layer,
+//! prints occupancy, estimated run time and achieved GFLOP/s, and
+//! cross-checks the functional results against the CPU backend running the
+//! same kernels.
 //!
 //! Run with: `cargo run --release --example gpu_batch`
 
@@ -16,8 +17,9 @@ fn main() {
         .map(|_| SymTensor::random(4, 3, &mut rng))
         .collect();
     let starts = sshopm::starts::random_uniform_starts::<f32, _>(3, 128, &mut rng);
-    let policy = IterationPolicy::Fixed(20);
+    let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(20));
     let device = DeviceSpec::tesla_c2050();
+    let telemetry = Telemetry::disabled();
 
     println!(
         "Device: {} — {} SMs x {} cores @ {:.2} GHz, peak {:.0} GFLOP/s (SP)\n",
@@ -36,44 +38,44 @@ fn main() {
     println!("Mapping: 1 block per tensor, 1 thread per start (Section V-B)\n");
 
     let mut reports = Vec::new();
-    for variant in [GpuVariant::General, GpuVariant::Unrolled] {
-        let (result, report) = launch_sshopm(&device, &tensors, &starts, policy, 0.0, variant);
-        println!("--- {} kernel ---", variant.name());
+    for strategy in [KernelStrategy::General, KernelStrategy::Unrolled] {
+        let gpu = GpuSimBackend::new(device.clone(), strategy);
+        let report = gpu.solve_batch(&tensors, &starts, &solver, &telemetry);
+        let snap = &report.profiles[0].snapshot;
+        println!("--- {} kernel ---", report.kernel);
         println!(
-            "  resources : {} regs/thread, {} B shared/block",
-            report.resources.registers_per_thread, report.resources.shared_mem_per_block
+            "  launch    : {} blocks x {} threads on {} SMs",
+            snap.num_blocks, snap.threads_per_block, snap.active_sms
         );
         println!(
-            "  occupancy : {} blocks/SM, {} warps/SM ({:.0}%), limited by {}",
-            report.occupancy.blocks_per_sm,
-            report.occupancy.warps_per_sm,
-            report.occupancy.fraction * 100.0,
-            report.occupancy.limiter
+            "  occupancy : {} blocks/SM ({:.0}%), limited by {}",
+            snap.blocks_per_sm,
+            snap.occupancy * 100.0,
+            snap.occupancy_limiter
         );
         println!(
             "  est. time : {:.3} ms (compute {:.3} ms, memory {:.3} ms)",
-            report.timing.seconds * 1e3,
-            report.timing.compute_seconds * 1e3,
-            report.timing.memory_seconds * 1e3
+            snap.seconds * 1e3,
+            snap.compute_seconds * 1e3,
+            snap.memory_seconds * 1e3
         );
         println!(
             "  achieved  : {:.1} GFLOP/s ({:.1}% of peak)\n",
-            report.gflops,
-            100.0 * report.gflops / device.peak_sp_gflops()
+            report.gflops(),
+            100.0 * report.gflops() / device.peak_sp_gflops()
         );
-        reports.push((variant, result, report));
+        reports.push(report);
     }
 
-    let speedup = reports[0].2.timing.seconds / reports[1].2.timing.seconds;
+    let speedup = reports[0].seconds / reports[1].seconds;
     println!("Unrolled speedup over general on the GPU model: {speedup:.1}x");
     println!("(paper Table III(a): 18.7x)\n");
 
     // Cross-check: the simulated GPU computes the same eigenpairs as the
-    // CPU batch solver using the same kernels.
-    let k = UnrolledKernels::for_shape(4, 3).expect("(4,3) generated");
-    let cpu = BatchSolver::new(SsHopm::new(Shift::Fixed(0.0)).with_policy(policy))
-        .solve_parallel(&k, &tensors, &starts);
-    let gpu = &reports[1].1;
+    // CPU backend using the same (unrolled) kernels.
+    let cpu = CpuParallel::new(0, KernelStrategy::Unrolled)
+        .solve_batch(&tensors, &starts, &solver, &telemetry);
+    let gpu = &reports[1];
     let mut worst = 0.0f32;
     for t in 0..tensors.len() {
         for v in 0..starts.len() {
@@ -87,4 +89,6 @@ fn main() {
     );
     assert_eq!(worst, 0.0, "functional simulation must match CPU exactly");
     println!("OK: functional parity with the CPU reference.");
+    println!("CPU summary: {}", cpu.summary());
+    println!("GPU summary: {}", gpu.summary());
 }

@@ -34,23 +34,22 @@ fn facade_covers_the_paper_workflow() {
         Stability::NegativeStable | Stability::Degenerate
     ));
 
-    // 5. Batch + GPU.
+    // 5. Batch + GPU, both through the backend layer.
     let tensors: Vec<SymTensor<f32>> = (0..4).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
     let starts = sshopm::starts::random_uniform_starts::<f32, _>(3, 32, &mut rng);
-    let policy = IterationPolicy::Fixed(10);
-    let cpu = BatchSolver::new(SsHopm::new(Shift::Fixed(0.0)).with_policy(policy))
-        .solve(&tensors, &starts);
+    let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(10));
+    let cpu = BatchSolver::new(solver).solve(&tensors, &starts);
     assert_eq!(cpu.num_tensors(), 4);
-    let (gpu, report) = launch_sshopm(
-        &DeviceSpec::tesla_c2050(),
+    let spec: BackendSpec = "gpusim".parse().unwrap();
+    let gpu = spec.build::<f32>(KernelStrategy::Unrolled).solve_batch(
         &tensors,
         &starts,
-        policy,
-        0.0,
-        GpuVariant::Unrolled,
+        &solver,
+        &Telemetry::disabled(),
     );
-    assert_eq!(gpu.results.len(), 4);
-    assert!(report.gflops > 0.0);
+    assert_eq!(gpu.num_tensors(), 4);
+    assert_eq!(gpu.kernel, "unrolled");
+    assert!(gpu.gflops() > 0.0);
 }
 
 #[test]

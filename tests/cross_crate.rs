@@ -19,18 +19,21 @@ fn all_kernel_implementations_agree_bitwise_on_f32() {
     // A convergent (convex) shift: with alpha = 0 the unshifted iteration
     // need not converge, and reordering f32 sums can then land on
     // different fixed points entirely.
-    let policy = IterationPolicy::Fixed(30);
-    let solver = SsHopm::new(Shift::Fixed(8.0)).with_policy(policy);
-    let batch = BatchSolver::new(solver);
+    let solver = SsHopm::new(Shift::Fixed(8.0)).with_policy(IterationPolicy::Fixed(30));
+    let telemetry = Telemetry::disabled();
 
-    let tables = PrecomputedTables::new(4, 3);
-    let unrolled = UnrolledKernels::for_shape(4, 3).unwrap();
-    let blocked = BlockedKernels::for_shape(4, 3).unwrap();
-
-    let r_general = batch.solve_sequential(&GeneralKernels, &tensors, &starts);
-    let r_tables = batch.solve_sequential(&tables, &tensors, &starts);
-    let r_unrolled = batch.solve_sequential(&unrolled, &tensors, &starts);
-    let r_blocked = batch.solve_sequential(&blocked, &tensors, &starts);
+    // One sequential CPU backend per kernel strategy — the same solve
+    // through every contraction implementation.
+    let run = |strategy: KernelStrategy| {
+        CpuSequential::new(strategy).solve_batch(&tensors, &starts, &solver, &telemetry)
+    };
+    let r_general = run(KernelStrategy::General);
+    let r_tables = run(KernelStrategy::Precomputed);
+    let r_unrolled = run(KernelStrategy::Unrolled);
+    let r_blocked = run(KernelStrategy::Blocked);
+    assert_eq!(r_tables.kernel, "precomputed");
+    assert_eq!(r_unrolled.kernel, "unrolled");
+    assert_eq!(r_blocked.kernel, "blocked");
 
     for t in 0..tensors.len() {
         for v in 0..starts.len() {
@@ -62,20 +65,14 @@ fn all_kernel_implementations_agree_bitwise_on_f32() {
 fn gpu_simulator_flop_counters_match_analytic_formulas() {
     let (tensors, starts) = random_workload(4, 32, 11);
     let iters = 10usize;
-    let policy = IterationPolicy::Fixed(iters);
-    let (_, report) = launch_sshopm(
-        &DeviceSpec::tesla_c2050(),
-        &tensors,
-        &starts,
-        policy,
-        0.0,
-        GpuVariant::Unrolled,
-    );
+    let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(iters));
+    let report = GpuSimBackend::new(DeviceSpec::tesla_c2050(), KernelStrategy::Unrolled)
+        .solve_batch(&tensors, &starts, &solver, &Telemetry::disabled());
     // Per iteration per thread: the kernel executes the A x^{m-1} and
     // A x^m contractions plus shift/normalization. The counter totals must
     // scale exactly with tensors * starts * iterations.
     let threads = tensors.len() * starts.len();
-    let per_thread = report.stats.counters.useful_flops() / (threads as u64);
+    let per_thread = report.useful_flops / (threads as u64);
     let per_iter = per_thread / iters as u64;
     // Match against symtensor::flops within the small constant difference
     // of our normalization accounting (the formulas count sub-steps
@@ -138,22 +135,20 @@ fn relative_to_peak_performance_is_similar_across_devices() {
     // Section V-E: "We obtained similar performance (relative to peak) for
     // tensors of order 4 and dimension 3 on two other NVIDIA GPUs."
     let (tensors, starts) = random_workload(256, 128, 99);
-    let policy = IterationPolicy::Fixed(20);
+    let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(20));
     let mut fractions = Vec::new();
     for device in [
         DeviceSpec::tesla_c1060(),
         DeviceSpec::tesla_c2050(),
         DeviceSpec::gtx_580(),
     ] {
-        let (_, report) = launch_sshopm(
-            &device,
+        let report = GpuSimBackend::new(device.clone(), KernelStrategy::Unrolled).solve_batch(
             &tensors,
             &starts,
-            policy,
-            0.0,
-            GpuVariant::Unrolled,
+            &solver,
+            &Telemetry::disabled(),
         );
-        fractions.push(report.gflops / device.peak_sp_gflops());
+        fractions.push(report.gflops() / device.peak_sp_gflops());
     }
     let max = fractions.iter().cloned().fold(f64::MIN, f64::max);
     let min = fractions.iter().cloned().fold(f64::MAX, f64::min);

@@ -111,26 +111,20 @@ fn batch_cpu_and_gpu_sim_agree_on_phantom_tensors() {
     let tensors = phantom.tensors_f32();
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let starts = sshopm::starts::random_uniform_starts::<f32, _>(3, 32, &mut rng);
-    let policy = IterationPolicy::Fixed(25);
+    let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(25));
+    let telemetry = Telemetry::disabled();
 
-    let k = UnrolledKernels::for_shape(4, 3).unwrap();
-    let cpu = BatchSolver::new(SsHopm::new(Shift::Fixed(0.0)).with_policy(policy))
-        .solve_parallel(&k, &tensors, &starts);
-    let (gpu, report) = launch_sshopm(
-        &DeviceSpec::tesla_c2050(),
-        &tensors,
-        &starts,
-        policy,
-        0.0,
-        GpuVariant::Unrolled,
-    );
+    let cpu = CpuParallel::new(0, KernelStrategy::Unrolled)
+        .solve_batch(&tensors, &starts, &solver, &telemetry);
+    let gpu = GpuSimBackend::new(DeviceSpec::tesla_c2050(), KernelStrategy::Unrolled)
+        .solve_batch(&tensors, &starts, &solver, &telemetry);
     for t in 0..tensors.len() {
         for v in 0..starts.len() {
             assert_eq!(gpu.results[t][v].lambda, cpu.results[t][v].lambda);
         }
     }
-    assert!(report.gflops > 0.0);
-    assert!(report.occupancy.blocks_per_sm >= 3);
+    assert!(gpu.gflops() > 0.0);
+    assert!(gpu.profiles[0].snapshot.blocks_per_sm >= 3);
 }
 
 #[test]
