@@ -1,6 +1,7 @@
 //! The [`SolveBackend`] trait and its four substrate implementations.
 
-use crate::report::{BatchReport, DeviceProfile};
+use crate::report::{BatchReport, DeviceProfile, FaultLog};
+use crate::spec::BackendError;
 use crate::strategy::KernelStrategy;
 use gpusim::{DeviceSpec, MultiGpu, ProfileSnapshot, TransferModel};
 use sshopm::batch::BatchSolver;
@@ -27,19 +28,21 @@ pub trait SolveBackend<S: Scalar>: Sync {
     /// shift/iteration configuration, recording progress on `telemetry`.
     ///
     /// All tensors must share one shape. GPU-simulated backends support
-    /// only [`Shift::Fixed`] (the paper's `α = 0` setting) and panic with
-    /// a descriptive message otherwise — adaptive shifts need per-iterate
-    /// spectral information the kernel model does not stage on-device.
+    /// only [`Shift::Fixed`] (the paper's `α = 0` setting) and return a
+    /// descriptive [`BackendError`] otherwise — adaptive shifts need
+    /// per-iterate spectral information the kernel model does not stage
+    /// on-device. Shape mismatches and overflowing shapes are also
+    /// reported as errors, never panics.
     fn solve_batch(
         &self,
         tensors: &[SymTensor<S>],
         starts: &[Vec<S>],
         solver: &SsHopm,
         telemetry: &Telemetry,
-    ) -> BatchReport<S>;
+    ) -> Result<BatchReport<S>, BackendError>;
 }
 
-fn empty_report<S: Scalar>(label: String, kernel: KernelStrategy) -> BatchReport<S> {
+pub(crate) fn empty_report<S: Scalar>(label: String, kernel: KernelStrategy) -> BatchReport<S> {
     BatchReport {
         backend: label,
         kernel: kernel.name().to_string(),
@@ -48,6 +51,7 @@ fn empty_report<S: Scalar>(label: String, kernel: KernelStrategy) -> BatchReport
         seconds: 0.0,
         useful_flops: 0,
         profiles: Vec::new(),
+        fault_log: FaultLog::default(),
     }
 }
 
@@ -59,9 +63,9 @@ fn cpu_solve_batch<S: Scalar>(
     starts: &[Vec<S>],
     solver: &SsHopm,
     telemetry: &Telemetry,
-) -> BatchReport<S> {
+) -> Result<BatchReport<S>, BackendError> {
     let Some(first) = tensors.first() else {
-        return empty_report(label, strategy);
+        return Ok(empty_report(label, strategy));
     };
     let (m, n) = (first.order(), first.dim());
     let (kernels, effective) = strategy.resolve::<S>(m, n);
@@ -70,7 +74,7 @@ fn cpu_solve_batch<S: Scalar>(
         .with_threads(threads)
         .run(&*kernels, tensors, starts, telemetry);
     let seconds = started.elapsed().as_secs_f64();
-    BatchReport {
+    Ok(BatchReport {
         backend: label,
         kernel: effective.name().to_string(),
         useful_flops: result.total_iterations * flops::sshopm_iter_flops(m, n),
@@ -78,7 +82,8 @@ fn cpu_solve_batch<S: Scalar>(
         total_iterations: result.total_iterations,
         seconds,
         profiles: Vec::new(),
-    }
+        fault_log: FaultLog::default(),
+    })
 }
 
 /// The paper's "CPU – 1 core" row: strictly sequential on the calling
@@ -107,7 +112,7 @@ impl<S: Scalar> SolveBackend<S> for CpuSequential {
         starts: &[Vec<S>],
         solver: &SsHopm,
         telemetry: &Telemetry,
-    ) -> BatchReport<S> {
+    ) -> Result<BatchReport<S>, BackendError> {
         cpu_solve_batch(
             SolveBackend::<S>::label(self),
             self.strategy,
@@ -152,7 +157,7 @@ impl<S: Scalar> SolveBackend<S> for CpuParallel {
         starts: &[Vec<S>],
         solver: &SsHopm,
         telemetry: &Telemetry,
-    ) -> BatchReport<S> {
+    ) -> Result<BatchReport<S>, BackendError> {
         cpu_solve_batch(
             SolveBackend::<S>::label(self),
             self.strategy,
@@ -165,15 +170,15 @@ impl<S: Scalar> SolveBackend<S> for CpuParallel {
     }
 }
 
-/// Extract the fixed shift the GPU kernels support, or panic with a
-/// message pointing at the CPU backends.
-fn fixed_alpha(solver: &SsHopm, what: &str) -> f64 {
+/// Extract the fixed shift the GPU kernels support, or return an error
+/// pointing at the CPU backends.
+pub(crate) fn fixed_alpha(solver: &SsHopm, what: &str) -> Result<f64, BackendError> {
     match solver.shift() {
-        Shift::Fixed(alpha) => alpha,
-        other => panic!(
+        Shift::Fixed(alpha) => Ok(alpha),
+        other => Err(BackendError(format!(
             "{what} supports only Shift::Fixed (the paper's GPU setting); got {other:?} — \
              run adaptive/convex shifts on a cpu backend"
-        ),
+        ))),
     }
 }
 
@@ -236,12 +241,12 @@ impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
         starts: &[Vec<S>],
         solver: &SsHopm,
         telemetry: &Telemetry,
-    ) -> BatchReport<S> {
+    ) -> Result<BatchReport<S>, BackendError> {
         let label = SolveBackend::<S>::label(self);
         let Some(first) = tensors.first() else {
-            return empty_report(label, self.strategy);
+            return Ok(empty_report(label, self.strategy));
         };
-        let alpha = fixed_alpha(solver, "GpuSimBackend");
+        let alpha = fixed_alpha(solver, "GpuSimBackend")?;
         let (variant, effective) = self.strategy.gpu_variant(first.order(), first.dim());
         let _batch_span = telemetry.span("batch.solve");
         let (result, report) = gpusim::launch_sshopm(
@@ -251,12 +256,12 @@ impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
             solver.policy(),
             alpha,
             variant,
-        );
+        )?;
         let total_iterations = total_iterations_of(&result.results);
         record_gpu_batch_counters(telemetry, &result.results, total_iterations);
         let snapshot = ProfileSnapshot::from_report(&self.device, &report);
         snapshot.emit(telemetry);
-        BatchReport {
+        Ok(BatchReport {
             backend: label,
             kernel: effective.name().to_string(),
             results: result.results,
@@ -269,7 +274,8 @@ impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
                 transfer_seconds: 0.0,
                 snapshot,
             }],
-        }
+            fault_log: FaultLog::default(),
+        })
     }
 }
 
@@ -289,28 +295,31 @@ pub struct MultiGpuBackend {
 impl MultiGpuBackend {
     /// A multi-device backend over `devices` with the given strategy.
     ///
-    /// # Panics
-    /// Panics if the device list is empty.
+    /// Returns an error if the device list is empty.
     pub fn new(
         devices: Vec<DeviceSpec>,
         transfer: TransferModel,
         strategy: KernelStrategy,
-    ) -> Self {
-        assert!(!devices.is_empty(), "need at least one device");
-        Self {
+    ) -> Result<Self, BackendError> {
+        if devices.is_empty() {
+            return Err(BackendError(
+                "multi-GPU backend needs at least one device".to_string(),
+            ));
+        }
+        Ok(Self {
             devices,
             transfer,
             strategy,
-        }
+        })
     }
 
-    /// `count` identical devices.
+    /// `count` identical devices; errors when `count == 0`.
     pub fn homogeneous(
         device: DeviceSpec,
         count: usize,
         transfer: TransferModel,
         strategy: KernelStrategy,
-    ) -> Self {
+    ) -> Result<Self, BackendError> {
         Self::new(vec![device; count], transfer, strategy)
     }
 }
@@ -330,16 +339,16 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
         starts: &[Vec<S>],
         solver: &SsHopm,
         telemetry: &Telemetry,
-    ) -> BatchReport<S> {
+    ) -> Result<BatchReport<S>, BackendError> {
         let label = SolveBackend::<S>::label(self);
         let Some(first) = tensors.first() else {
-            return empty_report(label, self.strategy);
+            return Ok(empty_report(label, self.strategy));
         };
-        let alpha = fixed_alpha(solver, "MultiGpuBackend");
+        let alpha = fixed_alpha(solver, "MultiGpuBackend")?;
         let (variant, effective) = self.strategy.gpu_variant(first.order(), first.dim());
         let _batch_span = telemetry.span("batch.solve");
-        let mg = MultiGpu::new(self.devices.clone(), self.transfer);
-        let (result, report) = mg.launch(tensors, starts, solver.policy(), alpha, variant);
+        let mg = MultiGpu::new(self.devices.clone(), self.transfer)?;
+        let (result, report) = mg.launch(tensors, starts, solver.policy(), alpha, variant)?;
         let total_iterations = total_iterations_of(&result.results);
         record_gpu_batch_counters(telemetry, &result.results, total_iterations);
         let profiles: Vec<DeviceProfile> = report
@@ -357,7 +366,7 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
                 }
             })
             .collect();
-        BatchReport {
+        Ok(BatchReport {
             backend: label,
             kernel: effective.name().to_string(),
             results: result.results,
@@ -365,6 +374,7 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
             seconds: report.seconds,
             useful_flops: report.useful_flops,
             profiles,
-        }
+            fault_log: FaultLog::default(),
+        })
     }
 }

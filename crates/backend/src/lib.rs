@@ -9,7 +9,9 @@
 //!
 //! * [`SolveBackend`] — the substrate: *where* the batch runs.
 //!   Implementations: [`CpuSequential`], [`CpuParallel`],
-//!   [`GpuSimBackend`], [`MultiGpuBackend`].
+//!   [`GpuSimBackend`], [`MultiGpuBackend`], and the fault-tolerant
+//!   [`ResilientBackend`] (retry / failover / NaN recovery under an
+//!   injected [`gpusim::FaultPlan`], ledgered in [`FaultLog`]).
 //! * [`KernelStrategy`] — the kernel implementation: *how* `A·xᵐ` /
 //!   `A·xᵐ⁻¹` are computed. Falls back gracefully when a strategy is
 //!   unavailable for a shape (e.g. no generated unrolled kernel).
@@ -35,8 +37,10 @@
 //! let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(10));
 //!
 //! let spec: BackendSpec = "gpusim".parse().unwrap();
-//! let backend = spec.build::<f32>(KernelStrategy::Unrolled);
-//! let report = backend.solve_batch(&tensors, &starts, &solver, &Telemetry::disabled());
+//! let backend = spec.build::<f32>(KernelStrategy::Unrolled).unwrap();
+//! let report = backend
+//!     .solve_batch(&tensors, &starts, &solver, &Telemetry::disabled())
+//!     .unwrap();
 //! assert_eq!(report.num_tensors(), 4);
 //! assert_eq!(report.total_iterations, 4 * 8 * 10);
 //! ```
@@ -45,10 +49,12 @@
 
 mod backends;
 mod report;
+mod resilient;
 mod spec;
 mod strategy;
 
 pub use backends::{CpuParallel, CpuSequential, GpuSimBackend, MultiGpuBackend, SolveBackend};
-pub use report::{BatchReport, DeviceProfile};
+pub use report::{BatchReport, DeviceProfile, FaultLog};
+pub use resilient::{parse_fault_plan, ResilientBackend};
 pub use spec::{BackendError, BackendSpec, DeviceKind};
 pub use strategy::KernelStrategy;

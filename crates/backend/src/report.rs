@@ -1,6 +1,6 @@
 //! [`BatchReport`]: one result type for every execution backend.
 
-use gpusim::ProfileSnapshot;
+use gpusim::{InjectedFault, ProfileSnapshot};
 use sshopm::Eigenpair;
 use symtensor::Scalar;
 
@@ -16,6 +16,62 @@ pub struct DeviceProfile {
     pub transfer_seconds: f64,
     /// The full launch profile.
     pub snapshot: ProfileSnapshot,
+}
+
+/// The fault ledger of one batched solve: what was injected, what the
+/// backend actually observed (NaN scans, failed launches), and how it was
+/// resolved. Trivially all-zero for non-resilient backends.
+///
+/// Invariant maintained by `ResilientBackend`: every injected fault is
+/// accounted for — `recovered + failed == injected.len()`.
+#[derive(Debug, Clone, Default)]
+pub struct FaultLog {
+    /// Every fault the [`gpusim::FaultPlan`] injected, in injection order.
+    pub injected: Vec<InjectedFault>,
+    /// Faults the backend detected (failed attempts plus NaN-poisoned
+    /// tensors found by the post-launch scan). With NaN poisoning this
+    /// equals `injected.len()` — nothing goes wrong silently.
+    pub observed: usize,
+    /// Injected faults whose effects were fully recovered (the affected
+    /// tensors ended up with correct eigenpairs).
+    pub recovered: usize,
+    /// Injected faults that could not be recovered.
+    pub failed: usize,
+    /// Batch-global indices of tensors with no valid result (empty result
+    /// rows in the report). Sorted ascending.
+    pub failed_indices: Vec<usize>,
+    /// Launch attempts retried after a transient fault.
+    pub retries: u32,
+    /// Chunks moved to another device (or the CPU) after a device loss or
+    /// retry exhaustion.
+    pub failovers: u32,
+    /// True if any work ran on the CPU fallback because every simulated
+    /// device was lost or exhausted its retries.
+    pub degraded: bool,
+}
+
+impl FaultLog {
+    /// True when the ledger balances: every injected fault is either
+    /// recovered or failed.
+    pub fn accounts_for_all_faults(&self) -> bool {
+        self.recovered + self.failed == self.injected.len()
+    }
+
+    /// One-line summary for CLI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "faults: {} injected, {} observed, {} recovered, {} failed \
+             ({} tensors lost), {} retries, {} failovers{}",
+            self.injected.len(),
+            self.observed,
+            self.recovered,
+            self.failed,
+            self.failed_indices.len(),
+            self.retries,
+            self.failovers,
+            if self.degraded { ", degraded mode" } else { "" }
+        )
+    }
 }
 
 /// Everything a batched solve reports, regardless of substrate:
@@ -41,6 +97,9 @@ pub struct BatchReport<S> {
     pub useful_flops: u64,
     /// One profile per device that received work; empty for CPU backends.
     pub profiles: Vec<DeviceProfile>,
+    /// Fault-injection ledger; all-zero unless a resilient backend ran
+    /// with an active fault plan.
+    pub fault_log: FaultLog,
 }
 
 impl<S: Scalar> BatchReport<S> {
@@ -119,6 +178,7 @@ mod tests {
             seconds: 0.5,
             useful_flops: 1_000_000_000,
             profiles: Vec::new(),
+            fault_log: FaultLog::default(),
         };
         assert_eq!(report.num_tensors(), 2);
         assert_eq!(report.num_starts(), 2);
@@ -141,6 +201,7 @@ mod tests {
             seconds: 0.0,
             useful_flops: 0,
             profiles: Vec::new(),
+            fault_log: FaultLog::default(),
         };
         assert_eq!(report.num_tensors(), 0);
         assert_eq!(report.num_starts(), 0);

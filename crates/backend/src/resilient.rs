@@ -1,0 +1,512 @@
+//! [`ResilientBackend`]: fault-tolerant batched execution over simulated
+//! GPUs.
+//!
+//! Wraps the same launch machinery as the plain GPU backends, but splits
+//! the batch into small chunks and survives the faults a
+//! [`gpusim::FaultPlan`] injects:
+//!
+//! * **Transient launch failures** (watchdog timeouts, transfer errors)
+//!   are retried on the same device with exponential backoff, up to
+//!   `max_retries` extra attempts per device.
+//! * **Device loss** is sticky: the device is marked dead and, when
+//!   failover is enabled, its chunks move to the next live device — or to
+//!   the CPU once every simulated device is gone.
+//! * **ECC corruption** poisons one tensor with NaN before the launch;
+//!   the post-launch scan detects the non-finite eigenpairs and re-solves
+//!   that single tensor on the CPU from the pristine data. With failover
+//!   disabled the poisoned tensor *fails alone* — its batch index lands in
+//!   [`FaultLog::failed_indices`] and its result row is empty, while the
+//!   rest of the chunk stands.
+//!
+//! Every substrate runs the identical library kernels, so recovered
+//! results are **bit-identical** to a fault-free run (the resilience test
+//! suite asserts this against a sequential CPU solve). The price of a
+//! fault shows up only in the modeled wall time: timeouts, backoff waits
+//! and re-solves all cost seconds, never correctness.
+
+use crate::backends::{empty_report, fixed_alpha, SolveBackend};
+use crate::report::{BatchReport, FaultLog};
+use crate::spec::{device_slug, BackendError, BackendSpec};
+use crate::strategy::KernelStrategy;
+use gpusim::{
+    corrupt_tensor, DeviceSpec, FaultKind, FaultPlan, FaultSite, TransferModel,
+    BACKOFF_BASE_SECONDS, WATCHDOG_TIMEOUT_SECONDS,
+};
+use sshopm::batch::BatchSolver;
+use sshopm::{Eigenpair, SsHopm};
+use symtensor::{flops, Scalar, SymTensor};
+use telemetry::Telemetry;
+
+/// Tensors per launch chunk. Small chunks bound the blast radius of one
+/// fault (a lost launch re-runs at most this many tensors) and give the
+/// fault plan many independent draw sites per batch.
+const MAX_CHUNK_TENSORS: usize = 256;
+
+/// A fault-tolerant execution backend over one or more simulated GPUs.
+///
+/// Construct with [`ResilientBackend::from_spec`] (the CLI path) or
+/// [`ResilientBackend::new`], then layer on [`with_retries`] and
+/// [`with_failover`]. With an inactive [`FaultPlan`] this behaves exactly
+/// like the plain multi-GPU backend, modulo chunked launches.
+///
+/// [`with_retries`]: ResilientBackend::with_retries
+/// [`with_failover`]: ResilientBackend::with_failover
+#[derive(Debug, Clone)]
+pub struct ResilientBackend {
+    /// The device models (chunks are dealt round-robin across them).
+    pub devices: Vec<DeviceSpec>,
+    /// Host↔device interconnect model (reserved for transfer accounting).
+    pub transfer: TransferModel,
+    /// Kernel implementation to use (mapped onto a GPU variant).
+    pub strategy: KernelStrategy,
+    /// The fault schedule to run under.
+    pub plan: FaultPlan,
+    /// Extra launch attempts per device after a transient fault.
+    pub max_retries: u32,
+    /// Move failed chunks to other devices / the CPU instead of failing.
+    pub failover: bool,
+}
+
+impl ResilientBackend {
+    /// A resilient backend over `devices`; errors if the list is empty.
+    ///
+    /// Defaults: 2 retries, failover disabled.
+    pub fn new(
+        devices: Vec<DeviceSpec>,
+        transfer: TransferModel,
+        strategy: KernelStrategy,
+        plan: FaultPlan,
+    ) -> Result<Self, BackendError> {
+        if devices.is_empty() {
+            return Err(BackendError(
+                "resilient backend needs at least one device".to_string(),
+            ));
+        }
+        Ok(Self {
+            devices,
+            transfer,
+            strategy,
+            plan,
+            max_retries: 2,
+            failover: false,
+        })
+    }
+
+    /// Wrap the device set a [`BackendSpec`] describes. Only `gpusim`
+    /// specs have devices to fail; `cpu` specs are rejected.
+    pub fn from_spec(
+        spec: &BackendSpec,
+        strategy: KernelStrategy,
+        plan: FaultPlan,
+    ) -> Result<Self, BackendError> {
+        match *spec {
+            BackendSpec::GpuSim { device, devices } => Self::new(
+                vec![device.spec(); devices],
+                TransferModel::pcie2(),
+                strategy,
+                plan,
+            ),
+            BackendSpec::Cpu { .. } => Err(BackendError(format!(
+                "fault injection requires a gpusim backend, got {spec}: cpu backends have \
+                 no simulated devices to fail"
+            ))),
+        }
+    }
+
+    /// Set the per-device retry budget for transient faults.
+    pub fn with_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Enable or disable failover to other devices / the CPU.
+    pub fn with_failover(mut self, failover: bool) -> Self {
+        self.failover = failover;
+        self
+    }
+}
+
+/// What one launch attempt of one chunk did.
+enum Attempt<S> {
+    /// The launch completed; rows are the chunk's eigenpairs.
+    Completed(Vec<Vec<Eigenpair<S>>>),
+    /// A transient fault (watchdog / transfer) killed the attempt.
+    Transient,
+    /// The device dropped off the bus.
+    DeviceLost,
+}
+
+impl<S: Scalar> SolveBackend<S> for ResilientBackend {
+    fn label(&self) -> String {
+        format!(
+            "resilient:gpusim:{}:{}",
+            device_slug(self.devices[0].name),
+            self.devices.len()
+        )
+    }
+
+    fn solve_batch(
+        &self,
+        tensors: &[SymTensor<S>],
+        starts: &[Vec<S>],
+        solver: &SsHopm,
+        telemetry: &Telemetry,
+    ) -> Result<BatchReport<S>, BackendError> {
+        let label = SolveBackend::<S>::label(self);
+        let Some(first) = tensors.first() else {
+            return Ok(empty_report(label, self.strategy));
+        };
+        if starts.is_empty() {
+            return Err(gpusim::GpuError::EmptyStarts.into());
+        }
+        let (m, n) = (first.order(), first.dim());
+        if let Some(bad) = tensors.iter().find(|t| (t.order(), t.dim()) != (m, n)) {
+            return Err(gpusim::GpuError::MismatchedShapes {
+                expected: (m, n),
+                found: (bad.order(), bad.dim()),
+            }
+            .into());
+        }
+        let alpha = fixed_alpha(solver, "ResilientBackend")?;
+        let (variant, effective) = self.strategy.gpu_variant(m, n);
+        // The CPU kernels used for failover and NaN recovery: `effective`
+        // is exactly what the GPU variant executes, so CPU re-solves are
+        // bit-identical to what the device would have produced.
+        let (cpu_kernels, _) = effective.resolve::<S>(m, n);
+        let num_entries = first.num_unique();
+        let _span = telemetry.span("resilient.solve");
+
+        let mut log = FaultLog::default();
+        let mut results: Vec<Vec<Eigenpair<S>>> = vec![Vec::new(); tensors.len()];
+        let ndev = self.devices.len();
+        let mut device_seconds = vec![0.0_f64; ndev];
+        let mut cpu_seconds = 0.0_f64;
+        let mut alive = vec![true; ndev];
+        let mut total_iterations = 0u64;
+        let mut useful_flops = 0u64;
+        let iter_flops = flops::sshopm_iter_flops(m, n);
+
+        let num_chunks = tensors.len().div_ceil(MAX_CHUNK_TENSORS);
+        for chunk_index in 0..num_chunks {
+            let lo = chunk_index * MAX_CHUNK_TENSORS;
+            let hi = (lo + MAX_CHUNK_TENSORS).min(tensors.len());
+            let chunk = &tensors[lo..hi];
+            // Faults injected into this chunk, not yet resolved either way.
+            let mut pending: Vec<gpusim::InjectedFault> = Vec::new();
+            let mut rows: Option<Vec<Vec<Eigenpair<S>>>> = None;
+            let mut ecc_failed_locals: Vec<usize> = Vec::new();
+
+            'devices: for offset in 0..ndev {
+                let dev = (chunk_index + offset) % ndev;
+                if !alive[dev] {
+                    if !self.failover {
+                        // The chunk's home device is gone and we may not
+                        // move the work: the whole chunk fails.
+                        break 'devices;
+                    }
+                    continue 'devices;
+                }
+                if offset > 0 {
+                    // The chunk runs somewhere other than its home device.
+                    log.failovers += 1;
+                }
+                for attempt in 0..=self.max_retries {
+                    let site = FaultSite {
+                        device_index: dev,
+                        chunk_index,
+                        attempt,
+                    };
+                    let faults = self.plan.faults_at(site, chunk.len());
+                    log.injected.extend(faults.iter().cloned());
+                    pending.extend(faults.iter().cloned());
+                    let device_lost = faults.iter().any(|f| f.kind == FaultKind::DeviceLoss);
+                    let transient = faults.iter().any(|f| {
+                        matches!(
+                            f.kind,
+                            FaultKind::WatchdogTimeout | FaultKind::TransferFailure
+                        )
+                    });
+                    let outcome = if device_lost {
+                        // Losing the board aborts the attempt; any other
+                        // fault drawn alongside dies with it (and is
+                        // observed as part of the failed launch).
+                        log.observed += faults.len();
+                        device_seconds[dev] += WATCHDOG_TIMEOUT_SECONDS;
+                        alive[dev] = false;
+                        Attempt::DeviceLost
+                    } else if transient {
+                        log.observed += faults.len();
+                        device_seconds[dev] += WATCHDOG_TIMEOUT_SECONDS
+                            + BACKOFF_BASE_SECONDS * f64::from(1u32 << attempt.min(16));
+                        Attempt::Transient
+                    } else {
+                        // Clean launch, possibly with one tensor poisoned
+                        // by ECC corruption.
+                        let ecc = faults.iter().find(|f| f.kind == FaultKind::EccCorruption);
+                        let poisoned: Vec<SymTensor<S>>;
+                        let launch_tensors: &[SymTensor<S>] = match ecc {
+                            Some(f) => {
+                                let j = f.tensor_index.unwrap_or(0);
+                                let entry = self.plan.ecc_entry(site, num_entries);
+                                let mut owned = chunk.to_vec();
+                                owned[j] = corrupt_tensor(&owned[j], entry);
+                                poisoned = owned;
+                                &poisoned
+                            }
+                            None => chunk,
+                        };
+                        let (res, report) = gpusim::launch_sshopm(
+                            &self.devices[dev],
+                            launch_tensors,
+                            starts,
+                            solver.policy(),
+                            alpha,
+                            variant,
+                        )?;
+                        device_seconds[dev] += report.timing.seconds;
+                        useful_flops += report.useful_flops;
+                        let mut chunk_rows = res.results;
+                        total_iterations += chunk_rows
+                            .iter()
+                            .flatten()
+                            .map(|p| p.iterations as u64)
+                            .sum::<u64>();
+                        if let Some(f) = ecc {
+                            let j = f.tensor_index.unwrap_or(0);
+                            let detected = chunk_rows[j].iter().any(|p| !p.is_finite());
+                            if detected {
+                                log.observed += 1;
+                            }
+                            if self.failover {
+                                // Re-solve just the poisoned tensor on the
+                                // CPU from the pristine data — same
+                                // kernels, bit-identical eigenpairs.
+                                let started = std::time::Instant::now();
+                                let cpu = BatchSolver::new(*solver).solve_sequential(
+                                    &*cpu_kernels,
+                                    std::slice::from_ref(&chunk[j]),
+                                    starts,
+                                );
+                                cpu_seconds += started.elapsed().as_secs_f64();
+                                total_iterations += cpu.total_iterations;
+                                useful_flops += cpu.total_iterations * iter_flops;
+                                chunk_rows[j] = cpu.results.into_iter().next().unwrap_or_default();
+                                log.degraded = true;
+                            } else {
+                                // The poisoned tensor fails alone; the
+                                // rest of the chunk stands.
+                                chunk_rows[j] = Vec::new();
+                                ecc_failed_locals.push(j);
+                                log.failed += 1;
+                                if let Some(pos) = pending.iter().position(|p| p == f) {
+                                    pending.remove(pos);
+                                }
+                            }
+                        }
+                        Attempt::Completed(chunk_rows)
+                    };
+                    match outcome {
+                        Attempt::Completed(r) => {
+                            rows = Some(r);
+                            break 'devices;
+                        }
+                        Attempt::DeviceLost => {
+                            // Sticky: stop retrying here. Failover (if
+                            // any) happens at the device loop.
+                            if !self.failover {
+                                break 'devices;
+                            }
+                            continue 'devices;
+                        }
+                        Attempt::Transient => {
+                            if attempt < self.max_retries {
+                                log.retries += 1;
+                            } else if !self.failover {
+                                break 'devices;
+                            }
+                            // Retries exhausted with failover: fall
+                            // through to the next device.
+                        }
+                    }
+                }
+            }
+
+            if rows.is_none() && self.failover {
+                // Every device is dead or exhausted: degrade to the CPU.
+                log.failovers += 1;
+                log.degraded = true;
+                let started = std::time::Instant::now();
+                let cpu = BatchSolver::new(*solver).solve_sequential(&*cpu_kernels, chunk, starts);
+                cpu_seconds += started.elapsed().as_secs_f64();
+                total_iterations += cpu.total_iterations;
+                useful_flops += cpu.total_iterations * iter_flops;
+                rows = Some(cpu.results);
+            }
+
+            match rows {
+                Some(r) => {
+                    for (local, row) in r.into_iter().enumerate() {
+                        results[lo + local] = row;
+                    }
+                    for j in ecc_failed_locals {
+                        log.failed_indices.push(lo + j);
+                    }
+                    log.recovered += pending.len();
+                }
+                None => {
+                    log.failed += pending.len();
+                    log.failed_indices.extend(lo..hi);
+                }
+            }
+        }
+
+        log.failed_indices.sort_unstable();
+        if telemetry.is_enabled() {
+            telemetry.counter("fault.injected", log.injected.len() as u64);
+            telemetry.counter("fault.observed", log.observed as u64);
+            telemetry.counter("fault.recovered", log.recovered as u64);
+            telemetry.counter("fault.retries", u64::from(log.retries));
+            telemetry.counter("fault.failovers", u64::from(log.failovers));
+            telemetry.counter("fault.failed_tensors", log.failed_indices.len() as u64);
+        }
+        // Devices run concurrently; CPU fallback work serializes after.
+        let wall = device_seconds.iter().fold(0.0_f64, |a, &b| a.max(b)) + cpu_seconds;
+        Ok(BatchReport {
+            backend: label,
+            kernel: effective.name().to_string(),
+            results,
+            total_iterations,
+            seconds: wall,
+            useful_flops,
+            profiles: Vec::new(),
+            fault_log: log,
+        })
+    }
+}
+
+/// Parse a `--faults` spec string into a [`FaultPlan`].
+///
+/// Grammar: comma-separated `key=value` fields, e.g.
+/// `seed=42,ecc=0.01,watchdog=0.005,transfer=0.005,device-loss=0.001`.
+/// Keys: `seed` (u64, default 0) and the four per-attempt probabilities
+/// (`ecc`, `watchdog`, `transfer`, `device-loss`), each in `[0, 1]`,
+/// default 0.
+pub fn parse_fault_plan(s: &str) -> Result<FaultPlan, BackendError> {
+    let mut plan = FaultPlan::new(0);
+    for field in s.split(',') {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = field.split_once('=') else {
+            return Err(BackendError(format!(
+                "malformed fault field {field:?} in {s:?}: expected key=value"
+            )));
+        };
+        match key.trim() {
+            "seed" => {
+                plan.seed = value.trim().parse::<u64>().map_err(|_| {
+                    BackendError(format!(
+                        "invalid fault seed {value:?} in {s:?}: expected a non-negative integer"
+                    ))
+                })?;
+            }
+            key @ ("ecc" | "watchdog" | "transfer" | "device-loss") => {
+                let p = value.trim().parse::<f64>().map_err(|_| {
+                    BackendError(format!(
+                        "invalid probability {value:?} for fault kind {key:?} in {s:?}"
+                    ))
+                })?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(BackendError(format!(
+                        "probability {p} for fault kind {key:?} in {s:?} is outside [0, 1]"
+                    )));
+                }
+                plan = match key {
+                    "ecc" => plan.with_ecc(p),
+                    "watchdog" => plan.with_watchdog(p),
+                    "transfer" => plan.with_transfer(p),
+                    _ => plan.with_device_loss(p),
+                };
+            }
+            other => {
+                return Err(BackendError(format!(
+                    "unknown fault kind {other:?} in {s:?}: expected seed, ecc, watchdog, \
+                     transfer or device-loss"
+                )));
+            }
+        }
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_fault_specs() {
+        let plan =
+            parse_fault_plan("seed=42,ecc=0.5,watchdog=0.25,transfer=0.125,device-loss=0.0625")
+                .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.ecc, 0.5);
+        assert_eq!(plan.watchdog, 0.25);
+        assert_eq!(plan.transfer, 0.125);
+        assert_eq!(plan.device_loss, 0.0625);
+        assert!(plan.is_active());
+    }
+
+    #[test]
+    fn parses_partial_and_spaced_specs() {
+        let plan = parse_fault_plan(" seed=7 , ecc=1.0 ").unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.ecc, 1.0);
+        assert_eq!(plan.watchdog, 0.0);
+        let empty = parse_fault_plan("").unwrap();
+        assert!(!empty.is_active());
+    }
+
+    #[test]
+    fn rejects_malformed_fault_specs() {
+        for (spec, needle) in [
+            ("ecc", "expected key=value"),
+            ("ecc=x", "invalid probability"),
+            ("ecc=1.5", "outside [0, 1]"),
+            ("ecc=-0.1", "outside [0, 1]"),
+            ("seed=-1", "invalid fault seed"),
+            ("cosmic-ray=0.5", "unknown fault kind"),
+        ] {
+            let err = parse_fault_plan(spec).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{spec:?} -> {err}, wanted {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_spec_rejects_cpu_backends() {
+        let cpu = BackendSpec::Cpu { threads: 4 };
+        let err = ResilientBackend::from_spec(&cpu, KernelStrategy::General, FaultPlan::new(0))
+            .unwrap_err();
+        assert!(err.to_string().contains("gpusim"), "{err}");
+    }
+
+    #[test]
+    fn from_spec_builds_gpu_device_lists() {
+        let spec = BackendSpec::parse("gpusim:tesla-c2050:3").unwrap();
+        let backend =
+            ResilientBackend::from_spec(&spec, KernelStrategy::General, FaultPlan::new(1))
+                .unwrap()
+                .with_retries(5)
+                .with_failover(true);
+        assert_eq!(backend.devices.len(), 3);
+        assert_eq!(backend.max_retries, 5);
+        assert!(backend.failover);
+        assert_eq!(
+            SolveBackend::<f64>::label(&backend),
+            "resilient:gpusim:tesla-c2050:3"
+        );
+    }
+}

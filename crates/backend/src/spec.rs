@@ -18,6 +18,18 @@ impl std::fmt::Display for BackendError {
 
 impl std::error::Error for BackendError {}
 
+impl From<gpusim::GpuError> for BackendError {
+    fn from(e: gpusim::GpuError) -> Self {
+        BackendError(e.to_string())
+    }
+}
+
+impl From<symtensor::CombinatoricsOverflow> for BackendError {
+    fn from(e: symtensor::CombinatoricsOverflow) -> Self {
+        BackendError(e.to_string())
+    }
+}
+
 /// The GPU models the simulator knows how to profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeviceKind {
@@ -180,8 +192,14 @@ impl BackendSpec {
     /// Build the backend this spec describes, with the given kernel
     /// strategy. Multi-device specs model host↔device transfers over
     /// PCIe 2.0, as the paper's hardware used.
-    pub fn build<S: Scalar>(&self, strategy: KernelStrategy) -> Box<dyn SolveBackend<S>> {
-        match *self {
+    ///
+    /// Errors on degenerate hand-built specs (zero devices) — parsed
+    /// specs always build, since the grammar rejects a zero count.
+    pub fn build<S: Scalar>(
+        &self,
+        strategy: KernelStrategy,
+    ) -> Result<Box<dyn SolveBackend<S>>, BackendError> {
+        Ok(match *self {
             BackendSpec::Cpu { threads: 1 } => Box::new(CpuSequential::new(strategy)),
             BackendSpec::Cpu { threads } => Box::new(CpuParallel::new(threads, strategy)),
             BackendSpec::GpuSim { device, devices: 1 } => {
@@ -192,8 +210,8 @@ impl BackendSpec {
                 devices,
                 TransferModel::pcie2(),
                 strategy,
-            )),
-        }
+            )?),
+        })
     }
 
     /// True for the simulated-GPU variants (which only support fixed

@@ -33,12 +33,15 @@ fn backends(strategy: KernelStrategy) -> Vec<Box<dyn SolveBackend<f32>>> {
         Box::new(CpuSequential::new(strategy)),
         Box::new(CpuParallel::new(4, strategy)),
         Box::new(GpuSimBackend::new(DeviceSpec::tesla_c2050(), strategy)),
-        Box::new(MultiGpuBackend::homogeneous(
-            DeviceSpec::tesla_c2050(),
-            3,
-            TransferModel::pcie2(),
-            strategy,
-        )),
+        Box::new(
+            MultiGpuBackend::homogeneous(
+                DeviceSpec::tesla_c2050(),
+                3,
+                TransferModel::pcie2(),
+                strategy,
+            )
+            .unwrap(),
+        ),
     ]
 }
 
@@ -71,7 +74,10 @@ fn all_four_backends_agree_on_a_fixed_workload() {
     let (tensors, starts, solver) = workload(4, 3);
     let reports: Vec<BatchReport<f32>> = backends(KernelStrategy::General)
         .iter()
-        .map(|b| b.solve_batch(&tensors, &starts, &solver, &Telemetry::disabled()))
+        .map(|b| {
+            b.solve_batch(&tensors, &starts, &solver, &Telemetry::disabled())
+                .unwrap()
+        })
         .collect();
 
     let reference = &reports[0];
@@ -115,7 +121,10 @@ fn backends_agree_bitwise_with_identical_kernels() {
     for strategy in [KernelStrategy::General, KernelStrategy::Unrolled] {
         let reports: Vec<BatchReport<f32>> = backends(strategy)
             .iter()
-            .map(|b| b.solve_batch(&tensors, &starts, &solver, &Telemetry::disabled()))
+            .map(|b| {
+                b.solve_batch(&tensors, &starts, &solver, &Telemetry::disabled())
+                    .unwrap()
+            })
             .collect();
         let reference = &reports[0];
         assert_eq!(reference.kernel, strategy.name());
@@ -148,7 +157,10 @@ fn parity_holds_for_unrolled_fallback_shapes() {
     solver = solver.with_policy(IterationPolicy::Fixed(25));
     let reports: Vec<BatchReport<f32>> = backends(KernelStrategy::Unrolled)
         .iter()
-        .map(|b| b.solve_batch(&tensors, &starts, &solver, &Telemetry::disabled()))
+        .map(|b| {
+            b.solve_batch(&tensors, &starts, &solver, &Telemetry::disabled())
+                .unwrap()
+        })
         .collect();
 
     let (cpu_seq, cpu_par, gpu_one, gpu_multi) =

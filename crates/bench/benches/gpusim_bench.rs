@@ -31,7 +31,7 @@ fn bench_occupancy(c: &mut Criterion) {
         b.iter(|| {
             for m in 2..8usize {
                 for n in 2..8usize {
-                    let res = KernelResources::sshopm(m, n, 128, true);
+                    let res = KernelResources::sshopm(m, n, 128, 4, true);
                     black_box(Occupancy::compute(&device, &res));
                 }
             }

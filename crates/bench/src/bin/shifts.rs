@@ -47,7 +47,9 @@ fn main() {
             tol: 1e-6,
             max_iters: 1000,
         });
-        let report = backend.solve_batch(tensors, starts, &solver, &Telemetry::disabled());
+        let report = backend
+            .solve_batch(tensors, starts, &solver, &Telemetry::disabled())
+            .expect("shift sweep workload is well-formed");
         let total = report.num_tensors() * report.num_starts();
         let converged = report.num_converged() as usize;
         let mut iters: Vec<usize> = report

@@ -120,12 +120,10 @@ pub fn run_cpu(
     policy: IterationPolicy,
     alpha: f64,
 ) -> (f64, u64) {
-    let report = run_on(
-        &*BackendSpec::Cpu { threads }.build::<f32>(strategy),
-        workload,
-        policy,
-        alpha,
-    );
+    let backend = BackendSpec::Cpu { threads }
+        .build::<f32>(strategy)
+        .expect("CPU backend spec is always buildable");
+    let report = run_on(&*backend, workload, policy, alpha);
     (report.seconds, report.total_iterations)
 }
 
@@ -138,12 +136,14 @@ pub fn run_on(
     alpha: f64,
 ) -> BatchReport<f32> {
     let solver = SsHopm::new(Shift::Fixed(alpha)).with_policy(policy);
-    backend.solve_batch(
-        &workload.tensors,
-        &workload.starts,
-        &solver,
-        &Telemetry::disabled(),
-    )
+    backend
+        .solve_batch(
+            &workload.tensors,
+            &workload.starts,
+            &solver,
+            &Telemetry::disabled(),
+        )
+        .expect("benchmark workloads are well-formed")
 }
 
 /// The iteration policy used by all Table III / Figure 5 runs: a fixed

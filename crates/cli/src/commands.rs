@@ -5,7 +5,8 @@
 use crate::args::Args;
 use crate::CmdError;
 use backend::{
-    BackendSpec, CpuParallel, GpuSimBackend, KernelStrategy, MultiGpuBackend, SolveBackend,
+    parse_fault_plan, BackendSpec, CpuParallel, GpuSimBackend, KernelStrategy, MultiGpuBackend,
+    ResilientBackend, SolveBackend,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,14 +45,28 @@ fn parse_shift(s: Option<&str>) -> Result<Shift, CmdError> {
 }
 
 /// Parse `--backend` (default `cpu`) and `--kernel` (default `general`)
-/// into a built [`SolveBackend`] plus its parsed spec.
+/// into a built [`SolveBackend`] plus its parsed spec. When any of
+/// `--faults SPEC`, `--retry N` or `--failover` is present the backend is
+/// wrapped in a [`ResilientBackend`] (gpusim specs only).
 fn parse_backend(args: &Args) -> Result<(BackendSpec, Box<dyn SolveBackend<f64>>), CmdError> {
     let spec: BackendSpec = args.get("backend").unwrap_or("cpu").parse()?;
     let strategy = match args.get("kernel") {
         None => KernelStrategy::General,
         Some(k) => KernelStrategy::parse(k)?,
     };
-    Ok((spec, spec.build::<f64>(strategy)))
+    let resilient =
+        args.get("faults").is_some() || args.get("retry").is_some() || args.flag("failover");
+    let backend: Box<dyn SolveBackend<f64>> = if resilient {
+        let plan = parse_fault_plan(args.get("faults").unwrap_or(""))?;
+        Box::new(
+            ResilientBackend::from_spec(&spec, strategy, plan)?
+                .with_retries(args.get_parsed("retry", 2)?)
+                .with_failover(args.flag("failover")),
+        )
+    } else {
+        spec.build::<f64>(strategy)?
+    };
+    Ok((spec, backend))
 }
 
 /// Validate/adjust the shift for a GPU-simulated backend, which only
@@ -85,16 +100,16 @@ fn extract_fibers_grouped(
     cfg: &dwmri::ExtractConfig,
     backend: &dyn SolveBackend<f64>,
     telemetry: &Telemetry,
-) -> Vec<Vec<dwmri::FiberEstimate>> {
+) -> Result<Vec<Vec<dwmri::FiberEstimate>>, CmdError> {
     let mut result: Vec<Vec<dwmri::FiberEstimate>> = vec![Vec::new(); tensors.len()];
     for idxs in shape_groups(tensors).values() {
         let group: Vec<SymTensor<f64>> = idxs.iter().map(|&i| tensors[i].clone()).collect();
-        let fibers = dwmri::extract_fibers_with(&group, cfg, backend, telemetry);
+        let fibers = dwmri::extract_fibers_with(&group, cfg, backend, telemetry)?;
         for (f, &i) in fibers.into_iter().zip(idxs) {
             result[i] = f;
         }
     }
-    result
+    Ok(result)
 }
 
 /// `random <m> <n> <count> --out FILE [--seed S]`
@@ -181,8 +196,10 @@ pub fn solve_instrumented(
 fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -> CmdResult {
     let args = Args::parse(
         argv,
-        &["starts", "shift", "tol", "seed", "backend", "kernel"],
-        &["refine", "all"],
+        &[
+            "starts", "shift", "tol", "seed", "backend", "kernel", "faults", "retry",
+        ],
+        &["refine", "all", "failover"],
     )?;
     let path = args.positional(0, "file")?;
     let starts_count: usize = args.get_parsed("starts", 32)?;
@@ -211,9 +228,12 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) ->
             sshopm::starts::random_gaussian_starts::<f64, _>(n, starts_count, &mut rng)
         };
         let group: Vec<SymTensor<f64>> = idxs.iter().map(|&i| tensors[i].clone()).collect();
-        let report = backend.solve_batch(&group, &starts, &solver, telemetry);
+        let report = backend.solve_batch(&group, &starts, &solver, telemetry)?;
         telemetry.counter("solve.tensors", group.len() as u64);
         summaries.push(report.summary());
+        if !report.fault_log.injected.is_empty() || report.fault_log.degraded {
+            summaries.push(report.fault_log.summary());
+        }
         for (pairs, &i) in report.results.into_iter().zip(&idxs) {
             let spectrum = spectrum_from_pairs(&tensors[i], pairs, &DedupConfig::default(), 1e-5);
             telemetry.counter("solve.eigenpairs", spectrum.entries.len() as u64);
@@ -312,8 +332,16 @@ pub fn fibers(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
 fn inner_fibers(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     let args = Args::parse(
         argv,
-        &["starts", "max-fibers", "shift", "backend", "kernel"],
-        &[],
+        &[
+            "starts",
+            "max-fibers",
+            "shift",
+            "backend",
+            "kernel",
+            "faults",
+            "retry",
+        ],
+        &["failover"],
     )?;
     let path = args.positional(0, "file")?;
     let tensors = load_tensors(path)?;
@@ -339,7 +367,7 @@ fn inner_fibers(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
             )));
         }
     }
-    let all_fibers = extract_fibers_grouped(&tensors, &cfg, &*backend, &Telemetry::disabled());
+    let all_fibers = extract_fibers_grouped(&tensors, &cfg, &*backend, &Telemetry::disabled())?;
     let mut counts = [0usize; 4];
     for (i, fibers) in all_fibers.iter().enumerate() {
         counts[fibers.len().min(3)] += 1;
@@ -437,7 +465,7 @@ fn inner_tract(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
         ..Default::default()
     };
     let backend = CpuParallel::new(0, KernelStrategy::General);
-    let fibers = extract_fibers_grouped(&tensors, &cfg, &backend, &Telemetry::disabled());
+    let fibers = extract_fibers_grouped(&tensors, &cfg, &backend, &Telemetry::disabled())?;
     let field = dwmri::FiberField::new(width, height, fibers);
 
     // Evenly spaced seeds along the left edge.
@@ -513,10 +541,10 @@ fn inner_gpu(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -> C
         devices,
         gpusim::TransferModel::pcie2(),
         strategy,
-    );
+    )?;
     let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(iters));
     let _launch_span = telemetry.span("cli.gpu");
-    let report = backend.solve_batch(&tensors, &starts, &solver, telemetry);
+    let report = backend.solve_batch(&tensors, &starts, &solver, telemetry)?;
     if report.kernel != strategy.name() {
         writeln!(
             out,
@@ -612,7 +640,7 @@ fn inner_profile(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) 
     let backend = GpuSimBackend::new(device, strategy);
     let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(iters));
     let _span = telemetry.span("cli.profile");
-    let report = backend.solve_batch(&tensors, &starts, &solver, telemetry);
+    let report = backend.solve_batch(&tensors, &starts, &solver, telemetry)?;
     writeln!(out, "{}", report.profiles[0].snapshot.to_json_pretty())?;
     Ok(())
 }

@@ -95,19 +95,21 @@ pub fn extract_fibers(tensor: &SymTensor<f64>, cfg: &ExtractConfig) -> Vec<Fiber
 ///
 /// Note the GPU-simulated backends support only [`Shift::Fixed`]; pass a
 /// CPU backend for the convex/adaptive shifts recommended for noisy data.
+/// Backend failures (unsupported shift, mismatched shapes, an exhausted
+/// resilient run) surface as [`backend::BackendError`], never panics.
 pub fn extract_fibers_with(
     tensors: &[SymTensor<f64>],
     cfg: &ExtractConfig,
     backend: &dyn SolveBackend<f64>,
     telemetry: &Telemetry,
-) -> Vec<Vec<FiberEstimate>> {
+) -> Result<Vec<Vec<FiberEstimate>>, backend::BackendError> {
     for t in tensors {
         assert_eq!(t.dim(), 3, "fiber extraction is for 3D tensors");
     }
     let starts = sshopm::starts::fibonacci_sphere::<f64>(cfg.num_starts);
     let solver = extraction_solver(cfg);
-    let report = backend.solve_batch(tensors, &starts, &solver, telemetry);
-    report
+    let report = backend.solve_batch(tensors, &starts, &solver, telemetry)?;
+    Ok(report
         .results
         .into_iter()
         .zip(tensors)
@@ -115,7 +117,7 @@ pub fn extract_fibers_with(
             let spectrum = spectrum_from_pairs(tensor, pairs, &DedupConfig::default(), 1e-5);
             spectrum_to_fibers(&spectrum, cfg)
         })
-        .collect()
+        .collect())
 }
 
 fn extraction_solver(cfg: &ExtractConfig) -> SsHopm {
@@ -275,7 +277,8 @@ mod tests {
             &cfg,
             &CpuParallel::new(2, KernelStrategy::General),
             &Telemetry::disabled(),
-        );
+        )
+        .unwrap();
         assert_eq!(batched.len(), tensors.len());
         for (tensor, got) in tensors.iter().zip(&batched) {
             let want = extract_fibers(tensor, &cfg);
@@ -300,7 +303,8 @@ mod tests {
             &ExtractConfig::default(),
             &CpuSequential::new(KernelStrategy::General),
             &telemetry,
-        );
+        )
+        .unwrap();
         assert_eq!(fibers.len(), 1);
         let snap = telemetry.snapshot();
         assert_eq!(snap.counter("batch.tensors_done"), Some(1));

@@ -89,7 +89,10 @@ where
         .into_par_iter()
         .map(|b| {
             let (records, staging) = block_fn(b);
-            assert_eq!(
+            // Internal-contract check only (all in-crate callers size the
+            // records from the grid config); debug-only so library builds
+            // carry no abort path.
+            debug_assert_eq!(
                 records.len(),
                 config.threads_per_block,
                 "block_fn must return one record per thread"

@@ -21,13 +21,14 @@
 
 use crate::counters::OpCounters;
 use crate::device::DeviceSpec;
+use crate::error::GpuError;
 use crate::exec::{run_grid, GridConfig, LaunchStats, ThreadRecord};
 use crate::occupancy::{KernelResources, Occupancy};
 use crate::timing::{estimate, weights, TimingEstimate};
 use sshopm::{Eigenpair, IterationPolicy, SsHopm};
 use symtensor::flops;
 use symtensor::kernels::GeneralKernels;
-use symtensor::multinomial::num_unique_entries;
+use symtensor::multinomial::{num_unique_entries, try_num_unique_entries};
 use symtensor::{Scalar, SymTensor};
 use unrolled::UnrolledKernels;
 
@@ -145,9 +146,10 @@ pub struct LaunchReport {
 /// all blocks (Section V-C). Returns the functional results plus the
 /// performance report.
 ///
-/// # Panics
-/// Panics if `tensors` is empty, shapes are inconsistent, or the unrolled
-/// variant is requested for a shape with no generated kernel.
+/// # Errors
+/// Returns a [`GpuError`] if `tensors` or `starts` is empty, shapes are
+/// inconsistent or too large to model, or the unrolled variant is requested
+/// for a shape with no generated kernel.
 pub fn launch_sshopm<S: Scalar>(
     device: &DeviceSpec,
     tensors: &[SymTensor<S>],
@@ -155,31 +157,41 @@ pub fn launch_sshopm<S: Scalar>(
     policy: IterationPolicy,
     alpha: f64,
     variant: GpuVariant,
-) -> (GpuBatchResult<S>, LaunchReport) {
-    assert!(!tensors.is_empty(), "need at least one tensor");
-    assert!(!starts.is_empty(), "need at least one starting vector");
-    let m = tensors[0].order();
-    let n = tensors[0].dim();
-    assert!(
-        tensors.iter().all(|t| t.order() == m && t.dim() == n),
-        "all tensors must share one shape"
-    );
+) -> Result<(GpuBatchResult<S>, LaunchReport), GpuError> {
+    let first = tensors.first().ok_or(GpuError::EmptyBatch)?;
+    if starts.is_empty() {
+        return Err(GpuError::EmptyStarts);
+    }
+    let m = first.order();
+    let n = first.dim();
+    if let Some(bad) = tensors.iter().find(|t| t.order() != m || t.dim() != n) {
+        return Err(GpuError::MismatchedShapes {
+            expected: (m, n),
+            found: (bad.order(), bad.dim()),
+        });
+    }
+    if try_num_unique_entries(m, n).is_err() {
+        return Err(GpuError::ShapeTooLarge { m, n });
+    }
 
     let grid = GridConfig {
         num_blocks: tensors.len(),
         threads_per_block: starts.len(),
         warp_size: device.warp_size,
     };
-    let resources = KernelResources::sshopm(m, n, starts.len(), variant == GpuVariant::Unrolled);
+    let resources = KernelResources::sshopm(
+        m,
+        n,
+        starts.len(),
+        std::mem::size_of::<S>(),
+        variant == GpuVariant::Unrolled,
+    );
     let occupancy = Occupancy::compute(device, &resources);
 
     let solver = SsHopm::new(sshopm::Shift::Fixed(alpha)).with_policy(policy);
     let unrolled_kernels = UnrolledKernels::for_shape(m, n);
-    if variant == GpuVariant::Unrolled {
-        assert!(
-            unrolled_kernels.is_some(),
-            "no unrolled kernel generated for shape ({m},{n})"
-        );
+    if variant == GpuVariant::Unrolled && unrolled_kernels.is_none() {
+        return Err(GpuError::NoUnrolledKernel { m, n });
     }
 
     let iter_counters = per_iteration_counters(m, n, variant);
@@ -240,7 +252,7 @@ pub fn launch_sshopm<S: Scalar>(
     let timing = estimate(device, grid.num_blocks, &stats, &occupancy);
     let gflops = timing.gflops(useful_flops);
 
-    (
+    Ok((
         GpuBatchResult { results },
         LaunchReport {
             variant,
@@ -252,7 +264,7 @@ pub fn launch_sshopm<S: Scalar>(
             timing,
             gflops,
         },
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -275,7 +287,8 @@ mod tests {
         let (tensors, starts) = workload(8, 32, 1);
         let policy = IterationPolicy::Fixed(20);
         let device = DeviceSpec::tesla_c2050();
-        let (gpu, _) = launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::General);
+        let (gpu, _) =
+            launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::General).unwrap();
         let cpu = BatchSolver::new(SsHopm::new(sshopm::Shift::Fixed(0.0)).with_policy(policy))
             .solve_sequential(&GeneralKernels, &tensors, &starts);
         for t in 0..8 {
@@ -298,7 +311,8 @@ mod tests {
             policy,
             0.0,
             GpuVariant::Unrolled,
-        );
+        )
+        .unwrap();
         let k = UnrolledKernels::for_shape(4, 3).unwrap();
         let cpu = BatchSolver::new(SsHopm::new(sshopm::Shift::Fixed(0.0)).with_policy(policy))
             .solve_sequential(&k, &tensors, &starts);
@@ -315,7 +329,7 @@ mod tests {
         let policy = IterationPolicy::Fixed(20);
         let device = DeviceSpec::tesla_c2050();
         let (_, general) =
-            launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::General);
+            launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::General).unwrap();
         let (_, unrolled) = launch_sshopm(
             &device,
             &tensors,
@@ -323,7 +337,8 @@ mod tests {
             policy,
             0.0,
             GpuVariant::Unrolled,
-        );
+        )
+        .unwrap();
         // Paper Table III(a): 18.7x on the GPU. The model should show a
         // large multiple (>4x) without hand-tuning to the exact figure.
         let speedup = general.timing.seconds / unrolled.timing.seconds;
@@ -343,7 +358,8 @@ mod tests {
             policy,
             0.0,
             GpuVariant::Unrolled,
-        );
+        )
+        .unwrap();
         let frac = report.gflops / device.peak_sp_gflops();
         // Paper: 31% of peak. Accept a generous band around it.
         assert!(
@@ -369,7 +385,8 @@ mod tests {
                 policy,
                 0.0,
                 GpuVariant::Unrolled,
-            );
+            )
+            .unwrap();
             series.push((t, report.gflops));
             assert!(
                 report.gflops >= last * 0.95,
@@ -400,7 +417,8 @@ mod tests {
             policy,
             0.2,
             GpuVariant::Unrolled,
-        );
+        )
+        .unwrap();
         // Different threads converge at different iterations: SIMD
         // efficiency strictly below 1.
         let eff = report.stats.simd_efficiency(32);
@@ -419,7 +437,8 @@ mod tests {
             IterationPolicy::Fixed(5),
             0.0,
             GpuVariant::General,
-        );
+        )
+        .unwrap();
         assert_eq!(res.results.len(), 10);
         assert_eq!(res.results[0].len(), 32);
         assert_eq!(report.grid.num_blocks, 10);
@@ -435,7 +454,8 @@ mod tests {
         let (tensors, starts) = workload(8, 32, 8);
         let device = DeviceSpec::tesla_c2050();
         let policy = IterationPolicy::Fixed(10);
-        let (_, g) = launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::General);
+        let (_, g) =
+            launch_sshopm(&device, &tensors, &starts, policy, 0.0, GpuVariant::General).unwrap();
         let (_, u) = launch_sshopm(
             &device,
             &tensors,
@@ -443,30 +463,31 @@ mod tests {
             policy,
             0.0,
             GpuVariant::Unrolled,
-        );
+        )
+        .unwrap();
         assert!(g.stats.counters.global_words() > 10 * u.stats.counters.global_words());
     }
 
     #[test]
-    #[should_panic]
-    fn unrolled_panics_for_ungenerated_shape() {
+    fn unrolled_errors_for_ungenerated_shape() {
         let mut rng = StdRng::seed_from_u64(9);
         let tensors = vec![SymTensor::<f32>::random(5, 5, &mut rng)];
         let starts = random_uniform_starts(5, 32, &mut rng);
         let device = DeviceSpec::tesla_c2050();
-        let _ = launch_sshopm(
+        let err = launch_sshopm(
             &device,
             &tensors,
             &starts,
             IterationPolicy::Fixed(5),
             0.0,
             GpuVariant::Unrolled,
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, GpuError::NoUnrolledKernel { m: 5, n: 5 });
     }
 
     #[test]
-    #[should_panic]
-    fn mixed_shapes_panic() {
+    fn mixed_shapes_error() {
         let mut rng = StdRng::seed_from_u64(10);
         let tensors = vec![
             SymTensor::<f32>::random(4, 3, &mut rng),
@@ -474,13 +495,52 @@ mod tests {
         ];
         let starts = random_uniform_starts(3, 32, &mut rng);
         let device = DeviceSpec::tesla_c2050();
-        let _ = launch_sshopm(
+        let err = launch_sshopm(
             &device,
             &tensors,
             &starts,
             IterationPolicy::Fixed(5),
             0.0,
             GpuVariant::General,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            GpuError::MismatchedShapes {
+                expected: (4, 3),
+                found: (3, 3)
+            }
         );
+    }
+
+    #[test]
+    fn empty_batch_and_empty_starts_error_cleanly() {
+        let device = DeviceSpec::tesla_c2050();
+        let none: Vec<SymTensor<f32>> = Vec::new();
+        let starts = vec![vec![1.0f32, 0.0, 0.0]];
+        let err = launch_sshopm(
+            &device,
+            &none,
+            &starts,
+            IterationPolicy::Fixed(5),
+            0.0,
+            GpuVariant::General,
+        )
+        .unwrap_err();
+        assert_eq!(err, GpuError::EmptyBatch);
+
+        let mut rng = StdRng::seed_from_u64(11);
+        let tensors = vec![SymTensor::<f32>::random(4, 3, &mut rng)];
+        let no_starts: Vec<Vec<f32>> = Vec::new();
+        let err = launch_sshopm(
+            &device,
+            &tensors,
+            &no_starts,
+            IterationPolicy::Fixed(5),
+            0.0,
+            GpuVariant::General,
+        )
+        .unwrap_err();
+        assert_eq!(err, GpuError::EmptyStarts);
     }
 }

@@ -27,7 +27,9 @@
 
 pub mod counters;
 pub mod device;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod multi;
@@ -37,7 +39,12 @@ pub mod timing;
 
 pub use counters::OpCounters;
 pub use device::DeviceSpec;
+pub use error::GpuError;
 pub use exec::{GridConfig, LaunchStats};
+pub use fault::{
+    corrupt_tensor, FaultKind, FaultPlan, FaultSite, InjectedFault, BACKOFF_BASE_SECONDS,
+    WATCHDOG_TIMEOUT_SECONDS,
+};
 pub use kernel::{launch_sshopm, GpuBatchResult, GpuVariant, LaunchReport};
 pub use multi::{MultiGpu, MultiReport, TransferModel};
 pub use occupancy::{KernelResources, Occupancy};

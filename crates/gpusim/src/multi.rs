@@ -8,6 +8,7 @@
 //! moving the tensors to the device and the eigenpairs back over PCIe.
 
 use crate::device::DeviceSpec;
+use crate::error::GpuError;
 use crate::kernel::{launch_sshopm, GpuBatchResult, GpuVariant, LaunchReport};
 use sshopm::IterationPolicy;
 use symtensor::multinomial::num_unique_entries;
@@ -92,15 +93,25 @@ pub struct MultiGpu {
 impl MultiGpu {
     /// A multi-GPU host. Devices may be heterogeneous.
     ///
-    /// # Panics
-    /// Panics if the device list is empty.
-    pub fn new(devices: Vec<DeviceSpec>, transfer: TransferModel) -> Self {
-        assert!(!devices.is_empty(), "need at least one device");
-        Self { devices, transfer }
+    /// # Errors
+    /// Returns [`GpuError::EmptyDeviceList`] if the device list is empty —
+    /// a malformed spec must surface as an error, not abort the process.
+    pub fn new(devices: Vec<DeviceSpec>, transfer: TransferModel) -> Result<Self, GpuError> {
+        if devices.is_empty() {
+            return Err(GpuError::EmptyDeviceList);
+        }
+        Ok(Self { devices, transfer })
     }
 
     /// `count` identical devices.
-    pub fn homogeneous(device: DeviceSpec, count: usize, transfer: TransferModel) -> Self {
+    ///
+    /// # Errors
+    /// Returns [`GpuError::EmptyDeviceList`] if `count` is zero.
+    pub fn homogeneous(
+        device: DeviceSpec,
+        count: usize,
+        transfer: TransferModel,
+    ) -> Result<Self, GpuError> {
         Self::new(vec![device; count], transfer)
     }
 
@@ -121,7 +132,7 @@ impl MultiGpu {
         // Distribute the remainder to the fastest devices first.
         let mut assigned: usize = counts.iter().sum();
         let mut order: Vec<usize> = (0..self.devices.len()).collect();
-        order.sort_by(|&a, &b| peaks[b].partial_cmp(&peaks[a]).unwrap());
+        order.sort_by(|&a, &b| peaks[b].total_cmp(&peaks[a]));
         let mut i = 0;
         while assigned < total {
             counts[order[i % order.len()]] += 1;
@@ -137,6 +148,10 @@ impl MultiGpu {
     /// estimate is the slowest device's kernel-plus-transfer time (devices
     /// run concurrently; transfers to distinct devices use distinct PCIe
     /// lanes, as on real multi-GPU boards).
+    ///
+    /// # Errors
+    /// Returns a [`GpuError`] for an empty batch or any per-device launch
+    /// failure (empty starts, mixed shapes, missing unrolled kernel).
     pub fn launch<S: Scalar>(
         &self,
         tensors: &[SymTensor<S>],
@@ -144,10 +159,10 @@ impl MultiGpu {
         policy: IterationPolicy,
         alpha: f64,
         variant: GpuVariant,
-    ) -> (GpuBatchResult<S>, MultiReport) {
-        assert!(!tensors.is_empty(), "need at least one tensor");
-        let m = tensors[0].order();
-        let n = tensors[0].dim();
+    ) -> Result<(GpuBatchResult<S>, MultiReport), GpuError> {
+        let first = tensors.first().ok_or(GpuError::EmptyBatch)?;
+        let m = first.order();
+        let n = first.dim();
         let counts = self.split(tensors.len());
 
         let mut results = Vec::with_capacity(tensors.len());
@@ -162,7 +177,7 @@ impl MultiGpu {
             }
             let chunk = &tensors[offset..offset + count];
             offset += count;
-            let (res, report) = launch_sshopm(device, chunk, starts, policy, alpha, variant);
+            let (res, report) = launch_sshopm(device, chunk, starts, policy, alpha, variant)?;
             let (down, up) =
                 problem_traffic_bytes(count, starts.len(), m, n, std::mem::size_of::<S>());
             let transfer_seconds =
@@ -180,8 +195,12 @@ impl MultiGpu {
             });
         }
 
-        let gflops = useful_flops as f64 / wall / 1e9;
-        (
+        let gflops = if wall > 0.0 {
+            useful_flops as f64 / wall / 1e9
+        } else {
+            0.0
+        };
+        Ok((
             GpuBatchResult { results },
             MultiReport {
                 slices,
@@ -189,7 +208,7 @@ impl MultiGpu {
                 useful_flops,
                 gflops,
             },
-        )
+        ))
     }
 }
 
@@ -209,7 +228,8 @@ mod tests {
 
     #[test]
     fn split_is_exact_and_proportional() {
-        let mg = MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 4, TransferModel::pcie2());
+        let mg =
+            MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 4, TransferModel::pcie2()).unwrap();
         let counts = mg.split(1024);
         assert_eq!(counts.iter().sum::<usize>(), 1024);
         assert_eq!(counts, vec![256; 4]);
@@ -220,7 +240,8 @@ mod tests {
         let mg = MultiGpu::new(
             vec![DeviceSpec::tesla_c2050(), DeviceSpec::tesla_c1060()],
             TransferModel::pcie2(),
-        );
+        )
+        .unwrap();
         let counts = mg.split(100);
         assert_eq!(counts.iter().sum::<usize>(), 100);
         assert!(counts[0] > counts[1], "{counts:?}");
@@ -238,9 +259,12 @@ mod tests {
             policy,
             0.0,
             GpuVariant::Unrolled,
-        );
-        let mg = MultiGpu::homogeneous(single, 4, TransferModel::pcie2());
-        let (multi, report) = mg.launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+        )
+        .unwrap();
+        let mg = MultiGpu::homogeneous(single, 4, TransferModel::pcie2()).unwrap();
+        let (multi, report) = mg
+            .launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled)
+            .unwrap();
         assert_eq!(multi.results.len(), 16);
         for t in 0..16 {
             for v in 0..32 {
@@ -254,10 +278,16 @@ mod tests {
     fn two_gpus_are_faster_than_one_at_scale() {
         let (tensors, starts) = workload(512, 128, 2);
         let policy = IterationPolicy::Fixed(20);
-        let one = MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 1, TransferModel::pcie2());
-        let two = MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 2, TransferModel::pcie2());
-        let (_, r1) = one.launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
-        let (_, r2) = two.launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+        let one =
+            MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 1, TransferModel::pcie2()).unwrap();
+        let two =
+            MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 2, TransferModel::pcie2()).unwrap();
+        let (_, r1) = one
+            .launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled)
+            .unwrap();
+        let (_, r2) = two
+            .launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled)
+            .unwrap();
         let speedup = r1.seconds / r2.seconds;
         assert!(
             speedup > 1.5,
@@ -269,10 +299,16 @@ mod tests {
     fn tiny_batches_do_not_benefit_from_more_gpus() {
         let (tensors, starts) = workload(2, 32, 3);
         let policy = IterationPolicy::Fixed(5);
-        let one = MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 1, TransferModel::pcie2());
-        let four = MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 4, TransferModel::pcie2());
-        let (_, r1) = one.launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
-        let (_, r4) = four.launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+        let one =
+            MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 1, TransferModel::pcie2()).unwrap();
+        let four =
+            MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 4, TransferModel::pcie2()).unwrap();
+        let (_, r1) = one
+            .launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled)
+            .unwrap();
+        let (_, r4) = four
+            .launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled)
+            .unwrap();
         // Fixed transfer latency and launch overhead dominate; no big win.
         assert!(
             r4.seconds > r1.seconds * 0.4,
@@ -303,10 +339,13 @@ mod tests {
         // (kernel-bound overall) and attribute most bytes to the upload of
         // results, not the tensor download.
         let policy = IterationPolicy::Fixed(20);
-        let mg = MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 1, TransferModel::pcie2());
+        let mg =
+            MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 1, TransferModel::pcie2()).unwrap();
         for t in [64usize, 1024] {
             let (tensors, starts) = workload(t, 128, 4);
-            let (_, report) = mg.launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled);
+            let (_, report) = mg
+                .launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled)
+                .unwrap();
             let slice = &report.slices[0];
             let share = slice.transfer_seconds / slice.total_seconds;
             assert!(share < 0.5, "T={t}: transfer share {share:.3}");
@@ -316,8 +355,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn empty_device_list_panics() {
-        MultiGpu::new(vec![], TransferModel::pcie2());
+    fn empty_device_list_is_an_error_not_a_panic() {
+        let err = MultiGpu::new(vec![], TransferModel::pcie2()).unwrap_err();
+        assert_eq!(err, GpuError::EmptyDeviceList);
+        let err = MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 0, TransferModel::pcie2())
+            .unwrap_err();
+        assert_eq!(err, GpuError::EmptyDeviceList);
+    }
+
+    #[test]
+    fn empty_batch_is_an_error_not_a_panic() {
+        let mg =
+            MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 2, TransferModel::pcie2()).unwrap();
+        let none: Vec<SymTensor<f32>> = Vec::new();
+        let starts = vec![vec![1.0f32, 0.0, 0.0]];
+        let err = mg
+            .launch(
+                &none,
+                &starts,
+                IterationPolicy::Fixed(5),
+                0.0,
+                GpuVariant::General,
+            )
+            .unwrap_err();
+        assert_eq!(err, GpuError::EmptyBatch);
     }
 }

@@ -22,26 +22,35 @@ pub struct KernelResources {
 
 impl KernelResources {
     /// Resource footprint of the batched SS-HOPM kernel for shape `(m, n)`
-    /// in `f32`.
+    /// with scalars of `elem_size` bytes (4 for `f32`, 8 for `f64`).
     ///
-    /// * Registers: the iterate `x` and accumulator `y` (`2n`), scalars
-    ///   (λ, α, norm, temporaries ≈ 8), plus — in the *unrolled* variant —
-    ///   the compiler keeps monomial products alive (≈ `n` more). The
-    ///   *general* variant instead carries the index array (`m` ints).
-    /// * Shared memory: the tensor's packed unique entries (`U` floats),
-    ///   plus the shared index/coefficient tables in the general variant.
-    pub fn sshopm(m: usize, n: usize, threads_per_block: usize, unrolled: bool) -> Self {
+    /// * Registers: the iterate `x` and accumulator `y` (`2n` scalars),
+    ///   scalar temporaries (λ, α, norm, ≈ 8), plus — in the *unrolled*
+    ///   variant — the compiler keeps monomial products alive (≈ `n` more).
+    ///   Each scalar occupies `elem_size / 4` 32-bit registers (register
+    ///   pairs for `f64`, as on real Fermi). The *general* variant instead
+    ///   carries the index array (`m` 32-bit ints).
+    /// * Shared memory: the tensor's packed unique entries (`U` scalars of
+    ///   `elem_size` bytes), plus the shared index/coefficient tables
+    ///   (always 32-bit integers) in the general variant.
+    pub fn sshopm(
+        m: usize,
+        n: usize,
+        threads_per_block: usize,
+        elem_size: usize,
+        unrolled: bool,
+    ) -> Self {
         let u = symtensor::multinomial::num_unique_entries(m, n) as usize;
-        let registers_per_thread = if unrolled {
-            2 * n + 8 + n
-        } else {
-            2 * n + 8 + m
-        };
+        // 32-bit register words per scalar: 1 for f32, 2 for f64.
+        let words = elem_size.div_ceil(4).max(1);
+        let scalar_regs = if unrolled { 2 * n + 8 + n } else { 2 * n + 8 };
+        let int_regs = if unrolled { 0 } else { m };
+        let registers_per_thread = scalar_regs * words + int_regs;
         let shared_mem_per_block = if unrolled {
-            4 * u
+            elem_size * u
         } else {
             // values + index reps (m u32 per entry) + coefficients (u32).
-            4 * u + 4 * m * u + 4 * u
+            elem_size * u + 4 * m * u + 4 * u
         };
         Self {
             registers_per_thread,
@@ -131,7 +140,7 @@ mod tests {
         // Section V-B: 128 threads/block, small (4,3) tensors -> "three or
         // four thread blocks each" SM at minimum; our model allows more
         // since registers are small, capped by the 8-block slot limit.
-        let res = KernelResources::sshopm(4, 3, 128, true);
+        let res = KernelResources::sshopm(4, 3, 128, 4, true);
         let occ = Occupancy::compute(&c2050(), &res);
         assert!(occ.blocks_per_sm >= 3, "{occ:?}");
         assert!(occ.fraction > 0.5, "{occ:?}");
@@ -139,8 +148,8 @@ mod tests {
 
     #[test]
     fn unrolled_uses_less_shared_memory_than_general() {
-        let unrolled = KernelResources::sshopm(4, 3, 128, true);
-        let general = KernelResources::sshopm(4, 3, 128, false);
+        let unrolled = KernelResources::sshopm(4, 3, 128, 4, true);
+        let general = KernelResources::sshopm(4, 3, 128, 4, false);
         assert!(unrolled.shared_mem_per_block < general.shared_mem_per_block);
     }
 
@@ -149,11 +158,55 @@ mod tests {
         // Section V-E: "decreased performance for tensor sizes past a
         // threshold of around order 4 and dimension 5".
         let d = c2050();
-        let small = Occupancy::compute(&d, &KernelResources::sshopm(4, 3, 128, true));
-        let mid = Occupancy::compute(&d, &KernelResources::sshopm(4, 5, 128, true));
-        let large = Occupancy::compute(&d, &KernelResources::sshopm(6, 8, 128, true));
+        let small = Occupancy::compute(&d, &KernelResources::sshopm(4, 3, 128, 4, true));
+        let mid = Occupancy::compute(&d, &KernelResources::sshopm(4, 5, 128, 4, true));
+        let large = Occupancy::compute(&d, &KernelResources::sshopm(6, 8, 128, 4, true));
         assert!(small.fraction >= mid.fraction);
         assert!(mid.fraction >= large.fraction);
+    }
+
+    #[test]
+    fn f32_footprint_matches_table_ii_era_model() {
+        // Regression: the element-size parameter must not change the f32
+        // numbers the paper-facing tests were calibrated against.
+        // Unrolled (4,3): 15 unique entries -> 60 B smem, 3n+8 = 17 regs.
+        let unrolled = KernelResources::sshopm(4, 3, 128, 4, true);
+        assert_eq!(unrolled.shared_mem_per_block, 60);
+        assert_eq!(unrolled.registers_per_thread, 17);
+        // General (4,3): (4 + 4*4 + 4) * 15 = 360 B, 2n+8+m = 18 regs.
+        let general = KernelResources::sshopm(4, 3, 128, 4, false);
+        assert_eq!(general.shared_mem_per_block, 360);
+        assert_eq!(general.registers_per_thread, 18);
+    }
+
+    #[test]
+    fn f64_doubles_scalar_footprint_but_not_integer_tables() {
+        // The old model hardcoded 4-byte scalars, under-counting f64 shared
+        // memory ~2x and over-reporting occupancy.
+        let f32_u = KernelResources::sshopm(4, 3, 128, 4, true);
+        let f64_u = KernelResources::sshopm(4, 3, 128, 8, true);
+        assert_eq!(f64_u.shared_mem_per_block, 2 * f32_u.shared_mem_per_block);
+        assert_eq!(f64_u.registers_per_thread, 2 * f32_u.registers_per_thread);
+        // General variant: scalar values double, u32 index/coeff tables
+        // stay 4-byte, so the total grows by exactly 4*U bytes.
+        let f32_g = KernelResources::sshopm(4, 3, 128, 4, false);
+        let f64_g = KernelResources::sshopm(4, 3, 128, 8, false);
+        assert_eq!(
+            f64_g.shared_mem_per_block,
+            f32_g.shared_mem_per_block + 4 * 15
+        );
+        // And occupancy can only get worse in f64, never better.
+        let d = c2050();
+        for unrolled in [true, false] {
+            for (m, n) in [(4usize, 3usize), (4, 5), (6, 8)] {
+                let o32 = Occupancy::compute(&d, &KernelResources::sshopm(m, n, 128, 4, unrolled));
+                let o64 = Occupancy::compute(&d, &KernelResources::sshopm(m, n, 128, 8, unrolled));
+                assert!(
+                    o64.fraction <= o32.fraction + 1e-12,
+                    "({m},{n}) unrolled={unrolled}: {o64:?} vs {o32:?}"
+                );
+            }
+        }
     }
 
     #[test]

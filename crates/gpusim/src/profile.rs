@@ -277,7 +277,8 @@ mod tests {
             IterationPolicy::Fixed(12),
             0.0,
             GpuVariant::General,
-        );
+        )
+        .unwrap();
         ProfileSnapshot::from_report(&device, &report)
     }
 

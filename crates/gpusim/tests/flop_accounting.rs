@@ -47,7 +47,8 @@ fn launch_useful_flops_match_closed_form_exactly() {
             {
                 continue;
             }
-            let (res, report) = launch_sshopm(&device, &tensors, &starts, policy, 0.4, variant);
+            let (res, report) =
+                launch_sshopm(&device, &tensors, &starts, policy, 0.4, variant).unwrap();
             let total_iterations: u64 = res
                 .results
                 .iter()
@@ -81,7 +82,8 @@ fn fixed_policy_flops_are_t_v_k_times_per_iteration() {
             IterationPolicy::Fixed(k),
             0.0,
             variant,
-        );
+        )
+        .unwrap();
         assert_eq!(
             report.useful_flops,
             (t * v * k) as u64 * sshopm_iter_flops(4, 3)

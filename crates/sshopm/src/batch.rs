@@ -139,23 +139,6 @@ impl BatchSolver {
             .run(kernels, tensors, starts, &Telemetry::disabled())
     }
 
-    /// Deprecated shim: use [`run`](Self::run) (or the `backend` crate's
-    /// `SolveBackend` trait) instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use BatchSolver::run with with_threads(1), or backend::CpuSequential"
-    )]
-    pub fn solve_sequential_instrumented<S: Scalar, K: TensorKernels<S> + ?Sized>(
-        &self,
-        kernels: &K,
-        tensors: &[SymTensor<S>],
-        starts: &[Vec<S>],
-        telemetry: &Telemetry,
-    ) -> BatchResult<S> {
-        self.with_threads(1)
-            .run(kernels, tensors, starts, telemetry)
-    }
-
     /// Solve in parallel over tensors (the paper's OpenMP scheme). Thin
     /// shim over [`run`](Self::run) honoring the configured thread count.
     pub fn solve_parallel<S: Scalar, K: TensorKernels<S> + Sync + ?Sized>(
@@ -165,22 +148,6 @@ impl BatchSolver {
         starts: &[Vec<S>],
     ) -> BatchResult<S> {
         self.run(kernels, tensors, starts, &Telemetry::disabled())
-    }
-
-    /// Deprecated shim: use [`run`](Self::run) (or the `backend` crate's
-    /// `SolveBackend` trait) instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use BatchSolver::run, or backend::CpuParallel"
-    )]
-    pub fn solve_parallel_instrumented<S: Scalar, K: TensorKernels<S> + Sync + ?Sized>(
-        &self,
-        kernels: &K,
-        tensors: &[SymTensor<S>],
-        starts: &[Vec<S>],
-        telemetry: &Telemetry,
-    ) -> BatchResult<S> {
-        self.run(kernels, tensors, starts, telemetry)
     }
 
     /// Convenience: solve with the default on-the-fly kernels, parallel.
@@ -367,15 +334,16 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_instrumented_shims_agree_with_run() {
+    fn convenience_entry_points_agree_with_run() {
+        // Migrated from the removed `*_instrumented` shims: the remaining
+        // convenience wrappers must stay bit-identical to `run`.
         let (tensors, starts) = workload(3, 4, 7);
         let solver =
             BatchSolver::new(SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(8)));
         let tel = Telemetry::disabled();
         let base = solver.run(&GeneralKernels, &tensors, &starts, &tel);
-        let seq = solver.solve_sequential_instrumented(&GeneralKernels, &tensors, &starts, &tel);
-        let par = solver.solve_parallel_instrumented(&GeneralKernels, &tensors, &starts, &tel);
+        let seq = solver.solve_sequential(&GeneralKernels, &tensors, &starts);
+        let par = solver.solve_parallel(&GeneralKernels, &tensors, &starts);
         for (t, v, p) in base.iter_flat() {
             assert_eq!(p.lambda, seq.results[t][v].lambda);
             assert_eq!(p.lambda, par.results[t][v].lambda);

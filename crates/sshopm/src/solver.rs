@@ -115,6 +115,16 @@ impl<S: Scalar> Eigenpair<S> {
         acc.sqrt()
     }
 
+    /// True if the eigenvalue and every eigenvector component are finite.
+    ///
+    /// SS-HOPM with a valid (convex/concave) shift converges monotonically
+    /// (Kolda–Mayo), so a NaN or infinity in the result is never a
+    /// legitimate answer — it indicates corrupted input data or a diverged
+    /// iteration, and resilient callers treat it as a detected fault.
+    pub fn is_finite(&self) -> bool {
+        self.lambda.is_finite() && self.x.iter().all(|v| v.is_finite())
+    }
+
     /// The eigenpair with the eigenvector's sign flipped; for even tensor
     /// order this is an equally valid eigenpair (`λ, −x`), for odd order the
     /// eigenvalue flips too (`−λ, −x`).

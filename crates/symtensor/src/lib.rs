@@ -53,5 +53,6 @@ pub use dense::DenseTensor;
 pub use error::{Error, Result};
 pub use index::{IndexClass, IndexClassIter, MonomialRep};
 pub use kernels::{GeneralKernels, PrecomputedTables, TensorKernels};
+pub use multinomial::CombinatoricsOverflow;
 pub use scalar::Scalar;
 pub use storage::SymTensor;

@@ -26,16 +26,44 @@ pub fn factorial(k: usize) -> u64 {
     TABLE[k]
 }
 
+/// Error returned by the checked combinatorics routines when an exact
+/// `u64` result does not exist (the true value exceeds `u64::MAX`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombinatoricsOverflow {
+    /// Human-readable description of the quantity that overflowed.
+    pub what: String,
+}
+
+impl std::fmt::Display for CombinatoricsOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} overflows u64", self.what)
+    }
+}
+
+impl std::error::Error for CombinatoricsOverflow {}
+
 /// Binomial coefficient `C(n, k)` with exact intermediate arithmetic.
 ///
 /// Returns 0 when `k > n`. Uses the multiplicative formula with `u128`
 /// intermediates so values up to `u64::MAX` are produced without overflow.
 ///
 /// # Panics
-/// Panics if the result itself overflows `u64`.
+/// Panics if the result itself overflows `u64`. Use [`try_binomial`] for
+/// a non-panicking variant.
 pub fn binomial(n: usize, k: usize) -> u64 {
+    match try_binomial(n, k) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Checked binomial coefficient `C(n, k)`: returns an error instead of
+/// panicking when the result overflows `u64`.
+///
+/// Returns `Ok(0)` when `k > n`.
+pub fn try_binomial(n: usize, k: usize) -> Result<u64, CombinatoricsOverflow> {
     if k > n {
-        return 0;
+        return Ok(0);
     }
     let k = k.min(n - k);
     let mut acc: u128 = 1;
@@ -43,8 +71,17 @@ pub fn binomial(n: usize, k: usize) -> u64 {
         // Multiply before dividing: acc * (n-i) is always divisible by (i+1)
         // because acc holds C(n, i) after each step.
         acc = acc * (n - i) as u128 / (i + 1) as u128;
+        // Early out: once the running value exceeds u64::MAX it can only
+        // grow for the remaining factors (each >= 1).
+        if acc > u64::MAX as u128 {
+            return Err(CombinatoricsOverflow {
+                what: format!("binomial coefficient C({n}, {k})"),
+            });
+        }
     }
-    u64::try_from(acc).expect("binomial coefficient overflows u64")
+    u64::try_from(acc).map_err(|_| CombinatoricsOverflow {
+        what: format!("binomial coefficient C({n}, {k})"),
+    })
 }
 
 /// Number of unique entries of a symmetric tensor in `R^[m,n]`:
@@ -52,6 +89,14 @@ pub fn binomial(n: usize, k: usize) -> u64 {
 #[inline]
 pub fn num_unique_entries(m: usize, n: usize) -> u64 {
     binomial(m + n - 1, m)
+}
+
+/// Checked variant of [`num_unique_entries`]: `Err` instead of a panic
+/// when `C(m+n-1, m)` does not fit in `u64` (huge shapes from untrusted
+/// specs).
+#[inline]
+pub fn try_num_unique_entries(m: usize, n: usize) -> Result<u64, CombinatoricsOverflow> {
+    try_binomial(m + n - 1, m)
 }
 
 /// Multinomial coefficient `m! / (k_1! k_2! ... k_n!)` from a monomial
@@ -155,19 +200,35 @@ pub struct BinomialTable {
 
 impl BinomialTable {
     /// Build a table holding `C(i, j)` for all `i < rows`, `j <= i`.
+    ///
+    /// # Panics
+    /// Panics if any entry overflows `u64` (`rows > 68`); use
+    /// [`try_new`](Self::try_new) when `rows` comes from untrusted input.
     pub fn new(rows: usize) -> Self {
+        match Self::try_new(rows) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked variant of [`new`](Self::new): `Err` instead of a panic
+    /// when an entry of Pascal's triangle overflows `u64`.
+    pub fn try_new(rows: usize) -> Result<Self, CombinatoricsOverflow> {
         let mut data = vec![0u64; rows * rows];
         for i in 0..rows {
             data[i * rows] = 1;
             for j in 1..=i {
                 let above = data[(i - 1) * rows + j];
                 let above_left = data[(i - 1) * rows + j - 1];
-                data[i * rows + j] = above
-                    .checked_add(above_left)
-                    .expect("binomial table entry overflows u64");
+                data[i * rows + j] =
+                    above
+                        .checked_add(above_left)
+                        .ok_or_else(|| CombinatoricsOverflow {
+                            what: format!("binomial table entry C({i}, {j})"),
+                        })?;
             }
         }
-        Self { rows, data }
+        Ok(Self { rows, data })
     }
 
     /// `C(n, k)`; returns 0 when `k > n`.
@@ -331,6 +392,31 @@ mod tests {
         let rep = [0usize, 1, 1, 3, 3, 3];
         let total: u64 = (0..4).map(|j| multinomial1(&rep, j)).sum();
         assert_eq!(total, multinomial0(&rep));
+    }
+
+    #[test]
+    fn try_binomial_reports_overflow_instead_of_panicking() {
+        // C(68, 34) > u64::MAX; the checked variant must return Err.
+        assert!(try_binomial(68, 34).is_err());
+        assert!(try_binomial(500, 250).is_err());
+        // In-range values agree with the panicking variant.
+        assert_eq!(try_binomial(64, 32), Ok(binomial(64, 32)));
+        assert_eq!(try_binomial(3, 5), Ok(0));
+    }
+
+    #[test]
+    fn try_num_unique_entries_rejects_huge_shapes() {
+        // (m, n) = (40, 40): C(79, 40) overflows u64.
+        assert!(try_num_unique_entries(40, 40).is_err());
+        assert_eq!(try_num_unique_entries(4, 3), Ok(15));
+    }
+
+    #[test]
+    fn binomial_table_try_new_reports_overflow() {
+        // Row 68 contains C(68, 34) > u64::MAX.
+        assert!(BinomialTable::try_new(69).is_err());
+        let t = BinomialTable::try_new(68).expect("rows <= 68 fit in u64");
+        assert_eq!(t.get(67, 33), binomial(67, 33));
     }
 
     #[test]

@@ -43,8 +43,10 @@
 //! let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(10));
 //!
 //! let spec: BackendSpec = "gpusim".parse().unwrap();
-//! let gpu = spec.build::<f64>(KernelStrategy::Unrolled);
-//! let report = gpu.solve_batch(&tensors, &starts, &solver, &Telemetry::disabled());
+//! let gpu = spec.build::<f64>(KernelStrategy::Unrolled).unwrap();
+//! let report = gpu
+//!     .solve_batch(&tensors, &starts, &solver, &Telemetry::disabled())
+//!     .unwrap();
 //! assert_eq!(report.num_tensors(), 4);
 //! assert_eq!(report.total_iterations, 4 * 8 * 10);
 //! ```
@@ -63,8 +65,8 @@ pub use unrolled;
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
     pub use backend::{
-        BackendSpec, BatchReport, CpuParallel, CpuSequential, GpuSimBackend, KernelStrategy,
-        MultiGpuBackend, SolveBackend,
+        parse_fault_plan, BackendSpec, BatchReport, CpuParallel, CpuSequential, FaultLog,
+        GpuSimBackend, KernelStrategy, MultiGpuBackend, ResilientBackend, SolveBackend,
     };
     pub use dwmri::{
         extract_fibers, extract_fibers_with, ExtractConfig, NoiseModel, Phantom, PhantomConfig,
@@ -94,7 +96,8 @@ mod tests {
         let _ = PhantomConfig::default();
         let _ = CpuSequential::new(KernelStrategy::General);
         let spec: BackendSpec = "cpu:2".parse().unwrap();
-        let _: Box<dyn SolveBackend<f64>> = spec.build(KernelStrategy::Blocked);
+        let _: Box<dyn SolveBackend<f64>> = spec.build(KernelStrategy::Blocked).unwrap();
+        let _ = gpusim::FaultPlan::new(1);
         let _ = Telemetry::disabled();
     }
 }

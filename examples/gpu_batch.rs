@@ -40,7 +40,9 @@ fn main() {
     let mut reports = Vec::new();
     for strategy in [KernelStrategy::General, KernelStrategy::Unrolled] {
         let gpu = GpuSimBackend::new(device.clone(), strategy);
-        let report = gpu.solve_batch(&tensors, &starts, &solver, &telemetry);
+        let report = gpu
+            .solve_batch(&tensors, &starts, &solver, &telemetry)
+            .expect("gpu_batch example workload is well-formed");
         let snap = &report.profiles[0].snapshot;
         println!("--- {} kernel ---", report.kernel);
         println!(
@@ -74,7 +76,8 @@ fn main() {
     // Cross-check: the simulated GPU computes the same eigenpairs as the
     // CPU backend using the same (unrolled) kernels.
     let cpu = CpuParallel::new(0, KernelStrategy::Unrolled)
-        .solve_batch(&tensors, &starts, &solver, &telemetry);
+        .solve_batch(&tensors, &starts, &solver, &telemetry)
+        .expect("gpu_batch example workload is well-formed");
     let gpu = &reports[1];
     let mut worst = 0.0f32;
     for t in 0..tensors.len() {

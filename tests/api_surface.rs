@@ -41,12 +41,11 @@ fn facade_covers_the_paper_workflow() {
     let cpu = BatchSolver::new(solver).solve(&tensors, &starts);
     assert_eq!(cpu.num_tensors(), 4);
     let spec: BackendSpec = "gpusim".parse().unwrap();
-    let gpu = spec.build::<f32>(KernelStrategy::Unrolled).solve_batch(
-        &tensors,
-        &starts,
-        &solver,
-        &Telemetry::disabled(),
-    );
+    let gpu = spec
+        .build::<f32>(KernelStrategy::Unrolled)
+        .unwrap()
+        .solve_batch(&tensors, &starts, &solver, &Telemetry::disabled())
+        .unwrap();
     assert_eq!(gpu.num_tensors(), 4);
     assert_eq!(gpu.kernel, "unrolled");
     assert!(gpu.gflops() > 0.0);

@@ -25,7 +25,9 @@ fn all_kernel_implementations_agree_bitwise_on_f32() {
     // One sequential CPU backend per kernel strategy — the same solve
     // through every contraction implementation.
     let run = |strategy: KernelStrategy| {
-        CpuSequential::new(strategy).solve_batch(&tensors, &starts, &solver, &telemetry)
+        CpuSequential::new(strategy)
+            .solve_batch(&tensors, &starts, &solver, &telemetry)
+            .unwrap()
     };
     let r_general = run(KernelStrategy::General);
     let r_tables = run(KernelStrategy::Precomputed);
@@ -67,7 +69,8 @@ fn gpu_simulator_flop_counters_match_analytic_formulas() {
     let iters = 10usize;
     let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(iters));
     let report = GpuSimBackend::new(DeviceSpec::tesla_c2050(), KernelStrategy::Unrolled)
-        .solve_batch(&tensors, &starts, &solver, &Telemetry::disabled());
+        .solve_batch(&tensors, &starts, &solver, &Telemetry::disabled())
+        .unwrap();
     // Per iteration per thread: the kernel executes the A x^{m-1} and
     // A x^m contractions plus shift/normalization. The counter totals must
     // scale exactly with tensors * starts * iterations.
@@ -142,12 +145,9 @@ fn relative_to_peak_performance_is_similar_across_devices() {
         DeviceSpec::tesla_c2050(),
         DeviceSpec::gtx_580(),
     ] {
-        let report = GpuSimBackend::new(device.clone(), KernelStrategy::Unrolled).solve_batch(
-            &tensors,
-            &starts,
-            &solver,
-            &Telemetry::disabled(),
-        );
+        let report = GpuSimBackend::new(device.clone(), KernelStrategy::Unrolled)
+            .solve_batch(&tensors, &starts, &solver, &Telemetry::disabled())
+            .unwrap();
         fractions.push(report.gflops() / device.peak_sp_gflops());
     }
     let max = fractions.iter().cloned().fold(f64::MIN, f64::max);
@@ -166,7 +166,7 @@ fn occupancy_model_reflects_resource_growth_across_shapes() {
     let device = DeviceSpec::tesla_c2050();
     let mut last_fraction = f64::INFINITY;
     for (m, n) in [(4usize, 3usize), (4, 5), (6, 3)] {
-        let res = gpusim::KernelResources::sshopm(m, n, 128, false);
+        let res = gpusim::KernelResources::sshopm(m, n, 128, 4, false);
         let occ = gpusim::Occupancy::compute(&device, &res);
         assert!(occ.fraction <= last_fraction + 1e-12, "({m},{n})");
         last_fraction = occ.fraction;

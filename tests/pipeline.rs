@@ -115,9 +115,11 @@ fn batch_cpu_and_gpu_sim_agree_on_phantom_tensors() {
     let telemetry = Telemetry::disabled();
 
     let cpu = CpuParallel::new(0, KernelStrategy::Unrolled)
-        .solve_batch(&tensors, &starts, &solver, &telemetry);
+        .solve_batch(&tensors, &starts, &solver, &telemetry)
+        .unwrap();
     let gpu = GpuSimBackend::new(DeviceSpec::tesla_c2050(), KernelStrategy::Unrolled)
-        .solve_batch(&tensors, &starts, &solver, &telemetry);
+        .solve_batch(&tensors, &starts, &solver, &telemetry)
+        .unwrap();
     for t in 0..tensors.len() {
         for v in 0..starts.len() {
             assert_eq!(gpu.results[t][v].lambda, cpu.results[t][v].lambda);
