@@ -7,7 +7,7 @@ use gpusim::{DeviceSpec, MultiGpu, ProfileSnapshot, TransferModel};
 use sshopm::batch::BatchSolver;
 use sshopm::{Shift, SsHopm};
 use std::time::Instant;
-use symtensor::{flops, Scalar, SymTensor};
+use symtensor::{flops, Scalar, TensorBatch};
 use telemetry::Telemetry;
 
 /// An execution substrate for the paper's batched SS-HOPM workload: many
@@ -27,15 +27,18 @@ pub trait SolveBackend<S: Scalar>: Sync {
     /// Solve every tensor from every starting vector with `solver`'s
     /// shift/iteration configuration, recording progress on `telemetry`.
     ///
-    /// All tensors must share one shape. GPU-simulated backends support
-    /// only [`Shift::Fixed`] (the paper's `α = 0` setting) and return a
+    /// The batch arrives as a [`TensorBatch`]: one contiguous arena of
+    /// same-shape packed tensors, so every backend can hand sub-ranges
+    /// around by zero-copy slicing and GPU-style substrates can model the
+    /// host→device staging as a single coalesced transfer. Uniform shape
+    /// is guaranteed by construction. GPU-simulated backends support only
+    /// [`Shift::Fixed`] (the paper's `α = 0` setting) and return a
     /// descriptive [`BackendError`] otherwise — adaptive shifts need
     /// per-iterate spectral information the kernel model does not stage
-    /// on-device. Shape mismatches and overflowing shapes are also
-    /// reported as errors, never panics.
+    /// on-device. Overflowing shapes are reported as errors, never panics.
     fn solve_batch(
         &self,
-        tensors: &[SymTensor<S>],
+        batch: &TensorBatch<S>,
         starts: &[Vec<S>],
         solver: &SsHopm,
         telemetry: &Telemetry,
@@ -59,20 +62,20 @@ fn cpu_solve_batch<S: Scalar>(
     label: String,
     strategy: KernelStrategy,
     threads: usize,
-    tensors: &[SymTensor<S>],
+    batch: &TensorBatch<S>,
     starts: &[Vec<S>],
     solver: &SsHopm,
     telemetry: &Telemetry,
 ) -> Result<BatchReport<S>, BackendError> {
-    let Some(first) = tensors.first() else {
+    if batch.is_empty() {
         return Ok(empty_report(label, strategy));
-    };
-    let (m, n) = (first.order(), first.dim());
+    }
+    let (m, n) = (batch.order(), batch.dim());
     let (kernels, effective) = strategy.resolve::<S>(m, n);
     let started = Instant::now();
     let result = BatchSolver::new(*solver)
         .with_threads(threads)
-        .run(&*kernels, tensors, starts, telemetry);
+        .run(&*kernels, batch, starts, telemetry);
     let seconds = started.elapsed().as_secs_f64();
     Ok(BatchReport {
         backend: label,
@@ -108,7 +111,7 @@ impl<S: Scalar> SolveBackend<S> for CpuSequential {
 
     fn solve_batch(
         &self,
-        tensors: &[SymTensor<S>],
+        batch: &TensorBatch<S>,
         starts: &[Vec<S>],
         solver: &SsHopm,
         telemetry: &Telemetry,
@@ -117,7 +120,7 @@ impl<S: Scalar> SolveBackend<S> for CpuSequential {
             SolveBackend::<S>::label(self),
             self.strategy,
             1,
-            tensors,
+            batch,
             starts,
             solver,
             telemetry,
@@ -153,7 +156,7 @@ impl<S: Scalar> SolveBackend<S> for CpuParallel {
 
     fn solve_batch(
         &self,
-        tensors: &[SymTensor<S>],
+        batch: &TensorBatch<S>,
         starts: &[Vec<S>],
         solver: &SsHopm,
         telemetry: &Telemetry,
@@ -162,7 +165,7 @@ impl<S: Scalar> SolveBackend<S> for CpuParallel {
             SolveBackend::<S>::label(self),
             self.strategy,
             self.threads,
-            tensors,
+            batch,
             starts,
             solver,
             telemetry,
@@ -237,26 +240,20 @@ impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
 
     fn solve_batch(
         &self,
-        tensors: &[SymTensor<S>],
+        batch: &TensorBatch<S>,
         starts: &[Vec<S>],
         solver: &SsHopm,
         telemetry: &Telemetry,
     ) -> Result<BatchReport<S>, BackendError> {
         let label = SolveBackend::<S>::label(self);
-        let Some(first) = tensors.first() else {
+        if batch.is_empty() {
             return Ok(empty_report(label, self.strategy));
-        };
+        }
         let alpha = fixed_alpha(solver, "GpuSimBackend")?;
-        let (variant, effective) = self.strategy.gpu_variant(first.order(), first.dim());
+        let (variant, effective) = self.strategy.gpu_variant(batch.order(), batch.dim());
         let _batch_span = telemetry.span("batch.solve");
-        let (result, report) = gpusim::launch_sshopm(
-            &self.device,
-            tensors,
-            starts,
-            solver.policy(),
-            alpha,
-            variant,
-        )?;
+        let (result, report) =
+            gpusim::launch_sshopm(&self.device, batch, starts, solver.policy(), alpha, variant)?;
         let total_iterations = total_iterations_of(&result.results);
         record_gpu_batch_counters(telemetry, &result.results, total_iterations);
         let snapshot = ProfileSnapshot::from_report(&self.device, &report);
@@ -270,7 +267,7 @@ impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
             useful_flops: report.useful_flops,
             profiles: vec![DeviceProfile {
                 device_index: 0,
-                num_tensors: tensors.len(),
+                num_tensors: batch.len(),
                 transfer_seconds: 0.0,
                 snapshot,
             }],
@@ -335,20 +332,20 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
 
     fn solve_batch(
         &self,
-        tensors: &[SymTensor<S>],
+        batch: &TensorBatch<S>,
         starts: &[Vec<S>],
         solver: &SsHopm,
         telemetry: &Telemetry,
     ) -> Result<BatchReport<S>, BackendError> {
         let label = SolveBackend::<S>::label(self);
-        let Some(first) = tensors.first() else {
+        if batch.is_empty() {
             return Ok(empty_report(label, self.strategy));
-        };
+        }
         let alpha = fixed_alpha(solver, "MultiGpuBackend")?;
-        let (variant, effective) = self.strategy.gpu_variant(first.order(), first.dim());
+        let (variant, effective) = self.strategy.gpu_variant(batch.order(), batch.dim());
         let _batch_span = telemetry.span("batch.solve");
         let mg = MultiGpu::new(self.devices.clone(), self.transfer)?;
-        let (result, report) = mg.launch(tensors, starts, solver.policy(), alpha, variant)?;
+        let (result, report) = mg.launch(batch, starts, solver.policy(), alpha, variant)?;
         let total_iterations = total_iterations_of(&result.results);
         record_gpu_batch_counters(telemetry, &result.results, total_iterations);
         let profiles: Vec<DeviceProfile> = report

@@ -26,13 +26,12 @@
 //! ```
 //! use backend::{BackendSpec, KernelStrategy, SolveBackend};
 //! use sshopm::{IterationPolicy, Shift, SsHopm};
-//! use symtensor::SymTensor;
+//! use symtensor::TensorBatch;
 //! use telemetry::Telemetry;
 //! use rand::SeedableRng;
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-//! let tensors: Vec<SymTensor<f32>> =
-//!     (0..4).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
+//! let tensors = TensorBatch::<f32>::random(4, 3, 4, &mut rng).unwrap();
 //! let starts = sshopm::starts::random_uniform_starts::<f32, _>(3, 8, &mut rng);
 //! let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(10));
 //!

@@ -13,10 +13,14 @@
 //!   the CPU once every simulated device is gone.
 //! * **ECC corruption** poisons one tensor with NaN before the launch;
 //!   the post-launch scan detects the non-finite eigenpairs and re-solves
-//!   that single tensor on the CPU from the pristine data. With failover
-//!   disabled the poisoned tensor *fails alone* — its batch index lands in
-//!   [`FaultLog::failed_indices`] and its result row is empty, while the
-//!   rest of the chunk stands.
+//!   that single tensor on the CPU from the pristine data. Only the
+//!   affected tensor's packed entries (15 scalars at the paper shape) are
+//!   ever copied into a one-tensor scratch batch — the chunk itself
+//!   launches straight from the borrowed arena slice, so the fault-free
+//!   tensors' results come out of the exact same buffers as a fault-free
+//!   run. With failover disabled the poisoned tensor *fails alone* — its
+//!   batch index lands in [`FaultLog::failed_indices`] and its result row
+//!   is empty, while the rest of the chunk stands.
 //!
 //! Every substrate runs the identical library kernels, so recovered
 //! results are **bit-identical** to a fault-free run (the resilience test
@@ -34,7 +38,7 @@ use gpusim::{
 };
 use sshopm::batch::BatchSolver;
 use sshopm::{Eigenpair, SsHopm};
-use symtensor::{flops, Scalar, SymTensor};
+use symtensor::{flops, Scalar, TensorBatch};
 use telemetry::Telemetry;
 
 /// Tensors per launch chunk. Small chunks bound the blast radius of one
@@ -147,37 +151,30 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
 
     fn solve_batch(
         &self,
-        tensors: &[SymTensor<S>],
+        batch: &TensorBatch<S>,
         starts: &[Vec<S>],
         solver: &SsHopm,
         telemetry: &Telemetry,
     ) -> Result<BatchReport<S>, BackendError> {
         let label = SolveBackend::<S>::label(self);
-        let Some(first) = tensors.first() else {
+        if batch.is_empty() {
             return Ok(empty_report(label, self.strategy));
-        };
+        }
         if starts.is_empty() {
             return Err(gpusim::GpuError::EmptyStarts.into());
         }
-        let (m, n) = (first.order(), first.dim());
-        if let Some(bad) = tensors.iter().find(|t| (t.order(), t.dim()) != (m, n)) {
-            return Err(gpusim::GpuError::MismatchedShapes {
-                expected: (m, n),
-                found: (bad.order(), bad.dim()),
-            }
-            .into());
-        }
+        let (m, n) = (batch.order(), batch.dim());
         let alpha = fixed_alpha(solver, "ResilientBackend")?;
         let (variant, effective) = self.strategy.gpu_variant(m, n);
         // The CPU kernels used for failover and NaN recovery: `effective`
         // is exactly what the GPU variant executes, so CPU re-solves are
         // bit-identical to what the device would have produced.
         let (cpu_kernels, _) = effective.resolve::<S>(m, n);
-        let num_entries = first.num_unique();
+        let num_entries = batch.stride();
         let _span = telemetry.span("resilient.solve");
 
         let mut log = FaultLog::default();
-        let mut results: Vec<Vec<Eigenpair<S>>> = vec![Vec::new(); tensors.len()];
+        let mut results: Vec<Vec<Eigenpair<S>>> = vec![Vec::new(); batch.len()];
         let ndev = self.devices.len();
         let mut device_seconds = vec![0.0_f64; ndev];
         let mut cpu_seconds = 0.0_f64;
@@ -186,11 +183,13 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
         let mut useful_flops = 0u64;
         let iter_flops = flops::sshopm_iter_flops(m, n);
 
-        let num_chunks = tensors.len().div_ceil(MAX_CHUNK_TENSORS);
+        let num_chunks = batch.len().div_ceil(MAX_CHUNK_TENSORS);
         for chunk_index in 0..num_chunks {
             let lo = chunk_index * MAX_CHUNK_TENSORS;
-            let hi = (lo + MAX_CHUNK_TENSORS).min(tensors.len());
-            let chunk = &tensors[lo..hi];
+            let hi = (lo + MAX_CHUNK_TENSORS).min(batch.len());
+            // Zero-copy view into the arena: the chunk is never cloned,
+            // faults or not.
+            let chunk = batch.slice(lo..hi);
             // Faults injected into this chunk, not yet resolved either way.
             let mut pending: Vec<gpusim::InjectedFault> = Vec::new();
             let mut rows: Option<Vec<Vec<Eigenpair<S>>>> = None;
@@ -240,24 +239,13 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
                             + BACKOFF_BASE_SECONDS * f64::from(1u32 << attempt.min(16));
                         Attempt::Transient
                     } else {
-                        // Clean launch, possibly with one tensor poisoned
-                        // by ECC corruption.
+                        // Clean launch straight from the borrowed arena
+                        // slice — the fault-free tensors' results come out
+                        // of exactly the buffers a fault-free run reads.
                         let ecc = faults.iter().find(|f| f.kind == FaultKind::EccCorruption);
-                        let poisoned: Vec<SymTensor<S>>;
-                        let launch_tensors: &[SymTensor<S>] = match ecc {
-                            Some(f) => {
-                                let j = f.tensor_index.unwrap_or(0);
-                                let entry = self.plan.ecc_entry(site, num_entries);
-                                let mut owned = chunk.to_vec();
-                                owned[j] = corrupt_tensor(&owned[j], entry);
-                                poisoned = owned;
-                                &poisoned
-                            }
-                            None => chunk,
-                        };
                         let (res, report) = gpusim::launch_sshopm(
                             &self.devices[dev],
-                            launch_tensors,
+                            chunk,
                             starts,
                             solver.policy(),
                             alpha,
@@ -272,19 +260,43 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
                             .map(|p| p.iterations as u64)
                             .sum::<u64>();
                         if let Some(f) = ecc {
+                            // ECC corruption hits one tensor: copy just its
+                            // packed entries (15 scalars at the paper
+                            // shape) into a one-tensor scratch batch,
+                            // flip an entry to NaN, and launch that alone —
+                            // never the whole chunk.
                             let j = f.tensor_index.unwrap_or(0);
-                            let detected = chunk_rows[j].iter().any(|p| !p.is_finite());
+                            let entry = self.plan.ecc_entry(site, num_entries);
+                            let scratch = TensorBatch::from(vec![corrupt_tensor(
+                                &chunk.get(j).to_owned(),
+                                entry,
+                            )]);
+                            let (pres, preport) = gpusim::launch_sshopm(
+                                &self.devices[dev],
+                                &scratch,
+                                starts,
+                                solver.policy(),
+                                alpha,
+                                variant,
+                            )?;
+                            device_seconds[dev] += preport.timing.seconds;
+                            useful_flops += preport.useful_flops;
+                            let prow = pres.results.into_iter().next().unwrap_or_default();
+                            total_iterations +=
+                                prow.iter().map(|p| p.iterations as u64).sum::<u64>();
+                            let detected = prow.iter().any(|p| !p.is_finite());
+                            chunk_rows[j] = prow;
                             if detected {
                                 log.observed += 1;
                             }
                             if self.failover {
                                 // Re-solve just the poisoned tensor on the
-                                // CPU from the pristine data — same
+                                // CPU from the pristine arena slice — same
                                 // kernels, bit-identical eigenpairs.
                                 let started = std::time::Instant::now();
                                 let cpu = BatchSolver::new(*solver).solve_sequential(
                                     &*cpu_kernels,
-                                    std::slice::from_ref(&chunk[j]),
+                                    chunk.slice(j..j + 1),
                                     starts,
                                 );
                                 cpu_seconds += started.elapsed().as_secs_f64();

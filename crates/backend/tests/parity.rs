@@ -9,17 +9,15 @@ use backend::{
 use gpusim::{DeviceSpec, TransferModel};
 use rand::SeedableRng;
 use sshopm::{starts, IterationPolicy, Shift, SsHopm};
-use symtensor::SymTensor;
+use symtensor::TensorBatch;
 use telemetry::Telemetry;
 
 const NUM_TENSORS: usize = 6;
 const NUM_STARTS: usize = 8;
 
-fn workload(m: usize, n: usize) -> (Vec<SymTensor<f32>>, Vec<Vec<f32>>, SsHopm) {
+fn workload(m: usize, n: usize) -> (TensorBatch<f32>, Vec<Vec<f32>>, SsHopm) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed);
-    let tensors = (0..NUM_TENSORS)
-        .map(|_| SymTensor::random(m, n, &mut rng))
-        .collect();
+    let tensors = TensorBatch::random(m, n, NUM_TENSORS, &mut rng).unwrap();
     let starts = starts::random_uniform_starts::<f32, _>(n, NUM_STARTS, &mut rng);
     let solver = SsHopm::new(Shift::Fixed(1.0)).with_policy(IterationPolicy::Converge {
         tol: 1e-6,

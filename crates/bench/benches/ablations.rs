@@ -30,7 +30,7 @@ fn ablation_precomputed_tables(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    axm1(black_box(&a), black_box(&x), &mut y);
+                    axm1(black_box(a.view()), black_box(&x), &mut y);
                     black_box(y[0])
                 })
             },
@@ -40,7 +40,9 @@ fn ablation_precomputed_tables(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    tables.axm1(black_box(&a), black_box(&x), &mut y).unwrap();
+                    tables
+                        .axm1(black_box(a.view()), black_box(&x), &mut y)
+                        .unwrap();
                     black_box(y[0])
                 })
             },
@@ -126,14 +128,14 @@ fn ablation_cse(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    TensorKernels::axm1(&plain, black_box(&a), black_box(&x), &mut y);
+                    TensorKernels::axm1(&plain, black_box(a.view()), black_box(&x), &mut y);
                     black_box(y[0])
                 })
             },
         );
         group.bench_with_input(BenchmarkId::new("cse", format!("{m}x{n}")), &(), |b, _| {
             b.iter(|| {
-                TensorKernels::axm1(&cse, black_box(&a), black_box(&x), &mut y);
+                TensorKernels::axm1(&cse, black_box(a.view()), black_box(&x), &mut y);
                 black_box(y[0])
             })
         });

@@ -40,12 +40,28 @@ fn bench_axm(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("blocked", format!("{m}x{n}")),
             &(),
-            |b, _| b.iter(|| black_box(TensorKernels::axm(&blocked, black_box(&a), black_box(&x)))),
+            |b, _| {
+                b.iter(|| {
+                    black_box(TensorKernels::axm(
+                        &blocked,
+                        black_box(a.view()),
+                        black_box(&x),
+                    ))
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("unrolled", format!("{m}x{n}")),
             &(),
-            |b, _| b.iter(|| black_box(TensorKernels::axm(&unroll, black_box(&a), black_box(&x)))),
+            |b, _| {
+                b.iter(|| {
+                    black_box(TensorKernels::axm(
+                        &unroll,
+                        black_box(a.view()),
+                        black_box(&x),
+                    ))
+                })
+            },
         );
     }
     group.finish();
@@ -93,7 +109,7 @@ fn bench_axm1(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    TensorKernels::axm1(&blocked, black_box(&a), black_box(&x), &mut y);
+                    TensorKernels::axm1(&blocked, black_box(a.view()), black_box(&x), &mut y);
                     black_box(y[0])
                 })
             },
@@ -103,7 +119,7 @@ fn bench_axm1(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    TensorKernels::axm1(&unroll, black_box(&a), black_box(&x), &mut y);
+                    TensorKernels::axm1(&unroll, black_box(a.view()), black_box(&x), &mut y);
                     black_box(y[0])
                 })
             },

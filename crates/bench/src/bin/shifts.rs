@@ -16,7 +16,7 @@ use telemetry::Telemetry;
 fn main() {
     let workload = Workload::paper_workload(2026);
     // A manageable subset: 128 tensors x 16 starts.
-    let tensors = &workload.tensors[..128];
+    let tensors = workload.tensors.slice(0..128).to_owned();
     let starts = &workload.starts[..16];
 
     println!(
@@ -48,7 +48,7 @@ fn main() {
             max_iters: 1000,
         });
         let report = backend
-            .solve_batch(tensors, starts, &solver, &Telemetry::disabled())
+            .solve_batch(&tensors, starts, &solver, &Telemetry::disabled())
             .expect("shift sweep workload is well-formed");
         let total = report.num_tensors() * report.num_starts();
         let converged = report.num_converged() as usize;

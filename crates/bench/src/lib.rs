@@ -8,7 +8,7 @@ use rand::SeedableRng;
 use sshopm::{IterationPolicy, Shift, SsHopm};
 use telemetry::Telemetry;
 
-use symtensor::{flops, SymTensor};
+use symtensor::{flops, TensorBatch};
 
 /// The paper's workload constants (Section V-A/V-C): T = 1024 tensors,
 /// U = 15 unique entries (m = 4, n = 3), V = 128 starting vectors.
@@ -28,8 +28,8 @@ pub mod paper {
 /// The benchmark workload: tensors + shared starting vectors, in `f32`
 /// (the precision of the paper's benchmarks).
 pub struct Workload {
-    /// The tensors (all the same shape).
-    pub tensors: Vec<SymTensor<f32>>,
+    /// The tensors, packed contiguously in one arena (all the same shape).
+    pub tensors: TensorBatch<f32>,
     /// Starting vectors shared by every tensor.
     pub starts: Vec<Vec<f32>>,
     /// Tensor order.
@@ -53,7 +53,7 @@ impl Workload {
             },
             &mut rng,
         );
-        let tensors = phantom.tensors_f32();
+        let tensors = phantom.tensor_batch_f32();
         let starts = sshopm::starts::random_uniform_starts::<f32, _>(paper::N, paper::V, &mut rng);
         Workload {
             tensors,
@@ -66,7 +66,8 @@ impl Workload {
     /// Random tensors of an arbitrary shape (for sweeps beyond (4,3)).
     pub fn random(t: usize, v: usize, m: usize, n: usize, seed: u64) -> Workload {
         let mut rng = StdRng::seed_from_u64(seed);
-        let tensors = (0..t).map(|_| SymTensor::random(m, n, &mut rng)).collect();
+        let tensors =
+            TensorBatch::<f32>::random(m, n, t, &mut rng).expect("bench shapes are valid");
         let starts = sshopm::starts::random_uniform_starts::<f32, _>(n, v, &mut rng);
         Workload {
             tensors,
@@ -79,7 +80,7 @@ impl Workload {
     /// A subset of the first `t` tensors (Figure 5 sweeps subsets).
     pub fn subset(&self, t: usize) -> Workload {
         Workload {
-            tensors: self.tensors[..t.min(self.tensors.len())].to_vec(),
+            tensors: self.tensors.slice(0..t.min(self.tensors.len())).to_owned(),
             starts: self.starts.clone(),
             m: self.m,
             n: self.n,
@@ -284,8 +285,8 @@ mod tests {
         let w = Workload::paper_workload(7);
         assert_eq!(w.tensors.len(), paper::T);
         assert_eq!(w.starts.len(), paper::V);
-        assert_eq!(w.tensors[0].order(), paper::M);
-        assert_eq!(w.tensors[0].dim(), paper::N);
+        assert_eq!(w.tensors.order(), paper::M);
+        assert_eq!(w.tensors.dim(), paper::N);
     }
 
     #[test]

@@ -11,24 +11,26 @@ use backend::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sshopm::{spectrum_from_pairs, DedupConfig, IterationPolicy, Shift, SsHopm};
-use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{BufWriter, Write};
-use symtensor::io::{read_tensors, write_tensors};
-use symtensor::SymTensor;
+use symtensor::io::{read_tensor_batch, write_tensor_batch};
+use symtensor::TensorBatch;
 use telemetry::Telemetry;
 
 type CmdResult = Result<(), CmdError>;
 
-fn load_tensors(path: &str) -> Result<Vec<SymTensor<f64>>, CmdError> {
+/// Load a tensor file straight into one contiguous [`TensorBatch`] arena.
+/// The file format carries a single `(m, n)` header, so every batch is
+/// uniform by construction — no shape grouping needed downstream.
+fn load_batch(path: &str) -> Result<TensorBatch<f64>, CmdError> {
     let file = File::open(path).map_err(|e| CmdError(format!("cannot open {path}: {e}")))?;
-    read_tensors(file).map_err(|e| CmdError(format!("cannot parse {path}: {e}")))
+    read_tensor_batch(file).map_err(|e| CmdError(format!("cannot parse {path}: {e}")))
 }
 
-fn save_tensors(path: &str, tensors: &[SymTensor<f64>]) -> CmdResult {
+fn save_batch(path: &str, batch: &TensorBatch<f64>) -> CmdResult {
     let file = File::create(path).map_err(|e| CmdError(format!("cannot create {path}: {e}")))?;
     let mut w = BufWriter::new(file);
-    write_tensors(&mut w, tensors).map_err(|e| CmdError(format!("cannot write {path}: {e}")))?;
+    write_tensor_batch(&mut w, batch).map_err(|e| CmdError(format!("cannot write {path}: {e}")))?;
     w.flush().map_err(|e| CmdError(e.to_string()))
 }
 
@@ -83,35 +85,6 @@ fn gpu_shift(explicit: Option<&str>, shift: Shift) -> Result<Shift, CmdError> {
     }
 }
 
-/// Group tensor indices by shape so each [`SolveBackend::solve_batch`]
-/// call sees one homogeneous batch (order preserved within a group).
-fn shape_groups(tensors: &[SymTensor<f64>]) -> BTreeMap<(usize, usize), Vec<usize>> {
-    let mut groups: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
-    for (i, a) in tensors.iter().enumerate() {
-        groups.entry((a.order(), a.dim())).or_default().push(i);
-    }
-    groups
-}
-
-/// Run fiber extraction for every tensor through `backend`, batching by
-/// shape; results come back in the original tensor order.
-fn extract_fibers_grouped(
-    tensors: &[SymTensor<f64>],
-    cfg: &dwmri::ExtractConfig,
-    backend: &dyn SolveBackend<f64>,
-    telemetry: &Telemetry,
-) -> Result<Vec<Vec<dwmri::FiberEstimate>>, CmdError> {
-    let mut result: Vec<Vec<dwmri::FiberEstimate>> = vec![Vec::new(); tensors.len()];
-    for idxs in shape_groups(tensors).values() {
-        let group: Vec<SymTensor<f64>> = idxs.iter().map(|&i| tensors[i].clone()).collect();
-        let fibers = dwmri::extract_fibers_with(&group, cfg, backend, telemetry)?;
-        for (f, &i) in fibers.into_iter().zip(idxs) {
-            result[i] = f;
-        }
-    }
-    Ok(result)
-}
-
 /// `random <m> <n> <count> --out FILE [--seed S]`
 pub fn random(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
     inner_random(argv, out).map_err(|e| e.0)
@@ -137,10 +110,9 @@ fn inner_random(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     let seed: u64 = args.get_parsed("seed", 0)?;
 
     let mut rng = StdRng::seed_from_u64(seed);
-    let tensors: Vec<SymTensor<f64>> = (0..count)
-        .map(|_| SymTensor::random(m, n, &mut rng))
-        .collect();
-    save_tensors(path, &tensors)?;
+    let tensors = TensorBatch::<f64>::random(m, n, count, &mut rng)
+        .map_err(|e| CmdError(format!("invalid shape [{m},{n}]: {e}")))?;
+    save_batch(path, &tensors)?;
     writeln!(out, "wrote {count} random [{m},{n}] tensors to {path}")?;
     Ok(())
 }
@@ -153,18 +125,18 @@ pub fn info(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
 fn inner_info(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     let args = Args::parse(argv, &[], &[])?;
     let path = args.positional(0, "file")?;
-    let tensors = load_tensors(path)?;
+    let tensors = load_batch(path)?;
     if tensors.is_empty() {
         writeln!(out, "{path}: empty tensor file")?;
         return Ok(());
     }
-    let (m, n) = (tensors[0].order(), tensors[0].dim());
+    let (m, n) = (tensors.order(), tensors.dim());
     writeln!(
         out,
         "{path}: {} tensors, order {m}, dimension {n}, {} unique entries each ({} total per tensor)",
         tensors.len(),
-        tensors[0].num_unique(),
-        tensors[0].num_total(),
+        tensors.stride(),
+        (n as u64).pow(m as u32),
     )?;
     let norms: Vec<f64> = tensors.iter().map(|t| t.frobenius_norm()).collect();
     let min = norms.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -212,34 +184,31 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) ->
         shift = gpu_shift(args.get("shift"), shift)?;
     }
 
-    let tensors = load_tensors(path)?;
+    let tensors = load_batch(path)?;
     let _cmd_span = telemetry.span("cli.solve");
     let solver = SsHopm::new(shift).with_tolerance(tol);
 
-    // One batched solve per tensor shape, all through the same backend;
-    // the spectra are then reported in the original tensor order.
-    let mut spectra: Vec<Option<sshopm::Spectrum<f64>>> = vec![None; tensors.len()];
-    let mut summaries = Vec::new();
-    for ((_, n), idxs) in shape_groups(&tensors) {
-        let starts = if n == 3 {
-            sshopm::starts::fibonacci_sphere::<f64>(starts_count)
-        } else {
-            let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0)?);
-            sshopm::starts::random_gaussian_starts::<f64, _>(n, starts_count, &mut rng)
-        };
-        let group: Vec<SymTensor<f64>> = idxs.iter().map(|&i| tensors[i].clone()).collect();
-        let report = backend.solve_batch(&group, &starts, &solver, telemetry)?;
-        telemetry.counter("solve.tensors", group.len() as u64);
-        summaries.push(report.summary());
-        if !report.fault_log.injected.is_empty() || report.fault_log.degraded {
-            summaries.push(report.fault_log.summary());
-        }
-        for (pairs, &i) in report.results.into_iter().zip(&idxs) {
-            let spectrum = spectrum_from_pairs(&tensors[i], pairs, &DedupConfig::default(), 1e-5);
-            telemetry.counter("solve.eigenpairs", spectrum.entries.len() as u64);
-            telemetry.counter("solve.failures", spectrum.failures as u64);
-            spectra[i] = Some(spectrum);
-        }
+    // The file format guarantees one shape per batch, so the whole file is
+    // a single homogeneous arena: one batched solve through the backend.
+    let n = tensors.dim();
+    let starts = if n == 3 {
+        sshopm::starts::fibonacci_sphere::<f64>(starts_count)
+    } else {
+        let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0)?);
+        sshopm::starts::random_gaussian_starts::<f64, _>(n, starts_count, &mut rng)
+    };
+    let report = backend.solve_batch(&tensors, &starts, &solver, telemetry)?;
+    telemetry.counter("solve.tensors", tensors.len() as u64);
+    let mut summaries = vec![report.summary()];
+    if !report.fault_log.injected.is_empty() || report.fault_log.degraded {
+        summaries.push(report.fault_log.summary());
+    }
+    let mut spectra: Vec<Option<sshopm::Spectrum<f64>>> = Vec::with_capacity(tensors.len());
+    for (pairs, a) in report.results.into_iter().zip(tensors.iter()) {
+        let spectrum = spectrum_from_pairs(a, pairs, &DedupConfig::default(), 1e-5);
+        telemetry.counter("solve.eigenpairs", spectrum.entries.len() as u64);
+        telemetry.counter("solve.failures", spectrum.failures as u64);
+        spectra.push(Some(spectrum));
     }
 
     for (i, a) in tensors.iter().enumerate() {
@@ -255,7 +224,7 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) ->
             let mut pair = entry.pair.clone();
             let mut note = String::new();
             if refine {
-                let refined = sshopm::refine(a, &pair, 4, 1e-14);
+                let refined = sshopm::refine(&a.to_owned(), &pair, 4, 1e-14);
                 note = format!(
                     " (refined {:.1e} -> {:.1e})",
                     refined.residual_before, refined.residual_after
@@ -311,8 +280,7 @@ fn inner_phantom(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     };
     let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0)?);
     let phantom = dwmri::Phantom::generate(config, &mut rng);
-    let tensors = phantom.tensors();
-    save_tensors(path, &tensors)?;
+    save_batch(path, &phantom.tensor_batch())?;
     writeln!(
         out,
         "wrote {} phantom voxels ({} single-fiber, {} crossing) to {path}",
@@ -344,7 +312,7 @@ fn inner_fibers(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
         &["failover"],
     )?;
     let path = args.positional(0, "file")?;
-    let tensors = load_tensors(path)?;
+    let tensors = load_batch(path)?;
     let (spec, backend) = parse_backend(&args)?;
     let mut shift = match args.get("shift") {
         None => dwmri::ExtractConfig::default().shift,
@@ -359,15 +327,13 @@ fn inner_fibers(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
         shift,
         ..Default::default()
     };
-    for a in &tensors {
-        if a.dim() != 3 {
-            return Err(CmdError(format!(
-                "fiber extraction needs dimension-3 tensors, file has n={}",
-                a.dim()
-            )));
-        }
+    if !tensors.is_empty() && tensors.dim() != 3 {
+        return Err(CmdError(format!(
+            "fiber extraction needs dimension-3 tensors, file has n={}",
+            tensors.dim()
+        )));
     }
-    let all_fibers = extract_fibers_grouped(&tensors, &cfg, &*backend, &Telemetry::disabled())?;
+    let all_fibers = dwmri::extract_fibers_with(&tensors, &cfg, &*backend, &Telemetry::disabled())?;
     let mut counts = [0usize; 4];
     for (i, fibers) in all_fibers.iter().enumerate() {
         counts[fibers.len().min(3)] += 1;
@@ -404,9 +370,9 @@ fn inner_decompose(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     let terms: usize = args.get_parsed("terms", 3)?;
     let starts: usize = args.get_parsed("starts", 48)?;
     let tol: f64 = args.get_parsed("tol", 1e-8)?;
-    let tensors = load_tensors(path)?;
+    let tensors = load_batch(path)?;
     for (i, a) in tensors.iter().enumerate() {
-        let cp = sshopm::decompose(a, terms, starts, tol);
+        let cp = sshopm::decompose(&a.to_owned(), terms, starts, tol);
         writeln!(
             out,
             "tensor {i}: {} rank-one term(s), relative residual {:.3e}",
@@ -437,7 +403,7 @@ pub fn tract(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
 fn inner_tract(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
     let args = Args::parse(argv, &["width", "height", "starts", "seeds"], &[])?;
     let path = args.positional(0, "file")?;
-    let tensors = load_tensors(path)?;
+    let tensors = load_batch(path)?;
     let width: usize = args.get_parsed("width", 0)?;
     if width == 0 {
         return Err(CmdError(
@@ -465,7 +431,7 @@ fn inner_tract(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
         ..Default::default()
     };
     let backend = CpuParallel::new(0, KernelStrategy::General);
-    let fibers = extract_fibers_grouped(&tensors, &cfg, &backend, &Telemetry::disabled())?;
+    let fibers = dwmri::extract_fibers_with(&tensors, &cfg, &backend, &Telemetry::disabled())?;
     let field = dwmri::FiberField::new(width, height, fibers);
 
     // Evenly spaced seeds along the left edge.
@@ -527,12 +493,12 @@ fn inner_gpu(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -> C
     let iters: usize = args.get_parsed("iters", 20)?;
     let strategy = parse_variant(args.get("variant"))?;
 
-    let tensors64 = load_tensors(path)?;
+    let tensors64 = load_batch(path)?;
     if tensors64.is_empty() {
         return Err(CmdError("tensor file is empty".into()));
     }
-    let tensors: Vec<SymTensor<f32>> = tensors64.iter().map(|t| t.to_f32()).collect();
-    let (m, n) = (tensors[0].order(), tensors[0].dim());
+    let tensors = tensors64.to_f32();
+    let (m, n) = (tensors.order(), tensors.dim());
     let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0)?);
     let starts = sshopm::starts::random_uniform_starts::<f32, _>(n, starts_count, &mut rng);
 
@@ -608,24 +574,24 @@ fn inner_profile(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) 
     )?;
     let seed: u64 = args.get_parsed("seed", 0)?;
     let mut rng = StdRng::seed_from_u64(seed);
-    let tensors: Vec<SymTensor<f32>> = match args.positional(0, "file").ok() {
+    let tensors: TensorBatch<f32> = match args.positional(0, "file").ok() {
         Some(path) => {
-            let loaded = load_tensors(path)?;
+            let loaded = load_batch(path)?;
             if loaded.is_empty() {
                 return Err(CmdError("tensor file is empty".into()));
             }
-            loaded.iter().map(|t| t.to_f32()).collect()
+            loaded.to_f32()
         }
         None => {
             let m: usize = args.get_parsed("m", 4)?;
             let n: usize = args.get_parsed("n", 3)?;
             let count: usize = args.get_parsed("tensors", 256)?;
-            (0..count)
-                .map(|_| SymTensor::<f64>::random(m, n, &mut rng).to_f32())
-                .collect()
+            TensorBatch::<f64>::random(m, n, count, &mut rng)
+                .map_err(|e| CmdError(format!("invalid shape [{m},{n}]: {e}")))?
+                .to_f32()
         }
     };
-    let n = tensors[0].dim();
+    let n = tensors.dim();
     let strategy = parse_variant(args.get("variant"))?;
     let device = match args.get("device") {
         None | Some("c2050") => gpusim::DeviceSpec::tesla_c2050(),

@@ -9,7 +9,7 @@
 use crate::fiber::Dir3;
 use backend::SolveBackend;
 use sshopm::{multistart, spectrum_from_pairs, DedupConfig, Shift, Spectrum, SsHopm, Stability};
-use symtensor::SymTensor;
+use symtensor::{SymTensorRef, TensorBatch};
 use telemetry::Telemetry;
 
 /// Tuning for fiber extraction.
@@ -75,7 +75,11 @@ pub fn canonicalize_axis(mut d: Dir3) -> Dir3 {
 /// starts, keeps negative-stable (local-max) eigenpairs, applies the
 /// relative eigenvalue threshold and returns at most `cfg.max_fibers`
 /// estimates, strongest first.
-pub fn extract_fibers(tensor: &SymTensor<f64>, cfg: &ExtractConfig) -> Vec<FiberEstimate> {
+pub fn extract_fibers<'a>(
+    tensor: impl Into<SymTensorRef<'a, f64>>,
+    cfg: &ExtractConfig,
+) -> Vec<FiberEstimate> {
+    let tensor = tensor.into();
     assert_eq!(tensor.dim(), 3, "fiber extraction is for 3D tensors");
     let starts = sshopm::starts::fibonacci_sphere::<f64>(cfg.num_starts);
     let solver = extraction_solver(cfg);
@@ -89,30 +93,33 @@ pub fn extract_fibers(tensor: &SymTensor<f64>, cfg: &ExtractConfig) -> Vec<Fiber
 /// Every tensor is solved from the same `cfg.num_starts` Fibonacci-sphere
 /// starts in one [`SolveBackend::solve_batch`] call — this is the paper's
 /// application workload (Section VI): thousands of independent voxels,
-/// each a small batched SS-HOPM problem. All tensors must share one order.
+/// each a small batched SS-HOPM problem. The batch arena guarantees a
+/// uniform shape by construction and hands the backend one contiguous
+/// buffer (a single coalesced host→device transfer on the GPU backends).
 /// The result is one `Vec<FiberEstimate>` per input tensor, in order, each
 /// identical to what [`extract_fibers`] returns for that tensor.
 ///
 /// Note the GPU-simulated backends support only [`Shift::Fixed`]; pass a
 /// CPU backend for the convex/adaptive shifts recommended for noisy data.
-/// Backend failures (unsupported shift, mismatched shapes, an exhausted
-/// resilient run) surface as [`backend::BackendError`], never panics.
+/// Backend failures (unsupported shift, an exhausted resilient run)
+/// surface as [`backend::BackendError`], never panics.
 pub fn extract_fibers_with(
-    tensors: &[SymTensor<f64>],
+    tensors: &TensorBatch<f64>,
     cfg: &ExtractConfig,
     backend: &dyn SolveBackend<f64>,
     telemetry: &Telemetry,
 ) -> Result<Vec<Vec<FiberEstimate>>, backend::BackendError> {
-    for t in tensors {
-        assert_eq!(t.dim(), 3, "fiber extraction is for 3D tensors");
-    }
+    assert!(
+        tensors.is_empty() || tensors.dim() == 3,
+        "fiber extraction is for 3D tensors"
+    );
     let starts = sshopm::starts::fibonacci_sphere::<f64>(cfg.num_starts);
     let solver = extraction_solver(cfg);
     let report = backend.solve_batch(tensors, &starts, &solver, telemetry)?;
     Ok(report
         .results
         .into_iter()
-        .zip(tensors)
+        .zip(tensors.iter())
         .map(|(pairs, tensor)| {
             let spectrum = spectrum_from_pairs(tensor, pairs, &DedupConfig::default(), 1e-5);
             spectrum_to_fibers(&spectrum, cfg)
@@ -159,6 +166,7 @@ mod tests {
     use crate::fit::fit_tensor;
     use crate::metrics::angular_error_deg;
     use crate::sampling::gradient_directions;
+    use symtensor::SymTensor;
 
     fn fit_config(f: &FiberConfig) -> SymTensor<f64> {
         let d = Diffusivities::default();
@@ -269,7 +277,7 @@ mod tests {
             FiberConfig::crossing([1.0, 0.0, 0.0], [0.0, 1.0, 0.0]),
             FiberConfig::crossing_at_angle(60.0f64.to_radians()),
         ];
-        let tensors: Vec<SymTensor<f64>> = configs.iter().map(fit_config).collect();
+        let tensors: TensorBatch<f64> = configs.iter().map(fit_config).collect();
         let cfg = ExtractConfig::default();
 
         let batched = extract_fibers_with(
@@ -296,7 +304,7 @@ mod tests {
         use backend::{CpuSequential, KernelStrategy};
         use telemetry::Telemetry;
 
-        let tensors = vec![fit_config(&FiberConfig::single([1.0, 0.0, 0.0]))];
+        let tensors = TensorBatch::from(vec![fit_config(&FiberConfig::single([1.0, 0.0, 0.0]))]);
         let telemetry = Telemetry::enabled();
         let fibers = extract_fibers_with(
             &tensors,

@@ -20,7 +20,7 @@ use crate::noise::NoiseModel;
 use crate::sampling::gradient_directions;
 use rand::Rng;
 use rayon::prelude::*;
-use symtensor::SymTensor;
+use symtensor::{SymTensor, TensorBatch};
 
 /// Phantom generation parameters.
 #[derive(Debug, Clone)]
@@ -149,16 +149,33 @@ impl Phantom {
         self.voxels.is_empty()
     }
 
-    /// The tensors alone, in row-major voxel order (the batch-solver
-    /// input shape).
-    pub fn tensors(&self) -> Vec<SymTensor<f64>> {
-        self.voxels.iter().map(|v| v.tensor.clone()).collect()
+    /// The fitted tensors packed into one contiguous [`TensorBatch`]
+    /// arena, in row-major voxel order — the batch-solver input shape.
+    /// Each voxel's 15 packed entries (at the paper shape) are written
+    /// straight into the arena; no per-voxel `SymTensor` is allocated.
+    pub fn tensor_batch(&self) -> TensorBatch<f64> {
+        let mut batch = TensorBatch::with_capacity(self.config.order, 3, self.len())
+            .expect("phantom orders are valid tensor shapes");
+        for v in &self.voxels {
+            batch
+                .push_values(v.tensor.values())
+                .expect("voxel fits share the phantom shape");
+        }
+        batch
     }
 
-    /// The tensors converted to `f32` (the precision the paper's GPU
-    /// benchmarks use).
-    pub fn tensors_f32(&self) -> Vec<SymTensor<f32>> {
-        self.voxels.iter().map(|v| v.tensor.to_f32()).collect()
+    /// [`Self::tensor_batch`] converted to `f32` (the precision the
+    /// paper's GPU benchmarks use).
+    pub fn tensor_batch_f32(&self) -> TensorBatch<f32> {
+        let mut batch = TensorBatch::with_capacity(self.config.order, 3, self.len())
+            .expect("phantom orders are valid tensor shapes");
+        for v in &self.voxels {
+            let vals: Vec<f32> = v.tensor.values().iter().map(|&x| x as f32).collect();
+            batch
+                .push_values(&vals)
+                .expect("voxel fits share the phantom shape");
+        }
+        batch
     }
 
     /// Count of voxels with the given number of true fibers.
@@ -222,8 +239,14 @@ mod tests {
             assert_eq!(v.tensor.dim(), 3);
             assert_eq!(v.tensor.num_unique(), 15);
         }
-        let t32 = p.tensors_f32();
+        let t32 = p.tensor_batch_f32();
         assert_eq!(t32.len(), 64);
+        assert_eq!((t32.order(), t32.dim(), t32.stride()), (4, 3, 15));
+        let batch = p.tensor_batch();
+        assert_eq!(batch.len(), 64);
+        for (view, v) in batch.iter().zip(&p.voxels) {
+            assert_eq!(view.values(), v.tensor.values());
+        }
     }
 
     #[test]

@@ -23,13 +23,14 @@ use crate::counters::OpCounters;
 use crate::device::DeviceSpec;
 use crate::error::GpuError;
 use crate::exec::{run_grid, GridConfig, LaunchStats, ThreadRecord};
+use crate::multi::HostTransfer;
 use crate::occupancy::{KernelResources, Occupancy};
 use crate::timing::{estimate, weights, TimingEstimate};
 use sshopm::{Eigenpair, IterationPolicy, SsHopm};
 use symtensor::flops;
 use symtensor::kernels::GeneralKernels;
 use symtensor::multinomial::{num_unique_entries, try_num_unique_entries};
-use symtensor::{Scalar, SymTensor};
+use symtensor::{Scalar, TensorBatchRef};
 use unrolled::UnrolledKernels;
 
 /// Which kernel variant to launch.
@@ -138,44 +139,51 @@ pub struct LaunchReport {
     pub timing: TimingEstimate,
     /// Estimated achieved GFLOP/s.
     pub gflops: f64,
+    /// Host↔device staging for this launch: one coalesced copy each way,
+    /// because the batch arena is a single contiguous allocation. Kernel
+    /// timing (`timing`/`gflops`) deliberately excludes it — callers that
+    /// model the bus (e.g. [`crate::MultiGpu`]) convert it to seconds with
+    /// [`HostTransfer::seconds`] against their own [`crate::TransferModel`].
+    pub host_transfer: HostTransfer,
 }
 
 /// Launch the batched SS-HOPM problem on the simulated device.
 ///
-/// Every tensor must have the same shape. Starting vectors are shared by
-/// all blocks (Section V-C). Returns the functional results plus the
-/// performance report.
+/// Takes the batch as a borrowed [`TensorBatchRef`] (or anything that
+/// converts into one, e.g. `&TensorBatch`): same-shape is guaranteed by
+/// construction, and the packed arena is exactly the buffer a real driver
+/// would ship to the device in one `cudaMemcpy`. Starting vectors are
+/// shared by all blocks (Section V-C). Returns the functional results plus
+/// the performance report.
 ///
 /// # Errors
-/// Returns a [`GpuError`] if `tensors` or `starts` is empty, shapes are
-/// inconsistent or too large to model, or the unrolled variant is requested
-/// for a shape with no generated kernel.
-pub fn launch_sshopm<S: Scalar>(
+/// Returns a [`GpuError`] if the batch or `starts` is empty, the shape is
+/// too large to model, or the unrolled variant is requested for a shape
+/// with no generated kernel. (Mixed shapes can no longer reach the launch:
+/// [`symtensor::TensorBatch`] rejects them at construction.)
+pub fn launch_sshopm<'a, S: Scalar>(
     device: &DeviceSpec,
-    tensors: &[SymTensor<S>],
+    batch: impl Into<TensorBatchRef<'a, S>>,
     starts: &[Vec<S>],
     policy: IterationPolicy,
     alpha: f64,
     variant: GpuVariant,
 ) -> Result<(GpuBatchResult<S>, LaunchReport), GpuError> {
-    let first = tensors.first().ok_or(GpuError::EmptyBatch)?;
+    let batch = batch.into();
+    if batch.is_empty() {
+        return Err(GpuError::EmptyBatch);
+    }
     if starts.is_empty() {
         return Err(GpuError::EmptyStarts);
     }
-    let m = first.order();
-    let n = first.dim();
-    if let Some(bad) = tensors.iter().find(|t| t.order() != m || t.dim() != n) {
-        return Err(GpuError::MismatchedShapes {
-            expected: (m, n),
-            found: (bad.order(), bad.dim()),
-        });
-    }
+    let m = batch.order();
+    let n = batch.dim();
     if try_num_unique_entries(m, n).is_err() {
         return Err(GpuError::ShapeTooLarge { m, n });
     }
 
     let grid = GridConfig {
-        num_blocks: tensors.len(),
+        num_blocks: batch.len(),
         threads_per_block: starts.len(),
         warp_size: device.warp_size,
     };
@@ -199,9 +207,12 @@ pub fn launch_sshopm<S: Scalar>(
     let u = num_unique_entries(m, n);
 
     let (results, stats) = run_grid(grid, |block| {
-        let tensor = &tensors[block];
+        let tensor = batch.get(block);
         // Cooperative staging of the tensor (and, for the general variant,
         // the index/coefficient tables) from global into shared memory.
+        // The block's 15 (for the paper shape) values sit contiguously in
+        // the arena at `block * stride`, so consecutive blocks read
+        // adjacent, naturally aligned segments of device memory.
         let table_words = match variant {
             GpuVariant::General => u * m as u64 + u, // index reps + coeffs
             GpuVariant::Unrolled => 0,
@@ -252,6 +263,18 @@ pub fn launch_sshopm<S: Scalar>(
     let timing = estimate(device, grid.num_blocks, &stats, &occupancy);
     let gflops = timing.gflops(useful_flops);
 
+    // The arena is contiguous, so the whole tensor payload goes down in a
+    // single coalesced DMA (plus the shared starts); results come back in
+    // one packed copy. A Vec-of-tensors layout would need one DMA per
+    // tensor, paying the per-transfer latency `batch.len()` times.
+    let elem = std::mem::size_of::<S>() as u64;
+    let host_transfer = HostTransfer {
+        down_bytes: (batch.values().len() + starts.len() * n) as u64 * elem,
+        up_bytes: (batch.len() * starts.len()) as u64 * (n as u64 + 1) * elem,
+        down_copies: 1,
+        up_copies: 1,
+    };
+
     Ok((
         GpuBatchResult { results },
         LaunchReport {
@@ -263,6 +286,7 @@ pub fn launch_sshopm<S: Scalar>(
             useful_flops,
             timing,
             gflops,
+            host_transfer,
         },
     ))
 }
@@ -274,10 +298,11 @@ mod tests {
     use rand::SeedableRng;
     use sshopm::starts::random_uniform_starts;
     use sshopm::BatchSolver;
+    use symtensor::{SymTensor, TensorBatch};
 
-    fn workload(t: usize, v: usize, seed: u64) -> (Vec<SymTensor<f32>>, Vec<Vec<f32>>) {
+    fn workload(t: usize, v: usize, seed: u64) -> (TensorBatch<f32>, Vec<Vec<f32>>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let tensors = (0..t).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
+        let tensors = TensorBatch::random(4, 3, t, &mut rng).unwrap();
         let starts = random_uniform_starts(3, v, &mut rng);
         (tensors, starts)
     }
@@ -471,7 +496,7 @@ mod tests {
     #[test]
     fn unrolled_errors_for_ungenerated_shape() {
         let mut rng = StdRng::seed_from_u64(9);
-        let tensors = vec![SymTensor::<f32>::random(5, 5, &mut rng)];
+        let tensors = TensorBatch::<f32>::random(5, 5, 1, &mut rng).unwrap();
         let starts = random_uniform_starts(5, 32, &mut rng);
         let device = DeviceSpec::tesla_c2050();
         let err = launch_sshopm(
@@ -487,15 +512,32 @@ mod tests {
     }
 
     #[test]
-    fn mixed_shapes_error() {
+    fn mixed_shapes_are_rejected_at_batch_construction() {
+        // A mixed-shape launch is now structurally impossible: the batch
+        // arena rejects the stray tensor before any device is involved.
         let mut rng = StdRng::seed_from_u64(10);
-        let tensors = vec![
-            SymTensor::<f32>::random(4, 3, &mut rng),
-            SymTensor::<f32>::random(3, 3, &mut rng),
-        ];
-        let starts = random_uniform_starts(3, 32, &mut rng);
+        let mut batch = TensorBatch::<f32>::new(4, 3).unwrap();
+        batch
+            .push(&SymTensor::<f32>::random(4, 3, &mut rng))
+            .unwrap();
+        let err = batch
+            .push(&SymTensor::<f32>::random(3, 3, &mut rng))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            symtensor::Error::ShapeMismatch {
+                expected: (4, 3),
+                found: (3, 3)
+            }
+        );
+        assert_eq!(batch.len(), 1, "the bad tensor must not be staged");
+    }
+
+    #[test]
+    fn host_transfer_is_one_coalesced_copy_each_way() {
+        let (tensors, starts) = workload(8, 32, 12);
         let device = DeviceSpec::tesla_c2050();
-        let err = launch_sshopm(
+        let (_, report) = launch_sshopm(
             &device,
             &tensors,
             &starts,
@@ -503,20 +545,19 @@ mod tests {
             0.0,
             GpuVariant::General,
         )
-        .unwrap_err();
-        assert_eq!(
-            err,
-            GpuError::MismatchedShapes {
-                expected: (4, 3),
-                found: (3, 3)
-            }
-        );
+        .unwrap();
+        let ht = report.host_transfer;
+        assert_eq!(ht.down_copies, 1);
+        assert_eq!(ht.up_copies, 1);
+        // 8 tensors x 15 packed entries + 32 starts of 3 floats, f32.
+        assert_eq!(ht.down_bytes, (8 * 15 + 32 * 3) * 4);
+        assert_eq!(ht.up_bytes, 8 * 32 * (3 + 1) * 4);
     }
 
     #[test]
     fn empty_batch_and_empty_starts_error_cleanly() {
         let device = DeviceSpec::tesla_c2050();
-        let none: Vec<SymTensor<f32>> = Vec::new();
+        let none = TensorBatch::<f32>::new(4, 3).unwrap();
         let starts = vec![vec![1.0f32, 0.0, 0.0]];
         let err = launch_sshopm(
             &device,
@@ -530,7 +571,7 @@ mod tests {
         assert_eq!(err, GpuError::EmptyBatch);
 
         let mut rng = StdRng::seed_from_u64(11);
-        let tensors = vec![SymTensor::<f32>::random(4, 3, &mut rng)];
+        let tensors = TensorBatch::<f32>::random(4, 3, 1, &mut rng).unwrap();
         let no_starts: Vec<Vec<f32>> = Vec::new();
         let err = launch_sshopm(
             &device,

@@ -46,7 +46,7 @@ pub use fault::{
     WATCHDOG_TIMEOUT_SECONDS,
 };
 pub use kernel::{launch_sshopm, GpuBatchResult, GpuVariant, LaunchReport};
-pub use multi::{MultiGpu, MultiReport, TransferModel};
+pub use multi::{HostTransfer, MultiGpu, MultiReport, TransferModel};
 pub use occupancy::{KernelResources, Occupancy};
 pub use profile::{CounterBreakdown, ProfileSnapshot};
 pub use timing::TimingEstimate;

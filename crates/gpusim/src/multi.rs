@@ -12,7 +12,7 @@ use crate::error::GpuError;
 use crate::kernel::{launch_sshopm, GpuBatchResult, GpuVariant, LaunchReport};
 use sshopm::IterationPolicy;
 use symtensor::multinomial::num_unique_entries;
-use symtensor::{Scalar, SymTensor};
+use symtensor::{Scalar, TensorBatchRef};
 
 /// Host↔device interconnect model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +36,39 @@ impl TransferModel {
     /// Time to move `bytes` in one transfer.
     pub fn transfer_seconds(&self, bytes: u64) -> f64 {
         self.latency_s + bytes as f64 / (self.bandwidth_gbs * 1e9)
+    }
+}
+
+/// One launch's host↔device staging: how many DMA operations it takes and
+/// the bytes they move. Because the batch lives in a single contiguous
+/// arena ([`symtensor::TensorBatch`]), the tensor payload goes down in ONE
+/// coalesced copy; a `Vec<SymTensor>` layout would pay
+/// [`TransferModel::latency_s`] once per tensor instead. This is the
+/// memory-layout point of the paper's Section V: the device wants one flat,
+/// densely packed buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostTransfer {
+    /// Bytes staged host→device: the packed tensor arena plus the shared
+    /// starting vectors.
+    pub down_bytes: u64,
+    /// Bytes returned device→host: one packed `(x, λ)` record per solve.
+    pub up_bytes: u64,
+    /// DMA operations host→device (1 for an arena-backed batch).
+    pub down_copies: u64,
+    /// DMA operations device→host (1: results are written packed).
+    pub up_copies: u64,
+}
+
+impl HostTransfer {
+    /// Seconds to stage over `link`, each copy paying the DMA latency once.
+    pub fn seconds(&self, link: &TransferModel) -> f64 {
+        (self.down_copies + self.up_copies) as f64 * link.latency_s
+            + (self.down_bytes + self.up_bytes) as f64 / (link.bandwidth_gbs * 1e9)
+    }
+
+    /// Total bytes both ways.
+    pub fn total_bytes(&self) -> u64 {
+        self.down_bytes + self.up_bytes
     }
 }
 
@@ -152,20 +185,21 @@ impl MultiGpu {
     /// # Errors
     /// Returns a [`GpuError`] for an empty batch or any per-device launch
     /// failure (empty starts, mixed shapes, missing unrolled kernel).
-    pub fn launch<S: Scalar>(
+    pub fn launch<'a, S: Scalar>(
         &self,
-        tensors: &[SymTensor<S>],
+        batch: impl Into<TensorBatchRef<'a, S>>,
         starts: &[Vec<S>],
         policy: IterationPolicy,
         alpha: f64,
         variant: GpuVariant,
     ) -> Result<(GpuBatchResult<S>, MultiReport), GpuError> {
-        let first = tensors.first().ok_or(GpuError::EmptyBatch)?;
-        let m = first.order();
-        let n = first.dim();
-        let counts = self.split(tensors.len());
+        let batch = batch.into();
+        if batch.is_empty() {
+            return Err(GpuError::EmptyBatch);
+        }
+        let counts = self.split(batch.len());
 
-        let mut results = Vec::with_capacity(tensors.len());
+        let mut results = Vec::with_capacity(batch.len());
         let mut slices = Vec::new();
         let mut offset = 0usize;
         let mut useful_flops = 0u64;
@@ -175,13 +209,12 @@ impl MultiGpu {
             if count == 0 {
                 continue;
             }
-            let chunk = &tensors[offset..offset + count];
+            // Zero-copy arena slice: the device's share is a contiguous
+            // sub-range of the same buffer, shipped in one DMA.
+            let chunk = batch.slice(offset..offset + count);
             offset += count;
             let (res, report) = launch_sshopm(device, chunk, starts, policy, alpha, variant)?;
-            let (down, up) =
-                problem_traffic_bytes(count, starts.len(), m, n, std::mem::size_of::<S>());
-            let transfer_seconds =
-                self.transfer.transfer_seconds(down) + self.transfer.transfer_seconds(up);
+            let transfer_seconds = report.host_transfer.seconds(&self.transfer);
             let total_seconds = report.timing.seconds + transfer_seconds;
             useful_flops += report.useful_flops;
             wall = wall.max(total_seconds);
@@ -218,10 +251,11 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sshopm::starts::random_uniform_starts;
+    use symtensor::TensorBatch;
 
-    fn workload(t: usize, v: usize, seed: u64) -> (Vec<SymTensor<f32>>, Vec<Vec<f32>>) {
+    fn workload(t: usize, v: usize, seed: u64) -> (TensorBatch<f32>, Vec<Vec<f32>>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let tensors = (0..t).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
+        let tensors = TensorBatch::random(4, 3, t, &mut rng).unwrap();
         let starts = random_uniform_starts(3, v, &mut rng);
         (tensors, starts)
     }
@@ -367,7 +401,7 @@ mod tests {
     fn empty_batch_is_an_error_not_a_panic() {
         let mg =
             MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 2, TransferModel::pcie2()).unwrap();
-        let none: Vec<SymTensor<f32>> = Vec::new();
+        let none = TensorBatch::<f32>::new(4, 3).unwrap();
         let starts = vec![vec![1.0f32, 0.0, 0.0]];
         let err = mg
             .launch(

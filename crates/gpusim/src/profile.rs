@@ -262,12 +262,11 @@ mod tests {
     use rand::SeedableRng;
     use sshopm::starts::random_uniform_starts;
     use sshopm::IterationPolicy;
-    use symtensor::SymTensor;
+    use symtensor::TensorBatch;
 
     fn sample_snapshot() -> ProfileSnapshot {
         let mut rng = StdRng::seed_from_u64(21);
-        let tensors: Vec<SymTensor<f32>> =
-            (0..6).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
+        let tensors = TensorBatch::<f32>::random(4, 3, 6, &mut rng).unwrap();
         let starts = random_uniform_starts(3, 32, &mut rng);
         let device = DeviceSpec::tesla_c2050();
         let (_, report) = launch_sshopm(

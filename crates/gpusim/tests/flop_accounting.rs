@@ -13,7 +13,7 @@ use rand::SeedableRng;
 use sshopm::starts::random_uniform_starts;
 use sshopm::IterationPolicy;
 use symtensor::flops::sshopm_iter_flops;
-use symtensor::SymTensor;
+use symtensor::TensorBatch;
 
 fn workload(
     m: usize,
@@ -21,9 +21,9 @@ fn workload(
     t: usize,
     v: usize,
     seed: u64,
-) -> (Vec<SymTensor<f32>>, Vec<Vec<f32>>) {
+) -> (TensorBatch<f32>, Vec<Vec<f32>>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let tensors = (0..t).map(|_| SymTensor::random(m, n, &mut rng)).collect();
+    let tensors = TensorBatch::random(m, n, t, &mut rng).unwrap();
     let starts = random_uniform_starts(n, v, &mut rng);
     (tensors, starts)
 }

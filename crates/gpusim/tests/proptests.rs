@@ -7,13 +7,13 @@ use proptest::prelude::*;
 use sshopm::starts::random_uniform_starts;
 use sshopm::{BatchSolver, IterationPolicy, Shift, SsHopm};
 use symtensor::kernels::GeneralKernels;
-use symtensor::SymTensor;
+use symtensor::TensorBatch;
 
-fn workload(t: usize, v: usize, seed: u64) -> (Vec<SymTensor<f32>>, Vec<Vec<f32>>) {
+fn workload(t: usize, v: usize, seed: u64) -> (TensorBatch<f32>, Vec<Vec<f32>>) {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(seed);
-    let tensors = (0..t).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
+    let tensors = TensorBatch::random(4, 3, t, &mut rng).unwrap();
     let starts = random_uniform_starts(3, v, &mut rng);
     (tensors, starts)
 }

@@ -11,7 +11,7 @@ use crate::solver::{Eigenpair, SsHopm};
 use rayon::prelude::*;
 use std::time::Instant;
 use symtensor::kernels::{GeneralKernels, TensorKernels};
-use symtensor::{Scalar, SymTensor};
+use symtensor::{Scalar, SymTensorRef, TensorBatchRef};
 use telemetry::Telemetry;
 
 /// Results of a batched solve: `results[t][v]` is the eigenpair computed
@@ -76,19 +76,24 @@ impl BatchSolver {
     /// a `batch.tensor_seconds` histogram and the `batch.tensors_done` /
     /// `batch.solves` / `batch.converged` / `batch.iterations` counters —
     /// so traces from different substrates are directly comparable.
-    pub fn run<S: Scalar, K: TensorKernels<S> + ?Sized>(
+    pub fn run<'a, S: Scalar, K: TensorKernels<S> + ?Sized>(
         &self,
         kernels: &K,
-        tensors: &[SymTensor<S>],
+        batch: impl Into<TensorBatchRef<'a, S>>,
         starts: &[Vec<S>],
         telemetry: &Telemetry,
     ) -> BatchResult<S> {
+        let batch = batch.into();
         let _batch_span = telemetry.span("batch.solve");
         if self.threads == 1 {
-            let mut results = Vec::with_capacity(tensors.len());
+            let mut results = Vec::with_capacity(batch.len());
             let mut total_iterations = 0u64;
-            for a in tensors {
-                let (row, iters) = solve_one_tensor(&self.solver, kernels, a, starts, telemetry);
+            // One iteration buffer for the whole batch: the sequential
+            // path performs no per-voxel allocation beyond the results.
+            let mut scratch = Vec::new();
+            for a in batch.iter() {
+                let (row, iters) =
+                    solve_one_tensor(&self.solver, kernels, a, starts, telemetry, &mut scratch);
                 total_iterations += iters;
                 results.push(row);
             }
@@ -99,9 +104,18 @@ impl BatchSolver {
         }
 
         let solve_all = || {
-            let rows: Vec<(Vec<Eigenpair<S>>, u64)> = tensors
-                .par_iter()
-                .map(|a| solve_one_tensor(&self.solver, kernels, a, starts, telemetry))
+            let rows: Vec<(Vec<Eigenpair<S>>, u64)> = (0..batch.len())
+                .into_par_iter()
+                .map(|i| {
+                    solve_one_tensor(
+                        &self.solver,
+                        kernels,
+                        batch.get(i),
+                        starts,
+                        telemetry,
+                        &mut Vec::new(),
+                    )
+                })
                 .collect();
             let mut results = Vec::with_capacity(rows.len());
             let mut total_iterations = 0u64;
@@ -129,30 +143,34 @@ impl BatchSolver {
     /// Solve every tensor from every starting vector, sequentially
     /// (the paper's "CPU – 1 core" row). Thin shim over
     /// [`run`](Self::run) with `with_threads(1)` semantics.
-    pub fn solve_sequential<S: Scalar, K: TensorKernels<S> + ?Sized>(
+    pub fn solve_sequential<'a, S: Scalar, K: TensorKernels<S> + ?Sized>(
         &self,
         kernels: &K,
-        tensors: &[SymTensor<S>],
+        batch: impl Into<TensorBatchRef<'a, S>>,
         starts: &[Vec<S>],
     ) -> BatchResult<S> {
         self.with_threads(1)
-            .run(kernels, tensors, starts, &Telemetry::disabled())
+            .run(kernels, batch, starts, &Telemetry::disabled())
     }
 
     /// Solve in parallel over tensors (the paper's OpenMP scheme). Thin
     /// shim over [`run`](Self::run) honoring the configured thread count.
-    pub fn solve_parallel<S: Scalar, K: TensorKernels<S> + Sync + ?Sized>(
+    pub fn solve_parallel<'a, S: Scalar, K: TensorKernels<S> + Sync + ?Sized>(
         &self,
         kernels: &K,
-        tensors: &[SymTensor<S>],
+        batch: impl Into<TensorBatchRef<'a, S>>,
         starts: &[Vec<S>],
     ) -> BatchResult<S> {
-        self.run(kernels, tensors, starts, &Telemetry::disabled())
+        self.run(kernels, batch, starts, &Telemetry::disabled())
     }
 
     /// Convenience: solve with the default on-the-fly kernels, parallel.
-    pub fn solve<S: Scalar>(&self, tensors: &[SymTensor<S>], starts: &[Vec<S>]) -> BatchResult<S> {
-        self.run(&GeneralKernels, tensors, starts, &Telemetry::disabled())
+    pub fn solve<'a, S: Scalar>(
+        &self,
+        batch: impl Into<TensorBatchRef<'a, S>>,
+        starts: &[Vec<S>],
+    ) -> BatchResult<S> {
+        self.run(&GeneralKernels, batch, starts, &Telemetry::disabled())
     }
 }
 
@@ -163,16 +181,17 @@ impl BatchSolver {
 fn solve_one_tensor<S: Scalar, K: TensorKernels<S> + ?Sized>(
     solver: &SsHopm,
     kernels: &K,
-    a: &SymTensor<S>,
+    a: SymTensorRef<'_, S>,
     starts: &[Vec<S>],
     telemetry: &Telemetry,
+    scratch: &mut Vec<S>,
 ) -> (Vec<Eigenpair<S>>, u64) {
     let started = telemetry.is_enabled().then(Instant::now);
     let mut row = Vec::with_capacity(starts.len());
     let mut iters = 0u64;
     let mut converged = 0u64;
     for x0 in starts {
-        let pair = solver.solve_with(kernels, a, x0);
+        let pair = solver.solve_with_scratch(kernels, a, x0, scratch);
         iters += pair.iterations as u64;
         converged += u64::from(pair.converged);
         row.push(pair);
@@ -195,11 +214,11 @@ mod tests {
     use crate::starts::random_uniform_starts;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use symtensor::PrecomputedTables;
+    use symtensor::{PrecomputedTables, TensorBatch};
 
-    fn workload(t: usize, v: usize, seed: u64) -> (Vec<SymTensor<f64>>, Vec<Vec<f64>>) {
+    fn workload(t: usize, v: usize, seed: u64) -> (TensorBatch<f64>, Vec<Vec<f64>>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let tensors = (0..t).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
+        let tensors = TensorBatch::random(4, 3, t, &mut rng).unwrap();
         let starts = random_uniform_starts(3, v, &mut rng);
         (tensors, starts)
     }
@@ -270,7 +289,7 @@ mod tests {
         let res = solver.solve(&tensors, &starts);
         for (t, _, p) in res.iter_flat() {
             if p.converged {
-                assert!(p.residual(&tensors[t]) < 1e-5);
+                assert!(p.residual(tensors.get(t)) < 1e-5);
             }
         }
     }
@@ -353,7 +372,8 @@ mod tests {
     #[test]
     fn empty_batch() {
         let solver = BatchSolver::new(SsHopm::new(Shift::Convex));
-        let res = solver.solve::<f64>(&[], &[]);
+        let empty = TensorBatch::<f64>::new(4, 3).unwrap();
+        let res = solver.solve(&empty, &[]);
         assert_eq!(res.num_tensors(), 0);
         assert_eq!(res.total_iterations, 0);
     }

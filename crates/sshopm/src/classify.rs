@@ -17,7 +17,7 @@
 
 use linalg::{Matrix, SymmetricEigen};
 use symtensor::kernels::axm2_matrix;
-use symtensor::{Scalar, SymTensor};
+use symtensor::{Scalar, SymTensorRef};
 
 /// Stability classification of a tensor eigenpair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +48,13 @@ impl Stability {
 ///
 /// For `n = 1` every unit "vector" (±1) is trivially both a maximum and a
 /// minimum; we report [`Stability::Degenerate`].
-pub fn classify<S: Scalar>(a: &SymTensor<S>, lambda: S, x: &[S], tol: f64) -> Stability {
+pub fn classify<'a, S: Scalar>(
+    a: impl Into<SymTensorRef<'a, S>>,
+    lambda: S,
+    x: &[S],
+    tol: f64,
+) -> Stability {
+    let a = a.into();
     let n = a.dim();
     assert_eq!(x.len(), n, "eigenvector length");
     if n == 1 {
@@ -126,6 +132,7 @@ mod tests {
     use crate::solver::SsHopm;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use symtensor::SymTensor;
 
     #[test]
     fn matrix_extremes_classify_as_expected() {

@@ -10,7 +10,7 @@
 
 use crate::classify::{classify, Stability};
 use crate::solver::{Eigenpair, SsHopm};
-use symtensor::{Scalar, SymTensor};
+use symtensor::{Scalar, SymTensorRef};
 
 /// Tolerances used to decide two converged eigenpairs are the same.
 #[derive(Debug, Clone, Copy)]
@@ -107,13 +107,14 @@ fn vec_dist_neg<S: Scalar>(a: &[S], b: &[S]) -> f64 {
 /// Run SS-HOPM from every start in `starts` and collect the deduplicated
 /// spectrum. Unconverged runs are counted but not included. `classify_tol`
 /// is forwarded to [`classify`].
-pub fn multistart<S: Scalar>(
+pub fn multistart<'a, S: Scalar>(
     solver: &SsHopm,
-    a: &SymTensor<S>,
+    a: impl Into<SymTensorRef<'a, S>>,
     starts: &[Vec<S>],
     cfg: &DedupConfig,
     classify_tol: f64,
 ) -> Spectrum<S> {
+    let a = a.into();
     spectrum_from_pairs(
         a,
         starts.iter().map(|x0| solver.solve(a, x0)),
@@ -129,8 +130,8 @@ pub fn multistart<S: Scalar>(
 ///
 /// Unconverged pairs are counted as failures and excluded, exactly as in
 /// [`multistart`]; `total_starts` is the number of pairs consumed.
-pub fn spectrum_from_pairs<S: Scalar, I>(
-    a: &SymTensor<S>,
+pub fn spectrum_from_pairs<'a, S: Scalar, I>(
+    a: impl Into<SymTensorRef<'a, S>>,
     pairs: I,
     cfg: &DedupConfig,
     classify_tol: f64,
@@ -138,6 +139,7 @@ pub fn spectrum_from_pairs<S: Scalar, I>(
 where
     I: IntoIterator<Item = Eigenpair<S>>,
 {
+    let a = a.into();
     let m = a.order();
     let mut entries: Vec<SpectrumEntry<S>> = Vec::new();
     let mut failures = 0usize;
@@ -194,6 +196,7 @@ mod tests {
     use crate::starts::{fibonacci_sphere, random_uniform_starts};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use symtensor::SymTensor;
 
     #[test]
     fn matrix_spectrum_recovers_all_eigenvalues() {

@@ -15,7 +15,7 @@
 
 use linalg::{Matrix, SymmetricEigen};
 use symtensor::kernels::axm2_matrix;
-use symtensor::{Scalar, SymTensor};
+use symtensor::{Scalar, SymTensorRef};
 
 /// How SS-HOPM chooses its shift `α`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,14 +41,18 @@ pub enum Shift {
 pub const SHIFT_MARGIN: f64 = 1e-6;
 
 /// The sufficient convexity bound `(m−1)·‖A‖_F` of Kolda & Mayo.
-pub fn sufficient_shift<S: Scalar>(a: &SymTensor<S>) -> f64 {
+///
+/// Accepts `&SymTensor<S>` or a borrowed [`SymTensorRef`] (e.g. one tensor
+/// of a [`symtensor::TensorBatch`] arena).
+pub fn sufficient_shift<'a, S: Scalar>(a: impl Into<SymTensorRef<'a, S>>) -> f64 {
+    let a = a.into();
     (a.order() as f64 - 1.0) * a.frobenius_norm().to_f64()
 }
 
 impl Shift {
     /// The fixed shift value used for the whole solve, or `None` for the
     /// adaptive policy (which must be evaluated per iterate).
-    pub fn fixed_value<S: Scalar>(&self, a: &SymTensor<S>) -> Option<f64> {
+    pub fn fixed_value<'a, S: Scalar>(&self, a: impl Into<SymTensorRef<'a, S>>) -> Option<f64> {
         match self {
             Shift::Fixed(v) => Some(*v),
             Shift::Convex => Some(sufficient_shift(a) + SHIFT_MARGIN),
@@ -58,7 +62,7 @@ impl Shift {
     }
 
     /// True if this policy searches for local maxima (nonnegative shift).
-    pub fn is_convex<S: Scalar>(&self, _a: &SymTensor<S>) -> bool {
+    pub fn is_convex<'a, S: Scalar>(&self, _a: impl Into<SymTensorRef<'a, S>>) -> bool {
         match self {
             Shift::Fixed(v) => *v >= 0.0,
             Shift::Convex | Shift::Adaptive => true,
@@ -70,7 +74,8 @@ impl Shift {
     /// `max(0, (τ − λ_min(m(m−1)·A·x^{m−2}))/m)`.
     ///
     /// Falls back to the fixed value for non-adaptive policies.
-    pub fn value_at<S: Scalar>(&self, a: &SymTensor<S>, x: &[S]) -> f64 {
+    pub fn value_at<'a, S: Scalar>(&self, a: impl Into<SymTensorRef<'a, S>>, x: &[S]) -> f64 {
+        let a = a.into();
         if let Some(v) = self.fixed_value(a) {
             return v;
         }
@@ -82,7 +87,11 @@ impl Shift {
 
 /// Spectrum of the scaled Hessian `H(x) = m(m−1)·A·x^{m−2}` at a unit
 /// vector `x`. Returns `None` for order-1 tensors (no Hessian).
-pub fn hessian_spectrum<S: Scalar>(a: &SymTensor<S>, x: &[S]) -> Option<SymmetricEigen> {
+pub fn hessian_spectrum<'a, S: Scalar>(
+    a: impl Into<SymTensorRef<'a, S>>,
+    x: &[S],
+) -> Option<SymmetricEigen> {
+    let a = a.into();
     if a.order() < 2 {
         return None;
     }
@@ -99,6 +108,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use symtensor::SymTensor;
 
     fn random_tensor(seed: u64) -> SymTensor<f64> {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -12,7 +12,7 @@
 use crate::shift::Shift;
 use symtensor::kernels::{GeneralKernels, TensorKernels};
 use symtensor::scalar::{norm2, normalize};
-use symtensor::{Scalar, SymTensor};
+use symtensor::{Scalar, SymTensorRef};
 use telemetry::{ConvergenceTrace, IterationRecord};
 
 /// Per-iteration observables handed to an [`IterationObserver`].
@@ -103,7 +103,15 @@ pub struct Eigenpair<S> {
 impl<S: Scalar> Eigenpair<S> {
     /// Eigenpair residual `‖A·xᵐ⁻¹ − λ·x‖₂`, the definitional measure of
     /// eigenpair quality (Definition 3 of the paper).
-    pub fn residual(&self, a: &SymTensor<S>) -> f64 {
+    ///
+    /// Accepts anything that views as a packed tensor — `&SymTensor<S>` or
+    /// a borrowed [`SymTensorRef`] straight out of a
+    /// [`symtensor::TensorBatch`] arena.
+    pub fn residual<'a>(&self, a: impl Into<SymTensorRef<'a, S>>) -> f64
+    where
+        S: 'a,
+    {
+        let a = a.into();
         let n = a.dim();
         let mut y = vec![S::ZERO; n];
         symtensor::kernels::axm1(a, &self.x, &mut y);
@@ -194,18 +202,25 @@ impl SsHopm {
 
     /// Run SS-HOPM from `x0` with the default on-the-fly kernels.
     ///
+    /// Accepts `&SymTensor<S>` or a borrowed [`SymTensorRef`] (e.g. one
+    /// tensor of a [`symtensor::TensorBatch`] arena) — no copy either way.
+    ///
     /// # Panics
     /// Panics if `x0.len() != a.dim()` or `x0` is the zero vector.
-    pub fn solve<S: Scalar>(&self, a: &SymTensor<S>, x0: &[S]) -> Eigenpair<S> {
+    pub fn solve<'a, S: Scalar>(
+        &self,
+        a: impl Into<SymTensorRef<'a, S>>,
+        x0: &[S],
+    ) -> Eigenpair<S> {
         self.solve_with(&GeneralKernels, a, x0)
     }
 
     /// Run SS-HOPM from `x0` using a caller-chosen kernel implementation
     /// (general / precomputed / unrolled).
-    pub fn solve_with<S: Scalar, K: TensorKernels<S> + ?Sized>(
+    pub fn solve_with<'a, S: Scalar, K: TensorKernels<S> + ?Sized>(
         &self,
         kernels: &K,
-        a: &SymTensor<S>,
+        a: impl Into<SymTensorRef<'a, S>>,
         x0: &[S],
     ) -> Eigenpair<S> {
         self.solve_observed_with(kernels, a, x0, &mut NoopObserver)
@@ -213,9 +228,9 @@ impl SsHopm {
 
     /// Run SS-HOPM from `x0` with the default kernels, reporting every
     /// iteration to `observer`.
-    pub fn solve_observed<S: Scalar, O: IterationObserver<S>>(
+    pub fn solve_observed<'a, S: Scalar, O: IterationObserver<S>>(
         &self,
-        a: &SymTensor<S>,
+        a: impl Into<SymTensorRef<'a, S>>,
         x0: &[S],
         observer: &mut O,
     ) -> Eigenpair<S> {
@@ -227,10 +242,10 @@ impl SsHopm {
     /// and each subsequent iterate; observation sits outside the kernel
     /// inner loops, and with [`NoopObserver`] this monomorphizes to
     /// exactly the unobserved iteration.
-    pub fn solve_observed_with<S, K, O>(
+    pub fn solve_observed_with<'a, S, K, O>(
         &self,
         kernels: &K,
-        a: &SymTensor<S>,
+        a: impl Into<SymTensorRef<'a, S>>,
         x0: &[S],
         observer: &mut O,
     ) -> Eigenpair<S>
@@ -239,6 +254,46 @@ impl SsHopm {
         K: TensorKernels<S> + ?Sized,
         O: IterationObserver<S>,
     {
+        self.solve_observed_with_scratch(kernels, a, x0, observer, &mut Vec::new())
+    }
+
+    /// [`solve_with`](Self::solve_with) reusing a caller-held iteration
+    /// buffer. One SS-HOPM solve needs a single length-`n` work vector;
+    /// batched drivers that solve hundreds of thousands of voxels pass
+    /// the same `scratch` to every call so the solve path performs no
+    /// per-voxel allocation beyond the returned eigenvector itself.
+    pub fn solve_with_scratch<'a, S, K>(
+        &self,
+        kernels: &K,
+        a: impl Into<SymTensorRef<'a, S>>,
+        x0: &[S],
+        scratch: &mut Vec<S>,
+    ) -> Eigenpair<S>
+    where
+        S: Scalar,
+        K: TensorKernels<S> + ?Sized,
+    {
+        self.solve_observed_with_scratch(kernels, a, x0, &mut NoopObserver, scratch)
+    }
+
+    /// [`solve_observed_with`](Self::solve_observed_with) reusing a
+    /// caller-held iteration buffer (see
+    /// [`solve_with_scratch`](Self::solve_with_scratch)); `scratch` is
+    /// cleared and resized to `a.dim()` before use.
+    pub fn solve_observed_with_scratch<'a, S, K, O>(
+        &self,
+        kernels: &K,
+        a: impl Into<SymTensorRef<'a, S>>,
+        x0: &[S],
+        observer: &mut O,
+        scratch: &mut Vec<S>,
+    ) -> Eigenpair<S>
+    where
+        S: Scalar,
+        K: TensorKernels<S> + ?Sized,
+        O: IterationObserver<S>,
+    {
+        let a = a.into();
         let n = a.dim();
         assert_eq!(x0.len(), n, "starting vector length");
         let mut x = x0.to_vec();
@@ -259,13 +314,15 @@ impl SsHopm {
             alpha,
             x: &x,
         });
-        let mut y = vec![S::ZERO; n];
+        scratch.clear();
+        scratch.resize(n, S::ZERO);
+        let y = scratch;
         let mut iterations = 0;
         let mut converged = false;
 
         for _ in 0..max_iters {
             // x̂ ← A x^{m-1} + α x   (negated when α < 0).
-            kernels.axm1(a, &x, &mut y);
+            kernels.axm1(a, &x, y);
             let alpha_s = S::from_f64(alpha);
             if alpha >= 0.0 {
                 for (yi, &xi) in y.iter_mut().zip(x.iter()) {
@@ -276,7 +333,7 @@ impl SsHopm {
                     *yi = -(*yi + alpha_s * xi);
                 }
             }
-            let nrm = norm2(&y);
+            let nrm = norm2(y);
             if nrm == S::ZERO {
                 // Degenerate: A x^{m-1} = -alpha x exactly. x is already an
                 // eigenvector of the shifted map; stop here.
@@ -318,7 +375,11 @@ impl SsHopm {
 
     /// Solve and also record the eigenvalue estimate at every iteration
     /// (for convergence plots and the shift ablation bench).
-    pub fn solve_traced<S: Scalar>(&self, a: &SymTensor<S>, x0: &[S]) -> (Eigenpair<S>, Vec<f64>) {
+    pub fn solve_traced<'a, S: Scalar>(
+        &self,
+        a: impl Into<SymTensorRef<'a, S>>,
+        x0: &[S],
+    ) -> (Eigenpair<S>, Vec<f64>) {
         let mut trace = Vec::new();
         let pair = self.solve_observed(a, x0, &mut |u: &IterationUpdate<'_, S>| {
             trace.push(u.lambda);
@@ -329,12 +390,13 @@ impl SsHopm {
     /// Solve and record a full per-iteration [`ConvergenceTrace`]
     /// (λ, shift, and — when `with_residuals` — the eigenpair residual,
     /// which costs one extra `axm1` per iteration).
-    pub fn solve_convergence_trace<S: Scalar>(
+    pub fn solve_convergence_trace<'a, S: Scalar>(
         &self,
-        a: &SymTensor<S>,
+        a: impl Into<SymTensorRef<'a, S>>,
         x0: &[S],
         with_residuals: bool,
     ) -> (Eigenpair<S>, ConvergenceTrace) {
+        let a = a.into();
         let mut trace = ConvergenceTrace::new();
         let pair = self.solve_observed(a, x0, &mut |u: &IterationUpdate<'_, S>| {
             let residual = with_residuals.then(|| {
@@ -363,7 +425,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use symtensor::PrecomputedTables;
+    use symtensor::{PrecomputedTables, SymTensor};
 
     fn random_tensor(m: usize, n: usize, seed: u64) -> SymTensor<f64> {
         let mut rng = StdRng::seed_from_u64(seed);

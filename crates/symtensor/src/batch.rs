@@ -1,0 +1,545 @@
+//! Contiguous arena storage for batches of same-shape packed tensors.
+//!
+//! The paper's workload is millions of tiny identical-shape tensors
+//! (DW-MRI voxels: order 4, dimension 3 → 15 scalars each). Storing them
+//! as `Vec<SymTensor<S>>` costs one heap allocation per tensor and
+//! pointer-chasing on every kernel call; a real GPU transfer of such a
+//! batch is one `cudaMemcpy` of one contiguous buffer. [`TensorBatch`]
+//! matches that reality: a single packed arena of `len · stride` scalars,
+//! with zero-copy [`SymTensorRef`] views per tensor and zero-copy
+//! [`TensorBatchRef`] sub-batch slices.
+//!
+//! ```
+//! use symtensor::{SymTensor, TensorBatch, kernels};
+//!
+//! let mut batch = TensorBatch::<f64>::new(4, 3).unwrap();
+//! batch.push(&SymTensor::diagonal_ones(4, 3)).unwrap();
+//! batch.push(&SymTensor::rank_one(4, &[1.0, 0.0, 0.0])).unwrap();
+//! assert_eq!(batch.len(), 2);
+//!
+//! // Each view borrows straight from the arena — no per-tensor allocation.
+//! let x = [1.0, 0.0, 0.0];
+//! for t in batch.iter() {
+//!     assert!((kernels::axm(t, &x) - 1.0).abs() < 1e-12);
+//! }
+//! ```
+
+use crate::error::{Error, Result};
+use crate::multinomial::{num_unique_entries, MAX_ORDER};
+use crate::scalar::Scalar;
+use crate::storage::{SymTensor, SymTensorRef};
+use rand::Rng;
+use std::ops::Range;
+
+/// Validate a batch shape and return the per-tensor stride `C(m+n-1, m)`.
+fn checked_stride(m: usize, n: usize) -> Result<usize> {
+    if !(1..=MAX_ORDER).contains(&m) {
+        return Err(Error::OrderOutOfRange(m));
+    }
+    if n < 1 {
+        return Err(Error::DimensionOutOfRange(n));
+    }
+    Ok(num_unique_entries(m, n) as usize)
+}
+
+/// A batch of `N` same-shape packed symmetric tensors stored in one
+/// contiguous arena: tensor `i` occupies `values[i*stride..(i+1)*stride]`.
+///
+/// All batch-facing layers of this workspace (`sshopm::BatchSolver`,
+/// `gpusim::launch_sshopm`, the execution backends, `dwmri` extraction)
+/// consume this type or its borrowed view [`TensorBatchRef`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorBatch<S> {
+    m: usize,
+    n: usize,
+    stride: usize,
+    values: Vec<S>,
+}
+
+impl<S: Scalar> TensorBatch<S> {
+    /// An empty batch for tensors of shape `(m, n)`.
+    pub fn new(m: usize, n: usize) -> Result<Self> {
+        Self::with_capacity(m, n, 0)
+    }
+
+    /// An empty batch with arena capacity reserved for `count` tensors.
+    pub fn with_capacity(m: usize, n: usize, count: usize) -> Result<Self> {
+        let stride = checked_stride(m, n)?;
+        Ok(Self {
+            m,
+            n,
+            stride,
+            values: Vec::with_capacity(stride * count),
+        })
+    }
+
+    /// Build a batch directly from a packed arena whose length must be a
+    /// whole number of tensors.
+    pub fn from_values(m: usize, n: usize, values: Vec<S>) -> Result<Self> {
+        let stride = checked_stride(m, n)?;
+        if !values.len().is_multiple_of(stride) {
+            return Err(Error::ValueLengthMismatch {
+                expected: values.len().div_ceil(stride) * stride,
+                actual: values.len(),
+            });
+        }
+        Ok(Self {
+            m,
+            n,
+            stride,
+            values,
+        })
+    }
+
+    /// A batch of `count` random tensors with entries i.i.d. uniform in
+    /// `[-1, 1]` (the paper's synthetic workload), drawn in tensor order so
+    /// it matches `count` successive [`SymTensor::random`] calls.
+    pub fn random<R: Rng + ?Sized>(m: usize, n: usize, count: usize, rng: &mut R) -> Result<Self> {
+        let stride = checked_stride(m, n)?;
+        let values = (0..stride * count)
+            .map(|_| S::from_f64(rng.gen_range(-1.0..=1.0)))
+            .collect();
+        Ok(Self {
+            m,
+            n,
+            stride,
+            values,
+        })
+    }
+
+    /// Number of tensors in the batch.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len().checked_div(self.stride).unwrap_or(0)
+    }
+
+    /// True if the batch holds no tensors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Tensor order `m` shared by every tensor in the batch.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.m
+    }
+
+    /// Tensor dimension `n` shared by every tensor in the batch.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Packed entries per tensor, `C(m+n-1, m)`.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The whole arena: `len() * stride()` scalars, tensor-major.
+    #[inline]
+    pub fn values(&self) -> &[S] {
+        &self.values
+    }
+
+    /// Mutable access to the whole arena.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [S] {
+        &mut self.values
+    }
+
+    /// Consume the batch, returning the arena.
+    pub fn into_values(self) -> Vec<S> {
+        self.values
+    }
+
+    /// Append a tensor, copying its `stride()` entries into the arena.
+    /// Returns [`Error::ShapeMismatch`] if the tensor's shape differs from
+    /// the batch shape.
+    pub fn push(&mut self, tensor: &SymTensor<S>) -> Result<()> {
+        self.push_view(tensor.view())
+    }
+
+    /// Append a borrowed tensor view (e.g. from another batch).
+    pub fn push_view(&mut self, tensor: SymTensorRef<'_, S>) -> Result<()> {
+        if tensor.order() != self.m || tensor.dim() != self.n {
+            return Err(Error::ShapeMismatch {
+                expected: (self.m, self.n),
+                found: (tensor.order(), tensor.dim()),
+            });
+        }
+        self.values.extend_from_slice(tensor.values());
+        Ok(())
+    }
+
+    /// Append one tensor's packed values directly (no intermediate
+    /// [`SymTensor`]); the slice length must equal `stride()`.
+    pub fn push_values(&mut self, values: &[S]) -> Result<()> {
+        if values.len() != self.stride {
+            return Err(Error::ValueLengthMismatch {
+                expected: self.stride,
+                actual: values.len(),
+            });
+        }
+        self.values.extend_from_slice(values);
+        Ok(())
+    }
+
+    /// Borrowed view of tensor `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> SymTensorRef<'_, S> {
+        self.view().get(i)
+    }
+
+    /// Iterate over per-tensor views, in order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = SymTensorRef<'_, S>> + '_ {
+        self.view().iter()
+    }
+
+    /// Borrowed view of the whole batch.
+    #[inline]
+    pub fn view(&self) -> TensorBatchRef<'_, S> {
+        TensorBatchRef {
+            m: self.m,
+            n: self.n,
+            stride: self.stride,
+            values: &self.values,
+        }
+    }
+
+    /// Zero-copy view of tensors `range.start..range.end`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> TensorBatchRef<'_, S> {
+        self.view().slice(range)
+    }
+
+    /// Expand into owned per-tensor storage (compatibility path; allocates
+    /// one `Vec` per tensor).
+    pub fn to_tensors(&self) -> Vec<SymTensor<S>> {
+        self.iter().map(|t| t.to_owned()).collect()
+    }
+
+    /// The whole arena converted to `f32` entries (the precision the
+    /// paper's GPU benchmarks use), layout preserved.
+    pub fn to_f32(&self) -> TensorBatch<f32> {
+        TensorBatch {
+            m: self.m,
+            n: self.n,
+            stride: self.stride,
+            values: self.values.iter().map(|v| v.to_f64() as f32).collect(),
+        }
+    }
+
+    /// The whole arena converted to `f64` entries, layout preserved.
+    pub fn to_f64(&self) -> TensorBatch<f64> {
+        TensorBatch {
+            m: self.m,
+            n: self.n,
+            stride: self.stride,
+            values: self.values.iter().map(|v| v.to_f64()).collect(),
+        }
+    }
+}
+
+impl<S: Scalar> From<&[SymTensor<S>]> for TensorBatch<S> {
+    /// Pack a slice of same-shape tensors into one arena.
+    ///
+    /// # Panics
+    /// Panics if the tensors do not all share one shape. An empty slice
+    /// yields an empty `(1, 1)`-shaped batch (mirroring `io::write_tensors`).
+    fn from(tensors: &[SymTensor<S>]) -> Self {
+        let (m, n) = match tensors.first() {
+            Some(t) => (t.order(), t.dim()),
+            None => (1, 1),
+        };
+        let mut batch = match TensorBatch::with_capacity(m, n, tensors.len()) {
+            Ok(b) => b,
+            Err(e) => panic!("invalid batch shape: {e}"),
+        };
+        for t in tensors {
+            if let Err(e) = batch.push(t) {
+                panic!("mixed shapes in tensor slice: {e}");
+            }
+        }
+        batch
+    }
+}
+
+impl<S: Scalar> From<Vec<SymTensor<S>>> for TensorBatch<S> {
+    fn from(tensors: Vec<SymTensor<S>>) -> Self {
+        TensorBatch::from(tensors.as_slice())
+    }
+}
+
+impl<S: Scalar> FromIterator<SymTensor<S>> for TensorBatch<S> {
+    /// Collect same-shape tensors into a batch.
+    ///
+    /// # Panics
+    /// Panics on mixed shapes (empty input yields an empty `(1, 1)` batch).
+    fn from_iter<I: IntoIterator<Item = SymTensor<S>>>(iter: I) -> Self {
+        let mut it = iter.into_iter();
+        let first = match it.next() {
+            Some(t) => t,
+            None => {
+                return match TensorBatch::new(1, 1) {
+                    Ok(b) => b,
+                    Err(e) => panic!("invalid batch shape: {e}"),
+                }
+            }
+        };
+        let mut batch = match TensorBatch::new(first.order(), first.dim()) {
+            Ok(b) => b,
+            Err(e) => panic!("invalid batch shape: {e}"),
+        };
+        let mut values = first.into_values();
+        batch.values.append(&mut values);
+        for t in it {
+            if let Err(e) = batch.push(&t) {
+                panic!("mixed shapes in tensor iterator: {e}");
+            }
+        }
+        batch
+    }
+}
+
+/// A borrowed, zero-copy view of a (sub-)batch: the analogue of `&[T]` for
+/// [`TensorBatch`]. `Copy`, so it is passed by value through the solver
+/// layers; [`TensorBatchRef::slice`] re-slices without touching the arena.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorBatchRef<'a, S> {
+    m: usize,
+    n: usize,
+    stride: usize,
+    values: &'a [S],
+}
+
+impl<'a, S: Scalar> TensorBatchRef<'a, S> {
+    /// Number of tensors in the view.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len().checked_div(self.stride).unwrap_or(0)
+    }
+
+    /// True if the view holds no tensors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Tensor order `m`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.m
+    }
+
+    /// Tensor dimension `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Packed entries per tensor.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The viewed arena segment, tensor-major.
+    #[inline]
+    pub fn values(&self) -> &'a [S] {
+        self.values
+    }
+
+    /// Borrowed view of tensor `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> SymTensorRef<'a, S> {
+        if i >= self.len() {
+            panic!("tensor index {i} out of bounds for batch of {}", self.len());
+        }
+        let lo = i * self.stride;
+        SymTensorRef::from_raw(self.m, self.n, &self.values[lo..lo + self.stride])
+    }
+
+    /// Iterate over per-tensor views, in order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = SymTensorRef<'a, S>> + 'a {
+        let (m, n) = (self.m, self.n);
+        self.values
+            .chunks_exact(self.stride.max(1))
+            .map(move |chunk| SymTensorRef::from_raw(m, n, chunk))
+    }
+
+    /// Zero-copy sub-view of tensors `range.start..range.end`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> TensorBatchRef<'a, S> {
+        if range.start > range.end || range.end > self.len() {
+            panic!(
+                "slice {}..{} out of bounds for batch of {}",
+                range.start,
+                range.end,
+                self.len()
+            );
+        }
+        TensorBatchRef {
+            m: self.m,
+            n: self.n,
+            stride: self.stride,
+            values: &self.values[range.start * self.stride..range.end * self.stride],
+        }
+    }
+
+    /// Copy the viewed tensors into an owned batch.
+    pub fn to_owned(&self) -> TensorBatch<S> {
+        TensorBatch {
+            m: self.m,
+            n: self.n,
+            stride: self.stride,
+            values: self.values.to_vec(),
+        }
+    }
+
+    /// Expand into owned per-tensor storage (compatibility path).
+    pub fn to_tensors(&self) -> Vec<SymTensor<S>> {
+        self.iter().map(|t| t.to_owned()).collect()
+    }
+}
+
+impl<'a, S: Scalar> From<&'a TensorBatch<S>> for TensorBatchRef<'a, S> {
+    fn from(b: &'a TensorBatch<S>) -> Self {
+        b.view()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_tensors(m: usize, n: usize, count: usize, seed: u64) -> Vec<SymTensor<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| SymTensor::random(m, n, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn push_and_views_round_trip() {
+        let tensors = random_tensors(4, 3, 7, 1);
+        let mut batch = TensorBatch::new(4, 3).unwrap();
+        for t in &tensors {
+            batch.push(t).unwrap();
+        }
+        assert_eq!(batch.len(), 7);
+        assert_eq!(batch.stride(), 15);
+        assert_eq!(batch.values().len(), 7 * 15);
+        for (i, t) in tensors.iter().enumerate() {
+            assert_eq!(batch.get(i).values(), t.values());
+        }
+        assert_eq!(batch.to_tensors(), tensors);
+    }
+
+    #[test]
+    fn from_slice_matches_pushes() {
+        let tensors = random_tensors(3, 4, 5, 2);
+        let batch = TensorBatch::from(tensors.as_slice());
+        assert_eq!(batch.len(), 5);
+        assert_eq!(batch.to_tensors(), tensors);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let tensors = random_tensors(3, 3, 4, 12);
+        let batch: TensorBatch<f64> = tensors.iter().cloned().collect();
+        assert_eq!(batch.to_tensors(), tensors);
+        let empty: TensorBatch<f64> = std::iter::empty().collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn push_rejects_shape_mismatch_with_typed_error() {
+        let mut batch = TensorBatch::<f64>::new(4, 3).unwrap();
+        let wrong = SymTensor::<f64>::zeros(3, 3);
+        assert_eq!(
+            batch.push(&wrong).unwrap_err(),
+            Error::ShapeMismatch {
+                expected: (4, 3),
+                found: (3, 3),
+            }
+        );
+        assert!(batch.is_empty(), "failed push must not grow the arena");
+    }
+
+    #[test]
+    fn push_values_checks_stride() {
+        let mut batch = TensorBatch::<f64>::new(4, 3).unwrap();
+        assert!(batch.push_values(&[0.0; 15]).is_ok());
+        assert!(matches!(
+            batch.push_values(&[0.0; 14]),
+            Err(Error::ValueLengthMismatch {
+                expected: 15,
+                actual: 14
+            })
+        ));
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_consistent() {
+        let tensors = random_tensors(4, 3, 10, 3);
+        let batch = TensorBatch::from(tensors.as_slice());
+        let sub = batch.slice(3..7);
+        assert_eq!(sub.len(), 4);
+        // Same allocation: the sub-view's pointer sits inside the arena.
+        let base = batch.values().as_ptr() as usize;
+        let sub_ptr = sub.values().as_ptr() as usize;
+        assert_eq!(sub_ptr, base + 3 * 15 * std::mem::size_of::<f64>());
+        for (i, t) in sub.iter().enumerate() {
+            assert_eq!(t.values(), tensors[3 + i].values());
+        }
+        // Re-slicing a view composes.
+        let sub2 = sub.slice(1..3);
+        assert_eq!(sub2.get(0).values(), tensors[4].values());
+    }
+
+    #[test]
+    fn from_values_validates_arena_length() {
+        assert!(TensorBatch::<f64>::from_values(4, 3, vec![0.0; 30]).is_ok());
+        assert!(TensorBatch::<f64>::from_values(4, 3, vec![0.0; 31]).is_err());
+        assert!(TensorBatch::<f64>::from_values(0, 3, vec![]).is_err());
+    }
+
+    #[test]
+    fn random_batch_matches_sequential_tensors() {
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let batch = TensorBatch::<f64>::random(4, 3, 3, &mut rng1).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let tensors: Vec<SymTensor<f64>> =
+            (0..3).map(|_| SymTensor::random(4, 3, &mut rng2)).collect();
+        assert_eq!(batch.to_tensors(), tensors);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_out_of_bounds_panics() {
+        let batch = TensorBatch::<f64>::new(4, 3).unwrap();
+        let _ = batch.get(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mixed_shape_from_slice_panics() {
+        let tensors = vec![SymTensor::<f64>::zeros(4, 3), SymTensor::<f64>::zeros(3, 3)];
+        let _ = TensorBatch::from(tensors.as_slice());
+    }
+}

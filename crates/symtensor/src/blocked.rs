@@ -29,7 +29,7 @@ use crate::index::IndexClassIter;
 use crate::kernels::TensorKernels;
 use crate::multinomial::num_unique_entries;
 use crate::scalar::Scalar;
-use crate::storage::SymTensor;
+use crate::storage::SymTensorRef;
 
 /// Blocked kernel tables for a fixed compile-time order `M` and runtime
 /// dimension `n`.
@@ -53,8 +53,12 @@ impl<const M: usize> Blocked<M> {
     /// # Panics
     /// Panics if `M == 0` or `n == 0`.
     pub fn new(n: usize) -> Self {
-        assert!(M >= 1, "order must be at least 1");
-        assert!(n >= 1, "dimension must be at least 1");
+        if M < 1 {
+            panic!("order must be at least 1");
+        }
+        if n < 1 {
+            panic!("dimension must be at least 1");
+        }
         let count = num_unique_entries(M, n) as usize;
         let mut reps = Vec::with_capacity(count);
         let mut coeffs = Vec::with_capacity(count);
@@ -96,8 +100,12 @@ impl<const M: usize> Blocked<M> {
 
     /// Blocked `A·xᵐ`: the monomial product is a fixed `M`-trip loop.
     pub fn axm<S: Scalar>(&self, values: &[S], x: &[S]) -> S {
-        assert_eq!(values.len(), self.reps.len(), "packed value count");
-        assert_eq!(x.len(), self.n, "vector length");
+        if values.len() != self.reps.len() {
+            panic!("packed value count {} != {}", values.len(), self.reps.len());
+        }
+        if x.len() != self.n {
+            panic!("vector length {} != dimension {}", x.len(), self.n);
+        }
         let mut acc = S::ZERO;
         for (u, rep) in self.reps.iter().enumerate() {
             let mut xhat = S::ONE;
@@ -112,9 +120,15 @@ impl<const M: usize> Blocked<M> {
     /// Blocked `A·xᵐ⁻¹` into `y` (overwritten). Per-contribution
     /// coefficients come from the stored `C(M; k)` via `σ(j) = c·k_j/M`.
     pub fn axm1<S: Scalar>(&self, values: &[S], x: &[S], y: &mut [S]) {
-        assert_eq!(values.len(), self.reps.len(), "packed value count");
-        assert_eq!(x.len(), self.n, "vector length");
-        assert_eq!(y.len(), self.n, "output length");
+        if values.len() != self.reps.len() {
+            panic!("packed value count {} != {}", values.len(), self.reps.len());
+        }
+        if x.len() != self.n {
+            panic!("vector length {} != dimension {}", x.len(), self.n);
+        }
+        if y.len() != self.n {
+            panic!("output length {} != dimension {}", y.len(), self.n);
+        }
         y.iter_mut().for_each(|e| *e = S::ZERO);
         let inv_m = 1.0 / M as f64;
         for (u, rep) in self.reps.iter().enumerate() {
@@ -143,15 +157,27 @@ impl<const M: usize> Blocked<M> {
 }
 
 impl<const M: usize, S: Scalar> TensorKernels<S> for Blocked<M> {
-    fn axm(&self, a: &SymTensor<S>, x: &[S]) -> S {
-        assert_eq!(a.order(), M, "tensor order");
-        assert_eq!(a.dim(), self.n, "tensor dimension");
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
+        if a.order() != M || a.dim() != self.n {
+            panic!(
+                "tensor shape [{},{}] does not match blocked tables [{M},{}]",
+                a.order(),
+                a.dim(),
+                self.n
+            );
+        }
         Blocked::axm(self, a.values(), x)
     }
 
-    fn axm1(&self, a: &SymTensor<S>, x: &[S], y: &mut [S]) {
-        assert_eq!(a.order(), M, "tensor order");
-        assert_eq!(a.dim(), self.n, "tensor dimension");
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
+        if a.order() != M || a.dim() != self.n {
+            panic!(
+                "tensor shape [{},{}] does not match blocked tables [{M},{}]",
+                a.order(),
+                a.dim(),
+                self.n
+            );
+        }
         Blocked::axm1(self, a.values(), x, y)
     }
 
@@ -215,7 +241,7 @@ impl BlockedKernels {
 }
 
 impl<S: Scalar> TensorKernels<S> for BlockedKernels {
-    fn axm(&self, a: &SymTensor<S>, x: &[S]) -> S {
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
         match self {
             BlockedKernels::M1(b) => TensorKernels::axm(b, a, x),
             BlockedKernels::M2(b) => TensorKernels::axm(b, a, x),
@@ -228,7 +254,7 @@ impl<S: Scalar> TensorKernels<S> for BlockedKernels {
         }
     }
 
-    fn axm1(&self, a: &SymTensor<S>, x: &[S], y: &mut [S]) {
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
         match self {
             BlockedKernels::M1(b) => TensorKernels::axm1(b, a, x, y),
             BlockedKernels::M2(b) => TensorKernels::axm1(b, a, x, y),
@@ -250,6 +276,7 @@ impl<S: Scalar> TensorKernels<S> for BlockedKernels {
 mod tests {
     use super::*;
     use crate::kernels::{axm, axm1};
+    use crate::storage::SymTensor;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -283,7 +310,7 @@ mod tests {
             assert_eq!(k.shape(), (m, n));
 
             let want = axm(&a, &x);
-            let got = TensorKernels::axm(&k, &a, &x);
+            let got = TensorKernels::axm(&k, a.view(), &x);
             assert!(
                 (got - want).abs() < 1e-9 * (1.0 + want.abs()),
                 "[{m},{n}] axm: {got} vs {want}"
@@ -292,7 +319,7 @@ mod tests {
             let mut wanty = vec![0.0; n];
             let mut goty = vec![0.0; n];
             axm1(&a, &x, &mut wanty);
-            TensorKernels::axm1(&k, &a, &x, &mut goty);
+            TensorKernels::axm1(&k, a.view(), &x, &mut goty);
             for j in 0..n {
                 assert!(
                     (goty[j] - wanty[j]).abs() < 1e-9 * (1.0 + wanty[j].abs()),
@@ -320,9 +347,9 @@ mod tests {
         let a = random_sym(5, 7, 20);
         let x = random_vec(7, 21);
         let k = BlockedKernels::for_shape(5, 7).unwrap();
-        let s = TensorKernels::axm(&k, &a, &x);
+        let s = TensorKernels::axm(&k, a.view(), &x);
         let mut y = vec![0.0; 7];
-        TensorKernels::axm1(&k, &a, &x, &mut y);
+        TensorKernels::axm1(&k, a.view(), &x, &mut y);
         let dot: f64 = x.iter().zip(&y).map(|(p, q)| p * q).sum();
         assert!((dot - s).abs() < 1e-9 * (1.0 + s.abs()));
     }
@@ -336,7 +363,7 @@ mod tests {
         let mut want = vec![0.0; 5];
         let mut got = vec![0.0; 5];
         axm1(&a, &x, &mut want);
-        TensorKernels::axm1(&k, &a, &x, &mut got);
+        TensorKernels::axm1(&k, a.view(), &x, &mut got);
         for j in 0..5 {
             assert!((got[j] - want[j]).abs() < 1e-10, "j={j}");
         }
@@ -349,7 +376,7 @@ mod tests {
         let x: Vec<f32> = (0..6).map(|i| 0.3 - 0.1 * i as f32).collect();
         let k = BlockedKernels::for_shape(4, 6).unwrap();
         let want = axm(&a, &x);
-        let got = TensorKernels::axm(&k, &a, &x);
+        let got = TensorKernels::axm(&k, a.view(), &x);
         assert!((got - want).abs() < 1e-4 * (1.0 + want.abs()));
     }
 
@@ -358,7 +385,7 @@ mod tests {
     fn shape_mismatch_panics() {
         let a = random_sym(4, 3, 25);
         let k = BlockedKernels::for_shape(4, 5).unwrap();
-        let _ = TensorKernels::axm(&k, &a, &[1.0; 5]);
+        let _ = TensorKernels::axm(&k, a.view(), &[1.0; 5]);
     }
 
     #[test]

@@ -26,10 +26,13 @@ impl<S: Scalar> DenseTensor<S> {
     /// # Panics
     /// Panics if `n^m` overflows `usize` or `m == 0` or `n == 0`.
     pub fn zeros(m: usize, n: usize) -> Self {
-        assert!(m >= 1 && n >= 1, "tensor must have m >= 1, n >= 1");
-        let len = n
-            .checked_pow(m as u32)
-            .expect("dense tensor size overflows usize");
+        if m < 1 || n < 1 {
+            panic!("tensor must have m >= 1, n >= 1, got m={m}, n={n}");
+        }
+        let len = match n.checked_pow(m as u32) {
+            Some(len) => len,
+            None => panic!("dense tensor size n^m overflows usize for [{m},{n}]"),
+        };
         Self {
             m,
             n,
@@ -57,7 +60,10 @@ impl<S: Scalar> DenseTensor<S> {
         let mut idx = vec![0usize; m];
         for pos in 0..out.values.len() {
             out.decode_linear(pos, &mut idx);
-            out.values[pos] = sym.get(&idx).expect("index in range");
+            out.values[pos] = match sym.get(&idx) {
+                Ok(v) => v,
+                Err(e) => panic!("index in range: {e}"),
+            };
         }
         out
     }
@@ -156,7 +162,10 @@ impl<S: Scalar> DenseTensor<S> {
         for (s, &c) in sums.iter_mut().zip(counts.iter()) {
             *s /= S::from_u64(c);
         }
-        SymTensor::from_values(m, n, sums).expect("shape consistent")
+        match SymTensor::from_values(m, n, sums) {
+            Ok(t) => t,
+            Err(e) => panic!("shape consistent: {e}"),
+        }
     }
 
     /// Convert an exactly-symmetric dense tensor to packed storage,

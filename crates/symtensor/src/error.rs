@@ -50,6 +50,14 @@ pub enum Error {
         /// Tensor order `m`.
         m: usize,
     },
+    /// A tensor pushed into a [`crate::TensorBatch`] had a different shape
+    /// than the batch was built for.
+    ShapeMismatch {
+        /// The batch shape `(m, n)`.
+        expected: (usize, usize),
+        /// The shape of the offending tensor.
+        found: (usize, usize),
+    },
 }
 
 impl fmt::Display for Error {
@@ -81,6 +89,13 @@ impl fmt::Display for Error {
                 write!(
                     f,
                     "invalid contraction: result order p={p} for tensor order m={m}"
+                )
+            }
+            Error::ShapeMismatch { expected, found } => {
+                write!(
+                    f,
+                    "tensor shape [{},{}] does not match batch shape [{},{}]",
+                    found.0, found.1, expected.0, expected.1
                 )
             }
         }
@@ -125,6 +140,13 @@ mod tests {
             ),
             (Error::NotSymmetric, "symmetric"),
             (Error::InvalidContraction { p: 5, m: 4 }, "p=5"),
+            (
+                Error::ShapeMismatch {
+                    expected: (4, 3),
+                    found: (3, 5),
+                },
+                "[3,5]",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

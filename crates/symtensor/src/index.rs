@@ -27,10 +27,9 @@ pub struct MonomialRep {
 impl MonomialRep {
     /// Wrap a counts array. No validation beyond non-emptiness.
     pub fn new(counts: Vec<usize>) -> Self {
-        assert!(
-            !counts.is_empty(),
-            "monomial representation must have n >= 1"
-        );
+        if counts.is_empty() {
+            panic!("monomial representation must have n >= 1");
+        }
         Self { counts }
     }
 
@@ -90,15 +89,15 @@ impl IndexClass {
     /// Panics if the array is empty, not nondecreasing, or contains an index
     /// `>= n`.
     pub fn new(indices: Vec<usize>, n: usize) -> Self {
-        assert!(!indices.is_empty(), "index representation must have m >= 1");
-        assert!(
-            indices.windows(2).all(|w| w[0] <= w[1]),
-            "index representation must be nondecreasing: {indices:?}"
-        );
-        assert!(
-            indices.iter().all(|&i| i < n),
-            "index {indices:?} out of bounds for dimension {n}"
-        );
+        if indices.is_empty() {
+            panic!("index representation must have m >= 1");
+        }
+        if !indices.windows(2).all(|w| w[0] <= w[1]) {
+            panic!("index representation must be nondecreasing: {indices:?}");
+        }
+        if !indices.iter().all(|&i| i < n) {
+            panic!("index {indices:?} out of bounds for dimension {n}");
+        }
         Self { indices, n }
     }
 
@@ -111,7 +110,9 @@ impl IndexClass {
 
     /// The first index class in lexicographic order: `[0, 0, …, 0]`.
     pub fn first(m: usize, n: usize) -> Self {
-        assert!(m >= 1 && n >= 1);
+        if m < 1 || n < 1 {
+            panic!("index class needs m >= 1 and n >= 1, got m={m}, n={n}");
+        }
         Self {
             indices: vec![0; m],
             n,
@@ -120,7 +121,9 @@ impl IndexClass {
 
     /// The last index class in lexicographic order: `[n-1, …, n-1]`.
     pub fn last(m: usize, n: usize) -> Self {
-        assert!(m >= 1 && n >= 1);
+        if m < 1 || n < 1 {
+            panic!("index class needs m >= 1 and n >= 1, got m={m}, n={n}");
+        }
         Self {
             indices: vec![n - 1; m],
             n,
@@ -229,10 +232,9 @@ impl IndexClass {
     /// # Panics
     /// Panics if `rank >= C(m+n-1, m)`.
     pub fn unrank(mut rank: u64, m: usize, n: usize) -> Self {
-        assert!(
-            rank < num_unique_entries(m, n),
-            "rank {rank} out of range for [{m},{n}]"
-        );
+        if rank >= num_unique_entries(m, n) {
+            panic!("rank {rank} out of range for [{m},{n}]");
+        }
         let mut indices = Vec::with_capacity(m);
         let mut lo = 0usize;
         for t in 0..m {

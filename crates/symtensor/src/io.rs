@@ -16,6 +16,7 @@
 //! values may wrap across lines as long as tensors are concatenated in
 //! order. Readers of `f32` data parse through `f64`.
 
+use crate::batch::{TensorBatch, TensorBatchRef};
 use crate::error::Error;
 use crate::multinomial::num_unique_entries;
 use crate::scalar::Scalar;
@@ -70,7 +71,36 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-/// Write a batch of same-shaped tensors.
+/// Write an arena batch: the header plus one line of `stride` values per
+/// tensor, streamed straight from the contiguous buffer.
+pub fn write_tensor_batch<'a, S: Scalar, W: Write>(
+    w: &mut W,
+    batch: impl Into<TensorBatchRef<'a, S>>,
+) -> std::io::Result<()> {
+    let batch = batch.into();
+    writeln!(w, "symtensor 1")?;
+    writeln!(
+        w,
+        "order {} dim {} count {}",
+        batch.order(),
+        batch.dim(),
+        batch.len()
+    )?;
+    for t in batch.iter() {
+        let mut first = true;
+        for v in t.values() {
+            if !first {
+                write!(w, " ")?;
+            }
+            write!(w, "{:?}", v.to_f64())?;
+            first = false;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Write a batch of same-shaped tensors held in per-tensor storage.
 ///
 /// # Panics
 /// Panics if the tensors do not all share one shape.
@@ -82,10 +112,9 @@ pub fn write_tensors<S: Scalar, W: Write>(
         Some(t) => (t.order(), t.dim()),
         None => (1, 1), // an empty file still needs a well-formed header
     };
-    assert!(
-        tensors.iter().all(|t| t.order() == m && t.dim() == n),
-        "all tensors in a file must share one shape"
-    );
+    if !tensors.iter().all(|t| t.order() == m && t.dim() == n) {
+        panic!("all tensors in a file must share one shape");
+    }
     writeln!(w, "symtensor 1")?;
     writeln!(w, "order {m} dim {n} count {}", tensors.len())?;
     for t in tensors {
@@ -107,8 +136,10 @@ pub fn write_tensor<S: Scalar, W: Write>(w: &mut W, tensor: &SymTensor<S>) -> st
     write_tensors(w, std::slice::from_ref(tensor))
 }
 
-/// Read a batch of tensors written by [`write_tensors`].
-pub fn read_tensors<S: Scalar, R: Read>(r: R) -> std::result::Result<Vec<SymTensor<S>>, IoError> {
+/// Read a batch written by [`write_tensor_batch`] (or [`write_tensors`])
+/// directly into one contiguous [`TensorBatch`] arena — no intermediate
+/// `Vec<SymTensor>` and no per-tensor allocation.
+pub fn read_tensor_batch<S: Scalar, R: Read>(r: R) -> std::result::Result<TensorBatch<S>, IoError> {
     let mut reader = BufReader::new(r);
     let mut line = String::new();
 
@@ -158,23 +189,26 @@ pub fn read_tensors<S: Scalar, R: Read>(r: R) -> std::result::Result<Vec<SymTens
         });
     }
 
-    let mut out = Vec::with_capacity(count);
-    for chunk in values.chunks_exact(per_tensor) {
-        out.push(SymTensor::from_values(m, n, chunk.to_vec()).map_err(IoError::Shape)?);
-    }
-    Ok(out)
+    // The flat value stream *is* the arena.
+    TensorBatch::from_values(m, n, values).map_err(IoError::Shape)
+}
+
+/// Read a batch of tensors written by [`write_tensors`] into per-tensor
+/// storage (compatibility wrapper over [`read_tensor_batch`]).
+pub fn read_tensors<S: Scalar, R: Read>(r: R) -> std::result::Result<Vec<SymTensor<S>>, IoError> {
+    Ok(read_tensor_batch(r)?.to_tensors())
 }
 
 /// Read a single tensor; errors if the file holds zero or several.
 pub fn read_tensor<S: Scalar, R: Read>(r: R) -> std::result::Result<SymTensor<S>, IoError> {
-    let mut tensors = read_tensors(r)?;
-    if tensors.len() != 1 {
+    let batch: TensorBatch<S> = read_tensor_batch(r)?;
+    if batch.len() != 1 {
         return Err(IoError::BadHeader(format!(
             "expected exactly one tensor, file holds {}",
-            tensors.len()
+            batch.len()
         )));
     }
-    Ok(tensors.pop().expect("length checked"))
+    Ok(batch.get(0).to_owned())
 }
 
 fn num_unique_entries_checked(m: usize, n: usize) -> std::result::Result<usize, IoError> {
@@ -249,6 +283,32 @@ mod tests {
     fn empty_batch_round_trips() {
         let back = round_trip(&[]);
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn tensor_batch_round_trips_through_arena() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let batch = TensorBatch::<f64>::random(4, 3, 6, &mut rng).unwrap();
+        let mut buf = Vec::new();
+        write_tensor_batch(&mut buf, &batch).unwrap();
+        let back: TensorBatch<f64> = read_tensor_batch(&buf[..]).unwrap();
+        assert_eq!(back, batch, "arena round-trip must be exact");
+        // The Vec-based compatibility reader sees the same tensors.
+        let tensors: Vec<SymTensor<f64>> = read_tensors(&buf[..]).unwrap();
+        assert_eq!(tensors, batch.to_tensors());
+    }
+
+    #[test]
+    fn batch_and_vec_writers_produce_identical_bytes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let tensors: Vec<SymTensor<f64>> =
+            (0..4).map(|_| SymTensor::random(3, 4, &mut rng)).collect();
+        let batch = TensorBatch::from(tensors.as_slice());
+        let mut a = Vec::new();
+        write_tensors(&mut a, &tensors).unwrap();
+        let mut b = Vec::new();
+        write_tensor_batch(&mut b, &batch).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -21,26 +21,31 @@ use crate::error::{Error, Result};
 use crate::index::{IndexClass, IndexClassIter};
 use crate::multinomial::{multinomial0, multinomial1_from_stored, num_unique_entries};
 use crate::scalar::Scalar;
-use crate::storage::SymTensor;
+use crate::storage::{SymTensor, SymTensorRef};
 
 /// A strategy for evaluating the two SS-HOPM kernels on packed symmetric
 /// tensors. Implemented by the on-the-fly [`GeneralKernels`], the
 /// table-driven [`PrecomputedTables`], and (in the `unrolled` crate) the
 /// compile-time fully-unrolled kernels — letting the power-method driver and
 /// the benchmark harness swap implementations without code changes.
+///
+/// Methods take borrowed [`SymTensorRef`] views, so a tensor living inside a
+/// [`crate::TensorBatch`] arena is evaluated in place — no owned
+/// [`SymTensor`] is ever required on the hot path. Call sites holding an
+/// owned tensor pass `a.view()`.
 pub trait TensorKernels<S: Scalar>: Sync {
     /// Evaluate `A·xᵐ`.
     ///
     /// # Panics
     /// May panic if `x.len() != a.dim()` or the implementation was built for
     /// a different shape than `a`.
-    fn axm(&self, a: &SymTensor<S>, x: &[S]) -> S;
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S;
 
     /// Evaluate `A·xᵐ⁻¹` into `y` (overwritten).
     ///
     /// # Panics
     /// May panic on length or shape mismatch.
-    fn axm1(&self, a: &SymTensor<S>, x: &[S], y: &mut [S]);
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]);
 
     /// Short human-readable name for reports ("general", "precomputed",
     /// "unrolled(m,n)").
@@ -55,11 +60,11 @@ pub trait TensorKernels<S: Scalar>: Sync {
 pub struct GeneralKernels;
 
 impl<S: Scalar> TensorKernels<S> for GeneralKernels {
-    fn axm(&self, a: &SymTensor<S>, x: &[S]) -> S {
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
         axm(a, x)
     }
 
-    fn axm1(&self, a: &SymTensor<S>, x: &[S], y: &mut [S]) {
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
         axm1(a, x, y)
     }
 
@@ -69,12 +74,17 @@ impl<S: Scalar> TensorKernels<S> for GeneralKernels {
 }
 
 impl<S: Scalar> TensorKernels<S> for PrecomputedTables {
-    fn axm(&self, a: &SymTensor<S>, x: &[S]) -> S {
-        PrecomputedTables::axm(self, a, x).expect("shape mismatch")
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
+        match PrecomputedTables::axm(self, a, x) {
+            Ok(v) => v,
+            Err(e) => panic!("shape mismatch: {e}"),
+        }
     }
 
-    fn axm1(&self, a: &SymTensor<S>, x: &[S], y: &mut [S]) {
-        PrecomputedTables::axm1(self, a, x, y).expect("shape mismatch")
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
+        if let Err(e) = PrecomputedTables::axm1(self, a, x, y) {
+            panic!("shape mismatch: {e}");
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -103,12 +113,18 @@ fn check_vec<S>(x: &[S], n: usize) -> Result<()> {
 /// # Panics
 /// Panics if `x.len() != A.dim()` (use [`axm_checked`] for a fallible
 /// variant).
-pub fn axm<S: Scalar>(a: &SymTensor<S>, x: &[S]) -> S {
-    axm_checked(a, x).expect("vector length mismatch")
+///
+/// Accepts `&SymTensor<S>` or a [`SymTensorRef`] view interchangeably.
+pub fn axm<'a, S: Scalar>(a: impl Into<SymTensorRef<'a, S>>, x: &[S]) -> S {
+    match axm_checked(a, x) {
+        Ok(v) => v,
+        Err(e) => panic!("axm: {e}"),
+    }
 }
 
 /// Fallible variant of [`axm`].
-pub fn axm_checked<S: Scalar>(a: &SymTensor<S>, x: &[S]) -> Result<S> {
+pub fn axm_checked<'a, S: Scalar>(a: impl Into<SymTensorRef<'a, S>>, x: &[S]) -> Result<S> {
+    let a = a.into();
     check_vec(x, a.dim())?;
     let m = a.order();
     let n = a.dim();
@@ -143,12 +159,21 @@ pub fn axm_checked<S: Scalar>(a: &SymTensor<S>, x: &[S]) -> Result<S> {
 ///
 /// # Panics
 /// Panics on length mismatches (use [`axm1_checked`] for a fallible variant).
-pub fn axm1<S: Scalar>(a: &SymTensor<S>, x: &[S], y: &mut [S]) {
-    axm1_checked(a, x, y).expect("vector length mismatch")
+///
+/// Accepts `&SymTensor<S>` or a [`SymTensorRef`] view interchangeably.
+pub fn axm1<'a, S: Scalar>(a: impl Into<SymTensorRef<'a, S>>, x: &[S], y: &mut [S]) {
+    if let Err(e) = axm1_checked(a, x, y) {
+        panic!("axm1: {e}");
+    }
 }
 
 /// Fallible variant of [`axm1`].
-pub fn axm1_checked<S: Scalar>(a: &SymTensor<S>, x: &[S], y: &mut [S]) -> Result<()> {
+pub fn axm1_checked<'a, S: Scalar>(
+    a: impl Into<SymTensorRef<'a, S>>,
+    x: &[S],
+    y: &mut [S],
+) -> Result<()> {
+    let a = a.into();
     let n = a.dim();
     check_vec(x, n)?;
     check_vec(y, n)?;
@@ -206,7 +231,12 @@ pub fn axm1_checked<S: Scalar>(a: &SymTensor<S>, x: &[S], y: &mut [S]) -> Result
 ///
 /// which exploits symmetry in the contracted modes exactly as Equation 6
 /// does for `p = 1`.
-pub fn axmp<S: Scalar>(a: &SymTensor<S>, x: &[S], p: usize) -> Result<SymTensor<S>> {
+pub fn axmp<'a, S: Scalar>(
+    a: impl Into<SymTensorRef<'a, S>>,
+    x: &[S],
+    p: usize,
+) -> Result<SymTensor<S>> {
+    let a = a.into();
     let m = a.order();
     let n = a.dim();
     check_vec(x, n)?;
@@ -257,7 +287,8 @@ fn merge_sorted(a: &[usize], b: &[usize], out: &mut [usize]) {
 
 /// `A·x^{m-2}` reshaped as a dense symmetric `n × n` matrix (row-major),
 /// used for the projected-Hessian eigenpair classification.
-pub fn axm2_matrix<S: Scalar>(a: &SymTensor<S>, x: &[S]) -> Result<Vec<S>> {
+pub fn axm2_matrix<'a, S: Scalar>(a: impl Into<SymTensorRef<'a, S>>, x: &[S]) -> Result<Vec<S>> {
+    let a = a.into();
     let m = a.order();
     let n = a.dim();
     if m < 2 {
@@ -370,7 +401,8 @@ impl PrecomputedTables {
 
     /// `A·xᵐ` using the precomputed tables: no successor updates and no
     /// multinomial recomputation in the loop (pure look-ups).
-    pub fn axm<S: Scalar>(&self, a: &SymTensor<S>, x: &[S]) -> Result<S> {
+    pub fn axm<'a, S: Scalar>(&self, a: impl Into<SymTensorRef<'a, S>>, x: &[S]) -> Result<S> {
+        let a = a.into();
         check_vec(x, self.n)?;
         debug_assert_eq!(a.order(), self.m);
         debug_assert_eq!(a.dim(), self.n);
@@ -388,7 +420,13 @@ impl PrecomputedTables {
     /// `A·xᵐ⁻¹` using the precomputed tables. The per-entry coefficient
     /// `C(m-1; …, k_j-1, …)` is derived from the stored `C(m; k)` by the
     /// paper's look-up trick `σ(j) = c·k_j/m` (footnote 3).
-    pub fn axm1<S: Scalar>(&self, a: &SymTensor<S>, x: &[S], y: &mut [S]) -> Result<()> {
+    pub fn axm1<'a, S: Scalar>(
+        &self,
+        a: impl Into<SymTensorRef<'a, S>>,
+        x: &[S],
+        y: &mut [S],
+    ) -> Result<()> {
+        let a = a.into();
         check_vec(x, self.n)?;
         check_vec(y, self.n)?;
         y.iter_mut().for_each(|e| *e = S::ZERO);
@@ -680,11 +718,11 @@ mod tests {
         let impls: Vec<&dyn TensorKernels<f64>> = vec![&GeneralKernels, &tables];
         let want = axm(&a, &x);
         for k in &impls {
-            assert!((k.axm(&a, &x) - want).abs() < 1e-12, "{}", k.name());
+            assert!((k.axm(a.view(), &x) - want).abs() < 1e-12, "{}", k.name());
             let mut y0 = vec![0.0; 3];
             let mut y1 = vec![0.0; 3];
             axm1(&a, &x, &mut y0);
-            k.axm1(&a, &x, &mut y1);
+            k.axm1(a.view(), &x, &mut y1);
             for j in 0..3 {
                 assert!((y0[j] - y1[j]).abs() < 1e-12);
             }

@@ -12,7 +12,11 @@
 //!   factor of roughly `m!` (Section III-B);
 //! * a **dense (nonsymmetric) baseline** implementing the same products by
 //!   repeated mode contraction, used for correctness cross-checks and as the
-//!   "general" column of the paper's Table II.
+//!   "general" column of the paper's Table II;
+//! * **arena batch storage** ([`TensorBatch`]) packing N same-shape tensors
+//!   into one contiguous buffer with zero-copy [`SymTensorRef`] views and
+//!   [`TensorBatchRef`] sub-batch slices — the layout a GPU batch transfer
+//!   actually moves as a single coalesced copy.
 //!
 //! ## Quick example
 //!
@@ -36,6 +40,7 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod blocked;
 pub mod dense;
 pub mod error;
@@ -48,6 +53,7 @@ pub mod scalar;
 pub mod special;
 pub mod storage;
 
+pub use batch::{TensorBatch, TensorBatchRef};
 pub use blocked::BlockedKernels;
 pub use dense::DenseTensor;
 pub use error::{Error, Result};
@@ -55,4 +61,4 @@ pub use index::{IndexClass, IndexClassIter, MonomialRep};
 pub use kernels::{GeneralKernels, PrecomputedTables, TensorKernels};
 pub use multinomial::CombinatoricsOverflow;
 pub use scalar::Scalar;
-pub use storage::SymTensor;
+pub use storage::{SymTensor, SymTensorRef};

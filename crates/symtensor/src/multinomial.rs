@@ -237,7 +237,9 @@ impl BinomialTable {
     /// Panics if `n >= rows`.
     #[inline]
     pub fn get(&self, n: usize, k: usize) -> u64 {
-        assert!(n < self.rows, "binomial table too small: C({n}, {k})");
+        if n >= self.rows {
+            panic!("binomial table too small: C({n}, {k})");
+        }
         if k > n {
             0
         } else {

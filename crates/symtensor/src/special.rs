@@ -24,10 +24,9 @@ use crate::storage::SymTensor;
 /// # Panics
 /// Panics if `m` is odd or zero, or outside the supported order range.
 pub fn identity_even<S: Scalar>(m: usize, n: usize) -> SymTensor<S> {
-    assert!(
-        m >= 2 && m.is_multiple_of(2),
-        "identity tensor needs even order, got {m}"
-    );
+    if m < 2 || !m.is_multiple_of(2) {
+        panic!("identity tensor needs even order, got {m}");
+    }
     let matchings = perfect_matchings(m);
     let total = matchings.len() as f64; // (m-1)!!
     let mut values = Vec::new();
@@ -39,13 +38,18 @@ pub fn identity_even<S: Scalar>(m: usize, n: usize) -> SymTensor<S> {
             .count();
         values.push(S::from_f64(good as f64 / total));
     }
-    SymTensor::from_values(m, n, values).expect("shape consistent")
+    match SymTensor::from_values(m, n, values) {
+        Ok(t) => t,
+        Err(e) => panic!("shape consistent: {e}"),
+    }
 }
 
 /// All perfect matchings of `{0, …, m-1}` (for even `m`), each as a list of
 /// index pairs. There are `(m-1)!! = 1·3·5·…·(m-1)` of them.
 pub fn perfect_matchings(m: usize) -> Vec<Vec<(usize, usize)>> {
-    assert!(m.is_multiple_of(2));
+    if !m.is_multiple_of(2) {
+        panic!("perfect matchings need even m, got {m}");
+    }
     let mut out = Vec::new();
     let items: Vec<usize> = (0..m).collect();
     let mut current = Vec::new();
@@ -80,18 +84,28 @@ pub fn perfect_matchings(m: usize) -> Vec<Vec<(usize, usize)>> {
 /// Panics if the lists have different lengths, are empty, or the vectors
 /// have inconsistent dimensions.
 pub fn from_rank_ones<S: Scalar>(m: usize, weights: &[S], vectors: &[Vec<S>]) -> SymTensor<S> {
-    assert_eq!(weights.len(), vectors.len(), "one weight per vector");
-    assert!(!weights.is_empty(), "need at least one term");
+    if weights.len() != vectors.len() {
+        panic!(
+            "one weight per vector: {} weights, {} vectors",
+            weights.len(),
+            vectors.len()
+        );
+    }
+    if weights.is_empty() {
+        panic!("need at least one term");
+    }
     let n = vectors[0].len();
-    assert!(
-        vectors.iter().all(|v| v.len() == n),
-        "all vectors must share one dimension"
-    );
+    if !vectors.iter().all(|v| v.len() == n) {
+        panic!("all vectors must share one dimension");
+    }
     let mut acc = SymTensor::zeros(m, n);
     for (&w, v) in weights.iter().zip(vectors) {
         let mut term = SymTensor::rank_one(m, v);
         term.scale(w);
-        acc = acc.add(&term).expect("shapes match");
+        acc = match acc.add(&term) {
+            Ok(t) => t,
+            Err(e) => panic!("shapes match: {e}"),
+        };
     }
     acc
 }

@@ -71,7 +71,10 @@ impl<S: Scalar> SymTensor<S> {
     /// # Panics
     /// Panics if `m` is outside `1..=20` or `n == 0`.
     pub fn zeros(m: usize, n: usize) -> Self {
-        let len = Self::checked_len(m, n).expect("invalid tensor shape");
+        let len = match Self::checked_len(m, n) {
+            Ok(len) => len,
+            Err(e) => panic!("invalid tensor shape: {e}"),
+        };
         Self {
             m,
             n,
@@ -96,7 +99,10 @@ impl<S: Scalar> SymTensor<S> {
     /// # Panics
     /// Panics if `m` is outside `1..=20` or `n == 0`.
     pub fn from_fn(m: usize, n: usize, mut f: impl FnMut(&IndexClass) -> S) -> Self {
-        let len = Self::checked_len(m, n).expect("invalid tensor shape");
+        let len = match Self::checked_len(m, n) {
+            Ok(len) => len,
+            Err(e) => panic!("invalid tensor shape: {e}"),
+        };
         let mut values = Vec::with_capacity(len);
         for class in IndexClassIter::new(m, n) {
             values.push(f(&class));
@@ -106,8 +112,14 @@ impl<S: Scalar> SymTensor<S> {
 
     /// A random symmetric tensor with unique entries drawn i.i.d. uniformly
     /// from `[-1, 1]` (the paper's choice for synthetic experiments).
+    ///
+    /// # Panics
+    /// Panics if `m` is outside `1..=20` or `n == 0`.
     pub fn random<R: Rng + ?Sized>(m: usize, n: usize, rng: &mut R) -> Self {
-        let len = Self::checked_len(m, n).expect("invalid tensor shape");
+        let len = match Self::checked_len(m, n) {
+            Ok(len) => len,
+            Err(e) => panic!("invalid tensor shape: {e}"),
+        };
         let values = (0..len)
             .map(|_| S::from_f64(rng.gen_range(-1.0..=1.0)))
             .collect();
@@ -118,6 +130,16 @@ impl<S: Scalar> SymTensor<S> {
     #[inline]
     pub fn order(&self) -> usize {
         self.m
+    }
+
+    /// A borrowed, zero-copy view of this tensor.
+    #[inline]
+    pub fn view(&self) -> SymTensorRef<'_, S> {
+        SymTensorRef {
+            m: self.m,
+            n: self.n,
+            values: &self.values,
+        }
     }
 
     /// Tensor dimension `n` (extent of every mode).
@@ -183,20 +205,7 @@ impl<S: Scalar> SymTensor<S> {
     }
 
     fn rank_of(&self, tensor_index: &[usize]) -> Result<usize> {
-        if tensor_index.len() != self.m {
-            return Err(Error::IndexLengthMismatch {
-                expected: self.m,
-                actual: tensor_index.len(),
-            });
-        }
-        if let Some(&bad) = tensor_index.iter().find(|&&i| i >= self.n) {
-            return Err(Error::IndexOutOfBounds {
-                index: bad,
-                n: self.n,
-            });
-        }
-        let class = IndexClass::from_tensor_index(tensor_index.to_vec(), self.n);
-        Ok(class.rank() as usize)
+        rank_of(self.m, self.n, tensor_index)
     }
 
     /// Iterate over `(class, value)` pairs in lexicographic order.
@@ -345,11 +354,167 @@ impl<S: Scalar> SymTensor<S> {
     }
 }
 
+/// Canonical packed rank of an arbitrary tensor index for shape `(m, n)`.
+fn rank_of(m: usize, n: usize, tensor_index: &[usize]) -> Result<usize> {
+    if tensor_index.len() != m {
+        return Err(Error::IndexLengthMismatch {
+            expected: m,
+            actual: tensor_index.len(),
+        });
+    }
+    if let Some(&bad) = tensor_index.iter().find(|&&i| i >= n) {
+        return Err(Error::IndexOutOfBounds { index: bad, n });
+    }
+    let class = IndexClass::from_tensor_index(tensor_index.to_vec(), n);
+    Ok(class.rank() as usize)
+}
+
+/// A borrowed view of a packed symmetric tensor: shape metadata plus a
+/// slice of unique entries that may live anywhere — inside an owned
+/// [`SymTensor`], or inside the contiguous arena of a
+/// [`crate::TensorBatch`]. `Copy`, so it is passed by value everywhere the
+/// kernels need a tensor without requiring an owned allocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymTensorRef<'a, S> {
+    m: usize,
+    n: usize,
+    values: &'a [S],
+}
+
+impl<'a, S: Scalar> SymTensorRef<'a, S> {
+    /// Build a view over packed values in lexicographic index-class order,
+    /// validating the shape and the buffer length.
+    pub fn from_values(m: usize, n: usize, values: &'a [S]) -> Result<Self> {
+        let len = SymTensor::<S>::checked_len(m, n)?;
+        if values.len() != len {
+            return Err(Error::ValueLengthMismatch {
+                expected: len,
+                actual: values.len(),
+            });
+        }
+        Ok(Self { m, n, values })
+    }
+
+    /// Build a view from parts already known to be consistent.
+    #[inline]
+    pub(crate) fn from_raw(m: usize, n: usize, values: &'a [S]) -> Self {
+        debug_assert_eq!(
+            SymTensor::<S>::checked_len(m, n).ok(),
+            Some(values.len()),
+            "inconsistent view shape"
+        );
+        Self { m, n, values }
+    }
+
+    /// Tensor order `m` (number of modes).
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.m
+    }
+
+    /// Tensor dimension `n` (extent of every mode).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored unique entries, `C(m+n-1, m)`.
+    #[inline]
+    pub fn num_unique(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The packed values, in lexicographic index-class order.
+    #[inline]
+    pub fn values(&self) -> &'a [S] {
+        self.values
+    }
+
+    /// Value of the entry at packed position `rank` (lexicographic order).
+    #[inline]
+    pub fn value_at_rank(&self, rank: usize) -> S {
+        self.values[rank]
+    }
+
+    /// Value of the entry for a given index class.
+    pub fn value_at_class(&self, class: &IndexClass) -> S {
+        debug_assert_eq!(class.order(), self.m);
+        debug_assert_eq!(class.dim(), self.n);
+        self.values[class.rank() as usize]
+    }
+
+    /// Value at an arbitrary tensor index (any permutation); the index is
+    /// canonicalized by sorting.
+    pub fn get(&self, tensor_index: &[usize]) -> Result<S> {
+        let rank = rank_of(self.m, self.n, tensor_index)?;
+        Ok(self.values[rank])
+    }
+
+    /// Iterate over `(class, value)` pairs in lexicographic order.
+    pub fn iter_classes(&self) -> impl Iterator<Item = (IndexClass, S)> + 'a {
+        IndexClassIter::new(self.m, self.n).zip(self.values.iter().copied())
+    }
+
+    /// Frobenius norm of the *full* symmetric tensor: each unique value is
+    /// weighted by the size of its index class.
+    pub fn frobenius_norm(&self) -> S {
+        let mut acc = S::ZERO;
+        for (class, v) in self.iter_classes() {
+            acc += S::from_u64(class.occurrences()) * v * v;
+        }
+        acc.sqrt()
+    }
+
+    /// Copy the viewed entries into an owned [`SymTensor`].
+    pub fn to_owned(&self) -> SymTensor<S> {
+        SymTensor {
+            m: self.m,
+            n: self.n,
+            values: self.values.to_vec(),
+        }
+    }
+}
+
+impl<'a, S: Scalar> From<&'a SymTensor<S>> for SymTensorRef<'a, S> {
+    fn from(t: &'a SymTensor<S>) -> Self {
+        t.view()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn view_round_trips_and_reads_like_the_tensor() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let t = SymTensor::<f64>::random(4, 3, &mut rng);
+        let v = t.view();
+        assert_eq!(v.order(), 4);
+        assert_eq!(v.dim(), 3);
+        assert_eq!(v.num_unique(), 15);
+        assert_eq!(v.values(), t.values());
+        assert_eq!(v.value_at_rank(3), t.value_at_rank(3));
+        assert_eq!(v.get(&[2, 0, 1, 0]).unwrap(), t.get(&[2, 0, 1, 0]).unwrap());
+        assert_eq!(v.frobenius_norm(), t.frobenius_norm());
+        assert_eq!(v.to_owned(), t);
+    }
+
+    #[test]
+    fn view_from_values_validates() {
+        let buf = vec![0.0f64; 15];
+        assert!(SymTensorRef::from_values(4, 3, &buf).is_ok());
+        assert!(matches!(
+            SymTensorRef::from_values(4, 3, &buf[..14]),
+            Err(Error::ValueLengthMismatch {
+                expected: 15,
+                actual: 14
+            })
+        ));
+        assert!(SymTensorRef::from_values(0, 3, &buf).is_err());
+    }
 
     #[test]
     fn zeros_has_expected_unique_count() {

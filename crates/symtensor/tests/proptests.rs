@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use symtensor::kernels::{axm, axm1, axmp, PrecomputedTables};
 use symtensor::multinomial::{multinomial0, multinomial1, num_unique_entries};
-use symtensor::{DenseTensor, IndexClass, IndexClassIter, SymTensor};
+use symtensor::{DenseTensor, IndexClass, IndexClassIter, SymTensor, TensorBatch};
 
 /// Strategy: a small tensor shape (m, n) that keeps n^m manageable.
 fn shape() -> impl Strategy<Value = (usize, usize)> {
@@ -201,12 +201,12 @@ proptest! {
         };
         use symtensor::TensorKernels;
         let want = axm(&t, &x);
-        let got = TensorKernels::axm(&k, &t, &x);
+        let got = TensorKernels::axm(&k, t.view(), &x);
         prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
         let mut y0 = vec![0.0; t.dim()];
         let mut y1 = vec![0.0; t.dim()];
         axm1(&t, &x, &mut y0);
-        TensorKernels::axm1(&k, &t, &x, &mut y1);
+        TensorKernels::axm1(&k, t.view(), &x, &mut y1);
         for j in 0..t.dim() {
             prop_assert!((y0[j] - y1[j]).abs() < 1e-9 * (1.0 + y0[j].abs()), "j={j}");
         }
@@ -227,5 +227,53 @@ proptest! {
         let direct: f64 = dense.values().iter().map(|&v| v * v).sum::<f64>().sqrt();
         let packed = t.frobenius_norm();
         prop_assert!((direct - packed).abs() < 1e-10 * (1.0 + direct));
+    }
+
+    #[test]
+    fn tensor_batch_vec_round_trip((m, n) in shape(), count in 0usize..8, seed in 0u64..1000) {
+        // Vec<SymTensor> -> TensorBatch -> Vec<SymTensor> is the identity,
+        // and the arena holds the concatenation of the packed buffers.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tensors: Vec<SymTensor<f64>> =
+            (0..count).map(|_| SymTensor::random(m, n, &mut rng)).collect();
+        let batch = TensorBatch::from(tensors.as_slice());
+        prop_assert_eq!(batch.len(), count);
+        let flat: Vec<f64> = tensors.iter().flat_map(|t| t.values().to_vec()).collect();
+        prop_assert_eq!(batch.values(), &flat[..]);
+        prop_assert_eq!(batch.to_tensors(), tensors);
+    }
+
+    #[test]
+    fn batch_slice_views_match_standalone((m, n) in shape(),
+                                          count in 1usize..8,
+                                          lo in 0usize..8,
+                                          seed in 0u64..1000) {
+        // A zero-copy slice sees exactly the tensors a standalone sub-batch
+        // would hold, and kernel results on its views are bitwise identical.
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = TensorBatch::<f64>::random(m, n, count, &mut rng).unwrap();
+        let lo = lo % count;
+        let sub = batch.slice(lo..count);
+        let standalone = sub.to_owned();
+        prop_assert_eq!(standalone.len(), count - lo);
+        let x: Vec<f64> = (0..n).map(|i| 0.3 - 0.1 * i as f64).collect();
+        for (a, b) in sub.iter().zip(standalone.iter()) {
+            prop_assert_eq!(axm(a, &x).to_bits(), axm(b, &x).to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_push_shape_mismatch_is_typed((m, n) in shape(), (m2, n2) in shape()) {
+        prop_assume!((m, n) != (m2, n2));
+        let mut batch = TensorBatch::<f64>::new(m, n).unwrap();
+        let wrong = SymTensor::<f64>::zeros(m2, n2);
+        let err = batch.push(&wrong).unwrap_err();
+        prop_assert_eq!(err, symtensor::Error::ShapeMismatch {
+            expected: (m, n),
+            found: (m2, n2),
+        });
+        prop_assert!(batch.is_empty());
     }
 }

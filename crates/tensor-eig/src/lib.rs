@@ -37,8 +37,7 @@
 //! use rand::SeedableRng;
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let tensors: Vec<SymTensor<f64>> =
-//!     (0..4).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
+//! let tensors = TensorBatch::<f64>::random(4, 3, 4, &mut rng).unwrap();
 //! let starts = sshopm::starts::random_uniform_starts::<f64, _>(3, 8, &mut rng);
 //! let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(10));
 //!
@@ -78,7 +77,7 @@ pub mod prelude {
     };
     pub use symtensor::{
         BlockedKernels, DenseTensor, GeneralKernels, IndexClass, IndexClassIter, PrecomputedTables,
-        SymTensor, TensorKernels,
+        SymTensor, SymTensorRef, TensorBatch, TensorBatchRef, TensorKernels,
     };
     pub use telemetry::Telemetry;
     pub use unrolled::UnrolledKernels;

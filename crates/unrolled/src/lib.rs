@@ -23,7 +23,7 @@
 //! let a = SymTensor::<f32>::from_fn(4, 3, |c| c.rank() as f32);
 //! let k = UnrolledKernels::for_shape(4, 3).expect("(4,3) is generated");
 //! let x = [0.6f32, 0.0, 0.8];
-//! let s = k.axm(&a, &x);
+//! let s = k.axm(a.view(), &x);
 //! assert!(s.is_finite());
 //! ```
 
@@ -31,7 +31,7 @@
 
 include!(concat!(env!("OUT_DIR"), "/generated.rs"));
 
-use symtensor::{Scalar, SymTensor, TensorKernels};
+use symtensor::{Scalar, SymTensorRef, TensorKernels};
 
 /// A [`TensorKernels`] implementation backed by the generated straight-line
 /// kernels for one specific shape.
@@ -55,7 +55,7 @@ impl UnrolledKernels {
 }
 
 impl<S: Scalar> TensorKernels<S> for UnrolledKernels {
-    fn axm(&self, a: &SymTensor<S>, x: &[S]) -> S {
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
         assert_eq!(
             (a.order(), a.dim()),
             (self.m, self.n),
@@ -64,7 +64,7 @@ impl<S: Scalar> TensorKernels<S> for UnrolledKernels {
         dispatch_axm(self.m, self.n, a.values(), x).expect("shape was validated at construction")
     }
 
-    fn axm1(&self, a: &SymTensor<S>, x: &[S], y: &mut [S]) {
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
         assert_eq!(
             (a.order(), a.dim()),
             (self.m, self.n),
@@ -104,7 +104,7 @@ impl CseUnrolledKernels {
 }
 
 impl<S: Scalar> TensorKernels<S> for CseUnrolledKernels {
-    fn axm(&self, a: &SymTensor<S>, x: &[S]) -> S {
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
         assert_eq!(
             (a.order(), a.dim()),
             (self.m, self.n),
@@ -114,7 +114,7 @@ impl<S: Scalar> TensorKernels<S> for CseUnrolledKernels {
             .expect("shape was validated at construction")
     }
 
-    fn axm1(&self, a: &SymTensor<S>, x: &[S], y: &mut [S]) {
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
         assert_eq!(
             (a.order(), a.dim()),
             (self.m, self.n),
@@ -135,6 +135,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use symtensor::kernels::{axm, axm1};
+    use symtensor::SymTensor;
 
     fn random_sym(m: usize, n: usize, seed: u64) -> SymTensor<f64> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -155,7 +156,7 @@ mod tests {
             let x = random_unit(n, 2000 + i as u64);
             let k = UnrolledKernels::for_shape(m, n).unwrap();
             let want = axm(&a, &x);
-            let got = TensorKernels::axm(&k, &a, &x);
+            let got = TensorKernels::axm(&k, a.view(), &x);
             assert!((got - want).abs() < 1e-10, "[{m},{n}]: {got} vs {want}");
         }
     }
@@ -169,7 +170,7 @@ mod tests {
             let mut want = vec![0.0; n];
             let mut got = vec![0.0; n];
             axm1(&a, &x, &mut want);
-            TensorKernels::axm1(&k, &a, &x, &mut got);
+            TensorKernels::axm1(&k, a.view(), &x, &mut got);
             for j in 0..n {
                 assert!(
                     (got[j] - want[j]).abs() < 1e-10,
@@ -207,7 +208,7 @@ mod tests {
         let a = SymTensor::<f32>::random(4, 3, &mut rng);
         let k = UnrolledKernels::for_shape(4, 3).unwrap();
         let x = [0.6f32, 0.0, 0.8];
-        let s_unrolled = TensorKernels::axm(&k, &a, &x);
+        let s_unrolled = TensorKernels::axm(&k, a.view(), &x);
         let s_general = axm(&a, &x);
         assert!((s_unrolled - s_general).abs() < 1e-5);
     }
@@ -229,9 +230,9 @@ mod tests {
             let a = random_sym(m, n, 5000 + i as u64);
             let x = random_unit(n, 6000 + i as u64);
             let k = UnrolledKernels::for_shape(m, n).unwrap();
-            let s = TensorKernels::axm(&k, &a, &x);
+            let s = TensorKernels::axm(&k, a.view(), &x);
             let mut y = vec![0.0; n];
-            TensorKernels::axm1(&k, &a, &x, &mut y);
+            TensorKernels::axm1(&k, a.view(), &x, &mut y);
             let dot: f64 = x.iter().zip(&y).map(|(p, q)| p * q).sum();
             assert!((dot - s).abs() < 1e-9, "[{m},{n}]");
         }
@@ -242,7 +243,7 @@ mod tests {
     fn shape_mismatch_panics() {
         let a = random_sym(4, 3, 7);
         let k = UnrolledKernels::for_shape(3, 3).unwrap();
-        let _ = TensorKernels::axm(&k, &a, &[1.0, 0.0, 0.0]);
+        let _ = TensorKernels::axm(&k, a.view(), &[1.0, 0.0, 0.0]);
     }
 
     #[test]
@@ -252,13 +253,13 @@ mod tests {
             let x = random_unit(n, 8000 + i as u64);
             let plain = UnrolledKernels::for_shape(m, n).unwrap();
             let cse = CseUnrolledKernels::for_shape(m, n).unwrap();
-            let s1 = TensorKernels::axm(&plain, &a, &x);
-            let s2 = TensorKernels::axm(&cse, &a, &x);
+            let s1 = TensorKernels::axm(&plain, a.view(), &x);
+            let s2 = TensorKernels::axm(&cse, a.view(), &x);
             assert!((s1 - s2).abs() < 1e-12 * (1.0 + s1.abs()), "[{m},{n}] axm");
             let mut y1 = vec![0.0; n];
             let mut y2 = vec![0.0; n];
-            TensorKernels::axm1(&plain, &a, &x, &mut y1);
-            TensorKernels::axm1(&cse, &a, &x, &mut y2);
+            TensorKernels::axm1(&plain, a.view(), &x, &mut y1);
+            TensorKernels::axm1(&cse, a.view(), &x, &mut y2);
             for j in 0..n {
                 assert!(
                     (y1[j] - y2[j]).abs() < 1e-12 * (1.0 + y1[j].abs()),
@@ -280,7 +281,7 @@ mod tests {
         let mut want = vec![0.0; 3];
         let mut got = vec![0.0; 3];
         axm1(&a, &x, &mut want);
-        TensorKernels::axm1(&cse, &a, &x, &mut got);
+        TensorKernels::axm1(&cse, a.view(), &x, &mut got);
         for j in 0..3 {
             assert!((got[j] - want[j]).abs() < 1e-12, "j={j}");
         }

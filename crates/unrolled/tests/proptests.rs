@@ -26,7 +26,7 @@ proptest! {
         let x = &seed_x[..n];
         let k = UnrolledKernels::for_shape(m, n).unwrap();
         let want = axm(&a, x);
-        let got = TensorKernels::axm(&k, &a, x);
+        let got = TensorKernels::axm(&k, a.view(), x);
         let scale = 1.0 + want.abs();
         prop_assert!((got - want).abs() < 1e-9 * scale, "[{m},{n}]");
     }
@@ -46,7 +46,7 @@ proptest! {
         let mut want = vec![0.0; n];
         let mut got = vec![0.0; n];
         axm1(&a, x, &mut want);
-        TensorKernels::axm1(&k, &a, x, &mut got);
+        TensorKernels::axm1(&k, a.view(), x, &mut got);
         for j in 0..n {
             let scale = 1.0 + want[j].abs();
             prop_assert!((got[j] - want[j]).abs() < 1e-9 * scale, "[{m},{n}] j={j}");
@@ -65,7 +65,7 @@ proptest! {
         let mut want = vec![0.0; n];
         let mut got = vec![0.0; n];
         axm1(&a, &x, &mut want);
-        TensorKernels::axm1(&k, &a, &x, &mut got);
+        TensorKernels::axm1(&k, a.view(), &x, &mut got);
         for j in 0..n {
             prop_assert!((got[j] - want[j]).abs() < 1e-10, "[{m},{n}] j={j}");
         }

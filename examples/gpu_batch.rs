@@ -13,9 +13,7 @@ use tensor_eig::prelude::*;
 
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    let tensors: Vec<SymTensor<f32>> = (0..1024)
-        .map(|_| SymTensor::random(4, 3, &mut rng))
-        .collect();
+    let tensors = TensorBatch::<f32>::random(4, 3, 1024, &mut rng).expect("paper shape is valid");
     let starts = sshopm::starts::random_uniform_starts::<f32, _>(3, 128, &mut rng);
     let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(20));
     let device = DeviceSpec::tesla_c2050();

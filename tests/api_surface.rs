@@ -16,9 +16,9 @@ fn facade_covers_the_paper_workflow() {
     let x = [0.6, 0.0, 0.8];
     let s1 = symtensor::kernels::axm(&a, &x);
     let tables = PrecomputedTables::new(4, 3);
-    let s2 = TensorKernels::axm(&tables, &a, &x);
+    let s2 = TensorKernels::axm(&tables, a.view(), &x);
     let unrolled = UnrolledKernels::for_shape(4, 3).unwrap();
-    let s3 = TensorKernels::axm(&unrolled, &a, &x);
+    let s3 = TensorKernels::axm(&unrolled, a.view(), &x);
     assert!((s1 - s2).abs() < 1e-12 && (s1 - s3).abs() < 1e-12);
 
     // 3. Solve.
@@ -35,7 +35,7 @@ fn facade_covers_the_paper_workflow() {
     ));
 
     // 5. Batch + GPU, both through the backend layer.
-    let tensors: Vec<SymTensor<f32>> = (0..4).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
+    let tensors = TensorBatch::<f32>::random(4, 3, 4, &mut rng).unwrap();
     let starts = sshopm::starts::random_uniform_starts::<f32, _>(3, 32, &mut rng);
     let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(10));
     let cpu = BatchSolver::new(solver).solve(&tensors, &starts);

@@ -6,9 +6,9 @@
 use rand::SeedableRng;
 use tensor_eig::prelude::*;
 
-fn random_workload(t: usize, v: usize, seed: u64) -> (Vec<SymTensor<f32>>, Vec<Vec<f32>>) {
+fn random_workload(t: usize, v: usize, seed: u64) -> (TensorBatch<f32>, Vec<Vec<f32>>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let tensors = (0..t).map(|_| SymTensor::random(4, 3, &mut rng)).collect();
+    let tensors = TensorBatch::<f32>::random(4, 3, t, &mut rng).unwrap();
     let starts = sshopm::starts::random_uniform_starts(3, v, &mut rng);
     (tensors, starts)
 }
@@ -98,7 +98,7 @@ fn dense_baseline_validates_all_generated_shapes() {
         let x: Vec<f64> = (0..n).map(|i| 0.3 + 0.1 * i as f64).collect();
         let k = UnrolledKernels::for_shape(m, n).unwrap();
         let want = dense.axm_dense(&x).unwrap();
-        let got = TensorKernels::axm(&k, &a, &x);
+        let got = TensorKernels::axm(&k, a.view(), &x);
         assert!(
             (got - want).abs() < 1e-9 * (1.0 + want.abs()),
             "shape ({m},{n})"

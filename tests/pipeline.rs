@@ -108,7 +108,7 @@ fn crossing_voxels_need_more_than_order_2() {
 #[test]
 fn batch_cpu_and_gpu_sim_agree_on_phantom_tensors() {
     let phantom = small_phantom(0.01, 3);
-    let tensors = phantom.tensors_f32();
+    let tensors = phantom.tensor_batch_f32();
     let mut rng = rand::rngs::StdRng::seed_from_u64(4);
     let starts = sshopm::starts::random_uniform_starts::<f32, _>(3, 32, &mut rng);
     let solver = SsHopm::new(Shift::Fixed(0.0)).with_policy(IterationPolicy::Fixed(25));
