@@ -55,6 +55,7 @@ pub(crate) fn empty_report<S: Scalar>(label: String, kernel: KernelStrategy) -> 
         useful_flops: 0,
         profiles: Vec::new(),
         fault_log: FaultLog::default(),
+        timeline: None,
     }
 }
 
@@ -86,6 +87,7 @@ fn cpu_solve_batch<S: Scalar>(
         seconds,
         profiles: Vec::new(),
         fault_log: FaultLog::default(),
+        timeline: None,
     })
 }
 
@@ -272,6 +274,7 @@ impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
                 snapshot,
             }],
             fault_log: FaultLog::default(),
+            timeline: None,
         })
     }
 }
@@ -363,6 +366,7 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
                 }
             })
             .collect();
+        report.timeline.emit(telemetry);
         Ok(BatchReport {
             backend: label,
             kernel: effective.name().to_string(),
@@ -372,6 +376,144 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
             useful_flops: report.useful_flops,
             profiles,
             fault_log: FaultLog::default(),
+            timeline: Some(report.timeline),
+        })
+    }
+}
+
+/// Double-buffered asynchronous execution (the stream model of a real
+/// CUDA driver): each device's share of the batch is cut into
+/// `chunk_tensors`-sized pieces dealt round-robin across
+/// `streams_per_device` streams, so chunk `k+1`'s upload overlaps chunk
+/// `k`'s kernel on the device's single copy engine. Wall time is the
+/// event timeline's makespan; results are bitwise identical to the
+/// synchronous backends (chunking changes the clock, never the
+/// arithmetic).
+#[derive(Debug, Clone)]
+pub struct PipelinedBackend {
+    /// The device models (may be heterogeneous).
+    pub devices: Vec<DeviceSpec>,
+    /// Host↔device interconnect model.
+    pub transfer: TransferModel,
+    /// Kernel implementation to use (mapped onto a GPU variant).
+    pub strategy: KernelStrategy,
+    /// Streams per device (2 = classic double buffering).
+    pub streams_per_device: usize,
+    /// Tensors per chunk (each chunk is one upload + kernel + download).
+    pub chunk_tensors: usize,
+}
+
+impl PipelinedBackend {
+    /// Tensors per chunk unless overridden: matches the resilient
+    /// backend's chunking so the two models agree on launch granularity.
+    pub const DEFAULT_CHUNK_TENSORS: usize = 256;
+
+    /// A pipelined backend over `devices` with 2 streams per device and
+    /// the default chunk size; errors when the device list is empty.
+    pub fn new(
+        devices: Vec<DeviceSpec>,
+        transfer: TransferModel,
+        strategy: KernelStrategy,
+    ) -> Result<Self, BackendError> {
+        if devices.is_empty() {
+            return Err(BackendError(
+                "pipelined backend needs at least one device".to_string(),
+            ));
+        }
+        Ok(Self {
+            devices,
+            transfer,
+            strategy,
+            streams_per_device: 2,
+            chunk_tensors: Self::DEFAULT_CHUNK_TENSORS,
+        })
+    }
+
+    /// `count` identical devices; errors when `count == 0`.
+    pub fn homogeneous(
+        device: DeviceSpec,
+        count: usize,
+        transfer: TransferModel,
+        strategy: KernelStrategy,
+    ) -> Result<Self, BackendError> {
+        Self::new(vec![device; count], transfer, strategy)
+    }
+
+    /// Set the number of streams per device (clamped to ≥ 1).
+    pub fn with_streams(mut self, streams_per_device: usize) -> Self {
+        self.streams_per_device = streams_per_device.max(1);
+        self
+    }
+
+    /// Set the chunk size in tensors (clamped to ≥ 1).
+    pub fn with_chunk_tensors(mut self, chunk_tensors: usize) -> Self {
+        self.chunk_tensors = chunk_tensors.max(1);
+        self
+    }
+}
+
+impl<S: Scalar> SolveBackend<S> for PipelinedBackend {
+    fn label(&self) -> String {
+        format!(
+            "pipelined:gpusim:{}:{}x{}",
+            crate::spec::device_slug(self.devices[0].name),
+            self.devices.len(),
+            self.streams_per_device
+        )
+    }
+
+    fn solve_batch(
+        &self,
+        batch: &TensorBatch<S>,
+        starts: &[Vec<S>],
+        solver: &SsHopm,
+        telemetry: &Telemetry,
+    ) -> Result<BatchReport<S>, BackendError> {
+        let label = SolveBackend::<S>::label(self);
+        if batch.is_empty() {
+            return Ok(empty_report(label, self.strategy));
+        }
+        let alpha = fixed_alpha(solver, "PipelinedBackend")?;
+        let (variant, effective) = self.strategy.gpu_variant(batch.order(), batch.dim());
+        let _batch_span = telemetry.span("batch.solve");
+        let mg = MultiGpu::new(self.devices.clone(), self.transfer)?;
+        let (result, report) = mg.launch_pipelined(
+            batch,
+            starts,
+            solver.policy(),
+            alpha,
+            variant,
+            self.chunk_tensors,
+            self.streams_per_device,
+        )?;
+        let total_iterations = total_iterations_of(&result.results);
+        record_gpu_batch_counters(telemetry, &result.results, total_iterations);
+        let profiles: Vec<DeviceProfile> = report
+            .slices
+            .iter()
+            .map(|slice| {
+                let snapshot =
+                    ProfileSnapshot::from_report(&self.devices[slice.device_index], &slice.report);
+                snapshot.emit(telemetry);
+                DeviceProfile {
+                    device_index: slice.device_index,
+                    num_tensors: slice.num_tensors,
+                    transfer_seconds: slice.transfer_seconds,
+                    snapshot,
+                }
+            })
+            .collect();
+        report.timeline.emit(telemetry);
+        Ok(BatchReport {
+            backend: label,
+            kernel: effective.name().to_string(),
+            results: result.results,
+            total_iterations,
+            seconds: report.seconds,
+            useful_flops: report.useful_flops,
+            profiles,
+            fault_log: FaultLog::default(),
+            timeline: Some(report.timeline),
         })
     }
 }

@@ -52,7 +52,9 @@ mod resilient;
 mod spec;
 mod strategy;
 
-pub use backends::{CpuParallel, CpuSequential, GpuSimBackend, MultiGpuBackend, SolveBackend};
+pub use backends::{
+    CpuParallel, CpuSequential, GpuSimBackend, MultiGpuBackend, PipelinedBackend, SolveBackend,
+};
 pub use report::{BatchReport, DeviceProfile, FaultLog};
 pub use resilient::{parse_fault_plan, ResilientBackend};
 pub use spec::{BackendError, BackendSpec, DeviceKind};

@@ -1,6 +1,6 @@
 //! [`BatchReport`]: one result type for every execution backend.
 
-use gpusim::{InjectedFault, ProfileSnapshot};
+use gpusim::{InjectedFault, ProfileSnapshot, Timeline};
 use sshopm::Eigenpair;
 use symtensor::Scalar;
 
@@ -100,6 +100,10 @@ pub struct BatchReport<S> {
     /// Fault-injection ledger; all-zero unless a resilient backend ran
     /// with an active fault plan.
     pub fault_log: FaultLog,
+    /// The resolved stream/event timeline behind `seconds`, when the
+    /// backend models asynchronous execution (`None` for CPU backends and
+    /// the single-launch GPU backend, whose clock has no ops to overlap).
+    pub timeline: Option<Timeline>,
 }
 
 impl<S: Scalar> BatchReport<S> {
@@ -179,6 +183,7 @@ mod tests {
             useful_flops: 1_000_000_000,
             profiles: Vec::new(),
             fault_log: FaultLog::default(),
+            timeline: None,
         };
         assert_eq!(report.num_tensors(), 2);
         assert_eq!(report.num_starts(), 2);
@@ -202,6 +207,7 @@ mod tests {
             useful_flops: 0,
             profiles: Vec::new(),
             fault_log: FaultLog::default(),
+            timeline: None,
         };
         assert_eq!(report.num_tensors(), 0);
         assert_eq!(report.num_starts(), 0);

@@ -27,14 +27,24 @@
 //! suite asserts this against a sequential CPU solve). The price of a
 //! fault shows up only in the modeled wall time: timeouts, backoff waits
 //! and re-solves all cost seconds, never correctness.
+//!
+//! Execution is stream-based: chunks are enqueued round-robin onto
+//! per-device [`gpusim::StreamQueue`] streams, so fault recovery is
+//! **in-flight-chunk granular**. A faulted attempt marks the chunk's
+//! stream, cancels only that stream's pending ops from the mark
+//! ([`StreamQueue::cancel_from`]), and enqueues a [`Op::Stall`] for the
+//! watchdog/backoff time — other streams' chunks (earlier successful
+//! launches included) keep their place on the event timeline. The modeled
+//! wall-clock is the resolved [`gpusim::Timeline`] makespan plus any CPU
+//! fallback time.
 
 use crate::backends::{empty_report, fixed_alpha, SolveBackend};
 use crate::report::{BatchReport, FaultLog};
 use crate::spec::{device_slug, BackendError, BackendSpec};
 use crate::strategy::KernelStrategy;
 use gpusim::{
-    corrupt_tensor, DeviceSpec, FaultKind, FaultPlan, FaultSite, TransferModel,
-    BACKOFF_BASE_SECONDS, WATCHDOG_TIMEOUT_SECONDS,
+    corrupt_tensor, problem_traffic_bytes, DeviceSpec, FaultKind, FaultPlan, FaultSite, Op,
+    StreamId, StreamQueue, TransferModel, BACKOFF_BASE_SECONDS, WATCHDOG_TIMEOUT_SECONDS,
 };
 use sshopm::batch::BatchSolver;
 use sshopm::{Eigenpair, SsHopm};
@@ -59,7 +69,7 @@ const MAX_CHUNK_TENSORS: usize = 256;
 pub struct ResilientBackend {
     /// The device models (chunks are dealt round-robin across them).
     pub devices: Vec<DeviceSpec>,
-    /// Host↔device interconnect model (reserved for transfer accounting).
+    /// Host↔device interconnect model the stream queue times copies with.
     pub transfer: TransferModel,
     /// Kernel implementation to use (mapped onto a GPU variant).
     pub strategy: KernelStrategy,
@@ -69,12 +79,15 @@ pub struct ResilientBackend {
     pub max_retries: u32,
     /// Move failed chunks to other devices / the CPU instead of failing.
     pub failover: bool,
+    /// Streams per device: chunks are dealt round-robin across them, so
+    /// ≥2 double-buffers transfers behind kernels even under faults.
+    pub streams_per_device: usize,
 }
 
 impl ResilientBackend {
     /// A resilient backend over `devices`; errors if the list is empty.
     ///
-    /// Defaults: 2 retries, failover disabled.
+    /// Defaults: 2 retries, failover disabled, 2 streams per device.
     pub fn new(
         devices: Vec<DeviceSpec>,
         transfer: TransferModel,
@@ -93,6 +106,7 @@ impl ResilientBackend {
             plan,
             max_retries: 2,
             failover: false,
+            streams_per_device: 2,
         })
     }
 
@@ -104,7 +118,8 @@ impl ResilientBackend {
         plan: FaultPlan,
     ) -> Result<Self, BackendError> {
         match *spec {
-            BackendSpec::GpuSim { device, devices } => Self::new(
+            BackendSpec::GpuSim { device, devices }
+            | BackendSpec::Pipelined { device, devices } => Self::new(
                 vec![device.spec(); devices],
                 TransferModel::pcie2(),
                 strategy,
@@ -126,6 +141,12 @@ impl ResilientBackend {
     /// Enable or disable failover to other devices / the CPU.
     pub fn with_failover(mut self, failover: bool) -> Self {
         self.failover = failover;
+        self
+    }
+
+    /// Set the number of streams per device (clamped to at least 1).
+    pub fn with_streams(mut self, streams_per_device: usize) -> Self {
+        self.streams_per_device = streams_per_device.max(1);
         self
     }
 }
@@ -176,7 +197,16 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
         let mut log = FaultLog::default();
         let mut results: Vec<Vec<Eigenpair<S>>> = vec![Vec::new(); batch.len()];
         let ndev = self.devices.len();
-        let mut device_seconds = vec![0.0_f64; ndev];
+        // Every GPU-side cost — transfers, kernels, watchdog stalls — is an
+        // op on a per-device stream; the wall-clock is the timeline makespan.
+        let mut queue = StreamQueue::new(ndev, self.transfer);
+        let streams: Vec<Vec<StreamId>> = (0..ndev)
+            .map(|d| {
+                (0..self.streams_per_device.max(1))
+                    .map(|_| queue.stream(d))
+                    .collect()
+            })
+            .collect();
         let mut cpu_seconds = 0.0_f64;
         let mut alive = vec![true; ndev];
         let mut total_iterations = 0u64;
@@ -190,6 +220,9 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
             // Zero-copy view into the arena: the chunk is never cloned,
             // faults or not.
             let chunk = batch.slice(lo..hi);
+            // Bytes a faulted attempt had in flight when it was torn down.
+            let (chunk_down_bytes, _) =
+                problem_traffic_bytes(chunk.len(), starts.len(), m, n, std::mem::size_of::<S>());
             // Faults injected into this chunk, not yet resolved either way.
             let mut pending: Vec<gpusim::InjectedFault> = Vec::new();
             let mut rows: Option<Vec<Vec<Eigenpair<S>>>> = None;
@@ -209,6 +242,7 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
                     // The chunk runs somewhere other than its home device.
                     log.failovers += 1;
                 }
+                let stream = streams[dev][chunk_index % streams[dev].len()];
                 for attempt in 0..=self.max_retries {
                     let site = FaultSite {
                         device_index: dev,
@@ -228,22 +262,56 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
                     let outcome = if device_lost {
                         // Losing the board aborts the attempt; any other
                         // fault drawn alongside dies with it (and is
-                        // observed as part of the failed launch).
+                        // observed as part of the failed launch). The
+                        // in-flight upload is cancelled — only *this*
+                        // stream's pending ops, other chunks keep their
+                        // timeline slots — and the watchdog time shows up
+                        // as a stall on the dead device's engine.
                         log.observed += faults.len();
-                        device_seconds[dev] += WATCHDOG_TIMEOUT_SECONDS;
+                        let mark = queue.mark(stream);
+                        queue.enqueue(
+                            stream,
+                            Op::HostToDevice {
+                                bytes: chunk_down_bytes,
+                            },
+                        );
+                        queue.cancel_from(mark);
+                        queue.enqueue(
+                            stream,
+                            Op::Stall {
+                                seconds: WATCHDOG_TIMEOUT_SECONDS,
+                            },
+                        );
                         alive[dev] = false;
                         Attempt::DeviceLost
                     } else if transient {
+                        // Same scoped teardown, plus exponential backoff
+                        // before the retry re-enqueues on this stream.
                         log.observed += faults.len();
-                        device_seconds[dev] += WATCHDOG_TIMEOUT_SECONDS
-                            + BACKOFF_BASE_SECONDS * f64::from(1u32 << attempt.min(16));
+                        let mark = queue.mark(stream);
+                        queue.enqueue(
+                            stream,
+                            Op::HostToDevice {
+                                bytes: chunk_down_bytes,
+                            },
+                        );
+                        queue.cancel_from(mark);
+                        queue.enqueue(
+                            stream,
+                            Op::Stall {
+                                seconds: WATCHDOG_TIMEOUT_SECONDS
+                                    + BACKOFF_BASE_SECONDS * f64::from(1u32 << attempt.min(16)),
+                            },
+                        );
                         Attempt::Transient
                     } else {
                         // Clean launch straight from the borrowed arena
                         // slice — the fault-free tensors' results come out
                         // of exactly the buffers a fault-free run reads.
                         let ecc = faults.iter().find(|f| f.kind == FaultKind::EccCorruption);
-                        let (res, report) = gpusim::launch_sshopm(
+                        let (res, report) = gpusim::enqueue_sshopm(
+                            &mut queue,
+                            stream,
                             &self.devices[dev],
                             chunk,
                             starts,
@@ -251,7 +319,6 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
                             alpha,
                             variant,
                         )?;
-                        device_seconds[dev] += report.timing.seconds;
                         useful_flops += report.useful_flops;
                         let mut chunk_rows = res.results;
                         total_iterations += chunk_rows
@@ -271,7 +338,9 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
                                 &chunk.get(j).to_owned(),
                                 entry,
                             )]);
-                            let (pres, preport) = gpusim::launch_sshopm(
+                            let (pres, preport) = gpusim::enqueue_sshopm(
+                                &mut queue,
+                                stream,
                                 &self.devices[dev],
                                 &scratch,
                                 starts,
@@ -279,7 +348,6 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
                                 alpha,
                                 variant,
                             )?;
-                            device_seconds[dev] += preport.timing.seconds;
                             useful_flops += preport.useful_flops;
                             let prow = pres.results.into_iter().next().unwrap_or_default();
                             total_iterations +=
@@ -381,8 +449,11 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
             telemetry.counter("fault.failovers", u64::from(log.failovers));
             telemetry.counter("fault.failed_tensors", log.failed_indices.len() as u64);
         }
-        // Devices run concurrently; CPU fallback work serializes after.
-        let wall = device_seconds.iter().fold(0.0_f64, |a, &b| a.max(b)) + cpu_seconds;
+        // Devices run concurrently (the scheduler resolves their streams
+        // against independent engines); CPU fallback work serializes after.
+        let timeline = queue.synchronize();
+        timeline.emit(telemetry);
+        let wall = timeline.makespan() + cpu_seconds;
         Ok(BatchReport {
             backend: label,
             kernel: effective.name().to_string(),
@@ -392,6 +463,7 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
             useful_flops,
             profiles: Vec::new(),
             fault_log: log,
+            timeline: Some(timeline),
         })
     }
 }

@@ -1,7 +1,9 @@
 //! Declarative backend selection: parse `cpu:8` / `gpusim:tesla-c2050:4`
 //! strings into [`BackendSpec`] values and build [`SolveBackend`] objects.
 
-use crate::backends::{CpuParallel, CpuSequential, GpuSimBackend, MultiGpuBackend, SolveBackend};
+use crate::backends::{
+    CpuParallel, CpuSequential, GpuSimBackend, MultiGpuBackend, PipelinedBackend, SolveBackend,
+};
 use crate::strategy::KernelStrategy;
 use gpusim::{DeviceSpec, TransferModel};
 use symtensor::Scalar;
@@ -111,6 +113,12 @@ pub(crate) fn device_slug(name: &str) -> String {
 /// | `gpusim:gtx-580`       | one simulated device of the named model   |
 /// | `gpusim:4`             | four simulated Tesla C2050s               |
 /// | `gpusim:tesla-c2050:4` | four simulated devices of the named model |
+/// | `pipelined`            | one C2050, double-buffered streams        |
+/// | `pipelined:gtx-580:2`  | two named devices, double-buffered        |
+///
+/// `pipelined` takes the same `[:device][:count]` fields as `gpusim` but
+/// builds the stream-based [`PipelinedBackend`], which chunks the batch
+/// and overlaps PCIe transfers with kernels on each device's engines.
 ///
 /// `Display` renders the canonical minimal form, so specs round-trip
 /// through parse → `Display` → parse at the value level.
@@ -124,6 +132,14 @@ pub enum BackendSpec {
     },
     /// Simulated-GPU execution on `devices` copies of `device`.
     GpuSim {
+        /// The device model.
+        device: DeviceKind,
+        /// How many devices share the batch (≥ 1).
+        devices: usize,
+    },
+    /// Stream-pipelined simulated-GPU execution on `devices` copies of
+    /// `device` (double-buffered chunks; transfers overlap compute).
+    Pipelined {
         /// The device model.
         device: DeviceKind,
         /// How many devices share the batch (≥ 1).
@@ -156,7 +172,7 @@ impl BackendSpec {
                 }
                 Ok(BackendSpec::Cpu { threads })
             }
-            "gpusim" => {
+            head @ ("gpusim" | "pipelined") => {
                 let (device, devices) = match (parts.next(), parts.next()) {
                     (None, _) => (DeviceKind::TeslaC2050, 1),
                     (Some(field), None) => {
@@ -176,15 +192,19 @@ impl BackendSpec {
                 };
                 if let Some(extra) = parts.next() {
                     return Err(BackendError(format!(
-                        "trailing {extra:?} in backend spec {s:?}: gpusim takes at most \
+                        "trailing {extra:?} in backend spec {s:?}: {head} takes at most \
                          \":device:count\""
                     )));
                 }
-                Ok(BackendSpec::GpuSim { device, devices })
+                if head == "pipelined" {
+                    Ok(BackendSpec::Pipelined { device, devices })
+                } else {
+                    Ok(BackendSpec::GpuSim { device, devices })
+                }
             }
             other => Err(BackendError(format!(
-                "unknown backend {other:?}: expected \"cpu[:threads]\" or \
-                 \"gpusim[:device][:count]\""
+                "unknown backend {other:?}: expected \"cpu[:threads]\", \
+                 \"gpusim[:device][:count]\" or \"pipelined[:device][:count]\""
             ))),
         }
     }
@@ -211,13 +231,22 @@ impl BackendSpec {
                 TransferModel::pcie2(),
                 strategy,
             )?),
+            BackendSpec::Pipelined { device, devices } => Box::new(PipelinedBackend::homogeneous(
+                device.spec(),
+                devices,
+                TransferModel::pcie2(),
+                strategy,
+            )?),
         })
     }
 
     /// True for the simulated-GPU variants (which only support fixed
     /// shifts); lets callers validate the shift choice up front.
     pub fn is_gpu(&self) -> bool {
-        matches!(self, BackendSpec::GpuSim { .. })
+        matches!(
+            self,
+            BackendSpec::GpuSim { .. } | BackendSpec::Pipelined { .. }
+        )
     }
 }
 
@@ -248,6 +277,14 @@ impl std::fmt::Display for BackendSpec {
             } => f.write_str("gpusim"),
             BackendSpec::GpuSim { device, devices: 1 } => write!(f, "gpusim:{device}"),
             BackendSpec::GpuSim { device, devices } => write!(f, "gpusim:{device}:{devices}"),
+            BackendSpec::Pipelined {
+                device: DeviceKind::TeslaC2050,
+                devices: 1,
+            } => f.write_str("pipelined"),
+            BackendSpec::Pipelined { device, devices: 1 } => write!(f, "pipelined:{device}"),
+            BackendSpec::Pipelined { device, devices } => {
+                write!(f, "pipelined:{device}:{devices}")
+            }
         }
     }
 }
@@ -306,6 +343,27 @@ mod tests {
                 devices: 2
             }
         );
+        assert_eq!(
+            BackendSpec::parse("pipelined").unwrap(),
+            BackendSpec::Pipelined {
+                device: DeviceKind::TeslaC2050,
+                devices: 1
+            }
+        );
+        assert_eq!(
+            BackendSpec::parse("pipelined:gtx-580:2").unwrap(),
+            BackendSpec::Pipelined {
+                device: DeviceKind::Gtx580,
+                devices: 2
+            }
+        );
+        assert_eq!(
+            BackendSpec::parse("pipelined:4").unwrap(),
+            BackendSpec::Pipelined {
+                device: DeviceKind::TeslaC2050,
+                devices: 4
+            }
+        );
     }
 
     #[test]
@@ -319,6 +377,9 @@ mod tests {
             ("gpusim:tesla-c2050:0", "at least one device"),
             ("gpusim:quadro", "unknown device"),
             ("gpusim:tesla-c2050:2:2", "trailing"),
+            ("pipelined:0", "at least one device"),
+            ("pipelined:quadro", "unknown device"),
+            ("pipelined:tesla-c2050:2:2", "trailing"),
             ("tpu", "unknown backend"),
             ("", "unknown backend"),
         ] {
@@ -339,6 +400,9 @@ mod tests {
             "gpusim",
             "gpusim:gtx-580",
             "gpusim:tesla-c2050:4",
+            "pipelined",
+            "pipelined:gtx-580",
+            "pipelined:tesla-c2050:4",
         ] {
             let spec = BackendSpec::parse(s).unwrap();
             assert_eq!(spec.to_string(), s);
@@ -354,6 +418,10 @@ mod tests {
         assert_eq!(
             BackendSpec::parse("gpusim:gtx580").unwrap().to_string(),
             "gpusim:gtx-580"
+        );
+        assert_eq!(
+            BackendSpec::parse("pipelined:c2050:1").unwrap().to_string(),
+            "pipelined"
         );
     }
 

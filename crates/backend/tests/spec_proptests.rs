@@ -6,16 +6,19 @@ use backend::{BackendSpec, DeviceKind, KernelStrategy};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = BackendSpec> {
-    (0usize..2, 0usize..64, 0usize..3, 1usize..16).prop_map(|(kind, threads, d, devices)| {
-        if kind == 0 {
-            BackendSpec::Cpu { threads }
-        } else {
-            BackendSpec::GpuSim {
+    (0usize..3, 0usize..64, 0usize..3, 1usize..16).prop_map(
+        |(kind, threads, d, devices)| match kind {
+            0 => BackendSpec::Cpu { threads },
+            1 => BackendSpec::GpuSim {
                 device: DeviceKind::ALL[d],
                 devices,
-            }
-        }
-    })
+            },
+            _ => BackendSpec::Pipelined {
+                device: DeviceKind::ALL[d],
+                devices,
+            },
+        },
+    )
 }
 
 fn arb_garbage() -> impl Strategy<Value = String> {
@@ -74,6 +77,9 @@ fn malformed_specs_error_without_panicking() {
         "gpusim:",
         "gpusim::",
         "gpusim:tesla-c2050:",
+        "pipelined:-1",
+        "pipelined:",
+        "pipelined::",
         "cuda",
         ":cpu",
     ] {

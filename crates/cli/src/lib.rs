@@ -18,8 +18,10 @@
 //!
 //! `--backend` takes a [`backend::BackendSpec`] string — `cpu` (default,
 //! sequential), `cpu:8` / `cpu:all` (rayon pool), `gpusim` (one simulated
-//! Tesla C2050), `gpusim:gtx-580`, or `gpusim:tesla-c2050:4` (multi-GPU) —
-//! and `--kernel` a [`backend::KernelStrategy`]
+//! Tesla C2050), `gpusim:gtx-580`, `gpusim:tesla-c2050:4` (multi-GPU), or
+//! `pipelined[:device][:count]` (stream-based double buffering; also
+//! reachable via `--pipeline` on a gpusim spec, with `--streams K`
+//! streams per device) — and `--kernel` a [`backend::KernelStrategy`]
 //! (`general|blocked|precomputed|unrolled`, with automatic shape
 //! fallback). Every batched solve runs through the same
 //! [`backend::SolveBackend`] trait, so CPU and simulated-GPU runs print
@@ -170,13 +172,13 @@ pub fn usage() -> String {
      commands:\n\
      \x20 random <m> <n> <count> --out FILE [--seed S]\n\
      \x20 info <file>\n\
-     \x20 solve <file> [--backend B] [--kernel K] [--starts N] [--shift convex|concave|adaptive|FLOAT] [--tol T] [--seed S] [--refine] [--all]\n\
+     \x20 solve <file> [--backend B] [--kernel K] [--starts N] [--shift convex|concave|adaptive|FLOAT] [--tol T] [--seed S] [--refine] [--all] [--pipeline] [--streams K]\n\
      \x20 phantom --out FILE [--width W] [--height H] [--noise X] [--seed S]\n\
-     \x20 fibers <file> [--backend B] [--kernel K] [--shift ...] [--starts N] [--max-fibers K]\n\
+     \x20 fibers <file> [--backend B] [--kernel K] [--shift ...] [--starts N] [--max-fibers K] [--pipeline] [--streams K]\n\
      \x20 decompose <file> [--terms K] [--starts N] [--tol T]\n\
      \x20 tract <file> --width W [--height H] [--starts N] [--seeds K]\n\
      \x20 gpu <file> [--starts N] [--variant general|unrolled] [--devices K] [--iters I] [--seed S]\n\
-     \x20 profile [file] [--tensors T] [--m M] [--n N] [--starts N] [--variant general|unrolled] [--iters I] [--device c1060|c2050|gtx580] [--seed S]\n\
+     \x20 profile [file] [--tensors T] [--m M] [--n N] [--starts N] [--variant general|unrolled] [--iters I] [--device c1060|c2050|gtx580] [--seed S] [--pipeline] [--streams K]\n\
      \x20 help\n\
      global options:\n\
      \x20 --verbose            print a telemetry summary after the command\n\
@@ -188,7 +190,12 @@ pub fn usage() -> String {
      \x20 tensors or random starting vectors are drawn.\n\
      \x20 --backend B picks where batched solves run: cpu (default), cpu:K,\n\
      \x20 cpu:all, gpusim, gpusim:<device>[:count] with devices tesla-c2050,\n\
-     \x20 tesla-c1060, gtx-580. gpusim backends need a fixed numeric --shift.\n\
+     \x20 tesla-c1060, gtx-580, or pipelined[:device][:count] for stream-based\n\
+     \x20 double-buffered execution. gpusim backends need a fixed numeric\n\
+     \x20 --shift.\n\
+     \x20 --pipeline upgrades a gpusim backend to pipelined (chunked launches\n\
+     \x20 whose transfers overlap compute); --streams K sets the streams per\n\
+     \x20 device (default 2) and prints the resolved event-timeline summary.\n\
      \x20 --kernel K picks how contractions are computed: general, blocked,\n\
      \x20 precomputed, unrolled (auto-fallback for unavailable shapes)."
         .to_string()
@@ -343,6 +350,9 @@ mod tests {
             "--backend B",
             "--kernel K",
             "gpusim:<device>[:count]",
+            "pipelined[:device][:count]",
+            "--pipeline",
+            "--streams K",
             "profile",
         ] {
             assert!(u.contains(needle), "usage missing {needle}");

@@ -17,6 +17,14 @@
 //!    (register file and shared-memory pressure — the effect behind the
 //!    paper's Section V-E observation that performance drops past order 4 /
 //!    dimension 5).
+//! 3. **Asynchronous execution** ([`stream`], [`multi`]): launches are
+//!    *enqueued* as `HostToDevice` / `Kernel` / `DeviceToHost` ops on
+//!    CUDA-style streams and resolved by a discrete-event scheduler
+//!    against each device's engines (one copy engine + one compute engine
+//!    per C2050, like real Fermi) into an event [`Timeline`] whose
+//!    makespan is the modeled wall-clock — double-buffered chunking
+//!    overlaps PCIe transfers with kernels exactly as streams do on
+//!    hardware.
 //!
 //! The model is deliberately simple and fully documented; it is calibrated
 //! so the *shape* of the paper's results (GPU ≫ CPU, unrolled ≫ general,
@@ -35,6 +43,7 @@ pub mod memory;
 pub mod multi;
 pub mod occupancy;
 pub mod profile;
+pub mod stream;
 pub mod timing;
 
 pub use counters::OpCounters;
@@ -45,8 +54,9 @@ pub use fault::{
     corrupt_tensor, FaultKind, FaultPlan, FaultSite, InjectedFault, BACKOFF_BASE_SECONDS,
     WATCHDOG_TIMEOUT_SECONDS,
 };
-pub use kernel::{launch_sshopm, GpuBatchResult, GpuVariant, LaunchReport};
-pub use multi::{HostTransfer, MultiGpu, MultiReport, TransferModel};
+pub use kernel::{enqueue_sshopm, launch_sshopm, GpuBatchResult, GpuVariant, LaunchReport};
+pub use multi::{problem_traffic_bytes, HostTransfer, MultiGpu, MultiReport, TransferModel};
 pub use occupancy::{KernelResources, Occupancy};
 pub use profile::{CounterBreakdown, ProfileSnapshot};
+pub use stream::{Engine, EventId, Op, OpId, StreamId, StreamQueue, TimedOp, Timeline};
 pub use timing::TimingEstimate;

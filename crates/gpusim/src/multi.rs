@@ -9,7 +9,8 @@
 
 use crate::device::DeviceSpec;
 use crate::error::GpuError;
-use crate::kernel::{launch_sshopm, GpuBatchResult, GpuVariant, LaunchReport};
+use crate::kernel::{enqueue_sshopm, GpuBatchResult, GpuVariant, LaunchReport};
+use crate::stream::{StreamQueue, Timeline};
 use sshopm::IterationPolicy;
 use symtensor::multinomial::num_unique_entries;
 use symtensor::{Scalar, TensorBatchRef};
@@ -60,12 +61,6 @@ pub struct HostTransfer {
 }
 
 impl HostTransfer {
-    /// Seconds to stage over `link`, each copy paying the DMA latency once.
-    pub fn seconds(&self, link: &TransferModel) -> f64 {
-        (self.down_copies + self.up_copies) as f64 * link.latency_s
-            + (self.down_bytes + self.up_bytes) as f64 / (link.bandwidth_gbs * 1e9)
-    }
-
     /// Total bytes both ways.
     pub fn total_bytes(&self) -> u64 {
         self.down_bytes + self.up_bytes
@@ -107,13 +102,16 @@ pub struct DeviceSlice {
 pub struct MultiReport {
     /// One entry per device that received work.
     pub slices: Vec<DeviceSlice>,
-    /// Wall-clock estimate: devices run concurrently, so the slowest slice
-    /// decides.
+    /// Wall-clock estimate: the event timeline's makespan (devices run
+    /// concurrently; streams overlap transfers with compute).
     pub seconds: f64,
     /// Total useful flops across devices.
     pub useful_flops: u64,
     /// Aggregate achieved GFLOP/s (flops / wall-clock).
     pub gflops: f64,
+    /// The resolved event timeline behind `seconds`: every transfer and
+    /// kernel op with its modeled start/end.
+    pub timeline: Timeline,
 }
 
 /// A set of devices sharing one host.
@@ -177,10 +175,11 @@ impl MultiGpu {
 
     /// Launch the batched SS-HOPM problem across all devices.
     ///
-    /// Results come back in the original tensor order; the wall-clock
-    /// estimate is the slowest device's kernel-plus-transfer time (devices
-    /// run concurrently; transfers to distinct devices use distinct PCIe
-    /// lanes, as on real multi-GPU boards).
+    /// Each device's slice goes through one stream (upload → kernel →
+    /// download, in order), so the wall-clock is the slowest device's
+    /// kernel-plus-transfer chain — devices run concurrently, and
+    /// transfers to distinct devices use distinct PCIe lanes, as on real
+    /// multi-GPU boards. Results come back in the original tensor order.
     ///
     /// # Errors
     /// Returns a [`GpuError`] for an empty batch or any per-device launch
@@ -193,41 +192,121 @@ impl MultiGpu {
         alpha: f64,
         variant: GpuVariant,
     ) -> Result<(GpuBatchResult<S>, MultiReport), GpuError> {
-        let batch = batch.into();
+        self.launch_streamed(batch.into(), starts, policy, alpha, variant, None, 1)
+    }
+
+    /// Launch with double-buffered chunking: each device's slice is cut
+    /// into `chunk_tensors`-sized pieces dealt round-robin across
+    /// `streams_per_device` streams, so chunk `k+1`'s upload overlaps
+    /// chunk `k`'s kernel (and downloads interleave on the copy engine).
+    /// With one stream per device this degenerates to
+    /// [`launch`](MultiGpu::launch) plus per-chunk launch overhead.
+    ///
+    /// Results are bitwise identical to the synchronous path — chunking
+    /// changes the clock, never the arithmetic.
+    ///
+    /// # Errors
+    /// Same contract as [`launch`](MultiGpu::launch).
+    #[allow(clippy::too_many_arguments)]
+    pub fn launch_pipelined<'a, S: Scalar>(
+        &self,
+        batch: impl Into<TensorBatchRef<'a, S>>,
+        starts: &[Vec<S>],
+        policy: IterationPolicy,
+        alpha: f64,
+        variant: GpuVariant,
+        chunk_tensors: usize,
+        streams_per_device: usize,
+    ) -> Result<(GpuBatchResult<S>, MultiReport), GpuError> {
+        self.launch_streamed(
+            batch.into(),
+            starts,
+            policy,
+            alpha,
+            variant,
+            Some(chunk_tensors.max(1)),
+            streams_per_device.max(1),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch_streamed<S: Scalar>(
+        &self,
+        batch: TensorBatchRef<'_, S>,
+        starts: &[Vec<S>],
+        policy: IterationPolicy,
+        alpha: f64,
+        variant: GpuVariant,
+        chunk_tensors: Option<usize>,
+        streams_per_device: usize,
+    ) -> Result<(GpuBatchResult<S>, MultiReport), GpuError> {
         if batch.is_empty() {
             return Err(GpuError::EmptyBatch);
         }
         let counts = self.split(batch.len());
+        let mut queue = StreamQueue::new(self.devices.len(), self.transfer);
 
         let mut results = Vec::with_capacity(batch.len());
-        let mut slices = Vec::new();
+        // (device_index, tensors, merged report) per device with work;
+        // transfer/total seconds are read off the timeline afterwards.
+        let mut merged: Vec<(usize, usize, LaunchReport)> = Vec::new();
         let mut offset = 0usize;
         let mut useful_flops = 0u64;
-        let mut wall = 0.0f64;
 
         for (device_index, (&count, device)) in counts.iter().zip(&self.devices).enumerate() {
             if count == 0 {
                 continue;
             }
             // Zero-copy arena slice: the device's share is a contiguous
-            // sub-range of the same buffer, shipped in one DMA.
-            let chunk = batch.slice(offset..offset + count);
+            // sub-range of the same buffer; each chunk of it ships in one
+            // DMA from the same memory.
+            let slice = batch.slice(offset..offset + count);
             offset += count;
-            let (res, report) = launch_sshopm(device, chunk, starts, policy, alpha, variant)?;
-            let transfer_seconds = report.host_transfer.seconds(&self.transfer);
-            let total_seconds = report.timing.seconds + transfer_seconds;
-            useful_flops += report.useful_flops;
-            wall = wall.max(total_seconds);
-            results.extend(res.results);
-            slices.push(DeviceSlice {
-                device_index,
-                num_tensors: count,
-                report,
-                transfer_seconds,
-                total_seconds,
-            });
+            let streams: Vec<_> = (0..streams_per_device)
+                .map(|_| queue.stream(device_index))
+                .collect();
+            let chunk_size = chunk_tensors.unwrap_or(count);
+            let mut device_report: Option<LaunchReport> = None;
+            let mut lo = 0usize;
+            let mut chunk_index = 0usize;
+            while lo < count {
+                let hi = (lo + chunk_size).min(count);
+                let (res, report) = enqueue_sshopm(
+                    &mut queue,
+                    streams[chunk_index % streams.len()],
+                    device,
+                    slice.slice(lo..hi),
+                    starts,
+                    policy,
+                    alpha,
+                    variant,
+                )?;
+                results.extend(res.results);
+                useful_flops += report.useful_flops;
+                device_report = Some(match device_report {
+                    None => report,
+                    Some(acc) => merge_reports(acc, &report),
+                });
+                lo = hi;
+                chunk_index += 1;
+            }
+            if let Some(report) = device_report {
+                merged.push((device_index, count, report));
+            }
         }
 
+        let timeline = queue.synchronize();
+        let wall = timeline.makespan();
+        let slices = merged
+            .into_iter()
+            .map(|(device_index, num_tensors, report)| DeviceSlice {
+                device_index,
+                num_tensors,
+                report,
+                transfer_seconds: timeline.copy_seconds(device_index),
+                total_seconds: timeline.device_busy_seconds(device_index),
+            })
+            .collect();
         let gflops = if wall > 0.0 {
             useful_flops as f64 / wall / 1e9
         } else {
@@ -240,14 +319,47 @@ impl MultiGpu {
                 seconds: wall,
                 useful_flops,
                 gflops,
+                timeline,
             },
         ))
     }
 }
 
+/// Merge two launch reports of the *same device and variant* (successive
+/// chunks of one slice) into one per-device report: counts, stats, flops
+/// and serial kernel seconds add up; occupancy/resources are per-launch
+/// constants and carry over.
+fn merge_reports(mut acc: LaunchReport, next: &LaunchReport) -> LaunchReport {
+    acc.grid.num_blocks += next.grid.num_blocks;
+    acc.stats.counters.merge(&next.stats.counters);
+    acc.stats.warp_serial_instructions += next.stats.warp_serial_instructions;
+    acc.stats.thread_instructions += next.stats.thread_instructions;
+    acc.stats.num_warps += next.stats.num_warps;
+    acc.useful_flops += next.useful_flops;
+    // Kernel time on one device is serial regardless of streams (one
+    // compute engine), so seconds add; per-chunk launch overhead is
+    // already inside each estimate.
+    let (sa, sb) = (acc.timing.seconds, next.timing.seconds);
+    acc.timing.compute_seconds += next.timing.compute_seconds;
+    acc.timing.memory_seconds += next.timing.memory_seconds;
+    acc.timing.seconds += next.timing.seconds;
+    if sa + sb > 0.0 {
+        acc.timing.issue_efficiency =
+            (acc.timing.issue_efficiency * sa + next.timing.issue_efficiency * sb) / (sa + sb);
+    }
+    acc.timing.active_sms = acc.timing.active_sms.max(next.timing.active_sms);
+    acc.gflops = acc.timing.gflops(acc.useful_flops);
+    acc.host_transfer.down_bytes += next.host_transfer.down_bytes;
+    acc.host_transfer.up_bytes += next.host_transfer.up_bytes;
+    acc.host_transfer.down_copies += next.host_transfer.down_copies;
+    acc.host_transfer.up_copies += next.host_transfer.up_copies;
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::launch_sshopm;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sshopm::starts::random_uniform_starts;
@@ -386,6 +498,131 @@ mod tests {
             let (down, up) = problem_traffic_bytes(t, 128, 4, 3, 4);
             assert!(up > 5 * down, "T={t}: results dominate traffic");
         }
+    }
+
+    /// Regression pin (satellite): the pipeline refactor must not shift
+    /// the Table II/III baselines by silently retuning the link model.
+    #[test]
+    fn pcie2_constants_are_pinned() {
+        let tm = TransferModel::pcie2();
+        assert_eq!(tm.bandwidth_gbs, 6.0);
+        assert_eq!(tm.latency_s, 10e-6);
+        assert_eq!(tm.transfer_seconds(0), 10e-6);
+        // 6 GB at 6 GB/s: one second plus the DMA setup.
+        assert!((tm.transfer_seconds(6_000_000_000) - (1.0 + 10e-6)).abs() < 1e-12);
+    }
+
+    /// The stream scheduler must reproduce the old serial
+    /// `transfer + compute` sum exactly when there is nothing to overlap:
+    /// one stream per device means upload → kernel → download back to
+    /// back, so the makespan equals kernel seconds plus both copies.
+    #[test]
+    fn synchronous_timeline_equals_serial_transfer_plus_compute() {
+        let (tensors, starts) = workload(64, 32, 21);
+        let mg =
+            MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 1, TransferModel::pcie2()).unwrap();
+        let (_, report) = mg
+            .launch(
+                &tensors,
+                &starts,
+                IterationPolicy::Fixed(10),
+                0.0,
+                GpuVariant::Unrolled,
+            )
+            .unwrap();
+        assert_eq!(report.timeline.ops.len(), 3);
+        let slice = &report.slices[0];
+        let ht = slice.report.host_transfer;
+        let tm = TransferModel::pcie2();
+        let serial = slice.report.timing.seconds
+            + tm.transfer_seconds(ht.down_bytes)
+            + tm.transfer_seconds(ht.up_bytes);
+        assert!(
+            (report.seconds - serial).abs() < 1e-12,
+            "makespan {} vs serial {}",
+            report.seconds,
+            serial
+        );
+        assert_eq!(slice.total_seconds, report.seconds);
+        assert!(
+            (slice.transfer_seconds
+                - (tm.transfer_seconds(ht.down_bytes) + tm.transfer_seconds(ht.up_bytes)))
+            .abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    fn pipelined_results_are_bitwise_identical_to_synchronous() {
+        let (tensors, starts) = workload(300, 32, 22);
+        let policy = IterationPolicy::Fixed(8);
+        let mg =
+            MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 2, TransferModel::pcie2()).unwrap();
+        let (sync, _) = mg
+            .launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled)
+            .unwrap();
+        let (piped, report) = mg
+            .launch_pipelined(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled, 64, 2)
+            .unwrap();
+        assert_eq!(piped.results.len(), sync.results.len());
+        for (t, (a, b)) in piped.results.iter().zip(&sync.results).enumerate() {
+            for (v, (pa, pb)) in a.iter().zip(b).enumerate() {
+                assert_eq!(pa.lambda.to_bits(), pb.lambda.to_bits(), "t{t} v{v}");
+                for (xa, xb) in pa.x.iter().zip(&pb.x) {
+                    assert_eq!(xa.to_bits(), xb.to_bits(), "t{t} v{v}");
+                }
+            }
+        }
+        // Both devices split the work and chunked it: 150 tensors / 64 →
+        // 3 chunks each, 3 ops per chunk.
+        assert_eq!(report.timeline.ops.len(), 2 * 3 * 3);
+    }
+
+    /// Regression pin (satellite): chunked paths charge the launch
+    /// overhead per *chunk*, not per batch — each chunk's kernel estimate
+    /// carries its own `LAUNCH_OVERHEAD_S`.
+    #[test]
+    fn pipelined_charges_launch_overhead_per_chunk() {
+        use crate::timing::LAUNCH_OVERHEAD_S;
+        let (tensors, starts) = workload(512, 32, 23);
+        let policy = IterationPolicy::Fixed(5);
+        let mg =
+            MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 1, TransferModel::pcie2()).unwrap();
+        let (_, sync) = mg
+            .launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled)
+            .unwrap();
+        let (_, piped) = mg
+            .launch_pipelined(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled, 128, 1)
+            .unwrap();
+        // 4 chunks: 3 more launch overheads than the single launch.
+        let extra = piped.slices[0].report.timing.seconds - sync.slices[0].report.timing.seconds;
+        assert!(
+            extra >= 3.0 * LAUNCH_OVERHEAD_S * 0.999,
+            "per-chunk overhead missing: extra kernel time {extra:e}"
+        );
+    }
+
+    #[test]
+    fn double_buffering_beats_synchronous_at_scale() {
+        // Enough result traffic that hiding downloads behind kernels pays
+        // for the extra per-chunk launch overheads.
+        let (tensors, starts) = workload(2048, 64, 24);
+        let policy = IterationPolicy::Fixed(5);
+        let mg =
+            MultiGpu::homogeneous(DeviceSpec::tesla_c2050(), 1, TransferModel::pcie2()).unwrap();
+        let (_, sync) = mg
+            .launch(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled)
+            .unwrap();
+        let (_, piped) = mg
+            .launch_pipelined(&tensors, &starts, policy, 0.0, GpuVariant::Unrolled, 256, 2)
+            .unwrap();
+        assert!(
+            piped.seconds < sync.seconds,
+            "pipelined {} >= synchronous {}",
+            piped.seconds,
+            sync.seconds
+        );
+        assert!(piped.timeline.overlap_seconds() > 0.0);
     }
 
     #[test]

@@ -8,6 +8,13 @@
 //! the analytic timing components. The bench binaries and the CLI
 //! `profile` subcommand serialize it as JSON; [`Telemetry`] custom events
 //! carry it through sinks.
+//!
+//! A snapshot describes one *launch*; the per-op view of a whole batch —
+//! when each upload, kernel, and download ran and how much transfer hid
+//! behind compute — is the [`crate::stream::Timeline`], emitted as
+//! modeled telemetry spans (one chrome://tracing row per stream) by
+//! [`crate::stream::Timeline::emit`] and summarized by the CLI's
+//! `--pipeline` flag alongside this snapshot.
 
 use crate::device::DeviceSpec;
 use crate::kernel::LaunchReport;

@@ -224,4 +224,19 @@ mod tests {
         assert!(t.seconds >= LAUNCH_OVERHEAD_S);
         assert!(t.seconds < LAUNCH_OVERHEAD_S * 2.0);
     }
+
+    /// Regression pin (satellite): the stream/pipeline refactor must not
+    /// silently retune the per-launch overhead the Table II/III baselines
+    /// (and the per-chunk charging in chunked paths) are built on.
+    #[test]
+    fn launch_overhead_constant_is_pinned() {
+        assert_eq!(LAUNCH_OVERHEAD_S, 10e-6);
+        // It is additive on top of the engine terms: the same launch with
+        // the overhead subtracted reproduces max(compute, memory).
+        let d = DeviceSpec::tesla_c2050();
+        let t = estimate(&d, 1024, &stats(1_000_000, 4096, 0), &full_occ());
+        assert!(
+            (t.seconds - t.compute_seconds.max(t.memory_seconds) - LAUNCH_OVERHEAD_S).abs() < 1e-18
+        );
+    }
 }

@@ -1,0 +1,85 @@
+//! Golden-file test for the chrome://tracing timeline export.
+//!
+//! The stream scheduler and the telemetry exporter are both fully
+//! deterministic (modeled timestamps, no wall clock), so the exact JSON a
+//! double-buffered launch exports is pinned byte-for-byte. Regenerate
+//! with `GOLDEN_UPDATE=1 cargo test -p gpusim --test trace_golden` after
+//! an *intentional* format or model change.
+
+use gpusim::{Op, StreamQueue, TransferModel};
+use telemetry::Telemetry;
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/timeline_trace.json")
+}
+
+/// A fixed two-stream double-buffered workload: 2 chunks of
+/// upload → kernel → download on one device.
+fn exported_timeline_json() -> String {
+    let mut q = StreamQueue::new(1, TransferModel::pcie2());
+    let s0 = q.stream(0);
+    let s1 = q.stream(0);
+    for &s in &[s0, s1] {
+        q.enqueue(s, Op::HostToDevice { bytes: 6_000_000 });
+        q.enqueue(s, Op::Kernel { seconds: 2e-3 });
+        q.enqueue(s, Op::DeviceToHost { bytes: 3_000_000 });
+    }
+    let timeline = q.synchronize();
+    let tel = Telemetry::enabled();
+    timeline.emit(&tel);
+    tel.chrome_trace_json()
+}
+
+#[test]
+fn chrome_trace_timeline_matches_golden_file() {
+    let json = exported_timeline_json();
+    let path = golden_path();
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        std::fs::write(&path, format!("{json}\n")).unwrap();
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with GOLDEN_UPDATE=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        json.trim(),
+        golden.trim(),
+        "timeline trace export drifted from the golden file; if intentional, \
+         regenerate with GOLDEN_UPDATE=1 cargo test -p gpusim --test trace_golden"
+    );
+}
+
+#[test]
+fn exported_trace_shows_transfer_compute_overlap() {
+    let json = exported_timeline_json();
+    let value = serde::Value::parse_json(&json).unwrap();
+    let events = value.as_seq().unwrap();
+    assert_eq!(events.len(), 6, "{json}");
+
+    let field = |e: &serde::Value, k: &str| e.get(k).and_then(serde::Value::as_f64).unwrap();
+    fn name(e: &serde::Value) -> &str {
+        e.get("name").and_then(serde::Value::as_str).unwrap()
+    }
+    let tid = |e: &serde::Value| e.get("tid").and_then(serde::Value::as_u64).unwrap();
+
+    // One trace row per stream.
+    let tids: std::collections::BTreeSet<u64> = events.iter().map(tid).collect();
+    assert_eq!(tids.into_iter().collect::<Vec<_>>(), vec![0, 1]);
+
+    // Stream 1's upload runs while stream 0's kernel occupies the compute
+    // engine — the overlap the viewer renders as stacked rows.
+    let s0_kernel = events
+        .iter()
+        .find(|e| tid(e) == 0 && name(e) == "gpu.kernel")
+        .unwrap();
+    let s1_h2d = events
+        .iter()
+        .find(|e| tid(e) == 1 && name(e) == "gpu.h2d")
+        .unwrap();
+    assert!(
+        field(s1_h2d, "ts") < field(s0_kernel, "ts") + field(s0_kernel, "dur"),
+        "no overlap: {json}"
+    );
+}

@@ -164,6 +164,29 @@ impl Telemetry {
         }
     }
 
+    /// Record a span with *caller-supplied* timestamps instead of wall
+    /// clocks: `start_us`/`duration_us` are microseconds on whatever
+    /// timeline the caller models (e.g. the simulated GPU event timeline),
+    /// and `thread` becomes the trace row (`tid`) — one row per stream in
+    /// the chrome://tracing view. The span aggregates and exports exactly
+    /// like a wall-clock one, making modeled timelines and measured host
+    /// spans coexist in the same trace.
+    pub fn modeled_span(&self, name: &'static str, thread: usize, start_us: f64, duration_us: f64) {
+        if let Some(inner) = &self.inner {
+            {
+                let mut state = inner.state.lock();
+                state.add_span(name, duration_us);
+                state.push_trace(name, thread, start_us, duration_us, MAX_TRACE_EVENTS);
+            }
+            inner.sink.record(&Event::SpanClose {
+                name,
+                thread,
+                start_us,
+                duration_us,
+            });
+        }
+    }
+
     /// Flush the sink (e.g. the JSON-lines writer).
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
@@ -320,6 +343,22 @@ mod tests {
             assert!(ev.get("ts").and_then(Value::as_f64).is_some());
             assert!(ev.get("dur").and_then(Value::as_f64).is_some());
         }
+    }
+
+    #[test]
+    fn modeled_spans_use_caller_timestamps() {
+        let tel = Telemetry::enabled();
+        tel.modeled_span("gpu.h2d", 3, 125.0, 40.0);
+        let snap = tel.snapshot();
+        let span = snap.spans.iter().find(|s| s.name == "gpu.h2d").unwrap();
+        assert_eq!(span.count, 1);
+        assert_eq!(span.total_us, 40.0);
+        let json = tel.chrome_trace_json();
+        let value = Value::parse_json(&json).unwrap();
+        let ev = &value.as_seq().unwrap()[0];
+        assert_eq!(ev.get("ts").and_then(Value::as_f64), Some(125.0));
+        assert_eq!(ev.get("dur").and_then(Value::as_f64), Some(40.0));
+        assert_eq!(ev.get("tid").and_then(Value::as_u64), Some(3));
     }
 
     #[test]

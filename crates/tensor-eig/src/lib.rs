@@ -65,7 +65,8 @@ pub use unrolled;
 pub mod prelude {
     pub use backend::{
         parse_fault_plan, BackendSpec, BatchReport, CpuParallel, CpuSequential, FaultLog,
-        GpuSimBackend, KernelStrategy, MultiGpuBackend, ResilientBackend, SolveBackend,
+        GpuSimBackend, KernelStrategy, MultiGpuBackend, PipelinedBackend, ResilientBackend,
+        SolveBackend,
     };
     pub use dwmri::{
         extract_fibers, extract_fibers_with, ExtractConfig, NoiseModel, Phantom, PhantomConfig,
@@ -97,6 +98,12 @@ mod tests {
         let spec: BackendSpec = "cpu:2".parse().unwrap();
         let _: Box<dyn SolveBackend<f64>> = spec.build(KernelStrategy::Blocked).unwrap();
         let _ = gpusim::FaultPlan::new(1);
+        let _ = PipelinedBackend::homogeneous(
+            DeviceSpec::tesla_c2050(),
+            1,
+            TransferModel::pcie2(),
+            KernelStrategy::General,
+        );
         let _ = Telemetry::disabled();
     }
 }
