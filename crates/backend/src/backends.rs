@@ -43,6 +43,36 @@ pub trait SolveBackend<S: Scalar>: Sync {
         solver: &SsHopm,
         telemetry: &Telemetry,
     ) -> Result<BatchReport<S>, BackendError>;
+
+    /// Like [`solve_batch`](SolveBackend::solve_batch), but also returns
+    /// the unified [`telemetry::RunReport`] with the run's aggregated
+    /// telemetry (counters, gauges, histograms) folded in. Every backend
+    /// produces one, with per-chunk latency quantiles.
+    fn solve_batch_with_report(
+        &self,
+        batch: &TensorBatch<S>,
+        starts: &[Vec<S>],
+        solver: &SsHopm,
+        telemetry: &Telemetry,
+    ) -> Result<(BatchReport<S>, telemetry::RunReport), BackendError> {
+        let report = self.solve_batch(batch, starts, solver, telemetry)?;
+        let mut run = report.run_report();
+        if telemetry.is_enabled() {
+            run.merge_telemetry(&telemetry.snapshot());
+        }
+        Ok((report, run))
+    }
+}
+
+/// Emit the run's unified report as a structured `run.report` event, so
+/// sinks (JSON-lines, memory) and the snapshot's event list carry the
+/// same record the `report` renderers print. Called by every backend at
+/// the end of a successful `solve_batch`.
+pub(crate) fn emit_run_report<S: Scalar>(telemetry: &Telemetry, report: &BatchReport<S>) {
+    if telemetry.is_enabled() {
+        use serde::Serialize as _;
+        telemetry.event("run.report", report.run_report().to_value());
+    }
 }
 
 pub(crate) fn empty_report<S: Scalar>(label: String, kernel: KernelStrategy) -> BatchReport<S> {
@@ -78,7 +108,7 @@ fn cpu_solve_batch<S: Scalar>(
         .with_threads(threads)
         .run(&*kernels, batch, starts, telemetry);
     let seconds = started.elapsed().as_secs_f64();
-    Ok(BatchReport {
+    let report = BatchReport {
         backend: label,
         kernel: effective.name().to_string(),
         useful_flops: result.total_iterations * flops::sshopm_iter_flops(m, n),
@@ -88,7 +118,9 @@ fn cpu_solve_batch<S: Scalar>(
         profiles: Vec::new(),
         fault_log: FaultLog::default(),
         timeline: None,
-    })
+    };
+    emit_run_report(telemetry, &report);
+    Ok(report)
 }
 
 /// The paper's "CPU – 1 core" row: strictly sequential on the calling
@@ -260,7 +292,7 @@ impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
         record_gpu_batch_counters(telemetry, &result.results, total_iterations);
         let snapshot = ProfileSnapshot::from_report(&self.device, &report);
         snapshot.emit(telemetry);
-        Ok(BatchReport {
+        let batch_report = BatchReport {
             backend: label,
             kernel: effective.name().to_string(),
             results: result.results,
@@ -275,7 +307,9 @@ impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
             }],
             fault_log: FaultLog::default(),
             timeline: None,
-        })
+        };
+        emit_run_report(telemetry, &batch_report);
+        Ok(batch_report)
     }
 }
 
@@ -367,7 +401,7 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
             })
             .collect();
         report.timeline.emit(telemetry);
-        Ok(BatchReport {
+        let batch_report = BatchReport {
             backend: label,
             kernel: effective.name().to_string(),
             results: result.results,
@@ -377,7 +411,9 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
             profiles,
             fault_log: FaultLog::default(),
             timeline: Some(report.timeline),
-        })
+        };
+        emit_run_report(telemetry, &batch_report);
+        Ok(batch_report)
     }
 }
 
@@ -504,7 +540,7 @@ impl<S: Scalar> SolveBackend<S> for PipelinedBackend {
             })
             .collect();
         report.timeline.emit(telemetry);
-        Ok(BatchReport {
+        let batch_report = BatchReport {
             backend: label,
             kernel: effective.name().to_string(),
             results: result.results,
@@ -514,6 +550,8 @@ impl<S: Scalar> SolveBackend<S> for PipelinedBackend {
             profiles,
             fault_log: FaultLog::default(),
             timeline: Some(report.timeline),
-        })
+        };
+        emit_run_report(telemetry, &batch_report);
+        Ok(batch_report)
     }
 }

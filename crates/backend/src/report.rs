@@ -3,6 +3,7 @@
 use gpusim::{InjectedFault, ProfileSnapshot, Timeline};
 use sshopm::Eigenpair;
 use symtensor::Scalar;
+use telemetry::{DeviceStats, FaultStats, Histogram, RunReport, ThroughputStats, WorkloadStats};
 
 /// Per-device profile of a GPU-backed solve (empty for CPU backends).
 #[derive(Debug, Clone)]
@@ -57,20 +58,24 @@ impl FaultLog {
         self.recovered + self.failed == self.injected.len()
     }
 
-    /// One-line summary for CLI output.
+    /// The ledger in [`RunReport`] export form.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            injected: self.injected.len() as u64,
+            observed: self.observed as u64,
+            recovered: self.recovered as u64,
+            failed: self.failed as u64,
+            failed_tensors: self.failed_indices.len() as u64,
+            retries: self.retries as u64,
+            failovers: self.failovers as u64,
+            degraded: self.degraded,
+        }
+    }
+
+    /// One-line summary for CLI output, derived from the [`RunReport`]
+    /// renderer so text and JSON can never disagree.
     pub fn summary(&self) -> String {
-        format!(
-            "faults: {} injected, {} observed, {} recovered, {} failed \
-             ({} tensors lost), {} retries, {} failovers{}",
-            self.injected.len(),
-            self.observed,
-            self.recovered,
-            self.failed,
-            self.failed_indices.len(),
-            self.retries,
-            self.failovers,
-            if self.degraded { ", degraded mode" } else { "" }
-        )
+        self.stats().summary_line()
     }
 }
 
@@ -139,19 +144,76 @@ impl<S: Scalar> BatchReport<S> {
         }
     }
 
-    /// One-line summary, directly comparable across backends.
+    /// One-line summary, directly comparable across backends. Derived
+    /// from the [`RunReport`] renderer so text and JSON can never
+    /// disagree.
     pub fn summary(&self) -> String {
-        format!(
-            "backend {} ({} kernel): {} tensors x {} starts, {} iterations, \
-             {:.3} ms, {:.2} GFLOP/s",
-            self.backend,
-            self.kernel,
-            self.num_tensors(),
-            self.num_starts(),
-            self.total_iterations,
-            self.seconds * 1e3,
-            self.gflops()
-        )
+        self.run_report().headline()
+    }
+
+    /// The unified, schema-versioned observability record of this run.
+    ///
+    /// Latency distributions are derived from the stream timeline when the
+    /// backend modeled one: `chunk` is the distribution of kernel-op
+    /// durations (one launch per chunk), `stream` the per-stream busy
+    /// windows, `device` the per-device completion times. Backends with no
+    /// timeline (CPU substrates and the single-launch GPU backend) still
+    /// report a `chunk` distribution — the whole batch as one chunk — so
+    /// every backend's report carries p50/p90/p99 chunk latencies.
+    pub fn run_report(&self) -> RunReport {
+        let mut report = RunReport::new(self.backend.clone(), self.kernel.clone());
+        report.workload = WorkloadStats {
+            num_tensors: self.num_tensors() as u64,
+            num_starts: self.num_starts() as u64,
+            total_solves: (self.num_tensors() * self.num_starts()) as u64,
+            converged_solves: self.num_converged(),
+            total_iterations: self.total_iterations,
+        };
+        report.throughput = ThroughputStats {
+            seconds: self.seconds,
+            useful_flops: self.useful_flops,
+            gflops: self.gflops(),
+            tensors_per_second: if self.seconds > 0.0 {
+                self.num_tensors() as f64 / self.seconds
+            } else {
+                0.0
+            },
+        };
+        report.faults = self.fault_log.stats();
+        let timeline_chunks = self
+            .timeline
+            .as_ref()
+            .map(Timeline::kernel_latencies)
+            .filter(|h| !h.is_empty());
+        match timeline_chunks {
+            Some(chunks) => {
+                report.push_latency("chunk", chunks);
+                if let Some(t) = &self.timeline {
+                    report.push_latency("stream", t.stream_latencies());
+                    report.push_latency("device", t.device_latencies());
+                }
+            }
+            None => {
+                // No resolved ops to attribute: the batch is one chunk.
+                let mut whole = Histogram::new();
+                if self.num_tensors() > 0 || self.seconds > 0.0 {
+                    whole.observe(self.seconds);
+                }
+                report.push_latency("chunk", whole);
+            }
+        }
+        for p in &self.profiles {
+            report.devices.push(DeviceStats {
+                device_index: p.device_index as u64,
+                device: p.snapshot.device.clone(),
+                num_tensors: p.num_tensors as u64,
+                occupancy: p.snapshot.occupancy,
+                gflops: p.snapshot.gflops,
+                seconds: p.snapshot.seconds,
+                transfer_seconds: p.transfer_seconds,
+            });
+        }
+        report
     }
 }
 

@@ -454,7 +454,7 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
         let timeline = queue.synchronize();
         timeline.emit(telemetry);
         let wall = timeline.makespan() + cpu_seconds;
-        Ok(BatchReport {
+        let report = BatchReport {
             backend: label,
             kernel: effective.name().to_string(),
             results,
@@ -464,7 +464,9 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
             profiles: Vec::new(),
             fault_log: log,
             timeline: Some(timeline),
-        })
+        };
+        crate::backends::emit_run_report(telemetry, &report);
+        Ok(report)
     }
 }
 

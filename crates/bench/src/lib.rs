@@ -10,6 +10,8 @@ use telemetry::Telemetry;
 
 use symtensor::{flops, TensorBatch};
 
+pub mod regress;
+
 /// The paper's workload constants (Section V-A/V-C): T = 1024 tensors,
 /// U = 15 unique entries (m = 4, n = 3), V = 128 starting vectors.
 pub mod paper {

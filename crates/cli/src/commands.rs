@@ -98,6 +98,45 @@ fn parse_backend(args: &Args) -> Result<(BackendSpec, Box<dyn SolveBackend<f64>>
     Ok((spec, backend))
 }
 
+/// Render a unified [`telemetry::RunReport`] in one of the supported
+/// formats: `text` (human-readable summary), `json` (pretty,
+/// schema-versioned), or `prom` (Prometheus text exposition).
+fn render_run_report(run: &telemetry::RunReport, format: &str) -> Result<String, CmdError> {
+    match format {
+        "text" => Ok(run.render_text()),
+        "json" => Ok(run.to_json_pretty()),
+        "prom" | "prometheus" => Ok(run.to_prometheus()),
+        other => Err(CmdError(format!(
+            "invalid report format {other:?}: expected text, json, or prom"
+        ))),
+    }
+}
+
+/// Handle the `--report-out PATH` / `--report-format F` options shared by
+/// `solve` and `fibers`: when either is present, render the unified run
+/// report and write it to PATH (default format `text`), or append it to
+/// the command's normal output when only a format was given.
+fn write_report_output(args: &Args, run: &telemetry::RunReport, out: &mut dyn Write) -> CmdResult {
+    let path = args.get("report-out");
+    let format = args.get("report-format");
+    if path.is_none() && format.is_none() {
+        return Ok(());
+    }
+    let format = format.unwrap_or("text");
+    let mut rendered = render_run_report(run, format)?;
+    if !rendered.ends_with('\n') {
+        rendered.push('\n');
+    }
+    match path {
+        Some(p) => {
+            std::fs::write(p, &rendered).map_err(|e| CmdError(format!("cannot write {p}: {e}")))?;
+            writeln!(out, "wrote run report ({format}) to {p}")?;
+        }
+        None => write!(out, "{rendered}")?,
+    }
+    Ok(())
+}
+
 /// Validate/adjust the shift for a GPU-simulated backend, which only
 /// supports fixed shifts: an *explicit* non-numeric `--shift` is a clean
 /// error; with no explicit shift the paper's `α = 0` is used.
@@ -196,7 +235,17 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) ->
     let args = Args::parse(
         argv,
         &[
-            "starts", "shift", "tol", "seed", "backend", "kernel", "faults", "retry", "streams",
+            "starts",
+            "shift",
+            "tol",
+            "seed",
+            "backend",
+            "kernel",
+            "faults",
+            "retry",
+            "streams",
+            "report-out",
+            "report-format",
         ],
         &["refine", "all", "failover", "pipeline"],
     )?;
@@ -224,7 +273,7 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) ->
         let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0)?);
         sshopm::starts::random_gaussian_starts::<f64, _>(n, starts_count, &mut rng)
     };
-    let report = backend.solve_batch(&tensors, &starts, &solver, telemetry)?;
+    let (report, run) = backend.solve_batch_with_report(&tensors, &starts, &solver, telemetry)?;
     telemetry.counter("solve.tensors", tensors.len() as u64);
     let mut summaries = vec![report.summary()];
     if !report.fault_log.injected.is_empty() || report.fault_log.degraded {
@@ -286,6 +335,7 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) ->
     for summary in &summaries {
         writeln!(out, "{summary}")?;
     }
+    write_report_output(&args, &run, out)?;
     Ok(())
 }
 
@@ -341,6 +391,8 @@ fn inner_fibers(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
             "faults",
             "retry",
             "streams",
+            "report-out",
+            "report-format",
         ],
         &["failover", "pipeline"],
     )?;
@@ -366,7 +418,8 @@ fn inner_fibers(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
             tensors.dim()
         )));
     }
-    let all_fibers = dwmri::extract_fibers_with(&tensors, &cfg, &*backend, &Telemetry::disabled())?;
+    let (all_fibers, report) =
+        dwmri::extract_fibers_reported(&tensors, &cfg, &*backend, &Telemetry::disabled())?;
     let mut counts = [0usize; 4];
     for (i, fibers) in all_fibers.iter().enumerate() {
         counts[fibers.len().min(3)] += 1;
@@ -389,6 +442,7 @@ fn inner_fibers(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
         counts[2],
         counts[3]
     )?;
+    write_report_output(&args, &report.run_report(), out)?;
     Ok(())
 }
 
@@ -656,6 +710,84 @@ fn inner_profile(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) 
     // profile output stays pure JSON.
     if let Some(timeline) = &report.timeline {
         writeln!(out, "{}", timeline.summary())?;
+    }
+    Ok(())
+}
+
+/// `report [file] [--tensors T] [--m M] [--n N] [--starts N] [--iters I]
+/// [--seed S] [--shift F] [--backend B] [--kernel K] [--faults SPEC]
+/// [--retry N] [--failover] [--pipeline] [--streams K]
+/// [--format text|json|prom] [--out PATH]`
+///
+/// Runs one batched solve through any execution backend and emits the
+/// unified, schema-versioned [`telemetry::RunReport`]: throughput and
+/// convergence, fault/retry/failover rates, per-chunk/per-stream/
+/// per-device latency quantiles (p50/p90/p99), and per-device occupancy.
+/// Without a tensor file it reports on a synthetic random workload.
+/// `--format` picks the renderer (default `text`); `--out` writes the
+/// report to a file instead of stdout.
+pub fn report(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
+    report_instrumented(argv, out, &Telemetry::disabled())
+}
+
+/// [`report`] with a live telemetry pipeline: counters, gauges, and
+/// histograms recorded during the run are folded into the emitted report.
+pub fn report_instrumented(
+    argv: Vec<String>,
+    out: &mut dyn Write,
+    telemetry: &Telemetry,
+) -> Result<(), String> {
+    inner_report(argv, out, telemetry).map_err(|e| e.0)
+}
+
+fn inner_report(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -> CmdResult {
+    let args = Args::parse(
+        argv,
+        &[
+            "tensors", "m", "n", "starts", "iters", "seed", "shift", "backend", "kernel", "faults",
+            "retry", "streams", "format", "out",
+        ],
+        &["failover", "pipeline"],
+    )?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tensors: TensorBatch<f64> = match args.positional(0, "file").ok() {
+        Some(path) => load_batch(path)?,
+        None => {
+            let m: usize = args.get_parsed("m", 4)?;
+            let n: usize = args.get_parsed("n", 3)?;
+            let count: usize = args.get_parsed("tensors", 64)?;
+            TensorBatch::<f64>::random(m, n, count, &mut rng)
+                .map_err(|e| CmdError(format!("invalid shape [{m},{n}]: {e}")))?
+        }
+    };
+    let (spec, backend) = parse_backend(&args)?;
+    let mut shift = parse_shift(args.get("shift"))?;
+    if spec.is_gpu() {
+        shift = gpu_shift(args.get("shift"), shift)?;
+    }
+    let starts_count: usize = args.get_parsed("starts", 32)?;
+    let iters: usize = args.get_parsed("iters", 20)?;
+    let n = tensors.dim();
+    let starts = if n == 3 {
+        sshopm::starts::fibonacci_sphere::<f64>(starts_count)
+    } else {
+        sshopm::starts::random_gaussian_starts::<f64, _>(n, starts_count, &mut rng)
+    };
+    let solver = SsHopm::new(shift).with_policy(IterationPolicy::Fixed(iters));
+    let _span = telemetry.span("cli.report");
+    let (_batch, run) = backend.solve_batch_with_report(&tensors, &starts, &solver, telemetry)?;
+    let format = args.get("format").unwrap_or("text");
+    let mut rendered = render_run_report(&run, format)?;
+    if !rendered.ends_with('\n') {
+        rendered.push('\n');
+    }
+    match args.get("out") {
+        Some(p) => {
+            std::fs::write(p, &rendered).map_err(|e| CmdError(format!("cannot write {p}: {e}")))?;
+            writeln!(out, "wrote run report ({format}) to {p}")?;
+        }
+        None => write!(out, "{rendered}")?,
     }
     Ok(())
 }
@@ -1120,6 +1252,186 @@ mod tests {
         assert!(serde::Value::parse_json(json).is_ok(), "{json}");
         assert!(rest.contains("makespan"), "{rest}");
         assert!(rest.contains("overlap saves"), "{rest}");
+    }
+
+    #[test]
+    fn report_prom_output_is_valid_exposition() {
+        let mut out = Vec::new();
+        report(
+            sv(&[
+                "--tensors",
+                "8",
+                "--starts",
+                "4",
+                "--iters",
+                "2",
+                "--format",
+                "prom",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Every line is a HELP/TYPE comment or `name{labels} value` with a
+        // parseable value and a sanitized metric name.
+        let mut samples = 0;
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            if let Some(comment) = line.strip_prefix('#') {
+                assert!(
+                    comment.starts_with(" HELP ") || comment.starts_with(" TYPE "),
+                    "{line}"
+                );
+                continue;
+            }
+            let (name_part, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("{line}"));
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "bad sample value in {line:?}"
+            );
+            let metric = name_part.split('{').next().unwrap();
+            assert!(
+                metric
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "unsanitized metric name in {line:?}"
+            );
+            samples += 1;
+        }
+        assert!(samples > 0, "{text}");
+        // The chunk-latency histogram family is present and cumulative.
+        assert!(text.contains("tensor_eig_latency_seconds_bucket"), "{text}");
+        assert!(text.contains("latency=\"chunk\""), "{text}");
+        assert!(text.contains("le=\"+Inf\""), "{text}");
+        assert!(text.contains("tensor_eig_latency_seconds_count"), "{text}");
+    }
+
+    #[test]
+    fn report_json_goes_to_file_with_confirmation() {
+        let path = tmp("runreport.json");
+        let mut out = Vec::new();
+        report(
+            sv(&[
+                "--tensors",
+                "6",
+                "--starts",
+                "4",
+                "--iters",
+                "2",
+                "--format",
+                "json",
+                "--out",
+                &path,
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("wrote run report (json)"), "{text}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        let run = telemetry::RunReport::parse_json(&json).unwrap();
+        assert_eq!(run.backend, "cpu");
+        assert_eq!(run.workload.num_tensors, 6);
+        assert!(run.latency("chunk").unwrap().p50() > 0.0);
+        // Bad formats are clean errors.
+        let mut out = Vec::new();
+        let err = report(sv(&["--format", "xml"]), &mut out).unwrap_err();
+        assert!(err.contains("invalid report format"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_pipeline_backend_carries_stream_latencies() {
+        let mut out = Vec::new();
+        report(
+            sv(&[
+                "--tensors",
+                "8",
+                "--starts",
+                "4",
+                "--iters",
+                "2",
+                "--backend",
+                "gpusim",
+                "--pipeline",
+                "--format",
+                "json",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let run = telemetry::RunReport::parse_json(&text).unwrap();
+        assert!(
+            run.backend.starts_with("pipelined:gpusim"),
+            "{}",
+            run.backend
+        );
+        assert!(run.latency("chunk").is_some());
+        assert!(run.latency("stream").is_some());
+        assert!(run.latency("device").is_some());
+    }
+
+    #[test]
+    fn solve_report_out_writes_unified_report() {
+        let path = tmp("solverpt.txt");
+        let rpt = tmp("solverpt.json");
+        let mut out = Vec::new();
+        random(
+            sv(&["4", "3", "3", "--out", &path, "--seed", "2"]),
+            &mut out,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        solve(
+            sv(&[
+                &path,
+                "--starts",
+                "4",
+                "--report-out",
+                &rpt,
+                "--report-format",
+                "json",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("wrote run report (json)"), "{text}");
+        let run =
+            telemetry::RunReport::parse_json(&std::fs::read_to_string(&rpt).unwrap()).unwrap();
+        assert_eq!(run.workload.num_tensors, 3);
+        assert_eq!(run.workload.num_starts, 4);
+        assert!(run.latency("chunk").unwrap().p99() > 0.0);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&rpt).ok();
+    }
+
+    #[test]
+    fn fibers_report_format_appends_text_report() {
+        let path = tmp("fibrpt.txt");
+        let mut out = Vec::new();
+        phantom(
+            sv(&["--out", &path, "--width", "2", "--height", "2"]),
+            &mut out,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        fibers(
+            sv(&[&path, "--starts", "16", "--report-format", "text"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("summary: 4 voxels"), "{text}");
+        assert!(text.contains("latencies (seconds):"), "{text}");
+        // The report's workload accounting must reflect the actual batch
+        // (a regression here means the results were drained before the
+        // report was rendered).
+        assert!(
+            text.contains("backend cpu (general kernel): 4 tensors x 16 starts"),
+            "{text}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

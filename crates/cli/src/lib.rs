@@ -14,7 +14,14 @@
 //! * `gpu <file> [--starts N] [--variant general|unrolled] [--devices K]
 //!   [--iters I]` — batched solve on the simulated GPU;
 //! * `profile [file]` — run one simulated GPU launch and dump the full
-//!   [`gpusim::ProfileSnapshot`] as pretty JSON.
+//!   [`gpusim::ProfileSnapshot`] as pretty JSON;
+//! * `report [file] [--format text|json|prom] [--out PATH]` — run one
+//!   batched solve (synthetic workload without a file) and emit the
+//!   unified, schema-versioned [`telemetry::RunReport`]: throughput,
+//!   fault/retry/failover rates, and per-chunk/per-stream/per-device
+//!   latency quantiles. `solve` and `fibers` accept `--report-out PATH`
+//!   and `--report-format F` to emit the same report alongside their
+//!   normal output.
 //!
 //! `--backend` takes a [`backend::BackendSpec`] string — `cpu` (default,
 //! sequential), `cpu:8` / `cpu:all` (rayon pool), `gpusim` (one simulated
@@ -138,6 +145,7 @@ pub fn run(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
         "tract" => commands::tract(rest, cmd_out),
         "gpu" => commands::gpu_instrumented(rest, cmd_out, &telemetry),
         "profile" => commands::profile(rest, cmd_out, &telemetry),
+        "report" => commands::report_instrumented(rest, cmd_out, &telemetry),
         "help" | "--help" | "-h" => {
             let _ = writeln!(cmd_out, "{}", usage());
             Ok(())
@@ -179,6 +187,7 @@ pub fn usage() -> String {
      \x20 tract <file> --width W [--height H] [--starts N] [--seeds K]\n\
      \x20 gpu <file> [--starts N] [--variant general|unrolled] [--devices K] [--iters I] [--seed S]\n\
      \x20 profile [file] [--tensors T] [--m M] [--n N] [--starts N] [--variant general|unrolled] [--iters I] [--device c1060|c2050|gtx580] [--seed S] [--pipeline] [--streams K]\n\
+     \x20 report [file] [--tensors T] [--m M] [--n N] [--starts N] [--iters I] [--backend B] [--kernel K] [--format text|json|prom] [--out PATH] [--seed S]\n\
      \x20 help\n\
      global options:\n\
      \x20 --verbose            print a telemetry summary after the command\n\
@@ -197,7 +206,12 @@ pub fn usage() -> String {
      \x20 whose transfers overlap compute); --streams K sets the streams per\n\
      \x20 device (default 2) and prints the resolved event-timeline summary.\n\
      \x20 --kernel K picks how contractions are computed: general, blocked,\n\
-     \x20 precomputed, unrolled (auto-fallback for unavailable shapes)."
+     \x20 precomputed, unrolled (auto-fallback for unavailable shapes).\n\
+     \x20 report emits the unified run report (throughput, fault rates,\n\
+     \x20 p50/p90/p99 latency histograms) as text, JSON, or Prometheus text\n\
+     \x20 exposition; solve and fibers take --report-out PATH and\n\
+     \x20 --report-format text|json|prom to emit the same report alongside\n\
+     \x20 their normal output."
         .to_string()
 }
 
@@ -354,6 +368,10 @@ mod tests {
             "--pipeline",
             "--streams K",
             "profile",
+            "report [file]",
+            "--format text|json|prom",
+            "--report-out PATH",
+            "--report-format text|json|prom",
         ] {
             assert!(u.contains(needle), "usage missing {needle}");
         }

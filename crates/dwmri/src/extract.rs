@@ -109,6 +109,19 @@ pub fn extract_fibers_with(
     backend: &dyn SolveBackend<f64>,
     telemetry: &Telemetry,
 ) -> Result<Vec<Vec<FiberEstimate>>, backend::BackendError> {
+    extract_fibers_reported(tensors, cfg, backend, telemetry).map(|(fibers, _)| fibers)
+}
+
+/// [`extract_fibers_with`], additionally returning the backend's
+/// [`backend::BatchReport`] so callers can render throughput, fault, and
+/// latency observability (e.g. a unified [`telemetry::RunReport`]) for the
+/// extraction run instead of only the fiber directions.
+pub fn extract_fibers_reported(
+    tensors: &TensorBatch<f64>,
+    cfg: &ExtractConfig,
+    backend: &dyn SolveBackend<f64>,
+    telemetry: &Telemetry,
+) -> Result<(Vec<Vec<FiberEstimate>>, backend::BatchReport<f64>), backend::BackendError> {
     assert!(
         tensors.is_empty() || tensors.dim() == 3,
         "fiber extraction is for 3D tensors"
@@ -116,15 +129,20 @@ pub fn extract_fibers_with(
     let starts = sshopm::starts::fibonacci_sphere::<f64>(cfg.num_starts);
     let solver = extraction_solver(cfg);
     let report = backend.solve_batch(tensors, &starts, &solver, telemetry)?;
-    Ok(report
+    // The per-start pairs stay inside the report (its workload/throughput
+    // accounting is derived from `results`); each voxel's pairs are cloned
+    // once into the dedup pass.
+    let fibers = report
         .results
-        .into_iter()
+        .iter()
         .zip(tensors.iter())
         .map(|(pairs, tensor)| {
-            let spectrum = spectrum_from_pairs(tensor, pairs, &DedupConfig::default(), 1e-5);
+            let spectrum =
+                spectrum_from_pairs(tensor, pairs.iter().cloned(), &DedupConfig::default(), 1e-5);
             spectrum_to_fibers(&spectrum, cfg)
         })
-        .collect())
+        .collect();
+    Ok((fibers, report))
 }
 
 fn extraction_solver(cfg: &ExtractConfig) -> SsHopm {

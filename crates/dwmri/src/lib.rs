@@ -34,7 +34,9 @@ pub mod phantom;
 pub mod sampling;
 pub mod tract;
 
-pub use extract::{extract_fibers, extract_fibers_with, ExtractConfig, FiberEstimate};
+pub use extract::{
+    extract_fibers, extract_fibers_reported, extract_fibers_with, ExtractConfig, FiberEstimate,
+};
 pub use fiber::FiberConfig;
 pub use fit::fit_tensor;
 pub use metrics::{angular_error_deg, score_voxel, VoxelScore};

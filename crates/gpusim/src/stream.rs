@@ -489,19 +489,65 @@ impl Timeline {
     /// Export every op as a modeled span on `telemetry`, one trace row
     /// (`tid`) per stream, timestamps in modeled microseconds — the
     /// chrome://tracing exporter then renders transfer/compute overlap
-    /// directly.
+    /// directly. Every op duration is also recorded as a histogram
+    /// *observation* under the op's name (`gpu.kernel`, `gpu.h2d`, …), so
+    /// pipelined-run latencies land in [`Telemetry::snapshot`] histograms
+    /// (and thus `--metrics-out`) instead of only in the trace buffer.
     pub fn emit(&self, telemetry: &Telemetry) {
         if !telemetry.is_enabled() {
             return;
         }
         for o in &self.ops {
-            telemetry.modeled_span(
-                o.op.name(),
-                o.stream.0,
-                o.start_s * 1e6,
-                (o.end_s - o.start_s) * 1e6,
-            );
+            let duration_s = o.end_s - o.start_s;
+            telemetry.modeled_span(o.op.name(), o.stream.0, o.start_s * 1e6, duration_s * 1e6);
+            telemetry.observe(o.op.name(), duration_s);
         }
+    }
+
+    /// Distribution of kernel-op durations — the per-chunk latency set of
+    /// a chunked/pipelined run (each kernel launch covers one chunk).
+    pub fn kernel_latencies(&self) -> telemetry::Histogram {
+        let mut h = telemetry::Histogram::new();
+        for o in &self.ops {
+            if matches!(o.op, Op::Kernel { .. }) {
+                h.observe(o.end_s - o.start_s);
+            }
+        }
+        h
+    }
+
+    /// Distribution of per-stream busy windows (last end minus first
+    /// start per stream that ran anything) — the per-stream latency set.
+    pub fn stream_latencies(&self) -> telemetry::Histogram {
+        let mut first = vec![f64::INFINITY; self.num_streams];
+        let mut last = vec![f64::NEG_INFINITY; self.num_streams];
+        for o in &self.ops {
+            let si = o.stream.0;
+            if si < self.num_streams {
+                first[si] = first[si].min(o.start_s);
+                last[si] = last[si].max(o.end_s);
+            }
+        }
+        let mut h = telemetry::Histogram::new();
+        for (f, l) in first.iter().zip(last.iter()) {
+            if l >= f {
+                h.observe(l - f);
+            }
+        }
+        h
+    }
+
+    /// Distribution of per-device busy seconds (completion time of each
+    /// device that ran at least one op) — the per-device latency set.
+    pub fn device_latencies(&self) -> telemetry::Histogram {
+        let mut devices: Vec<usize> = self.ops.iter().map(|o| o.device).collect();
+        devices.sort_unstable();
+        devices.dedup();
+        let mut h = telemetry::Histogram::new();
+        for d in devices {
+            h.observe(self.device_busy_seconds(d));
+        }
+        h
     }
 }
 
@@ -666,5 +712,49 @@ mod tests {
         let json = tel.chrome_trace_json();
         assert!(json.contains("gpu.kernel"), "{json}");
         t.emit(&Telemetry::disabled()); // no-op, no panic
+    }
+
+    #[test]
+    fn emit_records_histogram_observations() {
+        // Regression: op durations must land in snapshot histograms (the
+        // --metrics-out path), not only in the trace buffer.
+        let mut q = StreamQueue::new(1, link());
+        let s = q.stream(0);
+        q.enqueue(s, Op::HostToDevice { bytes: 1_000_000 });
+        q.enqueue(s, Op::Kernel { seconds: 1e-3 });
+        q.enqueue(s, Op::Kernel { seconds: 2e-3 });
+        let t = q.synchronize();
+        let tel = Telemetry::enabled();
+        t.emit(&tel);
+        let snap = tel.snapshot();
+        let kernels = snap.histogram("gpu.kernel").unwrap();
+        assert_eq!(kernels.count, 2);
+        assert!((kernels.sum - 3e-3).abs() < 1e-12);
+        assert!(kernels.p50() > 0.0);
+        assert!(snap.histogram("gpu.h2d").is_some());
+    }
+
+    #[test]
+    fn latency_histograms_cover_kernels_streams_devices() {
+        let mut q = StreamQueue::new(2, link());
+        let s0 = q.stream(0);
+        let s1 = q.stream(1);
+        q.enqueue(s0, Op::Kernel { seconds: 1e-3 });
+        q.enqueue(s0, Op::Kernel { seconds: 3e-3 });
+        q.enqueue(s1, Op::Kernel { seconds: 2e-3 });
+        let t = q.synchronize();
+        let kernels = t.kernel_latencies();
+        assert_eq!(kernels.count(), 3);
+        assert!((kernels.sum() - 6e-3).abs() < 1e-12);
+        let streams = t.stream_latencies();
+        assert_eq!(streams.count(), 2);
+        assert!((streams.max() - 4e-3).abs() < 1e-12);
+        let devices = t.device_latencies();
+        assert_eq!(devices.count(), 2);
+        // An empty timeline yields empty (not panicking) histograms.
+        let empty = Timeline::default();
+        assert!(empty.kernel_latencies().is_empty());
+        assert!(empty.stream_latencies().is_empty());
+        assert!(empty.device_latencies().is_empty());
     }
 }

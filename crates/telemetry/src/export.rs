@@ -54,10 +54,14 @@ pub(crate) fn summary(snap: &TelemetrySnapshot) -> String {
         for h in &snap.histograms {
             let _ = writeln!(
                 out,
-                "  {:<32} count {:>8}  mean {:>12.6}  min {:>12.6}  max {:>12.6}",
+                "  {:<32} count {:>8}  mean {:>12.6}  p50 {:>12.6}  p90 {:>12.6}  \
+                 p99 {:>12.6}  min {:>12.6}  max {:>12.6}",
                 h.name,
                 h.count,
                 h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
                 h.min,
                 h.max,
             );

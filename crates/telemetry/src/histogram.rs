@@ -1,0 +1,382 @@
+//! Log-bucketed latency histograms with quantile estimates.
+//!
+//! One shared bucketing scheme backs every latency distribution in the
+//! stack: the in-pipeline aggregates behind [`crate::Telemetry::observe`],
+//! the [`crate::HistogramSnapshot`] export shape, and the per-chunk /
+//! per-stream / per-device latency sets inside a [`crate::RunReport`].
+//! Values are seconds; buckets are powers of two of *microseconds*
+//! (bucket 0 is the sub-microsecond underflow bin, the last bucket absorbs
+//! overflow), so one `[u64; 64]` array spans nanosecond spans to modeled
+//! multi-hour makespans with a fixed ≤2× relative error per bucket.
+//!
+//! Quantiles are rank-based over the buckets: `quantile(q)` returns the
+//! upper edge of the bucket holding the `⌈q·count⌉`-th smallest
+//! observation, clamped into `[min, max]`. The estimate therefore lies in
+//! the same bucket as the exact sorted-sample quantile — within one
+//! bucket's relative error, a property the proptest suite pins down.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// Number of log2 buckets: bucket 0 holds sub-microsecond values, bucket
+/// `i ≥ 1` holds `[2^(i-1), 2^i)` microseconds, and the last bucket also
+/// absorbs anything larger.
+pub const NUM_BUCKETS: usize = 64;
+
+/// A mergeable log-bucketed histogram of nonnegative durations (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    /// `INFINITY` when empty.
+    min: f64,
+    /// `NEG_INFINITY` when empty.
+    max: f64,
+    buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+/// Bucket index for a duration in seconds (negative values clamp to 0).
+pub fn bucket_index(seconds: f64) -> usize {
+    let us = (seconds * 1e6).max(0.0);
+    if us < 1.0 {
+        0
+    } else {
+        (us.log2().floor() as usize + 1).min(NUM_BUCKETS - 1)
+    }
+}
+
+/// Exclusive upper edge of bucket `i`, in seconds (`1µs` for bucket 0,
+/// `2^i µs` beyond).
+pub fn bucket_upper_edge(i: usize) -> f64 {
+    if i == 0 {
+        1e-6
+    } else {
+        2f64.powi(i.min(NUM_BUCKETS - 1) as i32) * 1e-6
+    }
+}
+
+/// Rank-based quantile over a raw bucket array: the upper edge of the
+/// bucket holding the `⌈q·count⌉`-th smallest observation, clamped into
+/// `[min, max]`. Shared by [`Histogram`] and the snapshot export shape so
+/// the two can never disagree. Returns 0 for an empty histogram.
+pub fn quantile_from_buckets(buckets: &[u64], count: u64, min: f64, max: f64, q: f64) -> f64 {
+    if count == 0 {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * count as f64).ceil() as u64).max(1);
+    let mut cumulative = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cumulative += c;
+        if cumulative >= rank {
+            return bucket_upper_edge(i).clamp(min, max);
+        }
+    }
+    max
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Rebuild a histogram from exported parts (e.g. a
+    /// [`crate::HistogramSnapshot`]); `min`/`max` follow the export
+    /// convention of 0 when `count` is 0, and `buckets` shorter than
+    /// [`NUM_BUCKETS`] are zero-padded.
+    pub fn from_parts(count: u64, sum: f64, min: f64, max: f64, buckets: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        h.count = count;
+        h.sum = sum;
+        if count > 0 {
+            h.min = min;
+            h.max = max;
+        }
+        for (dst, &src) in h.buckets.iter_mut().zip(buckets.iter()) {
+            *dst = src;
+        }
+        h
+    }
+
+    /// Record one duration (seconds; negatives clamp to 0).
+    pub fn observe(&mut self, seconds: f64) {
+        let v = seconds.max(0.0);
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Fold `other` into `self`; equivalent to having observed the union
+    /// of both sample sets.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations, seconds.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// True when nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Rank-based quantile estimate (see [`quantile_from_buckets`]).
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.buckets, self.count, self.min, self.max, q)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+impl Serialize for Histogram {
+    fn to_value(&self) -> Value {
+        // Sparse bucket encoding keeps reports and committed baselines
+        // small: only nonzero buckets are listed, as [index, count] pairs.
+        let sparse: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| Value::Seq(vec![Value::UInt(i as u64), Value::UInt(c)]))
+            .collect();
+        Value::object(vec![
+            ("count", Value::UInt(self.count)),
+            ("sum", Value::Float(self.sum)),
+            ("min", Value::Float(self.min())),
+            ("max", Value::Float(self.max())),
+            ("mean", Value::Float(self.mean())),
+            ("p50", Value::Float(self.p50())),
+            ("p90", Value::Float(self.p90())),
+            ("p99", Value::Float(self.p99())),
+            ("buckets", Value::Seq(sparse)),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for Histogram {
+    fn from_value(value: &'de Value) -> Result<Self, Error> {
+        let count = value
+            .get("count")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| Error::custom("histogram: missing count"))?;
+        let sum = value.get("sum").and_then(Value::as_f64).unwrap_or(0.0);
+        let mut h = Histogram {
+            count,
+            sum,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; NUM_BUCKETS],
+        };
+        if count > 0 {
+            h.min = value.get("min").and_then(Value::as_f64).unwrap_or(0.0);
+            h.max = value.get("max").and_then(Value::as_f64).unwrap_or(0.0);
+        }
+        let sparse = value
+            .get("buckets")
+            .and_then(Value::as_seq)
+            .ok_or_else(|| Error::custom("histogram: missing buckets"))?;
+        for pair in sparse {
+            let entry = pair
+                .as_seq()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| Error::custom("histogram: bucket entry is not [index, count]"))?;
+            let i = entry[0]
+                .as_u64()
+                .ok_or_else(|| Error::custom("histogram: non-integer bucket index"))?
+                as usize;
+            let c = entry[1]
+                .as_u64()
+                .ok_or_else(|| Error::custom("histogram: non-integer bucket count"))?;
+            if i >= NUM_BUCKETS {
+                return Err(Error::custom(format!(
+                    "histogram: bucket index {i} out of range (max {})",
+                    NUM_BUCKETS - 1
+                )));
+            }
+            h.buckets[i] += c;
+        }
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_guarded() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn bucket_indices_are_log2_microseconds() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(0.5e-6), 0);
+        assert_eq!(bucket_index(1.0e-6), 1);
+        assert_eq!(bucket_index(1.9e-6), 1);
+        assert_eq!(bucket_index(2.0e-6), 2);
+        assert_eq!(bucket_index(1e9), 50);
+        assert_eq!(bucket_index(1e20), NUM_BUCKETS - 1);
+        // Edges bracket their buckets: value v lands in bucket b with
+        // upper_edge(b) > v for in-range values.
+        for v in [3e-6, 1e-3, 0.25, 7.0] {
+            let b = bucket_index(v);
+            assert!(bucket_upper_edge(b) > v, "v={v} b={b}");
+            assert!(b == 0 || bucket_upper_edge(b - 1) <= v, "v={v} b={b}");
+        }
+    }
+
+    #[test]
+    fn stats_and_quantiles_track_observations() {
+        let mut h = Histogram::new();
+        for v in [1e-3, 2e-3, 3e-3, 10e-3] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 1e-3);
+        assert_eq!(h.max(), 10e-3);
+        assert!((h.mean() - 4e-3).abs() < 1e-15);
+        // p50 = 2nd smallest sample (2ms): estimate within its bucket.
+        let p50 = h.p50();
+        assert!((2e-3..=2.0 * 2e-3).contains(&p50), "{p50}");
+        // p99 = largest sample (10ms): estimate clamps to max.
+        let p99 = h.p99();
+        assert!((10e-3..=2.0 * 10e-3).contains(&p99), "{p99}");
+    }
+
+    #[test]
+    fn negative_observations_clamp_to_zero() {
+        let mut h = Histogram::new();
+        h.observe(-5.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.buckets()[0], 1);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for (i, v) in [1e-6, 5e-4, 0.02, 3.0, 8e-5].iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe(*v);
+            } else {
+                b.observe(*v);
+            }
+            both.observe(*v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn serialize_round_trips() {
+        let mut h = Histogram::new();
+        for v in [1e-4, 2e-4, 0.5, 12.0] {
+            h.observe(v);
+        }
+        let json = h.to_value().to_json();
+        let parsed = Value::parse_json(&json).expect("valid JSON");
+        let back = Histogram::from_value(&parsed).expect("valid histogram");
+        assert_eq!(back, h);
+        // Empty histograms round-trip through the 0-sentinel min/max.
+        let empty = Histogram::new();
+        let back = Histogram::from_value(&empty.to_value()).expect("valid");
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        let v = Value::object(vec![("count", Value::Str("x".into()))]);
+        assert!(Histogram::from_value(&v).is_err());
+        let v = Value::object(vec![
+            ("count", Value::UInt(1)),
+            (
+                "buckets",
+                Value::Seq(vec![Value::Seq(vec![Value::UInt(99)])]),
+            ),
+        ]);
+        assert!(Histogram::from_value(&v).is_err());
+    }
+}

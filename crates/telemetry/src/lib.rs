@@ -11,7 +11,11 @@
 //! * **Counters and gauges** — named monotonic counters
 //!   ([`Telemetry::counter`]) and last-value gauges ([`Telemetry::gauge`]).
 //! * **Histograms** — value distributions ([`Telemetry::observe`]), e.g.
-//!   per-tensor solve times in a batch.
+//!   per-tensor solve times in a batch, aggregated into shared log2-bucket
+//!   [`Histogram`]s with p50/p90/p99 quantile estimates.
+//! * **Run reports** — the schema-versioned [`RunReport`] unifies one
+//!   run's workload, throughput, fault, latency, and per-device stats with
+//!   text, JSON, and Prometheus renderers (see [`report`]).
 //! * **Sinks** — a pluggable [`Sink`] receives every event as it happens:
 //!   [`NullSink`] (aggregation only), [`MemorySink`] (tests), or
 //!   [`JsonLinesSink`] (one JSON object per line, machine-readable).
@@ -42,13 +46,20 @@
 
 mod convergence;
 mod export;
+pub mod histogram;
 mod metrics;
+pub mod report;
 mod sink;
 mod span;
 
 pub use convergence::{ConvergenceTrace, IterationRecord};
+pub use histogram::Histogram;
 pub use metrics::{
     CounterSnapshot, GaugeSnapshot, HistogramSnapshot, SpanSnapshot, TelemetrySnapshot,
+};
+pub use report::{
+    DeviceStats, FaultStats, LatencyStat, RunReport, ThroughputStats, WorkloadStats,
+    RUN_REPORT_SCHEMA_VERSION,
 };
 pub use sink::{Event, JsonLinesSink, MemorySink, NullSink, Sink};
 pub use span::SpanGuard;

@@ -1,5 +1,6 @@
 //! Aggregation state and serializable snapshots.
 
+use crate::histogram::{quantile_from_buckets, Histogram};
 use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -11,51 +12,6 @@ pub(crate) struct SpanAgg {
     pub total_us: f64,
     pub min_us: f64,
     pub max_us: f64,
-}
-
-/// Histogram aggregate: count/sum/min/max plus power-of-two microsecond
-/// buckets (bucket `i` counts values in `[2^i, 2^{i+1})` µs when the
-/// observed unit is seconds; for unit-free observations buckets are still
-/// meaningful as relative magnitude bins).
-#[derive(Debug, Clone)]
-pub(crate) struct HistogramAgg {
-    pub count: u64,
-    pub sum: f64,
-    pub min: f64,
-    pub max: f64,
-    pub buckets: [u64; 32],
-}
-
-impl Default for HistogramAgg {
-    fn default() -> Self {
-        HistogramAgg {
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-            buckets: [0; 32],
-        }
-    }
-}
-
-impl HistogramAgg {
-    fn bucket_index(value: f64) -> usize {
-        // Values are treated as seconds; bucket by log2 of microseconds.
-        let us = (value * 1e6).max(0.0);
-        if us < 1.0 {
-            0
-        } else {
-            (us.log2().floor() as usize + 1).min(31)
-        }
-    }
-
-    fn observe(&mut self, value: f64) {
-        self.count += 1;
-        self.sum += value;
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-        self.buckets[Self::bucket_index(value)] += 1;
-    }
 }
 
 /// One completed span occurrence retained for chrome-trace export.
@@ -73,7 +29,7 @@ pub(crate) struct State {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     spans: BTreeMap<&'static str, SpanAgg>,
-    histograms: BTreeMap<&'static str, HistogramAgg>,
+    histograms: BTreeMap<&'static str, Histogram>,
     pub(crate) trace: Vec<TraceEvent>,
     pub(crate) trace_dropped: u64,
     custom: Vec<(&'static str, Value)>,
@@ -162,13 +118,13 @@ impl State {
             histograms: self
                 .histograms
                 .iter()
-                .map(|(&name, agg)| HistogramSnapshot {
+                .map(|(&name, h)| HistogramSnapshot {
                     name: name.to_owned(),
-                    count: agg.count,
-                    sum: agg.sum,
-                    min: if agg.count == 0 { 0.0 } else { agg.min },
-                    max: if agg.count == 0 { 0.0 } else { agg.max },
-                    buckets: agg.buckets.to_vec(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    min: h.min(),
+                    max: h.max(),
+                    buckets: h.buckets().to_vec(),
                 })
                 .collect(),
             events: self
@@ -245,13 +201,40 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Mean observation.
+    /// Mean observation (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Rank-based quantile estimate over the log2 buckets (see
+    /// [`quantile_from_buckets`]); 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.buckets, self.count, self.min, self.max, q)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// The snapshot as a mergeable [`Histogram`] (e.g. to fold into a
+    /// [`crate::RunReport`] latency set).
+    pub fn to_histogram(&self) -> Histogram {
+        Histogram::from_parts(self.count, self.sum, self.min, self.max, &self.buckets)
     }
 }
 
@@ -354,6 +337,9 @@ impl Serialize for TelemetrySnapshot {
                                 ("mean", Value::Float(h.mean())),
                                 ("min", Value::Float(h.min)),
                                 ("max", Value::Float(h.max)),
+                                ("p50", Value::Float(h.p50())),
+                                ("p90", Value::Float(h.p90())),
+                                ("p99", Value::Float(h.p99())),
                             ])
                         })
                         .collect(),
@@ -376,5 +362,75 @@ impl Serialize for TelemetrySnapshot {
             ("trace_events", Value::UInt(self.trace_events)),
             ("trace_dropped", Value::UInt(self.trace_dropped)),
         ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_of(values: &[f64]) -> HistogramSnapshot {
+        let mut state = State::default();
+        for &v in values {
+            state.observe("h", v);
+        }
+        let snap = state.snapshot(Duration::from_secs(1));
+        snap.histogram("h").cloned().unwrap_or(HistogramSnapshot {
+            name: "h".to_owned(),
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn empty_snapshot_guards_mean_min_max() {
+        let h = snap_of(&[]);
+        assert_eq!(h.count, 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_exposes_min_max_and_mean() {
+        let h = snap_of(&[1e-3, 2e-3, 3e-3]);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1e-3);
+        assert_eq!(h.max, 3e-3);
+        assert!((h.mean() - 2e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn snapshot_quantiles_match_shared_histogram() {
+        let values = [1e-4, 2e-4, 8e-4, 5e-3, 5e-3, 0.04];
+        let snap = snap_of(&values);
+        let mut direct = Histogram::new();
+        for v in values {
+            direct.observe(v);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), direct.quantile(q), "q={q}");
+        }
+        // And the round-trip back into a Histogram is lossless.
+        assert_eq!(snap.to_histogram(), direct);
+    }
+
+    #[test]
+    fn snapshot_serialization_includes_quantiles() {
+        let snap_val = {
+            let mut state = State::default();
+            state.observe("h", 2e-3);
+            state.snapshot(Duration::from_secs(1)).to_value()
+        };
+        let hists = snap_val.get("histograms").and_then(Value::as_seq).unwrap();
+        let h = &hists[0];
+        for key in ["p50", "p90", "p99", "min", "max", "mean"] {
+            assert!(h.get(key).and_then(Value::as_f64).is_some(), "{key}");
+        }
     }
 }

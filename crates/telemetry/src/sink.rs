@@ -99,6 +99,19 @@ pub trait Sink: Send + Sync {
     fn flush(&self) {}
 }
 
+/// Forwarding through an `Arc` lets a caller keep a handle on a sink
+/// (e.g. a [`MemorySink`] under test) after handing it to
+/// [`crate::Telemetry::with_sink`].
+impl<T: Sink> Sink for std::sync::Arc<T> {
+    fn record(&self, event: &Event) {
+        (**self).record(event);
+    }
+
+    fn flush(&self) {
+        (**self).flush();
+    }
+}
+
 /// Discards every event (aggregation still happens upstream).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullSink;

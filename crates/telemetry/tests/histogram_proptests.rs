@@ -1,0 +1,118 @@
+//! Property-based tests for the shared log-bucketed histogram: quantile
+//! estimates bracket the exact sorted-sample quantiles within one
+//! bucket's relative error, and merging equals observing the union.
+
+use proptest::prelude::*;
+use telemetry::histogram::{bucket_index, bucket_upper_edge, NUM_BUCKETS};
+use telemetry::Histogram;
+
+/// Strategy: a batch of plausible durations spanning sub-microsecond to
+/// multi-second magnitudes (uniform over a wide range plus a tiny-value
+/// tail so bucket 0 is exercised).
+fn durations() -> impl Strategy<Value = Vec<f64>> {
+    (
+        proptest::collection::vec(0.0f64..3.0, 1..120),
+        proptest::collection::vec(0.0f64..5e-6, 0..20),
+    )
+        .prop_map(|(mut big, tiny)| {
+            big.extend(tiny);
+            big
+        })
+}
+
+/// Exact quantile under the histogram's rank convention: the
+/// `max(1, ceil(q·n))`-th smallest sample.
+fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+proptest! {
+    #[test]
+    fn quantiles_bracket_exact_within_one_bucket(values in durations(), q in 0.01f64..1.0) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = exact_quantile(&sorted, q);
+        let estimate = h.quantile(q);
+        // Lower bound: the estimate is a bucket upper edge (clamped to
+        // max), so it can never undershoot the exact quantile.
+        prop_assert!(
+            estimate >= exact - 1e-15,
+            "estimate {estimate} < exact {exact} (q={q})"
+        );
+        // Upper bound: one bucket's relative error (≤2×) for in-range
+        // values; bucket 0 has absolute width 1µs instead.
+        let bound = (2.0 * exact).max(1e-6);
+        prop_assert!(
+            estimate <= bound + 1e-15,
+            "estimate {estimate} > bound {bound} (exact {exact}, q={q})"
+        );
+    }
+
+    #[test]
+    fn p50_p90_p99_are_monotone(values in durations()) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        prop_assert!(h.p50() <= h.p90());
+        prop_assert!(h.p90() <= h.p99());
+        prop_assert!(h.p99() <= h.max() + 1e-15);
+        prop_assert!(h.min() <= h.p50() + 1e-15);
+    }
+
+    #[test]
+    fn merge_equals_observing_the_union(values in durations(), split_frac in 0.0f64..1.0) {
+        let split = ((values.len() as f64) * split_frac) as usize;
+        let (left, right) = values.split_at(split.min(values.len()));
+        let mut a = Histogram::new();
+        for &v in left {
+            a.observe(v);
+        }
+        let mut b = Histogram::new();
+        for &v in right {
+            b.observe(v);
+        }
+        let mut union = Histogram::new();
+        for &v in &values {
+            union.observe(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), union.count());
+        prop_assert_eq!(a.min(), union.min());
+        prop_assert_eq!(a.max(), union.max());
+        prop_assert_eq!(a.buckets(), union.buckets());
+        // Sums may differ only by float summation order.
+        prop_assert!((a.sum() - union.sum()).abs() <= 1e-12 * union.sum().max(1.0));
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(a.quantile(q), union.quantile(q));
+        }
+    }
+
+    #[test]
+    fn bucket_edges_bracket_their_values(v in 0.0f64..10.0) {
+        let b = bucket_index(v);
+        prop_assert!(b < NUM_BUCKETS);
+        prop_assert!(bucket_upper_edge(b) > v || b == NUM_BUCKETS - 1);
+        if b > 0 {
+            prop_assert!(bucket_upper_edge(b - 1) <= v);
+        }
+    }
+
+    #[test]
+    fn serialization_round_trips(values in durations()) {
+        use serde::{Deserialize, Serialize, Value};
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let json = h.to_value().to_json();
+        let parsed = Value::parse_json(&json).expect("valid JSON");
+        let back = Histogram::from_value(&parsed).expect("valid histogram");
+        prop_assert_eq!(back, h);
+    }
+}
