@@ -5,7 +5,7 @@ use crate::spec::BackendError;
 use crate::strategy::KernelStrategy;
 use gpusim::{DeviceSpec, MultiGpu, ProfileSnapshot, TransferModel};
 use sshopm::batch::BatchSolver;
-use sshopm::{Shift, SsHopm};
+use sshopm::Solver;
 use std::time::Instant;
 use symtensor::{flops, Scalar, TensorBatch};
 use telemetry::Telemetry;
@@ -25,22 +25,26 @@ pub trait SolveBackend<S: Scalar>: Sync {
     fn label(&self) -> String;
 
     /// Solve every tensor from every starting vector with `solver`'s
-    /// shift/iteration configuration, recording progress on `telemetry`.
+    /// iteration scheme (SS-HOPM, GEAP, QRST, ...), recording progress on
+    /// `telemetry`.
     ///
     /// The batch arrives as a [`TensorBatch`]: one contiguous arena of
     /// same-shape packed tensors, so every backend can hand sub-ranges
     /// around by zero-copy slicing and GPU-style substrates can model the
     /// host→device staging as a single coalesced transfer. Uniform shape
-    /// is guaranteed by construction. GPU-simulated backends support only
-    /// [`Shift::Fixed`] (the paper's `α = 0` setting) and return a
-    /// descriptive [`BackendError`] otherwise — adaptive shifts need
-    /// per-iterate spectral information the kernel model does not stage
-    /// on-device. Overflowing shapes are reported as errors, never panics.
+    /// is guaranteed by construction. CPU substrates run any
+    /// [`Solver`]; GPU-simulated backends support only solvers that
+    /// report a fixed shift via [`Solver::fixed_shift`] (SS-HOPM with
+    /// `Shift::Fixed`, the paper's `α = 0` setting) and return a
+    /// descriptive [`BackendError`] otherwise — adaptive shifts and the
+    /// QR-based iteration need per-iterate spectral information the
+    /// kernel model does not stage on-device. Overflowing shapes are
+    /// reported as errors, never panics.
     fn solve_batch(
         &self,
         batch: &TensorBatch<S>,
         starts: &[Vec<S>],
-        solver: &SsHopm,
+        solver: &dyn Solver<S>,
         telemetry: &Telemetry,
     ) -> Result<BatchReport<S>, BackendError>;
 
@@ -52,7 +56,7 @@ pub trait SolveBackend<S: Scalar>: Sync {
         &self,
         batch: &TensorBatch<S>,
         starts: &[Vec<S>],
-        solver: &SsHopm,
+        solver: &dyn Solver<S>,
         telemetry: &Telemetry,
     ) -> Result<(BatchReport<S>, telemetry::RunReport), BackendError> {
         let report = self.solve_batch(batch, starts, solver, telemetry)?;
@@ -75,10 +79,15 @@ pub(crate) fn emit_run_report<S: Scalar>(telemetry: &Telemetry, report: &BatchRe
     }
 }
 
-pub(crate) fn empty_report<S: Scalar>(label: String, kernel: KernelStrategy) -> BatchReport<S> {
+pub(crate) fn empty_report<S: Scalar>(
+    label: String,
+    kernel: KernelStrategy,
+    solver: &dyn Solver<S>,
+) -> BatchReport<S> {
     BatchReport {
         backend: label,
         kernel: kernel.name().to_string(),
+        solver: solver.name().to_string(),
         results: Vec::new(),
         total_iterations: 0,
         seconds: 0.0,
@@ -95,22 +104,23 @@ fn cpu_solve_batch<S: Scalar>(
     threads: usize,
     batch: &TensorBatch<S>,
     starts: &[Vec<S>],
-    solver: &SsHopm,
+    solver: &dyn Solver<S>,
     telemetry: &Telemetry,
 ) -> Result<BatchReport<S>, BackendError> {
     if batch.is_empty() {
-        return Ok(empty_report(label, strategy));
+        return Ok(empty_report(label, strategy, solver));
     }
     let (m, n) = (batch.order(), batch.dim());
     let (kernels, effective) = strategy.resolve::<S>(m, n);
     let started = Instant::now();
-    let result = BatchSolver::new(*solver)
+    let result = BatchSolver::new(solver)
         .with_threads(threads)
         .run(&*kernels, batch, starts, telemetry);
     let seconds = started.elapsed().as_secs_f64();
     let report = BatchReport {
         backend: label,
         kernel: effective.name().to_string(),
+        solver: solver.name().to_string(),
         useful_flops: result.total_iterations * flops::sshopm_iter_flops(m, n),
         results: result.results,
         total_iterations: result.total_iterations,
@@ -147,7 +157,7 @@ impl<S: Scalar> SolveBackend<S> for CpuSequential {
         &self,
         batch: &TensorBatch<S>,
         starts: &[Vec<S>],
-        solver: &SsHopm,
+        solver: &dyn Solver<S>,
         telemetry: &Telemetry,
     ) -> Result<BatchReport<S>, BackendError> {
         cpu_solve_batch(
@@ -192,7 +202,7 @@ impl<S: Scalar> SolveBackend<S> for CpuParallel {
         &self,
         batch: &TensorBatch<S>,
         starts: &[Vec<S>],
-        solver: &SsHopm,
+        solver: &dyn Solver<S>,
         telemetry: &Telemetry,
     ) -> Result<BatchReport<S>, BackendError> {
         cpu_solve_batch(
@@ -209,12 +219,16 @@ impl<S: Scalar> SolveBackend<S> for CpuParallel {
 
 /// Extract the fixed shift the GPU kernels support, or return an error
 /// pointing at the CPU backends.
-pub(crate) fn fixed_alpha(solver: &SsHopm, what: &str) -> Result<f64, BackendError> {
-    match solver.shift() {
-        Shift::Fixed(alpha) => Ok(alpha),
-        other => Err(BackendError(format!(
-            "{what} supports only Shift::Fixed (the paper's GPU setting); got {other:?} — \
-             run adaptive/convex shifts on a cpu backend"
+pub(crate) fn fixed_alpha<S: Scalar>(
+    solver: &dyn Solver<S>,
+    what: &str,
+) -> Result<f64, BackendError> {
+    match solver.fixed_shift() {
+        Some(alpha) => Ok(alpha),
+        None => Err(BackendError(format!(
+            "{what} supports only Shift::Fixed (the paper's GPU setting); solver `{}` \
+             needs per-iterate host work — run it on a cpu backend",
+            solver.name()
         ))),
     }
 }
@@ -276,12 +290,12 @@ impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
         &self,
         batch: &TensorBatch<S>,
         starts: &[Vec<S>],
-        solver: &SsHopm,
+        solver: &dyn Solver<S>,
         telemetry: &Telemetry,
     ) -> Result<BatchReport<S>, BackendError> {
         let label = SolveBackend::<S>::label(self);
         if batch.is_empty() {
-            return Ok(empty_report(label, self.strategy));
+            return Ok(empty_report(label, self.strategy, solver));
         }
         let alpha = fixed_alpha(solver, "GpuSimBackend")?;
         let (variant, effective) = self.strategy.gpu_variant(batch.order(), batch.dim());
@@ -295,6 +309,7 @@ impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
         let batch_report = BatchReport {
             backend: label,
             kernel: effective.name().to_string(),
+            solver: solver.name().to_string(),
             results: result.results,
             total_iterations,
             seconds: report.timing.seconds,
@@ -371,12 +386,12 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
         &self,
         batch: &TensorBatch<S>,
         starts: &[Vec<S>],
-        solver: &SsHopm,
+        solver: &dyn Solver<S>,
         telemetry: &Telemetry,
     ) -> Result<BatchReport<S>, BackendError> {
         let label = SolveBackend::<S>::label(self);
         if batch.is_empty() {
-            return Ok(empty_report(label, self.strategy));
+            return Ok(empty_report(label, self.strategy, solver));
         }
         let alpha = fixed_alpha(solver, "MultiGpuBackend")?;
         let (variant, effective) = self.strategy.gpu_variant(batch.order(), batch.dim());
@@ -404,6 +419,7 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
         let batch_report = BatchReport {
             backend: label,
             kernel: effective.name().to_string(),
+            solver: solver.name().to_string(),
             results: result.results,
             total_iterations,
             seconds: report.seconds,
@@ -502,12 +518,12 @@ impl<S: Scalar> SolveBackend<S> for PipelinedBackend {
         &self,
         batch: &TensorBatch<S>,
         starts: &[Vec<S>],
-        solver: &SsHopm,
+        solver: &dyn Solver<S>,
         telemetry: &Telemetry,
     ) -> Result<BatchReport<S>, BackendError> {
         let label = SolveBackend::<S>::label(self);
         if batch.is_empty() {
-            return Ok(empty_report(label, self.strategy));
+            return Ok(empty_report(label, self.strategy, solver));
         }
         let alpha = fixed_alpha(solver, "PipelinedBackend")?;
         let (variant, effective) = self.strategy.gpu_variant(batch.order(), batch.dim());
@@ -543,6 +559,7 @@ impl<S: Scalar> SolveBackend<S> for PipelinedBackend {
         let batch_report = BatchReport {
             backend: label,
             kernel: effective.name().to_string(),
+            solver: solver.name().to_string(),
             results: result.results,
             total_iterations,
             seconds: report.seconds,

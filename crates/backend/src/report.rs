@@ -92,6 +92,9 @@ pub struct BatchReport<S> {
     pub backend: String,
     /// Kernel strategy actually in effect (after shape fallback).
     pub kernel: String,
+    /// Solver that produced the eigenpairs (e.g. `sshopm`, `geap`,
+    /// `qrst`).
+    pub solver: String,
     /// Per-tensor, per-start eigenpairs: `results[t][v]`.
     pub results: Vec<Vec<Eigenpair<S>>>,
     /// Total SS-HOPM iterations across all solves.
@@ -162,6 +165,7 @@ impl<S: Scalar> BatchReport<S> {
     /// every backend's report carries p50/p90/p99 chunk latencies.
     pub fn run_report(&self) -> RunReport {
         let mut report = RunReport::new(self.backend.clone(), self.kernel.clone());
+        report.solver = self.solver.clone();
         report.workload = WorkloadStats {
             num_tensors: self.num_tensors() as u64,
             num_starts: self.num_starts() as u64,
@@ -236,6 +240,7 @@ mod tests {
         let report = BatchReport {
             backend: "cpu:4".to_string(),
             kernel: "general".to_string(),
+            solver: "sshopm".to_string(),
             results: vec![
                 vec![pair(2.0, true), pair(1.0, false)],
                 vec![pair(0.5, true), pair(0.25, true)],
@@ -263,6 +268,7 @@ mod tests {
         let report: BatchReport<f64> = BatchReport {
             backend: "cpu".to_string(),
             kernel: "general".to_string(),
+            solver: "sshopm".to_string(),
             results: Vec::new(),
             total_iterations: 0,
             seconds: 0.0,

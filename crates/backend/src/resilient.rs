@@ -47,7 +47,7 @@ use gpusim::{
     StreamId, StreamQueue, TransferModel, BACKOFF_BASE_SECONDS, WATCHDOG_TIMEOUT_SECONDS,
 };
 use sshopm::batch::BatchSolver;
-use sshopm::{Eigenpair, SsHopm};
+use sshopm::{Eigenpair, Solver};
 use symtensor::{flops, Scalar, TensorBatch};
 use telemetry::Telemetry;
 
@@ -174,12 +174,12 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
         &self,
         batch: &TensorBatch<S>,
         starts: &[Vec<S>],
-        solver: &SsHopm,
+        solver: &dyn Solver<S>,
         telemetry: &Telemetry,
     ) -> Result<BatchReport<S>, BackendError> {
         let label = SolveBackend::<S>::label(self);
         if batch.is_empty() {
-            return Ok(empty_report(label, self.strategy));
+            return Ok(empty_report(label, self.strategy, solver));
         }
         if starts.is_empty() {
             return Err(gpusim::GpuError::EmptyStarts.into());
@@ -362,7 +362,7 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
                                 // CPU from the pristine arena slice — same
                                 // kernels, bit-identical eigenpairs.
                                 let started = std::time::Instant::now();
-                                let cpu = BatchSolver::new(*solver).solve_sequential(
+                                let cpu = BatchSolver::new(solver).solve_sequential(
                                     &*cpu_kernels,
                                     chunk.slice(j..j + 1),
                                     starts,
@@ -416,7 +416,7 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
                 log.failovers += 1;
                 log.degraded = true;
                 let started = std::time::Instant::now();
-                let cpu = BatchSolver::new(*solver).solve_sequential(&*cpu_kernels, chunk, starts);
+                let cpu = BatchSolver::new(solver).solve_sequential(&*cpu_kernels, chunk, starts);
                 cpu_seconds += started.elapsed().as_secs_f64();
                 total_iterations += cpu.total_iterations;
                 useful_flops += cpu.total_iterations * iter_flops;
@@ -457,6 +457,7 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
         let report = BatchReport {
             backend: label,
             kernel: effective.name().to_string(),
+            solver: solver.name().to_string(),
             results,
             total_iterations,
             seconds: wall,

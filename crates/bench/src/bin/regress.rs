@@ -9,6 +9,9 @@
 //! schema-versioned summary to `BENCH_regress.json`, and compares it
 //! against the committed baseline (default
 //! `benchmarks/baselines/<suite>.json`). Exits nonzero on regression.
+//! Alongside the matrix it runs the solver comparison (`sshopm`, `geap`,
+//! `qrst` on one shared workload; iteration counts are the deterministic
+//! metric) and writes it to `BENCH_solvers.json`.
 //!
 //! * `--quick` — the small CI perf-smoke suite (default: full).
 //! * `--tolerance X` — scale both tolerance bands (1.0 = committed).
@@ -16,7 +19,7 @@
 //! * `--validate-baselines` — schema-check every committed baseline
 //!   under `benchmarks/baselines/` without running anything.
 
-use bench::regress::{baseline_from_run, compare, run_matrix, validate_baseline};
+use bench::regress::{baseline_from_run, compare, run_matrix, run_solvers, validate_baseline};
 use serde::Value;
 use std::process::ExitCode;
 
@@ -139,6 +142,9 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     println!("wrote {}", opts.out);
+
+    let solvers = run_solvers(opts.quick, opts.seed);
+    bench::write_bench_json("solvers", &solvers);
 
     if opts.update {
         let baseline = baseline_from_run(&run);

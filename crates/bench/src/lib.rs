@@ -5,7 +5,7 @@
 use backend::{BackendSpec, BatchReport, GpuSimBackend, KernelStrategy, SolveBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sshopm::{IterationPolicy, Shift, SsHopm};
+use sshopm::{IterationPolicy, Shift, Solver, SsHopm};
 use telemetry::Telemetry;
 
 use symtensor::{flops, TensorBatch};
@@ -139,11 +139,22 @@ pub fn run_on(
     alpha: f64,
 ) -> BatchReport<f32> {
     let solver = SsHopm::new(Shift::Fixed(alpha)).with_policy(policy);
+    run_on_solver(backend, workload, &solver)
+}
+
+/// Run the workload through any backend with an arbitrary [`Solver`] —
+/// the solver-generic entry point used by the `solvers` regression
+/// scenario (`BENCH_solvers.json`).
+pub fn run_on_solver(
+    backend: &dyn SolveBackend<f32>,
+    workload: &Workload,
+    solver: &dyn Solver<f32>,
+) -> BatchReport<f32> {
     backend
         .solve_batch(
             &workload.tensors,
             &workload.starts,
-            &solver,
+            solver,
             &Telemetry::disabled(),
         )
         .expect("benchmark workloads are well-formed")

@@ -18,13 +18,14 @@
 //! `BENCH_regress.json`; `--update-baselines` refreshes the committed
 //! baseline from the current run instead.
 
-use crate::{bench_metadata, bench_policy, paper, run_on, Workload};
+use crate::{bench_metadata, bench_policy, paper, run_on, run_on_solver, Workload};
 use backend::{
     CpuSequential, GpuSimBackend, KernelStrategy, MultiGpuBackend, PipelinedBackend,
     ResilientBackend, SolveBackend,
 };
 use gpusim::{DeviceSpec, FaultPlan, TransferModel};
 use serde::Value;
+use sshopm::{IterationPolicy, Shift, SolverSpec};
 
 /// Schema version stamped into every regress run and baseline file.
 pub const REGRESS_SCHEMA_VERSION: u64 = 1;
@@ -215,6 +216,88 @@ pub fn run_matrix(quick: bool, seed: u64) -> Value {
         ("num_tensors", Value::UInt(t as u64)),
         ("num_starts", Value::UInt(v as u64)),
         ("metadata", bench_metadata("regress")),
+        ("scenarios", Value::Map(scenarios)),
+    ])
+}
+
+/// The solver specs exercised by the `solvers` scenario document
+/// (`BENCH_solvers.json`): the paper's fixed-shift SS-HOPM plus both
+/// adaptive alternatives behind `--solver`.
+pub const SOLVER_KEYS: [&str; 3] = ["sshopm", "geap", "qrst"];
+
+/// Convergence tolerance for the `solvers` scenario. Looser than the
+/// library default so iteration counts stay modest in `f32`.
+const SOLVER_SCENARIO_TOL: f64 = 1e-6;
+
+/// Iteration cap for the `solvers` scenario.
+const SOLVER_SCENARIO_MAX_ITERS: usize = 200;
+
+/// Run one solver over `workload` on the sequential CPU reference
+/// backend under a convergence policy, so the total iteration count —
+/// a pure function of the workload and the solver's shift strategy —
+/// becomes the scenario's deterministic metric.
+pub fn run_solver_scenario(key: &'static str, workload: &Workload) -> ScenarioResult {
+    let solver = SolverSpec::parse(key)
+        .expect("static solver keys parse")
+        .build::<f32>(
+            Shift::Fixed(paper::ALPHA),
+            IterationPolicy::Converge {
+                tol: SOLVER_SCENARIO_TOL,
+                max_iters: SOLVER_SCENARIO_MAX_ITERS,
+            },
+        );
+    let backend = CpuSequential::new(KernelStrategy::General);
+    let report = run_on_solver(&backend, workload, &*solver);
+    let solves = report.results.iter().map(Vec::len).sum::<usize>() as u64;
+    let converged = report
+        .results
+        .iter()
+        .flatten()
+        .filter(|pair| pair.converged)
+        .count() as u64;
+    ScenarioResult {
+        key,
+        metrics: vec![
+            (
+                "total_iterations",
+                report.total_iterations as f64,
+                MetricClass::Deterministic,
+            ),
+            (
+                "mean_iterations",
+                report.total_iterations as f64 / solves.max(1) as f64,
+                MetricClass::Deterministic,
+            ),
+            ("converged", converged as f64, MetricClass::Deterministic),
+            ("seconds", report.seconds, MetricClass::Measured),
+        ],
+    }
+}
+
+/// Run every solver in [`SOLVER_KEYS`] over one shared workload and
+/// return the schema-versioned document written to `BENCH_solvers.json`.
+/// The shape matches the regress matrix so [`validate_baseline`] and
+/// [`compare`] apply unchanged.
+pub fn run_solvers(quick: bool, seed: u64) -> Value {
+    let (t, v) = if quick { (16, 8) } else { (64, 16) };
+    let workload = Workload::random(t, v, paper::M, paper::N, seed);
+    let scenarios: Vec<(String, Value)> = SOLVER_KEYS
+        .iter()
+        .map(|key| {
+            let result = run_solver_scenario(key, &workload);
+            (result.key.to_owned(), scenario_to_value(&result))
+        })
+        .collect();
+    Value::object(vec![
+        ("schema_version", Value::UInt(REGRESS_SCHEMA_VERSION)),
+        (
+            "suite",
+            Value::Str(if quick { "quick" } else { "full" }.to_owned()),
+        ),
+        ("seed", Value::UInt(seed)),
+        ("num_tensors", Value::UInt(t as u64)),
+        ("num_starts", Value::UInt(v as u64)),
+        ("metadata", bench_metadata("solvers")),
         ("scenarios", Value::Map(scenarios)),
     ])
 }
@@ -450,6 +533,35 @@ mod tests {
             regressions.iter().any(|r| r.contains("(deterministic)")),
             "{regressions:?}"
         );
+    }
+
+    #[test]
+    fn solver_matrix_validates_and_reproduces() {
+        let a = run_solvers(true, 11);
+        assert!(
+            validate_baseline(&a).is_empty(),
+            "{:?}",
+            validate_baseline(&a)
+        );
+        for key in SOLVER_KEYS {
+            let metrics = metrics_of(&a, key).expect("solver scenario present");
+            let iters = metrics
+                .iter()
+                .find(|(n, _)| n == "total_iterations")
+                .and_then(|(_, m)| m.get("value"))
+                .and_then(Value::as_f64)
+                .expect("iteration metric present");
+            assert!(iters > 0.0, "{key}: no iterations recorded");
+        }
+        // Iteration counts are pure functions of the workload: rerunning
+        // with the same seed must compare clean even with a tight band.
+        let b = run_solvers(true, 11);
+        let regressions = compare(&a, &baseline_from_run(&b), 0.1);
+        let deterministic: Vec<&String> = regressions
+            .iter()
+            .filter(|r| r.contains("(deterministic)"))
+            .collect();
+        assert!(deterministic.is_empty(), "{deterministic:?}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use backend::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sshopm::{spectrum_from_pairs, DedupConfig, IterationPolicy, Shift, SsHopm};
+use sshopm::{spectrum_from_pairs, DedupConfig, IterationPolicy, Shift, SolverSpec, SsHopm};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use symtensor::io::{read_tensor_batch, write_tensor_batch};
@@ -43,6 +43,25 @@ fn parse_shift(s: Option<&str>) -> Result<Shift, CmdError> {
             .parse::<f64>()
             .map(Shift::Fixed)
             .map_err(|_| CmdError(format!("invalid --shift {v:?}"))),
+    }
+}
+
+/// Parse `--solver` (default `sshopm`) into a [`SolverSpec`]; the parse
+/// error already names the valid alternatives.
+fn parse_solver(args: &Args) -> Result<SolverSpec, CmdError> {
+    Ok(SolverSpec::parse(args.get("solver").unwrap_or("sshopm"))?)
+}
+
+/// Reject CPU-only solvers on GPU-simulated backends with a clean error,
+/// mirroring [`gpu_shift`]: the kernel model stages only the fixed-shift
+/// SS-HOPM iteration on-device.
+fn gpu_solver(solver: SolverSpec) -> Result<(), CmdError> {
+    match solver {
+        SolverSpec::SsHopm { .. } => Ok(()),
+        other => Err(CmdError(format!(
+            "--solver {other} is CPU-only: gpusim backends stage only the fixed-shift \
+             sshopm iteration on-device; use --backend cpu for geap/qrst"
+        ))),
     }
 }
 
@@ -237,6 +256,7 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) ->
         &[
             "starts",
             "shift",
+            "solver",
             "tol",
             "seed",
             "backend",
@@ -253,16 +273,27 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) ->
     let starts_count: usize = args.get_parsed("starts", 32)?;
     let tol: f64 = args.get_parsed("tol", 1e-12)?;
     let mut shift = parse_shift(args.get("shift"))?;
+    let solver_spec = parse_solver(&args)?;
     let refine = args.flag("refine");
     let show_all = args.flag("all");
     let (spec, backend) = parse_backend(&args)?;
     if spec.is_gpu() {
         shift = gpu_shift(args.get("shift"), shift)?;
+        gpu_solver(solver_spec)?;
     }
 
     let tensors = load_batch(path)?;
     let _cmd_span = telemetry.span("cli.solve");
-    let solver = SsHopm::new(shift).with_tolerance(tol);
+    // The same Converge policy SsHopm::new().with_tolerance() produced
+    // before solver selection existed, so the default spec is bitwise
+    // identical to the pre-trait path.
+    let solver = solver_spec.build::<f64>(
+        shift,
+        IterationPolicy::Converge {
+            tol,
+            max_iters: 1000,
+        },
+    );
 
     // The file format guarantees one shape per batch, so the whole file is
     // a single homogeneous arena: one batched solve through the backend.
@@ -273,7 +304,7 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) ->
         let mut rng = StdRng::seed_from_u64(args.get_parsed("seed", 0)?);
         sshopm::starts::random_gaussian_starts::<f64, _>(n, starts_count, &mut rng)
     };
-    let (report, run) = backend.solve_batch_with_report(&tensors, &starts, &solver, telemetry)?;
+    let (report, run) = backend.solve_batch_with_report(&tensors, &starts, &*solver, telemetry)?;
     telemetry.counter("solve.tensors", tensors.len() as u64);
     let mut summaries = vec![report.summary()];
     if !report.fault_log.injected.is_empty() || report.fault_log.degraded {
@@ -386,6 +417,7 @@ fn inner_fibers(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
             "starts",
             "max-fibers",
             "shift",
+            "solver",
             "backend",
             "kernel",
             "faults",
@@ -403,13 +435,16 @@ fn inner_fibers(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
         None => dwmri::ExtractConfig::default().shift,
         Some(_) => parse_shift(args.get("shift"))?,
     };
+    let solver = parse_solver(&args)?;
     if spec.is_gpu() {
         shift = gpu_shift(args.get("shift"), shift)?;
+        gpu_solver(solver)?;
     }
     let cfg = dwmri::ExtractConfig {
         num_starts: args.get_parsed("starts", 64)?,
         max_fibers: args.get_parsed("max-fibers", 3)?,
         shift,
+        solver,
         ..Default::default()
     };
     if !tensors.is_empty() && tensors.dim() != 3 {
@@ -744,8 +779,8 @@ fn inner_report(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -
     let args = Args::parse(
         argv,
         &[
-            "tensors", "m", "n", "starts", "iters", "seed", "shift", "backend", "kernel", "faults",
-            "retry", "streams", "format", "out",
+            "tensors", "m", "n", "starts", "iters", "seed", "shift", "solver", "backend", "kernel",
+            "faults", "retry", "streams", "format", "out",
         ],
         &["failover", "pipeline"],
     )?;
@@ -763,8 +798,10 @@ fn inner_report(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -
     };
     let (spec, backend) = parse_backend(&args)?;
     let mut shift = parse_shift(args.get("shift"))?;
+    let solver_spec = parse_solver(&args)?;
     if spec.is_gpu() {
         shift = gpu_shift(args.get("shift"), shift)?;
+        gpu_solver(solver_spec)?;
     }
     let starts_count: usize = args.get_parsed("starts", 32)?;
     let iters: usize = args.get_parsed("iters", 20)?;
@@ -774,9 +811,9 @@ fn inner_report(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -
     } else {
         sshopm::starts::random_gaussian_starts::<f64, _>(n, starts_count, &mut rng)
     };
-    let solver = SsHopm::new(shift).with_policy(IterationPolicy::Fixed(iters));
+    let solver = solver_spec.build::<f64>(shift, IterationPolicy::Fixed(iters));
     let _span = telemetry.span("cli.report");
-    let (_batch, run) = backend.solve_batch_with_report(&tensors, &starts, &solver, telemetry)?;
+    let (_batch, run) = backend.solve_batch_with_report(&tensors, &starts, &*solver, telemetry)?;
     let format = args.get("format").unwrap_or("text");
     let mut rendered = render_run_report(&run, format)?;
     if !rendered.ends_with('\n') {
@@ -1166,6 +1203,77 @@ mod tests {
         let err = solve(sv(&[&path, "--backend", "cpu:"]), &mut out).unwrap_err();
         assert!(err.contains("thread count"), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_solver_flag_routes_geap_and_qrst() {
+        let path = tmp("solvesolver.txt");
+        let mut out = Vec::new();
+        random(
+            sv(&["4", "3", "2", "--out", &path, "--seed", "11"]),
+            &mut out,
+        )
+        .unwrap();
+        for solver in ["geap", "qrst", "sshopm:1.5"] {
+            let mut out = Vec::new();
+            solve(sv(&[&path, "--starts", "8", "--solver", solver]), &mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            assert!(text.contains("tensor 0:"), "{solver}: {text}");
+            assert!(text.contains("lambda"), "{solver}: {text}");
+        }
+        // A malformed solver spec is a clean error naming the grammar.
+        let mut out = Vec::new();
+        let err = solve(sv(&[&path, "--solver", "newton"]), &mut out).unwrap_err();
+        assert!(err.contains("sshopm[:alpha]"), "{err}");
+        // Adaptive solvers on GPU backends are clean errors, like --shift.
+        let mut out = Vec::new();
+        let err = solve(
+            sv(&[&path, "--backend", "gpusim", "--solver", "geap"]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.contains("CPU-only"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fibers_solver_flag_accepts_qrst() {
+        let path = tmp("fibsolver.txt");
+        let mut out = Vec::new();
+        phantom(
+            sv(&["--out", &path, "--width", "2", "--height", "2"]),
+            &mut out,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        fibers(sv(&[&path, "--starts", "16", "--solver", "qrst"]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("summary: 4 voxels"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn report_json_carries_solver_name() {
+        let mut out = Vec::new();
+        report(
+            sv(&[
+                "--tensors",
+                "4",
+                "--starts",
+                "4",
+                "--iters",
+                "3",
+                "--solver",
+                "geap",
+                "--format",
+                "json",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let run = telemetry::RunReport::parse_json(&text).unwrap();
+        assert_eq!(run.solver, "geap");
     }
 
     #[test]

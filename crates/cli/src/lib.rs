@@ -4,12 +4,12 @@
 //!
 //! * `random <m> <n> <count> --out FILE [--seed S]` — generate tensors;
 //! * `info <file>` — shape/count summary of a tensor file;
-//! * `solve <file> [--backend B] [--kernel K] [--starts N]
+//! * `solve <file> [--backend B] [--kernel K] [--solver V] [--starts N]
 //!   [--shift convex|concave|adaptive|FLOAT] [--tol T] [--refine]` —
 //!   eigenpairs per tensor, batched through any execution backend;
 //! * `phantom --out FILE [--width W --height H --noise X --seed S]` —
 //!   DW-MRI phantom tensors;
-//! * `fibers <file> [--backend B] [--kernel K] [--starts N]
+//! * `fibers <file> [--backend B] [--kernel K] [--solver V] [--starts N]
 //!   [--max-fibers K]` — fiber directions;
 //! * `gpu <file> [--starts N] [--variant general|unrolled] [--devices K]
 //!   [--iters I]` — batched solve on the simulated GPU;
@@ -33,7 +33,10 @@
 //! fallback). Every batched solve runs through the same
 //! [`backend::SolveBackend`] trait, so CPU and simulated-GPU runs print
 //! directly comparable summaries. The simulated GPU supports only fixed
-//! numeric shifts.
+//! numeric shifts. `--solver` takes a [`sshopm::SolverSpec`] string —
+//! `sshopm` (default), `sshopm:ALPHA` (pinned fixed shift), `geap`
+//! (adaptive projected-Hessian shift), or `qrst` (orthogonal-similarity
+//! QR iteration); `geap`/`qrst` are CPU-only.
 //!
 //! Global options, accepted before or after the subcommand:
 //!
@@ -180,14 +183,14 @@ pub fn usage() -> String {
      commands:\n\
      \x20 random <m> <n> <count> --out FILE [--seed S]\n\
      \x20 info <file>\n\
-     \x20 solve <file> [--backend B] [--kernel K] [--starts N] [--shift convex|concave|adaptive|FLOAT] [--tol T] [--seed S] [--refine] [--all] [--pipeline] [--streams K]\n\
+     \x20 solve <file> [--backend B] [--kernel K] [--solver V] [--starts N] [--shift convex|concave|adaptive|FLOAT] [--tol T] [--seed S] [--refine] [--all] [--pipeline] [--streams K]\n\
      \x20 phantom --out FILE [--width W] [--height H] [--noise X] [--seed S]\n\
-     \x20 fibers <file> [--backend B] [--kernel K] [--shift ...] [--starts N] [--max-fibers K] [--pipeline] [--streams K]\n\
+     \x20 fibers <file> [--backend B] [--kernel K] [--solver V] [--shift ...] [--starts N] [--max-fibers K] [--pipeline] [--streams K]\n\
      \x20 decompose <file> [--terms K] [--starts N] [--tol T]\n\
      \x20 tract <file> --width W [--height H] [--starts N] [--seeds K]\n\
      \x20 gpu <file> [--starts N] [--variant general|unrolled] [--devices K] [--iters I] [--seed S]\n\
      \x20 profile [file] [--tensors T] [--m M] [--n N] [--starts N] [--variant general|unrolled] [--iters I] [--device c1060|c2050|gtx580] [--seed S] [--pipeline] [--streams K]\n\
-     \x20 report [file] [--tensors T] [--m M] [--n N] [--starts N] [--iters I] [--backend B] [--kernel K] [--format text|json|prom] [--out PATH] [--seed S]\n\
+     \x20 report [file] [--tensors T] [--m M] [--n N] [--starts N] [--iters I] [--backend B] [--kernel K] [--solver V] [--format text|json|prom] [--out PATH] [--seed S]\n\
      \x20 help\n\
      global options:\n\
      \x20 --verbose            print a telemetry summary after the command\n\
@@ -207,6 +210,10 @@ pub fn usage() -> String {
      \x20 device (default 2) and prints the resolved event-timeline summary.\n\
      \x20 --kernel K picks how contractions are computed: general, blocked,\n\
      \x20 precomputed, unrolled (auto-fallback for unavailable shapes).\n\
+     \x20 --solver V picks the per-tensor eigen-iteration: sshopm (default),\n\
+     \x20 sshopm:ALPHA (pinned fixed shift), geap (adaptive projected-Hessian\n\
+     \x20 shift), qrst (orthogonal-similarity QR iteration). geap and qrst\n\
+     \x20 are CPU-only.\n\
      \x20 report emits the unified run report (throughput, fault rates,\n\
      \x20 p50/p90/p99 latency histograms) as text, JSON, or Prometheus text\n\
      \x20 exposition; solve and fibers take --report-out PATH and\n\
@@ -363,6 +370,10 @@ mod tests {
             "--seed S",
             "--backend B",
             "--kernel K",
+            "--solver V",
+            "sshopm:ALPHA",
+            "geap",
+            "qrst",
             "gpusim:<device>[:count]",
             "pipelined[:device][:count]",
             "--pipeline",

@@ -8,7 +8,10 @@
 
 use crate::fiber::Dir3;
 use backend::SolveBackend;
-use sshopm::{multistart, spectrum_from_pairs, DedupConfig, Shift, Spectrum, SsHopm, Stability};
+use sshopm::solver::IterationPolicy;
+use sshopm::{
+    multistart, spectrum_from_pairs, DedupConfig, Shift, Solver, SolverSpec, Spectrum, Stability,
+};
 use symtensor::{SymTensorRef, TensorBatch};
 use telemetry::Telemetry;
 
@@ -17,8 +20,12 @@ use telemetry::Telemetry;
 pub struct ExtractConfig {
     /// Starting vectors per tensor (the paper uses 128).
     pub num_starts: usize,
+    /// Which eigen-iteration to run per voxel (`sshopm` by default;
+    /// `geap`/`qrst` trade iteration cost for basin coverage).
+    pub solver: SolverSpec,
     /// SS-HOPM shift policy. The paper uses `α = 0` for its clean synthetic
-    /// set; `Shift::Convex` is the safe default for noisy data.
+    /// set; `Shift::Convex` is the safe default for noisy data. Ignored by
+    /// solvers that pick their own shift (`geap`, `qrst`).
     pub shift: Shift,
     /// Convergence tolerance on the eigenvalue.
     pub tol: f64,
@@ -35,6 +42,7 @@ impl Default for ExtractConfig {
     fn default() -> Self {
         Self {
             num_starts: 128,
+            solver: SolverSpec::default(),
             shift: Shift::Convex,
             tol: 1e-10,
             max_iters: 1000,
@@ -83,7 +91,7 @@ pub fn extract_fibers<'a>(
     assert_eq!(tensor.dim(), 3, "fiber extraction is for 3D tensors");
     let starts = sshopm::starts::fibonacci_sphere::<f64>(cfg.num_starts);
     let solver = extraction_solver(cfg);
-    let spectrum = multistart(&solver, tensor, &starts, &DedupConfig::default(), 1e-5);
+    let spectrum = multistart(&*solver, tensor, &starts, &DedupConfig::default(), 1e-5);
     spectrum_to_fibers(&spectrum, cfg)
 }
 
@@ -128,7 +136,7 @@ pub fn extract_fibers_reported(
     );
     let starts = sshopm::starts::fibonacci_sphere::<f64>(cfg.num_starts);
     let solver = extraction_solver(cfg);
-    let report = backend.solve_batch(tensors, &starts, &solver, telemetry)?;
+    let report = backend.solve_batch(tensors, &starts, &*solver, telemetry)?;
     // The per-start pairs stay inside the report (its workload/throughput
     // accounting is derived from `results`); each voxel's pairs are cloned
     // once into the dedup pass.
@@ -145,10 +153,14 @@ pub fn extract_fibers_reported(
     Ok((fibers, report))
 }
 
-fn extraction_solver(cfg: &ExtractConfig) -> SsHopm {
-    SsHopm::new(cfg.shift)
-        .with_tolerance(cfg.tol)
-        .with_max_iters(cfg.max_iters)
+fn extraction_solver(cfg: &ExtractConfig) -> Box<dyn Solver<f64>> {
+    cfg.solver.build(
+        cfg.shift,
+        IterationPolicy::Converge {
+            tol: cfg.tol,
+            max_iters: cfg.max_iters,
+        },
+    )
 }
 
 /// Shared back half of fiber extraction: local maxima of the deduplicated
@@ -335,6 +347,109 @@ mod tests {
         let snap = telemetry.snapshot();
         assert_eq!(snap.counter("batch.tensors_done"), Some(1));
         assert_eq!(snap.counter("batch.solves"), Some(128));
+    }
+
+    #[test]
+    fn qrst_covers_eigenpairs_fixed_shift_sshopm_misses() {
+        // On a crossing-fiber voxel the fitted order-4 form has, besides
+        // the two fiber maxima, a through-plane eigenpair along ±z (the
+        // transverse diffusivity, λ ≈ 0.3). A shifted power iteration can
+        // only converge to local maxima, so fixed-shift SS-HOPM never
+        // reports it — but QRST validates every column of its rotating
+        // basis and surfaces it from some starts.
+        let truth = FiberConfig::crossing_at_angle(75.0f64.to_radians());
+        let tensor = fit_config(&truth);
+        let starts = sshopm::starts::fibonacci_sphere::<f64>(32);
+        let policy = IterationPolicy::Converge {
+            tol: 1e-10,
+            max_iters: 1000,
+        };
+        let spectrum = |spec: &str| {
+            let solver = SolverSpec::parse(spec)
+                .unwrap()
+                .build::<f64>(Shift::Fixed(0.0), policy);
+            multistart(&*solver, &tensor, &starts, &DedupConfig::default(), 1e-5)
+        };
+
+        let fixed = spectrum("sshopm");
+        let qrst = spectrum("qrst");
+
+        // Both find the two crossing maxima (λ ≈ 1.0036).
+        for s in [&fixed, &qrst] {
+            let maxima = s
+                .entries
+                .iter()
+                .filter(|e| e.stability == Stability::NegativeStable && e.pair.lambda > 1.0)
+                .count();
+            assert_eq!(maxima, 2, "expected both fiber maxima");
+        }
+
+        // The through-plane eigenpair is invisible to the fixed-shift
+        // power iteration...
+        let through_plane = |s: &Spectrum<f64>| {
+            s.entries
+                .iter()
+                .filter(|e| e.pair.lambda < 0.5 && e.pair.x[2].abs() > 0.99)
+                .count()
+        };
+        assert_eq!(through_plane(&fixed), 0, "power iteration found a minimum?");
+        // ...but QRST recovers it.
+        assert!(
+            through_plane(&qrst) >= 1,
+            "qrst should surface the through-plane eigenpair: {:#?}",
+            qrst.entries
+                .iter()
+                .map(|e| (e.pair.lambda, e.pair.x.clone()))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn geap_matches_convex_sshopm_maxima_with_fewer_iterations() {
+        // GEAP's per-iterate projected-Hessian shift reaches the same
+        // local maxima as convexly-shifted SS-HOPM but without the
+        // worst-case-sized constant shift slowing every step.
+        let truth = FiberConfig::crossing_at_angle(75.0f64.to_radians());
+        let tensor = fit_config(&truth);
+        let starts = sshopm::starts::fibonacci_sphere::<f64>(32);
+        let policy = IterationPolicy::Converge {
+            tol: 1e-10,
+            max_iters: 1000,
+        };
+        let run = |spec: &str| {
+            let solver = SolverSpec::parse(spec)
+                .unwrap()
+                .build::<f64>(Shift::Convex, policy);
+            let s = multistart(&*solver, &tensor, &starts, &DedupConfig::default(), 1e-5);
+            let iters: usize = s
+                .entries
+                .iter()
+                .map(|e| e.pair.iterations * e.basin_count)
+                .sum();
+            (s, iters)
+        };
+        let (convex, convex_iters) = run("sshopm");
+        let (geap, geap_iters) = run("geap");
+
+        let maxima = |s: &Spectrum<f64>| {
+            let mut lambdas: Vec<f64> = s
+                .entries
+                .iter()
+                .filter(|e| e.stability == Stability::NegativeStable)
+                .map(|e| e.pair.lambda)
+                .collect();
+            lambdas.sort_by(f64::total_cmp);
+            lambdas
+        };
+        let (want, got) = (maxima(&convex), maxima(&geap));
+        assert_eq!(want.len(), got.len(), "{want:?} vs {got:?}");
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() < 1e-8, "{w} vs {g}");
+        }
+        assert!(
+            geap_iters * 2 < convex_iters,
+            "geap took {geap_iters} iterations vs convex sshopm's {convex_iters}"
+        );
     }
 
     #[test]

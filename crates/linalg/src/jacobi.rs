@@ -108,7 +108,7 @@ impl SymmetricEigen {
 
     fn sorted(m: Matrix, v: Matrix, n: usize) -> Self {
         let mut idx: Vec<usize> = (0..n).collect();
-        idx.sort_by(|&a, &b| m[(a, a)].partial_cmp(&m[(b, b)]).unwrap());
+        idx.sort_by(|&a, &b| m[(a, a)].total_cmp(&m[(b, b)]));
         let eigenvalues: Vec<f64> = idx.iter().map(|&i| m[(i, i)]).collect();
         let eigenvectors = Matrix::from_fn(n, n, |r, c| v[(r, idx[c])]);
         Self {
@@ -124,7 +124,7 @@ impl SymmetricEigen {
 
     /// Largest eigenvalue.
     pub fn max(&self) -> f64 {
-        *self.eigenvalues.last().expect("non-empty spectrum")
+        self.eigenvalues[self.eigenvalues.len() - 1]
     }
 
     /// Spectral radius `max |λ|`.

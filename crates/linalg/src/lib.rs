@@ -29,6 +29,7 @@ pub use jacobi::SymmetricEigen;
 pub use lstsq::lstsq;
 pub use lu::Lu;
 pub use matrix::Matrix;
+pub use qr::Qr;
 
 /// Errors from the linear algebra routines.
 #[derive(Debug, Clone, PartialEq, Eq)]

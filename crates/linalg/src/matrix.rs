@@ -38,7 +38,9 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "matrix buffer length");
+        if data.len() != rows * cols {
+            panic!("matrix buffer length {} != {rows}x{cols}", data.len());
+        }
         Self { rows, cols, data }
     }
 

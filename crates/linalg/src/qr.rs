@@ -134,6 +134,45 @@ impl Qr {
         Ok(x)
     }
 
+    /// Apply `Q` to a vector of length `rows` (the stored reflectors in
+    /// reverse order — each Householder factor is its own transpose).
+    fn apply_q(&self, b: &mut [f64]) {
+        for k in (0..self.cols).rev() {
+            if self.betas[k] == 0.0 {
+                continue;
+            }
+            let mut dot = b[k];
+            for i in k + 1..self.rows {
+                dot += self.qr[(i, k)] * b[i];
+            }
+            let w = self.betas[k] * dot;
+            b[k] -= w;
+            for i in k + 1..self.rows {
+                b[i] -= w * self.qr[(i, k)];
+            }
+        }
+    }
+
+    /// The thin orthogonal factor `Q` (`rows × cols`), materialized by
+    /// applying the stored reflectors to identity columns. Needed when the
+    /// caller must rotate by `Q` explicitly (e.g. the QRST tensor
+    /// eigensolver's orthogonal-similarity step) rather than just solve.
+    pub fn q(&self) -> Matrix {
+        let mut q = Matrix::zeros(self.rows, self.cols);
+        let mut col = vec![0.0; self.rows];
+        for j in 0..self.cols {
+            for v in col.iter_mut() {
+                *v = 0.0;
+            }
+            col[j] = 1.0;
+            self.apply_q(&mut col);
+            for i in 0..self.rows {
+                q[(i, j)] = col[i];
+            }
+        }
+        q
+    }
+
     /// The upper-triangular factor `R` (`cols × cols`).
     pub fn r(&self) -> Matrix {
         Matrix::from_fn(self.cols, self.cols, |i, j| {
@@ -206,6 +245,25 @@ mod tests {
         let rtr = r.transpose().matmul(&r).unwrap();
         let ata = a.gram();
         assert!(rtr.max_abs_diff(&ata).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn q_is_orthogonal_and_reconstructs_a() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(12);
+        for (rows, cols) in [(4, 4), (6, 3)] {
+            let a = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0..1.0));
+            let qr = Qr::new(&a).unwrap();
+            let q = qr.q();
+            assert_eq!((q.rows(), q.cols()), (rows, cols));
+            // Q'Q == I.
+            let qtq = q.transpose().matmul(&q).unwrap();
+            assert!(qtq.max_abs_diff(&Matrix::identity(cols)).unwrap() < 1e-12);
+            // Q R == A.
+            let recon = q.matmul(&qr.r()).unwrap();
+            assert!(recon.max_abs_diff(&a).unwrap() < 1e-12);
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! same set of starting vectors (Section V-C: "every thread block can use
 //! the same set of starting vectors").
 
-use crate::solver::{Eigenpair, SsHopm};
+use crate::solver::{Eigenpair, NoopObserver, SsHopm};
+use crate::traits::Solver;
 use rayon::prelude::*;
 use std::time::Instant;
 use symtensor::kernels::{GeneralKernels, TensorKernels};
@@ -39,18 +40,21 @@ impl<S: Scalar> BatchResult<S> {
     }
 }
 
-/// Batched SS-HOPM driver over a set of same-shaped tensors.
+/// Batched eigensolver driver over a set of same-shaped tensors, generic
+/// in the per-tensor iteration `V` (any [`Solver`] — [`SsHopm`] by
+/// default, [`crate::Geap`], [`crate::Qrst`], or a boxed/borrowed trait
+/// object for runtime selection).
 #[derive(Debug, Clone, Copy)]
-pub struct BatchSolver {
-    solver: SsHopm,
+pub struct BatchSolver<V = SsHopm> {
+    solver: V,
     /// Number of worker threads: `1` for the sequential baseline, `k` for
     /// the paper's 4-core / 8-core configurations, `0` for "all cores".
     pub threads: usize,
 }
 
-impl BatchSolver {
-    /// Create a batch driver around a configured [`SsHopm`].
-    pub fn new(solver: SsHopm) -> Self {
+impl<V> BatchSolver<V> {
+    /// Create a batch driver around a configured per-tensor solver.
+    pub fn new(solver: V) -> Self {
         Self { solver, threads: 0 }
     }
 
@@ -59,6 +63,11 @@ impl BatchSolver {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// The per-tensor solver this driver runs.
+    pub fn solver(&self) -> &V {
+        &self.solver
     }
 
     /// The single batched-solve path every substrate-independent caller
@@ -82,7 +91,10 @@ impl BatchSolver {
         batch: impl Into<TensorBatchRef<'a, S>>,
         starts: &[Vec<S>],
         telemetry: &Telemetry,
-    ) -> BatchResult<S> {
+    ) -> BatchResult<S>
+    where
+        V: Solver<S>,
+    {
         let batch = batch.into();
         let _batch_span = telemetry.span("batch.solve");
         if self.threads == 1 {
@@ -132,11 +144,15 @@ impl BatchSolver {
         if self.threads == 0 {
             solve_all()
         } else {
-            let pool = rayon::ThreadPoolBuilder::new()
+            match rayon::ThreadPoolBuilder::new()
                 .num_threads(self.threads)
                 .build()
-                .expect("failed to build rayon pool");
-            pool.install(solve_all)
+            {
+                Ok(pool) => pool.install(solve_all),
+                // Pool creation only fails on resource exhaustion;
+                // degrade to the global pool rather than aborting.
+                Err(_) => solve_all(),
+            }
         }
     }
 
@@ -148,9 +164,15 @@ impl BatchSolver {
         kernels: &K,
         batch: impl Into<TensorBatchRef<'a, S>>,
         starts: &[Vec<S>],
-    ) -> BatchResult<S> {
-        self.with_threads(1)
-            .run(kernels, batch, starts, &Telemetry::disabled())
+    ) -> BatchResult<S>
+    where
+        V: Solver<S>,
+    {
+        BatchSolver {
+            solver: &self.solver,
+            threads: 1,
+        }
+        .run(kernels, batch, starts, &Telemetry::disabled())
     }
 
     /// Solve in parallel over tensors (the paper's OpenMP scheme). Thin
@@ -160,7 +182,10 @@ impl BatchSolver {
         kernels: &K,
         batch: impl Into<TensorBatchRef<'a, S>>,
         starts: &[Vec<S>],
-    ) -> BatchResult<S> {
+    ) -> BatchResult<S>
+    where
+        V: Solver<S>,
+    {
         self.run(kernels, batch, starts, &Telemetry::disabled())
     }
 
@@ -169,7 +194,10 @@ impl BatchSolver {
         &self,
         batch: impl Into<TensorBatchRef<'a, S>>,
         starts: &[Vec<S>],
-    ) -> BatchResult<S> {
+    ) -> BatchResult<S>
+    where
+        V: Solver<S>,
+    {
         self.run(&GeneralKernels, batch, starts, &Telemetry::disabled())
     }
 }
@@ -178,8 +206,8 @@ impl BatchSolver {
 ///
 /// The timing sits at tensor granularity — the disabled path costs one
 /// `is_enabled` branch per tensor, nothing per iteration or per start.
-fn solve_one_tensor<S: Scalar, K: TensorKernels<S> + ?Sized>(
-    solver: &SsHopm,
+fn solve_one_tensor<S: Scalar, V: Solver<S> + ?Sized, K: TensorKernels<S> + ?Sized>(
+    solver: &V,
     kernels: &K,
     a: SymTensorRef<'_, S>,
     starts: &[Vec<S>],
@@ -191,7 +219,7 @@ fn solve_one_tensor<S: Scalar, K: TensorKernels<S> + ?Sized>(
     let mut iters = 0u64;
     let mut converged = 0u64;
     for x0 in starts {
-        let pair = solver.solve_with_scratch(kernels, a, x0, scratch);
+        let pair = solver.solve_one(&kernels, a, x0, &mut NoopObserver, scratch);
         iters += pair.iterations as u64;
         converged += u64::from(pair.converged);
         row.push(pair);

@@ -56,15 +56,20 @@ pub fn classify<'a, S: Scalar>(
 ) -> Stability {
     let a = a.into();
     let n = a.dim();
-    assert_eq!(x.len(), n, "eigenvector length");
+    if x.len() != n {
+        panic!("eigenvector length {} != tensor dimension {n}", x.len());
+    }
     if n == 1 {
         return Stability::Degenerate;
     }
     let m = a.order() as f64;
     let lam = lambda.to_f64();
 
-    // B = (m-1) A x^{m-2} - lambda I  (dense n x n, f64).
-    let axm2 = axm2_matrix(a, x).expect("order >= 2 tensors have a Hessian");
+    // B = (m-1) A x^{m-2} - lambda I (dense n x n, f64). Order-1 tensors
+    // have no Hessian; report them degenerate instead of panicking.
+    let Ok(axm2) = axm2_matrix(a, x) else {
+        return Stability::Degenerate;
+    };
     let mut b = Matrix::from_fn(n, n, |i, j| (m - 1.0) * axm2[i * n + j].to_f64());
     for i in 0..n {
         b[(i, i)] -= lam;
@@ -76,7 +81,13 @@ pub fn classify<'a, S: Scalar>(
         let delta = if i == j { 1.0 } else { 0.0 };
         delta - xf[i] * xf[j]
     });
-    let c = p.matmul(&b).unwrap().matmul(&p).unwrap();
+    // Both products are n x n by construction and cannot mismatch.
+    let Ok(pb) = p.matmul(&b) else {
+        return Stability::Degenerate;
+    };
+    let Ok(c) = pb.matmul(&p) else {
+        return Stability::Degenerate;
+    };
     let eig = match SymmetricEigen::new(&c) {
         Ok(e) => e,
         Err(_) => return Stability::Degenerate,

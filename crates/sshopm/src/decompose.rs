@@ -125,7 +125,12 @@ pub fn decompose<S: Scalar>(
         // Subtract weight * v^{(x)m}.
         let mut term = SymTensor::rank_one(m, &vector);
         term.scale(weight);
-        residual = residual.sub(&term).expect("shapes match");
+        // `rank_one(m, &vector)` has `residual`'s shape by construction,
+        // so the subtraction cannot fail; bail out rather than panic.
+        residual = match residual.sub(&term) {
+            Ok(next) => next,
+            Err(_) => break,
+        };
         terms.push(RankOneTerm {
             weight,
             vector,

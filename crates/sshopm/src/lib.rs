@@ -15,7 +15,12 @@
 //! * [`mod@multistart`] — many starting vectors with eigenpair deduplication,
 //!   for "find all the real eigenpairs you can" workflows;
 //! * [`batch`] — the paper's workload shape: many independent small tensors
-//!   solved in parallel (rayon stands in for the paper's OpenMP loop).
+//!   solved in parallel (rayon stands in for the paper's OpenMP loop);
+//! * [`traits`] — the [`Solver`] abstraction every iteration implements,
+//!   with [`mod@geap`] (adaptive projected-Hessian shifts) and [`mod@qrst`]
+//!   (orthogonal-similarity QR iteration) as alternatives to SS-HOPM,
+//!   selected by a [`SolverSpec`] string (`sshopm[:alpha]`, `geap`,
+//!   `qrst`).
 //!
 //! ```
 //! use symtensor::SymTensor;
@@ -36,20 +41,28 @@
 pub mod batch;
 pub mod classify;
 pub mod decompose;
+pub mod geap;
 pub mod heig;
 pub mod multistart;
+pub mod qrst;
 pub mod refine;
 pub mod shift;
 pub mod solver;
+pub mod spec;
 pub mod starts;
+pub mod traits;
 
 pub use batch::{BatchResult, BatchSolver};
 pub use classify::{classify, Stability};
 pub use decompose::{best_rank_one, decompose, SymCp};
+pub use geap::Geap;
 pub use heig::{nqz, HEigenpair};
 pub use multistart::{multistart, spectrum_from_pairs, DedupConfig, Spectrum, SpectrumEntry};
+pub use qrst::Qrst;
 pub use refine::{refine, Refined};
 pub use shift::Shift;
 pub use solver::{
     Eigenpair, IterationObserver, IterationPolicy, IterationUpdate, NoopObserver, SsHopm,
 };
+pub use spec::{SolverSpec, SolverSpecError};
+pub use traits::Solver;

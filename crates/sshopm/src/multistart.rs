@@ -9,15 +9,19 @@
 //! `(−λ, −x)`.
 
 use crate::classify::{classify, Stability};
-use crate::solver::{Eigenpair, SsHopm};
+use crate::solver::Eigenpair;
+use crate::traits::Solver;
 use symtensor::{Scalar, SymTensorRef};
 
 /// Tolerances used to decide two converged eigenpairs are the same.
 #[derive(Debug, Clone, Copy)]
 pub struct DedupConfig {
-    /// Absolute tolerance on eigenvalues.
+    /// Relative tolerance on eigenvalues: two values match when their
+    /// difference is within `lambda_tol · max(1, |λ₁|, |λ₂|)`, so the
+    /// test is scale-invariant for large spectra and degrades gracefully
+    /// to an absolute test near zero.
     pub lambda_tol: f64,
-    /// Euclidean tolerance on eigenvectors (after sign alignment).
+    /// Euclidean tolerance on (unit) eigenvectors, after sign alignment.
     pub vector_tol: f64,
 }
 
@@ -69,15 +73,20 @@ impl<S: Scalar> Spectrum<S> {
 /// True if `(l1, x1)` and `(l2, x2)` represent the same eigenpair of an
 /// order-`m` tensor, modulo the sign symmetry.
 fn same_pair<S: Scalar>(m: usize, l1: S, x1: &[S], l2: S, x2: &[S], cfg: &DedupConfig) -> bool {
+    // Relative λ tolerance: eigenvalues scale with ‖A‖, so an absolute
+    // test either over-merges small spectra or splits large ones. The
+    // max(1, ·) floor keeps near-zero eigenvalues on an absolute scale.
+    let scale = l1.to_f64().abs().max(l2.to_f64().abs()).max(1.0);
+    let lambda_tol = cfg.lambda_tol * scale;
     let d_direct = vec_dist(x1, x2);
     let d_flipped = vec_dist_neg(x1, x2);
     if m.is_multiple_of(2) {
         // (lambda, x) == (lambda, -x).
-        (l1 - l2).abs().to_f64() <= cfg.lambda_tol && d_direct.min(d_flipped) <= cfg.vector_tol
+        (l1 - l2).abs().to_f64() <= lambda_tol && d_direct.min(d_flipped) <= cfg.vector_tol
     } else {
         // (lambda, x) == itself, and (-lambda, -x) is its mirror.
-        let direct = (l1 - l2).abs().to_f64() <= cfg.lambda_tol && d_direct <= cfg.vector_tol;
-        let mirrored = (l1 + l2).abs().to_f64() <= cfg.lambda_tol && d_flipped <= cfg.vector_tol;
+        let direct = (l1 - l2).abs().to_f64() <= lambda_tol && d_direct <= cfg.vector_tol;
+        let mirrored = (l1 + l2).abs().to_f64() <= lambda_tol && d_flipped <= cfg.vector_tol;
         direct || mirrored
     }
 }
@@ -104,11 +113,11 @@ fn vec_dist_neg<S: Scalar>(a: &[S], b: &[S]) -> f64 {
         .sqrt()
 }
 
-/// Run SS-HOPM from every start in `starts` and collect the deduplicated
-/// spectrum. Unconverged runs are counted but not included. `classify_tol`
-/// is forwarded to [`classify`].
-pub fn multistart<'a, S: Scalar>(
-    solver: &SsHopm,
+/// Run any [`Solver`] from every start in `starts` and collect the
+/// deduplicated spectrum. Unconverged runs are counted but not included.
+/// `classify_tol` is forwarded to [`classify`].
+pub fn multistart<'a, S: Scalar, V: Solver<S> + ?Sized>(
+    solver: &V,
     a: impl Into<SymTensorRef<'a, S>>,
     starts: &[Vec<S>],
     cfg: &DedupConfig,
@@ -117,7 +126,7 @@ pub fn multistart<'a, S: Scalar>(
     let a = a.into();
     spectrum_from_pairs(
         a,
-        starts.iter().map(|x0| solver.solve(a, x0)),
+        starts.iter().map(|x0| solver.solve_pair(a, x0)),
         cfg,
         classify_tol,
     )
@@ -193,6 +202,7 @@ where
 mod tests {
     use super::*;
     use crate::shift::Shift;
+    use crate::solver::SsHopm;
     use crate::starts::{fibonacci_sphere, random_uniform_starts};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -276,6 +286,36 @@ mod tests {
             all
         };
         assert!(both.len() <= 13, "found {} pairs", both.len());
+    }
+
+    #[test]
+    fn lambda_dedup_tolerance_is_relative() {
+        let cfg = DedupConfig::default();
+        let x = vec![0.6f64, 0.8, 0.0];
+        // |Δλ| = 50 but relative to |λ| ≈ 1e9 that is 5e-8 < 1e-6: same.
+        assert!(same_pair(4, 1.0e9, &x, 1.0e9 + 50.0, &x, &cfg));
+        // Near zero the floor keeps the test absolute: 5e-7 < 1e-6 merges,
+        // 5e-6 does not.
+        assert!(same_pair(4, 0.0, &x, 5.0e-7, &x, &cfg));
+        assert!(!same_pair(4, 0.0, &x, 5.0e-6, &x, &cfg));
+        // A genuinely different large eigenvalue still splits.
+        assert!(!same_pair(4, 1.0e9, &x, 1.001e9, &x, &cfg));
+    }
+
+    #[test]
+    fn multistart_accepts_any_solver() {
+        // The driver is generic in the iteration: GEAP through a trait
+        // object must find the dominant local maximum of diag(3, 2, 1)
+        // exactly as SS-HOPM does.
+        let mut a = SymTensor::<f64>::zeros(2, 3);
+        a.set(&[0, 0], 3.0).unwrap();
+        a.set(&[1, 1], 2.0).unwrap();
+        a.set(&[2, 2], 1.0).unwrap();
+        let starts = fibonacci_sphere::<f64>(32);
+        let geap: Box<dyn crate::traits::Solver<f64>> =
+            Box::new(crate::geap::Geap::new().with_tolerance(1e-14));
+        let spectrum = multistart(&*geap, &a, &starts, &DedupConfig::default(), 1e-6);
+        assert!((spectrum.max_lambda().unwrap() - 3.0).abs() < 1e-6);
     }
 
     #[test]

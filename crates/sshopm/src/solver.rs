@@ -291,14 +291,21 @@ impl SsHopm {
     where
         S: Scalar,
         K: TensorKernels<S> + ?Sized,
-        O: IterationObserver<S>,
+        O: IterationObserver<S> + ?Sized,
     {
         let a = a.into();
         let n = a.dim();
-        assert_eq!(x0.len(), n, "starting vector length");
+        if x0.len() != n {
+            panic!(
+                "starting vector length {} != tensor dimension {n}",
+                x0.len()
+            );
+        }
         let mut x = x0.to_vec();
         let nrm = normalize(&mut x);
-        assert!(nrm != S::ZERO, "starting vector must be nonzero");
+        if nrm == S::ZERO {
+            panic!("starting vector must be nonzero");
+        }
 
         let (tol, max_iters) = match self.policy {
             IterationPolicy::Converge { tol, max_iters } => (tol, max_iters),

@@ -69,7 +69,9 @@ fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// # Panics
 /// Panics if `count == 0`.
 pub fn fibonacci_sphere<S: Scalar>(count: usize) -> Vec<Vec<S>> {
-    assert!(count > 0, "need at least one starting vector");
+    if count == 0 {
+        panic!("need at least one starting vector");
+    }
     let golden = (1.0 + 5.0f64.sqrt()) / 2.0;
     (0..count)
         .map(|i| {

@@ -1,0 +1,60 @@
+//! Property tests for the [`SolverSpec`] grammar: every representable
+//! value round-trips through `Display` → `parse`, and malformed strings
+//! produce descriptive errors (naming the valid alternatives) rather
+//! than panics.
+
+use proptest::prelude::*;
+use sshopm::SolverSpec;
+
+fn arb_spec() -> impl Strategy<Value = SolverSpec> {
+    (0usize..4, -1e6f64..1e6).prop_map(|(kind, alpha)| match kind {
+        0 => SolverSpec::SsHopm { alpha: None },
+        1 => SolverSpec::SsHopm { alpha: Some(alpha) },
+        2 => SolverSpec::Geap,
+        _ => SolverSpec::Qrst,
+    })
+}
+
+fn arb_garbage() -> impl Strategy<Value = String> {
+    let charset: Vec<char> = "abcdefghijklmnopqrstuvwxyz0123456789:.-".chars().collect();
+    proptest::collection::vec(proptest::sample::select(charset), 0..16)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_round_trips_for_every_value(spec in arb_spec()) {
+        let rendered = spec.to_string();
+        let back = SolverSpec::parse(&rendered);
+        prop_assert_eq!(back, Ok(spec), "rendered as {}", rendered);
+    }
+
+    #[test]
+    fn canonical_form_is_a_fixed_point(spec in arb_spec()) {
+        let rendered = spec.to_string();
+        let again = SolverSpec::parse(&rendered).unwrap().to_string();
+        prop_assert_eq!(&rendered, &again);
+    }
+
+    #[test]
+    fn explicit_alphas_parse_exactly(alpha in -1e300f64..1e300) {
+        // Rust float formatting is shortest-round-trip, so any finite
+        // alpha must survive spec -> string -> spec bitwise.
+        let spec = SolverSpec::parse(&format!("sshopm:{alpha}")).unwrap();
+        prop_assert_eq!(spec, SolverSpec::SsHopm { alpha: Some(alpha) });
+    }
+
+    #[test]
+    fn arbitrary_garbage_never_panics(s in arb_garbage()) {
+        // Any outcome is fine as long as errors are descriptive Results
+        // that name the valid forms, not panics.
+        if let Err(err) = SolverSpec::parse(&s) {
+            let msg = err.to_string();
+            prop_assert!(msg.contains("sshopm[:alpha]"), "{}", msg);
+            prop_assert!(msg.contains("geap"), "{}", msg);
+            prop_assert!(msg.contains("qrst"), "{}", msg);
+        }
+    }
+}

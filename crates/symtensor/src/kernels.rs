@@ -54,6 +54,20 @@ pub trait TensorKernels<S: Scalar>: Sync {
     }
 }
 
+impl<S: Scalar, K: TensorKernels<S> + ?Sized> TensorKernels<S> for &K {
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
+        (**self).axm(a, x)
+    }
+
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
+        (**self).axm1(a, x, y)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// The paper's Figure 2 / Figure 3 kernels computing index representations
 /// and multinomial coefficients on the fly (no extra storage).
 #[derive(Debug, Clone, Copy, Default)]

@@ -145,6 +145,9 @@ pub struct RunReport {
     pub backend: String,
     /// Kernel strategy in effect (after shape fallback).
     pub kernel: String,
+    /// Solver that produced the results (e.g. `sshopm`, `geap`, `qrst`);
+    /// empty when the producing layer predates solver tagging.
+    pub solver: String,
     /// Batch size and convergence accounting.
     pub workload: WorkloadStats,
     /// Wall-clock and flop-rate accounting.
@@ -539,6 +542,7 @@ impl Serialize for RunReport {
             ("schema_version", Value::UInt(self.schema_version)),
             ("backend", Value::Str(self.backend.clone())),
             ("kernel", Value::Str(self.kernel.clone())),
+            ("solver", Value::Str(self.solver.clone())),
             (
                 "workload",
                 Value::object(vec![
@@ -679,6 +683,7 @@ impl<'de> Deserialize<'de> for RunReport {
             schema_version,
             backend: get_str(value, "backend"),
             kernel: get_str(value, "kernel"),
+            solver: get_str(value, "solver"),
             workload: WorkloadStats {
                 num_tensors: get_u64(workload, "num_tensors"),
                 num_starts: get_u64(workload, "num_starts"),
@@ -707,6 +712,7 @@ mod tests {
 
     fn sample() -> RunReport {
         let mut r = RunReport::new("gpusim:tesla-c2050", "unrolled");
+        r.solver = "sshopm".into();
         r.workload = WorkloadStats {
             num_tensors: 8,
             num_starts: 16,
@@ -755,6 +761,19 @@ mod tests {
         let r = sample();
         let back = RunReport::parse_json(&r.to_json_pretty()).expect("parse");
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn reports_without_a_solver_field_still_parse() {
+        // Baselines written before solver tagging carry no "solver" key;
+        // they must keep parsing with an empty solver string.
+        let mut v = sample().to_value();
+        if let Value::Map(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "solver");
+        }
+        let back = RunReport::from_value(&v).expect("parse");
+        assert_eq!(back.solver, "");
+        assert_eq!(back.backend, "gpusim:tesla-c2050");
     }
 
     #[test]
