@@ -111,6 +111,39 @@ fn cpu_solve_batch<S: Scalar>(
         return Ok(empty_report(label, strategy, solver));
     }
     let (m, n) = (batch.order(), batch.dim());
+    // The batched strategy upgrades fixed-shift SS-HOPM to the lockstep
+    // panel driver (LANE_WIDTH tensors per table walk). Adaptive solvers
+    // keep the scalar per-tensor loop with the same lane-table kernels.
+    if strategy == KernelStrategy::Batched {
+        if let Some(alpha) = sshopm::lockstep_alpha(solver) {
+            let kernels = symtensor::BatchedKernels::new(m, n);
+            let started = Instant::now();
+            let result = sshopm::solve_batch_lockstep(
+                &kernels,
+                batch.view(),
+                starts,
+                alpha,
+                solver.policy(),
+                threads,
+                telemetry,
+            );
+            let seconds = started.elapsed().as_secs_f64();
+            let report = BatchReport {
+                backend: label,
+                kernel: strategy.name().to_string(),
+                solver: solver.name().to_string(),
+                useful_flops: result.total_iterations * flops::sshopm_iter_flops(m, n),
+                results: result.results,
+                total_iterations: result.total_iterations,
+                seconds,
+                profiles: Vec::new(),
+                fault_log: FaultLog::default(),
+                timeline: None,
+            };
+            emit_run_report(telemetry, &report);
+            return Ok(report);
+        }
+    }
     let (kernels, effective) = strategy.resolve::<S>(m, n);
     let started = Instant::now();
     let result = BatchSolver::new(solver)

@@ -334,10 +334,15 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
                             // never the whole chunk.
                             let j = f.tensor_index.unwrap_or(0);
                             let entry = self.plan.ecc_entry(site, num_entries);
-                            let scratch = TensorBatch::from(vec![corrupt_tensor(
-                                &chunk.get(j).to_owned(),
-                                entry,
-                            )]);
+                            let corrupted = corrupt_tensor(&chunk.get(j).to_owned(), entry);
+                            let scratch = match TensorBatch::from_tensors(&[corrupted]) {
+                                Ok(b) => b,
+                                // The tensor came out of a valid batch, so
+                                // its shape cannot overflow the arena stride.
+                                Err(e) => {
+                                    return Err(BackendError(format!("ECC scratch batch: {e}")))
+                                }
+                            };
                             let (pres, preport) = gpusim::enqueue_sshopm(
                                 &mut queue,
                                 stream,

@@ -3,7 +3,9 @@
 
 use crate::spec::BackendError;
 use gpusim::GpuVariant;
-use symtensor::{BlockedKernels, GeneralKernels, PrecomputedTables, Scalar, TensorKernels};
+use symtensor::{
+    BatchedKernels, BlockedKernels, GeneralKernels, PrecomputedTables, Scalar, TensorKernels,
+};
 use unrolled::UnrolledKernels;
 
 /// Which `A·xᵐ` / `A·xᵐ⁻¹` implementation a backend should use.
@@ -23,15 +25,22 @@ pub enum KernelStrategy {
     Precomputed,
     /// Straight-line generated kernels (build.rs `GENERATED_SHAPES` only).
     Unrolled,
+    /// Lane-vectorized kernels over the packed `TensorBatch` arena
+    /// ([`symtensor::BatchedKernels`]). Per-tensor calls share the lane
+    /// tables; fixed-shift SS-HOPM batches additionally run the lockstep
+    /// panel driver that updates [`symtensor::LANE_WIDTH`] tensors per
+    /// table walk.
+    Batched,
 }
 
 impl KernelStrategy {
     /// All strategies, for sweeps and tests.
-    pub const ALL: [KernelStrategy; 4] = [
+    pub const ALL: [KernelStrategy; 5] = [
         KernelStrategy::General,
         KernelStrategy::Blocked,
         KernelStrategy::Precomputed,
         KernelStrategy::Unrolled,
+        KernelStrategy::Batched,
     ];
 
     /// Short name for reports and CLI flags.
@@ -41,19 +50,22 @@ impl KernelStrategy {
             KernelStrategy::Blocked => "blocked",
             KernelStrategy::Precomputed => "precomputed",
             KernelStrategy::Unrolled => "unrolled",
+            KernelStrategy::Batched => "batched",
         }
     }
 
-    /// Parse a CLI token (`general`, `blocked`, `precomputed`, `unrolled`).
+    /// Parse a CLI token (`general`, `blocked`, `precomputed`, `unrolled`,
+    /// `batched`).
     pub fn parse(s: &str) -> Result<Self, BackendError> {
         match s {
             "general" => Ok(KernelStrategy::General),
             "blocked" => Ok(KernelStrategy::Blocked),
             "precomputed" => Ok(KernelStrategy::Precomputed),
             "unrolled" => Ok(KernelStrategy::Unrolled),
+            "batched" => Ok(KernelStrategy::Batched),
             other => Err(BackendError(format!(
                 "unknown kernel strategy {other:?}: expected one of general, blocked, \
-                 precomputed, unrolled"
+                 precomputed, unrolled, batched"
             ))),
         }
     }
@@ -80,12 +92,15 @@ impl KernelStrategy {
                 Some(k) => (Box::new(k), KernelStrategy::Unrolled),
                 None => KernelStrategy::Blocked.resolve(m, n),
             },
+            KernelStrategy::Batched => {
+                (Box::new(BatchedKernels::new(m, n)), KernelStrategy::Batched)
+            }
         }
     }
 
     /// Map the strategy onto a simulated-GPU kernel variant for shape
     /// `(m, n)`. The GPU model only implements the general and unrolled
-    /// variants, so `Blocked`/`Precomputed` run as `General`, and
+    /// variants, so `Blocked`/`Precomputed`/`Batched` run as `General`, and
     /// `Unrolled` falls back to `General` for ungenerated shapes. Returns
     /// the variant and the strategy actually in effect.
     pub fn gpu_variant(self, m: usize, n: usize) -> (GpuVariant, KernelStrategy) {
@@ -150,6 +165,7 @@ mod tests {
             KernelStrategy::General,
             KernelStrategy::Blocked,
             KernelStrategy::Precomputed,
+            KernelStrategy::Batched,
         ] {
             assert_eq!(s.gpu_variant(4, 3).0, GpuVariant::General);
         }

@@ -30,7 +30,7 @@ fn ablation_precomputed_tables(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    axm1(black_box(a.view()), black_box(&x), &mut y);
+                    axm1(black_box(a.view()), black_box(&x), &mut y).unwrap();
                     black_box(y[0])
                 })
             },
@@ -128,14 +128,15 @@ fn ablation_cse(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    TensorKernels::axm1(&plain, black_box(a.view()), black_box(&x), &mut y);
+                    TensorKernels::axm1(&plain, black_box(a.view()), black_box(&x), &mut y)
+                        .unwrap();
                     black_box(y[0])
                 })
             },
         );
         group.bench_with_input(BenchmarkId::new("cse", format!("{m}x{n}")), &(), |b, _| {
             b.iter(|| {
-                TensorKernels::axm1(&cse, black_box(a.view()), black_box(&x), &mut y);
+                TensorKernels::axm1(&cse, black_box(a.view()), black_box(&x), &mut y).unwrap();
                 black_box(y[0])
             })
         });

@@ -89,7 +89,7 @@ fn bench_axm1(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    axm1(black_box(&a), black_box(&x), &mut y);
+                    axm1(black_box(&a), black_box(&x), &mut y).unwrap();
                     black_box(y[0])
                 })
             },
@@ -109,7 +109,8 @@ fn bench_axm1(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    TensorKernels::axm1(&blocked, black_box(a.view()), black_box(&x), &mut y);
+                    TensorKernels::axm1(&blocked, black_box(a.view()), black_box(&x), &mut y)
+                        .unwrap();
                     black_box(y[0])
                 })
             },
@@ -119,7 +120,8 @@ fn bench_axm1(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    TensorKernels::axm1(&unroll, black_box(a.view()), black_box(&x), &mut y);
+                    TensorKernels::axm1(&unroll, black_box(a.view()), black_box(&x), &mut y)
+                        .unwrap();
                     black_box(y[0])
                 })
             },

@@ -95,8 +95,8 @@ fn main() {
 
     let t0 = Instant::now();
     for _ in 0..reps {
-        acc += axm(&a, &x);
-        axm1(&a, &x, &mut y);
+        acc += axm(&a, &x).unwrap();
+        axm1(&a, &x, &mut y).unwrap();
         acc += y[0];
     }
     let sym_t = t0.elapsed().as_secs_f64();

@@ -76,10 +76,12 @@ pub struct ScenarioResult {
 }
 
 /// The stable scenario keys of the matrix, one per backend family: CPU
-/// reference, both simulated-GPU kernels, multi-GPU split, stream
-/// pipeline, and fault-injected resilient execution.
-pub const SCENARIO_KEYS: [&str; 6] = [
+/// reference, the lane-vectorized lockstep CPU path, both simulated-GPU
+/// kernels, multi-GPU split, stream pipeline, and fault-injected
+/// resilient execution.
+pub const SCENARIO_KEYS: [&str; 7] = [
     "cpu-seq-general",
+    "cpu-seq-batched",
     "gpusim-c2050-general",
     "gpusim-c2050-unrolled",
     "multigpu-2x-c2050-general",
@@ -91,6 +93,7 @@ fn scenario_backend(key: &str) -> Box<dyn SolveBackend<f32>> {
     let c2050 = DeviceSpec::tesla_c2050();
     match key {
         "cpu-seq-general" => Box::new(CpuSequential::new(KernelStrategy::General)),
+        "cpu-seq-batched" => Box::new(CpuSequential::new(KernelStrategy::Batched)),
         "gpusim-c2050-general" => Box::new(GpuSimBackend::new(c2050, KernelStrategy::General)),
         "gpusim-c2050-unrolled" => Box::new(GpuSimBackend::new(c2050, KernelStrategy::Unrolled)),
         "multigpu-2x-c2050-general" => Box::new(

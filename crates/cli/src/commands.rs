@@ -1206,6 +1206,52 @@ mod tests {
     }
 
     #[test]
+    fn solve_kernel_batched_runs_lockstep_and_matches_precomputed() {
+        let path = tmp("solvebatched.txt");
+        let mut out = Vec::new();
+        random(
+            sv(&["4", "3", "10", "--out", &path, "--seed", "8"]),
+            &mut out,
+        )
+        .unwrap();
+        // Fixed shift → the batched strategy takes the lockstep panel
+        // driver; output must be identical to the scalar precomputed path.
+        let run = |kernel: &str| {
+            let mut out = Vec::new();
+            solve(
+                sv(&[
+                    &path, "--starts", "6", "--seed", "3", "--shift", "2", "--kernel", kernel,
+                ]),
+                &mut out,
+            )
+            .unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        let batched = run("batched");
+        assert!(batched.contains("(batched kernel)"), "{batched}");
+        let precomputed = run("precomputed");
+        // Same eigenvalues line-for-line, only the kernel label differs.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("kernel"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&batched), strip(&precomputed));
+        // An adaptive shift still works: the batched kernels serve the
+        // scalar per-tensor fallback path.
+        let mut out = Vec::new();
+        solve(
+            sv(&[&path, "--starts", "4", "--kernel", "batched"]),
+            &mut out,
+        )
+        .unwrap();
+        let adaptive = String::from_utf8(out).unwrap();
+        assert!(adaptive.contains("(batched kernel)"), "{adaptive}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn solve_solver_flag_routes_geap_and_qrst() {
         let path = tmp("solvesolver.txt");
         let mut out = Vec::new();

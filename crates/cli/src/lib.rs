@@ -29,8 +29,9 @@
 //! `pipelined[:device][:count]` (stream-based double buffering; also
 //! reachable via `--pipeline` on a gpusim spec, with `--streams K`
 //! streams per device) — and `--kernel` a [`backend::KernelStrategy`]
-//! (`general|blocked|precomputed|unrolled`, with automatic shape
-//! fallback). Every batched solve runs through the same
+//! (`general|blocked|precomputed|unrolled|batched`, with automatic shape
+//! fallback; `batched` runs fixed-shift SS-HOPM batches in lockstep
+//! panels over the tensor arena). Every batched solve runs through the same
 //! [`backend::SolveBackend`] trait, so CPU and simulated-GPU runs print
 //! directly comparable summaries. The simulated GPU supports only fixed
 //! numeric shifts. `--solver` takes a [`sshopm::SolverSpec`] string —
@@ -209,7 +210,9 @@ pub fn usage() -> String {
      \x20 whose transfers overlap compute); --streams K sets the streams per\n\
      \x20 device (default 2) and prints the resolved event-timeline summary.\n\
      \x20 --kernel K picks how contractions are computed: general, blocked,\n\
-     \x20 precomputed, unrolled (auto-fallback for unavailable shapes).\n\
+     \x20 precomputed, unrolled (auto-fallback for unavailable shapes), or\n\
+     \x20 batched (lane-vectorized over the tensor arena; fixed-shift sshopm\n\
+     \x20 batches additionally run in lockstep panels).\n\
      \x20 --solver V picks the per-tensor eigen-iteration: sshopm (default),\n\
      \x20 sshopm:ALPHA (pinned fixed shift), geap (adaptive projected-Hessian\n\
      \x20 shift), qrst (orthogonal-similarity QR iteration). geap and qrst\n\

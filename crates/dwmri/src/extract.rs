@@ -307,7 +307,8 @@ mod tests {
             FiberConfig::crossing([1.0, 0.0, 0.0], [0.0, 1.0, 0.0]),
             FiberConfig::crossing_at_angle(60.0f64.to_radians()),
         ];
-        let tensors: TensorBatch<f64> = configs.iter().map(fit_config).collect();
+        let fitted: Vec<_> = configs.iter().map(fit_config).collect();
+        let tensors = TensorBatch::from_tensors(&fitted).unwrap();
         let cfg = ExtractConfig::default();
 
         let batched = extract_fibers_with(
@@ -330,11 +331,54 @@ mod tests {
     }
 
     #[test]
+    fn lockstep_batched_solves_match_sequential_on_crossing_fixtures() {
+        // The lockstep panel driver (kernel strategy `batched` + fixed
+        // shift) must be bitwise-indistinguishable from the scalar
+        // per-tensor path on real fitted DW-MRI tensors — here a sweep of
+        // two-fiber crossing voxels across the hard low-angle range.
+        use backend::{CpuSequential, KernelStrategy};
+        use sshopm::SsHopm;
+        use telemetry::Telemetry;
+
+        let fitted: Vec<SymTensor<f64>> = (1..=9)
+            .map(|k| fit_config(&FiberConfig::crossing_at_angle(f64::from(k) * 10.0)))
+            .collect();
+        let tensors = TensorBatch::from_tensors(&fitted).unwrap();
+        let starts = sshopm::starts::fibonacci_sphere(16);
+        let solver = SsHopm::new(Shift::Fixed(1.0)).with_policy(IterationPolicy::Converge {
+            tol: 1e-12,
+            max_iters: 2000,
+        });
+        let scalar = CpuSequential::new(KernelStrategy::Precomputed)
+            .solve_batch(&tensors, &starts, &solver, &Telemetry::disabled())
+            .unwrap();
+        let lockstep = CpuSequential::new(KernelStrategy::Batched)
+            .solve_batch(&tensors, &starts, &solver, &Telemetry::disabled())
+            .unwrap();
+        assert_eq!(lockstep.kernel, "batched");
+        assert_eq!(lockstep.total_iterations, scalar.total_iterations);
+        for ((t, v, got), (_, _, want)) in lockstep.iter_flat().zip(scalar.iter_flat()) {
+            assert_eq!(
+                got.lambda.to_bits(),
+                want.lambda.to_bits(),
+                "crossing tensor {t} start {v}"
+            );
+            assert_eq!(got.iterations, want.iterations);
+            assert_eq!(got.converged, want.converged);
+            for (g, w) in got.x.iter().zip(&want.x) {
+                assert_eq!(g.to_bits(), w.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn batched_extraction_records_telemetry() {
         use backend::{CpuSequential, KernelStrategy};
         use telemetry::Telemetry;
 
-        let tensors = TensorBatch::from(vec![fit_config(&FiberConfig::single([1.0, 0.0, 0.0]))]);
+        let tensors =
+            TensorBatch::from_tensors(&[fit_config(&FiberConfig::single([1.0, 0.0, 0.0]))])
+                .unwrap();
         let telemetry = Telemetry::enabled();
         let fibers = extract_fibers_with(
             &tensors,

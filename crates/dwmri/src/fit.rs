@@ -85,9 +85,10 @@ pub fn design_matrix(m: usize, directions: &[Dir3]) -> Matrix {
 }
 
 /// Evaluate the fitted form `A·gᵐ` at a direction (convenience wrapper
-/// around the symmetric kernel, for residual checks).
+/// around the symmetric kernel, for residual checks). A tensor whose
+/// dimension is not 3 evaluates to NaN.
 pub fn evaluate(tensor: &SymTensor<f64>, g: &Dir3) -> f64 {
-    symtensor::kernels::axm(tensor, g)
+    symtensor::kernels::axm(tensor, g).unwrap_or(f64::NAN)
 }
 
 #[cfg(test)]

@@ -35,12 +35,15 @@ impl Matrix {
 
     /// Build from a row-major data buffer.
     ///
-    /// # Panics
-    /// Panics if `data.len() != rows * cols`.
+    /// `data.len() == rows * cols` is a debug-checked precondition; a short
+    /// buffer in release builds still panics on the first out-of-range
+    /// element access.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        if data.len() != rows * cols {
-            panic!("matrix buffer length {} != {rows}x{cols}", data.len());
-        }
+        debug_assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix buffer length must be rows*cols"
+        );
         Self { rows, cols, data }
     }
 

@@ -57,7 +57,9 @@ pub fn classify<'a, S: Scalar>(
     let a = a.into();
     let n = a.dim();
     if x.len() != n {
-        panic!("eigenvector length {} != tensor dimension {n}", x.len());
+        // A mismatched eigenvector cannot be classified; degenerate is the
+        // "no stable answer" bucket.
+        return Stability::Degenerate;
     }
     if n == 1 {
         return Stability::Degenerate;

@@ -189,15 +189,19 @@ impl<S: Scalar> Solver<S> for Geap {
         scratch: &mut Vec<S>,
     ) -> Eigenpair<S> {
         let n = a.dim();
+        let poisoned = |x: Vec<S>, alpha: f64| Eigenpair {
+            lambda: S::from_f64(f64::NAN),
+            x,
+            iterations: 0,
+            converged: false,
+            alpha,
+        };
         if x0.len() != n {
-            panic!(
-                "starting vector length {} != tensor dimension {n}",
-                x0.len()
-            );
+            return poisoned(vec![S::ZERO; n], 0.0);
         }
         let mut x = x0.to_vec();
         if normalize(&mut x) == S::ZERO {
-            panic!("starting vector must be nonzero");
+            return poisoned(x, 0.0);
         }
 
         let (tol, max_iters) = match self.policy {
@@ -206,7 +210,10 @@ impl<S: Scalar> Solver<S> for Geap {
         };
         let converge_mode = matches!(self.policy, IterationPolicy::Converge { .. });
 
-        let mut lambda = kernels.axm(a, &x);
+        let mut lambda = match kernels.axm(a, &x) {
+            Ok(v) => v,
+            Err(_) => return poisoned(x, 0.0),
+        };
         let mut alpha = self.shift_at(a, &x);
         observer.observe(&IterationUpdate {
             k: 0,
@@ -231,7 +238,9 @@ impl<S: Scalar> Solver<S> for Geap {
             // restores the fixed-shift monotonicity guarantee).
             let mut attempt = 0usize;
             let new_lambda = loop {
-                kernels.axm1(a, &x, y);
+                if kernels.axm1(a, &x, y).is_err() {
+                    return poisoned(x, alpha);
+                }
                 let alpha_s = S::from_f64(alpha);
                 for (yi, &xi) in y.iter_mut().zip(x.iter()) {
                     *yi += alpha_s * xi;
@@ -246,7 +255,10 @@ impl<S: Scalar> Solver<S> for Geap {
                 for (ci, &yi) in cand.iter_mut().zip(y.iter()) {
                     *ci = yi / nrm;
                 }
-                let nl = kernels.axm(a, &cand);
+                let nl = match kernels.axm(a, &cand) {
+                    Ok(v) => v,
+                    Err(_) => return poisoned(x, alpha),
+                };
                 let slack = 1e-12 * lambda.to_f64().abs().max(1.0);
                 if attempt >= 2 || nl.to_f64() >= lambda.to_f64() - slack {
                     break nl;
@@ -406,10 +418,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_starting_vector_panics() {
+    fn zero_starting_vector_poisons_result() {
         let a = random_tensor(4, 3, 37);
-        Geap::new().solve(&a, &[0.0, 0.0, 0.0]);
+        let pair = Geap::new().solve(&a, &[0.0, 0.0, 0.0]);
+        assert!(pair.lambda.is_nan());
+        assert!(!pair.converged);
+        assert_eq!(pair.iterations, 0);
     }
 
     #[test]

@@ -42,7 +42,10 @@ impl<S: Scalar> HEigenpair<S> {
         let n = a.dim();
         let m = a.order();
         let mut y = vec![S::ZERO; n];
-        axm1(a, &self.x, &mut y);
+        if axm1(a, &self.x, &mut y).is_err() {
+            // A mismatched eigenvector has no meaningful residual.
+            return f64::INFINITY;
+        }
         let mut worst = 0.0f64;
         for (yi, xi) in y.iter().zip(&self.x) {
             let xi = xi.to_f64();
@@ -103,7 +106,10 @@ pub fn nqz<S: Scalar>(
 
     for _ in 0..max_iters {
         let xs: Vec<S> = x.iter().map(|&v| S::from_f64(v)).collect();
-        axm1(a, &xs, &mut y);
+        // The iterate has the tensor's own dimension, so this cannot fail.
+        if axm1(a, &xs, &mut y).is_err() {
+            return Err(HeigError::Degenerate);
+        }
         // Perron bounds from ratios y_i / x_i^{m-1} over positive entries.
         let mut lo = f64::INFINITY;
         let mut hi = 0.0f64;

@@ -43,6 +43,7 @@ pub mod classify;
 pub mod decompose;
 pub mod geap;
 pub mod heig;
+pub mod lockstep;
 pub mod multistart;
 pub mod qrst;
 pub mod refine;
@@ -57,6 +58,7 @@ pub use classify::{classify, Stability};
 pub use decompose::{best_rank_one, decompose, SymCp};
 pub use geap::Geap;
 pub use heig::{nqz, HEigenpair};
+pub use lockstep::{lockstep_alpha, solve_batch_lockstep};
 pub use multistart::{multistart, spectrum_from_pairs, DedupConfig, Spectrum, SpectrumEntry};
 pub use qrst::Qrst;
 pub use refine::{refine, Refined};

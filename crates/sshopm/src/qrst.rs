@@ -197,15 +197,19 @@ impl<S: Scalar> Solver<S> for Qrst {
         _scratch: &mut Vec<S>,
     ) -> Eigenpair<S> {
         let (m, n) = (a.order(), a.dim());
+        let poisoned = |x: Vec<S>, alpha: f64| Eigenpair {
+            lambda: S::from_f64(f64::NAN),
+            x,
+            iterations: 0,
+            converged: false,
+            alpha,
+        };
         if x0.len() != n {
-            panic!(
-                "starting vector length {} != tensor dimension {n}",
-                x0.len()
-            );
+            return poisoned(vec![S::ZERO; n], 0.0);
         }
         let mut x_s = x0.to_vec();
         if normalize(&mut x_s) == S::ZERO {
-            panic!("starting vector must be nonzero");
+            return poisoned(x_s, 0.0);
         }
 
         let (tol, max_iters) = match self.policy {
@@ -289,8 +293,12 @@ impl<S: Scalar> Solver<S> for Qrst {
             if normalize(&mut x) == S::ZERO {
                 continue;
             }
+            let lambda = match kernels.axm(a, &x) {
+                Ok(v) => v,
+                Err(_) => return poisoned(x, beta),
+            };
             let pair = Eigenpair {
-                lambda: kernels.axm(a, &x),
+                lambda,
                 x,
                 iterations,
                 converged: converged || !converge_mode,
@@ -308,13 +316,18 @@ impl<S: Scalar> Solver<S> for Qrst {
             Some(pair) => pair,
             // Unreachable in practice: U is orthogonal, so every column
             // is unit-norm. Fall back to the (normalized) start.
-            None => Eigenpair {
-                lambda: kernels.axm(a, &x_s),
-                x: x_s,
-                iterations,
-                converged: false,
-                alpha: beta,
-            },
+            None => {
+                let lambda = kernels
+                    .axm(a, &x_s)
+                    .unwrap_or_else(|_| S::from_f64(f64::NAN));
+                Eigenpair {
+                    lambda,
+                    x: x_s,
+                    iterations,
+                    converged: false,
+                    alpha: beta,
+                }
+            }
         }
     }
 }
@@ -413,10 +426,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_starting_vector_panics() {
+    fn zero_starting_vector_poisons_result() {
         let a = random_tensor(4, 3, 37);
-        Qrst::new().solve(&a, &[0.0, 0.0, 0.0]);
+        let pair = Qrst::new().solve(&a, &[0.0, 0.0, 0.0]);
+        assert!(pair.lambda.is_nan());
+        assert!(!pair.converged);
+        assert_eq!(pair.iterations, 0);
     }
 
     #[test]

@@ -97,7 +97,7 @@ fn newton_step(a: &SymTensor<f64>, lambda: f64, x: &[f64]) -> Option<(Vec<f64>, 
 
     // F = [A x^{m-1} - lambda x ; (x'x - 1)/2]
     let mut ax = vec![0.0; n];
-    axm1(a, x, &mut ax);
+    axm1(a, x, &mut ax).ok()?;
     let mut f = Vec::with_capacity(n + 1);
     for i in 0..n {
         f.push(ax[i] - lambda * x[i]);
@@ -133,14 +133,16 @@ fn newton_step(a: &SymTensor<f64>, lambda: f64, x: &[f64]) -> Option<(Vec<f64>, 
     normalize(&mut nx);
     // Recompute lambda as the Rayleigh quotient of the new iterate — more
     // accurate than lambda + delta[n] and free.
-    let nl = axm(a, &nx);
+    let nl = axm(a, &nx).ok()?;
     Some((nx, nl))
 }
 
 fn residual(a: &SymTensor<f64>, lambda: f64, x: &[f64]) -> f64 {
     let n = a.dim();
     let mut y = vec![0.0; n];
-    axm1(a, x, &mut y);
+    if axm1(a, x, &mut y).is_err() {
+        return f64::INFINITY;
+    }
     y.iter()
         .zip(x)
         .map(|(yi, xi)| (yi - lambda * xi).powi(2))

@@ -114,7 +114,11 @@ impl<S: Scalar> Eigenpair<S> {
         let a = a.into();
         let n = a.dim();
         let mut y = vec![S::ZERO; n];
-        symtensor::kernels::axm1(a, &self.x, &mut y);
+        if symtensor::kernels::axm1(a, &self.x, &mut y).is_err() {
+            // A residual cannot be evaluated against a mismatched tensor;
+            // infinity keeps "smaller is better" orderings meaningful.
+            return f64::INFINITY;
+        }
         let mut acc = 0.0f64;
         for (yi, xi) in y.iter().zip(&self.x) {
             let d = yi.to_f64() - self.lambda.to_f64() * xi.to_f64();
@@ -205,8 +209,10 @@ impl SsHopm {
     /// Accepts `&SymTensor<S>` or a borrowed [`SymTensorRef`] (e.g. one
     /// tensor of a [`symtensor::TensorBatch`] arena) — no copy either way.
     ///
-    /// # Panics
-    /// Panics if `x0.len() != a.dim()` or `x0` is the zero vector.
+    /// A mismatched or zero `x0`, or a kernel/tensor shape mismatch, yields
+    /// a *poisoned* eigenpair (`lambda = NaN`, `converged = false`,
+    /// `iterations = 0`) rather than a panic, so batch drivers degrade
+    /// per-tensor; see [`Eigenpair::is_finite`].
     pub fn solve<'a, S: Scalar>(
         &self,
         a: impl Into<SymTensorRef<'a, S>>,
@@ -295,16 +301,20 @@ impl SsHopm {
     {
         let a = a.into();
         let n = a.dim();
+        let poisoned = |x: Vec<S>, alpha: f64| Eigenpair {
+            lambda: S::from_f64(f64::NAN),
+            x,
+            iterations: 0,
+            converged: false,
+            alpha,
+        };
         if x0.len() != n {
-            panic!(
-                "starting vector length {} != tensor dimension {n}",
-                x0.len()
-            );
+            return poisoned(vec![S::ZERO; n], 0.0);
         }
         let mut x = x0.to_vec();
         let nrm = normalize(&mut x);
         if nrm == S::ZERO {
-            panic!("starting vector must be nonzero");
+            return poisoned(x, 0.0);
         }
 
         let (tol, max_iters) = match self.policy {
@@ -313,7 +323,10 @@ impl SsHopm {
         };
         let converge_mode = matches!(self.policy, IterationPolicy::Converge { .. });
 
-        let mut lambda = kernels.axm(a, &x);
+        let mut lambda = match kernels.axm(a, &x) {
+            Ok(v) => v,
+            Err(_) => return poisoned(x, 0.0),
+        };
         let mut alpha = self.shift.value_at(a, &x);
         observer.observe(&IterationUpdate {
             k: 0,
@@ -329,7 +342,9 @@ impl SsHopm {
 
         for _ in 0..max_iters {
             // x̂ ← A x^{m-1} + α x   (negated when α < 0).
-            kernels.axm1(a, &x, y);
+            if kernels.axm1(a, &x, y).is_err() {
+                return poisoned(x, alpha);
+            }
             let alpha_s = S::from_f64(alpha);
             if alpha >= 0.0 {
                 for (yi, &xi) in y.iter_mut().zip(x.iter()) {
@@ -351,7 +366,10 @@ impl SsHopm {
             for (xi, &yi) in x.iter_mut().zip(y.iter()) {
                 *xi = yi / nrm;
             }
-            let new_lambda = kernels.axm(a, &x);
+            let new_lambda = match kernels.axm(a, &x) {
+                Ok(v) => v,
+                Err(_) => return poisoned(x, alpha),
+            };
             iterations += 1;
             observer.observe(&IterationUpdate {
                 k: iterations,
@@ -601,17 +619,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_starting_vector_panics() {
+    fn zero_starting_vector_poisons_result() {
         let a = random_tensor(4, 3, 37);
-        SsHopm::new(Shift::Convex).solve(&a, &[0.0, 0.0, 0.0]);
+        let pair = SsHopm::new(Shift::Convex).solve(&a, &[0.0, 0.0, 0.0]);
+        assert!(pair.lambda.is_nan());
+        assert!(!pair.converged);
+        assert_eq!(pair.iterations, 0);
+        assert!(!pair.is_finite());
     }
 
     #[test]
-    #[should_panic]
-    fn wrong_length_start_panics() {
+    fn wrong_length_start_poisons_result() {
         let a = random_tensor(4, 3, 38);
-        SsHopm::new(Shift::Convex).solve(&a, &[1.0, 0.0]);
+        let pair = SsHopm::new(Shift::Convex).solve(&a, &[1.0, 0.0]);
+        assert!(pair.lambda.is_nan());
+        assert!(!pair.converged);
+        assert_eq!(pair.iterations, 0);
     }
 
     #[test]

@@ -66,12 +66,10 @@ fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// using the Fibonacci lattice — the paper's suggested deterministic
 /// alternative to random starts.
 ///
-/// # Panics
-/// Panics if `count == 0`.
+/// `count >= 1` is a debug-checked precondition; `count == 0` yields an
+/// empty list in release builds.
 pub fn fibonacci_sphere<S: Scalar>(count: usize) -> Vec<Vec<S>> {
-    if count == 0 {
-        panic!("need at least one starting vector");
-    }
+    debug_assert!(count > 0, "need at least one starting vector");
     let golden = (1.0 + 5.0f64.sqrt()) / 2.0;
     (0..count)
         .map(|i| {

@@ -53,8 +53,10 @@ pub trait Solver<S: Scalar>: Sync {
     /// iterate (including the initial one, `k = 0`) to `observer` and
     /// reusing `scratch` as the iteration work buffer.
     ///
-    /// # Panics
-    /// Panics if `x0.len() != a.dim()` or `x0` is the zero vector.
+    /// A mismatched or zero `x0`, or a kernel error (e.g. a shape-checked
+    /// kernel handed the wrong tensor), yields a *poisoned* eigenpair
+    /// (`lambda = NaN`, `converged = false`, `iterations = 0`) so batch
+    /// drivers fail per-tensor instead of aborting the process.
     fn solve_one(
         &self,
         kernels: &dyn TensorKernels<S>,

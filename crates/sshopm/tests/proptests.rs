@@ -49,7 +49,7 @@ proptest! {
         let nrm: f64 = pair.x.iter().map(|v| v * v).sum::<f64>().sqrt();
         prop_assert!((nrm - 1.0).abs() < 1e-10);
         // Lambda is the Rayleigh quotient at x.
-        let rq = symtensor::kernels::axm(&a, &pair.x);
+        let rq = symtensor::kernels::axm(&a, &pair.x).unwrap();
         prop_assert!((rq - pair.lambda).abs() < 1e-10 * scale);
     }
 

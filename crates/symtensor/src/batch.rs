@@ -20,7 +20,7 @@
 //! // Each view borrows straight from the arena — no per-tensor allocation.
 //! let x = [1.0, 0.0, 0.0];
 //! for t in batch.iter() {
-//!     assert!((kernels::axm(t, &x) - 1.0).abs() < 1e-12);
+//!     assert!((kernels::axm(t, &x).unwrap() - 1.0).abs() < 1e-12);
 //! }
 //! ```
 
@@ -189,10 +189,18 @@ impl<S: Scalar> TensorBatch<S> {
     /// Borrowed view of tensor `i`.
     ///
     /// # Panics
-    /// Panics if `i >= len()`.
+    /// Panics if `i >= len()` (slice-indexing semantics; use
+    /// [`TensorBatch::try_get`] for a fallible variant).
     #[inline]
     pub fn get(&self, i: usize) -> SymTensorRef<'_, S> {
         self.view().get(i)
+    }
+
+    /// Borrowed view of tensor `i`, or [`Error::IndexOutOfBounds`] if
+    /// `i >= len()`.
+    #[inline]
+    pub fn try_get(&self, i: usize) -> Result<SymTensorRef<'_, S>> {
+        self.view().try_get(i)
     }
 
     /// Iterate over per-tensor views, in order.
@@ -247,64 +255,44 @@ impl<S: Scalar> TensorBatch<S> {
     }
 }
 
-impl<S: Scalar> From<&[SymTensor<S>]> for TensorBatch<S> {
+impl<S: Scalar> TensorBatch<S> {
     /// Pack a slice of same-shape tensors into one arena.
     ///
-    /// # Panics
-    /// Panics if the tensors do not all share one shape. An empty slice
-    /// yields an empty `(1, 1)`-shaped batch (mirroring `io::write_tensors`).
-    fn from(tensors: &[SymTensor<S>]) -> Self {
+    /// An empty slice yields an empty `(1, 1)`-shaped batch (mirroring
+    /// `io::write_tensors`).
+    ///
+    /// # Errors
+    /// Returns [`Error::ShapeMismatch`] if the tensors do not all share one
+    /// shape.
+    pub fn from_tensors(tensors: &[SymTensor<S>]) -> Result<Self> {
         let (m, n) = match tensors.first() {
             Some(t) => (t.order(), t.dim()),
             None => (1, 1),
         };
-        let mut batch = match TensorBatch::with_capacity(m, n, tensors.len()) {
-            Ok(b) => b,
-            Err(e) => panic!("invalid batch shape: {e}"),
-        };
+        let mut batch = TensorBatch::with_capacity(m, n, tensors.len())?;
         for t in tensors {
-            if let Err(e) = batch.push(t) {
-                panic!("mixed shapes in tensor slice: {e}");
-            }
+            batch.push(t)?;
         }
-        batch
+        Ok(batch)
     }
-}
 
-impl<S: Scalar> From<Vec<SymTensor<S>>> for TensorBatch<S> {
-    fn from(tensors: Vec<SymTensor<S>>) -> Self {
-        TensorBatch::from(tensors.as_slice())
-    }
-}
-
-impl<S: Scalar> FromIterator<SymTensor<S>> for TensorBatch<S> {
-    /// Collect same-shape tensors into a batch.
+    /// Collect same-shape tensors into a batch, taking ownership (an empty
+    /// iterator yields an empty `(1, 1)` batch).
     ///
-    /// # Panics
-    /// Panics on mixed shapes (empty input yields an empty `(1, 1)` batch).
-    fn from_iter<I: IntoIterator<Item = SymTensor<S>>>(iter: I) -> Self {
+    /// # Errors
+    /// Returns [`Error::ShapeMismatch`] on mixed shapes.
+    pub fn collect_tensors<I: IntoIterator<Item = SymTensor<S>>>(iter: I) -> Result<Self> {
         let mut it = iter.into_iter();
-        let first = match it.next() {
-            Some(t) => t,
-            None => {
-                return match TensorBatch::new(1, 1) {
-                    Ok(b) => b,
-                    Err(e) => panic!("invalid batch shape: {e}"),
-                }
-            }
+        let Some(first) = it.next() else {
+            return TensorBatch::new(1, 1);
         };
-        let mut batch = match TensorBatch::new(first.order(), first.dim()) {
-            Ok(b) => b,
-            Err(e) => panic!("invalid batch shape: {e}"),
-        };
+        let mut batch = TensorBatch::new(first.order(), first.dim())?;
         let mut values = first.into_values();
         batch.values.append(&mut values);
         for t in it {
-            if let Err(e) = batch.push(&t) {
-                panic!("mixed shapes in tensor iterator: {e}");
-            }
+            batch.push(&t)?;
         }
-        batch
+        Ok(batch)
     }
 }
 
@@ -356,17 +344,34 @@ impl<'a, S: Scalar> TensorBatchRef<'a, S> {
         self.values
     }
 
+    /// Shared shape `(m, n)` of every tensor in the view.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.m, self.n)
+    }
+
     /// Borrowed view of tensor `i`.
     ///
     /// # Panics
-    /// Panics if `i >= len()`.
+    /// Panics if `i >= len()` (slice-indexing semantics; use
+    /// [`TensorBatchRef::try_get`] for a fallible variant).
     #[inline]
     pub fn get(&self, i: usize) -> SymTensorRef<'a, S> {
-        if i >= self.len() {
-            panic!("tensor index {i} out of bounds for batch of {}", self.len());
-        }
         let lo = i * self.stride;
         SymTensorRef::from_raw(self.m, self.n, &self.values[lo..lo + self.stride])
+    }
+
+    /// Borrowed view of tensor `i`, or [`Error::IndexOutOfBounds`] if
+    /// `i >= len()`.
+    #[inline]
+    pub fn try_get(&self, i: usize) -> Result<SymTensorRef<'a, S>> {
+        if i >= self.len() {
+            return Err(Error::IndexOutOfBounds {
+                index: i,
+                n: self.len(),
+            });
+        }
+        Ok(self.get(i))
     }
 
     /// Iterate over per-tensor views, in order.
@@ -380,16 +385,8 @@ impl<'a, S: Scalar> TensorBatchRef<'a, S> {
     /// Zero-copy sub-view of tensors `range.start..range.end`.
     ///
     /// # Panics
-    /// Panics if the range is out of bounds.
+    /// Panics if the range is out of bounds (slice-indexing semantics).
     pub fn slice(&self, range: Range<usize>) -> TensorBatchRef<'a, S> {
-        if range.start > range.end || range.end > self.len() {
-            panic!(
-                "slice {}..{} out of bounds for batch of {}",
-                range.start,
-                range.end,
-                self.len()
-            );
-        }
         TensorBatchRef {
             m: self.m,
             n: self.n,
@@ -452,7 +449,7 @@ mod tests {
     #[test]
     fn from_slice_matches_pushes() {
         let tensors = random_tensors(3, 4, 5, 2);
-        let batch = TensorBatch::from(tensors.as_slice());
+        let batch = TensorBatch::from_tensors(&tensors).unwrap();
         assert_eq!(batch.len(), 5);
         assert_eq!(batch.to_tensors(), tensors);
     }
@@ -460,9 +457,9 @@ mod tests {
     #[test]
     fn from_iterator_collects() {
         let tensors = random_tensors(3, 3, 4, 12);
-        let batch: TensorBatch<f64> = tensors.iter().cloned().collect();
+        let batch = TensorBatch::collect_tensors(tensors.iter().cloned()).unwrap();
         assert_eq!(batch.to_tensors(), tensors);
-        let empty: TensorBatch<f64> = std::iter::empty().collect();
+        let empty = TensorBatch::<f64>::collect_tensors(std::iter::empty()).unwrap();
         assert!(empty.is_empty());
     }
 
@@ -497,7 +494,7 @@ mod tests {
     #[test]
     fn slice_is_zero_copy_and_consistent() {
         let tensors = random_tensors(4, 3, 10, 3);
-        let batch = TensorBatch::from(tensors.as_slice());
+        let batch = TensorBatch::from_tensors(&tensors).unwrap();
         let sub = batch.slice(3..7);
         assert_eq!(sub.len(), 4);
         // Same allocation: the sub-view's pointer sits inside the arena.
@@ -537,9 +534,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn mixed_shape_from_slice_panics() {
+    fn mixed_shape_constructors_return_typed_errors() {
         let tensors = vec![SymTensor::<f64>::zeros(4, 3), SymTensor::<f64>::zeros(3, 3)];
-        let _ = TensorBatch::from(tensors.as_slice());
+        assert!(matches!(
+            TensorBatch::from_tensors(&tensors),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            TensorBatch::collect_tensors(tensors.into_iter()),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn try_get_returns_typed_error_out_of_bounds() {
+        let tensors = random_tensors(4, 3, 2, 21);
+        let batch = TensorBatch::from_tensors(&tensors).unwrap();
+        assert!(batch.try_get(1).is_ok());
+        assert!(matches!(
+            batch.try_get(2),
+            Err(Error::IndexOutOfBounds { index: 2, n: 2 })
+        ));
+        assert_eq!(batch.view().shape(), (4, 3));
     }
 }

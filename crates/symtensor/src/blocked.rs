@@ -25,6 +25,7 @@
 // them as indexed loops.
 #![allow(clippy::needless_range_loop)]
 
+use crate::error::{Error, Result};
 use crate::index::IndexClassIter;
 use crate::kernels::TensorKernels;
 use crate::multinomial::num_unique_entries;
@@ -50,15 +51,11 @@ pub struct Blocked<const M: usize> {
 impl<const M: usize> Blocked<M> {
     /// Build the tables for dimension `n`.
     ///
-    /// # Panics
-    /// Panics if `M == 0` or `n == 0`.
+    /// `M >= 1` and `n >= 1` are preconditions (checked in debug builds);
+    /// [`BlockedKernels::for_shape`] only ever instantiates valid orders.
     pub fn new(n: usize) -> Self {
-        if M < 1 {
-            panic!("order must be at least 1");
-        }
-        if n < 1 {
-            panic!("dimension must be at least 1");
-        }
+        debug_assert!(M >= 1, "order must be at least 1");
+        debug_assert!(n >= 1, "dimension must be at least 1");
         let count = num_unique_entries(M, n) as usize;
         let mut reps = Vec::with_capacity(count);
         let mut coeffs = Vec::with_capacity(count);
@@ -99,12 +96,22 @@ impl<const M: usize> Blocked<M> {
     }
 
     /// Blocked `A·xᵐ`: the monomial product is a fixed `M`-trip loop.
-    pub fn axm<S: Scalar>(&self, values: &[S], x: &[S]) -> S {
+    ///
+    /// # Errors
+    /// Returns a length-mismatch error if `values` does not hold exactly
+    /// the packed unique-entry count or `x` is not `n` long.
+    pub fn axm<S: Scalar>(&self, values: &[S], x: &[S]) -> Result<S> {
         if values.len() != self.reps.len() {
-            panic!("packed value count {} != {}", values.len(), self.reps.len());
+            return Err(Error::ValueLengthMismatch {
+                expected: self.reps.len(),
+                actual: values.len(),
+            });
         }
         if x.len() != self.n {
-            panic!("vector length {} != dimension {}", x.len(), self.n);
+            return Err(Error::VectorLengthMismatch {
+                expected: self.n,
+                actual: x.len(),
+            });
         }
         let mut acc = S::ZERO;
         for (u, rep) in self.reps.iter().enumerate() {
@@ -114,20 +121,33 @@ impl<const M: usize> Blocked<M> {
             }
             acc += S::from_f64(self.coeffs[u]) * values[u] * xhat;
         }
-        acc
+        Ok(acc)
     }
 
     /// Blocked `A·xᵐ⁻¹` into `y` (overwritten). Per-contribution
     /// coefficients come from the stored `C(M; k)` via `σ(j) = c·k_j/M`.
-    pub fn axm1<S: Scalar>(&self, values: &[S], x: &[S], y: &mut [S]) {
+    ///
+    /// # Errors
+    /// Returns a length-mismatch error if `values` does not hold exactly
+    /// the packed unique-entry count or `x`/`y` are not `n` long.
+    pub fn axm1<S: Scalar>(&self, values: &[S], x: &[S], y: &mut [S]) -> Result<()> {
         if values.len() != self.reps.len() {
-            panic!("packed value count {} != {}", values.len(), self.reps.len());
+            return Err(Error::ValueLengthMismatch {
+                expected: self.reps.len(),
+                actual: values.len(),
+            });
         }
         if x.len() != self.n {
-            panic!("vector length {} != dimension {}", x.len(), self.n);
+            return Err(Error::VectorLengthMismatch {
+                expected: self.n,
+                actual: x.len(),
+            });
         }
         if y.len() != self.n {
-            panic!("output length {} != dimension {}", y.len(), self.n);
+            return Err(Error::VectorLengthMismatch {
+                expected: self.n,
+                actual: y.len(),
+            });
         }
         y.iter_mut().for_each(|e| *e = S::ZERO);
         let inv_m = 1.0 / M as f64;
@@ -153,30 +173,27 @@ impl<const M: usize> Blocked<M> {
                 y[j as usize] += S::from_f64(sigma) * av * xhat;
             }
         }
+        Ok(())
     }
 }
 
 impl<const M: usize, S: Scalar> TensorKernels<S> for Blocked<M> {
-    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> Result<S> {
         if a.order() != M || a.dim() != self.n {
-            panic!(
-                "tensor shape [{},{}] does not match blocked tables [{M},{}]",
-                a.order(),
-                a.dim(),
-                self.n
-            );
+            return Err(Error::ShapeMismatch {
+                expected: (M, self.n),
+                found: (a.order(), a.dim()),
+            });
         }
         Blocked::axm(self, a.values(), x)
     }
 
-    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) -> Result<()> {
         if a.order() != M || a.dim() != self.n {
-            panic!(
-                "tensor shape [{},{}] does not match blocked tables [{M},{}]",
-                a.order(),
-                a.dim(),
-                self.n
-            );
+            return Err(Error::ShapeMismatch {
+                expected: (M, self.n),
+                found: (a.order(), a.dim()),
+            });
         }
         Blocked::axm1(self, a.values(), x, y)
     }
@@ -241,7 +258,7 @@ impl BlockedKernels {
 }
 
 impl<S: Scalar> TensorKernels<S> for BlockedKernels {
-    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> Result<S> {
         match self {
             BlockedKernels::M1(b) => TensorKernels::axm(b, a, x),
             BlockedKernels::M2(b) => TensorKernels::axm(b, a, x),
@@ -254,7 +271,7 @@ impl<S: Scalar> TensorKernels<S> for BlockedKernels {
         }
     }
 
-    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) -> Result<()> {
         match self {
             BlockedKernels::M1(b) => TensorKernels::axm1(b, a, x, y),
             BlockedKernels::M2(b) => TensorKernels::axm1(b, a, x, y),
@@ -309,8 +326,8 @@ mod tests {
             let k = BlockedKernels::for_shape(m, n).unwrap();
             assert_eq!(k.shape(), (m, n));
 
-            let want = axm(&a, &x);
-            let got = TensorKernels::axm(&k, a.view(), &x);
+            let want = axm(&a, &x).unwrap();
+            let got = TensorKernels::axm(&k, a.view(), &x).unwrap();
             assert!(
                 (got - want).abs() < 1e-9 * (1.0 + want.abs()),
                 "[{m},{n}] axm: {got} vs {want}"
@@ -318,8 +335,8 @@ mod tests {
 
             let mut wanty = vec![0.0; n];
             let mut goty = vec![0.0; n];
-            axm1(&a, &x, &mut wanty);
-            TensorKernels::axm1(&k, a.view(), &x, &mut goty);
+            axm1(&a, &x, &mut wanty).unwrap();
+            TensorKernels::axm1(&k, a.view(), &x, &mut goty).unwrap();
             for j in 0..n {
                 assert!(
                     (goty[j] - wanty[j]).abs() < 1e-9 * (1.0 + wanty[j].abs()),
@@ -347,9 +364,9 @@ mod tests {
         let a = random_sym(5, 7, 20);
         let x = random_vec(7, 21);
         let k = BlockedKernels::for_shape(5, 7).unwrap();
-        let s = TensorKernels::axm(&k, a.view(), &x);
+        let s = TensorKernels::axm(&k, a.view(), &x).unwrap();
         let mut y = vec![0.0; 7];
-        TensorKernels::axm1(&k, a.view(), &x, &mut y);
+        TensorKernels::axm1(&k, a.view(), &x, &mut y).unwrap();
         let dot: f64 = x.iter().zip(&y).map(|(p, q)| p * q).sum();
         assert!((dot - s).abs() < 1e-9 * (1.0 + s.abs()));
     }
@@ -362,8 +379,8 @@ mod tests {
         let k = BlockedKernels::for_shape(4, 5).unwrap();
         let mut want = vec![0.0; 5];
         let mut got = vec![0.0; 5];
-        axm1(&a, &x, &mut want);
-        TensorKernels::axm1(&k, a.view(), &x, &mut got);
+        axm1(&a, &x, &mut want).unwrap();
+        TensorKernels::axm1(&k, a.view(), &x, &mut got).unwrap();
         for j in 0..5 {
             assert!((got[j] - want[j]).abs() < 1e-10, "j={j}");
         }
@@ -375,17 +392,25 @@ mod tests {
         let a = SymTensor::<f32>::random(4, 6, &mut rng);
         let x: Vec<f32> = (0..6).map(|i| 0.3 - 0.1 * i as f32).collect();
         let k = BlockedKernels::for_shape(4, 6).unwrap();
-        let want = axm(&a, &x);
-        let got = TensorKernels::axm(&k, a.view(), &x);
+        let want = axm(&a, &x).unwrap();
+        let got = TensorKernels::axm(&k, a.view(), &x).unwrap();
         assert!((got - want).abs() < 1e-4 * (1.0 + want.abs()));
     }
 
     #[test]
-    #[should_panic]
-    fn shape_mismatch_panics() {
+    fn shape_mismatch_is_typed_error() {
         let a = random_sym(4, 3, 25);
         let k = BlockedKernels::for_shape(4, 5).unwrap();
-        let _ = TensorKernels::axm(&k, a.view(), &[1.0; 5]);
+        let err = TensorKernels::axm(&k, a.view(), &[1.0; 5]).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::ShapeMismatch {
+                expected: (4, 5),
+                found: (4, 3),
+            }
+        ));
+        let mut y = [0.0; 5];
+        assert!(TensorKernels::axm1(&k, a.view(), &[1.0; 5], &mut y).is_err());
     }
 
     #[test]

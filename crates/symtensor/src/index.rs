@@ -25,11 +25,12 @@ pub struct MonomialRep {
 }
 
 impl MonomialRep {
-    /// Wrap a counts array. No validation beyond non-emptiness.
+    /// Wrap a counts array. Non-emptiness is a debug-checked precondition.
     pub fn new(counts: Vec<usize>) -> Self {
-        if counts.is_empty() {
-            panic!("monomial representation must have n >= 1");
-        }
+        debug_assert!(
+            !counts.is_empty(),
+            "monomial representation must have n >= 1"
+        );
         Self { counts }
     }
 
@@ -85,19 +86,21 @@ pub struct IndexClass {
 impl IndexClass {
     /// Create an index class from a nondecreasing index array.
     ///
-    /// # Panics
-    /// Panics if the array is empty, not nondecreasing, or contains an index
-    /// `>= n`.
+    /// The array being non-empty, nondecreasing, and bounded by `n` are
+    /// debug-checked preconditions; callers constructing classes from
+    /// untrusted data should validate first (e.g. via
+    /// [`SymTensor::get`](crate::SymTensor::get), which returns typed
+    /// errors).
     pub fn new(indices: Vec<usize>, n: usize) -> Self {
-        if indices.is_empty() {
-            panic!("index representation must have m >= 1");
-        }
-        if !indices.windows(2).all(|w| w[0] <= w[1]) {
-            panic!("index representation must be nondecreasing: {indices:?}");
-        }
-        if !indices.iter().all(|&i| i < n) {
-            panic!("index {indices:?} out of bounds for dimension {n}");
-        }
+        debug_assert!(!indices.is_empty(), "index representation must have m >= 1");
+        debug_assert!(
+            indices.windows(2).all(|w| w[0] <= w[1]),
+            "index representation must be nondecreasing: {indices:?}"
+        );
+        debug_assert!(
+            indices.iter().all(|&i| i < n),
+            "index {indices:?} out of bounds for dimension {n}"
+        );
         Self { indices, n }
     }
 
@@ -109,10 +112,10 @@ impl IndexClass {
     }
 
     /// The first index class in lexicographic order: `[0, 0, …, 0]`.
+    ///
+    /// `m >= 1` and `n >= 1` are debug-checked preconditions.
     pub fn first(m: usize, n: usize) -> Self {
-        if m < 1 || n < 1 {
-            panic!("index class needs m >= 1 and n >= 1, got m={m}, n={n}");
-        }
+        debug_assert!(m >= 1 && n >= 1, "index class needs m >= 1 and n >= 1");
         Self {
             indices: vec![0; m],
             n,
@@ -120,10 +123,11 @@ impl IndexClass {
     }
 
     /// The last index class in lexicographic order: `[n-1, …, n-1]`.
+    ///
+    /// `m >= 1` and `n >= 1` are debug-checked preconditions; `n - 1`
+    /// still panics on underflow when `n == 0`.
     pub fn last(m: usize, n: usize) -> Self {
-        if m < 1 || n < 1 {
-            panic!("index class needs m >= 1 and n >= 1, got m={m}, n={n}");
-        }
+        debug_assert!(m >= 1 && n >= 1, "index class needs m >= 1 and n >= 1");
         Self {
             indices: vec![n - 1; m],
             n,
@@ -229,12 +233,14 @@ impl IndexClass {
 
     /// Construct the index class of the given lexicographic rank (0-based).
     ///
-    /// # Panics
-    /// Panics if `rank >= C(m+n-1, m)`.
+    /// `rank < C(m+n-1, m)` is a debug-checked precondition; an
+    /// out-of-range rank in release builds clamps to the last class.
     pub fn unrank(mut rank: u64, m: usize, n: usize) -> Self {
-        if rank >= num_unique_entries(m, n) {
-            panic!("rank {rank} out of range for [{m},{n}]");
-        }
+        debug_assert!(
+            rank < num_unique_entries(m, n),
+            "rank {rank} out of range for [{m},{n}]"
+        );
+        rank = rank.min(num_unique_entries(m, n).saturating_sub(1));
         let mut indices = Vec::with_capacity(m);
         let mut lo = 0usize;
         for t in 0..m {
@@ -423,8 +429,16 @@ mod tests {
 
     #[test]
     #[should_panic]
-    fn unrank_out_of_range_panics() {
+    #[cfg(debug_assertions)]
+    fn unrank_out_of_range_panics_in_debug() {
         IndexClass::unrank(20, 3, 4);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn unrank_out_of_range_clamps_in_release() {
+        let last = IndexClass::last(3, 4);
+        assert_eq!(IndexClass::unrank(20, 3, 4), last);
     }
 
     #[test]
@@ -435,13 +449,15 @@ mod tests {
 
     #[test]
     #[should_panic]
-    fn new_rejects_decreasing_indices() {
+    #[cfg(debug_assertions)]
+    fn new_rejects_decreasing_indices_in_debug() {
         IndexClass::new(vec![1, 0], 3);
     }
 
     #[test]
     #[should_panic]
-    fn new_rejects_out_of_bounds() {
+    #[cfg(debug_assertions)]
+    fn new_rejects_out_of_bounds_in_debug() {
         IndexClass::new(vec![0, 3], 3);
     }
 

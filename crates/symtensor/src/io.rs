@@ -102,8 +102,9 @@ pub fn write_tensor_batch<'a, S: Scalar, W: Write>(
 
 /// Write a batch of same-shaped tensors held in per-tensor storage.
 ///
-/// # Panics
-/// Panics if the tensors do not all share one shape.
+/// # Errors
+/// Returns [`std::io::ErrorKind::InvalidInput`] if the tensors do not all
+/// share one shape, and propagates any write error from `w`.
 pub fn write_tensors<S: Scalar, W: Write>(
     w: &mut W,
     tensors: &[SymTensor<S>],
@@ -113,7 +114,10 @@ pub fn write_tensors<S: Scalar, W: Write>(
         None => (1, 1), // an empty file still needs a well-formed header
     };
     if !tensors.iter().all(|t| t.order() == m && t.dim() == n) {
-        panic!("all tensors in a file must share one shape");
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "all tensors in a file must share one shape",
+        ));
     }
     writeln!(w, "symtensor 1")?;
     writeln!(w, "order {m} dim {n} count {}", tensors.len())?;
@@ -303,7 +307,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let tensors: Vec<SymTensor<f64>> =
             (0..4).map(|_| SymTensor::random(3, 4, &mut rng)).collect();
-        let batch = TensorBatch::from(tensors.as_slice());
+        let batch = TensorBatch::from_tensors(&tensors).unwrap();
         let mut a = Vec::new();
         write_tensors(&mut a, &tensors).unwrap();
         let mut b = Vec::new();
@@ -414,11 +418,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn mixed_shapes_panic_on_write() {
+    fn mixed_shapes_are_invalid_input_on_write() {
         let a = SymTensor::<f64>::zeros(2, 2);
         let b = SymTensor::<f64>::zeros(3, 2);
         let mut buf = Vec::new();
-        write_tensors(&mut buf, &[a, b]).unwrap();
+        let err = write_tensors(&mut buf, &[a, b]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(buf.is_empty(), "nothing may be written on invalid input");
     }
 }

@@ -25,7 +25,8 @@ use crate::storage::{SymTensor, SymTensorRef};
 
 /// A strategy for evaluating the two SS-HOPM kernels on packed symmetric
 /// tensors. Implemented by the on-the-fly [`GeneralKernels`], the
-/// table-driven [`PrecomputedTables`], and (in the `unrolled` crate) the
+/// table-driven [`PrecomputedTables`], the lockstep
+/// [`crate::lanes::BatchedKernels`], and (in the `unrolled` crate) the
 /// compile-time fully-unrolled kernels — letting the power-method driver and
 /// the benchmark harness swap implementations without code changes.
 ///
@@ -33,19 +34,26 @@ use crate::storage::{SymTensor, SymTensorRef};
 /// [`crate::TensorBatch`] arena is evaluated in place — no owned
 /// [`SymTensor`] is ever required on the hot path. Call sites holding an
 /// owned tensor pass `a.view()`.
+///
+/// Both kernels are fallible: a vector of the wrong length or a tensor whose
+/// shape does not match the shape an implementation was built for surfaces as
+/// a typed [`Error`], never a panic or a silently wrong value — this is what
+/// lets a mismatched tensor inside a batch fail alone on the resilient path.
 pub trait TensorKernels<S: Scalar>: Sync {
     /// Evaluate `A·xᵐ`.
     ///
-    /// # Panics
-    /// May panic if `x.len() != a.dim()` or the implementation was built for
-    /// a different shape than `a`.
-    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S;
+    /// # Errors
+    /// Returns [`Error::VectorLengthMismatch`] if `x.len() != a.dim()`, or
+    /// [`Error::ShapeMismatch`] if the implementation was built for a
+    /// different shape than `a`.
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> Result<S>;
 
     /// Evaluate `A·xᵐ⁻¹` into `y` (overwritten).
     ///
-    /// # Panics
-    /// May panic on length or shape mismatch.
-    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]);
+    /// # Errors
+    /// Returns a typed error on length or shape mismatch; `y` may have been
+    /// partially zeroed in that case but is never left with garbage values.
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) -> Result<()>;
 
     /// Short human-readable name for reports ("general", "precomputed",
     /// "unrolled(m,n)").
@@ -55,11 +63,11 @@ pub trait TensorKernels<S: Scalar>: Sync {
 }
 
 impl<S: Scalar, K: TensorKernels<S> + ?Sized> TensorKernels<S> for &K {
-    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> Result<S> {
         (**self).axm(a, x)
     }
 
-    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) -> Result<()> {
         (**self).axm1(a, x, y)
     }
 
@@ -74,11 +82,11 @@ impl<S: Scalar, K: TensorKernels<S> + ?Sized> TensorKernels<S> for &K {
 pub struct GeneralKernels;
 
 impl<S: Scalar> TensorKernels<S> for GeneralKernels {
-    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> Result<S> {
         axm(a, x)
     }
 
-    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) -> Result<()> {
         axm1(a, x, y)
     }
 
@@ -88,17 +96,12 @@ impl<S: Scalar> TensorKernels<S> for GeneralKernels {
 }
 
 impl<S: Scalar> TensorKernels<S> for PrecomputedTables {
-    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
-        match PrecomputedTables::axm(self, a, x) {
-            Ok(v) => v,
-            Err(e) => panic!("shape mismatch: {e}"),
-        }
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> Result<S> {
+        PrecomputedTables::axm(self, a, x)
     }
 
-    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
-        if let Err(e) = PrecomputedTables::axm1(self, a, x, y) {
-            panic!("shape mismatch: {e}");
-        }
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) -> Result<()> {
+        PrecomputedTables::axm1(self, a, x, y)
     }
 
     fn name(&self) -> &'static str {
@@ -107,11 +110,22 @@ impl<S: Scalar> TensorKernels<S> for PrecomputedTables {
 }
 
 /// Validate that `x` has length `n`.
-fn check_vec<S>(x: &[S], n: usize) -> Result<()> {
+pub(crate) fn check_vec<S>(x: &[S], n: usize) -> Result<()> {
     if x.len() != n {
         return Err(Error::VectorLengthMismatch {
             expected: n,
             actual: x.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Validate that a tensor view has shape `(m, n)`.
+pub(crate) fn check_shape<S: Scalar>(a: &SymTensorRef<'_, S>, m: usize, n: usize) -> Result<()> {
+    if a.order() != m || a.dim() != n {
+        return Err(Error::ShapeMismatch {
+            expected: (m, n),
+            found: (a.order(), a.dim()),
         });
     }
     Ok(())
@@ -124,20 +138,11 @@ fn check_vec<S>(x: &[S], n: usize) -> Result<()> {
 /// contributes an `m`-fold product, a multinomial weight and one
 /// accumulation).
 ///
-/// # Panics
-/// Panics if `x.len() != A.dim()` (use [`axm_checked`] for a fallible
-/// variant).
+/// # Errors
+/// Returns [`Error::VectorLengthMismatch`] if `x.len() != A.dim()`.
 ///
 /// Accepts `&SymTensor<S>` or a [`SymTensorRef`] view interchangeably.
-pub fn axm<'a, S: Scalar>(a: impl Into<SymTensorRef<'a, S>>, x: &[S]) -> S {
-    match axm_checked(a, x) {
-        Ok(v) => v,
-        Err(e) => panic!("axm: {e}"),
-    }
-}
-
-/// Fallible variant of [`axm`].
-pub fn axm_checked<'a, S: Scalar>(a: impl Into<SymTensorRef<'a, S>>, x: &[S]) -> Result<S> {
+pub fn axm<'a, S: Scalar>(a: impl Into<SymTensorRef<'a, S>>, x: &[S]) -> Result<S> {
     let a = a.into();
     check_vec(x, a.dim())?;
     let m = a.order();
@@ -171,22 +176,12 @@ pub fn axm_checked<'a, S: Scalar>(a: impl Into<SymTensorRef<'a, S>>, x: &[S]) ->
 /// Cost: `O(m² · n^m / m!)` flops — the inner loop visits each *distinct*
 /// index of each class.
 ///
-/// # Panics
-/// Panics on length mismatches (use [`axm1_checked`] for a fallible variant).
+/// # Errors
+/// Returns [`Error::VectorLengthMismatch`] if `x` or `y` is not of length
+/// `A.dim()`.
 ///
 /// Accepts `&SymTensor<S>` or a [`SymTensorRef`] view interchangeably.
-pub fn axm1<'a, S: Scalar>(a: impl Into<SymTensorRef<'a, S>>, x: &[S], y: &mut [S]) {
-    if let Err(e) = axm1_checked(a, x, y) {
-        panic!("axm1: {e}");
-    }
-}
-
-/// Fallible variant of [`axm1`].
-pub fn axm1_checked<'a, S: Scalar>(
-    a: impl Into<SymTensorRef<'a, S>>,
-    x: &[S],
-    y: &mut [S],
-) -> Result<()> {
+pub fn axm1<'a, S: Scalar>(a: impl Into<SymTensorRef<'a, S>>, x: &[S], y: &mut [S]) -> Result<()> {
     let a = a.into();
     let n = a.dim();
     check_vec(x, n)?;
@@ -274,14 +269,33 @@ pub fn axmp<'a, S: Scalar>(
         let j = IndexClass::unrank(jr as u64, p, n);
         let mut acc = S::ZERO;
         for (k, wx) in &completions {
-            // merge sorted J (p) and K (q) into a sorted tensor index
+            // merge sorted J (p) and K (q) into a sorted tensor index, then
+            // rank it directly — no per-iteration IndexClass allocation in
+            // this O(U_p · U_q) loop (it feeds GEAP Hessian assembly).
             merge_sorted(j.indices(), k.indices(), &mut merged);
-            let class = IndexClass::new(merged.clone(), n);
-            acc += *wx * a.value_at_class(&class);
+            let rank = rank_sorted(&merged, n);
+            acc += *wx * a.value_at_rank(rank as usize);
         }
         out.values_mut()[jr] = acc;
     }
     Ok(out)
+}
+
+/// Rank a sorted (non-decreasing) tensor index in the combinatorial number
+/// system — the same ordering as [`IndexClass::rank`], computed without
+/// constructing an [`IndexClass`].
+fn rank_sorted(indices: &[usize], n: usize) -> u64 {
+    let m = indices.len();
+    let mut rank = 0u64;
+    let mut lo = 0usize;
+    for (t, &it) in indices.iter().enumerate() {
+        let rem = m - t - 1;
+        for v in lo..it {
+            rank += crate::multinomial::binomial(rem + n - v - 1, rem);
+        }
+        lo = it;
+    }
+    rank
 }
 
 /// Merge two sorted index slices into `out` (standard two-pointer merge).
@@ -409,17 +423,34 @@ impl PrecomputedTables {
 
     /// Index representation of class `u` as a `u32` slice of length `m`.
     #[inline]
-    fn rep(&self, u: usize) -> &[u32] {
+    pub(crate) fn rep(&self, u: usize) -> &[u32] {
         &self.index_reps[u * self.m..(u + 1) * self.m]
+    }
+
+    /// The stored `C(m; k)` coefficient of every class (lane kernels walk
+    /// these once per panel).
+    #[inline]
+    pub(crate) fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// The `(index, count)` pairs of class `u`'s distinct indices.
+    #[inline]
+    pub(crate) fn distinct(&self, u: usize) -> &[(u32, u32)] {
+        &self.distinct[self.starts[u] as usize..self.starts[u + 1] as usize]
     }
 
     /// `A·xᵐ` using the precomputed tables: no successor updates and no
     /// multinomial recomputation in the loop (pure look-ups).
+    ///
+    /// # Errors
+    /// Returns [`Error::ShapeMismatch`] if `a` has a different shape than the
+    /// tables were built for (a wrong-shape tensor would silently index the
+    /// wrong tables), and [`Error::VectorLengthMismatch`] on a bad `x`.
     pub fn axm<'a, S: Scalar>(&self, a: impl Into<SymTensorRef<'a, S>>, x: &[S]) -> Result<S> {
         let a = a.into();
+        check_shape(&a, self.m, self.n)?;
         check_vec(x, self.n)?;
-        debug_assert_eq!(a.order(), self.m);
-        debug_assert_eq!(a.dim(), self.n);
         let mut y = S::ZERO;
         for (u, &av) in a.values().iter().enumerate() {
             let mut xhat = S::ONE;
@@ -434,6 +465,10 @@ impl PrecomputedTables {
     /// `A·xᵐ⁻¹` using the precomputed tables. The per-entry coefficient
     /// `C(m-1; …, k_j-1, …)` is derived from the stored `C(m; k)` by the
     /// paper's look-up trick `σ(j) = c·k_j/m` (footnote 3).
+    /// # Errors
+    /// Returns [`Error::ShapeMismatch`] if `a` has a different shape than the
+    /// tables were built for, and [`Error::VectorLengthMismatch`] on a bad
+    /// `x` or `y`.
     pub fn axm1<'a, S: Scalar>(
         &self,
         a: impl Into<SymTensorRef<'a, S>>,
@@ -441,6 +476,7 @@ impl PrecomputedTables {
         y: &mut [S],
     ) -> Result<()> {
         let a = a.into();
+        check_shape(&a, self.m, self.n)?;
         check_vec(x, self.n)?;
         check_vec(y, self.n)?;
         y.iter_mut().for_each(|e| *e = S::ZERO);
@@ -502,7 +538,7 @@ mod tests {
             let x = random_unit(n, seed + 100);
             let dense = DenseTensor::from_sym(&a);
             let want = dense.axm_dense(&x).unwrap();
-            let got = axm(&a, &x);
+            let got = axm(&a, &x).unwrap();
             assert!((got - want).abs() < 1e-10, "[{m},{n}]: {got} vs {want}");
         }
     }
@@ -522,7 +558,7 @@ mod tests {
             let dense = DenseTensor::from_sym(&a);
             let want = dense.axm1_dense(&x).unwrap();
             let mut got = vec![0.0; n];
-            axm1(&a, &x, &mut got);
+            axm1(&a, &x, &mut got).unwrap();
             for j in 0..n {
                 assert!(
                     (got[j] - want[j]).abs() < 1e-10,
@@ -540,9 +576,9 @@ mod tests {
         let a = random_sym(5, 4, 77);
         let mut rng = StdRng::seed_from_u64(78);
         let x: Vec<f64> = (0..4).map(|_| rng.gen_range(-2.0..2.0)).collect();
-        let s = axm(&a, &x);
+        let s = axm(&a, &x).unwrap();
         let mut y = vec![0.0; 4];
-        axm1(&a, &x, &mut y);
+        axm1(&a, &x, &mut y).unwrap();
         let dot: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
         assert!((dot - s).abs() < 1e-9, "{dot} vs {s}");
     }
@@ -554,8 +590,8 @@ mod tests {
         let x = random_unit(3, 32);
         let c = 1.7;
         let cx: Vec<f64> = x.iter().map(|&e| c * e).collect();
-        let lhs = axm(&a, &cx);
-        let rhs = c.powi(4) * axm(&a, &x);
+        let lhs = axm(&a, &cx).unwrap();
+        let rhs = c.powi(4) * axm(&a, &x).unwrap();
         assert!((lhs - rhs).abs() < 1e-9);
     }
 
@@ -565,7 +601,7 @@ mod tests {
         let a = SymTensor::rank_one(3, &v);
         let x = random_unit(4, 42);
         let d: f64 = v.iter().zip(&x).map(|(a, b)| a * b).sum();
-        assert!((axm(&a, &x) - d.powi(3)).abs() < 1e-10);
+        assert!((axm(&a, &x).unwrap() - d.powi(3)).abs() < 1e-10);
     }
 
     #[test]
@@ -574,7 +610,7 @@ mod tests {
         let a = SymTensor::<f64>::diagonal_ones(2, 5);
         let x = random_unit(5, 51);
         let mut y = vec![0.0; 5];
-        axm1(&a, &x, &mut y);
+        axm1(&a, &x, &mut y).unwrap();
         for j in 0..5 {
             assert!((y[j] - x[j]).abs() < 1e-12);
         }
@@ -589,7 +625,7 @@ mod tests {
         let dense = DenseTensor::from_sym(&a);
         let want = dense.axm1_dense(&x).unwrap();
         let mut got = vec![0.0; 3];
-        axm1(&a, &x, &mut got);
+        axm1(&a, &x, &mut got).unwrap();
         for j in 0..3 {
             assert!((got[j] - want[j]).abs() < 1e-10, "j={j}");
         }
@@ -601,7 +637,7 @@ mod tests {
         let x = random_unit(3, 72);
         let t = axmp(&a, &x, 1).unwrap();
         let mut y = vec![0.0; 3];
-        axm1(&a, &x, &mut y);
+        axm1(&a, &x, &mut y).unwrap();
         for (j, yj) in y.iter().enumerate() {
             assert!((t.get(&[j]).unwrap() - yj).abs() < 1e-10);
         }
@@ -654,7 +690,7 @@ mod tests {
         }
         // (A x^{m-2}) x == A x^{m-1}.
         let mut y = vec![0.0; 3];
-        axm1(&a, &x, &mut y);
+        axm1(&a, &x, &mut y).unwrap();
         for i in 0..3 {
             let row: f64 = (0..3).map(|j| mat[i * 3 + j] * x[j]).sum();
             assert!((row - y[i]).abs() < 1e-10, "row {i}");
@@ -680,12 +716,12 @@ mod tests {
             assert_eq!(tables.num_unique() as u64, num_unique_entries(m, n));
             let a = random_sym(m, n, seed);
             let x = random_unit(n, seed + 300);
-            let s0 = axm(&a, &x);
+            let s0 = axm(&a, &x).unwrap();
             let s1 = tables.axm(&a, &x).unwrap();
             assert!((s0 - s1).abs() < 1e-10, "[{m},{n}] axm");
             let mut y0 = vec![0.0; n];
             let mut y1 = vec![0.0; n];
-            axm1(&a, &x, &mut y0);
+            axm1(&a, &x, &mut y0).unwrap();
             tables.axm1(&a, &x, &mut y1).unwrap();
             for j in 0..n {
                 assert!((y0[j] - y1[j]).abs() < 1e-10, "[{m},{n}] axm1 j={j}");
@@ -707,9 +743,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(131);
         let a = SymTensor::<f32>::random(4, 3, &mut rng);
         let x = [0.5f32, -0.5, std::f32::consts::FRAC_1_SQRT_2];
-        let s = axm(&a, &x);
+        let s = axm(&a, &x).unwrap();
         let mut y = [0.0f32; 3];
-        axm1(&a, &x, &mut y);
+        axm1(&a, &x, &mut y).unwrap();
         let dot: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
         assert!((dot - s).abs() < 1e-4, "{dot} vs {s}");
     }
@@ -717,11 +753,37 @@ mod tests {
     #[test]
     fn checked_variants_reject_bad_lengths() {
         let a = random_sym(3, 3, 141);
-        assert!(axm_checked(&a, &[1.0, 2.0]).is_err());
+        assert!(axm(&a, &[1.0, 2.0]).is_err());
         let mut y = vec![0.0; 2];
-        assert!(axm1_checked(&a, &[1.0, 2.0, 3.0], &mut y).is_err());
+        assert!(axm1(&a, &[1.0, 2.0, 3.0], &mut y).is_err());
         let tables = PrecomputedTables::new(3, 3);
         assert!(tables.axm(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn precomputed_tables_reject_wrong_shape_in_release() {
+        // These are real checks, not debug_asserts: a wrong-shape tensor
+        // must produce a typed error in every build profile instead of
+        // silently indexing the wrong tables.
+        let tables = PrecomputedTables::new(4, 3);
+        let wrong = random_sym(3, 3, 161);
+        let x = [1.0, 0.0, 0.0];
+        assert_eq!(
+            tables.axm(&wrong, &x).unwrap_err(),
+            Error::ShapeMismatch {
+                expected: (4, 3),
+                found: (3, 3),
+            }
+        );
+        let mut y = [0.0; 3];
+        assert!(matches!(
+            tables.axm1(&wrong, &x, &mut y),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        // The trait-object path surfaces the same typed error (no panic).
+        let k: &dyn TensorKernels<f64> = &tables;
+        assert!(k.axm(wrong.view(), &x).is_err());
+        assert!(k.axm1(wrong.view(), &x, &mut y).is_err());
     }
 
     #[test]
@@ -730,13 +792,14 @@ mod tests {
         let x = random_unit(3, 152);
         let tables = PrecomputedTables::new(4, 3);
         let impls: Vec<&dyn TensorKernels<f64>> = vec![&GeneralKernels, &tables];
-        let want = axm(&a, &x);
+        let want = axm(&a, &x).unwrap();
         for k in &impls {
-            assert!((k.axm(a.view(), &x) - want).abs() < 1e-12, "{}", k.name());
+            let got = k.axm(a.view(), &x).unwrap();
+            assert!((got - want).abs() < 1e-12, "{}", k.name());
             let mut y0 = vec![0.0; 3];
             let mut y1 = vec![0.0; 3];
-            axm1(&a, &x, &mut y0);
-            k.axm1(a.view(), &x, &mut y1);
+            axm1(&a, &x, &mut y0).unwrap();
+            k.axm1(a.view(), &x, &mut y1).unwrap();
             for j in 0..3 {
                 assert!((y0[j] - y1[j]).abs() < 1e-12);
             }

@@ -1,0 +1,384 @@
+//! Lockstep batch-lane kernels: `A·xᵐ` / `A·xᵐ⁻¹` for a panel of
+//! [`LANE_WIDTH`] tensors evaluated *in lockstep* over the packed
+//! [`crate::TensorBatch`] arena.
+//!
+//! The paper's workload (Section VI) is millions of independent small
+//! tensors of one shape. The per-tensor kernels walk the shared index and
+//! coefficient tables once *per tensor*; this module restructures the loop
+//! the way Schatz et al. block symmetric contractions: gather each
+//! unique-entry stride across a panel of `W` tensors into a
+//! structure-of-arrays lane buffer (one transpose per panel, amortized over
+//! every subsequent kernel call), walk the shared per-shape tables once per
+//! *class*, and update all `W` accumulators per step. The inner `W`-wide
+//! loops carry no cross-lane dependencies, so they autovectorize — and the
+//! dependent-accumulation chain of the scalar kernel is broken `W` ways.
+//!
+//! Per-lane arithmetic is ordered exactly as in
+//! [`PrecomputedTables::axm`]/[`PrecomputedTables::axm1`], so each lane's
+//! result is bitwise identical to the scalar table-driven kernel — the
+//! lockstep SS-HOPM driver in `sshopm` relies on this for its parity suite.
+
+use crate::batch::TensorBatchRef;
+use crate::error::{Error, Result};
+use crate::kernels::{check_shape, check_vec, PrecomputedTables, TensorKernels};
+use crate::multinomial::multinomial1_from_stored;
+use crate::scalar::Scalar;
+use crate::storage::SymTensorRef;
+
+/// Number of tensors evaluated in lockstep by one [`LanePanel`].
+///
+/// Eight lanes of `f64` fill a 512-bit vector register (two 256-bit ones on
+/// AVX2); the tail panel of a batch simply runs with zero-padded lanes.
+pub const LANE_WIDTH: usize = 8;
+
+/// The lockstep kernel family: shared per-shape tables plus the panel
+/// evaluation routines.
+///
+/// As a [`TensorKernels`] implementation it falls back to the scalar
+/// table-driven kernels (name `"batched"`), so adaptive solvers that cannot
+/// run in lockstep still work with `--kernel batched`.
+#[derive(Debug, Clone)]
+pub struct BatchedKernels {
+    tables: PrecomputedTables,
+}
+
+impl BatchedKernels {
+    /// Build the shared tables for shape `(m, n)`.
+    pub fn new(m: usize, n: usize) -> Self {
+        Self {
+            tables: PrecomputedTables::new(m, n),
+        }
+    }
+
+    /// Tensor order the kernels were built for.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.tables.order()
+    }
+
+    /// Tensor dimension the kernels were built for.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.tables.dim()
+    }
+
+    /// The underlying shared tables.
+    #[inline]
+    pub fn tables(&self) -> &PrecomputedTables {
+        &self.tables
+    }
+}
+
+impl<S: Scalar> TensorKernels<S> for BatchedKernels {
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> Result<S> {
+        self.tables.axm(a, x)
+    }
+
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) -> Result<()> {
+        self.tables.axm1(a, x, y)
+    }
+
+    fn name(&self) -> &'static str {
+        "batched"
+    }
+}
+
+/// A structure-of-arrays view of up to [`LANE_WIDTH`] same-shape tensors:
+/// entry `e` of lane `w` lives at `soa[e * LANE_WIDTH + w]`, so the panel
+/// kernels stream `W` contiguous values per table step.
+///
+/// Unused tail lanes are zero tensors — they compute harmless zeros and
+/// their outputs are simply never read.
+#[derive(Debug, Clone)]
+pub struct LanePanel<S> {
+    width: usize,
+    soa: Vec<S>,
+}
+
+impl<S: Scalar> LanePanel<S> {
+    /// Gather `width` tensors of a batch, starting at `start`, into lane
+    /// form (the one transpose per panel that every later kernel call
+    /// amortizes).
+    ///
+    /// # Errors
+    /// Returns [`Error::ShapeMismatch`] if the batch shape differs from the
+    /// kernels' shape, and [`Error::ValueLengthMismatch`] if `width` is zero
+    /// or exceeds [`LANE_WIDTH`] or the batch slice is out of range.
+    pub fn gather(
+        kernels: &BatchedKernels,
+        batch: TensorBatchRef<'_, S>,
+        start: usize,
+        width: usize,
+    ) -> Result<Self> {
+        if width == 0 || width > LANE_WIDTH || start + width > batch.len() {
+            return Err(Error::ValueLengthMismatch {
+                expected: LANE_WIDTH,
+                actual: width,
+            });
+        }
+        let (m, n) = batch.shape();
+        if (m, n) != (kernels.order(), kernels.dim()) {
+            return Err(Error::ShapeMismatch {
+                expected: (kernels.order(), kernels.dim()),
+                found: (m, n),
+            });
+        }
+        let u = kernels.tables.num_unique();
+        let mut soa = vec![S::ZERO; u * LANE_WIDTH];
+        for w in 0..width {
+            let t = batch.try_get(start + w)?;
+            for (e, &v) in t.values().iter().enumerate() {
+                soa[e * LANE_WIDTH + w] = v;
+            }
+        }
+        Ok(Self { width, soa })
+    }
+
+    /// Gather from a slice of same-shape tensor views (the non-arena entry
+    /// point used by tests and the bench harness).
+    ///
+    /// # Errors
+    /// Same contract as [`LanePanel::gather`].
+    pub fn gather_views(kernels: &BatchedKernels, tensors: &[SymTensorRef<'_, S>]) -> Result<Self> {
+        if tensors.is_empty() || tensors.len() > LANE_WIDTH {
+            return Err(Error::ValueLengthMismatch {
+                expected: LANE_WIDTH,
+                actual: tensors.len(),
+            });
+        }
+        let u = kernels.tables.num_unique();
+        let mut soa = vec![S::ZERO; u * LANE_WIDTH];
+        for (w, t) in tensors.iter().enumerate() {
+            check_shape(t, kernels.order(), kernels.dim())?;
+            for (e, &v) in t.values().iter().enumerate() {
+                soa[e * LANE_WIDTH + w] = v;
+            }
+        }
+        Ok(Self {
+            width: tensors.len(),
+            soa,
+        })
+    }
+
+    /// Number of live lanes (gathered tensors).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// `A·xᵐ` for every lane at once.
+    ///
+    /// `xs` holds the per-lane vectors component-major
+    /// (`xs[i * LANE_WIDTH + w]` is component `i` of lane `w`, length
+    /// `n · LANE_WIDTH`); `out` receives one scalar per lane (length
+    /// [`LANE_WIDTH`]; entries past [`width`](Self::width) are meaningless).
+    ///
+    /// # Errors
+    /// Returns [`Error::VectorLengthMismatch`] on wrongly sized `xs`/`out`.
+    pub fn axm(&self, kernels: &BatchedKernels, xs: &[S], out: &mut [S]) -> Result<()> {
+        let t = &kernels.tables;
+        check_vec(xs, t.dim() * LANE_WIDTH)?;
+        check_vec(out, LANE_WIDTH)?;
+        for o in out.iter_mut() {
+            *o = S::ZERO;
+        }
+        for (u, &coeff) in t.coeffs().iter().enumerate() {
+            let mut xhat = [S::ONE; LANE_WIDTH];
+            for &i in t.rep(u) {
+                let xi = &xs[i as usize * LANE_WIDTH..(i as usize + 1) * LANE_WIDTH];
+                for w in 0..LANE_WIDTH {
+                    xhat[w] *= xi[w];
+                }
+            }
+            let c = S::from_u64(coeff);
+            let av = &self.soa[u * LANE_WIDTH..(u + 1) * LANE_WIDTH];
+            for w in 0..LANE_WIDTH {
+                out[w] += c * av[w] * xhat[w];
+            }
+        }
+        Ok(())
+    }
+
+    /// `A·xᵐ⁻¹` for every lane at once, into `ys` (overwritten; same
+    /// component-major `n · LANE_WIDTH` layout as `xs`).
+    ///
+    /// # Errors
+    /// Returns [`Error::VectorLengthMismatch`] on wrongly sized `xs`/`ys`.
+    pub fn axm1(&self, kernels: &BatchedKernels, xs: &[S], ys: &mut [S]) -> Result<()> {
+        let t = &kernels.tables;
+        let n = t.dim();
+        let m = t.order();
+        check_vec(xs, n * LANE_WIDTH)?;
+        check_vec(ys, n * LANE_WIDTH)?;
+        for e in ys.iter_mut() {
+            *e = S::ZERO;
+        }
+        for (u, &c) in t.coeffs().iter().enumerate() {
+            let rep = t.rep(u);
+            let av = &self.soa[u * LANE_WIDTH..(u + 1) * LANE_WIDTH];
+            for &(j, kj) in t.distinct(u) {
+                // Product over the representation with one `j` removed —
+                // recomputed per distinct index exactly as the scalar
+                // kernel does, but across W lanes per multiply.
+                let mut xhat = [S::ONE; LANE_WIDTH];
+                let mut skipped = false;
+                for &i in rep {
+                    if !skipped && i == j {
+                        skipped = true;
+                        continue;
+                    }
+                    let xi = &xs[i as usize * LANE_WIDTH..(i as usize + 1) * LANE_WIDTH];
+                    for w in 0..LANE_WIDTH {
+                        xhat[w] *= xi[w];
+                    }
+                }
+                let sigma = S::from_u64(multinomial1_from_stored(c, kj as usize, m));
+                let j = j as usize;
+                let yj = &mut ys[j * LANE_WIDTH..(j + 1) * LANE_WIDTH];
+                for w in 0..LANE_WIDTH {
+                    yj[w] += sigma * av[w] * xhat[w];
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::TensorBatch;
+    use crate::storage::SymTensor;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_batch(m: usize, n: usize, len: usize, seed: u64) -> TensorBatch<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TensorBatch::random(m, n, len, &mut rng).unwrap()
+    }
+
+    fn random_lane_vectors(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n * LANE_WIDTH)
+            .map(|_| rng.gen_range(-1.0..=1.0))
+            .collect()
+    }
+
+    #[test]
+    fn panel_axm_is_bitwise_identical_to_scalar_tables() {
+        let kernels = BatchedKernels::new(4, 3);
+        let batch = random_batch(4, 3, 5, 1);
+        let panel = LanePanel::gather(&kernels, batch.view(), 0, 5).unwrap();
+        let xs = random_lane_vectors(3, 2);
+        let mut out = [0.0; LANE_WIDTH];
+        panel.axm(&kernels, &xs, &mut out).unwrap();
+        for w in 0..5 {
+            let x: Vec<f64> = (0..3).map(|i| xs[i * LANE_WIDTH + w]).collect();
+            let want = kernels.tables().axm(batch.view().try_get(w).unwrap(), &x);
+            assert_eq!(out[w].to_bits(), want.unwrap().to_bits(), "lane {w}");
+        }
+    }
+
+    #[test]
+    fn panel_axm1_is_bitwise_identical_to_scalar_tables() {
+        let kernels = BatchedKernels::new(4, 3);
+        let batch = random_batch(4, 3, LANE_WIDTH, 3);
+        let panel = LanePanel::gather(&kernels, batch.view(), 0, LANE_WIDTH).unwrap();
+        let xs = random_lane_vectors(3, 4);
+        let mut ys = vec![0.0; 3 * LANE_WIDTH];
+        panel.axm1(&kernels, &xs, &mut ys).unwrap();
+        for w in 0..LANE_WIDTH {
+            let x: Vec<f64> = (0..3).map(|i| xs[i * LANE_WIDTH + w]).collect();
+            let mut want = vec![0.0; 3];
+            kernels
+                .tables()
+                .axm1(batch.view().try_get(w).unwrap(), &x, &mut want)
+                .unwrap();
+            for i in 0..3 {
+                assert_eq!(
+                    ys[i * LANE_WIDTH + w].to_bits(),
+                    want[i].to_bits(),
+                    "lane {w} component {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn panel_handles_other_shapes_and_partial_width() {
+        for (m, n) in [(3, 2), (3, 4), (6, 3)] {
+            let kernels = BatchedKernels::new(m, n);
+            let batch = random_batch(m, n, 3, 100 + m as u64);
+            let panel = LanePanel::gather(&kernels, batch.view(), 1, 2).unwrap();
+            assert_eq!(panel.width(), 2);
+            let xs = random_lane_vectors(n, 200 + n as u64);
+            let mut ys = vec![0.0; n * LANE_WIDTH];
+            panel.axm1(&kernels, &xs, &mut ys).unwrap();
+            for w in 0..2 {
+                let x: Vec<f64> = (0..n).map(|i| xs[i * LANE_WIDTH + w]).collect();
+                let mut want = vec![0.0; n];
+                kernels
+                    .tables()
+                    .axm1(batch.view().try_get(1 + w).unwrap(), &x, &mut want)
+                    .unwrap();
+                for i in 0..n {
+                    assert_eq!(ys[i * LANE_WIDTH + w].to_bits(), want[i].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_rejects_bad_widths_and_shapes() {
+        let kernels = BatchedKernels::new(4, 3);
+        let batch = random_batch(4, 3, 4, 7);
+        assert!(LanePanel::gather(&kernels, batch.view(), 0, 0).is_err());
+        assert!(LanePanel::gather(&kernels, batch.view(), 0, LANE_WIDTH + 1).is_err());
+        assert!(LanePanel::gather(&kernels, batch.view(), 2, 3).is_err());
+        let wrong = random_batch(3, 3, 2, 8);
+        assert!(matches!(
+            LanePanel::gather(&kernels, wrong.view(), 0, 2),
+            Err(Error::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn gather_views_matches_arena_gather() {
+        let kernels = BatchedKernels::new(4, 3);
+        let batch = random_batch(4, 3, 3, 9);
+        let views: Vec<_> = (0..3).map(|i| batch.view().try_get(i).unwrap()).collect();
+        let a = LanePanel::gather(&kernels, batch.view(), 0, 3).unwrap();
+        let b = LanePanel::gather_views(&kernels, &views).unwrap();
+        assert_eq!(a.soa.len(), b.soa.len());
+        for (x, y) in a.soa.iter().zip(&b.soa) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn scalar_fallback_matches_precomputed_and_reports_name() {
+        let kernels = BatchedKernels::new(4, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = SymTensor::<f64>::random(4, 3, &mut rng);
+        let x = [0.3, -0.6, 0.74];
+        let via_batched = TensorKernels::axm(&kernels, a.view(), &x).unwrap();
+        let via_tables = kernels.tables().axm(&a, &x).unwrap();
+        assert_eq!(via_batched.to_bits(), via_tables.to_bits());
+        assert_eq!(TensorKernels::<f64>::name(&kernels), "batched");
+        let wrong = SymTensor::<f64>::random(3, 3, &mut rng);
+        assert!(TensorKernels::axm(&kernels, wrong.view(), &x).is_err());
+    }
+
+    #[test]
+    fn wrong_lane_vector_lengths_error() {
+        let kernels = BatchedKernels::new(4, 3);
+        let batch = random_batch(4, 3, 2, 13);
+        let panel = LanePanel::gather(&kernels, batch.view(), 0, 2).unwrap();
+        let xs = vec![0.0; 3 * LANE_WIDTH - 1];
+        let mut out = [0.0; LANE_WIDTH];
+        assert!(panel.axm(&kernels, &xs, &mut out).is_err());
+        let good = vec![0.5; 3 * LANE_WIDTH];
+        let mut short = vec![0.0; 3];
+        assert!(panel.axm1(&kernels, &good, &mut short).is_err());
+    }
+}

@@ -27,9 +27,9 @@
 //! let a = SymTensor::<f64>::from_fn(4, 3, |class| class.indices().iter().sum::<usize>() as f64);
 //! let x = [1.0, 0.5, -0.25];
 //!
-//! let s = kernels::axm(&a, &x);          // A·x^m, a scalar
+//! let s = kernels::axm(&a, &x).unwrap(); // A·x^m, a scalar
 //! let mut y = [0.0; 3];
-//! kernels::axm1(&a, &x, &mut y);         // A·x^{m-1}, a vector
+//! kernels::axm1(&a, &x, &mut y).unwrap(); // A·x^{m-1}, a vector
 //! // Euler's identity for homogeneous forms: x·(A x^{m-1}) = A x^m.
 //! let dot: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
 //! assert!((dot - s).abs() < 1e-12);
@@ -48,6 +48,7 @@ pub mod flops;
 pub mod index;
 pub mod io;
 pub mod kernels;
+pub mod lanes;
 pub mod multinomial;
 pub mod scalar;
 pub mod special;
@@ -59,6 +60,7 @@ pub use dense::DenseTensor;
 pub use error::{Error, Result};
 pub use index::{IndexClass, IndexClassIter, MonomialRep};
 pub use kernels::{GeneralKernels, PrecomputedTables, TensorKernels};
+pub use lanes::{BatchedKernels, LanePanel, LANE_WIDTH};
 pub use multinomial::CombinatoricsOverflow;
 pub use scalar::Scalar;
 pub use storage::{SymTensor, SymTensorRef};

@@ -47,13 +47,16 @@ impl std::error::Error for CombinatoricsOverflow {}
 /// Returns 0 when `k > n`. Uses the multiplicative formula with `u128`
 /// intermediates so values up to `u64::MAX` are produced without overflow.
 ///
-/// # Panics
-/// Panics if the result itself overflows `u64`. Use [`try_binomial`] for
-/// a non-panicking variant.
+/// A result overflowing `u64` is a debug-checked precondition violation;
+/// release builds saturate to `u64::MAX`. Use [`try_binomial`] when the
+/// arguments come from untrusted input.
 pub fn binomial(n: usize, k: usize) -> u64 {
     match try_binomial(n, k) {
         Ok(v) => v,
-        Err(e) => panic!("{e}"),
+        Err(e) => {
+            debug_assert!(false, "{e}");
+            u64::MAX
+        }
     }
 }
 
@@ -201,14 +204,18 @@ pub struct BinomialTable {
 impl BinomialTable {
     /// Build a table holding `C(i, j)` for all `i < rows`, `j <= i`.
     ///
-    /// # Panics
-    /// Panics if any entry overflows `u64` (`rows > 68`); use
-    /// [`try_new`](Self::try_new) when `rows` comes from untrusted input.
+    /// An entry overflowing `u64` (`rows > 68`) is a debug-checked
+    /// precondition violation; release builds fall back to an empty table
+    /// whose lookups panic. Use [`try_new`](Self::try_new) when `rows`
+    /// comes from untrusted input.
     pub fn new(rows: usize) -> Self {
-        match Self::try_new(rows) {
-            Ok(t) => t,
-            Err(e) => panic!("{e}"),
-        }
+        Self::try_new(rows).unwrap_or_else(|e| {
+            debug_assert!(false, "{e}");
+            Self {
+                rows: 0,
+                data: Vec::new(),
+            }
+        })
     }
 
     /// Checked variant of [`new`](Self::new): `Err` instead of a panic
@@ -234,15 +241,15 @@ impl BinomialTable {
     /// `C(n, k)`; returns 0 when `k > n`.
     ///
     /// # Panics
-    /// Panics if `n >= rows`.
+    /// Panics (index out of bounds) if `n >= rows`.
     #[inline]
     pub fn get(&self, n: usize, k: usize) -> u64 {
-        if n >= self.rows {
-            panic!("binomial table too small: C({n}, {k})");
-        }
         if k > n {
             0
         } else {
+            // For n >= rows the offset lands past the end of `data`
+            // (n·rows ≥ rows²), so the slice indexing itself reports the
+            // out-of-range row.
             self.data[n * self.rows + k]
         }
     }

@@ -21,11 +21,12 @@ use crate::storage::SymTensor;
 /// indices} / (m−1)!!`. For `m = 4` this is the familiar
 /// `(δ_{ij}δ_{kl} + δ_{ik}δ_{jl} + δ_{il}δ_{jk}) / 3`.
 ///
-/// # Panics
-/// Panics if `m` is odd or zero, or outside the supported order range.
+/// `m` being even and nonzero is a debug-checked precondition; release
+/// builds fall back to the zero tensor for invalid orders.
 pub fn identity_even<S: Scalar>(m: usize, n: usize) -> SymTensor<S> {
     if m < 2 || !m.is_multiple_of(2) {
-        panic!("identity tensor needs even order, got {m}");
+        debug_assert!(false, "identity tensor needs even order, got {m}");
+        return SymTensor::zeros(m.max(1), n);
     }
     let matchings = perfect_matchings(m);
     let total = matchings.len() as f64; // (m-1)!!
@@ -38,17 +39,19 @@ pub fn identity_even<S: Scalar>(m: usize, n: usize) -> SymTensor<S> {
             .count();
         values.push(S::from_f64(good as f64 / total));
     }
-    match SymTensor::from_values(m, n, values) {
-        Ok(t) => t,
-        Err(e) => panic!("shape consistent: {e}"),
-    }
+    // The iterator yields exactly C(m+n-1, m) classes, so this cannot fail.
+    SymTensor::from_values(m, n, values).unwrap_or_else(|_| SymTensor::zeros(m, n))
 }
 
 /// All perfect matchings of `{0, …, m-1}` (for even `m`), each as a list of
 /// index pairs. There are `(m-1)!! = 1·3·5·…·(m-1)` of them.
+///
+/// Even `m` is a debug-checked precondition; odd `m` in release builds
+/// yields an empty list.
 pub fn perfect_matchings(m: usize) -> Vec<Vec<(usize, usize)>> {
     if !m.is_multiple_of(2) {
-        panic!("perfect matchings need even m, got {m}");
+        debug_assert!(false, "perfect matchings need even m, got {m}");
+        return Vec::new();
     }
     let mut out = Vec::new();
     let items: Vec<usize> = (0..m).collect();
@@ -80,32 +83,32 @@ pub fn perfect_matchings(m: usize) -> Vec<Vec<(usize, usize)>> {
 /// problem the (unshifted) power method solves, and the generator used by
 /// the decomposition tests.
 ///
+/// Equal-length, non-empty lists of same-dimension vectors are
+/// debug-checked preconditions.
+///
 /// # Panics
-/// Panics if the lists have different lengths, are empty, or the vectors
-/// have inconsistent dimensions.
+/// Panics (index out of bounds) on an empty vector list in release
+/// builds; mismatched term counts truncate to the shorter list.
 pub fn from_rank_ones<S: Scalar>(m: usize, weights: &[S], vectors: &[Vec<S>]) -> SymTensor<S> {
-    if weights.len() != vectors.len() {
-        panic!(
-            "one weight per vector: {} weights, {} vectors",
-            weights.len(),
-            vectors.len()
-        );
-    }
-    if weights.is_empty() {
-        panic!("need at least one term");
-    }
+    debug_assert!(
+        weights.len() == vectors.len(),
+        "one weight per vector: {} weights, {} vectors",
+        weights.len(),
+        vectors.len()
+    );
+    debug_assert!(!weights.is_empty(), "need at least one term");
     let n = vectors[0].len();
-    if !vectors.iter().all(|v| v.len() == n) {
-        panic!("all vectors must share one dimension");
-    }
+    debug_assert!(
+        vectors.iter().all(|v| v.len() == n),
+        "all vectors must share one dimension"
+    );
     let mut acc = SymTensor::zeros(m, n);
     for (&w, v) in weights.iter().zip(vectors) {
         let mut term = SymTensor::rank_one(m, v);
         term.scale(w);
-        acc = match acc.add(&term) {
-            Ok(t) => t,
-            Err(e) => panic!("shapes match: {e}"),
-        };
+        // Every term is built with shape (m, n), matching `acc`; keep the
+        // accumulator unchanged on the impossible mismatch.
+        acc = acc.add(&term).unwrap_or(acc);
     }
     acc
 }
@@ -170,7 +173,7 @@ mod tests {
             let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let nrm = norm2(&x);
             // E x^m = ||x||^m.
-            let s = axm(&e, &x);
+            let s = axm(&e, &x).unwrap();
             assert!(
                 (s - nrm.powi(m as i32)).abs() < 1e-10 * (1.0 + s.abs()),
                 "[{m},{n}] E x^m: {s} vs {}",
@@ -178,7 +181,7 @@ mod tests {
             );
             // E x^{m-1} = ||x||^{m-2} x.
             let mut y = vec![0.0; n];
-            axm1(&e, &x, &mut y);
+            axm1(&e, &x, &mut y).unwrap();
             let scale = nrm.powi(m as i32 - 2);
             for j in 0..n {
                 assert!(
@@ -191,7 +194,8 @@ mod tests {
 
     #[test]
     #[should_panic]
-    fn odd_order_identity_panics() {
+    #[cfg(debug_assertions)]
+    fn odd_order_identity_panics_in_debug() {
         identity_even::<f64>(3, 3);
     }
 
@@ -213,12 +217,13 @@ mod tests {
         let d1: f64 = v1.iter().zip(&x).map(|(p, q)| p * q).sum();
         let d2: f64 = v2.iter().zip(&x).map(|(p, q)| p * q).sum();
         let want = 2.0 * d1.powi(4) - 0.5 * d2.powi(4);
-        assert!((axm(&a, &x) - want).abs() < 1e-10 * (1.0 + want.abs()));
+        assert!((axm(&a, &x).unwrap() - want).abs() < 1e-10 * (1.0 + want.abs()));
     }
 
     #[test]
     #[should_panic]
-    fn from_rank_ones_length_mismatch_panics() {
+    #[cfg(debug_assertions)]
+    fn from_rank_ones_length_mismatch_panics_in_debug() {
         from_rank_ones::<f64>(3, &[1.0, 2.0], &[vec![1.0, 0.0]]);
     }
 }

@@ -68,13 +68,14 @@ impl<S: Scalar> SymTensor<S> {
 
     /// The zero tensor of order `m` and dimension `n`.
     ///
-    /// # Panics
-    /// Panics if `m` is outside `1..=20` or `n == 0`.
+    /// A shape with `m` in `1..=20` and `n >= 1` is a debug-checked
+    /// precondition; release builds yield an empty value buffer for
+    /// invalid shapes.
     pub fn zeros(m: usize, n: usize) -> Self {
-        let len = match Self::checked_len(m, n) {
-            Ok(len) => len,
-            Err(e) => panic!("invalid tensor shape: {e}"),
-        };
+        let len = Self::checked_len(m, n).unwrap_or_else(|e| {
+            debug_assert!(false, "invalid tensor shape: {e}");
+            0
+        });
         Self {
             m,
             n,
@@ -96,13 +97,14 @@ impl<S: Scalar> SymTensor<S> {
 
     /// Build a tensor by evaluating `f` on every index class, in order.
     ///
-    /// # Panics
-    /// Panics if `m` is outside `1..=20` or `n == 0`.
+    /// A shape with `m` in `1..=20` and `n >= 1` is a debug-checked
+    /// precondition; release builds yield an empty value buffer for
+    /// invalid shapes.
     pub fn from_fn(m: usize, n: usize, mut f: impl FnMut(&IndexClass) -> S) -> Self {
-        let len = match Self::checked_len(m, n) {
-            Ok(len) => len,
-            Err(e) => panic!("invalid tensor shape: {e}"),
-        };
+        let len = Self::checked_len(m, n).unwrap_or_else(|e| {
+            debug_assert!(false, "invalid tensor shape: {e}");
+            0
+        });
         let mut values = Vec::with_capacity(len);
         for class in IndexClassIter::new(m, n) {
             values.push(f(&class));
@@ -113,13 +115,14 @@ impl<S: Scalar> SymTensor<S> {
     /// A random symmetric tensor with unique entries drawn i.i.d. uniformly
     /// from `[-1, 1]` (the paper's choice for synthetic experiments).
     ///
-    /// # Panics
-    /// Panics if `m` is outside `1..=20` or `n == 0`.
+    /// A shape with `m` in `1..=20` and `n >= 1` is a debug-checked
+    /// precondition; release builds yield an empty value buffer for
+    /// invalid shapes.
     pub fn random<R: Rng + ?Sized>(m: usize, n: usize, rng: &mut R) -> Self {
-        let len = match Self::checked_len(m, n) {
-            Ok(len) => len,
-            Err(e) => panic!("invalid tensor shape: {e}"),
-        };
+        let len = Self::checked_len(m, n).unwrap_or_else(|e| {
+            debug_assert!(false, "invalid tensor shape: {e}");
+            0
+        });
         let values = (0..len)
             .map(|_| S::from_f64(rng.gen_range(-1.0..=1.0)))
             .collect();

@@ -88,7 +88,7 @@ proptest! {
     fn axm_matches_dense((t, x) in tensor_and_vec()) {
         let dense = DenseTensor::from_sym(&t);
         let want = dense.axm_dense(&x).unwrap();
-        let got = axm(&t, &x);
+        let got = axm(&t, &x).unwrap();
         // Scale tolerance with the magnitude of the computation.
         let scale = 1.0 + want.abs();
         prop_assert!((got - want).abs() < 1e-9 * scale, "{got} vs {want}");
@@ -100,7 +100,7 @@ proptest! {
         let dense = DenseTensor::from_sym(&t);
         let want = dense.axm1_dense(&x).unwrap();
         let mut got = vec![0.0; n];
-        axm1(&t, &x, &mut got);
+        axm1(&t, &x, &mut got).unwrap();
         for j in 0..n {
             let scale = 1.0 + want[j].abs();
             prop_assert!((got[j] - want[j]).abs() < 1e-9 * scale, "j={j}");
@@ -109,9 +109,9 @@ proptest! {
 
     #[test]
     fn euler_identity((t, x) in tensor_and_vec()) {
-        let s = axm(&t, &x);
+        let s = axm(&t, &x).unwrap();
         let mut y = vec![0.0; t.dim()];
-        axm1(&t, &x, &mut y);
+        axm1(&t, &x, &mut y).unwrap();
         let dot: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
         let scale = 1.0 + s.abs();
         prop_assert!((dot - s).abs() < 1e-9 * scale);
@@ -121,8 +121,8 @@ proptest! {
     fn homogeneity((t, x) in tensor_and_vec(), c in -3.0f64..3.0) {
         let m = t.order() as i32;
         let cx: Vec<f64> = x.iter().map(|&e| c * e).collect();
-        let lhs = axm(&t, &cx);
-        let rhs = c.powi(m) * axm(&t, &x);
+        let lhs = axm(&t, &cx).unwrap();
+        let rhs = c.powi(m) * axm(&t, &x).unwrap();
         let scale = 1.0 + lhs.abs().max(rhs.abs());
         prop_assert!((lhs - rhs).abs() < 1e-9 * scale);
     }
@@ -133,8 +133,8 @@ proptest! {
         let mut b = a.clone();
         b.scale(scale);
         let sum = a.add(&b).unwrap();
-        let lhs = axm(&sum, &x);
-        let rhs = (1.0 + scale) * axm(&a, &x);
+        let lhs = axm(&sum, &x).unwrap();
+        let rhs = (1.0 + scale) * axm(&a, &x).unwrap();
         let tol_scale = 1.0 + lhs.abs();
         prop_assert!((lhs - rhs).abs() < 1e-9 * tol_scale);
     }
@@ -142,14 +142,14 @@ proptest! {
     #[test]
     fn precomputed_tables_match((t, x) in tensor_and_vec()) {
         let tables = PrecomputedTables::new(t.order(), t.dim());
-        let s0 = axm(&t, &x);
+        let s0 = axm(&t, &x).unwrap();
         let s1 = tables.axm(&t, &x).unwrap();
         let scale = 1.0 + s0.abs();
         prop_assert!((s0 - s1).abs() < 1e-10 * scale);
 
         let mut y0 = vec![0.0; t.dim()];
         let mut y1 = vec![0.0; t.dim()];
-        axm1(&t, &x, &mut y0);
+        axm1(&t, &x, &mut y0).unwrap();
         tables.axm1(&t, &x, &mut y1).unwrap();
         for j in 0..t.dim() {
             let scale = 1.0 + y0[j].abs();
@@ -163,10 +163,10 @@ proptest! {
         // must equal axm on the original for every valid p.
         let m = t.order();
         prop_assume!(m >= 2);
-        let full = axm(&t, &x);
+        let full = axm(&t, &x).unwrap();
         for p in 1..m {
             let partial = axmp(&t, &x, p).unwrap();
-            let finished = axm(&partial, &x);
+            let finished = axm(&partial, &x).unwrap();
             let scale = 1.0 + full.abs();
             prop_assert!((finished - full).abs() < 1e-8 * scale, "p={p}");
         }
@@ -179,7 +179,7 @@ proptest! {
         let x: Vec<f64> = v.iter().map(|&e| e + 0.5).collect();
         let d: f64 = v.iter().zip(&x).map(|(a, b)| a * b).sum();
         let want = d.powi(m as i32);
-        let got = axm(&t, &x);
+        let got = axm(&t, &x).unwrap();
         let scale = 1.0 + want.abs();
         prop_assert!((got - want).abs() < 1e-9 * scale);
     }
@@ -200,13 +200,13 @@ proptest! {
             return Ok(());
         };
         use symtensor::TensorKernels;
-        let want = axm(&t, &x);
-        let got = TensorKernels::axm(&k, t.view(), &x);
+        let want = axm(&t, &x).unwrap();
+        let got = TensorKernels::axm(&k, t.view(), &x).unwrap();
         prop_assert!((got - want).abs() < 1e-9 * (1.0 + want.abs()));
         let mut y0 = vec![0.0; t.dim()];
         let mut y1 = vec![0.0; t.dim()];
-        axm1(&t, &x, &mut y0);
-        TensorKernels::axm1(&k, t.view(), &x, &mut y1);
+        axm1(&t, &x, &mut y0).unwrap();
+        TensorKernels::axm1(&k, t.view(), &x, &mut y1).unwrap();
         for j in 0..t.dim() {
             prop_assert!((y0[j] - y1[j]).abs() < 1e-9 * (1.0 + y0[j].abs()), "j={j}");
         }
@@ -237,7 +237,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let tensors: Vec<SymTensor<f64>> =
             (0..count).map(|_| SymTensor::random(m, n, &mut rng)).collect();
-        let batch = TensorBatch::from(tensors.as_slice());
+        let batch = TensorBatch::from_tensors(&tensors).unwrap();
         prop_assert_eq!(batch.len(), count);
         let flat: Vec<f64> = tensors.iter().flat_map(|t| t.values().to_vec()).collect();
         prop_assert_eq!(batch.values(), &flat[..]);
@@ -260,7 +260,48 @@ proptest! {
         prop_assert_eq!(standalone.len(), count - lo);
         let x: Vec<f64> = (0..n).map(|i| 0.3 - 0.1 * i as f64).collect();
         for (a, b) in sub.iter().zip(standalone.iter()) {
-            prop_assert_eq!(axm(a, &x).to_bits(), axm(b, &x).to_bits());
+            prop_assert_eq!(axm(a, &x).unwrap().to_bits(), axm(b, &x).unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn batched_lanes_match_general((m, n) in shape(),
+                                   count in 1usize..12,
+                                   seed in 0u64..1000) {
+        // Every lane of every panel agrees with the scalar reference kernels
+        // to 1e-12 on random batches — the SIMD path may not drift.
+        use rand::{rngs::StdRng, SeedableRng};
+        use symtensor::{BatchedKernels, LanePanel, LANE_WIDTH};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let batch = TensorBatch::<f64>::random(m, n, count, &mut rng).unwrap();
+        let kernels = BatchedKernels::new(m, n);
+        let x: Vec<f64> = (0..n).map(|i| 0.4 - 0.15 * i as f64).collect();
+        let mut xs = vec![0.0; n * LANE_WIDTH];
+        for i in 0..n {
+            for w in 0..LANE_WIDTH {
+                xs[i * LANE_WIDTH + w] = x[i];
+            }
+        }
+        let mut start = 0;
+        while start < count {
+            let width = LANE_WIDTH.min(count - start);
+            let panel = LanePanel::gather(&kernels, batch.view(), start, width).unwrap();
+            let mut out = [0.0; LANE_WIDTH];
+            panel.axm(&kernels, &xs, &mut out).unwrap();
+            let mut ys = vec![0.0; n * LANE_WIDTH];
+            panel.axm1(&kernels, &xs, &mut ys).unwrap();
+            for w in 0..width {
+                let a = batch.get(start + w);
+                let want = axm(a, &x).unwrap();
+                prop_assert!((out[w] - want).abs() < 1e-12 * (1.0 + want.abs()));
+                let mut wy = vec![0.0; n];
+                axm1(a, &x, &mut wy).unwrap();
+                for j in 0..n {
+                    let got = ys[j * LANE_WIDTH + w];
+                    prop_assert!((got - wy[j]).abs() < 1e-12 * (1.0 + wy[j].abs()), "j={j} w={w}");
+                }
+            }
+            start += width;
         }
     }
 

@@ -23,7 +23,7 @@
 //! let a = SymTensor::<f32>::from_fn(4, 3, |c| c.rank() as f32);
 //! let k = UnrolledKernels::for_shape(4, 3).expect("(4,3) is generated");
 //! let x = [0.6f32, 0.0, 0.8];
-//! let s = k.axm(a.view(), &x);
+//! let s = k.axm(a.view(), &x).unwrap();
 //! assert!(s.is_finite());
 //! ```
 
@@ -31,7 +31,7 @@
 
 include!(concat!(env!("OUT_DIR"), "/generated.rs"));
 
-use symtensor::{Scalar, SymTensorRef, TensorKernels};
+use symtensor::{Error, Result, Scalar, SymTensorRef, TensorKernels};
 
 /// A [`TensorKernels`] implementation backed by the generated straight-line
 /// kernels for one specific shape.
@@ -54,24 +54,38 @@ impl UnrolledKernels {
     }
 }
 
+fn check_shape<S: Scalar>(a: &SymTensorRef<'_, S>, m: usize, n: usize) -> Result<()> {
+    if (a.order(), a.dim()) == (m, n) {
+        Ok(())
+    } else {
+        Err(Error::ShapeMismatch {
+            expected: (m, n),
+            found: (a.order(), a.dim()),
+        })
+    }
+}
+
 impl<S: Scalar> TensorKernels<S> for UnrolledKernels {
-    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
-        assert_eq!(
-            (a.order(), a.dim()),
-            (self.m, self.n),
-            "tensor shape does not match the unrolled kernel shape"
-        );
-        dispatch_axm(self.m, self.n, a.values(), x).expect("shape was validated at construction")
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> Result<S> {
+        check_shape(&a, self.m, self.n)?;
+        // The shape was validated at construction, so the dispatch hit
+        // cannot miss; report a mismatch rather than unwrapping anyway.
+        dispatch_axm(self.m, self.n, a.values(), x).ok_or(Error::ShapeMismatch {
+            expected: (self.m, self.n),
+            found: (a.order(), a.dim()),
+        })
     }
 
-    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
-        assert_eq!(
-            (a.order(), a.dim()),
-            (self.m, self.n),
-            "tensor shape does not match the unrolled kernel shape"
-        );
-        let ok = dispatch_axm1(self.m, self.n, a.values(), x, y);
-        assert!(ok, "shape was validated at construction");
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) -> Result<()> {
+        check_shape(&a, self.m, self.n)?;
+        if dispatch_axm1(self.m, self.n, a.values(), x, y) {
+            Ok(())
+        } else {
+            Err(Error::ShapeMismatch {
+                expected: (self.m, self.n),
+                found: (a.order(), a.dim()),
+            })
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -104,24 +118,24 @@ impl CseUnrolledKernels {
 }
 
 impl<S: Scalar> TensorKernels<S> for CseUnrolledKernels {
-    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> S {
-        assert_eq!(
-            (a.order(), a.dim()),
-            (self.m, self.n),
-            "tensor shape does not match the unrolled kernel shape"
-        );
-        dispatch_axm_cse(self.m, self.n, a.values(), x)
-            .expect("shape was validated at construction")
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> Result<S> {
+        check_shape(&a, self.m, self.n)?;
+        dispatch_axm_cse(self.m, self.n, a.values(), x).ok_or(Error::ShapeMismatch {
+            expected: (self.m, self.n),
+            found: (a.order(), a.dim()),
+        })
     }
 
-    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) {
-        assert_eq!(
-            (a.order(), a.dim()),
-            (self.m, self.n),
-            "tensor shape does not match the unrolled kernel shape"
-        );
-        let ok = dispatch_axm1_cse(self.m, self.n, a.values(), x, y);
-        assert!(ok, "shape was validated at construction");
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) -> Result<()> {
+        check_shape(&a, self.m, self.n)?;
+        if dispatch_axm1_cse(self.m, self.n, a.values(), x, y) {
+            Ok(())
+        } else {
+            Err(Error::ShapeMismatch {
+                expected: (self.m, self.n),
+                found: (a.order(), a.dim()),
+            })
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -155,8 +169,8 @@ mod tests {
             let a = random_sym(m, n, 1000 + i as u64);
             let x = random_unit(n, 2000 + i as u64);
             let k = UnrolledKernels::for_shape(m, n).unwrap();
-            let want = axm(&a, &x);
-            let got = TensorKernels::axm(&k, a.view(), &x);
+            let want = axm(&a, &x).unwrap();
+            let got = TensorKernels::axm(&k, a.view(), &x).unwrap();
             assert!((got - want).abs() < 1e-10, "[{m},{n}]: {got} vs {want}");
         }
     }
@@ -169,8 +183,8 @@ mod tests {
             let k = UnrolledKernels::for_shape(m, n).unwrap();
             let mut want = vec![0.0; n];
             let mut got = vec![0.0; n];
-            axm1(&a, &x, &mut want);
-            TensorKernels::axm1(&k, a.view(), &x, &mut got);
+            axm1(&a, &x, &mut want).unwrap();
+            TensorKernels::axm1(&k, a.view(), &x, &mut got).unwrap();
             for j in 0..n {
                 assert!(
                     (got[j] - want[j]).abs() < 1e-10,
@@ -208,8 +222,8 @@ mod tests {
         let a = SymTensor::<f32>::random(4, 3, &mut rng);
         let k = UnrolledKernels::for_shape(4, 3).unwrap();
         let x = [0.6f32, 0.0, 0.8];
-        let s_unrolled = TensorKernels::axm(&k, a.view(), &x);
-        let s_general = axm(&a, &x);
+        let s_unrolled = TensorKernels::axm(&k, a.view(), &x).unwrap();
+        let s_general = axm(&a, &x).unwrap();
         assert!((s_unrolled - s_general).abs() < 1e-5);
     }
 
@@ -230,20 +244,26 @@ mod tests {
             let a = random_sym(m, n, 5000 + i as u64);
             let x = random_unit(n, 6000 + i as u64);
             let k = UnrolledKernels::for_shape(m, n).unwrap();
-            let s = TensorKernels::axm(&k, a.view(), &x);
+            let s = TensorKernels::axm(&k, a.view(), &x).unwrap();
             let mut y = vec![0.0; n];
-            TensorKernels::axm1(&k, a.view(), &x, &mut y);
+            TensorKernels::axm1(&k, a.view(), &x, &mut y).unwrap();
             let dot: f64 = x.iter().zip(&y).map(|(p, q)| p * q).sum();
             assert!((dot - s).abs() < 1e-9, "[{m},{n}]");
         }
     }
 
     #[test]
-    #[should_panic]
-    fn shape_mismatch_panics() {
+    fn shape_mismatch_is_typed_error() {
         let a = random_sym(4, 3, 7);
         let k = UnrolledKernels::for_shape(3, 3).unwrap();
-        let _ = TensorKernels::axm(&k, a.view(), &[1.0, 0.0, 0.0]);
+        let err = TensorKernels::axm(&k, a.view(), &[1.0, 0.0, 0.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::ShapeMismatch {
+                expected: (3, 3),
+                found: (4, 3),
+            }
+        ));
     }
 
     #[test]
@@ -253,13 +273,13 @@ mod tests {
             let x = random_unit(n, 8000 + i as u64);
             let plain = UnrolledKernels::for_shape(m, n).unwrap();
             let cse = CseUnrolledKernels::for_shape(m, n).unwrap();
-            let s1 = TensorKernels::axm(&plain, a.view(), &x);
-            let s2 = TensorKernels::axm(&cse, a.view(), &x);
+            let s1 = TensorKernels::axm(&plain, a.view(), &x).unwrap();
+            let s2 = TensorKernels::axm(&cse, a.view(), &x).unwrap();
             assert!((s1 - s2).abs() < 1e-12 * (1.0 + s1.abs()), "[{m},{n}] axm");
             let mut y1 = vec![0.0; n];
             let mut y2 = vec![0.0; n];
-            TensorKernels::axm1(&plain, a.view(), &x, &mut y1);
-            TensorKernels::axm1(&cse, a.view(), &x, &mut y2);
+            TensorKernels::axm1(&plain, a.view(), &x, &mut y1).unwrap();
+            TensorKernels::axm1(&cse, a.view(), &x, &mut y2).unwrap();
             for j in 0..n {
                 assert!(
                     (y1[j] - y2[j]).abs() < 1e-12 * (1.0 + y1[j].abs()),
@@ -280,8 +300,8 @@ mod tests {
         let cse = CseUnrolledKernels::for_shape(4, 3).unwrap();
         let mut want = vec![0.0; 3];
         let mut got = vec![0.0; 3];
-        axm1(&a, &x, &mut want);
-        TensorKernels::axm1(&cse, a.view(), &x, &mut got);
+        axm1(&a, &x, &mut want).unwrap();
+        TensorKernels::axm1(&cse, a.view(), &x, &mut got).unwrap();
         for j in 0..3 {
             assert!((got[j] - want[j]).abs() < 1e-12, "j={j}");
         }

@@ -25,8 +25,8 @@ proptest! {
         let a = SymTensor::from_values(m, n, seed_vals[..u].to_vec()).unwrap();
         let x = &seed_x[..n];
         let k = UnrolledKernels::for_shape(m, n).unwrap();
-        let want = axm(&a, x);
-        let got = TensorKernels::axm(&k, a.view(), x);
+        let want = axm(&a, x).unwrap();
+        let got = TensorKernels::axm(&k, a.view(), x).unwrap();
         let scale = 1.0 + want.abs();
         prop_assert!((got - want).abs() < 1e-9 * scale, "[{m},{n}]");
     }
@@ -45,8 +45,8 @@ proptest! {
         let k = UnrolledKernels::for_shape(m, n).unwrap();
         let mut want = vec![0.0; n];
         let mut got = vec![0.0; n];
-        axm1(&a, x, &mut want);
-        TensorKernels::axm1(&k, a.view(), x, &mut got);
+        axm1(&a, x, &mut want).unwrap();
+        TensorKernels::axm1(&k, a.view(), x, &mut got).unwrap();
         for j in 0..n {
             let scale = 1.0 + want[j].abs();
             prop_assert!((got[j] - want[j]).abs() < 1e-9 * scale, "[{m},{n}] j={j}");
@@ -64,8 +64,8 @@ proptest! {
         let k = UnrolledKernels::for_shape(m, n).unwrap();
         let mut want = vec![0.0; n];
         let mut got = vec![0.0; n];
-        axm1(&a, &x, &mut want);
-        TensorKernels::axm1(&k, a.view(), &x, &mut got);
+        axm1(&a, &x, &mut want).unwrap();
+        TensorKernels::axm1(&k, a.view(), &x, &mut got).unwrap();
         for j in 0..n {
             prop_assert!((got[j] - want[j]).abs() < 1e-10, "[{m},{n}] j={j}");
         }

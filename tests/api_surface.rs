@@ -14,11 +14,11 @@ fn facade_covers_the_paper_workflow() {
 
     // 2. Kernels, three ways.
     let x = [0.6, 0.0, 0.8];
-    let s1 = symtensor::kernels::axm(&a, &x);
+    let s1 = symtensor::kernels::axm(&a, &x).unwrap();
     let tables = PrecomputedTables::new(4, 3);
-    let s2 = TensorKernels::axm(&tables, a.view(), &x);
+    let s2 = TensorKernels::axm(&tables, a.view(), &x).unwrap();
     let unrolled = UnrolledKernels::for_shape(4, 3).unwrap();
-    let s3 = TensorKernels::axm(&unrolled, a.view(), &x);
+    let s3 = TensorKernels::axm(&unrolled, a.view(), &x).unwrap();
     assert!((s1 - s2).abs() < 1e-12 && (s1 - s3).abs() < 1e-12);
 
     // 3. Solve.

@@ -98,7 +98,7 @@ fn dense_baseline_validates_all_generated_shapes() {
         let x: Vec<f64> = (0..n).map(|i| 0.3 + 0.1 * i as f64).collect();
         let k = UnrolledKernels::for_shape(m, n).unwrap();
         let want = dense.axm_dense(&x).unwrap();
-        let got = TensorKernels::axm(&k, a.view(), &x);
+        let got = TensorKernels::axm(&k, a.view(), &x).unwrap();
         assert!(
             (got - want).abs() < 1e-9 * (1.0 + want.abs()),
             "shape ({m},{n})"
