@@ -8,7 +8,7 @@ use sshopm::batch::BatchSolver;
 use sshopm::Solver;
 use std::time::Instant;
 use symtensor::{flops, Scalar, TensorBatch};
-use telemetry::Telemetry;
+use telemetry::{CommStats, Telemetry};
 
 /// An execution substrate for the paper's batched SS-HOPM workload: many
 /// same-shaped tensors, each solved from a shared set of starting vectors.
@@ -93,6 +93,8 @@ pub(crate) fn empty_report<S: Scalar>(
         seconds: 0.0,
         useful_flops: 0,
         profiles: Vec::new(),
+        hosts: Vec::new(),
+        comm: Default::default(),
         fault_log: FaultLog::default(),
         timeline: None,
     }
@@ -137,6 +139,8 @@ fn cpu_solve_batch<S: Scalar>(
                 total_iterations: result.total_iterations,
                 seconds,
                 profiles: Vec::new(),
+                hosts: Vec::new(),
+                comm: Default::default(),
                 fault_log: FaultLog::default(),
                 timeline: None,
             };
@@ -159,6 +163,8 @@ fn cpu_solve_batch<S: Scalar>(
         total_iterations: result.total_iterations,
         seconds,
         profiles: Vec::new(),
+        hosts: Vec::new(),
+        comm: Default::default(),
         fault_log: FaultLog::default(),
         timeline: None,
     };
@@ -268,7 +274,7 @@ pub(crate) fn fixed_alpha<S: Scalar>(
 
 /// Record the same progress counters the CPU paths emit, so traces from
 /// different substrates stay comparable.
-fn record_gpu_batch_counters<S: Scalar>(
+pub(crate) fn record_gpu_batch_counters<S: Scalar>(
     telemetry: &Telemetry,
     results: &[Vec<sshopm::Eigenpair<S>>],
     total_iterations: u64,
@@ -288,7 +294,7 @@ fn record_gpu_batch_counters<S: Scalar>(
     telemetry.counter("batch.iterations", total_iterations);
 }
 
-fn total_iterations_of<S: Scalar>(results: &[Vec<sshopm::Eigenpair<S>>]) -> u64 {
+pub(crate) fn total_iterations_of<S: Scalar>(results: &[Vec<sshopm::Eigenpair<S>>]) -> u64 {
     results
         .iter()
         .flat_map(|row| row.iter())
@@ -349,10 +355,13 @@ impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
             useful_flops: report.useful_flops,
             profiles: vec![DeviceProfile {
                 device_index: 0,
+                host_index: 0,
                 num_tensors: batch.len(),
                 transfer_seconds: 0.0,
                 snapshot,
             }],
+            hosts: Vec::new(),
+            comm: Default::default(),
             fault_log: FaultLog::default(),
             timeline: None,
         };
@@ -442,6 +451,7 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
                 snapshot.emit(telemetry);
                 DeviceProfile {
                     device_index: slice.device_index,
+                    host_index: 0,
                     num_tensors: slice.num_tensors,
                     transfer_seconds: slice.transfer_seconds,
                     snapshot,
@@ -458,6 +468,8 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
             seconds: report.seconds,
             useful_flops: report.useful_flops,
             profiles,
+            hosts: Vec::new(),
+            comm: CommStats::default(),
             fault_log: FaultLog::default(),
             timeline: Some(report.timeline),
         };
@@ -524,16 +536,31 @@ impl PipelinedBackend {
         Self::new(vec![device; count], transfer, strategy)
     }
 
-    /// Set the number of streams per device (clamped to ≥ 1).
-    pub fn with_streams(mut self, streams_per_device: usize) -> Self {
-        self.streams_per_device = streams_per_device.max(1);
-        self
+    /// Set the number of streams per device. Zero is an error (the CLI's
+    /// `--streams` flag lands here): a device with no streams can never
+    /// receive a chunk.
+    pub fn with_streams(mut self, streams_per_device: usize) -> Result<Self, BackendError> {
+        if streams_per_device == 0 {
+            return Err(BackendError(
+                "invalid --streams 0: need at least one stream per device".to_string(),
+            ));
+        }
+        self.streams_per_device = streams_per_device;
+        Ok(self)
     }
 
-    /// Set the chunk size in tensors (clamped to ≥ 1).
-    pub fn with_chunk_tensors(mut self, chunk_tensors: usize) -> Self {
-        self.chunk_tensors = chunk_tensors.max(1);
-        self
+    /// Set the chunk size in tensors. Zero is an error (the CLI's
+    /// `--chunk-tensors` flag lands here): a zero-sized pipeline chunk
+    /// would make no progress.
+    pub fn with_chunk_tensors(mut self, chunk_tensors: usize) -> Result<Self, BackendError> {
+        if chunk_tensors == 0 {
+            return Err(BackendError(
+                "invalid --chunk-tensors 0: need at least one tensor per pipeline chunk"
+                    .to_string(),
+            ));
+        }
+        self.chunk_tensors = chunk_tensors;
+        Ok(self)
     }
 }
 
@@ -582,6 +609,7 @@ impl<S: Scalar> SolveBackend<S> for PipelinedBackend {
                 snapshot.emit(telemetry);
                 DeviceProfile {
                     device_index: slice.device_index,
+                    host_index: 0,
                     num_tensors: slice.num_tensors,
                     transfer_seconds: slice.transfer_seconds,
                     snapshot,
@@ -598,6 +626,8 @@ impl<S: Scalar> SolveBackend<S> for PipelinedBackend {
             seconds: report.seconds,
             useful_flops: report.useful_flops,
             profiles,
+            hosts: Vec::new(),
+            comm: CommStats::default(),
             fault_log: FaultLog::default(),
             timeline: Some(report.timeline),
         };

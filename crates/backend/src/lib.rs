@@ -47,6 +47,7 @@
 #![deny(missing_docs)]
 
 mod backends;
+mod cluster;
 mod report;
 mod resilient;
 mod spec;
@@ -55,6 +56,7 @@ mod strategy;
 pub use backends::{
     CpuParallel, CpuSequential, GpuSimBackend, MultiGpuBackend, PipelinedBackend, SolveBackend,
 };
+pub use cluster::ClusterBackend;
 pub use report::{BatchReport, DeviceProfile, FaultLog};
 pub use resilient::{parse_fault_plan, ResilientBackend};
 pub use spec::{BackendError, BackendSpec, DeviceKind};

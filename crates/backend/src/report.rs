@@ -3,13 +3,19 @@
 use gpusim::{InjectedFault, ProfileSnapshot, Timeline};
 use sshopm::Eigenpair;
 use symtensor::Scalar;
-use telemetry::{DeviceStats, FaultStats, Histogram, RunReport, ThroughputStats, WorkloadStats};
+use telemetry::{
+    CommStats, DeviceStats, FaultStats, Histogram, HostStats, RunReport, ThroughputStats,
+    WorkloadStats,
+};
 
 /// Per-device profile of a GPU-backed solve (empty for CPU backends).
 #[derive(Debug, Clone)]
 pub struct DeviceProfile {
-    /// Index into the backend's device list.
+    /// Index into the backend's device list (global, host-major, for
+    /// cluster backends).
     pub device_index: usize,
+    /// Index of the host owning this device (0 for single-host backends).
+    pub host_index: usize,
     /// Tensors assigned to this device.
     pub num_tensors: usize,
     /// Host↔device transfer seconds attributed to this slice (0 when the
@@ -105,6 +111,12 @@ pub struct BatchReport<S> {
     pub useful_flops: u64,
     /// One profile per device that received work; empty for CPU backends.
     pub profiles: Vec<DeviceProfile>,
+    /// One row per host shard (NIC bytes/seconds, shard makespan); empty
+    /// for single-host backends.
+    pub hosts: Vec<HostStats>,
+    /// Inter-node communication vs. the Al Daas et al. lower bound;
+    /// all-zero for single-host backends.
+    pub comm: CommStats,
     /// Fault-injection ledger; all-zero unless a resilient backend ran
     /// with an active fault plan.
     pub fault_log: FaultLog,
@@ -209,6 +221,7 @@ impl<S: Scalar> BatchReport<S> {
         for p in &self.profiles {
             report.devices.push(DeviceStats {
                 device_index: p.device_index as u64,
+                host_index: p.host_index as u64,
                 device: p.snapshot.device.clone(),
                 num_tensors: p.num_tensors as u64,
                 occupancy: p.snapshot.occupancy,
@@ -216,6 +229,17 @@ impl<S: Scalar> BatchReport<S> {
                 seconds: p.snapshot.seconds,
                 transfer_seconds: p.transfer_seconds,
             });
+        }
+        report.hosts = self.hosts.clone();
+        report.comm = self.comm.clone();
+        if !self.hosts.is_empty() {
+            // Per-host shard completion times, the cluster analogue of the
+            // `device` distribution.
+            let mut host_lat = Histogram::new();
+            for h in &self.hosts {
+                host_lat.observe(h.seconds);
+            }
+            report.push_latency("host", host_lat);
         }
         report
     }
@@ -249,6 +273,8 @@ mod tests {
             seconds: 0.5,
             useful_flops: 1_000_000_000,
             profiles: Vec::new(),
+            hosts: Vec::new(),
+            comm: CommStats::default(),
             fault_log: FaultLog::default(),
             timeline: None,
         };
@@ -274,6 +300,8 @@ mod tests {
             seconds: 0.0,
             useful_flops: 0,
             profiles: Vec::new(),
+            hosts: Vec::new(),
+            comm: CommStats::default(),
             fault_log: FaultLog::default(),
             timeline: None,
         };

@@ -11,6 +11,10 @@
 //! * **Device loss** is sticky: the device is marked dead and, when
 //!   failover is enabled, its chunks move to the next live device — or to
 //!   the CPU once every simulated device is gone.
+//! * **Host loss** is device loss at cluster scale: every device on the
+//!   struck host dies at once, so surviving chunks ladder from the lost
+//!   host to a sibling host's devices and finally to the CPU. On a
+//!   single-host backend a host loss is a total loss.
 //! * **ECC corruption** poisons one tensor with NaN before the launch;
 //!   the post-launch scan detects the non-finite eigenpairs and re-solves
 //!   that single tensor on the CPU from the pristine data. Only the
@@ -82,6 +86,11 @@ pub struct ResilientBackend {
     /// Streams per device: chunks are dealt round-robin across them, so
     /// ≥2 double-buffers transfers behind kernels even under faults.
     pub streams_per_device: usize,
+    /// Host owning each device (global index → host index). All zeros for
+    /// single-host backends; host-major for cluster specs. A
+    /// [`FaultKind::HostLoss`] kills every device sharing the struck
+    /// device's host.
+    pub host_of: Vec<usize>,
 }
 
 impl ResilientBackend {
@@ -99,6 +108,7 @@ impl ResilientBackend {
                 "resilient backend needs at least one device".to_string(),
             ));
         }
+        let ndev = devices.len();
         Ok(Self {
             devices,
             transfer,
@@ -107,11 +117,14 @@ impl ResilientBackend {
             max_retries: 2,
             failover: false,
             streams_per_device: 2,
+            host_of: vec![0; ndev],
         })
     }
 
     /// Wrap the device set a [`BackendSpec`] describes. Only `gpusim`
-    /// specs have devices to fail; `cpu` specs are rejected.
+    /// specs have devices to fail; `cpu` specs are rejected. Cluster
+    /// specs flatten host-major, so a host loss kills one contiguous run
+    /// of device indices and its chunks ladder to the sibling hosts.
     pub fn from_spec(
         spec: &BackendSpec,
         strategy: KernelStrategy,
@@ -125,11 +138,32 @@ impl ResilientBackend {
                 strategy,
                 plan,
             ),
+            BackendSpec::Cluster {
+                device,
+                hosts,
+                devices,
+                ..
+            } => {
+                let mut backend = Self::new(
+                    vec![device.spec(); hosts * devices],
+                    TransferModel::pcie2(),
+                    strategy,
+                    plan,
+                )?;
+                backend.host_of = (0..hosts * devices).map(|i| i / devices).collect();
+                Ok(backend)
+            }
             BackendSpec::Cpu { .. } => Err(BackendError(format!(
                 "fault injection requires a gpusim backend, got {spec}: cpu backends have \
                  no simulated devices to fail"
             ))),
         }
+    }
+
+    /// Number of hosts behind the device list (1 unless built from a
+    /// cluster spec).
+    pub fn num_hosts(&self) -> usize {
+        self.host_of.iter().max().map_or(1, |&h| h + 1)
     }
 
     /// Set the per-device retry budget for transient faults.
@@ -144,10 +178,17 @@ impl ResilientBackend {
         self
     }
 
-    /// Set the number of streams per device (clamped to at least 1).
-    pub fn with_streams(mut self, streams_per_device: usize) -> Self {
-        self.streams_per_device = streams_per_device.max(1);
-        self
+    /// Set the number of streams per device. Zero is an error (the CLI's
+    /// `--streams` flag lands here): a device with no streams can never
+    /// receive a chunk.
+    pub fn with_streams(mut self, streams_per_device: usize) -> Result<Self, BackendError> {
+        if streams_per_device == 0 {
+            return Err(BackendError(
+                "invalid --streams 0: need at least one stream per device".to_string(),
+            ));
+        }
+        self.streams_per_device = streams_per_device;
+        Ok(self)
     }
 }
 
@@ -163,11 +204,21 @@ enum Attempt<S> {
 
 impl<S: Scalar> SolveBackend<S> for ResilientBackend {
     fn label(&self) -> String {
-        format!(
-            "resilient:gpusim:{}:{}",
-            device_slug(self.devices[0].name),
-            self.devices.len()
-        )
+        let hosts = self.num_hosts();
+        if hosts > 1 {
+            format!(
+                "resilient:cluster:gpusim:{}:{}x{}",
+                device_slug(self.devices[0].name),
+                hosts,
+                self.devices.len() / hosts
+            )
+        } else {
+            format!(
+                "resilient:gpusim:{}:{}",
+                device_slug(self.devices[0].name),
+                self.devices.len()
+            )
+        }
     }
 
     fn solve_batch(
@@ -252,7 +303,9 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
                     let faults = self.plan.faults_at(site, chunk.len());
                     log.injected.extend(faults.iter().cloned());
                     pending.extend(faults.iter().cloned());
-                    let device_lost = faults.iter().any(|f| f.kind == FaultKind::DeviceLoss);
+                    let host_lost = faults.iter().any(|f| f.kind == FaultKind::HostLoss);
+                    let device_lost =
+                        host_lost || faults.iter().any(|f| f.kind == FaultKind::DeviceLoss);
                     let transient = faults.iter().any(|f| {
                         matches!(
                             f.kind,
@@ -282,7 +335,20 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
                                 seconds: WATCHDOG_TIMEOUT_SECONDS,
                             },
                         );
-                        alive[dev] = false;
+                        if host_lost {
+                            // The whole host dropped: every sibling device
+                            // dies with it, so this chunk (and all later
+                            // ones homed here) ladder to the next host's
+                            // devices, then to the CPU.
+                            let struck = self.host_of.get(dev).copied().unwrap_or(0);
+                            for (d, a) in alive.iter_mut().enumerate() {
+                                if self.host_of.get(d).copied().unwrap_or(0) == struck {
+                                    *a = false;
+                                }
+                            }
+                        } else {
+                            alive[dev] = false;
+                        }
                         Attempt::DeviceLost
                     } else if transient {
                         // Same scoped teardown, plus exponential backoff
@@ -468,6 +534,8 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
             seconds: wall,
             useful_flops,
             profiles: Vec::new(),
+            hosts: Vec::new(),
+            comm: telemetry::CommStats::default(),
             fault_log: log,
             timeline: Some(timeline),
         };
@@ -480,9 +548,9 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
 ///
 /// Grammar: comma-separated `key=value` fields, e.g.
 /// `seed=42,ecc=0.01,watchdog=0.005,transfer=0.005,device-loss=0.001`.
-/// Keys: `seed` (u64, default 0) and the four per-attempt probabilities
-/// (`ecc`, `watchdog`, `transfer`, `device-loss`), each in `[0, 1]`,
-/// default 0.
+/// Keys: `seed` (u64, default 0) and the five per-attempt probabilities
+/// (`ecc`, `watchdog`, `transfer`, `device-loss`, `host-loss`), each in
+/// `[0, 1]`, default 0.
 pub fn parse_fault_plan(s: &str) -> Result<FaultPlan, BackendError> {
     let mut plan = FaultPlan::new(0);
     for field in s.split(',') {
@@ -503,7 +571,7 @@ pub fn parse_fault_plan(s: &str) -> Result<FaultPlan, BackendError> {
                     ))
                 })?;
             }
-            key @ ("ecc" | "watchdog" | "transfer" | "device-loss") => {
+            key @ ("ecc" | "watchdog" | "transfer" | "device-loss" | "host-loss") => {
                 let p = value.trim().parse::<f64>().map_err(|_| {
                     BackendError(format!(
                         "invalid probability {value:?} for fault kind {key:?} in {s:?}"
@@ -518,13 +586,14 @@ pub fn parse_fault_plan(s: &str) -> Result<FaultPlan, BackendError> {
                     "ecc" => plan.with_ecc(p),
                     "watchdog" => plan.with_watchdog(p),
                     "transfer" => plan.with_transfer(p),
-                    _ => plan.with_device_loss(p),
+                    "device-loss" => plan.with_device_loss(p),
+                    _ => plan.with_host_loss(p),
                 };
             }
             other => {
                 return Err(BackendError(format!(
                     "unknown fault kind {other:?} in {s:?}: expected seed, ecc, watchdog, \
-                     transfer or device-loss"
+                     transfer, device-loss or host-loss"
                 )));
             }
         }
@@ -538,14 +607,16 @@ mod tests {
 
     #[test]
     fn parses_full_fault_specs() {
-        let plan =
-            parse_fault_plan("seed=42,ecc=0.5,watchdog=0.25,transfer=0.125,device-loss=0.0625")
-                .unwrap();
+        let plan = parse_fault_plan(
+            "seed=42,ecc=0.5,watchdog=0.25,transfer=0.125,device-loss=0.0625,host-loss=0.03125",
+        )
+        .unwrap();
         assert_eq!(plan.seed, 42);
         assert_eq!(plan.ecc, 0.5);
         assert_eq!(plan.watchdog, 0.25);
         assert_eq!(plan.transfer, 0.125);
         assert_eq!(plan.device_loss, 0.0625);
+        assert_eq!(plan.host_loss, 0.03125);
         assert!(plan.is_active());
     }
 
@@ -600,5 +671,28 @@ mod tests {
             SolveBackend::<f64>::label(&backend),
             "resilient:gpusim:tesla-c2050:3"
         );
+    }
+
+    #[test]
+    fn from_spec_builds_cluster_host_maps() {
+        let spec = BackendSpec::parse("cluster:3:2").unwrap();
+        let backend =
+            ResilientBackend::from_spec(&spec, KernelStrategy::General, FaultPlan::new(1)).unwrap();
+        assert_eq!(backend.devices.len(), 6);
+        assert_eq!(backend.host_of, vec![0, 0, 1, 1, 2, 2]);
+        assert_eq!(backend.num_hosts(), 3);
+        assert_eq!(
+            SolveBackend::<f64>::label(&backend),
+            "resilient:cluster:gpusim:tesla-c2050:3x2"
+        );
+    }
+
+    #[test]
+    fn zero_streams_is_a_typed_error_naming_the_flag() {
+        let spec = BackendSpec::parse("gpusim:2").unwrap();
+        let backend =
+            ResilientBackend::from_spec(&spec, KernelStrategy::General, FaultPlan::new(0)).unwrap();
+        let err = backend.with_streams(0).unwrap_err();
+        assert!(err.to_string().contains("--streams"), "{err}");
     }
 }

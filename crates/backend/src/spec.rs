@@ -4,6 +4,7 @@
 use crate::backends::{
     CpuParallel, CpuSequential, GpuSimBackend, MultiGpuBackend, PipelinedBackend, SolveBackend,
 };
+use crate::cluster::ClusterBackend;
 use crate::strategy::KernelStrategy;
 use gpusim::{DeviceSpec, TransferModel};
 use symtensor::Scalar;
@@ -115,10 +116,21 @@ pub(crate) fn device_slug(name: &str) -> String {
 /// | `gpusim:tesla-c2050:4` | four simulated devices of the named model |
 /// | `pipelined`            | one C2050, double-buffered streams        |
 /// | `pipelined:gtx-580:2`  | two named devices, double-buffered        |
+/// | `cluster`              | 2 hosts x 2 C2050s, QDR InfiniBand NICs   |
+/// | `cluster:4`            | 4 hosts x 2 C2050s                        |
+/// | `cluster:4:2`          | 4 hosts x 2 C2050s                        |
+/// | `cluster:4:2:3`        | same, 3 streams per device                |
+/// | `cluster:gtx-580:1:4`  | one host with 4 named devices             |
 ///
 /// `pipelined` takes the same `[:device][:count]` fields as `gpusim` but
 /// builds the stream-based [`PipelinedBackend`], which chunks the batch
 /// and overlaps PCIe transfers with kernels on each device's engines.
+///
+/// `cluster` takes `[:device][:hosts[:devices[:streams]]]` and builds the
+/// sharded [`ClusterBackend`]: the batch is cut into one contiguous arena
+/// slice per host, each non-root shard pays a modeled NIC round trip, and
+/// each host runs its shard on its own devices (pipelined when
+/// `streams > 1`).
 ///
 /// `Display` renders the canonical minimal form, so specs round-trip
 /// through parse → `Display` → parse at the value level.
@@ -144,6 +156,19 @@ pub enum BackendSpec {
         device: DeviceKind,
         /// How many devices share the batch (≥ 1).
         devices: usize,
+    },
+    /// Cluster-sharded execution: `hosts` hosts, each with `devices`
+    /// copies of `device` behind its own PCIe link, joined by modeled
+    /// QDR-InfiniBand NICs. `streams > 1` pipelines each host's shard.
+    Cluster {
+        /// The device model installed in every host.
+        device: DeviceKind,
+        /// How many hosts share the batch (≥ 1; host 0 is the root).
+        hosts: usize,
+        /// Devices per host (≥ 1).
+        devices: usize,
+        /// Streams per device (≥ 1; 1 = plain synchronous launches).
+        streams: usize,
     },
 }
 
@@ -202,9 +227,47 @@ impl BackendSpec {
                     Ok(BackendSpec::GpuSim { device, devices })
                 }
             }
+            "cluster" => {
+                let rest: Vec<&str> = parts.collect();
+                let (device, counts) = match rest.first() {
+                    Some(field)
+                        if !field.chars().next().is_some_and(|c| c.is_ascii_digit())
+                            && !field.starts_with('-') =>
+                    {
+                        (DeviceKind::parse(field)?, &rest[1..])
+                    }
+                    _ => (DeviceKind::TeslaC2050, &rest[..]),
+                };
+                if counts.len() > 3 {
+                    return Err(BackendError(format!(
+                        "trailing {:?} in backend spec {s:?}: cluster takes at most \
+                         \":device:hosts:devices:streams\"",
+                        counts[3]
+                    )));
+                }
+                let hosts = match counts.first() {
+                    Some(c) => parse_count(c, s, "host", "host")?,
+                    None => 2,
+                };
+                let devices = match counts.get(1) {
+                    Some(c) => parse_count(c, s, "device", "device per host")?,
+                    None => 2,
+                };
+                let streams = match counts.get(2) {
+                    Some(c) => parse_count(c, s, "stream", "stream per device")?,
+                    None => 1,
+                };
+                Ok(BackendSpec::Cluster {
+                    device,
+                    hosts,
+                    devices,
+                    streams,
+                })
+            }
             other => Err(BackendError(format!(
                 "unknown backend {other:?}: expected \"cpu[:threads]\", \
-                 \"gpusim[:device][:count]\" or \"pipelined[:device][:count]\""
+                 \"gpusim[:device][:count]\", \"pipelined[:device][:count]\" or \
+                 \"cluster[:device][:hosts[:devices[:streams]]]\""
             ))),
         }
     }
@@ -237,6 +300,15 @@ impl BackendSpec {
                 TransferModel::pcie2(),
                 strategy,
             )?),
+            BackendSpec::Cluster {
+                device,
+                hosts,
+                devices,
+                streams,
+            } => Box::new(
+                ClusterBackend::homogeneous(device.spec(), hosts, devices, strategy)?
+                    .with_streams(streams)?,
+            ),
         })
     }
 
@@ -245,21 +317,27 @@ impl BackendSpec {
     pub fn is_gpu(&self) -> bool {
         matches!(
             self,
-            BackendSpec::GpuSim { .. } | BackendSpec::Pipelined { .. }
+            BackendSpec::GpuSim { .. }
+                | BackendSpec::Pipelined { .. }
+                | BackendSpec::Cluster { .. }
         )
     }
 }
 
 fn parse_device_count(field: &str, whole: &str) -> Result<usize, BackendError> {
+    parse_count(field, whole, "device", "device")
+}
+
+fn parse_count(field: &str, whole: &str, what: &str, need: &str) -> Result<usize, BackendError> {
     let count = field.parse::<usize>().map_err(|_| {
         BackendError(format!(
-            "invalid device count {field:?} in backend spec {whole:?}: expected a positive \
+            "invalid {what} count {field:?} in backend spec {whole:?}: expected a positive \
              integer"
         ))
     })?;
     if count == 0 {
         return Err(BackendError(format!(
-            "invalid device count 0 in backend spec {whole:?}: need at least one device"
+            "invalid {what} count 0 in backend spec {whole:?}: need at least one {need}"
         )));
     }
     Ok(count)
@@ -284,6 +362,26 @@ impl std::fmt::Display for BackendSpec {
             BackendSpec::Pipelined { device, devices: 1 } => write!(f, "pipelined:{device}"),
             BackendSpec::Pipelined { device, devices } => {
                 write!(f, "pipelined:{device}:{devices}")
+            }
+            BackendSpec::Cluster {
+                device,
+                hosts,
+                devices,
+                streams,
+            } => {
+                f.write_str("cluster")?;
+                if device != DeviceKind::TeslaC2050 {
+                    write!(f, ":{device}")?;
+                }
+                if streams != 1 {
+                    write!(f, ":{hosts}:{devices}:{streams}")
+                } else if devices != 2 {
+                    write!(f, ":{hosts}:{devices}")
+                } else if hosts != 2 {
+                    write!(f, ":{hosts}")
+                } else {
+                    Ok(())
+                }
             }
         }
     }
@@ -364,6 +462,42 @@ mod tests {
                 devices: 4
             }
         );
+        assert_eq!(
+            BackendSpec::parse("cluster").unwrap(),
+            BackendSpec::Cluster {
+                device: DeviceKind::TeslaC2050,
+                hosts: 2,
+                devices: 2,
+                streams: 1
+            }
+        );
+        assert_eq!(
+            BackendSpec::parse("cluster:4").unwrap(),
+            BackendSpec::Cluster {
+                device: DeviceKind::TeslaC2050,
+                hosts: 4,
+                devices: 2,
+                streams: 1
+            }
+        );
+        assert_eq!(
+            BackendSpec::parse("cluster:1:4").unwrap(),
+            BackendSpec::Cluster {
+                device: DeviceKind::TeslaC2050,
+                hosts: 1,
+                devices: 4,
+                streams: 1
+            }
+        );
+        assert_eq!(
+            BackendSpec::parse("cluster:gtx-580:4:2:3").unwrap(),
+            BackendSpec::Cluster {
+                device: DeviceKind::Gtx580,
+                hosts: 4,
+                devices: 2,
+                streams: 3
+            }
+        );
     }
 
     #[test]
@@ -380,6 +514,13 @@ mod tests {
             ("pipelined:0", "at least one device"),
             ("pipelined:quadro", "unknown device"),
             ("pipelined:tesla-c2050:2:2", "trailing"),
+            ("cluster:0", "at least one host"),
+            ("cluster:2:0", "at least one device per host"),
+            ("cluster:2:2:0", "at least one stream per device"),
+            ("cluster:quadro", "unknown device"),
+            ("cluster:x", "unknown device"),
+            ("cluster:2:2:2:2", "trailing"),
+            ("cluster:gtx-580:2:2:2:2", "trailing"),
             ("tpu", "unknown backend"),
             ("", "unknown backend"),
         ] {
@@ -403,6 +544,12 @@ mod tests {
             "pipelined",
             "pipelined:gtx-580",
             "pipelined:tesla-c2050:4",
+            "cluster",
+            "cluster:4",
+            "cluster:1:4",
+            "cluster:2:2:3",
+            "cluster:gtx-580",
+            "cluster:gtx-580:4:2:3",
         ] {
             let spec = BackendSpec::parse(s).unwrap();
             assert_eq!(spec.to_string(), s);
@@ -422,6 +569,16 @@ mod tests {
         assert_eq!(
             BackendSpec::parse("pipelined:c2050:1").unwrap().to_string(),
             "pipelined"
+        );
+        assert_eq!(
+            BackendSpec::parse("cluster:c2050:2:2:1")
+                .unwrap()
+                .to_string(),
+            "cluster"
+        );
+        assert_eq!(
+            BackendSpec::parse("cluster:4:2").unwrap().to_string(),
+            "cluster:4"
         );
     }
 

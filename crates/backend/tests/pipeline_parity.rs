@@ -60,6 +60,7 @@ fn pipelined_10k_matches_synchronous_bitwise_and_overlaps() {
     )
     .unwrap()
     .with_streams(2)
+    .unwrap()
     .solve_batch(&tensors, &starts, &solver, &tel)
     .unwrap();
 
@@ -90,6 +91,7 @@ fn pipelined_10k_matches_synchronous_bitwise_and_overlaps() {
     )
     .unwrap()
     .with_streams(1)
+    .unwrap()
     .solve_batch(&tensors, &starts, &solver, &tel)
     .unwrap();
     assert_bitwise_equal(&serial.results, &sync.results);
@@ -125,6 +127,7 @@ fn pipelined_multi_device_matches_multi_gpu_bitwise() {
     )
     .unwrap()
     .with_streams(2)
+    .unwrap()
     .solve_batch(&tensors, &starts, &solver, &tel)
     .unwrap();
 
@@ -154,6 +157,7 @@ fn pipelined_under_faults_matches_clean_run_bitwise() {
         .with_retries(3)
         .with_failover(true)
         .with_streams(2)
+        .unwrap()
         .solve_batch(&tensors, &starts, &solver, &tel)
         .unwrap();
 

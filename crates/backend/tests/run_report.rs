@@ -38,7 +38,8 @@ fn all_backends() -> Vec<Box<dyn SolveBackend<f32>>> {
         Box::new(
             PipelinedBackend::homogeneous(device, 1, TransferModel::pcie2(), strategy)
                 .unwrap()
-                .with_chunk_tensors(2),
+                .with_chunk_tensors(2)
+                .unwrap(),
         ),
     ]
 }
@@ -149,7 +150,8 @@ fn pipelined_observations_land_in_snapshot_and_sink() {
         KernelStrategy::General,
     )
     .unwrap()
-    .with_chunk_tensors(2);
+    .with_chunk_tensors(2)
+    .unwrap();
     backend.solve_batch(&batch, &starts, &solver, &tel).unwrap();
 
     let snap = tel.snapshot();

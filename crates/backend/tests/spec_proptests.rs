@@ -6,19 +6,31 @@ use backend::{BackendSpec, DeviceKind, KernelStrategy};
 use proptest::prelude::*;
 
 fn arb_spec() -> impl Strategy<Value = BackendSpec> {
-    (0usize..3, 0usize..64, 0usize..3, 1usize..16).prop_map(
-        |(kind, threads, d, devices)| match kind {
+    (
+        0usize..4,
+        0usize..64,
+        0usize..3,
+        1usize..16,
+        1usize..16,
+        1usize..8,
+    )
+        .prop_map(|(kind, threads, d, devices, hosts, streams)| match kind {
             0 => BackendSpec::Cpu { threads },
             1 => BackendSpec::GpuSim {
                 device: DeviceKind::ALL[d],
                 devices,
             },
-            _ => BackendSpec::Pipelined {
+            2 => BackendSpec::Pipelined {
                 device: DeviceKind::ALL[d],
                 devices,
             },
-        },
-    )
+            _ => BackendSpec::Cluster {
+                device: DeviceKind::ALL[d],
+                hosts,
+                devices,
+                streams,
+            },
+        })
 }
 
 fn arb_garbage() -> impl Strategy<Value = String> {
@@ -80,6 +92,15 @@ fn malformed_specs_error_without_panicking() {
         "pipelined:-1",
         "pipelined:",
         "pipelined::",
+        "cluster:",
+        "cluster::",
+        "cluster:-1",
+        "cluster:0",
+        "cluster:2:0",
+        "cluster:2:2:0",
+        "cluster:2:2:2:2",
+        "cluster:quadro",
+        "cluster:gtx-580:2:2:2:2",
         "cuda",
         ":cpu",
     ] {

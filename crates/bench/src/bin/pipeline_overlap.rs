@@ -56,7 +56,9 @@ fn run(batch: &TensorBatch<f32>, start_vecs: &[Vec<f32>], streams: usize) -> Run
     )
     .expect("one device is valid")
     .with_streams(streams)
-    .with_chunk_tensors(CHUNK);
+    .expect("streams")
+    .with_chunk_tensors(CHUNK)
+    .expect("chunk");
     let telemetry = Telemetry::enabled();
     let report = backend
         .solve_batch(batch, start_vecs, &solver, &telemetry)

@@ -20,8 +20,8 @@
 
 use crate::{bench_metadata, bench_policy, paper, run_on, run_on_solver, Workload};
 use backend::{
-    CpuSequential, GpuSimBackend, KernelStrategy, MultiGpuBackend, PipelinedBackend,
-    ResilientBackend, SolveBackend,
+    ClusterBackend, CpuSequential, GpuSimBackend, KernelStrategy, MultiGpuBackend,
+    PipelinedBackend, ResilientBackend, SolveBackend,
 };
 use gpusim::{DeviceSpec, FaultPlan, TransferModel};
 use serde::Value;
@@ -77,9 +77,9 @@ pub struct ScenarioResult {
 
 /// The stable scenario keys of the matrix, one per backend family: CPU
 /// reference, the lane-vectorized lockstep CPU path, both simulated-GPU
-/// kernels, multi-GPU split, stream pipeline, and fault-injected
-/// resilient execution.
-pub const SCENARIO_KEYS: [&str; 7] = [
+/// kernels, multi-GPU split, stream pipeline, fault-injected resilient
+/// execution, and the sharded multi-host cluster.
+pub const SCENARIO_KEYS: [&str; 8] = [
     "cpu-seq-general",
     "cpu-seq-batched",
     "gpusim-c2050-general",
@@ -87,6 +87,7 @@ pub const SCENARIO_KEYS: [&str; 7] = [
     "multigpu-2x-c2050-general",
     "pipelined-1x2-c2050-general",
     "resilient-watchdog-retry",
+    "cluster-2x2-c2050-general",
 ];
 
 fn scenario_backend(key: &str) -> Box<dyn SolveBackend<f32>> {
@@ -108,7 +109,8 @@ fn scenario_backend(key: &str) -> Box<dyn SolveBackend<f32>> {
                 KernelStrategy::General,
             )
             .expect("static scenario spec is valid")
-            .with_streams(2),
+            .with_streams(2)
+            .expect("streams"),
         ),
         "resilient-watchdog-retry" => Box::new(
             ResilientBackend::new(
@@ -119,6 +121,12 @@ fn scenario_backend(key: &str) -> Box<dyn SolveBackend<f32>> {
             )
             .expect("static scenario spec is valid")
             .with_retries(3),
+        ),
+        "cluster-2x2-c2050-general" => Box::new(
+            ClusterBackend::homogeneous(c2050, 2, 2, KernelStrategy::General)
+                .expect("static scenario spec is valid")
+                .with_streams(2)
+                .expect("streams"),
         ),
         other => unreachable!("unknown scenario key {other:?}"),
     }
@@ -175,6 +183,17 @@ pub fn run_scenario(key: &'static str, workload: &Workload) -> ScenarioResult {
             run.faults.recovered as f64,
             MetricClass::Deterministic,
         ));
+    }
+    if !run.comm.is_empty() {
+        // NIC traffic and its distance from the communication lower
+        // bound are modeled quantities: drift means the sharding or the
+        // transfer model changed.
+        metrics.push((
+            "nic_bytes",
+            run.comm.nic_bytes as f64,
+            MetricClass::Deterministic,
+        ));
+        metrics.push(("comm_ratio", run.comm.ratio, MetricClass::Deterministic));
     }
     ScenarioResult { key, metrics }
 }

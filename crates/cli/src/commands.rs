@@ -5,8 +5,8 @@
 use crate::args::Args;
 use crate::CmdError;
 use backend::{
-    parse_fault_plan, BackendSpec, CpuParallel, GpuSimBackend, KernelStrategy, MultiGpuBackend,
-    PipelinedBackend, ResilientBackend, SolveBackend,
+    parse_fault_plan, BackendSpec, ClusterBackend, CpuParallel, GpuSimBackend, KernelStrategy,
+    MultiGpuBackend, PipelinedBackend, ResilientBackend, SolveBackend,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -79,10 +79,17 @@ fn parse_backend(args: &Args) -> Result<(BackendSpec, Box<dyn SolveBackend<f64>>
         Some(k) => KernelStrategy::parse(k)?,
     };
     let streams: usize = args.get_parsed("streams", 2)?;
+    let chunk_tensors: Option<usize> = match args.get("chunk-tensors") {
+        Some(_) => Some(args.get_parsed("chunk-tensors", 1)?),
+        None => None,
+    };
     if args.flag("pipeline") {
         spec = match spec {
             BackendSpec::GpuSim { device, devices } => BackendSpec::Pipelined { device, devices },
             pipelined @ BackendSpec::Pipelined { .. } => pipelined,
+            // Cluster shards already pipeline when the spec's stream
+            // count (or --streams) exceeds 1.
+            cluster @ BackendSpec::Cluster { .. } => cluster,
             BackendSpec::Cpu { .. } => {
                 return Err(CmdError(format!(
                     "--pipeline requires a gpusim backend, got {spec}: CPU backends have no \
@@ -99,18 +106,39 @@ fn parse_backend(args: &Args) -> Result<(BackendSpec, Box<dyn SolveBackend<f64>>
             ResilientBackend::from_spec(&spec, strategy, plan)?
                 .with_retries(args.get_parsed("retry", 2)?)
                 .with_failover(args.flag("failover"))
-                .with_streams(streams),
+                .with_streams(streams)?,
         )
     } else if let BackendSpec::Pipelined { device, devices } = spec {
-        Box::new(
-            PipelinedBackend::homogeneous(
-                device.spec(),
-                devices,
-                gpusim::TransferModel::pcie2(),
-                strategy,
-            )?
-            .with_streams(streams),
-        )
+        let mut built = PipelinedBackend::homogeneous(
+            device.spec(),
+            devices,
+            gpusim::TransferModel::pcie2(),
+            strategy,
+        )?
+        .with_streams(streams)?;
+        if let Some(chunk) = chunk_tensors {
+            built = built.with_chunk_tensors(chunk)?;
+        }
+        Box::new(built)
+    } else if let BackendSpec::Cluster {
+        device,
+        hosts,
+        devices,
+        streams: spec_streams,
+    } = spec
+    {
+        // An explicit --streams overrides the spec's stream field.
+        let effective = if args.get("streams").is_some() {
+            streams
+        } else {
+            spec_streams
+        };
+        let mut built = ClusterBackend::homogeneous(device.spec(), hosts, devices, strategy)?
+            .with_streams(effective)?;
+        if let Some(chunk) = chunk_tensors {
+            built = built.with_chunk_tensors(chunk)?;
+        }
+        Box::new(built)
     } else {
         spec.build::<f64>(strategy)?
     };
@@ -264,6 +292,7 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) ->
             "faults",
             "retry",
             "streams",
+            "chunk-tensors",
             "report-out",
             "report-format",
         ],
@@ -423,6 +452,7 @@ fn inner_fibers(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
             "faults",
             "retry",
             "streams",
+            "chunk-tensors",
             "report-out",
             "report-format",
         ],
@@ -732,7 +762,7 @@ fn inner_profile(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) 
     let backend: Box<dyn SolveBackend<f32>> = if args.flag("pipeline") {
         Box::new(
             PipelinedBackend::homogeneous(device, 1, gpusim::TransferModel::pcie2(), strategy)?
-                .with_streams(args.get_parsed("streams", 2)?),
+                .with_streams(args.get_parsed("streams", 2)?)?,
         )
     } else {
         Box::new(GpuSimBackend::new(device, strategy))
@@ -779,8 +809,22 @@ fn inner_report(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -
     let args = Args::parse(
         argv,
         &[
-            "tensors", "m", "n", "starts", "iters", "seed", "shift", "solver", "backend", "kernel",
-            "faults", "retry", "streams", "format", "out",
+            "tensors",
+            "m",
+            "n",
+            "starts",
+            "iters",
+            "seed",
+            "shift",
+            "solver",
+            "backend",
+            "kernel",
+            "faults",
+            "retry",
+            "streams",
+            "chunk-tensors",
+            "format",
+            "out",
         ],
         &["failover", "pipeline"],
     )?;
@@ -1378,6 +1422,85 @@ mod tests {
         let mut out = Vec::new();
         let err = solve(sv(&[&path, "--pipeline"]), &mut out).unwrap_err();
         assert!(err.contains("--pipeline requires"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_cluster_backend_smokes_and_validates_flags() {
+        let path = tmp("solvecluster.txt");
+        let mut out = Vec::new();
+        random(
+            sv(&["4", "3", "6", "--out", &path, "--seed", "9"]),
+            &mut out,
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        solve(
+            sv(&[
+                &path,
+                "--starts",
+                "8",
+                "--backend",
+                "cluster:1:2",
+                "--shift",
+                "0",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("backend cluster:gpusim:tesla-c2050:1x2x1"),
+            "{text}"
+        );
+        // --streams 0 and --chunk-tensors 0 are typed errors naming the
+        // flag, for cluster and pipelined backends alike.
+        let mut out = Vec::new();
+        let err = solve(
+            sv(&[
+                &path,
+                "--backend",
+                "cluster:1:2",
+                "--shift",
+                "0",
+                "--streams",
+                "0",
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.contains("--streams 0"), "{err}");
+        let mut out = Vec::new();
+        let err = solve(
+            sv(&[
+                &path,
+                "--backend",
+                "cluster:1:2",
+                "--shift",
+                "0",
+                "--chunk-tensors",
+                "0",
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.contains("--chunk-tensors 0"), "{err}");
+        let mut out = Vec::new();
+        let err = solve(
+            sv(&[
+                &path,
+                "--backend",
+                "gpusim",
+                "--shift",
+                "0",
+                "--pipeline",
+                "--streams",
+                "0",
+            ]),
+            &mut out,
+        )
+        .unwrap_err();
+        assert!(err.contains("--streams 0"), "{err}");
         std::fs::remove_file(&path).ok();
     }
 

@@ -9,6 +9,10 @@
 pub enum GpuError {
     /// A multi-GPU set was built with no devices.
     EmptyDeviceList,
+    /// A cluster host was built with no devices.
+    EmptyHost,
+    /// A cluster was built with no hosts.
+    EmptyCluster,
     /// A launch was requested with no tensors.
     EmptyBatch,
     /// A launch was requested with no start vectors.
@@ -42,6 +46,8 @@ impl std::fmt::Display for GpuError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GpuError::EmptyDeviceList => write!(f, "need at least one device"),
+            GpuError::EmptyHost => write!(f, "need at least one device per host"),
+            GpuError::EmptyCluster => write!(f, "need at least one host in the cluster"),
             GpuError::EmptyBatch => write!(f, "need at least one tensor to launch"),
             GpuError::EmptyStarts => write!(f, "need at least one start vector"),
             GpuError::MismatchedShapes { expected, found } => write!(

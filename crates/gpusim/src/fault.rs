@@ -37,15 +37,20 @@ pub enum FaultKind {
     /// The whole device dropped off the bus. Device loss is *sticky*: once
     /// a device is lost it stays lost for the rest of the batch.
     DeviceLoss,
+    /// The whole *host* dropped out of the cluster (kernel panic, power,
+    /// NIC partition): every device it owns is lost at once, equally
+    /// sticky. On a single-host topology this is total device loss.
+    HostLoss,
 }
 
 impl FaultKind {
     /// All fault kinds, for sweeps and reports.
-    pub const ALL: [FaultKind; 4] = [
+    pub const ALL: [FaultKind; 5] = [
         FaultKind::EccCorruption,
         FaultKind::WatchdogTimeout,
         FaultKind::TransferFailure,
         FaultKind::DeviceLoss,
+        FaultKind::HostLoss,
     ];
 
     /// Short name for logs and CLI specs.
@@ -55,6 +60,7 @@ impl FaultKind {
             FaultKind::WatchdogTimeout => "watchdog",
             FaultKind::TransferFailure => "transfer",
             FaultKind::DeviceLoss => "device-loss",
+            FaultKind::HostLoss => "host-loss",
         }
     }
 
@@ -64,6 +70,7 @@ impl FaultKind {
             FaultKind::WatchdogTimeout => 0xD06,
             FaultKind::TransferFailure => 0x7274,
             FaultKind::DeviceLoss => 0xDEAD,
+            FaultKind::HostLoss => 0x4057,
         }
     }
 }
@@ -118,6 +125,9 @@ pub struct FaultPlan {
     pub transfer: f64,
     /// Per-attempt probability of losing the device outright.
     pub device_loss: f64,
+    /// Per-attempt probability of losing the chunk's whole host (all of
+    /// its devices at once).
+    pub host_loss: f64,
 }
 
 impl FaultPlan {
@@ -129,6 +139,7 @@ impl FaultPlan {
             watchdog: 0.0,
             transfer: 0.0,
             device_loss: 0.0,
+            host_loss: 0.0,
         }
     }
 
@@ -156,9 +167,19 @@ impl FaultPlan {
         self
     }
 
+    /// Set the per-attempt host-loss probability.
+    pub fn with_host_loss(mut self, p: f64) -> Self {
+        self.host_loss = p;
+        self
+    }
+
     /// True if any fault kind has a nonzero probability.
     pub fn is_active(&self) -> bool {
-        self.ecc > 0.0 || self.watchdog > 0.0 || self.transfer > 0.0 || self.device_loss > 0.0
+        self.ecc > 0.0
+            || self.watchdog > 0.0
+            || self.transfer > 0.0
+            || self.device_loss > 0.0
+            || self.host_loss > 0.0
     }
 
     /// The configured probability for one kind.
@@ -168,6 +189,7 @@ impl FaultPlan {
             FaultKind::WatchdogTimeout => self.watchdog,
             FaultKind::TransferFailure => self.transfer,
             FaultKind::DeviceLoss => self.device_loss,
+            FaultKind::HostLoss => self.host_loss,
         }
     }
 
@@ -288,7 +310,8 @@ mod tests {
             .with_ecc(1.0)
             .with_watchdog(1.0)
             .with_transfer(1.0)
-            .with_device_loss(1.0);
+            .with_device_loss(1.0)
+            .with_host_loss(1.0);
         assert!(!never.is_active());
         assert!(always.is_active());
         for c in 0..32 {
@@ -351,6 +374,40 @@ mod tests {
         let t = SymTensor::<f32>::diagonal_ones(2, 2);
         let bad = corrupt_tensor(&t, 10_000);
         assert_eq!(bad.values().iter().filter(|v| !v.is_finite()).count(), 1);
+    }
+
+    /// Parity pin: draws are independent per kind, so turning host loss on
+    /// must not perturb any other kind's draws at the same sites — faulted
+    /// runs replayed under an extended plan reproduce bit-for-bit.
+    #[test]
+    fn host_loss_does_not_perturb_other_kinds_draws() {
+        let base = FaultPlan::new(42)
+            .with_ecc(0.3)
+            .with_watchdog(0.3)
+            .with_transfer(0.3)
+            .with_device_loss(0.3);
+        let extended = base.with_host_loss(0.5);
+        for d in 0..4 {
+            for c in 0..32 {
+                for a in 0..3 {
+                    for kind in [
+                        FaultKind::EccCorruption,
+                        FaultKind::WatchdogTimeout,
+                        FaultKind::TransferFailure,
+                        FaultKind::DeviceLoss,
+                    ] {
+                        assert_eq!(
+                            base.should_inject(kind, site(d, c, a)),
+                            extended.should_inject(kind, site(d, c, a)),
+                        );
+                    }
+                }
+            }
+        }
+        let hits = (0..64)
+            .filter(|&c| extended.should_inject(FaultKind::HostLoss, site(0, c, 0)))
+            .count();
+        assert!(hits > 0, "host loss at p=0.5 should fire somewhere");
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //!    makespan is the modeled wall-clock — double-buffered chunking
 //!    overlaps PCIe transfers with kernels exactly as streams do on
 //!    hardware.
+//! 4. **Cluster topology** ([`topology`]): an explicit `Cluster` → `Host`
+//!    → device tree, each link (NIC and PCIe) with its own
+//!    bandwidth/latency model. Sharded launches cut the packed arena into
+//!    one contiguous slice per host, charge one modeled NIC transfer per
+//!    non-root shard against the Al Daas et al. communication lower
+//!    bound, and run each shard on the host's own stream queues.
 //!
 //! The model is deliberately simple and fully documented; it is calibrated
 //! so the *shape* of the paper's results (GPU ≫ CPU, unrolled ≫ general,
@@ -45,6 +51,7 @@ pub mod occupancy;
 pub mod profile;
 pub mod stream;
 pub mod timing;
+pub mod topology;
 
 pub use counters::OpCounters;
 pub use device::DeviceSpec;
@@ -60,3 +67,4 @@ pub use occupancy::{KernelResources, Occupancy};
 pub use profile::{CounterBreakdown, ProfileSnapshot};
 pub use stream::{Engine, EventId, Op, OpId, StreamId, StreamQueue, TimedOp, Timeline};
 pub use timing::TimingEstimate;
+pub use topology::{Cluster, ClusterReport, Host, HostShard};

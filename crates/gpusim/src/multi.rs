@@ -34,6 +34,16 @@ impl TransferModel {
         }
     }
 
+    /// A QDR-InfiniBand-class NIC (the cluster interconnect of the
+    /// paper's era): ~4 GB/s sustained, microsecond-scale latency. The
+    /// default inter-host link of [`crate::topology::Host`].
+    pub fn qdr_infiniband() -> Self {
+        Self {
+            bandwidth_gbs: 4.0,
+            latency_s: 2e-6,
+        }
+    }
+
     /// Time to move `bytes` in one transfer.
     pub fn transfer_seconds(&self, bytes: u64) -> f64 {
         self.latency_s + bytes as f64 / (self.bandwidth_gbs * 1e9)
@@ -144,6 +154,17 @@ impl MultiGpu {
         transfer: TransferModel,
     ) -> Result<Self, GpuError> {
         Self::new(vec![device; count], transfer)
+    }
+
+    /// The device set of one cluster [`Host`](crate::topology::Host),
+    /// timed against that host's own PCIe link.
+    ///
+    /// # Errors
+    /// Returns [`GpuError::EmptyDeviceList`] if the host has no devices
+    /// (unreachable for hosts built through `topology`'s constructors,
+    /// which reject empty device lists up front).
+    pub fn for_host(host: &crate::topology::Host) -> Result<Self, GpuError> {
+        Self::new(host.devices.clone(), host.pcie)
     }
 
     /// The devices.

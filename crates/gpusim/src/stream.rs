@@ -172,6 +172,13 @@ impl StreamQueue {
         }
     }
 
+    /// A queue over one cluster [`Host`](crate::topology::Host)'s
+    /// devices, timing copies against that host's own PCIe link — each
+    /// host in a sharded launch schedules on its own queue.
+    pub fn for_host(host: &crate::topology::Host) -> Self {
+        Self::new(host.num_devices(), host.pcie)
+    }
+
     /// The interconnect model copies are timed against.
     pub fn link(&self) -> &TransferModel {
         &self.link

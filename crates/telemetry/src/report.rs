@@ -117,11 +117,55 @@ pub struct LatencyStat {
     pub histogram: Histogram,
 }
 
+/// One host's headline numbers inside a [`RunReport`] — the per-host
+/// generalization of [`DeviceStats`] for cluster-sharded runs. Empty for
+/// single-host backends.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostStats {
+    /// Index into the cluster's host list (host 0 is the root).
+    pub host_index: u64,
+    /// Devices installed in this host.
+    pub num_devices: u64,
+    /// Tensors sharded onto this host.
+    pub num_tensors: u64,
+    /// Bytes shipped root→host over the NIC (0 for the root).
+    pub nic_down_bytes: u64,
+    /// Bytes shipped host→root over the NIC (0 for the root).
+    pub nic_up_bytes: u64,
+    /// Modeled NIC transfer seconds, both ways.
+    pub nic_seconds: f64,
+    /// NIC time plus the host's device-level makespan.
+    pub seconds: f64,
+}
+
+/// Inter-node communication accounting of one run: achieved NIC traffic
+/// charged against the Al Daas et al. lower bound. All-zero for
+/// single-host backends.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommStats {
+    /// Total bytes that crossed NICs, both directions.
+    pub nic_bytes: u64,
+    /// The communication lower bound for the run's problem and topology.
+    pub lower_bound_bytes: u64,
+    /// Achieved bytes over the bound (1.0 when the bound is zero).
+    pub ratio: f64,
+}
+
+impl CommStats {
+    /// True when no inter-node communication was modeled at all.
+    pub fn is_empty(&self) -> bool {
+        self.nic_bytes == 0 && self.lower_bound_bytes == 0
+    }
+}
+
 /// One device's headline numbers inside a [`RunReport`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeviceStats {
-    /// Index into the backend's device list.
+    /// Index into the backend's device list (global, host-major, for
+    /// cluster backends).
     pub device_index: u64,
+    /// Index of the host owning this device (0 for single-host backends).
+    pub host_index: u64,
     /// Device model name.
     pub device: String,
     /// Tensors assigned to this device.
@@ -158,6 +202,11 @@ pub struct RunReport {
     pub latencies: Vec<LatencyStat>,
     /// Per-device occupancy/GFLOPS rows (empty for CPU substrates).
     pub devices: Vec<DeviceStats>,
+    /// Per-host shard rows (empty for single-host backends).
+    pub hosts: Vec<HostStats>,
+    /// Inter-node communication vs. the lower bound (all-zero for
+    /// single-host backends).
+    pub comm: CommStats,
     /// Counters folded in from a telemetry snapshot, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Gauges folded in from a telemetry snapshot, sorted by name.
@@ -249,6 +298,28 @@ impl RunReport {
                     h.max(),
                 );
             }
+        }
+        if !self.comm.is_empty() {
+            let _ = writeln!(
+                out,
+                "comm: {} NIC bytes vs {} lower bound ({:.3}x)",
+                self.comm.nic_bytes, self.comm.lower_bound_bytes, self.comm.ratio
+            );
+        }
+        for h in &self.hosts {
+            let _ = writeln!(
+                out,
+                "  host {}{}: {} devices, {} tensors, NIC {} B down + {} B up \
+                 ({:.3} ms), total {:.3} ms",
+                h.host_index,
+                if h.host_index == 0 { " (root)" } else { "" },
+                h.num_devices,
+                h.num_tensors,
+                h.nic_down_bytes,
+                h.nic_up_bytes,
+                h.nic_seconds * 1e3,
+                h.seconds * 1e3,
+            );
         }
         for d in &self.devices {
             let _ = writeln!(
@@ -370,6 +441,49 @@ impl RunReport {
             "1 when any work ran on the CPU fallback",
             if self.faults.degraded { 1.0 } else { 0.0 },
         );
+        if !self.comm.is_empty() {
+            counter(
+                &mut out,
+                "nic_bytes_total",
+                "Bytes that crossed NICs, both directions",
+                self.comm.nic_bytes,
+            );
+            counter(
+                &mut out,
+                "comm_lower_bound_bytes",
+                "Al Daas et al. communication lower bound",
+                self.comm.lower_bound_bytes,
+            );
+            gauge(
+                &mut out,
+                "comm_ratio",
+                "Achieved NIC bytes over the communication lower bound",
+                self.comm.ratio,
+            );
+        }
+        for h in &self.hosts {
+            let host_labels = format!("{labels},host_index=\"{}\"", h.host_index);
+            let _ = writeln!(
+                out,
+                "# HELP tensor_eig_host_seconds NIC plus device makespan per host"
+            );
+            let _ = writeln!(out, "# TYPE tensor_eig_host_seconds gauge");
+            let _ = writeln!(
+                out,
+                "tensor_eig_host_seconds{{{host_labels}}} {}",
+                prom_f64(h.seconds)
+            );
+            let _ = writeln!(
+                out,
+                "# HELP tensor_eig_host_nic_bytes_total NIC bytes per host, both directions"
+            );
+            let _ = writeln!(out, "# TYPE tensor_eig_host_nic_bytes_total counter");
+            let _ = writeln!(
+                out,
+                "tensor_eig_host_nic_bytes_total{{{host_labels}}} {}",
+                h.nic_down_bytes + h.nic_up_bytes
+            );
+        }
         for d in &self.devices {
             let dev_labels = format!(
                 "{labels},device=\"{}\",device_index=\"{}\"",
@@ -589,6 +703,7 @@ impl Serialize for RunReport {
                         .map(|d| {
                             Value::object(vec![
                                 ("device_index", Value::UInt(d.device_index)),
+                                ("host_index", Value::UInt(d.host_index)),
                                 ("device", Value::Str(d.device.clone())),
                                 ("num_tensors", Value::UInt(d.num_tensors)),
                                 ("occupancy", Value::Float(d.occupancy)),
@@ -599,6 +714,36 @@ impl Serialize for RunReport {
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "hosts",
+                Value::Seq(
+                    self.hosts
+                        .iter()
+                        .map(|h| {
+                            Value::object(vec![
+                                ("host_index", Value::UInt(h.host_index)),
+                                ("num_devices", Value::UInt(h.num_devices)),
+                                ("num_tensors", Value::UInt(h.num_tensors)),
+                                ("nic_down_bytes", Value::UInt(h.nic_down_bytes)),
+                                ("nic_up_bytes", Value::UInt(h.nic_up_bytes)),
+                                ("nic_seconds", Value::Float(h.nic_seconds)),
+                                ("seconds", Value::Float(h.seconds)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "comm",
+                Value::object(vec![
+                    ("nic_bytes", Value::UInt(self.comm.nic_bytes)),
+                    (
+                        "lower_bound_bytes",
+                        Value::UInt(self.comm.lower_bound_bytes),
+                    ),
+                    ("ratio", Value::Float(self.comm.ratio)),
+                ]),
             ),
             (
                 "counters",
@@ -658,6 +803,7 @@ impl<'de> Deserialize<'de> for RunReport {
             for d in seq {
                 devices.push(DeviceStats {
                     device_index: get_u64(d, "device_index"),
+                    host_index: get_u64(d, "host_index"),
                     device: get_str(d, "device"),
                     num_tensors: get_u64(d, "num_tensors"),
                     occupancy: get_f64(d, "occupancy"),
@@ -667,6 +813,30 @@ impl<'de> Deserialize<'de> for RunReport {
                 });
             }
         }
+        let mut hosts = Vec::new();
+        if let Some(seq) = value.get("hosts").and_then(Value::as_seq) {
+            for h in seq {
+                hosts.push(HostStats {
+                    host_index: get_u64(h, "host_index"),
+                    num_devices: get_u64(h, "num_devices"),
+                    num_tensors: get_u64(h, "num_tensors"),
+                    nic_down_bytes: get_u64(h, "nic_down_bytes"),
+                    nic_up_bytes: get_u64(h, "nic_up_bytes"),
+                    nic_seconds: get_f64(h, "nic_seconds"),
+                    seconds: get_f64(h, "seconds"),
+                });
+            }
+        }
+        // Reports written before the cluster backend carry no "comm" key;
+        // default to the all-zero record.
+        let comm = match value.get("comm") {
+            Some(c) => CommStats {
+                nic_bytes: get_u64(c, "nic_bytes"),
+                lower_bound_bytes: get_u64(c, "lower_bound_bytes"),
+                ratio: get_f64(c, "ratio"),
+            },
+            None => CommStats::default(),
+        };
         let mut counters = Vec::new();
         if let Some(Value::Map(pairs)) = value.get("counters") {
             for (name, v) in pairs {
@@ -700,6 +870,8 @@ impl<'de> Deserialize<'de> for RunReport {
             faults,
             latencies,
             devices,
+            hosts,
+            comm,
             counters,
             gauges,
         })
@@ -733,6 +905,7 @@ mod tests {
         r.push_latency("chunk", h);
         r.devices.push(DeviceStats {
             device_index: 0,
+            host_index: 1,
             device: "Tesla C2050".into(),
             num_tensors: 8,
             occupancy: 0.67,
@@ -740,6 +913,20 @@ mod tests {
             seconds: 0.004,
             transfer_seconds: 0.001,
         });
+        r.hosts.push(HostStats {
+            host_index: 1,
+            num_devices: 2,
+            num_tensors: 8,
+            nic_down_bytes: 4096,
+            nic_up_bytes: 1024,
+            nic_seconds: 0.0005,
+            seconds: 0.0045,
+        });
+        r.comm = CommStats {
+            nic_bytes: 5120,
+            lower_bound_bytes: 5000,
+            ratio: 1.024,
+        };
         r.counters.push(("batch.solves".into(), 128));
         r.gauges.push(("gpu.occupancy".into(), 0.67));
         r
@@ -807,8 +994,25 @@ mod tests {
         assert!(text.contains("p50"), "{text}");
         assert!(text.contains("p99"), "{text}");
         assert!(text.contains("device 0 (Tesla C2050)"), "{text}");
+        assert!(text.contains("host 1: 2 devices"), "{text}");
+        assert!(
+            text.contains("comm: 5120 NIC bytes vs 5000 lower bound"),
+            "{text}"
+        );
         // No faults happened, so no fault line.
         assert!(!text.contains("faults:"), "{text}");
+    }
+
+    #[test]
+    fn reports_without_hosts_or_comm_still_parse() {
+        // Reports written before the cluster backend carry neither key.
+        let mut v = sample().to_value();
+        if let Value::Map(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "hosts" && k != "comm");
+        }
+        let back = RunReport::from_value(&v).expect("parse");
+        assert!(back.hosts.is_empty());
+        assert!(back.comm.is_empty());
     }
 
     #[test]
@@ -851,5 +1055,10 @@ mod tests {
         assert!(text.contains("latency=\"chunk\""), "{text}");
         // Counter names survive sanitization ('.' -> '_').
         assert!(text.contains("tensor_eig_counter_batch_solves"), "{text}");
+        assert!(text.contains("tensor_eig_comm_ratio"), "{text}");
+        assert!(
+            text.contains("tensor_eig_host_nic_bytes_total") && text.contains("host_index=\"1\""),
+            "{text}"
+        );
     }
 }

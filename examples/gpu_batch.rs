@@ -106,6 +106,7 @@ fn main() {
     )
     .expect("one device is valid")
     .with_streams(2)
+    .expect("two streams is a valid stream count")
     .solve_batch(&tensors, &starts, &solver, &telemetry)
     .expect("gpu_batch example workload is well-formed");
     for (t, row) in piped.results.iter().enumerate() {
