@@ -2,7 +2,7 @@
 
 use crate::report::{BatchReport, DeviceProfile, FaultLog};
 use crate::spec::BackendError;
-use crate::strategy::KernelStrategy;
+use crate::strategy::{KernelRegistry, KernelStrategy};
 use gpusim::{DeviceSpec, MultiGpu, ProfileSnapshot, TransferModel};
 use sshopm::batch::BatchSolver;
 use sshopm::Solver;
@@ -96,8 +96,30 @@ pub(crate) fn empty_report<S: Scalar>(
         hosts: Vec::new(),
         comm: Default::default(),
         fault_log: FaultLog::default(),
+        kernel_cache: None,
         timeline: None,
     }
+}
+
+/// What the process-wide kernel registry did since `before`, in the
+/// [`telemetry::KernelCacheStats`] export form reports carry. `None` when
+/// this solve touched no registry-managed kernels, so reports from paths
+/// that never consult the registry stay unchanged.
+pub(crate) fn kernel_cache_delta(
+    before: &kernelgen::CacheStats,
+) -> Option<telemetry::KernelCacheStats> {
+    let d = KernelRegistry::global().stats().delta_since(before);
+    if d.is_empty() {
+        return None;
+    }
+    Some(telemetry::KernelCacheStats {
+        memo_hits: d.memo_hits,
+        memo_misses: d.memo_misses,
+        disk_hits: d.disk_hits,
+        disk_misses: d.disk_misses,
+        generated: d.generated,
+        generate_seconds: d.generate_seconds,
+    })
 }
 
 fn cpu_solve_batch<S: Scalar>(
@@ -113,12 +135,14 @@ fn cpu_solve_batch<S: Scalar>(
         return Ok(empty_report(label, strategy, solver));
     }
     let (m, n) = (batch.order(), batch.dim());
+    let registry = KernelRegistry::global();
+    let cache_before = registry.stats();
     // The batched strategy upgrades fixed-shift SS-HOPM to the lockstep
     // panel driver (LANE_WIDTH tensors per table walk). Adaptive solvers
     // keep the scalar per-tensor loop with the same lane-table kernels.
     if strategy == KernelStrategy::Batched {
         if let Some(alpha) = sshopm::lockstep_alpha(solver) {
-            let kernels = symtensor::BatchedKernels::new(m, n);
+            let kernels = registry.batched(m, n);
             let started = Instant::now();
             let result = sshopm::solve_batch_lockstep(
                 &kernels,
@@ -142,21 +166,25 @@ fn cpu_solve_batch<S: Scalar>(
                 hosts: Vec::new(),
                 comm: Default::default(),
                 fault_log: FaultLog::default(),
+                kernel_cache: kernel_cache_delta(&cache_before),
                 timeline: None,
             };
             emit_run_report(telemetry, &report);
             return Ok(report);
         }
     }
-    let (kernels, effective) = strategy.resolve::<S>(m, n);
+    let plan = registry.plan::<S>(m, n, strategy);
     let started = Instant::now();
-    let result = BatchSolver::new(solver)
-        .with_threads(threads)
-        .run(&*kernels, batch, starts, telemetry);
+    let result = BatchSolver::new(solver).with_threads(threads).run(
+        &*plan.kernels,
+        batch,
+        starts,
+        telemetry,
+    );
     let seconds = started.elapsed().as_secs_f64();
     let report = BatchReport {
         backend: label,
-        kernel: effective.name().to_string(),
+        kernel: plan.effective.name().to_string(),
         solver: solver.name().to_string(),
         useful_flops: result.total_iterations * flops::sshopm_iter_flops(m, n),
         results: result.results,
@@ -166,6 +194,7 @@ fn cpu_solve_batch<S: Scalar>(
         hosts: Vec::new(),
         comm: Default::default(),
         fault_log: FaultLog::default(),
+        kernel_cache: kernel_cache_delta(&cache_before),
         timeline: None,
     };
     emit_run_report(telemetry, &report);
@@ -337,7 +366,9 @@ impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
             return Ok(empty_report(label, self.strategy, solver));
         }
         let alpha = fixed_alpha(solver, "GpuSimBackend")?;
-        let (variant, effective) = self.strategy.gpu_variant(batch.order(), batch.dim());
+        let (variant, effective) =
+            crate::strategy::gpu_variant(self.strategy, batch.order(), batch.dim());
+        let cache_before = KernelRegistry::global().stats();
         let _batch_span = telemetry.span("batch.solve");
         let (result, report) =
             gpusim::launch_sshopm(&self.device, batch, starts, solver.policy(), alpha, variant)?;
@@ -363,6 +394,7 @@ impl<S: Scalar> SolveBackend<S> for GpuSimBackend {
             hosts: Vec::new(),
             comm: Default::default(),
             fault_log: FaultLog::default(),
+            kernel_cache: kernel_cache_delta(&cache_before),
             timeline: None,
         };
         emit_run_report(telemetry, &batch_report);
@@ -436,7 +468,9 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
             return Ok(empty_report(label, self.strategy, solver));
         }
         let alpha = fixed_alpha(solver, "MultiGpuBackend")?;
-        let (variant, effective) = self.strategy.gpu_variant(batch.order(), batch.dim());
+        let (variant, effective) =
+            crate::strategy::gpu_variant(self.strategy, batch.order(), batch.dim());
+        let cache_before = KernelRegistry::global().stats();
         let _batch_span = telemetry.span("batch.solve");
         let mg = MultiGpu::new(self.devices.clone(), self.transfer)?;
         let (result, report) = mg.launch(batch, starts, solver.policy(), alpha, variant)?;
@@ -471,6 +505,7 @@ impl<S: Scalar> SolveBackend<S> for MultiGpuBackend {
             hosts: Vec::new(),
             comm: CommStats::default(),
             fault_log: FaultLog::default(),
+            kernel_cache: kernel_cache_delta(&cache_before),
             timeline: Some(report.timeline),
         };
         emit_run_report(telemetry, &batch_report);
@@ -586,7 +621,9 @@ impl<S: Scalar> SolveBackend<S> for PipelinedBackend {
             return Ok(empty_report(label, self.strategy, solver));
         }
         let alpha = fixed_alpha(solver, "PipelinedBackend")?;
-        let (variant, effective) = self.strategy.gpu_variant(batch.order(), batch.dim());
+        let (variant, effective) =
+            crate::strategy::gpu_variant(self.strategy, batch.order(), batch.dim());
+        let cache_before = KernelRegistry::global().stats();
         let _batch_span = telemetry.span("batch.solve");
         let mg = MultiGpu::new(self.devices.clone(), self.transfer)?;
         let (result, report) = mg.launch_pipelined(
@@ -629,6 +666,7 @@ impl<S: Scalar> SolveBackend<S> for PipelinedBackend {
             hosts: Vec::new(),
             comm: CommStats::default(),
             fault_log: FaultLog::default(),
+            kernel_cache: kernel_cache_delta(&cache_before),
             timeline: Some(report.timeline),
         };
         emit_run_report(telemetry, &batch_report);

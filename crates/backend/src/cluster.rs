@@ -131,7 +131,9 @@ impl<S: Scalar> SolveBackend<S> for ClusterBackend {
             return Ok(empty_report(label, self.strategy, solver));
         }
         let alpha = fixed_alpha(solver, "ClusterBackend")?;
-        let (variant, effective) = self.strategy.gpu_variant(batch.order(), batch.dim());
+        let (variant, effective) =
+            crate::strategy::gpu_variant(self.strategy, batch.order(), batch.dim());
+        let cache_before = crate::strategy::KernelRegistry::global().stats();
         let _batch_span = telemetry.span("batch.solve");
         let (result, report) = if self.streams_per_device > 1 {
             self.cluster.launch_pipelined(
@@ -206,6 +208,7 @@ impl<S: Scalar> SolveBackend<S> for ClusterBackend {
             hosts,
             comm,
             fault_log: FaultLog::default(),
+            kernel_cache: crate::backends::kernel_cache_delta(&cache_before),
             timeline: None,
         };
         emit_run_report(telemetry, &batch_report);

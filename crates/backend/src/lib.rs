@@ -60,4 +60,4 @@ pub use cluster::ClusterBackend;
 pub use report::{BatchReport, DeviceProfile, FaultLog};
 pub use resilient::{parse_fault_plan, ResilientBackend};
 pub use spec::{BackendError, BackendSpec, DeviceKind};
-pub use strategy::KernelStrategy;
+pub use strategy::{gpu_variant, KernelPlan, KernelRegistry, KernelStrategy};

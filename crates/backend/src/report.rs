@@ -4,8 +4,8 @@ use gpusim::{InjectedFault, ProfileSnapshot, Timeline};
 use sshopm::Eigenpair;
 use symtensor::Scalar;
 use telemetry::{
-    CommStats, DeviceStats, FaultStats, Histogram, HostStats, RunReport, ThroughputStats,
-    WorkloadStats,
+    CommStats, DeviceStats, FaultStats, Histogram, HostStats, KernelCacheStats, RunReport,
+    ThroughputStats, WorkloadStats,
 };
 
 /// Per-device profile of a GPU-backed solve (empty for CPU backends).
@@ -120,6 +120,10 @@ pub struct BatchReport<S> {
     /// Fault-injection ledger; all-zero unless a resilient backend ran
     /// with an active fault plan.
     pub fault_log: FaultLog,
+    /// Kernel-registry cache activity attributable to this solve (memo
+    /// hits/misses, artifact-cache hits/misses, tapes generated). `None`
+    /// when the solve touched no registry-managed kernels.
+    pub kernel_cache: Option<KernelCacheStats>,
     /// The resolved stream/event timeline behind `seconds`, when the
     /// backend models asynchronous execution (`None` for CPU backends and
     /// the single-launch GPU backend, whose clock has no ops to overlap).
@@ -196,6 +200,7 @@ impl<S: Scalar> BatchReport<S> {
             },
         };
         report.faults = self.fault_log.stats();
+        report.kernel_cache = self.kernel_cache;
         let timeline_chunks = self
             .timeline
             .as_ref()
@@ -276,6 +281,7 @@ mod tests {
             hosts: Vec::new(),
             comm: CommStats::default(),
             fault_log: FaultLog::default(),
+            kernel_cache: None,
             timeline: None,
         };
         assert_eq!(report.num_tensors(), 2);
@@ -303,6 +309,7 @@ mod tests {
             hosts: Vec::new(),
             comm: CommStats::default(),
             fault_log: FaultLog::default(),
+            kernel_cache: None,
             timeline: None,
         };
         assert_eq!(report.num_tensors(), 0);

@@ -237,11 +237,15 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
         }
         let (m, n) = (batch.order(), batch.dim());
         let alpha = fixed_alpha(solver, "ResilientBackend")?;
-        let (variant, effective) = self.strategy.gpu_variant(m, n);
+        let (variant, effective) = crate::strategy::gpu_variant(self.strategy, m, n);
+        let cache_before = crate::strategy::KernelRegistry::global().stats();
         // The CPU kernels used for failover and NaN recovery: `effective`
         // is exactly what the GPU variant executes, so CPU re-solves are
-        // bit-identical to what the device would have produced.
-        let (cpu_kernels, _) = effective.resolve::<S>(m, n);
+        // bit-identical to what the device would have produced. The plan
+        // comes from the process-wide registry, so repeated re-solves (and
+        // the GPU tape launches) share one memoized kernel object.
+        let cpu_plan = crate::strategy::KernelRegistry::global().plan::<S>(m, n, effective);
+        let cpu_kernels = cpu_plan.kernels;
         let num_entries = batch.stride();
         let _span = telemetry.span("resilient.solve");
 
@@ -537,6 +541,7 @@ impl<S: Scalar> SolveBackend<S> for ResilientBackend {
             hosts: Vec::new(),
             comm: telemetry::CommStats::default(),
             fault_log: log,
+            kernel_cache: crate::backends::kernel_cache_delta(&cache_before),
             timeline: Some(timeline),
         };
         crate::backends::emit_run_report(telemetry, &report);

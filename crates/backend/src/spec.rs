@@ -33,6 +33,12 @@ impl From<symtensor::CombinatoricsOverflow> for BackendError {
     }
 }
 
+impl From<kernelgen::KernelError> for BackendError {
+    fn from(e: kernelgen::KernelError) -> Self {
+        BackendError(e.to_string())
+    }
+}
+
 /// The GPU models the simulator knows how to profile.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeviceKind {

@@ -1,129 +1,36 @@
 //! Kernel-strategy selection: *how* the tensor contractions are computed,
 //! independently of *where* the batch runs.
+//!
+//! The strategy enum and the machinery that materializes kernels now live
+//! in the `kernelgen` crate: backends ask the process-wide
+//! [`KernelRegistry`] for a [`KernelPlan`] and get back a memoized,
+//! shareable kernel object (with automatic shape fallback along
+//! `Unrolled → Blocked → General` and `Tape → Blocked → General`) instead
+//! of boxing a fresh kernel per call. This module re-exports those types
+//! so `backend::KernelStrategy` keeps working, and adds the one mapping
+//! that is backend-specific: strategy → simulated-GPU kernel variant.
 
-use crate::spec::BackendError;
+pub use kernelgen::{KernelPlan, KernelRegistry, KernelStrategy};
+
 use gpusim::GpuVariant;
-use symtensor::{
-    BatchedKernels, BlockedKernels, GeneralKernels, PrecomputedTables, Scalar, TensorKernels,
-};
 use unrolled::UnrolledKernels;
 
-/// Which `A·xᵐ` / `A·xᵐ⁻¹` implementation a backend should use.
+/// Map a strategy onto a simulated-GPU kernel variant for shape `(m, n)`.
 ///
-/// Strategies that are unavailable for a given shape fall back
-/// automatically along the chain `Unrolled → Blocked → General` (on the
-/// CPU) and `Unrolled → General` (on the simulated GPU, which has no
-/// blocked or precomputed variant); [`resolve`](Self::resolve) and
-/// [`gpu_variant`](Self::gpu_variant) report the strategy actually chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum KernelStrategy {
-    /// On-the-fly index/coefficient computation (works for every shape).
-    General,
-    /// Const-generic blocked kernels (orders 1–8, any dimension).
-    Blocked,
-    /// Section V-C precomputed index/coefficient tables.
-    Precomputed,
-    /// Straight-line generated kernels (build.rs `GENERATED_SHAPES` only).
-    Unrolled,
-    /// Lane-vectorized kernels over the packed `TensorBatch` arena
-    /// ([`symtensor::BatchedKernels`]). Per-tensor calls share the lane
-    /// tables; fixed-shift SS-HOPM batches additionally run the lockstep
-    /// panel driver that updates [`symtensor::LANE_WIDTH`] tensors per
-    /// table walk.
-    Batched,
-}
-
-impl KernelStrategy {
-    /// All strategies, for sweeps and tests.
-    pub const ALL: [KernelStrategy; 5] = [
-        KernelStrategy::General,
-        KernelStrategy::Blocked,
-        KernelStrategy::Precomputed,
-        KernelStrategy::Unrolled,
-        KernelStrategy::Batched,
-    ];
-
-    /// Short name for reports and CLI flags.
-    pub fn name(&self) -> &'static str {
-        match self {
-            KernelStrategy::General => "general",
-            KernelStrategy::Blocked => "blocked",
-            KernelStrategy::Precomputed => "precomputed",
-            KernelStrategy::Unrolled => "unrolled",
-            KernelStrategy::Batched => "batched",
+/// The GPU model implements the general, unrolled, and tape variants, so
+/// `Blocked`/`Precomputed`/`Batched` run as `General`; `Unrolled` falls
+/// back to `General` for ungenerated shapes and `Tape` falls back to
+/// `General` for shapes the runtime generator does not support. Returns
+/// the variant and the strategy actually in effect.
+pub fn gpu_variant(strategy: KernelStrategy, m: usize, n: usize) -> (GpuVariant, KernelStrategy) {
+    match strategy {
+        KernelStrategy::Unrolled if UnrolledKernels::for_shape(m, n).is_some() => {
+            (GpuVariant::Unrolled, KernelStrategy::Unrolled)
         }
-    }
-
-    /// Parse a CLI token (`general`, `blocked`, `precomputed`, `unrolled`,
-    /// `batched`).
-    pub fn parse(s: &str) -> Result<Self, BackendError> {
-        match s {
-            "general" => Ok(KernelStrategy::General),
-            "blocked" => Ok(KernelStrategy::Blocked),
-            "precomputed" => Ok(KernelStrategy::Precomputed),
-            "unrolled" => Ok(KernelStrategy::Unrolled),
-            "batched" => Ok(KernelStrategy::Batched),
-            other => Err(BackendError(format!(
-                "unknown kernel strategy {other:?}: expected one of general, blocked, \
-                 precomputed, unrolled, batched"
-            ))),
+        KernelStrategy::Tape if kernelgen::tape_supported(m, n) => {
+            (GpuVariant::Tape, KernelStrategy::Tape)
         }
-    }
-
-    /// Materialize the CPU kernels for shape `(m, n)`, falling back when
-    /// the requested strategy has no implementation for that shape.
-    /// Returns the kernels and the strategy actually in effect.
-    pub fn resolve<S: Scalar>(
-        self,
-        m: usize,
-        n: usize,
-    ) -> (Box<dyn TensorKernels<S>>, KernelStrategy) {
-        match self {
-            KernelStrategy::General => (Box::new(GeneralKernels), KernelStrategy::General),
-            KernelStrategy::Precomputed => (
-                Box::new(PrecomputedTables::new(m, n)),
-                KernelStrategy::Precomputed,
-            ),
-            KernelStrategy::Blocked => match BlockedKernels::for_shape(m, n) {
-                Some(k) => (Box::new(k), KernelStrategy::Blocked),
-                None => (Box::new(GeneralKernels), KernelStrategy::General),
-            },
-            KernelStrategy::Unrolled => match UnrolledKernels::for_shape(m, n) {
-                Some(k) => (Box::new(k), KernelStrategy::Unrolled),
-                None => KernelStrategy::Blocked.resolve(m, n),
-            },
-            KernelStrategy::Batched => {
-                (Box::new(BatchedKernels::new(m, n)), KernelStrategy::Batched)
-            }
-        }
-    }
-
-    /// Map the strategy onto a simulated-GPU kernel variant for shape
-    /// `(m, n)`. The GPU model only implements the general and unrolled
-    /// variants, so `Blocked`/`Precomputed`/`Batched` run as `General`, and
-    /// `Unrolled` falls back to `General` for ungenerated shapes. Returns
-    /// the variant and the strategy actually in effect.
-    pub fn gpu_variant(self, m: usize, n: usize) -> (GpuVariant, KernelStrategy) {
-        match self {
-            KernelStrategy::Unrolled if UnrolledKernels::for_shape(m, n).is_some() => {
-                (GpuVariant::Unrolled, KernelStrategy::Unrolled)
-            }
-            _ => (GpuVariant::General, KernelStrategy::General),
-        }
-    }
-}
-
-impl std::fmt::Display for KernelStrategy {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.name())
-    }
-}
-
-impl std::str::FromStr for KernelStrategy {
-    type Err = BackendError;
-
-    fn from_str(s: &str) -> Result<Self, BackendError> {
-        KernelStrategy::parse(s)
+        _ => (GpuVariant::General, KernelStrategy::General),
     }
 }
 
@@ -132,33 +39,44 @@ mod tests {
     use super::*;
 
     #[test]
-    fn resolve_honors_available_strategies() {
+    fn plan_honors_available_strategies() {
+        let registry = KernelRegistry::new();
         for strategy in KernelStrategy::ALL {
-            let (_, effective) = strategy.resolve::<f64>(4, 3);
-            assert_eq!(effective, strategy, "(4,3) supports every strategy");
+            let plan = registry.plan::<f64>(4, 3, strategy);
+            assert_eq!(plan.effective, strategy, "(4,3) supports every strategy");
         }
     }
 
     #[test]
     fn unrolled_falls_back_for_ungenerated_shape() {
+        let registry = KernelRegistry::new();
         // (7, 7) has no generated kernel but is within the blocked range.
-        let (k, effective) = KernelStrategy::Unrolled.resolve::<f64>(7, 7);
-        assert_eq!(effective, KernelStrategy::Blocked);
-        assert_eq!(k.name(), "blocked");
+        let plan = registry.plan::<f64>(7, 7, KernelStrategy::Unrolled);
+        assert_eq!(plan.effective, KernelStrategy::Blocked);
+        assert_eq!(plan.kernels.name(), "blocked");
         // Order 9 is beyond the blocked range too: all the way to general.
-        let (k, effective) = KernelStrategy::Unrolled.resolve::<f64>(9, 3);
-        assert_eq!(effective, KernelStrategy::General);
-        assert_eq!(k.name(), "general");
+        let plan = registry.plan::<f64>(9, 3, KernelStrategy::Unrolled);
+        assert_eq!(plan.effective, KernelStrategy::General);
+        assert_eq!(plan.kernels.name(), "general");
     }
 
     #[test]
     fn gpu_variant_mapping() {
         assert_eq!(
-            KernelStrategy::Unrolled.gpu_variant(4, 3),
+            gpu_variant(KernelStrategy::Unrolled, 4, 3),
             (GpuVariant::Unrolled, KernelStrategy::Unrolled)
         );
         assert_eq!(
-            KernelStrategy::Unrolled.gpu_variant(5, 9),
+            gpu_variant(KernelStrategy::Unrolled, 5, 9),
+            (GpuVariant::General, KernelStrategy::General)
+        );
+        // The tape generator covers (5, 9); the slot cap rules out (5, 40).
+        assert_eq!(
+            gpu_variant(KernelStrategy::Tape, 5, 9),
+            (GpuVariant::Tape, KernelStrategy::Tape)
+        );
+        assert_eq!(
+            gpu_variant(KernelStrategy::Tape, 5, 40),
             (GpuVariant::General, KernelStrategy::General)
         );
         for s in [
@@ -167,7 +85,7 @@ mod tests {
             KernelStrategy::Precomputed,
             KernelStrategy::Batched,
         ] {
-            assert_eq!(s.gpu_variant(4, 3).0, GpuVariant::General);
+            assert_eq!(gpu_variant(s, 4, 3).0, GpuVariant::General);
         }
     }
 

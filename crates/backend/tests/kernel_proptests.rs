@@ -1,11 +1,12 @@
 //! Differential property tests for the kernel-strategy layer: every
-//! [`KernelStrategy`] — including the lane-vectorized `batched` one —
-//! must agree with the on-the-fly [`GeneralKernels`] reference on both
-//! contractions, for random shapes, batch sizes and seeds. This pins the
-//! whole `resolve` surface (including its fallback chain) to a single
-//! numerical truth, so a strategy can never silently drift.
+//! [`KernelStrategy`] — including the lane-vectorized `batched` one and
+//! the runtime-generated `tape` one — must agree with the on-the-fly
+//! [`GeneralKernels`] reference on both contractions, for random shapes,
+//! batch sizes and seeds. This pins the whole registry `plan` surface
+//! (including its fallback chains) to a single numerical truth, so a
+//! strategy can never silently drift.
 
-use backend::KernelStrategy;
+use backend::{KernelRegistry, KernelStrategy};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,7 +38,8 @@ proptest! {
         let x: Vec<f64> = (0..n).map(|i| 0.45 - 0.13 * i as f64).collect();
 
         for strategy in KernelStrategy::ALL {
-            let (kernels, effective) = strategy.resolve::<f64>(m, n);
+            let plan = KernelRegistry::global().plan::<f64>(m, n, strategy);
+            let (kernels, effective) = (plan.kernels, plan.effective);
             for (t, a) in batch.iter().enumerate() {
                 let want = GeneralKernels.axm(a, &x).unwrap();
                 let got = kernels.axm(a, &x).unwrap();
@@ -77,7 +79,8 @@ proptest! {
         let x = vec![0.5f64; n];
         let mut y = vec![0.0f64; n];
         for strategy in KernelStrategy::ALL {
-            let (kernels, effective) = strategy.resolve::<f64>(m, n);
+            let plan = KernelRegistry::global().plan::<f64>(m, n, strategy);
+            let (kernels, effective) = (plan.kernels, plan.effective);
             if effective == KernelStrategy::General {
                 continue;
             }

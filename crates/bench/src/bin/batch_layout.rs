@@ -118,7 +118,8 @@ impl Measured {
 /// solve tensor-by-tensor. Same kernels, same arithmetic; scattered
 /// storage and per-voxel allocator traffic.
 fn run_vec_layout(raw: &[f32], t: usize, solver: &SsHopm, start: &[f32]) -> Measured {
-    let (kernels, _) = KernelStrategy::Unrolled.resolve::<f32>(M, N);
+    let plan = backend::KernelRegistry::global().plan::<f32>(M, N, KernelStrategy::Unrolled);
+    let kernels = plan.kernels;
     let stride = raw.len() / t;
     let before = alloc_begin();
     let started = Instant::now();

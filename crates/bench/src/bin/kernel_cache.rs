@@ -1,0 +1,213 @@
+//! Kernel-registry economics on a shape with **no** build-time unrolled
+//! kernel: what does a tape cost to generate cold, what does the artifact
+//! cache give back warm, and what does executing the tape buy over the
+//! on-the-fly general kernels?
+//!
+//! Three measurements on `(m, n) = (5, 4)` (outside
+//! `unrolled::GENERATED_SHAPES`, so the runtime generator is the only
+//! straight-line path):
+//!
+//! * **cold generate** — a fresh [`KernelRegistry`] with an empty artifact
+//!   cache directory: resolve indices, fold multinomial coefficients,
+//!   serialize, and write the artifact;
+//! * **warm memo hit** — the same registry again: one map lookup and an
+//!   `Arc` clone;
+//! * **disk hit** — a *fresh* registry over the now-populated directory
+//!   (a second process): load + checksum-validate + deserialize, no
+//!   generation;
+//!
+//! plus tape-vs-general `A·xᵐ` / `A·xᵐ⁻¹` throughput over a packed
+//! arena. Correctness is pinned in-bench: tape results must match the
+//! general kernels within 1e-5 (f32) before any timing is reported.
+//!
+//! Writes `BENCH_kernelgen.json`; exits nonzero if the tape is not at
+//! least [`MIN_SPEEDUP`]× general-kernel throughput on `axm1`.
+//!
+//! Run with: `cargo run --release -p bench --bin kernel_cache`
+
+use backend::KernelRegistry;
+use bench::{bench_metadata, write_bench_json};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Value;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+use symtensor::kernels::GeneralKernels;
+use symtensor::{TensorBatch, TensorKernels};
+
+const M: usize = 5;
+const N: usize = 4;
+const SEED: u64 = 2026;
+
+/// Tensors in the throughput arena.
+const TENSORS: usize = 20_000;
+
+/// Kernel calls per tensor per pass, modeling the SS-HOPM inner loop.
+const REPS: usize = 8;
+
+/// Best-of-N trials per measurement to shed scheduler noise.
+const TRIALS: usize = 5;
+
+/// Acceptance floor: tape `axm1` throughput over the general kernels.
+const MIN_SPEEDUP: f64 = 2.0;
+
+fn best_of(mut f: impl FnMut() -> f64) -> f64 {
+    (0..TRIALS).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "tensor-eig-kernel-cache-bench-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+/// Seconds for one `tape::<f32>` resolution through a registry built by
+/// `make` (the construction itself stays outside the timed region).
+fn time_resolve(make: impl Fn() -> KernelRegistry) -> f64 {
+    best_of(|| {
+        let registry = make();
+        let started = Instant::now();
+        let k = registry.tape::<f32>(M, N).expect("(5,4) is tape-supported");
+        let seconds = started.elapsed().as_secs_f64();
+        std::hint::black_box(k);
+        seconds
+    })
+}
+
+/// `axm1` + `axm` over the whole arena, `REPS` passes; returns (seconds,
+/// checksum).
+fn throughput(kernels: &dyn TensorKernels<f32>, batch: &TensorBatch<f32>, x: &[f32]) -> (f64, f64) {
+    let mut y = vec![0.0f32; N];
+    let mut checksum = 0.0f64;
+    let started = Instant::now();
+    for _ in 0..REPS {
+        for a in batch.iter() {
+            kernels.axm1(a, x, &mut y).expect("bench shapes match");
+            for &v in &y {
+                checksum += f64::from(v.abs());
+            }
+            checksum += f64::from(kernels.axm(a, x).expect("bench shapes match").abs());
+        }
+    }
+    (started.elapsed().as_secs_f64(), checksum)
+}
+
+fn main() -> ExitCode {
+    println!(
+        "kernel registry: tape generate/cache costs and tape-vs-general throughput\n\
+         (m={M}, n={N}, f32, {TENSORS} tensors, {REPS} passes, best of {TRIALS})\n"
+    );
+
+    // --- resolution costs -------------------------------------------------
+    let dir = unique_dir("artifacts");
+    // Cold: empty directory every trial, so generation + write is timed.
+    let dir_cold = dir.clone();
+    let cold_seconds = time_resolve(|| {
+        KernelRegistry::clear_disk_at(&dir_cold).ok();
+        KernelRegistry::with_cache_dir(&dir_cold)
+    });
+    // Populate once, then measure the two warm paths.
+    let registry = KernelRegistry::with_cache_dir(&dir);
+    registry.tape::<f32>(M, N).expect("(5,4) is tape-supported");
+    let memo_seconds = best_of(|| {
+        let started = Instant::now();
+        let k = registry.tape::<f32>(M, N).expect("memoized");
+        let seconds = started.elapsed().as_secs_f64();
+        std::hint::black_box(k);
+        seconds
+    });
+    let dir_disk = dir.clone();
+    let disk_seconds = time_resolve(|| KernelRegistry::with_cache_dir(&dir_disk));
+    let stats = registry.stats();
+    println!("cold generate (+write):  {:>10.1} us", cold_seconds * 1e6);
+    println!("warm memo hit:           {:>10.3} us", memo_seconds * 1e6);
+    println!("warm disk hit (load):    {:>10.1} us", disk_seconds * 1e6);
+
+    // --- execution throughput --------------------------------------------
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let batch = TensorBatch::<f32>::random(M, N, TENSORS, &mut rng).expect("bench shape is valid");
+    let x: Vec<f32> = (0..N).map(|_| rng.gen_range(-1.0f32..=1.0)).collect();
+    let tape = registry.tape::<f32>(M, N).expect("memoized");
+
+    // Pin correctness before timing anything.
+    let mut want = vec![0.0f32; N];
+    let mut got = vec![0.0f32; N];
+    for a in batch.iter().take(512) {
+        GeneralKernels.axm1(a, &x, &mut want).expect("shapes match");
+        tape.axm1(a, &x, &mut got).expect("shapes match");
+        for (g, w) in got.iter().zip(&want) {
+            assert!(
+                (g - w).abs() <= 1e-5 * (1.0 + w.abs()),
+                "tape diverged: {g} vs {w}"
+            );
+        }
+    }
+
+    let (general_seconds, general_sum) = (0..TRIALS)
+        .map(|_| throughput(&GeneralKernels, &batch, &x))
+        .fold(
+            (f64::INFINITY, 0.0),
+            |acc, v| if v.0 < acc.0 { v } else { acc },
+        );
+    let (tape_seconds, tape_sum) =
+        (0..TRIALS)
+            .map(|_| throughput(&*tape, &batch, &x))
+            .fold(
+                (f64::INFINITY, 0.0),
+                |acc, v| if v.0 < acc.0 { v } else { acc },
+            );
+    let rel = (general_sum - tape_sum).abs() / general_sum.abs().max(1.0);
+    assert!(rel < 1e-3, "checksum drift between paths: {rel:e}");
+
+    let evals = (TENSORS * REPS) as f64;
+    let speedup = general_seconds / tape_seconds;
+    println!(
+        "\n{:>10} {:>16} {:>16} {:>9}",
+        "tensors", "general Mt/s", "tape Mt/s", "speedup"
+    );
+    println!(
+        "{TENSORS:>10} {:>16.2} {:>16.2} {speedup:>8.2}x",
+        evals / general_seconds / 1e6,
+        evals / tape_seconds / 1e6,
+    );
+
+    let value = Value::object(vec![
+        ("metadata", bench_metadata("kernel_cache")),
+        ("m", Value::UInt(M as u64)),
+        ("n", Value::UInt(N as u64)),
+        ("tensors", Value::UInt(TENSORS as u64)),
+        ("reps", Value::UInt(REPS as u64)),
+        ("cold_generate_seconds", Value::Float(cold_seconds)),
+        ("warm_memo_hit_seconds", Value::Float(memo_seconds)),
+        ("warm_disk_hit_seconds", Value::Float(disk_seconds)),
+        ("registry_disk_hits", Value::UInt(stats.disk_hits)),
+        ("registry_generated", Value::UInt(stats.generated)),
+        ("general_seconds", Value::Float(general_seconds)),
+        ("tape_seconds", Value::Float(tape_seconds)),
+        (
+            "general_tensor_evals_per_sec",
+            Value::Float(evals / general_seconds),
+        ),
+        (
+            "tape_tensor_evals_per_sec",
+            Value::Float(evals / tape_seconds),
+        ),
+        ("tape_speedup_over_general", Value::Float(speedup)),
+        ("min_speedup", Value::Float(MIN_SPEEDUP)),
+        ("accept", Value::Bool(speedup >= MIN_SPEEDUP)),
+    ]);
+    write_bench_json("kernelgen", &value);
+    std::fs::remove_dir_all(&dir).ok();
+
+    if speedup < MIN_SPEEDUP {
+        eprintln!("FAIL: tape speedup {speedup:.2}x below the {MIN_SPEEDUP:.1}x floor");
+        return ExitCode::FAILURE;
+    }
+    println!("\nPASS: tape is {speedup:.2}x general (floor {MIN_SPEEDUP:.1}x)");
+    ExitCode::SUCCESS
+}

@@ -253,9 +253,10 @@ fn main() -> ExitCode {
         let mut rng = StdRng::seed_from_u64(SEED);
         let batch = TensorBatch::<f32>::random(M, N, t, &mut rng).expect("paper shape is valid");
         let x: Vec<f32> = (0..N).map(|_| rng.gen_range(-1.0f32..=1.0)).collect();
-        let (blocked, effective) = KernelStrategy::Blocked.resolve::<f32>(M, N);
+        let plan = backend::KernelRegistry::global().plan::<f32>(M, N, KernelStrategy::Blocked);
+        let blocked = plan.kernels;
         assert_eq!(
-            effective,
+            plan.effective,
             KernelStrategy::Blocked,
             "(4,3) is a blocked shape"
         );

@@ -76,12 +76,14 @@ pub struct ScenarioResult {
 }
 
 /// The stable scenario keys of the matrix, one per backend family: CPU
-/// reference, the lane-vectorized lockstep CPU path, both simulated-GPU
-/// kernels, multi-GPU split, stream pipeline, fault-injected resilient
-/// execution, and the sharded multi-host cluster.
-pub const SCENARIO_KEYS: [&str; 8] = [
+/// reference, the lane-vectorized lockstep CPU path, the runtime-generated
+/// tape kernels, both simulated-GPU kernels, multi-GPU split, stream
+/// pipeline, fault-injected resilient execution, and the sharded
+/// multi-host cluster.
+pub const SCENARIO_KEYS: [&str; 9] = [
     "cpu-seq-general",
     "cpu-seq-batched",
+    "cpu-seq-tape",
     "gpusim-c2050-general",
     "gpusim-c2050-unrolled",
     "multigpu-2x-c2050-general",
@@ -95,6 +97,7 @@ fn scenario_backend(key: &str) -> Box<dyn SolveBackend<f32>> {
     match key {
         "cpu-seq-general" => Box::new(CpuSequential::new(KernelStrategy::General)),
         "cpu-seq-batched" => Box::new(CpuSequential::new(KernelStrategy::Batched)),
+        "cpu-seq-tape" => Box::new(CpuSequential::new(KernelStrategy::Tape)),
         "gpusim-c2050-general" => Box::new(GpuSimBackend::new(c2050, KernelStrategy::General)),
         "gpusim-c2050-unrolled" => Box::new(GpuSimBackend::new(c2050, KernelStrategy::Unrolled)),
         "multigpu-2x-c2050-general" => Box::new(

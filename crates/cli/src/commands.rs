@@ -71,13 +71,19 @@ fn gpu_solver(solver: SolverSpec) -> Result<(), CmdError> {
 /// wrapped in a [`ResilientBackend`] (gpusim specs only). `--pipeline`
 /// upgrades a `gpusim` spec to the stream-based [`PipelinedBackend`]
 /// (double-buffered chunks) and `--streams N` sets the streams per device
-/// for pipelined and resilient execution.
+/// for pipelined and resilient execution. `--kernel-cache-dir DIR` points
+/// the process-wide kernel registry at an on-disk artifact cache, so
+/// `--kernel tape` runs load previously generated tapes instead of
+/// regenerating them.
 fn parse_backend(args: &Args) -> Result<(BackendSpec, Box<dyn SolveBackend<f64>>), CmdError> {
     let mut spec: BackendSpec = args.get("backend").unwrap_or("cpu").parse()?;
     let strategy = match args.get("kernel") {
         None => KernelStrategy::General,
         Some(k) => KernelStrategy::parse(k)?,
     };
+    if let Some(dir) = args.get("kernel-cache-dir") {
+        backend::KernelRegistry::global().set_cache_dir(Some(std::path::PathBuf::from(dir)));
+    }
     let streams: usize = args.get_parsed("streams", 2)?;
     let chunk_tensors: Option<usize> = match args.get("chunk-tensors") {
         Some(_) => Some(args.get_parsed("chunk-tensors", 1)?),
@@ -289,6 +295,7 @@ fn inner_solve(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) ->
             "seed",
             "backend",
             "kernel",
+            "kernel-cache-dir",
             "faults",
             "retry",
             "streams",
@@ -449,6 +456,7 @@ fn inner_fibers(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
             "solver",
             "backend",
             "kernel",
+            "kernel-cache-dir",
             "faults",
             "retry",
             "streams",
@@ -614,6 +622,7 @@ fn parse_variant(s: Option<&str>) -> Result<KernelStrategy, CmdError> {
     match s {
         None | Some("unrolled") => Ok(KernelStrategy::Unrolled),
         Some("general") => Ok(KernelStrategy::General),
+        Some("tape") => Ok(KernelStrategy::Tape),
         Some(v) => Err(CmdError(format!("invalid --variant {v:?}"))),
     }
 }
@@ -819,6 +828,7 @@ fn inner_report(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -
             "solver",
             "backend",
             "kernel",
+            "kernel-cache-dir",
             "faults",
             "retry",
             "streams",
@@ -871,6 +881,102 @@ fn inner_report(argv: Vec<String>, out: &mut dyn Write, telemetry: &Telemetry) -
         None => write!(out, "{rendered}")?,
     }
     Ok(())
+}
+
+/// `cache <stats|clear> [--kernel-cache-dir DIR]`
+///
+/// Inspects or empties the kernel-registry artifact cache. `stats` prints
+/// the process-wide registry counters plus a validated listing of the
+/// on-disk `.tape` entries; `clear` drops the in-process memo maps and
+/// deletes every `.tape` file in the cache directory. The directory comes
+/// from `--kernel-cache-dir`, falling back to whatever the registry was
+/// already pointed at.
+pub fn cache(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
+    inner_cache(argv, out).map_err(|e| e.0)
+}
+
+fn inner_cache(argv: Vec<String>, out: &mut dyn Write) -> CmdResult {
+    let args = Args::parse(argv, &["kernel-cache-dir"], &[])?;
+    let action = args.positional(0, "stats|clear")?.to_string();
+    let registry = backend::KernelRegistry::global();
+    let dir = args
+        .get("kernel-cache-dir")
+        .map(std::path::PathBuf::from)
+        .or_else(|| registry.cache_dir());
+    match action.as_str() {
+        "stats" => {
+            let s = registry.stats();
+            writeln!(out, "kernel registry (this process):")?;
+            writeln!(out, "  memo hits      {}", s.memo_hits)?;
+            writeln!(out, "  memo misses    {}", s.memo_misses)?;
+            writeln!(out, "  disk hits      {}", s.disk_hits)?;
+            writeln!(out, "  disk misses    {}", s.disk_misses)?;
+            writeln!(out, "  generated      {}", s.generated)?;
+            writeln!(out, "  generate time  {:.3} ms", s.generate_seconds * 1e3)?;
+            if let Some(rate) = s.artifact_hit_rate() {
+                writeln!(out, "  artifact hit rate {:.1}%", rate * 100.0)?;
+            }
+            match &dir {
+                None => writeln!(
+                    out,
+                    "no artifact cache directory configured (--kernel-cache-dir DIR)"
+                )?,
+                Some(dir) => {
+                    let entries = kernelgen::inspect_dir(dir)
+                        .map_err(|e| CmdError(format!("cannot read {}: {e}", dir.display())))?;
+                    writeln!(
+                        out,
+                        "artifact cache {} ({} entries):",
+                        dir.display(),
+                        entries.len()
+                    )?;
+                    let mut total = 0u64;
+                    for e in &entries {
+                        total += e.bytes;
+                        let shape = match e.shape {
+                            Some((m, n)) => format!("({m},{n})"),
+                            None => "(?)".to_string(),
+                        };
+                        let scalar = e.scalar.as_deref().unwrap_or("?");
+                        let status = if e.valid { "ok" } else { "INVALID" };
+                        writeln!(
+                            out,
+                            "  {} {shape} {scalar} {} bytes [{status}]",
+                            e.file_name, e.bytes
+                        )?;
+                    }
+                    writeln!(out, "  total {total} bytes")?;
+                }
+            }
+            Ok(())
+        }
+        "clear" => {
+            registry.clear_memory();
+            match &dir {
+                None => {
+                    writeln!(
+                        out,
+                        "cleared in-memory kernel cache; no artifact cache directory \
+                         configured (--kernel-cache-dir DIR)"
+                    )?;
+                }
+                Some(dir) => {
+                    let removed = backend::KernelRegistry::clear_disk_at(dir)
+                        .map_err(|e| CmdError(format!("cannot clear {}: {e}", dir.display())))?;
+                    writeln!(
+                        out,
+                        "cleared in-memory kernel cache and removed {removed} artifact(s) \
+                         from {}",
+                        dir.display()
+                    )?;
+                }
+            }
+            Ok(())
+        }
+        other => Err(CmdError(format!(
+            "unknown cache action {other:?}: expected stats or clear"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -1719,5 +1825,73 @@ mod tests {
         assert!(err.contains("unknown command"));
         let err = crate::run(vec![], &mut out).unwrap_err();
         assert!(err.contains("commands:"));
+    }
+
+    #[test]
+    fn solve_accepts_tape_kernel() {
+        let path = tmp("tape.txt");
+        let mut out = Vec::new();
+        random(sv(&["5", "4", "2", "--out", &path]), &mut out).unwrap();
+        let mut out = Vec::new();
+        solve(
+            sv(&[&path, "--kernel", "tape", "--starts", "4", "--shift", "2.0"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("tensor 0:"), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_stats_and_clear_round_trip() {
+        // A dedicated cache dir keeps this test independent of any other
+        // test that touches the process-wide registry.
+        let dir = tmp("cache-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tensors = tmp("cache-tensors.txt");
+        let mut out = Vec::new();
+        random(sv(&["4", "4", "2", "--out", &tensors]), &mut out).unwrap();
+        let mut out = Vec::new();
+        solve(
+            sv(&[
+                &tensors,
+                "--kernel",
+                "tape",
+                "--kernel-cache-dir",
+                &dir,
+                "--starts",
+                "4",
+                "--shift",
+                "2.0",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+
+        // stats sees the persisted artifact for (4,4) f64.
+        let mut out = Vec::new();
+        cache(sv(&["stats", "--kernel-cache-dir", &dir]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("kernel registry (this process):"), "{text}");
+        assert!(text.contains("(4,4) f64"), "{text}");
+        assert!(text.contains("[ok]"), "{text}");
+
+        // clear removes it; a second stats shows an empty directory.
+        let mut out = Vec::new();
+        cache(sv(&["clear", "--kernel-cache-dir", &dir]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("removed"), "{text}");
+        let mut out = Vec::new();
+        cache(sv(&["stats", "--kernel-cache-dir", &dir]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("(0 entries)"), "{text}");
+
+        let mut out = Vec::new();
+        let err = cache(sv(&["frobnicate"]), &mut out).unwrap_err();
+        assert!(err.contains("expected stats or clear"), "{err}");
+
+        std::fs::remove_file(&tensors).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

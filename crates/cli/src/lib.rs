@@ -21,7 +21,9 @@
 //!   fault/retry/failover rates, and per-chunk/per-stream/per-device
 //!   latency quantiles. `solve` and `fibers` accept `--report-out PATH`
 //!   and `--report-format F` to emit the same report alongside their
-//!   normal output.
+//!   normal output;
+//! * `cache <stats|clear> [--kernel-cache-dir DIR]` — inspect or empty
+//!   the kernel registry's on-disk artifact cache of generated tapes.
 //!
 //! `--backend` takes a [`backend::BackendSpec`] string — `cpu` (default,
 //! sequential), `cpu:8` / `cpu:all` (rayon pool), `gpusim` (one simulated
@@ -29,9 +31,10 @@
 //! `pipelined[:device][:count]` (stream-based double buffering; also
 //! reachable via `--pipeline` on a gpusim spec, with `--streams K`
 //! streams per device) — and `--kernel` a [`backend::KernelStrategy`]
-//! (`general|blocked|precomputed|unrolled|batched`, with automatic shape
-//! fallback; `batched` runs fixed-shift SS-HOPM batches in lockstep
-//! panels over the tensor arena). Every batched solve runs through the same
+//! (`general|blocked|precomputed|unrolled|batched|tape`, with automatic
+//! shape fallback; `batched` runs fixed-shift SS-HOPM batches in lockstep
+//! panels over the tensor arena; `tape` replays runtime-generated kernel
+//! tapes for arbitrary shapes, persisted via `--kernel-cache-dir DIR`). Every batched solve runs through the same
 //! [`backend::SolveBackend`] trait, so CPU and simulated-GPU runs print
 //! directly comparable summaries. The simulated GPU supports only fixed
 //! numeric shifts. `--solver` takes a [`sshopm::SolverSpec`] string —
@@ -150,6 +153,7 @@ pub fn run(argv: Vec<String>, out: &mut dyn Write) -> Result<(), String> {
         "gpu" => commands::gpu_instrumented(rest, cmd_out, &telemetry),
         "profile" => commands::profile(rest, cmd_out, &telemetry),
         "report" => commands::report_instrumented(rest, cmd_out, &telemetry),
+        "cache" => commands::cache(rest, cmd_out),
         "help" | "--help" | "-h" => {
             let _ = writeln!(cmd_out, "{}", usage());
             Ok(())
@@ -192,6 +196,7 @@ pub fn usage() -> String {
      \x20 gpu <file> [--starts N] [--variant general|unrolled] [--devices K] [--iters I] [--seed S]\n\
      \x20 profile [file] [--tensors T] [--m M] [--n N] [--starts N] [--variant general|unrolled] [--iters I] [--device c1060|c2050|gtx580] [--seed S] [--pipeline] [--streams K]\n\
      \x20 report [file] [--tensors T] [--m M] [--n N] [--starts N] [--iters I] [--backend B] [--kernel K] [--solver V] [--format text|json|prom] [--out PATH] [--seed S]\n\
+     \x20 cache <stats|clear> [--kernel-cache-dir DIR]\n\
      \x20 help\n\
      global options:\n\
      \x20 --verbose            print a telemetry summary after the command\n\
@@ -210,9 +215,12 @@ pub fn usage() -> String {
      \x20 whose transfers overlap compute); --streams K sets the streams per\n\
      \x20 device (default 2) and prints the resolved event-timeline summary.\n\
      \x20 --kernel K picks how contractions are computed: general, blocked,\n\
-     \x20 precomputed, unrolled (auto-fallback for unavailable shapes), or\n\
+     \x20 precomputed, unrolled (auto-fallback for unavailable shapes),\n\
      \x20 batched (lane-vectorized over the tensor arena; fixed-shift sshopm\n\
-     \x20 batches additionally run in lockstep panels).\n\
+     \x20 batches additionally run in lockstep panels), or tape (runtime-\n\
+     \x20 generated kernel tapes for arbitrary shapes).\n\
+     \x20 --kernel-cache-dir DIR persists generated tapes in a content-\n\
+     \x20 addressed artifact cache; cache stats|clear inspects or empties it.\n\
      \x20 --solver V picks the per-tensor eigen-iteration: sshopm (default),\n\
      \x20 sshopm:ALPHA (pinned fixed shift), geap (adaptive projected-Hessian\n\
      \x20 shift), qrst (orthogonal-similarity QR iteration). geap and qrst\n\
@@ -386,6 +394,9 @@ mod tests {
             "--format text|json|prom",
             "--report-out PATH",
             "--report-format text|json|prom",
+            "cache <stats|clear>",
+            "--kernel-cache-dir DIR",
+            "tape (runtime-",
         ] {
             assert!(u.contains(needle), "usage missing {needle}");
         }

@@ -32,6 +32,14 @@ pub enum GpuError {
         /// Tensor dimension.
         n: usize,
     },
+    /// The tape kernel variant was requested for a shape the runtime
+    /// generator does not support (table sizes exceed the tape slot cap).
+    NoTapeKernel {
+        /// Tensor order.
+        m: usize,
+        /// Tensor dimension.
+        n: usize,
+    },
     /// The shape is too large to model: its unique-entry count overflows
     /// `u64`.
     ShapeTooLarge {
@@ -57,6 +65,9 @@ impl std::fmt::Display for GpuError {
             ),
             GpuError::NoUnrolledKernel { m, n } => {
                 write!(f, "no unrolled kernel generated for shape ({m}, {n})")
+            }
+            GpuError::NoTapeKernel { m, n } => {
+                write!(f, "no tape kernel can be generated for shape ({m}, {n})")
             }
             GpuError::ShapeTooLarge { m, n } => write!(
                 f,

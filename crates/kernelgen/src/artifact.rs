@@ -1,0 +1,389 @@
+//! On-disk artifact cache for generated kernel tapes, content-addressed the
+//! way wasmer keys compiled modules: the filename carries an FNV-1a hash of
+//! `(m, n, scalar, tape-format version)`, and the file itself carries a
+//! magic, the format version, the shape, and an FNV-1a checksum of the
+//! payload. A cached entry is **never trusted**: any mismatch — wrong
+//! magic, stale version, shape or scalar disagreement, truncation, or a
+//! checksum failure from a flipped bit — makes the loader report a miss so
+//! the registry regenerates (and rewrites) the entry.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::tape::KernelTape;
+
+/// Version of the serialized tape layout. Bump on any change to
+/// `encode`'s byte format; entries written under other versions are
+/// ignored and regenerated.
+pub const TAPE_FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"TEIGTAPE";
+/// Fixed header: magic(8) + version(4) + scalar(8) + m(4) + n(4) +
+/// payload_len(8) + payload_hash(8).
+const HEADER_LEN: usize = 44;
+
+/// 64-bit FNV-1a over a byte slice — small, dependency-free, and plenty for
+/// corruption detection (this is an integrity check, not a security
+/// boundary; the cache directory is trusted input like any local file).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The content key a cache entry is addressed by.
+fn content_key(m: usize, n: usize, scalar: &str) -> u64 {
+    fnv1a(format!("tensor-eig-tape/v{TAPE_FORMAT_VERSION}/{m}x{n}/{scalar}").as_bytes())
+}
+
+/// Path of the artifact for `(m, n, scalar)` under `dir` at the current
+/// format version. Exposed so tests (and the `cache` CLI) can inspect or
+/// corrupt specific entries.
+pub fn artifact_path(dir: &Path, m: usize, n: usize, scalar: &str) -> PathBuf {
+    let key = content_key(m, n, scalar);
+    dir.join(format!("{key:016x}-{m}x{n}-{scalar}.tape"))
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32_slice(out: &mut Vec<u8>, vs: &[u32]) {
+    push_u64(out, vs.len() as u64);
+    for &v in vs {
+        push_u32(out, v);
+    }
+}
+
+fn push_u64_slice(out: &mut Vec<u8>, vs: &[u64]) {
+    push_u64(out, vs.len() as u64);
+    for &v in vs {
+        push_u64(out, v);
+    }
+}
+
+/// Serialize a tape to the on-disk artifact format.
+pub(crate) fn encode(tape: &KernelTape, scalar: &str) -> Vec<u8> {
+    let mut payload = Vec::new();
+    push_u32(&mut payload, tape.m);
+    push_u32(&mut payload, tape.n);
+    push_u64_slice(&mut payload, &tape.axm_coeffs);
+    push_u32_slice(&mut payload, &tape.axm_idx);
+    push_u32_slice(&mut payload, &tape.axm1_out);
+    push_u32_slice(&mut payload, &tape.axm1_rank);
+    push_u64_slice(&mut payload, &tape.axm1_coeffs);
+    push_u32_slice(&mut payload, &tape.axm1_idx);
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    push_u32(&mut out, TAPE_FORMAT_VERSION);
+    let mut tag = [0u8; 8];
+    for (d, s) in tag.iter_mut().zip(scalar.bytes()) {
+        *d = s;
+    }
+    out.extend_from_slice(&tag);
+    push_u32(&mut out, tape.m);
+    push_u32(&mut out, tape.n);
+    push_u64(&mut out, payload.len() as u64);
+    push_u64(&mut out, fnv1a(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(len)?;
+        let s = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)?.try_into().ok().map(u32::from_le_bytes)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)?.try_into().ok().map(u64::from_le_bytes)
+    }
+
+    fn u32_slice(&mut self, max: usize) -> Option<Vec<u32>> {
+        let len = self.u64()? as usize;
+        if len > max {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.u32()?);
+        }
+        Some(out)
+    }
+
+    fn u64_slice(&mut self, max: usize) -> Option<Vec<u64>> {
+        let len = self.u64()? as usize;
+        if len > max {
+            return None;
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.u64()?);
+        }
+        Some(out)
+    }
+}
+
+/// Decode and fully validate an artifact for `(m, n, scalar)`. Any
+/// deviation — magic, version, scalar tag, shape, checksum, truncation, or
+/// structurally inconsistent arrays — yields `None` (treated as a miss).
+pub(crate) fn decode(bytes: &[u8], m: usize, n: usize, scalar: &str) -> Option<KernelTape> {
+    // Tape invariant (also keeps `m - 1` below well-defined even for a
+    // forged header routed through `inspect_dir`).
+    if m < 2 || n == 0 {
+        return None;
+    }
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        return None;
+    }
+    let mut cur = Cursor { bytes, pos: 8 };
+    if cur.u32()? != TAPE_FORMAT_VERSION {
+        return None;
+    }
+    let tag = cur.take(8)?;
+    let mut want_tag = [0u8; 8];
+    for (d, s) in want_tag.iter_mut().zip(scalar.bytes()) {
+        *d = s;
+    }
+    if tag != want_tag {
+        return None;
+    }
+    if (cur.u32()? as usize, cur.u32()? as usize) != (m, n) {
+        return None;
+    }
+    let payload_len = cur.u64()? as usize;
+    let payload_hash = cur.u64()?;
+    let payload = cur.take(payload_len)?;
+    if cur.pos != bytes.len() || fnv1a(payload) != payload_hash {
+        return None;
+    }
+
+    let max = crate::tape::TAPE_MAX_SLOTS as usize;
+    let mut cur = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    if (cur.u32()? as usize, cur.u32()? as usize) != (m, n) {
+        return None;
+    }
+    let tape = KernelTape {
+        m: m as u32,
+        n: n as u32,
+        axm_coeffs: cur.u64_slice(max)?,
+        axm_idx: cur.u32_slice(max)?,
+        axm1_out: cur.u32_slice(max)?,
+        axm1_rank: cur.u32_slice(max)?,
+        axm1_coeffs: cur.u64_slice(max)?,
+        axm1_idx: cur.u32_slice(max)?,
+    };
+    if cur.pos != payload.len() {
+        return None;
+    }
+    // Structural sanity: every pre-resolved offset must be in range, or the
+    // executor would read out of bounds.
+    let classes = tape.axm_coeffs.len();
+    let terms = tape.axm1_coeffs.len();
+    let consistent = tape.axm_idx.len() == classes * m
+        && tape.axm1_out.len() == terms
+        && tape.axm1_rank.len() == terms
+        && tape.axm1_idx.len() == terms * (m - 1)
+        && tape.axm_idx.iter().all(|&i| (i as usize) < n)
+        && tape.axm1_idx.iter().all(|&i| (i as usize) < n)
+        && tape.axm1_out.iter().all(|&j| (j as usize) < n)
+        && tape.axm1_rank.iter().all(|&r| (r as usize) < classes)
+        && tape.axm_coeffs.iter().all(|&c| c >= 1)
+        && tape.axm1_coeffs.iter().all(|&c| c >= 1);
+    consistent.then_some(tape)
+}
+
+/// Load a validated tape from `dir`; `None` on any miss or validation
+/// failure.
+pub(crate) fn load(dir: &Path, m: usize, n: usize, scalar: &str) -> Option<KernelTape> {
+    let bytes = fs::read(artifact_path(dir, m, n, scalar)).ok()?;
+    decode(&bytes, m, n, scalar)
+}
+
+/// Atomically store a tape under `dir` (write to a temp file, then rename),
+/// creating the directory if needed.
+pub(crate) fn store(dir: &Path, tape: &KernelTape, scalar: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let (m, n) = tape.shape();
+    let path = artifact_path(dir, m, n, scalar);
+    let tmp = dir.join(format!(".{m}x{n}-{scalar}.tape.tmp-{}", std::process::id()));
+    fs::write(&tmp, encode(tape, scalar))?;
+    match fs::rename(&tmp, &path) {
+        Ok(()) => Ok(path),
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+/// One entry of a cache directory listing, as shown by `tensor-eig cache
+/// stats`.
+#[derive(Debug, Clone)]
+pub struct DiskEntry {
+    /// File name within the cache directory.
+    pub file_name: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Shape recorded in the header, if the header parsed.
+    pub shape: Option<(usize, usize)>,
+    /// Scalar tag recorded in the header, if the header parsed.
+    pub scalar: Option<String>,
+    /// Whether the entry decodes and validates end to end.
+    pub valid: bool,
+}
+
+fn header_info(bytes: &[u8]) -> Option<((usize, usize), String)> {
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        return None;
+    }
+    let mut cur = Cursor { bytes, pos: 12 };
+    let tag = cur.take(8)?;
+    let scalar: String = tag
+        .iter()
+        .take_while(|&&b| b != 0)
+        .map(|&b| b as char)
+        .collect();
+    let m = cur.u32()? as usize;
+    let n = cur.u32()? as usize;
+    Some(((m, n), scalar))
+}
+
+/// List the `.tape` entries under `dir`, validating each one.
+///
+/// # Errors
+/// Propagates directory-read errors; a missing directory yields an empty
+/// listing.
+pub fn inspect_dir(dir: &Path) -> io::Result<Vec<DiskEntry>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.ends_with(".tape") {
+            continue;
+        }
+        let bytes = fs::read(entry.path()).unwrap_or_default();
+        let info = header_info(&bytes);
+        let valid = match &info {
+            Some(((m, n), scalar)) => decode(&bytes, *m, *n, scalar).is_some(),
+            None => false,
+        };
+        out.push(DiskEntry {
+            file_name: name,
+            bytes: bytes.len() as u64,
+            shape: info.as_ref().map(|(s, _)| *s),
+            scalar: info.map(|(_, s)| s),
+            valid,
+        });
+    }
+    out.sort_by(|a, b| a.file_name.cmp(&b.file_name));
+    Ok(out)
+}
+
+/// Remove every `.tape` entry under `dir`; returns how many were removed.
+///
+/// # Errors
+/// Propagates filesystem errors; a missing directory removes nothing.
+pub(crate) fn clear_dir(dir: &Path) -> io::Result<usize> {
+    let mut removed = 0;
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if entry.file_name().to_string_lossy().ends_with(".tape") {
+            fs::remove_file(entry.path())?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let tape = KernelTape::generate(4, 3).unwrap();
+        let bytes = encode(&tape, "f64");
+        let back = decode(&bytes, 4, 3, "f64").unwrap();
+        assert_eq!(back, tape);
+        // Same content hashes to the same bytes: content-addressed.
+        assert_eq!(bytes, encode(&KernelTape::generate(4, 3).unwrap(), "f64"));
+    }
+
+    #[test]
+    fn decode_rejects_mismatches() {
+        let tape = KernelTape::generate(4, 3).unwrap();
+        let good = encode(&tape, "f64");
+        assert!(decode(&good, 4, 3, "f32").is_none(), "scalar mismatch");
+        assert!(decode(&good, 5, 3, "f64").is_none(), "shape mismatch");
+        assert!(decode(&good[..10], 4, 3, "f64").is_none(), "truncated");
+        assert!(decode(b"", 4, 3, "f64").is_none(), "empty");
+
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert!(decode(&flipped, 4, 3, "f64").is_none(), "bit flip");
+
+        let mut stale = good.clone();
+        stale[8..12].copy_from_slice(&(TAPE_FORMAT_VERSION + 1).to_le_bytes());
+        assert!(decode(&stale, 4, 3, "f64").is_none(), "stale version");
+
+        let mut bad_magic = good;
+        bad_magic[0] = b'X';
+        assert!(decode(&bad_magic, 4, 3, "f64").is_none(), "bad magic");
+    }
+
+    #[test]
+    fn artifact_path_is_content_keyed() {
+        let dir = Path::new("/cache");
+        let p64 = artifact_path(dir, 5, 4, "f64");
+        let p32 = artifact_path(dir, 5, 4, "f32");
+        assert_ne!(p64, p32, "scalar participates in the key");
+        assert_ne!(
+            artifact_path(dir, 5, 4, "f64"),
+            artifact_path(dir, 4, 5, "f64")
+        );
+        assert!(p64.to_string_lossy().ends_with("-5x4-f64.tape"));
+    }
+}

@@ -1,0 +1,428 @@
+//! The kernel registry: the single place kernel materialization, caching,
+//! and fallback policy live. Backends ask for a [`KernelPlan`] and get a
+//! memoized, shareable kernel object instead of a freshly boxed one per
+//! `solve_batch` call.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use symtensor::{
+    BatchedKernels, BlockedKernels, GeneralKernels, PrecomputedTables, Scalar, TensorKernels,
+};
+use unrolled::UnrolledKernels;
+
+use crate::artifact;
+use crate::strategy::{KernelError, KernelStrategy};
+use crate::tape::{tape_supported, KernelTape, TapeKernels};
+
+/// Snapshot of registry activity counters, also usable as a delta between
+/// two snapshots (see [`CacheStats::delta_since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Memoized kernel objects served from the in-process map.
+    pub memo_hits: u64,
+    /// Requests that missed the in-process map (and went to disk and/or
+    /// the generator).
+    pub memo_misses: u64,
+    /// Tapes loaded and validated from the on-disk artifact cache.
+    pub disk_hits: u64,
+    /// Artifact-cache lookups that missed (absent, corrupt, truncated, or
+    /// stale-version entries all count here — none are trusted).
+    pub disk_misses: u64,
+    /// Tapes generated at runtime.
+    pub generated: u64,
+    /// Wall-clock seconds spent generating (and writing back) tapes.
+    pub generate_seconds: f64,
+}
+
+impl CacheStats {
+    /// Counter-wise difference against an earlier snapshot.
+    pub fn delta_since(&self, before: &CacheStats) -> CacheStats {
+        CacheStats {
+            memo_hits: self.memo_hits.saturating_sub(before.memo_hits),
+            memo_misses: self.memo_misses.saturating_sub(before.memo_misses),
+            disk_hits: self.disk_hits.saturating_sub(before.disk_hits),
+            disk_misses: self.disk_misses.saturating_sub(before.disk_misses),
+            generated: self.generated.saturating_sub(before.generated),
+            generate_seconds: (self.generate_seconds - before.generate_seconds).max(0.0),
+        }
+    }
+
+    /// True when every counter is zero (nothing worth reporting).
+    pub fn is_empty(&self) -> bool {
+        self.memo_hits == 0
+            && self.memo_misses == 0
+            && self.disk_hits == 0
+            && self.disk_misses == 0
+            && self.generated == 0
+    }
+
+    /// Fraction of artifact-cache lookups that hit, if any were made.
+    pub fn artifact_hit_rate(&self) -> Option<f64> {
+        let total = self.disk_hits + self.disk_misses;
+        (total > 0).then(|| self.disk_hits as f64 / total as f64)
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    generated: AtomicU64,
+    generate_nanos: AtomicU64,
+}
+
+/// A materialized kernel selection: the shareable kernel object plus the
+/// strategy actually in effect after fallback.
+#[derive(Clone)]
+pub struct KernelPlan<S> {
+    /// The kernels; cloning the plan clones an `Arc`, not the tables.
+    pub kernels: Arc<dyn TensorKernels<S> + Send + Sync>,
+    /// The strategy actually chosen (after shape-based fallback).
+    pub effective: KernelStrategy,
+}
+
+impl<S> std::fmt::Debug for KernelPlan<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelPlan")
+            .field("effective", &self.effective)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Type-erased memoized tape kernels, keyed by shape plus scalar type: the
+/// stored value is always an `Arc<TapeKernels<S>>` for the `TypeId` of `S`.
+type TapeMap = HashMap<(usize, usize, TypeId), Arc<dyn Any + Send + Sync>>;
+
+/// Memoizing kernel registry with an optional on-disk artifact cache for
+/// generated tapes.
+///
+/// Most callers use the process-wide [`KernelRegistry::global`] instance so
+/// repeated `solve_batch` calls — and concurrent backends — share tables;
+/// tests build private instances to keep counters isolated.
+pub struct KernelRegistry {
+    cache_dir: Mutex<Option<PathBuf>>,
+    tables: Mutex<HashMap<(usize, usize), Arc<PrecomputedTables>>>,
+    batched: Mutex<HashMap<(usize, usize), Arc<BatchedKernels>>>,
+    tapes: Mutex<TapeMap>,
+    counters: Counters,
+}
+
+impl Default for KernelRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KernelRegistry {
+    /// An empty registry with no artifact-cache directory (tapes are
+    /// generated in memory only).
+    pub fn new() -> Self {
+        KernelRegistry {
+            cache_dir: Mutex::new(None),
+            tables: Mutex::new(HashMap::new()),
+            batched: Mutex::new(HashMap::new()),
+            tapes: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    /// An empty registry persisting generated tapes under `dir`.
+    pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Self {
+        let r = Self::new();
+        r.set_cache_dir(Some(dir.into()));
+        r
+    }
+
+    /// The process-wide registry shared by every backend.
+    pub fn global() -> &'static KernelRegistry {
+        static GLOBAL: OnceLock<KernelRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(KernelRegistry::new)
+    }
+
+    /// Set (or clear) the artifact-cache directory.
+    pub fn set_cache_dir(&self, dir: Option<PathBuf>) {
+        *self.cache_dir.lock() = dir;
+    }
+
+    /// The configured artifact-cache directory, if any.
+    pub fn cache_dir(&self) -> Option<PathBuf> {
+        self.cache_dir.lock().clone()
+    }
+
+    /// Snapshot the activity counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memo_hits: self.counters.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.counters.memo_misses.load(Ordering::Relaxed),
+            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.counters.disk_misses.load(Ordering::Relaxed),
+            generated: self.counters.generated.load(Ordering::Relaxed),
+            generate_seconds: self.counters.generate_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+
+    /// Drop every memoized kernel object (the disk cache is untouched).
+    pub fn clear_memory(&self) {
+        self.tables.lock().clear();
+        self.batched.lock().clear();
+        self.tapes.lock().clear();
+    }
+
+    /// Remove every artifact under the configured cache directory.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from the removal.
+    pub fn clear_disk(&self) -> io::Result<usize> {
+        match self.cache_dir() {
+            Some(dir) => Self::clear_disk_at(&dir),
+            None => Ok(0),
+        }
+    }
+
+    /// Remove every artifact under an explicit directory (the `cache clear`
+    /// CLI path).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors from the removal.
+    pub fn clear_disk_at(dir: &Path) -> io::Result<usize> {
+        artifact::clear_dir(dir)
+    }
+
+    /// Materialize kernels for `(m, n, S, strategy)`, falling back when the
+    /// requested strategy has no implementation for that shape
+    /// (`Unrolled → Blocked → General`, `Tape → Blocked → General`).
+    /// Memoized kinds (`Precomputed`, `Batched`, `Tape`) return shared
+    /// `Arc`s; the zero-sized kinds are constructed inline.
+    pub fn plan<S: Scalar>(&self, m: usize, n: usize, strategy: KernelStrategy) -> KernelPlan<S> {
+        match strategy {
+            KernelStrategy::General => KernelPlan {
+                kernels: Arc::new(GeneralKernels),
+                effective: KernelStrategy::General,
+            },
+            KernelStrategy::Blocked => match BlockedKernels::for_shape(m, n) {
+                Some(k) => KernelPlan {
+                    kernels: Arc::new(k),
+                    effective: KernelStrategy::Blocked,
+                },
+                None => self.plan(m, n, KernelStrategy::General),
+            },
+            KernelStrategy::Precomputed => KernelPlan {
+                kernels: self.tables(m, n),
+                effective: KernelStrategy::Precomputed,
+            },
+            KernelStrategy::Unrolled => match UnrolledKernels::for_shape(m, n) {
+                Some(k) => KernelPlan {
+                    kernels: Arc::new(k),
+                    effective: KernelStrategy::Unrolled,
+                },
+                None => self.plan(m, n, KernelStrategy::Blocked),
+            },
+            KernelStrategy::Batched => KernelPlan {
+                kernels: self.batched(m, n),
+                effective: KernelStrategy::Batched,
+            },
+            KernelStrategy::Tape => match self.tape::<S>(m, n) {
+                Ok(k) => KernelPlan {
+                    kernels: k,
+                    effective: KernelStrategy::Tape,
+                },
+                Err(_) => self.plan(m, n, KernelStrategy::Blocked),
+            },
+        }
+    }
+
+    /// Shared precomputed index/coefficient tables for `(m, n)` (Section
+    /// V-C), built at most once per registry.
+    pub fn tables(&self, m: usize, n: usize) -> Arc<PrecomputedTables> {
+        let mut map = self.tables.lock();
+        if let Some(t) = map.get(&(m, n)) {
+            self.counters.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return t.clone();
+        }
+        self.counters.memo_misses.fetch_add(1, Ordering::Relaxed);
+        let t = Arc::new(PrecomputedTables::new(m, n));
+        map.insert((m, n), t.clone());
+        t
+    }
+
+    /// Shared lane-vectorized kernels (and their lane tables) for `(m, n)`,
+    /// built at most once per registry.
+    pub fn batched(&self, m: usize, n: usize) -> Arc<BatchedKernels> {
+        let mut map = self.batched.lock();
+        if let Some(k) = map.get(&(m, n)) {
+            self.counters.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return k.clone();
+        }
+        self.counters.memo_misses.fetch_add(1, Ordering::Relaxed);
+        let k = Arc::new(BatchedKernels::new(m, n));
+        map.insert((m, n), k.clone());
+        k
+    }
+
+    /// Shared tape kernels for `(m, n, S)`: memoized in-process, loaded
+    /// from the artifact cache when configured, generated (and written
+    /// back) otherwise.
+    ///
+    /// # Errors
+    /// Returns [`KernelError`] if the shape is not [`tape_supported`].
+    pub fn tape<S: Scalar>(&self, m: usize, n: usize) -> Result<Arc<TapeKernels<S>>, KernelError> {
+        if !tape_supported(m, n) {
+            return Err(KernelError(format!(
+                "shape ({m}, {n}) has no tape kernel (order outside 2..=20, or tape too large)"
+            )));
+        }
+        let key = (m, n, TypeId::of::<S>());
+        if let Some(entry) = self.tapes.lock().get(&key) {
+            if let Ok(k) = entry.clone().downcast::<TapeKernels<S>>() {
+                self.counters.memo_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(k);
+            }
+        }
+        self.counters.memo_misses.fetch_add(1, Ordering::Relaxed);
+
+        let dir = self.cache_dir();
+        let tape = match dir
+            .as_deref()
+            .and_then(|d| artifact::load(d, m, n, S::NAME))
+        {
+            Some(t) => {
+                self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                t
+            }
+            None => {
+                if dir.is_some() {
+                    self.counters.disk_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                let started = Instant::now();
+                let t = KernelTape::generate(m, n)?;
+                if let Some(d) = dir.as_deref() {
+                    // A write failure only costs the next process a
+                    // regeneration; the in-memory tape is still good.
+                    let _ = artifact::store(d, &t, S::NAME);
+                }
+                self.counters.generated.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .generate_nanos
+                    .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                t
+            }
+        };
+        let kernels = Arc::new(TapeKernels::<S>::new(Arc::new(tape)));
+        self.tapes
+            .lock()
+            .insert(key, kernels.clone() as Arc<dyn Any + Send + Sync>);
+        Ok(kernels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_honors_available_strategies() {
+        let r = KernelRegistry::new();
+        for strategy in KernelStrategy::ALL {
+            let plan = r.plan::<f64>(4, 3, strategy);
+            assert_eq!(plan.effective, strategy, "(4,3) supports every strategy");
+        }
+    }
+
+    #[test]
+    fn fallback_chains_are_preserved() {
+        let r = KernelRegistry::new();
+        // (7, 7) has no generated kernel but is within the blocked range.
+        let plan = r.plan::<f64>(7, 7, KernelStrategy::Unrolled);
+        assert_eq!(plan.effective, KernelStrategy::Blocked);
+        assert_eq!(plan.kernels.name(), "blocked");
+        // Order 9 is beyond the blocked range too: all the way to general.
+        let plan = r.plan::<f64>(9, 3, KernelStrategy::Unrolled);
+        assert_eq!(plan.effective, KernelStrategy::General);
+        assert_eq!(plan.kernels.name(), "general");
+        // Tape covers (7, 7) directly; an oversized shape falls back.
+        let plan = r.plan::<f64>(7, 7, KernelStrategy::Tape);
+        assert_eq!(plan.effective, KernelStrategy::Tape);
+        let plan = r.plan::<f64>(14, 20, KernelStrategy::Tape);
+        assert_ne!(plan.effective, KernelStrategy::Tape);
+    }
+
+    #[test]
+    fn memoized_kinds_return_the_same_object() {
+        let r = KernelRegistry::new();
+        let a = r.tables(4, 3);
+        let b = r.tables(4, 3);
+        assert!(Arc::ptr_eq(&a, &b));
+        let a = r.batched(4, 3);
+        let b = r.batched(4, 3);
+        assert!(Arc::ptr_eq(&a, &b));
+        let a = r.tape::<f64>(5, 4).unwrap();
+        let b = r.tape::<f64>(5, 4).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = r.stats();
+        assert_eq!(s.memo_hits, 3);
+        assert_eq!(s.memo_misses, 3);
+        assert_eq!(s.generated, 1);
+        // No cache dir configured: disk counters never move.
+        assert_eq!(s.disk_hits + s.disk_misses, 0);
+    }
+
+    #[test]
+    fn tape_is_keyed_per_scalar() {
+        let r = KernelRegistry::new();
+        let _ = r.tape::<f64>(5, 4).unwrap();
+        let _ = r.tape::<f32>(5, 4).unwrap();
+        assert_eq!(r.stats().memo_misses, 2, "f32 and f64 are distinct entries");
+    }
+
+    #[test]
+    fn clear_memory_forgets_memoized_objects() {
+        let r = KernelRegistry::new();
+        let a = r.tables(4, 3);
+        r.clear_memory();
+        let b = r.tables(4, 3);
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn stats_delta_and_hit_rate() {
+        let a = CacheStats {
+            memo_hits: 1,
+            memo_misses: 2,
+            disk_hits: 1,
+            disk_misses: 1,
+            generated: 1,
+            generate_seconds: 0.5,
+        };
+        let b = CacheStats {
+            memo_hits: 4,
+            memo_misses: 2,
+            disk_hits: 4,
+            disk_misses: 1,
+            generated: 1,
+            generate_seconds: 0.5,
+        };
+        let d = b.delta_since(&a);
+        assert_eq!(d.memo_hits, 3);
+        assert_eq!(d.disk_hits, 3);
+        assert_eq!(d.artifact_hit_rate(), Some(1.0));
+        assert!(!d.is_empty());
+        assert!(CacheStats::default().is_empty());
+        assert_eq!(CacheStats::default().artifact_hit_rate(), None);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = KernelRegistry::global() as *const _;
+        let b = KernelRegistry::global() as *const _;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,410 @@
+//! The kernel tape: the unrolled straight-line kernel structure emitted as
+//! data, plus the tight executor that replays it.
+//!
+//! `unrolled/build.rs` turns each `(m, n)` into straight-line Rust where
+//! every term is `[S::from_u64(c) *] a[rank] * x_{i1} * … * x_{ik}` — index
+//! representations and multinomial coefficients resolved at generation
+//! time, the coefficient multiply folded away when `c == 1`. The tape stores
+//! exactly those pre-resolved entry ranks, folded coefficients, and factor
+//! index lists as flat arrays; [`TapeKernels`] walks them with the same
+//! left-associated multiply chain and the same accumulation order, so on a
+//! generated shape the results are **bitwise identical** to
+//! [`unrolled::UnrolledKernels`] — while covering any small shape the
+//! build script never saw.
+
+use std::sync::Arc;
+
+use symtensor::multinomial::{multinomial0, multinomial1, try_num_unique_entries};
+use symtensor::{Error, IndexClassIter, Result, Scalar, SymTensorRef, TensorKernels};
+
+use crate::strategy::KernelError;
+
+/// Upper bound on flat factor-index slots (`U·m` for `axm`, incidence
+/// entries times `m-1` for `axm1`) a tape may use. Shapes beyond this are
+/// better served by the blocked/general kernels anyway, and the bound keeps
+/// generation time and artifact size small.
+pub(crate) const TAPE_MAX_SLOTS: u128 = 1 << 22;
+
+/// Whether shape `(m, n)` is eligible for a generated kernel tape.
+///
+/// Requires order `2..=20` (the exact-`u64` multinomial range, and so the
+/// generated terms always carry at least one `x` factor, matching the
+/// unrolled code shape), a positive dimension, and a tape that fits within
+/// the flat-slot budget.
+pub fn tape_supported(m: usize, n: usize) -> bool {
+    if !(2..=20).contains(&m) || n == 0 {
+        return false;
+    }
+    let u = match try_num_unique_entries(m, n) {
+        Ok(u) => u as u128,
+        Err(_) => return false,
+    };
+    let inc = match try_num_unique_entries(m - 1, n) {
+        Ok(c) => c as u128 * n as u128,
+        Err(_) => return false,
+    };
+    u * m as u128 <= TAPE_MAX_SLOTS && inc * (m as u128 - 1) <= TAPE_MAX_SLOTS
+}
+
+/// A generated kernel tape for one shape: the scalar-independent data form
+/// of the unrolled straight-line kernels.
+///
+/// All arrays are flat and index-pre-resolved; coefficients are exact
+/// `u64` multinomials (converted to the scalar type once, when wrapped in
+/// [`TapeKernels`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelTape {
+    pub(crate) m: u32,
+    pub(crate) n: u32,
+    /// `A·xᵐ`: one multinomial coefficient per packed entry (index class),
+    /// in lexicographic class order — the accumulation order of the
+    /// generated code.
+    pub(crate) axm_coeffs: Vec<u64>,
+    /// `A·xᵐ`: `m` factor indices per class, concatenated.
+    pub(crate) axm_idx: Vec<u32>,
+    /// `A·xᵐ⁻¹`: output component `j` per incidence term.
+    pub(crate) axm1_out: Vec<u32>,
+    /// `A·xᵐ⁻¹`: packed entry rank per incidence term.
+    pub(crate) axm1_rank: Vec<u32>,
+    /// `A·xᵐ⁻¹`: coefficient `σ = multinomial1(rep, j)` per incidence term.
+    pub(crate) axm1_coeffs: Vec<u64>,
+    /// `A·xᵐ⁻¹`: `m - 1` factor indices per incidence term (the class with
+    /// the first occurrence of `j` removed), concatenated.
+    pub(crate) axm1_idx: Vec<u32>,
+}
+
+impl KernelTape {
+    /// Generate the tape for shape `(m, n)`.
+    ///
+    /// # Errors
+    /// Returns [`KernelError`] if [`tape_supported`] rejects the shape.
+    pub fn generate(m: usize, n: usize) -> std::result::Result<Self, KernelError> {
+        if !tape_supported(m, n) {
+            return Err(KernelError(format!(
+                "shape ({m}, {n}) has no tape kernel (order outside 2..=20, or tape too large)"
+            )));
+        }
+        let num_classes = try_num_unique_entries(m, n).map_err(|e| KernelError(e.to_string()))?;
+        let mut tape = KernelTape {
+            m: m as u32,
+            n: n as u32,
+            axm_coeffs: Vec::with_capacity(num_classes as usize),
+            axm_idx: Vec::with_capacity(num_classes as usize * m),
+            axm1_out: Vec::new(),
+            axm1_rank: Vec::new(),
+            axm1_coeffs: Vec::new(),
+            axm1_idx: Vec::new(),
+        };
+        for (rank, class) in IndexClassIter::new(m, n).enumerate() {
+            let rep = class.indices();
+            tape.axm_coeffs.push(multinomial0(rep));
+            tape.axm_idx.extend(rep.iter().map(|&i| i as u32));
+
+            // Distinct indices in first-occurrence order, exactly like the
+            // build script's `rep.clone(); dedup()`.
+            let mut distinct = rep.to_vec();
+            distinct.dedup();
+            for &j in &distinct {
+                tape.axm1_out.push(j as u32);
+                tape.axm1_rank.push(rank as u32);
+                tape.axm1_coeffs.push(multinomial1(rep, j));
+                // Reduced monomial: the class with the *first* occurrence of
+                // `j` removed, remaining factors in class order.
+                let mut removed = false;
+                for &i in rep {
+                    if !removed && i == j {
+                        removed = true;
+                    } else {
+                        tape.axm1_idx.push(i as u32);
+                    }
+                }
+            }
+        }
+        Ok(tape)
+    }
+
+    /// The shape `(m, n)` this tape was generated for.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.m as usize, self.n as usize)
+    }
+
+    /// Number of packed entries (index classes).
+    pub fn num_classes(&self) -> usize {
+        self.axm_coeffs.len()
+    }
+
+    /// Number of `A·xᵐ⁻¹` incidence terms across all output components.
+    pub fn num_axm1_terms(&self) -> usize {
+        self.axm1_coeffs.len()
+    }
+
+    /// Total table words (32/64-bit slots) the tape occupies — the quantity
+    /// the GPU model stages into shared memory.
+    pub fn table_words(&self) -> u64 {
+        (self.axm_coeffs.len()
+            + self.axm_idx.len()
+            + self.axm1_out.len()
+            + self.axm1_rank.len()
+            + self.axm1_coeffs.len()
+            + self.axm1_idx.len()) as u64
+    }
+}
+
+/// A [`TensorKernels`] implementation executing a [`KernelTape`] with the
+/// scalar coefficients pre-converted.
+#[derive(Debug, Clone)]
+pub struct TapeKernels<S> {
+    tape: Arc<KernelTape>,
+    axm_coeff: Vec<S>,
+    axm1_coeff: Vec<S>,
+}
+
+impl<S: Scalar> TapeKernels<S> {
+    /// Wrap a generated tape, converting its coefficients to `S` once.
+    pub fn new(tape: Arc<KernelTape>) -> Self {
+        let axm_coeff = tape.axm_coeffs.iter().map(|&c| S::from_u64(c)).collect();
+        let axm1_coeff = tape.axm1_coeffs.iter().map(|&c| S::from_u64(c)).collect();
+        TapeKernels {
+            tape,
+            axm_coeff,
+            axm1_coeff,
+        }
+    }
+
+    /// Generate and wrap the tape for `(m, n)` in one step.
+    ///
+    /// # Errors
+    /// Returns [`KernelError`] if the shape has no tape kernel.
+    pub fn generate(m: usize, n: usize) -> std::result::Result<Self, KernelError> {
+        Ok(Self::new(Arc::new(KernelTape::generate(m, n)?)))
+    }
+
+    /// The underlying tape.
+    pub fn tape(&self) -> &KernelTape {
+        &self.tape
+    }
+
+    fn check<'t>(&self, a: &SymTensorRef<'t, S>) -> Result<()> {
+        let (m, n) = self.tape.shape();
+        if (a.order(), a.dim()) != (m, n) {
+            return Err(Error::ShapeMismatch {
+                expected: (m, n),
+                found: (a.order(), a.dim()),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<S: Scalar> TensorKernels<S> for TapeKernels<S> {
+    fn axm(&self, a: SymTensorRef<'_, S>, x: &[S]) -> Result<S> {
+        self.check(&a)?;
+        let (m, n) = self.tape.shape();
+        if x.len() != n {
+            return Err(Error::VectorLengthMismatch {
+                expected: n,
+                actual: x.len(),
+            });
+        }
+        let a = a.values();
+        let idx = &self.tape.axm_idx;
+        // Same term shape and association as the generated code:
+        // `acc += [S::from_u64(c) *] a[rank] * x_{i1} * … * x_{im}`.
+        let mut acc = S::ZERO;
+        let mut off = 0;
+        for (rank, &c) in self.tape.axm_coeffs.iter().enumerate() {
+            let mut t = if c == 1 {
+                a[rank]
+            } else {
+                self.axm_coeff[rank] * a[rank]
+            };
+            for &i in &idx[off..off + m] {
+                t *= x[i as usize];
+            }
+            off += m;
+            acc += t;
+        }
+        Ok(acc)
+    }
+
+    fn axm1(&self, a: SymTensorRef<'_, S>, x: &[S], y: &mut [S]) -> Result<()> {
+        self.check(&a)?;
+        let (m, n) = self.tape.shape();
+        if x.len() != n {
+            return Err(Error::VectorLengthMismatch {
+                expected: n,
+                actual: x.len(),
+            });
+        }
+        if y.len() != n {
+            return Err(Error::VectorLengthMismatch {
+                expected: n,
+                actual: y.len(),
+            });
+        }
+        // The generated code accumulates into per-output locals initialized
+        // to zero and writes them back at the end; accumulating directly
+        // into the zeroed output performs the identical addition sequence.
+        for e in y.iter_mut() {
+            *e = S::ZERO;
+        }
+        let a = a.values();
+        let idx = &self.tape.axm1_idx;
+        let width = m - 1;
+        let mut off = 0;
+        for (e, &c) in self.tape.axm1_coeffs.iter().enumerate() {
+            let rank = self.tape.axm1_rank[e] as usize;
+            let mut t = if c == 1 {
+                a[rank]
+            } else {
+                self.axm1_coeff[e] * a[rank]
+            };
+            for &i in &idx[off..off + width] {
+                t *= x[i as usize];
+            }
+            off += width;
+            y[self.tape.axm1_out[e] as usize] += t;
+        }
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        "tape"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use symtensor::kernels::GeneralKernels;
+    use symtensor::SymTensor;
+    use unrolled::{UnrolledKernels, GENERATED_SHAPES};
+
+    fn random_sym(m: usize, n: usize, seed: u64) -> SymTensor<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SymTensor::random(m, n, &mut rng)
+    }
+
+    fn unit_x(n: usize) -> Vec<f64> {
+        let mut x: Vec<f64> = (0..n).map(|i| 0.7 - 0.21 * i as f64).collect();
+        symtensor::scalar::normalize(&mut x);
+        x
+    }
+
+    #[test]
+    fn supported_shapes_are_sensible() {
+        assert!(tape_supported(4, 3));
+        assert!(tape_supported(5, 4)); // not in GENERATED_SHAPES
+        assert!(tape_supported(2, 2));
+        assert!(!tape_supported(1, 3)); // order 1: terms would have no factor
+        assert!(!tape_supported(3, 0));
+        assert!(!tape_supported(21, 2)); // beyond the exact-u64 range
+        assert!(!tape_supported(12, 24)); // tape would blow the slot budget
+    }
+
+    #[test]
+    fn generate_rejects_unsupported_shape() {
+        assert!(KernelTape::generate(1, 3).is_err());
+        assert!(KernelTape::generate(25, 25).is_err());
+    }
+
+    #[test]
+    fn tape_layout_matches_combinatorics() {
+        let t = KernelTape::generate(4, 3).unwrap();
+        assert_eq!(t.shape(), (4, 3));
+        assert_eq!(t.num_classes(), 15); // C(6, 4), the paper's Table I
+        assert_eq!(t.axm_idx.len(), 15 * 4);
+        // Each of the 3 output sums has num_unique_entries(3, 3) = 10 terms.
+        assert_eq!(t.num_axm1_terms(), 30);
+        assert_eq!(t.axm1_idx.len(), 30 * 3);
+        assert!(t.table_words() > 0);
+    }
+
+    #[test]
+    fn bitwise_equal_to_unrolled_on_generated_shapes() {
+        for (i, &(m, n)) in GENERATED_SHAPES.iter().enumerate() {
+            let a = random_sym(m, n, 100 + i as u64);
+            let x = unit_x(n);
+            let unrolled = UnrolledKernels::for_shape(m, n).unwrap();
+            let tape = TapeKernels::<f64>::generate(m, n).unwrap();
+            let want = TensorKernels::axm(&unrolled, a.view(), &x).unwrap();
+            let got = tape.axm(a.view(), &x).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "axm ({m},{n})");
+            let mut want_y = vec![0.0; n];
+            let mut got_y = vec![0.0; n];
+            TensorKernels::axm1(&unrolled, a.view(), &x, &mut want_y).unwrap();
+            tape.axm1(a.view(), &x, &mut got_y).unwrap();
+            for j in 0..n {
+                assert_eq!(
+                    got_y[j].to_bits(),
+                    want_y[j].to_bits(),
+                    "axm1 ({m},{n}) j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_general_on_non_generated_shape() {
+        for &(m, n) in &[(5usize, 4usize), (2, 5), (6, 4), (3, 6)] {
+            assert!(
+                !GENERATED_SHAPES.contains(&(m, n)),
+                "({m},{n}) should exercise the runtime generator"
+            );
+            let a = random_sym(m, n, 7 + m as u64 * 31 + n as u64);
+            let x = unit_x(n);
+            let tape = TapeKernels::<f64>::generate(m, n).unwrap();
+            let want = GeneralKernels.axm(a.view(), &x).unwrap();
+            let got = tape.axm(a.view(), &x).unwrap();
+            assert!(
+                (got - want).abs() <= 1e-12 * (1.0 + want.abs()),
+                "axm ({m},{n}): {got} vs {want}"
+            );
+            let mut want_y = vec![0.0; n];
+            let mut got_y = vec![0.0; n];
+            GeneralKernels.axm1(a.view(), &x, &mut want_y).unwrap();
+            tape.axm1(a.view(), &x, &mut got_y).unwrap();
+            for j in 0..n {
+                assert!(
+                    (got_y[j] - want_y[j]).abs() <= 1e-12 * (1.0 + want_y[j].abs()),
+                    "axm1 ({m},{n}) j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shape_and_length_mismatches_are_typed_errors() {
+        let tape = TapeKernels::<f64>::generate(4, 3).unwrap();
+        let wrong = random_sym(3, 3, 9);
+        let x = [0.5f64, 0.5, 0.5];
+        let mut y = [0.0f64; 3];
+        assert!(matches!(
+            tape.axm(wrong.view(), &x),
+            Err(Error::ShapeMismatch { .. })
+        ));
+        let a = random_sym(4, 3, 10);
+        assert!(matches!(
+            tape.axm(a.view(), &x[..2]),
+            Err(Error::VectorLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            tape.axm1(a.view(), &x, &mut y[..2]),
+            Err(Error::VectorLengthMismatch { .. })
+        ));
+        assert_eq!(tape.name(), "tape");
+    }
+
+    #[test]
+    fn works_in_f32() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = SymTensor::<f32>::random(5, 4, &mut rng);
+        let x = [0.5f32, -0.5, 0.25, 0.25];
+        let tape = TapeKernels::<f32>::generate(5, 4).unwrap();
+        let want = GeneralKernels.axm(a.view(), &x).unwrap();
+        let got = tape.axm(a.view(), &x).unwrap();
+        assert!((got - want).abs() < 1e-4 * (1.0 + want.abs()));
+    }
+}

@@ -1,0 +1,68 @@
+//! Pins the registry's memoization with an allocation counter: the first
+//! request for a shape's tables/panels/tape pays the construction cost,
+//! and every later request is an `Arc` clone out of the memo map — zero
+//! heap allocations. This is the whole point of routing kernel
+//! materialization through [`KernelRegistry`] instead of the old
+//! build-a-fresh-box-per-call `resolve`, so a regression here means a
+//! hot solve loop went back to re-deriving `PrecomputedTables` and lane
+//! panels per chunk.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use kernelgen::{KernelRegistry, KernelStrategy};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// One test function: the counter is process-global, so concurrent tests
+/// in this binary would pollute each other's deltas.
+#[test]
+fn memoized_requests_do_not_allocate() {
+    let registry = KernelRegistry::new();
+
+    // Cold: builds tables, panels, a tape, and the plan's kernel objects.
+    let tables = registry.tables(4, 3);
+    let batched = registry.batched(4, 3);
+    let tape = registry.tape::<f64>(5, 4).unwrap();
+    let plan = registry.plan::<f64>(4, 3, KernelStrategy::Precomputed);
+    assert!(allocs() > 0, "cold construction must have allocated");
+
+    // Warm: every request is a map lookup plus an Arc clone.
+    let before = allocs();
+    let tables2 = registry.tables(4, 3);
+    let batched2 = registry.batched(4, 3);
+    let tape2 = registry.tape::<f64>(5, 4).unwrap();
+    let plan2 = registry.plan::<f64>(4, 3, KernelStrategy::Precomputed);
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "memoized table/panel/tape requests must not allocate"
+    );
+
+    // The memo really is sharing one object, not rebuilding equal ones.
+    assert!(std::sync::Arc::ptr_eq(&tables, &tables2));
+    assert!(std::sync::Arc::ptr_eq(&batched, &batched2));
+    assert!(std::sync::Arc::ptr_eq(&tape, &tape2));
+    assert_eq!(plan.effective, plan2.effective);
+}

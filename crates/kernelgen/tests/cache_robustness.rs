@@ -1,0 +1,134 @@
+//! Robustness tests for the on-disk artifact cache, exercised through
+//! whole [`KernelRegistry`] instances the way real runs hit it: a second
+//! registry pointed at the same directory must *hit* (and produce
+//! byte-identical kernel results), while truncated, bit-flipped, or
+//! stale-format-version entries must be detected by the content checks
+//! and silently regenerated — a corrupt cache can cost time, never
+//! correctness.
+
+use std::path::PathBuf;
+
+use kernelgen::{artifact_path, KernelRegistry, TAPE_FORMAT_VERSION};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use symtensor::{SymTensor, TensorKernels};
+
+/// A non-generated shape so the tape is the only kernel that covers it.
+const M: usize = 5;
+const N: usize = 4;
+
+fn unique_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("tensor-eig-kernelgen-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+fn solve_bits(registry: &KernelRegistry) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let a = SymTensor::<f64>::random(M, N, &mut rng);
+    let x: Vec<f64> = (0..N).map(|i| 0.4 - 0.11 * i as f64).collect();
+    let kernels = registry.tape::<f64>(M, N).unwrap();
+    let mut y = vec![0.0f64; N];
+    kernels.axm1(a.view(), &x, &mut y).unwrap();
+    let mut bits: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+    bits.push(kernels.axm(a.view(), &x).unwrap().to_bits());
+    bits
+}
+
+#[test]
+fn second_registry_hits_disk_and_matches_bitwise() {
+    let dir = unique_dir("roundtrip");
+
+    let first = KernelRegistry::with_cache_dir(&dir);
+    let cold_bits = solve_bits(&first);
+    let s = first.stats();
+    assert_eq!(s.disk_hits, 0, "cold run cannot hit");
+    assert_eq!(s.disk_misses, 1);
+    assert_eq!(s.generated, 1);
+    assert!(artifact_path(&dir, M, N, "f64").is_file());
+
+    // A fresh registry simulates a second process: it must load the
+    // artifact (100% hit rate, nothing generated) and produce the exact
+    // same bits as the cold run.
+    let second = KernelRegistry::with_cache_dir(&dir);
+    let warm_bits = solve_bits(&second);
+    let s = second.stats();
+    assert_eq!(s.disk_hits, 1, "warm run must hit the artifact cache");
+    assert_eq!(s.disk_misses, 0);
+    assert_eq!(s.generated, 0);
+    assert_eq!(s.artifact_hit_rate(), Some(1.0));
+    assert_eq!(cold_bits, warm_bits, "cached tape changed the results");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_entry_is_regenerated() {
+    let dir = unique_dir("truncated");
+    let reference = solve_bits(&KernelRegistry::with_cache_dir(&dir));
+
+    let path = artifact_path(&dir, M, N, "f64");
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let registry = KernelRegistry::with_cache_dir(&dir);
+    let bits = solve_bits(&registry);
+    let s = registry.stats();
+    assert_eq!(s.disk_hits, 0, "a truncated entry must not be trusted");
+    assert_eq!(s.disk_misses, 1);
+    assert_eq!(s.generated, 1);
+    assert_eq!(bits, reference);
+    // The regenerated artifact is whole again and loads cleanly.
+    assert_eq!(std::fs::read(&path).unwrap().len(), bytes.len());
+    let again = KernelRegistry::with_cache_dir(&dir);
+    solve_bits(&again);
+    assert_eq!(again.stats().disk_hits, 1);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flipped_payload_is_detected_by_checksum() {
+    let dir = unique_dir("bitflip");
+    let reference = solve_bits(&KernelRegistry::with_cache_dir(&dir));
+
+    let path = artifact_path(&dir, M, N, "f64");
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip one bit deep inside the payload (headers stay intact, so only
+    // the FNV-1a checksum can catch this).
+    let i = bytes.len() - 9;
+    bytes[i] ^= 0x10;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let registry = KernelRegistry::with_cache_dir(&dir);
+    let bits = solve_bits(&registry);
+    let s = registry.stats();
+    assert_eq!(s.disk_hits, 0, "a bit-flipped entry must not be trusted");
+    assert_eq!(s.generated, 1);
+    assert_eq!(bits, reference);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stale_format_version_is_ignored() {
+    let dir = unique_dir("staleversion");
+    let reference = solve_bits(&KernelRegistry::with_cache_dir(&dir));
+
+    // Rewrite the header's version field (bytes 8..12, after the magic) to
+    // a future version; everything else — checksum included — stays valid.
+    let path = artifact_path(&dir, M, N, "f64");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&(TAPE_FORMAT_VERSION + 1).to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    let registry = KernelRegistry::with_cache_dir(&dir);
+    let bits = solve_bits(&registry);
+    let s = registry.stats();
+    assert_eq!(s.disk_hits, 0, "a stale-version entry must not be trusted");
+    assert_eq!(s.generated, 1);
+    assert_eq!(bits, reference);
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -32,6 +32,9 @@ pub trait Scalar:
     + Sum
     + 'static
 {
+    /// Canonical lowercase type name ("f32" / "f64"), used to key
+    /// scalar-specific artifacts such as cached kernel tapes.
+    const NAME: &'static str;
     /// Additive identity.
     const ZERO: Self;
     /// Multiplicative identity.
@@ -62,8 +65,9 @@ pub trait Scalar:
 }
 
 macro_rules! impl_scalar {
-    ($t:ty) => {
+    ($t:ty, $name:literal) => {
         impl Scalar for $t {
+            const NAME: &'static str = $name;
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
             const EPSILON: Self = <$t>::EPSILON;
@@ -112,8 +116,8 @@ macro_rules! impl_scalar {
     };
 }
 
-impl_scalar!(f32);
-impl_scalar!(f64);
+impl_scalar!(f32, "f32");
+impl_scalar!(f64, "f64");
 
 /// Euclidean norm of a slice.
 #[inline]
@@ -154,6 +158,8 @@ mod tests {
         assert_eq!(<f32 as Scalar>::ZERO, 0.0f32);
         assert_eq!(<f64 as Scalar>::ONE, 1.0f64);
         assert_eq!(<f32 as Scalar>::EPSILON, f32::EPSILON);
+        assert_eq!(<f32 as Scalar>::NAME, "f32");
+        assert_eq!(<f64 as Scalar>::NAME, "f64");
     }
 
     #[test]

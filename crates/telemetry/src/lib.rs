@@ -58,8 +58,8 @@ pub use metrics::{
     CounterSnapshot, GaugeSnapshot, HistogramSnapshot, SpanSnapshot, TelemetrySnapshot,
 };
 pub use report::{
-    CommStats, DeviceStats, FaultStats, HostStats, LatencyStat, RunReport, ThroughputStats,
-    WorkloadStats, RUN_REPORT_SCHEMA_VERSION,
+    CommStats, DeviceStats, FaultStats, HostStats, KernelCacheStats, LatencyStat, RunReport,
+    ThroughputStats, WorkloadStats, RUN_REPORT_SCHEMA_VERSION,
 };
 pub use sink::{Event, JsonLinesSink, MemorySink, NullSink, Sink};
 pub use span::SpanGuard;

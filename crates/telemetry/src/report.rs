@@ -158,6 +158,63 @@ impl CommStats {
     }
 }
 
+/// Kernel-registry cache activity attributable to one run: how the kernels
+/// that executed the batch were materialized (memoized in-process, loaded
+/// from the on-disk artifact cache, or generated).
+///
+/// Plain data by design — the producing registry lives in the `kernelgen`
+/// crate, which this crate must not depend on.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelCacheStats {
+    /// Kernel objects served from the in-process memo map.
+    pub memo_hits: u64,
+    /// Requests that missed the memo map.
+    pub memo_misses: u64,
+    /// Tapes loaded and validated from the on-disk artifact cache.
+    pub disk_hits: u64,
+    /// Artifact-cache lookups that missed (absent or rejected entries).
+    pub disk_misses: u64,
+    /// Tapes generated at runtime during the run.
+    pub generated: u64,
+    /// Wall-clock seconds spent generating tapes.
+    pub generate_seconds: f64,
+}
+
+impl KernelCacheStats {
+    /// True when the run touched no memoized or cached kernels at all.
+    pub fn is_empty(&self) -> bool {
+        self.memo_hits == 0
+            && self.memo_misses == 0
+            && self.disk_hits == 0
+            && self.disk_misses == 0
+            && self.generated == 0
+    }
+
+    /// Fraction of artifact-cache lookups that hit, if any were made.
+    pub fn artifact_hit_rate(&self) -> Option<f64> {
+        let total = self.disk_hits + self.disk_misses;
+        (total > 0).then(|| self.disk_hits as f64 / total as f64)
+    }
+
+    /// The one-line rendering used by `render_text`.
+    pub fn summary_line(&self) -> String {
+        let rate = match self.artifact_hit_rate() {
+            Some(r) => format!("{:.0}% artifact hit rate", r * 100.0),
+            None => "no artifact lookups".to_string(),
+        };
+        format!(
+            "kernel cache: {} memo hits / {} misses, {} disk hits / {} misses, \
+             {} generated in {:.3} ms ({rate})",
+            self.memo_hits,
+            self.memo_misses,
+            self.disk_hits,
+            self.disk_misses,
+            self.generated,
+            self.generate_seconds * 1e3,
+        )
+    }
+}
+
 /// One device's headline numbers inside a [`RunReport`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeviceStats {
@@ -207,6 +264,9 @@ pub struct RunReport {
     /// Inter-node communication vs. the lower bound (all-zero for
     /// single-host backends).
     pub comm: CommStats,
+    /// Kernel-registry cache activity during the run (`None` when the
+    /// producing layer predates the registry, or nothing was memoized).
+    pub kernel_cache: Option<KernelCacheStats>,
     /// Counters folded in from a telemetry snapshot, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Gauges folded in from a telemetry snapshot, sorted by name.
@@ -305,6 +365,9 @@ impl RunReport {
                 "comm: {} NIC bytes vs {} lower bound ({:.3}x)",
                 self.comm.nic_bytes, self.comm.lower_bound_bytes, self.comm.ratio
             );
+        }
+        if let Some(kc) = self.kernel_cache.filter(|kc| !kc.is_empty()) {
+            let _ = writeln!(out, "{}", kc.summary_line());
         }
         for h in &self.hosts {
             let _ = writeln!(
@@ -460,6 +523,31 @@ impl RunReport {
                 "Achieved NIC bytes over the communication lower bound",
                 self.comm.ratio,
             );
+        }
+        if let Some(kc) = self.kernel_cache.filter(|kc| !kc.is_empty()) {
+            for (name, value) in [
+                ("kernel_cache_memo_hits_total", kc.memo_hits),
+                ("kernel_cache_memo_misses_total", kc.memo_misses),
+                ("kernel_cache_disk_hits_total", kc.disk_hits),
+                ("kernel_cache_disk_misses_total", kc.disk_misses),
+                ("kernel_cache_generated_total", kc.generated),
+            ] {
+                counter(&mut out, name, "Kernel-registry cache ledger", value);
+            }
+            gauge(
+                &mut out,
+                "kernel_cache_generate_seconds",
+                "Wall-clock seconds spent generating kernel tapes",
+                kc.generate_seconds,
+            );
+            if let Some(rate) = kc.artifact_hit_rate() {
+                gauge(
+                    &mut out,
+                    "kernel_cache_artifact_hit_rate",
+                    "Fraction of artifact-cache lookups that hit",
+                    rate,
+                );
+            }
         }
         for h in &self.hosts {
             let host_labels = format!("{labels},host_index=\"{}\"", h.host_index);
@@ -650,9 +738,35 @@ impl<'de> Deserialize<'de> for FaultStats {
     }
 }
 
-impl Serialize for RunReport {
+impl Serialize for KernelCacheStats {
     fn to_value(&self) -> Value {
         Value::object(vec![
+            ("memo_hits", Value::UInt(self.memo_hits)),
+            ("memo_misses", Value::UInt(self.memo_misses)),
+            ("disk_hits", Value::UInt(self.disk_hits)),
+            ("disk_misses", Value::UInt(self.disk_misses)),
+            ("generated", Value::UInt(self.generated)),
+            ("generate_seconds", Value::Float(self.generate_seconds)),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for KernelCacheStats {
+    fn from_value(value: &'de Value) -> Result<Self, Error> {
+        Ok(KernelCacheStats {
+            memo_hits: get_u64(value, "memo_hits"),
+            memo_misses: get_u64(value, "memo_misses"),
+            disk_hits: get_u64(value, "disk_hits"),
+            disk_misses: get_u64(value, "disk_misses"),
+            generated: get_u64(value, "generated"),
+            generate_seconds: get_f64(value, "generate_seconds"),
+        })
+    }
+}
+
+impl Serialize for RunReport {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
             ("schema_version", Value::UInt(self.schema_version)),
             ("backend", Value::Str(self.backend.clone())),
             ("kernel", Value::Str(self.kernel.clone())),
@@ -763,7 +877,13 @@ impl Serialize for RunReport {
                         .collect(),
                 ),
             ),
-        ])
+        ];
+        // Reports from layers that never touch the kernel registry simply
+        // omit the key, mirroring the pre-registry schema.
+        if let Some(kc) = &self.kernel_cache {
+            fields.push(("kernel_cache", kc.to_value()));
+        }
+        Value::object(fields)
     }
 }
 
@@ -837,6 +957,12 @@ impl<'de> Deserialize<'de> for RunReport {
             },
             None => CommStats::default(),
         };
+        // Reports written before the kernel registry carry no
+        // "kernel_cache" key; that parses as `None`, not an error.
+        let kernel_cache = match value.get("kernel_cache") {
+            Some(kc) => Some(KernelCacheStats::from_value(kc)?),
+            None => None,
+        };
         let mut counters = Vec::new();
         if let Some(Value::Map(pairs)) = value.get("counters") {
             for (name, v) in pairs {
@@ -872,6 +998,7 @@ impl<'de> Deserialize<'de> for RunReport {
             devices,
             hosts,
             comm,
+            kernel_cache,
             counters,
             gauges,
         })
@@ -927,6 +1054,14 @@ mod tests {
             lower_bound_bytes: 5000,
             ratio: 1.024,
         };
+        r.kernel_cache = Some(KernelCacheStats {
+            memo_hits: 3,
+            memo_misses: 1,
+            disk_hits: 1,
+            disk_misses: 0,
+            generated: 0,
+            generate_seconds: 0.0,
+        });
         r.counters.push(("batch.solves".into(), 128));
         r.gauges.push(("gpu.occupancy".into(), 0.67));
         r
@@ -1013,6 +1148,42 @@ mod tests {
         let back = RunReport::from_value(&v).expect("parse");
         assert!(back.hosts.is_empty());
         assert!(back.comm.is_empty());
+    }
+
+    #[test]
+    fn reports_without_kernel_cache_still_parse() {
+        // Reports written before the kernel registry carry no such key.
+        let mut v = sample().to_value();
+        if let Value::Map(pairs) = &mut v {
+            pairs.retain(|(k, _)| k != "kernel_cache");
+        }
+        let back = RunReport::from_value(&v).expect("parse");
+        assert!(back.kernel_cache.is_none());
+        // And a `None` block serializes to an absent key, not a null.
+        let v = back.to_value();
+        assert!(v.get("kernel_cache").is_none());
+    }
+
+    #[test]
+    fn kernel_cache_block_renders_and_round_trips() {
+        let r = sample();
+        let text = r.render_text();
+        assert!(
+            text.contains("kernel cache: 3 memo hits / 1 misses, 1 disk hits / 0 misses"),
+            "{text}"
+        );
+        assert!(text.contains("100% artifact hit rate"), "{text}");
+        let back = RunReport::parse_json(&r.to_json()).expect("parse");
+        assert_eq!(back.kernel_cache, r.kernel_cache);
+        let prom = r.to_prometheus();
+        assert!(
+            prom.contains("tensor_eig_kernel_cache_disk_hits_total"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("tensor_eig_kernel_cache_artifact_hit_rate"),
+            "{prom}"
+        );
     }
 
     #[test]
